@@ -1,0 +1,121 @@
+//! The ssh comparator (§6.2).
+//!
+//! "We established a regular ssh session between the submission machine and
+//! the execution machine and we started the client and server processes
+//! manually. … this mechanism is commonly used in local area networks but is
+//! not available, in general, in a grid due to restrictions imposed on remote
+//! machines."
+//!
+//! Cost structure that matters for the figures: per-packet encryption
+//! (2006-era 3DES/AES-128 on Pentium-class CPUs) and the **small internal
+//! channel buffers** of OpenSSH — which is why the paper's reliable mode,
+//! with its larger buffers and therefore fewer I/O operations, overtakes ssh
+//! at 10 KB payloads despite paying for disk.
+
+use cg_console::MethodCosts;
+use cg_net::{Link, NetError};
+use cg_sim::{Sim, SimDuration};
+
+/// Streaming cost model of an established ssh session.
+pub fn ssh_method() -> MethodCosts {
+    MethodCosts {
+        name: "ssh".into(),
+        fixed_s: 90e-6,     // channel write path + syscall
+        per_byte_s: 14e-9,  // encryption on a 2006 CPU
+        chunk_bytes: 4 * 1024, // OpenSSH channel packet size
+        per_chunk_s: 260e-6,   // per-packet MAC + framing + window bookkeeping
+        per_chunk_rtts: 0.0,   // windows large enough not to stall at 10 KB
+        disk_per_op_s: 0.0,
+        disk_per_byte_s: 0.0,
+        jitter_sigma: 0.10,
+    }
+}
+
+/// Session-establishment model: TCP + key exchange + auth (used by examples;
+/// the §6.2 measurements exclude setup).
+pub fn ssh_connect(
+    sim: &mut Sim,
+    link: &Link,
+    on: impl FnOnce(&mut Sim, Result<(), NetError>) + 'static,
+) {
+    // ~6 sync legs (banner, KEX init, DH, NEWKEYS, auth, channel open) plus
+    // server-side key crypto.
+    let rtts = 6.0 * link.profile().nominal_rtt().as_secs_f64() / 2.0;
+    let crypto = 0.35; // DH + host key ops, 2006 hardware
+    let delay = SimDuration::from_secs_f64(rtts + crypto);
+    let link2 = link.clone();
+    sim.schedule_in(delay, move |sim| {
+        if link2.is_down(sim.now()) {
+            on(sim, Err(NetError::LinkDown));
+        } else {
+            on(sim, Ok(()));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_net::LinkProfile;
+    use cg_sim::SimRng;
+
+    fn mean_rtt(costs: &MethodCosts, profile: &LinkProfile, bytes: u64) -> f64 {
+        let mut rng = SimRng::new(99);
+        (0..2000)
+            .map(|_| costs.sequence_rtt(&mut rng, profile, bytes).as_secs_f64())
+            .sum::<f64>()
+            / 2000.0
+    }
+
+    #[test]
+    fn ssh_chunks_at_4k() {
+        let ssh = ssh_method();
+        assert_eq!(ssh.chunks(4 * 1024), 1);
+        assert_eq!(ssh.chunks(10 * 1024), 3);
+    }
+
+    #[test]
+    fn reliable_beats_ssh_at_10kb_on_campus() {
+        // The paper's §6.2 crossover: "our reliable method performs very well
+        // for large data transfers (it is better than ssh in a campus grid)".
+        let campus = LinkProfile::campus();
+        let ssh = mean_rtt(&ssh_method(), &campus, 10 * 1024);
+        let reliable = mean_rtt(&cg_console::MethodCosts::reliable(), &campus, 10 * 1024);
+        assert!(reliable < ssh, "reliable {reliable} must beat ssh {ssh} at 10KB");
+    }
+
+    #[test]
+    fn ssh_beats_reliable_at_small_sizes() {
+        let campus = LinkProfile::campus();
+        let ssh = mean_rtt(&ssh_method(), &campus, 10);
+        let reliable = mean_rtt(&cg_console::MethodCosts::reliable(), &campus, 10);
+        assert!(ssh < reliable, "ssh {ssh} wins at 10 B vs reliable {reliable}");
+    }
+
+    #[test]
+    fn fast_beats_ssh_on_campus_at_all_sizes() {
+        // "It is the method that exhibits the best transfer times when
+        // machines were located in the campus grid."
+        let campus = LinkProfile::campus();
+        for bytes in [10u64, 100, 1024, 10 * 1024] {
+            let ssh = mean_rtt(&ssh_method(), &campus, bytes);
+            let fast = mean_rtt(&cg_console::MethodCosts::fast(), &campus, bytes);
+            assert!(fast < ssh, "{bytes}B: fast {fast} vs ssh {ssh}");
+        }
+    }
+
+    #[test]
+    fn connect_takes_sub_second_on_campus() {
+        let mut sim = Sim::new(1);
+        let link = Link::new(LinkProfile::campus());
+        let done = std::rc::Rc::new(std::cell::RefCell::new(None));
+        let d = std::rc::Rc::clone(&done);
+        ssh_connect(&mut sim, &link, move |sim, r| {
+            r.unwrap();
+            *d.borrow_mut() = Some(sim.now().as_secs_f64());
+        });
+        sim.run();
+        let t = done.borrow().unwrap();
+        assert!((0.3..1.0).contains(&t), "ssh connect {t}s");
+    }
+}

@@ -1,0 +1,189 @@
+//! Micro-benchmarks of the substrate hot paths: event loop throughput, JDL
+//! parsing, matchmaking, the frame codec, spooling, fair-share ticks, and
+//! the quantum scheduler.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cg_console::{Decoder, Frame, StreamKind};
+use cg_jdl::{parse_ad, JobDescription};
+use cg_sim::{Sim, SimDuration, SimRng, SimTime};
+use cg_vm::{run_loop_app, LoopAppSpec, RunMode, ShareConfig};
+use crossbroker::{filter_candidates, select, FairShare, FairShareConfig, UsageKind};
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/event_loop");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("schedule_and_run_100k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            fn tick(sim: &mut Sim, left: u32) {
+                if left > 0 {
+                    sim.schedule_in(SimDuration::from_nanos(10), move |sim| tick(sim, left - 1));
+                }
+            }
+            // 10 chains of 10k events interleaved.
+            for _ in 0..10 {
+                sim.schedule_now(|sim| tick(sim, 10_000));
+            }
+            sim.run();
+            black_box(sim.events_executed())
+        })
+    });
+    group.finish();
+}
+
+const JDL_SRC: &str = r#"
+    Executable = "interactive_mpich-g2_app";
+    JobType = {"interactive", "mpich-g2"};
+    NodeNumber = 8;
+    Arguments = "-n --steer";
+    StreamingMode = "reliable";
+    MachineAccess = "shared";
+    PerformanceLoss = 15;
+    Requirements = other.Arch == "i686" && other.FreeCpus >= NodeNumber
+        && member("CROSSGRID", other.Tags);
+    Rank = other.FreeCpus * other.SpeedFactor;
+"#;
+
+fn bench_jdl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jdl");
+    group.throughput(Throughput::Bytes(JDL_SRC.len() as u64));
+    group.bench_function("parse_ad", |b| b.iter(|| parse_ad(black_box(JDL_SRC)).unwrap()));
+    group.bench_function("parse_and_validate", |b| {
+        b.iter(|| JobDescription::parse(black_box(JDL_SRC)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_matchmaking(c: &mut Criterion) {
+    let job = JobDescription::parse(JDL_SRC).unwrap();
+    let ads: Vec<(usize, cg_jdl::Ad)> = (0..100)
+        .map(|i| {
+            let mut ad = cg_jdl::Ad::new();
+            ad.set_str("Site", format!("site{i}"))
+                .set_str("Arch", if i % 3 == 0 { "i686" } else { "x86_64" })
+                .set_int("FreeCpus", (i % 16) as i64)
+                .set_double("SpeedFactor", 1.0 + (i % 4) as f64 * 0.25)
+                .set_bool("AcceptsQueued", true)
+                .set(
+                    "Tags",
+                    cg_jdl::Value::List(vec![cg_jdl::Value::Str("CROSSGRID".into())]),
+                );
+            (i, ad)
+        })
+        .collect();
+    let mut group = c.benchmark_group("matchmaking");
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("filter_and_select_100_sites", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let candidates = filter_candidates(black_box(&job), black_box(&ads), true);
+            select(&candidates, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let frame = Frame::Data {
+        stream: StreamKind::Stdout,
+        seq: 42,
+        payload: vec![0xAB; 4096].into(),
+    };
+    let encoded = frame.encode();
+    let mut group = c.benchmark_group("console/frame");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_4k", |b| b.iter(|| black_box(&frame).encode()));
+    group.bench_function("decode_4k", |b| {
+        b.iter(|| {
+            let mut d = Decoder::new();
+            d.feed(black_box(&encoded));
+            d.next_frame().unwrap().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_spool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("console/spool");
+    let dir = std::env::temp_dir().join(format!("cg-bench-spool-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("append_4k", |b| {
+        let path = dir.join("bench.spool");
+        let _ = std::fs::remove_file(&path);
+        let mut spool = cg_console::Spool::open(&path).unwrap();
+        let mut seq = 0u64;
+        let data = vec![0u8; 4096];
+        b.iter(|| {
+            seq += 1;
+            spool.append(seq, &data).unwrap();
+            if seq.is_multiple_of(1024) {
+                spool.ack(seq).unwrap(); // compact so the file stays bounded
+            }
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench_fairshare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairshare");
+    group.bench_function("tick_200_users", |b| {
+        let mut fs = FairShare::new(FairShareConfig::default(), 1_000);
+        for u in 0..200 {
+            fs.register(
+                format!("user{u}"),
+                UsageKind::Interactive {
+                    performance_loss: 10,
+                },
+                2,
+            );
+        }
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 60;
+            fs.tick(SimTime::from_secs(t));
+            black_box(fs.priority("user0"))
+        })
+    });
+    group.finish();
+}
+
+fn bench_quantum_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm/quantum_scheduler");
+    group.sample_size(20);
+    group.bench_function("loop_app_100_iterations_pl25", |b| {
+        let spec = LoopAppSpec {
+            iterations: 100,
+            ..LoopAppSpec::paper()
+        };
+        let config = ShareConfig::default();
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            run_loop_app(
+                spec,
+                RunMode::Shared {
+                    performance_loss: 25,
+                },
+                &config,
+                &mut rng,
+            )
+            .cpu
+            .mean()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_event_loop,
+    bench_jdl,
+    bench_matchmaking,
+    bench_frame_codec,
+    bench_spool,
+    bench_fairshare,
+    bench_quantum_scheduler
+);
+criterion_main!(micro);

@@ -1,0 +1,88 @@
+//! Criterion wrappers around the paper's experiments (reduced sample
+//! counts — the full-size runs are the `cg-bench` binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cg_bench::response::{sample_discovery_selection, sample_submission, Path};
+use cg_bench::streaming::methods;
+use cg_bench::vmload::run_fig8;
+use cg_net::LinkProfile;
+use cg_sim::SimRng;
+use cg_workloads::{run_pingpong, PingPongSpec};
+
+fn bench_table1_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/submission_path");
+    group.sample_size(10);
+    let campus = LinkProfile::campus();
+    for (name, path) in [
+        ("glogin", Path::Glogin),
+        ("idle", Path::Idle),
+        ("virtual_machine", Path::VirtualMachine),
+        ("job_plus_agent", Path::JobPlusAgent),
+    ] {
+        let mut seed = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                seed += 1;
+                sample_submission(path, &campus, seed).expect("path completes")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_discovery_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/discovery_selection");
+    group.sample_size(10);
+    for sites in [5usize, 20] {
+        let mut seed = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(sites), &sites, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                sample_discovery_selection(n, seed).expect("selection completes")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig67_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_7/pingpong_1000seq");
+    group.sample_size(10);
+    for profile in [LinkProfile::campus(), LinkProfile::wan_ifca()] {
+        for method in methods() {
+            let id = format!("{}/{}", profile.name, method.name);
+            let mut rng = SimRng::new(7);
+            group.bench_function(&id, |b| {
+                b.iter(|| {
+                    run_pingpong(&method, &profile, &PingPongSpec::paper(10_240), &mut rng)
+                        .samples
+                        .mean()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/loop_app_all_modes");
+    group.sample_size(10);
+    group.bench_function("four_modes_1000_iterations", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_fig8(seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    paper,
+    bench_table1_paths,
+    bench_discovery_selection,
+    bench_fig67_streams,
+    bench_fig8
+);
+criterion_main!(paper);

@@ -1,0 +1,38 @@
+//! Ablation: reliable-mode spool buffer size. Explains the Figure 6
+//! crossover — "compared to ssh, our method uses larger internal buffers,
+//! therefore the disk overhead is compensated by a smaller number of IO
+//! operations" (§6.2).
+//!
+//! ```text
+//! cargo run -p cg-bench --release --bin ablation_buffers
+//! ```
+
+use cg_bench::ablations::buffer_sweep;
+use cg_bench::report::print_table;
+use cg_bench::write_csv;
+
+fn main() {
+    let buffers = [256u64, 1_024, 4_096, 16_384, 65_536, 262_144];
+    let mut rows = Vec::new();
+    let mut csv = String::from("buffer_bytes,payload_bytes,mean_rtt_s\n");
+    for payload in [10u64, 1_024, 10_240] {
+        for (b, mean) in buffer_sweep(&buffers, payload, 1_000, 0xB0F) {
+            rows.push(vec![
+                format!("{b}"),
+                format!("{payload}"),
+                format!("{mean:.6}"),
+            ]);
+            csv.push_str(&format!("{b},{payload},{mean}\n"));
+        }
+    }
+    print_table(
+        "Reliable-mode RTT vs spool buffer size (seconds)",
+        &["buffer B", "payload B", "mean RTT"],
+        &rows,
+    );
+    println!(
+        "\nReading: at 10 B payloads the buffer size is irrelevant (one disk op either\nway); at 10 KB a 1 KiB buffer pays 10 disk ops per direction where 64 KiB pays\none — this is why reliable mode overtakes ssh at large payloads."
+    );
+    let path = write_csv("ablation_buffers.csv", &csv);
+    println!("CSV: {}", path.display());
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Figure 6** — campus-grid I/O streaming: per-sequence round
+//! trip of 1 000 coordinated read/write ops at 10 B and 10 KB (we also print
+//! 100 B and 1 KB), for ssh / Glogin / fast / reliable.
+//!
+//! ```text
+//! cargo run -p cg-bench --release --bin fig6 [sequences]
+//! ```
+
+use cg_bench::report::print_table;
+use cg_bench::streaming::{run_figure, shape_violations};
+use cg_bench::write_csv;
+use cg_net::LinkProfile;
+
+fn main() {
+    let sequences: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000);
+    println!("Figure 6 (campus): {sequences} sequences per method × payload…");
+    let runs = run_figure(&LinkProfile::campus(), sequences, 0xF16);
+
+    let mut rows = Vec::new();
+    for run in &runs {
+        rows.push(vec![
+            run.method.clone(),
+            format!("{}", run.payload),
+            format!("{:.6}", run.samples.mean()),
+            format!("{:.6}", run.samples.std_dev()),
+            format!("{:.6}", run.samples.percentile(95.0).unwrap()),
+        ]);
+        write_csv(
+            &format!("fig6_{}_{}B.csv", run.method, run.payload),
+            &run.to_csv(),
+        );
+    }
+    print_table(
+        "Figure 6 — campus grid sequence RTT (seconds)",
+        &["method", "payload B", "mean", "sd", "p95"],
+        &rows,
+    );
+    let violations = shape_violations(&runs, true);
+    if violations.is_empty() {
+        println!("\nAll paper shapes hold: fast fastest everywhere; reliable slowest at 10 B\nbut beats ssh at 10 KB (larger buffers => fewer disk ops).");
+    } else {
+        println!("\nSHAPE VIOLATIONS:\n{violations:#?}");
+        std::process::exit(1);
+    }
+    println!("Per-series CSVs in {}", cg_bench::results_dir().display());
+}

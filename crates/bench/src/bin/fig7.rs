@@ -1,0 +1,50 @@
+//! Regenerates **Figure 7** — wide-area (UAB↔IFCA) I/O streaming, same
+//! experiment as Figure 6 over the Spanish academic Internet model.
+//!
+//! ```text
+//! cargo run -p cg-bench --release --bin fig7 [sequences]
+//! ```
+
+use cg_bench::report::print_table;
+use cg_bench::streaming::{run_figure, shape_violations};
+use cg_bench::write_csv;
+use cg_net::LinkProfile;
+
+fn main() {
+    let sequences: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000);
+    println!("Figure 7 (wide area, IFCA): {sequences} sequences per method × payload…");
+    let runs = run_figure(&LinkProfile::wan_ifca(), sequences, 0xF17);
+
+    let mut rows = Vec::new();
+    for run in &runs {
+        rows.push(vec![
+            run.method.clone(),
+            format!("{}", run.payload),
+            format!("{:.6}", run.samples.mean()),
+            format!("{:.6}", run.samples.std_dev()),
+            format!("{:.6}", run.samples.percentile(95.0).unwrap()),
+        ]);
+        write_csv(
+            &format!("fig7_{}_{}B.csv", run.method, run.payload),
+            &run.to_csv(),
+        );
+    }
+    print_table(
+        "Figure 7 — wide-area sequence RTT (seconds)",
+        &["method", "payload B", "mean", "sd", "p95"],
+        &rows,
+    );
+    let violations = shape_violations(&runs, false);
+    if violations.is_empty() {
+        println!(
+            "\nAll paper shapes hold: fast ≈ ssh ≈ glogin at 10 B–1 KB (fast with higher\nvariance); glogin collapses at 10 KB; reliable ≈ ssh at 10 KB."
+        );
+    } else {
+        println!("\nSHAPE VIOLATIONS:\n{violations:#?}");
+        std::process::exit(1);
+    }
+    println!("Per-series CSVs in {}", cg_bench::results_dir().display());
+}

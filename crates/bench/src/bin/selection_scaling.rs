@@ -1,0 +1,45 @@
+//! §6.1 scaling: discovery and selection cost versus the number of sites.
+//! The paper reports ≈0.5 s discovery and ≈3 s selection with 20 sites; this
+//! sweep shows where those numbers come from (per-site live queries).
+//!
+//! ```text
+//! cargo run -p cg-bench --release --bin selection_scaling [samples]
+//! ```
+
+use cg_bench::report::print_table;
+use cg_bench::response::sample_discovery_selection;
+use cg_bench::write_csv;
+use cg_sim::SampleSet;
+
+fn main() {
+    let samples: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let mut rows = Vec::new();
+    let mut csv = String::from("sites,discovery_mean_s,selection_mean_s\n");
+    for n in [1usize, 2, 5, 10, 15, 20, 30, 40] {
+        let mut disc = SampleSet::new();
+        let mut sel = SampleSet::new();
+        for i in 0..samples {
+            if let Some((d, s)) = sample_discovery_selection(n, 0x5E1 ^ (n as u64) << 8 ^ i as u64)
+            {
+                disc.record(d);
+                sel.record(s);
+            }
+        }
+        rows.push(vec![
+            format!("{n}"),
+            format!("{:.3}", disc.mean()),
+            format!("{:.3}", sel.mean()),
+        ]);
+        csv.push_str(&format!("{n},{},{}\n", disc.mean(), sel.mean()));
+    }
+    print_table(
+        "Discovery & selection vs site count (seconds; paper: 0.5 / 3.0 @ 20 sites)",
+        &["sites", "discovery", "selection"],
+        &rows,
+    );
+    let path = write_csv("selection_scaling.csv", &csv);
+    println!("\nCSV: {}", path.display());
+}

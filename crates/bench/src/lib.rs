@@ -1,0 +1,17 @@
+//! # cg-bench — experiment harnesses for every table and figure
+//!
+//! Each experiment in the paper's §6 has a module here that regenerates it,
+//! shared between the standalone binaries (`cargo run -p cg-bench --release
+//! --bin table1` …) and the Criterion benches. Results print as tables with
+//! the paper's values side by side and are also written as CSV under
+//! `target/experiment-results/`.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod report;
+pub mod response;
+pub mod streaming;
+pub mod vmload;
+
+pub use report::{results_dir, write_csv};

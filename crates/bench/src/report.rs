@@ -1,0 +1,70 @@
+//! Result output: aligned tables on stdout, CSV files on disk.
+
+use std::path::PathBuf;
+
+/// Directory experiment CSVs are written to.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/experiment-results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes one CSV file into [`results_dir`], returning its path.
+pub fn write_csv(name: &str, content: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).expect("write csv");
+    path
+}
+
+/// Prints an aligned table: header row + data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", cell, w = widths[i.min(widths.len() - 1)]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats seconds with 3 decimals; `None` prints as `-`.
+pub fn fmt_s(x: Option<f64>) -> String {
+    match x {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_exists_and_csv_writes() {
+        let p = write_csv("selftest.csv", "a,b\n1,2\n");
+        assert!(p.exists());
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_file(p).unwrap();
+    }
+
+    #[test]
+    fn fmt_s_handles_none() {
+        assert_eq!(fmt_s(None), "-");
+        assert_eq!(fmt_s(Some(1.23456)), "1.235");
+    }
+}

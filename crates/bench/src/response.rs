@@ -1,0 +1,292 @@
+//! Table I — response time for jobs — and the §6.1 discovery/selection
+//! scaling measurement.
+
+use cg_jdl::JobDescription;
+use cg_net::{Link, LinkProfile};
+use cg_sim::{SampleSet, Sim, SimDuration, SimTime};
+use cg_site::{Policy, Site, SiteConfig};
+use crossbroker::{BrokerConfig, CrossBroker, JobState, SiteHandle};
+
+/// One row of Table I (times in seconds; `None` = not applicable / not
+/// reported).
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Method name.
+    pub method: String,
+    /// Resource-discovery time.
+    pub discovery_s: Option<f64>,
+    /// Resource-selection time.
+    pub selection_s: Option<f64>,
+    /// Submission (dispatch → first output), campus scenario.
+    pub submission_campus_s: Option<f64>,
+    /// Submission, IFCA (wide-area) scenario.
+    pub submission_ifca_s: Option<f64>,
+}
+
+/// The paper's Table I values for comparison.
+pub fn paper_table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row {
+            method: "glogin".into(),
+            discovery_s: None, // hand-made by user
+            selection_s: None,
+            submission_campus_s: Some(16.43),
+            submission_ifca_s: Some(20.12),
+        },
+        Table1Row {
+            method: "idle (exclusive)".into(),
+            discovery_s: Some(0.5),
+            selection_s: Some(3.0),
+            submission_campus_s: Some(17.2),
+            submission_ifca_s: None,
+        },
+        Table1Row {
+            method: "virtual machine".into(),
+            discovery_s: Some(0.0), // combined step inside CrossBroker
+            selection_s: Some(0.0),
+            submission_campus_s: Some(6.79),
+            submission_ifca_s: None,
+        },
+        Table1Row {
+            method: "job + agent".into(),
+            discovery_s: Some(0.5),
+            selection_s: Some(3.0),
+            submission_campus_s: Some(29.3),
+            submission_ifca_s: None,
+        },
+    ]
+}
+
+/// The submission paths measured per scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Path {
+    /// Glogin manual session establishment.
+    Glogin,
+    /// Interactive job, exclusive mode, idle machine (no agent).
+    Idle,
+    /// Interactive job, shared mode, warm agent ("virtual machine" row).
+    VirtualMachine,
+    /// Batch job submitted together with its agent.
+    JobPlusAgent,
+}
+
+fn one_site_handles(profile: &LinkProfile, nodes: usize) -> (Vec<SiteHandle>, Link) {
+    let site = Site::new(SiteConfig {
+        name: "target".into(),
+        nodes,
+        policy: Policy::Fifo,
+        tags: vec!["CROSSGRID".into()],
+        ..SiteConfig::default()
+    });
+    let handles = vec![SiteHandle {
+        site,
+        broker_link: Link::new(profile.clone()),
+        ui_link: Link::new(profile.clone()),
+    }];
+    (handles, Link::new(LinkProfile::wan_mds()))
+}
+
+const EXCLUSIVE_JOB: &str = r#"
+    Executable = "iapp"; JobType = "interactive";
+    MachineAccess = "exclusive"; User = "u";
+"#;
+const SHARED_JOB: &str = r#"
+    Executable = "iapp"; JobType = "interactive";
+    MachineAccess = "shared"; PerformanceLoss = 10; User = "u";
+"#;
+const BATCH_JOB: &str = r#"
+    Executable = "bapp"; JobType = "batch"; User = "u";
+"#;
+
+/// Measures one submission-path sample on a fresh single-site scenario.
+/// Returns the submission time (dispatch → first output) in seconds.
+pub fn sample_submission(path: Path, profile: &LinkProfile, seed: u64) -> Option<f64> {
+    let mut sim = Sim::new(seed);
+    match path {
+        Path::Glogin => {
+            let link = Link::new(profile.clone());
+            let done = std::rc::Rc::new(std::cell::RefCell::new(None));
+            let d = std::rc::Rc::clone(&done);
+            cg_baselines::glogin_submit(
+                &mut sim,
+                &link,
+                cg_baselines::GloginCosts::default(),
+                move |sim, r| {
+                    if r.is_ok() {
+                        *d.borrow_mut() = Some(sim.now().as_secs_f64());
+                    }
+                },
+            );
+            sim.run_until(SimTime::from_secs(600));
+            let t = *done.borrow();
+            t
+        }
+        Path::Idle | Path::JobPlusAgent => {
+            let (handles, mds) = one_site_handles(profile, 4);
+            let broker = CrossBroker::new(&mut sim, handles, mds, BrokerConfig::default());
+            let job = if path == Path::Idle {
+                JobDescription::parse(EXCLUSIVE_JOB).unwrap()
+            } else {
+                JobDescription::parse(BATCH_JOB).unwrap()
+            };
+            let id = broker.submit(&mut sim, job, SimDuration::from_secs(60));
+            sim.run_until(SimTime::from_secs(1_200));
+            let r = broker.record(id);
+            matches!(r.state, JobState::Running { .. } | JobState::Done)
+                .then(|| r.submission_s())
+                .flatten()
+        }
+        Path::VirtualMachine => {
+            let (handles, mds) = one_site_handles(profile, 4);
+            let broker = CrossBroker::new(&mut sim, handles, mds, BrokerConfig::default());
+            // Warm the pool first; the measurement starts afterwards.
+            broker.predeploy_agent(&mut sim, 0, |_, ok| assert!(ok));
+            sim.run_until(SimTime::from_secs(300));
+            let job = JobDescription::parse(SHARED_JOB).unwrap();
+            let id = broker.submit(&mut sim, job, SimDuration::from_secs(60));
+            sim.run_until(SimTime::from_secs(1_200));
+            let r = broker.record(id);
+            matches!(r.state, JobState::Running { .. } | JobState::Done)
+                .then(|| r.submission_s())
+                .flatten()
+        }
+    }
+}
+
+/// Measures discovery/selection on an `n_sites` grid (the §6.1 "around 0.5
+/// seconds" / "around 3 seconds with 20 sites" numbers). Returns
+/// `(discovery_s, selection_s)`.
+pub fn sample_discovery_selection(n_sites: usize, seed: u64) -> Option<(f64, f64)> {
+    let mut sim = Sim::new(seed);
+    let mut handles = Vec::new();
+    for i in 0..n_sites {
+        let site = Site::new(SiteConfig {
+            name: format!("site{i}"),
+            nodes: 4,
+            policy: Policy::Fifo,
+            ..SiteConfig::default()
+        });
+        // Sites "located all over Europe": WAN links to each.
+        let profile = LinkProfile {
+            name: format!("wan-{i}"),
+            base_latency_s: 0.012 + 0.002 * (i % 7) as f64,
+            jitter_s: 2e-3,
+            bandwidth_bps: 20e6,
+            loss_prob: 2e-4,
+            per_msg_overhead_s: 30e-6,
+        };
+        handles.push(SiteHandle {
+            site,
+            broker_link: Link::new(profile.clone()),
+            ui_link: Link::new(profile),
+        });
+    }
+    let broker = CrossBroker::new(
+        &mut sim,
+        handles,
+        Link::new(LinkProfile::wan_mds()),
+        BrokerConfig::default(),
+    );
+    let id = broker.submit(
+        &mut sim,
+        JobDescription::parse(EXCLUSIVE_JOB).unwrap(),
+        SimDuration::from_secs(10),
+    );
+    sim.run_until(SimTime::from_secs(1_200));
+    let r = broker.record(id);
+    match (r.discovery_s(), r.selection_s()) {
+        (Some(d), Some(s)) => Some((d, s)),
+        _ => None,
+    }
+}
+
+/// Runs the full Table I experiment with `samples` submissions per cell.
+pub fn run_table1(samples: u32, seed: u64) -> Vec<Table1Row> {
+    let campus = LinkProfile::campus();
+    let ifca = LinkProfile::wan_ifca();
+
+    let mean_for = |path: Path, profile: &LinkProfile, base: u64| -> Option<f64> {
+        let mut set = SampleSet::new();
+        for i in 0..samples {
+            if let Some(t) = sample_submission(path, profile, seed ^ base ^ i as u64) {
+                set.record(t);
+            }
+        }
+        (!set.is_empty()).then(|| set.mean())
+    };
+
+    // Discovery/selection from the 20-site context (§6.1).
+    let mut disc = SampleSet::new();
+    let mut sel = SampleSet::new();
+    for i in 0..samples {
+        if let Some((d, s)) = sample_discovery_selection(20, seed ^ 0xD15C ^ i as u64) {
+            disc.record(d);
+            sel.record(s);
+        }
+    }
+
+    vec![
+        Table1Row {
+            method: "glogin".into(),
+            discovery_s: None,
+            selection_s: None,
+            submission_campus_s: mean_for(Path::Glogin, &campus, 0x61),
+            submission_ifca_s: mean_for(Path::Glogin, &ifca, 0x62),
+        },
+        Table1Row {
+            method: "idle (exclusive)".into(),
+            discovery_s: Some(disc.mean()),
+            selection_s: Some(sel.mean()),
+            submission_campus_s: mean_for(Path::Idle, &campus, 0x63),
+            submission_ifca_s: mean_for(Path::Idle, &ifca, 0x64),
+        },
+        Table1Row {
+            method: "virtual machine".into(),
+            discovery_s: Some(0.0),
+            selection_s: Some(0.0),
+            submission_campus_s: mean_for(Path::VirtualMachine, &campus, 0x65),
+            submission_ifca_s: mean_for(Path::VirtualMachine, &ifca, 0x66),
+        },
+        Table1Row {
+            method: "job + agent".into(),
+            discovery_s: Some(disc.mean()),
+            selection_s: Some(sel.mean()),
+            submission_campus_s: mean_for(Path::JobPlusAgent, &campus, 0x67),
+            submission_ifca_s: mean_for(Path::JobPlusAgent, &ifca, 0x68),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_path_is_fastest_and_agent_path_slowest() {
+        let campus = LinkProfile::campus();
+        let glogin = sample_submission(Path::Glogin, &campus, 1).unwrap();
+        let idle = sample_submission(Path::Idle, &campus, 1).unwrap();
+        let vm = sample_submission(Path::VirtualMachine, &campus, 1).unwrap();
+        let agent = sample_submission(Path::JobPlusAgent, &campus, 1).unwrap();
+        assert!(vm < glogin && vm < idle && vm < agent, "vm {vm} fastest");
+        assert!(
+            vm * 2.0 < glogin.min(idle),
+            "paper: 'more than two times smaller than the best of the other options': vm {vm}, glogin {glogin}, idle {idle}"
+        );
+        assert!(agent > idle, "job+agent {agent} slower than idle {idle}");
+    }
+
+    #[test]
+    fn discovery_and_selection_near_paper_values() {
+        let (d, s) = sample_discovery_selection(20, 3).unwrap();
+        assert!((0.2..0.9).contains(&d), "discovery {d} (paper ≈0.5)");
+        assert!((2.0..4.5).contains(&s), "selection {s} for 20 sites (paper ≈3)");
+    }
+
+    #[test]
+    fn selection_scales_with_site_count() {
+        let (_, s5) = sample_discovery_selection(5, 7).unwrap();
+        let (_, s20) = sample_discovery_selection(20, 7).unwrap();
+        assert!(s20 > 2.0 * s5, "20 sites {s20} vs 5 sites {s5}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Figures 6 and 7 — I/O streaming overhead of the four methods.
+
+use cg_console::MethodCosts;
+use cg_net::LinkProfile;
+use cg_workloads::{run_suite, PingPongRun};
+
+/// The four methods of §6.2 in the paper's order.
+pub fn methods() -> Vec<MethodCosts> {
+    vec![
+        cg_baselines::ssh_method(),
+        cg_baselines::glogin_method(),
+        MethodCosts::fast(),
+        MethodCosts::reliable(),
+    ]
+}
+
+/// Runs one figure's experiment (Fig 6 = campus, Fig 7 = WAN/IFCA).
+pub fn run_figure(link: &LinkProfile, sequences: u32, seed: u64) -> Vec<PingPongRun> {
+    run_suite(&methods(), link, sequences, seed)
+}
+
+/// Paper-shape checks on a finished run set; returns human-readable
+/// violations (empty = all expected relationships hold).
+pub fn shape_violations(runs: &[PingPongRun], campus: bool) -> Vec<String> {
+    let mean = |method: &str, payload: u64| -> f64 {
+        runs.iter()
+            .find(|r| r.method == method && r.payload == payload)
+            .map(|r| r.samples.mean())
+            .unwrap_or(f64::NAN)
+    };
+    let mut v = Vec::new();
+    if campus {
+        // Fast wins everywhere on campus.
+        for payload in [10u64, 100, 1024, 10_240] {
+            let fast = mean("fast", payload);
+            for other in ["ssh", "glogin", "reliable"] {
+                if fast >= mean(other, payload) {
+                    v.push(format!("campus {payload}B: fast ({fast}) not fastest vs {other}"));
+                }
+            }
+        }
+        // Reliable beats ssh at 10 KB (the buffer-size crossover).
+        if mean("reliable", 10_240) >= mean("ssh", 10_240) {
+            v.push("campus 10KB: reliable did not beat ssh".into());
+        }
+        // Reliable is slowest at 10 B (disk cost).
+        for other in ["ssh", "glogin", "fast"] {
+            if mean("reliable", 10) <= mean(other, 10) {
+                v.push(format!("campus 10B: reliable not slower than {other}"));
+            }
+        }
+    } else {
+        // WAN: fast ≈ ssh ≈ glogin at small sizes (within 25 %).
+        for payload in [10u64, 100, 1024] {
+            let fast = mean("fast", payload);
+            let ssh = mean("ssh", payload);
+            if (fast / ssh - 1.0).abs() > 0.25 {
+                v.push(format!("wan {payload}B: fast ({fast}) far from ssh ({ssh})"));
+            }
+        }
+        // Glogin collapses at 10 KB.
+        if mean("glogin", 10_240) < 2.0 * mean("ssh", 10_240) {
+            v.push("wan 10KB: glogin did not collapse vs ssh".into());
+        }
+        // Reliable ≈ ssh at 10 KB (within 40 %).
+        let rel = mean("reliable", 10_240);
+        let ssh = mean("ssh", 10_240);
+        if (rel / ssh - 1.0).abs() > 0.4 {
+            v.push(format!("wan 10KB: reliable ({rel}) not within 40% of ssh ({ssh})"));
+        }
+        // Fast has the highest relative variance on WAN at mid sizes.
+        let rel_sd = |m: &str| {
+            runs.iter()
+                .find(|r| r.method == m && r.payload == 1024)
+                .map(|r| r.samples.std_dev() / r.samples.mean())
+                .unwrap_or(0.0)
+        };
+        if rel_sd("fast") <= rel_sd("ssh") {
+            v.push("wan 1KB: fast mode variance not higher than ssh".into());
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_shapes_hold() {
+        let runs = run_figure(&LinkProfile::campus(), 1_000, 42);
+        let v = shape_violations(&runs, true);
+        assert!(v.is_empty(), "figure 6 violations: {v:#?}");
+    }
+
+    #[test]
+    fn figure7_shapes_hold() {
+        let runs = run_figure(&LinkProfile::wan_ifca(), 1_000, 42);
+        let v = shape_violations(&runs, false);
+        assert!(v.is_empty(), "figure 7 violations: {v:#?}");
+    }
+
+    #[test]
+    fn all_sixteen_cells_present() {
+        let runs = run_figure(&LinkProfile::campus(), 20, 1);
+        assert_eq!(runs.len(), 16, "4 methods × 4 payloads");
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 8 — VM load overhead of the multi-programming mechanism.
+
+use cg_sim::SimRng;
+use cg_vm::{run_loop_app, LoopAppResult, LoopAppSpec, RunMode, ShareConfig};
+
+/// One Figure 8 series.
+#[derive(Debug)]
+pub struct Fig8Series {
+    /// Mode label.
+    pub label: String,
+    /// The run.
+    pub result: LoopAppResult,
+}
+
+/// The paper's summary numbers for Figure 8 (§6.3 text).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperFig8 {
+    /// Mean CPU burst, seconds.
+    pub cpu_mean: f64,
+    /// CPU standard deviation.
+    pub cpu_sd: f64,
+    /// Mean I/O op, seconds.
+    pub io_mean: f64,
+    /// I/O standard deviation.
+    pub io_sd: f64,
+}
+
+/// Reference values per mode from §6.3.
+pub fn paper_values(label: &str) -> Option<PaperFig8> {
+    match label {
+        "exclusive" | "shared-alone" => Some(PaperFig8 {
+            cpu_mean: 0.921,
+            cpu_sd: 0.001,
+            io_mean: 0.00606,
+            io_sd: 6.9e-5,
+        }),
+        "shared PL=10" => Some(PaperFig8 {
+            cpu_mean: 1.004,
+            cpu_sd: 0.004,
+            io_mean: 0.00632,
+            io_sd: 8.0e-5,
+        }),
+        "shared PL=25" => Some(PaperFig8 {
+            cpu_mean: 1.132,
+            cpu_sd: 0.010,
+            io_mean: 0.00661,
+            io_sd: 7.0e-5,
+        }),
+        _ => None,
+    }
+}
+
+/// Runs all four Figure 8 series (exclusive, shared-alone, PL=10, PL=25).
+pub fn run_fig8(seed: u64) -> Vec<Fig8Series> {
+    let spec = LoopAppSpec::paper();
+    let config = ShareConfig::default();
+    let modes = [
+        ("exclusive", RunMode::Exclusive),
+        ("shared-alone", RunMode::SharedAlone),
+        ("shared PL=10", RunMode::Shared { performance_loss: 10 }),
+        ("shared PL=25", RunMode::Shared { performance_loss: 25 }),
+    ];
+    modes
+        .into_iter()
+        .map(|(label, mode)| {
+            let mut rng = SimRng::new(seed);
+            Fig8Series {
+                label: label.to_string(),
+                result: run_loop_app(spec, mode, &config, &mut rng),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_within_two_percent_of_paper_means() {
+        for series in run_fig8(42) {
+            let Some(paper) = paper_values(&series.label) else {
+                panic!("no reference for {}", series.label)
+            };
+            let cpu = series.result.cpu.mean();
+            let io = series.result.io.mean();
+            assert!(
+                (cpu / paper.cpu_mean - 1.0).abs() < 0.02,
+                "{}: cpu {cpu} vs paper {}",
+                series.label,
+                paper.cpu_mean
+            );
+            assert!(
+                (io / paper.io_mean - 1.0).abs() < 0.06,
+                "{}: io {io} vs paper {}",
+                series.label,
+                paper.io_mean
+            );
+        }
+    }
+
+    #[test]
+    fn exclusive_and_shared_alone_indistinguishable() {
+        let series = run_fig8(7);
+        let excl = &series[0].result;
+        let alone = &series[1].result;
+        assert!((alone.cpu.mean() / excl.cpu.mean() - 1.0).abs() < 0.002);
+    }
+}

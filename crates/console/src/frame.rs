@@ -1,0 +1,553 @@
+//! Wire protocol between Console Agent and Console Shadow.
+//!
+//! Frames are length-prefixed binary records. The same codec is used by the
+//! real TCP transport and by tests; the encoding is fixed (little-endian,
+//! explicit magic and version) so captures are debuggable.
+//!
+//! ```text
+//! +-------+---------+------+---------+----------------+
+//! | magic | version | type | len u32 | payload (len)  |
+//! | 0xC6A7| 0x01    | u8   |         |                |
+//! +-------+---------+------+---------+----------------+
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Protocol magic (identifies Grid Console traffic).
+pub const MAGIC: u16 = 0xC6A7;
+/// Protocol version.
+pub const VERSION: u8 = 1;
+/// Hard cap on payload size — a corrupt length prefix must not allocate GBs.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Which standard stream a data frame belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StreamKind {
+    /// Standard input (shadow → agent).
+    Stdin,
+    /// Standard output (agent → shadow).
+    Stdout,
+    /// Standard error (agent → shadow).
+    Stderr,
+}
+
+impl StreamKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            StreamKind::Stdin => 0,
+            StreamKind::Stdout => 1,
+            StreamKind::Stderr => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, FrameError> {
+        Ok(match b {
+            0 => StreamKind::Stdin,
+            1 => StreamKind::Stdout,
+            2 => StreamKind::Stderr,
+            other => return Err(FrameError::BadStream(other)),
+        })
+    }
+
+    /// All three streams.
+    pub const ALL: [StreamKind; 3] = [StreamKind::Stdin, StreamKind::Stdout, StreamKind::Stderr];
+}
+
+/// Per-stream sequence positions, exchanged at (re)connection so each side
+/// can replay exactly the frames the other has not seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumePoint {
+    /// Highest stdin seq the agent has received (shadow replays after this).
+    pub stdin_received: u64,
+    /// Highest stdout seq the shadow has received.
+    pub stdout_received: u64,
+    /// Highest stderr seq the shadow has received.
+    pub stderr_received: u64,
+}
+
+/// A protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Agent introduces itself: job id, MPI rank, its resume point, and a
+    /// random nonce challenging the shadow to prove it knows the secret.
+    Hello {
+        /// Job identifier the agent belongs to.
+        job_id: String,
+        /// MPI rank of the subjob (0 for sequential).
+        rank: u32,
+        /// What the agent has already received (for stdin replay).
+        resume: ResumePoint,
+        /// Challenge nonce for mutual authentication.
+        nonce: [u8; 16],
+    },
+    /// Shadow's reply: its own challenge nonce plus the keyed digest
+    /// answering the agent's challenge.
+    Challenge {
+        /// Shadow's challenge nonce.
+        nonce: [u8; 16],
+        /// Digest over the agent's nonce with the shared secret.
+        proof: [u8; 16],
+    },
+    /// Agent's answer to the shadow's challenge.
+    AuthResponse {
+        /// Digest over the shadow's nonce with the shared secret.
+        proof: [u8; 16],
+    },
+    /// Shadow accepts the session and reports what it has received
+    /// (for stdout/stderr replay).
+    Welcome {
+        /// Shadow-side resume point.
+        resume: ResumePoint,
+    },
+    /// Stream payload.
+    Data {
+        /// Which stream.
+        stream: StreamKind,
+        /// Per-stream sequence number, starting at 1.
+        seq: u64,
+        /// The bytes.
+        payload: Bytes,
+    },
+    /// Receiver acknowledges everything up to `seq` on `stream`.
+    Ack {
+        /// Which stream.
+        stream: StreamKind,
+        /// Cumulative acknowledged sequence.
+        seq: u64,
+    },
+    /// No more data will follow on `stream`.
+    Eof {
+        /// Which stream.
+        stream: StreamKind,
+    },
+    /// The job terminated with this exit code.
+    Exit {
+        /// Process exit code (or -1 when killed by signal).
+        code: i32,
+    },
+    /// Authentication rejected; the connection closes.
+    AuthFailed,
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Bad magic bytes — not Grid Console traffic.
+    BadMagic(u16),
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame type byte.
+    BadType(u8),
+    /// Unknown stream byte.
+    BadStream(u8),
+    /// Declared length exceeds the 16 MiB payload cap.
+    TooLarge(u32),
+    /// Payload shorter than its type requires.
+    Truncated,
+    /// Embedded string is not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            FrameError::BadType(t) => write!(f, "unknown frame type {t}"),
+            FrameError::BadStream(s) => write!(f, "unknown stream {s}"),
+            FrameError::TooLarge(n) => write!(f, "payload length {n} exceeds cap"),
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+const T_HELLO: u8 = 1;
+const T_CHALLENGE: u8 = 2;
+const T_AUTH_RESPONSE: u8 = 3;
+const T_WELCOME: u8 = 4;
+const T_DATA: u8 = 5;
+const T_ACK: u8 = 6;
+const T_EOF: u8 = 7;
+const T_EXIT: u8 = 8;
+const T_AUTH_FAILED: u8 = 9;
+
+fn put_resume(buf: &mut BytesMut, r: &ResumePoint) {
+    buf.put_u64_le(r.stdin_received);
+    buf.put_u64_le(r.stdout_received);
+    buf.put_u64_le(r.stderr_received);
+}
+
+fn get_resume(buf: &mut Bytes) -> Result<ResumePoint, FrameError> {
+    if buf.remaining() < 24 {
+        return Err(FrameError::Truncated);
+    }
+    Ok(ResumePoint {
+        stdin_received: buf.get_u64_le(),
+        stdout_received: buf.get_u64_le(),
+        stderr_received: buf.get_u64_le(),
+    })
+}
+
+fn get_array<const N: usize>(buf: &mut Bytes) -> Result<[u8; N], FrameError> {
+    if buf.remaining() < N {
+        return Err(FrameError::Truncated);
+    }
+    let mut out = [0u8; N];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+impl Frame {
+    /// Encodes the frame, including the header.
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::new();
+        let ty = match self {
+            Frame::Hello {
+                job_id,
+                rank,
+                resume,
+                nonce,
+            } => {
+                payload.put_u32_le(*rank);
+                put_resume(&mut payload, resume);
+                payload.put_slice(nonce);
+                payload.put_u32_le(job_id.len() as u32);
+                payload.put_slice(job_id.as_bytes());
+                T_HELLO
+            }
+            Frame::Challenge { nonce, proof } => {
+                payload.put_slice(nonce);
+                payload.put_slice(proof);
+                T_CHALLENGE
+            }
+            Frame::AuthResponse { proof } => {
+                payload.put_slice(proof);
+                T_AUTH_RESPONSE
+            }
+            Frame::Welcome { resume } => {
+                put_resume(&mut payload, resume);
+                T_WELCOME
+            }
+            Frame::Data {
+                stream,
+                seq,
+                payload: data,
+            } => {
+                payload.put_u8(stream.to_byte());
+                payload.put_u64_le(*seq);
+                payload.put_slice(data);
+                T_DATA
+            }
+            Frame::Ack { stream, seq } => {
+                payload.put_u8(stream.to_byte());
+                payload.put_u64_le(*seq);
+                T_ACK
+            }
+            Frame::Eof { stream } => {
+                payload.put_u8(stream.to_byte());
+                T_EOF
+            }
+            Frame::Exit { code } => {
+                payload.put_i32_le(*code);
+                T_EXIT
+            }
+            Frame::AuthFailed => T_AUTH_FAILED,
+        };
+        let mut out = BytesMut::with_capacity(8 + payload.len());
+        out.put_u16_le(MAGIC);
+        out.put_u8(VERSION);
+        out.put_u8(ty);
+        out.put_u32_le(payload.len() as u32);
+        out.put_slice(&payload);
+        out.freeze()
+    }
+
+    /// Decodes one frame's body given its type byte and payload.
+    fn decode_body(ty: u8, mut buf: Bytes) -> Result<Frame, FrameError> {
+        match ty {
+            T_HELLO => {
+                if buf.remaining() < 4 {
+                    return Err(FrameError::Truncated);
+                }
+                let rank = buf.get_u32_le();
+                let resume = get_resume(&mut buf)?;
+                let nonce = get_array::<16>(&mut buf)?;
+                if buf.remaining() < 4 {
+                    return Err(FrameError::Truncated);
+                }
+                let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n {
+                    return Err(FrameError::Truncated);
+                }
+                let job_id = String::from_utf8(buf.split_to(n).to_vec())
+                    .map_err(|_| FrameError::BadUtf8)?;
+                Ok(Frame::Hello {
+                    job_id,
+                    rank,
+                    resume,
+                    nonce,
+                })
+            }
+            T_CHALLENGE => {
+                let nonce = get_array::<16>(&mut buf)?;
+                let proof = get_array::<16>(&mut buf)?;
+                Ok(Frame::Challenge { nonce, proof })
+            }
+            T_AUTH_RESPONSE => {
+                let proof = get_array::<16>(&mut buf)?;
+                Ok(Frame::AuthResponse { proof })
+            }
+            T_WELCOME => Ok(Frame::Welcome {
+                resume: get_resume(&mut buf)?,
+            }),
+            T_DATA => {
+                if buf.remaining() < 9 {
+                    return Err(FrameError::Truncated);
+                }
+                let stream = StreamKind::from_byte(buf.get_u8())?;
+                let seq = buf.get_u64_le();
+                Ok(Frame::Data {
+                    stream,
+                    seq,
+                    payload: buf,
+                })
+            }
+            T_ACK => {
+                if buf.remaining() < 9 {
+                    return Err(FrameError::Truncated);
+                }
+                let stream = StreamKind::from_byte(buf.get_u8())?;
+                let seq = buf.get_u64_le();
+                Ok(Frame::Ack { stream, seq })
+            }
+            T_EOF => {
+                if buf.remaining() < 1 {
+                    return Err(FrameError::Truncated);
+                }
+                Ok(Frame::Eof {
+                    stream: StreamKind::from_byte(buf.get_u8())?,
+                })
+            }
+            T_EXIT => {
+                if buf.remaining() < 4 {
+                    return Err(FrameError::Truncated);
+                }
+                Ok(Frame::Exit {
+                    code: buf.get_i32_le(),
+                })
+            }
+            T_AUTH_FAILED => Ok(Frame::AuthFailed),
+            other => Err(FrameError::BadType(other)),
+        }
+    }
+}
+
+/// Incremental decoder: feed bytes, pull frames.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: BytesMut,
+}
+
+impl Decoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pulls the next complete frame, if buffered. `Ok(None)` = need more
+    /// bytes. Errors are fatal for the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        if self.buf.len() < 8 {
+            return Ok(None);
+        }
+        let magic = u16::from_le_bytes([self.buf[0], self.buf[1]]);
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        let version = self.buf[2];
+        if version != VERSION {
+            return Err(FrameError::BadVersion(version));
+        }
+        let ty = self.buf[3];
+        let len = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::TooLarge(len));
+        }
+        let total = 8 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        self.buf.advance(8);
+        let payload = self.buf.split_to(len as usize).freeze();
+        Frame::decode_body(ty, payload).map(Some)
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: Frame) {
+        let encoded = f.encode();
+        let mut d = Decoder::new();
+        d.feed(&encoded);
+        let got = d.next_frame().unwrap().expect("one frame");
+        assert_eq!(got, f);
+        assert_eq!(d.buffered(), 0);
+        assert!(d.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn all_frame_types_round_trip() {
+        round_trip(Frame::Hello {
+            job_id: "job-42/subjob-1".into(),
+            rank: 1,
+            resume: ResumePoint {
+                stdin_received: 7,
+                stdout_received: 0,
+                stderr_received: 3,
+            },
+            nonce: [9u8; 16],
+        });
+        round_trip(Frame::Challenge {
+            nonce: [1u8; 16],
+            proof: [2u8; 16],
+        });
+        round_trip(Frame::AuthResponse { proof: [3u8; 16] });
+        round_trip(Frame::Welcome {
+            resume: ResumePoint::default(),
+        });
+        round_trip(Frame::Data {
+            stream: StreamKind::Stdout,
+            seq: 99,
+            payload: Bytes::from_static(b"hello world\n"),
+        });
+        round_trip(Frame::Data {
+            stream: StreamKind::Stdin,
+            seq: 1,
+            payload: Bytes::new(),
+        });
+        round_trip(Frame::Ack {
+            stream: StreamKind::Stderr,
+            seq: u64::MAX,
+        });
+        round_trip(Frame::Eof {
+            stream: StreamKind::Stdout,
+        });
+        round_trip(Frame::Exit { code: -1 });
+        round_trip(Frame::AuthFailed);
+    }
+
+    #[test]
+    fn decoder_handles_fragmentation() {
+        let f = Frame::Data {
+            stream: StreamKind::Stdout,
+            seq: 5,
+            payload: Bytes::from_static(b"fragmented payload"),
+        };
+        let encoded = f.encode();
+        let mut d = Decoder::new();
+        // Feed one byte at a time.
+        for &b in encoded.iter() {
+            assert!(d.next_frame().unwrap().is_none());
+            d.feed(&[b]);
+        }
+        assert_eq!(d.next_frame().unwrap(), Some(f));
+    }
+
+    #[test]
+    fn decoder_handles_coalesced_frames() {
+        let a = Frame::Ack {
+            stream: StreamKind::Stdout,
+            seq: 1,
+        };
+        let b = Frame::Eof {
+            stream: StreamKind::Stderr,
+        };
+        let mut bytes = a.encode().to_vec();
+        bytes.extend_from_slice(&b.encode());
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        assert_eq!(d.next_frame().unwrap(), Some(a));
+        assert_eq!(d.next_frame().unwrap(), Some(b));
+        assert_eq!(d.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn bad_magic_is_fatal() {
+        let mut d = Decoder::new();
+        d.feed(&[0xFF; 16]);
+        assert!(matches!(d.next_frame(), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut d = Decoder::new();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.push(VERSION);
+        bytes.push(T_DATA);
+        bytes.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        d.feed(&bytes);
+        assert!(matches!(d.next_frame(), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_bodies_rejected() {
+        // A Data frame whose payload is shorter than stream+seq.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.push(VERSION);
+        bytes.push(T_DATA);
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3]);
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        assert_eq!(d.next_frame(), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn unknown_type_and_stream_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.push(VERSION);
+        bytes.push(200);
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        assert_eq!(d.next_frame(), Err(FrameError::BadType(200)));
+
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.push(VERSION);
+        bytes.push(T_EOF);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(7);
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        assert_eq!(d.next_frame(), Err(FrameError::BadStream(7)));
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let f = Frame::Exit { code: 0 };
+        let mut bytes = f.encode().to_vec();
+        bytes[2] = 99;
+        let mut d = Decoder::new();
+        d.feed(&bytes);
+        assert_eq!(d.next_frame(), Err(FrameError::BadVersion(99)));
+    }
+}

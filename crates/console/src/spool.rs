@@ -1,0 +1,286 @@
+//! Disk spooling for the *reliable* streaming mode.
+//!
+//! §4: "When the reliable mode is selected, both the CA and the CS write data
+//! to the local disk and retry failed operations at regular intervals." The
+//! spool is an append-only log of `(seq, payload)` records per stream; after
+//! a reconnect the peer reports the highest sequence it received and the
+//! sender replays everything after it, byte-exactly.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// On-disk record header: seq (8) + len (4).
+const HEADER: usize = 12;
+
+/// An append-only, replayable log of sequenced payloads.
+#[derive(Debug)]
+pub struct Spool {
+    file: File,
+    path: PathBuf,
+    /// `(seq, file_offset, len)` in append order.
+    index: Vec<(u64, u64, u32)>,
+    /// Highest cumulatively acknowledged sequence.
+    acked: u64,
+    /// Total payload bytes ever appended (metric).
+    appended_bytes: u64,
+}
+
+impl Spool {
+    /// Opens (or creates) a spool file, rebuilding the index from any
+    /// existing records. A trailing partial record (crash mid-append) is
+    /// discarded by truncation.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut index = Vec::new();
+        let mut offset = 0u64;
+        let len = file.metadata()?.len();
+        let mut header = [0u8; HEADER];
+        let mut valid_end = 0u64;
+        file.seek(SeekFrom::Start(0))?;
+        while offset + HEADER as u64 <= len {
+            file.read_exact(&mut header)?;
+            let seq = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
+            let dlen = u32::from_le_bytes(header[8..].try_into().expect("4 bytes"));
+            let end = offset + HEADER as u64 + dlen as u64;
+            if end > len {
+                break; // partial record
+            }
+            index.push((seq, offset, dlen));
+            file.seek(SeekFrom::Start(end))?;
+            offset = end;
+            valid_end = end;
+        }
+        if valid_end < len {
+            file.set_len(valid_end)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let appended_bytes = index.iter().map(|&(_, _, l)| l as u64).sum();
+        Ok(Spool {
+            file,
+            path,
+            index,
+            acked: 0,
+            appended_bytes,
+        })
+    }
+
+    /// Appends a record. Sequences must be strictly increasing.
+    ///
+    /// # Panics
+    /// Panics on a non-increasing sequence — replay would be ambiguous.
+    pub fn append(&mut self, seq: u64, payload: &[u8]) -> io::Result<()> {
+        if let Some(&(last, _, _)) = self.index.last() {
+            assert!(seq > last, "spool sequence must increase: {seq} after {last}");
+        }
+        let offset = self.file.seek(SeekFrom::End(0))?;
+        let mut header = [0u8; HEADER];
+        header[..8].copy_from_slice(&seq.to_le_bytes());
+        header[8..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.file.write_all(&header)?;
+        self.file.write_all(payload)?;
+        self.index.push((seq, offset, payload.len() as u32));
+        self.appended_bytes += payload.len() as u64;
+        Ok(())
+    }
+
+    /// Reads back every record with `seq > after`, in order.
+    pub fn replay_after(&mut self, after: u64) -> io::Result<Vec<(u64, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let start = self.index.partition_point(|&(s, _, _)| s <= after);
+        for &(seq, offset, len) in &self.index[start..] {
+            self.file.seek(SeekFrom::Start(offset + HEADER as u64))?;
+            let mut buf = vec![0u8; len as usize];
+            self.file.read_exact(&mut buf)?;
+            out.push((seq, buf));
+        }
+        self.file.seek(SeekFrom::End(0))?;
+        Ok(out)
+    }
+
+    /// Records a cumulative acknowledgement. When everything is acked the
+    /// file is compacted to zero length.
+    pub fn ack(&mut self, seq: u64) -> io::Result<()> {
+        self.acked = self.acked.max(seq);
+        if self
+            .index
+            .last()
+            .is_some_and(|&(last, _, _)| last <= self.acked)
+            && !self.index.is_empty()
+        {
+            self.index.clear();
+            self.file.set_len(0)?;
+            self.file.seek(SeekFrom::Start(0))?;
+        }
+        Ok(())
+    }
+
+    /// Highest sequence appended, 0 when empty.
+    pub fn highest_seq(&self) -> u64 {
+        self.index.last().map_or(self.acked, |&(s, _, _)| s)
+    }
+
+    /// Highest cumulative ack received.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Records not yet compacted away.
+    pub fn record_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total payload bytes appended over the spool's life.
+    pub fn appended_bytes(&self) -> u64 {
+        self.appended_bytes
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cg-spool-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn append_and_replay_all() {
+        let path = tmp("basic");
+        let mut s = Spool::open(&path).unwrap();
+        s.append(1, b"first").unwrap();
+        s.append(2, b"second").unwrap();
+        s.append(5, b"gap is fine").unwrap();
+        let got = s.replay_after(0).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                (1, b"first".to_vec()),
+                (2, b"second".to_vec()),
+                (5, b"gap is fine".to_vec())
+            ]
+        );
+        assert_eq!(s.highest_seq(), 5);
+        assert_eq!(s.appended_bytes(), 22);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_after_midpoint() {
+        let path = tmp("mid");
+        let mut s = Spool::open(&path).unwrap();
+        for seq in 1..=10u64 {
+            s.append(seq, format!("payload-{seq}").as_bytes()).unwrap();
+        }
+        let got = s.replay_after(7).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (8, b"payload-8".to_vec()));
+        // Replay past the end is empty.
+        assert!(s.replay_after(10).unwrap().is_empty());
+        // Appending after a replay still works (file position restored).
+        s.append(11, b"after-replay").unwrap();
+        assert_eq!(s.replay_after(10).unwrap(), vec![(11, b"after-replay".to_vec())]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn full_ack_compacts_the_file() {
+        let path = tmp("compact");
+        let mut s = Spool::open(&path).unwrap();
+        for seq in 1..=3u64 {
+            s.append(seq, &[0u8; 1000]).unwrap();
+        }
+        assert!(std::fs::metadata(&path).unwrap().len() > 3000);
+        s.ack(2).unwrap();
+        assert_eq!(s.record_count(), 3, "partial ack keeps records");
+        s.ack(3).unwrap();
+        assert_eq!(s.record_count(), 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        // Appending continues after compaction.
+        s.append(4, b"next").unwrap();
+        assert_eq!(s.replay_after(0).unwrap(), vec![(4, b"next".to_vec())]);
+        assert_eq!(s.highest_seq(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_rebuilds_index() {
+        let path = tmp("reopen");
+        {
+            let mut s = Spool::open(&path).unwrap();
+            s.append(1, b"survives").unwrap();
+            s.append(2, b"reopen").unwrap();
+        }
+        let mut s = Spool::open(&path).unwrap();
+        assert_eq!(s.highest_seq(), 2);
+        assert_eq!(
+            s.replay_after(0).unwrap(),
+            vec![(1, b"survives".to_vec()), (2, b"reopen".to_vec())]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn partial_trailing_record_is_discarded() {
+        let path = tmp("partial");
+        {
+            let mut s = Spool::open(&path).unwrap();
+            s.append(1, b"complete").unwrap();
+        }
+        // Simulate a crash mid-append: garbage header tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xAB; 7]).unwrap();
+        }
+        let mut s = Spool::open(&path).unwrap();
+        assert_eq!(s.replay_after(0).unwrap(), vec![(1, b"complete".to_vec())]);
+        assert_eq!(s.record_count(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence must increase")]
+    fn non_increasing_seq_panics() {
+        let path = tmp("monotonic");
+        let mut s = Spool::open(&path).unwrap();
+        s.append(5, b"x").unwrap();
+        let _ = s.append(5, b"y");
+    }
+
+    #[test]
+    fn empty_payloads_round_trip() {
+        let path = tmp("empty");
+        let mut s = Spool::open(&path).unwrap();
+        s.append(1, b"").unwrap();
+        s.append(2, b"x").unwrap();
+        assert_eq!(
+            s.replay_after(0).unwrap(),
+            vec![(1, Vec::new()), (2, b"x".to_vec())]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn ack_beyond_highest_is_remembered() {
+        let path = tmp("ackhigh");
+        let mut s = Spool::open(&path).unwrap();
+        s.ack(100).unwrap();
+        assert_eq!(s.acked(), 100);
+        assert_eq!(s.highest_seq(), 100, "empty spool reports ack watermark");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,1862 @@
+//! CrossBroker: the resource-management service for interactive jobs.
+//!
+//! Orchestrates everything the paper describes (§3, §5): two-step resource
+//! discovery/selection against the stale MDS index plus live per-site
+//! queries, randomized selection among equals, exclusive temporal leases,
+//! on-line scheduling with resubmission when an interactive job queues
+//! instead of starting, fair-share admission (Eq. 1), the glide-in agent
+//! pool with direct shared-VM dispatch, MPICH-P4/-G2 (co-)allocation, and
+//! the Grid Console startup that ends every interactive submission with the
+//! first output reaching the user.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use cg_jdl::{Ad, Interactivity, JobDescription, MachineAccess, Parallelism};
+use cg_net::{rpc_call, Dir, HandshakeProfile, Link, Session};
+use cg_sim::{Sim, SimDuration, SimTime};
+use cg_site::{GramEvent, InformationIndex, LocalJobSpec, Site};
+use cg_vm::{deploy_agent, Agent, AgentEvent, AgentId};
+
+use crate::config::BrokerConfig;
+use crate::fairshare::{FairShare, UsageId, UsageKind};
+use crate::job::{JobId, JobRecord, JobState};
+use crate::matchmaking::{coallocate, filter_candidates, select};
+
+/// One site as the broker sees it.
+pub struct SiteHandle {
+    /// The site.
+    pub site: Site,
+    /// Broker ↔ gatekeeper path.
+    pub broker_link: Link,
+    /// User machine ↔ worker-node path (the console route).
+    pub ui_link: Link,
+}
+
+struct SiteEntry {
+    site: Site,
+    broker_link: Link,
+    ui_link: Link,
+    leased_until: SimTime,
+    /// Consecutive involuntary agent deaths at this site (redeploy breaker).
+    agent_deaths: u32,
+}
+
+struct AgentEntry {
+    agent: Rc<RefCell<Agent>>,
+    site_index: usize,
+    carrier: Option<cg_site::LocalJobId>,
+    leased_until: SimTime,
+    batch_usage: Option<UsageId>,
+    batch_done: bool,
+    has_batch: bool,
+    ready_at: SimTime,
+}
+
+/// Aggregate broker metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BrokerStats {
+    /// Jobs accepted.
+    pub submitted: u64,
+    /// Jobs that reached Running.
+    pub started: u64,
+    /// Jobs finished normally.
+    pub finished: u64,
+    /// Jobs rejected by fair-share admission.
+    pub rejected: u64,
+    /// Jobs failed for other reasons.
+    pub failed: u64,
+    /// On-line-scheduling resubmissions performed.
+    pub resubmissions: u64,
+    /// Jobs cancelled by their user.
+    pub cancelled: u64,
+    /// Glide-in agents deployed.
+    pub agents_deployed: u64,
+}
+
+struct Inner {
+    config: BrokerConfig,
+    sites: Vec<SiteEntry>,
+    index: InformationIndex,
+    mds_link: Link,
+    agents: HashMap<AgentId, AgentEntry>,
+    fairshare: FairShare,
+    jobs: HashMap<JobId, JobRecord>,
+    next_job: u64,
+    next_agent: u64,
+    queue: Vec<(JobId, JobDescription, SimDuration)>,
+    interactive_usages: HashMap<JobId, UsageId>,
+    placements: HashMap<JobId, Vec<Placement>>,
+    /// Per-op console round-trip latencies sampled for running interactive
+    /// jobs (1 KiB steering ops over each job's UI path and streaming mode).
+    session_latency: cg_sim::SampleSet,
+    tick_scheduled: bool,
+    queue_retry_scheduled: bool,
+    stats: BrokerStats,
+}
+
+/// Type-erased continuation of an agent deployment.
+type DeployCallback = Box<dyn FnOnce(&mut Sim, CrossBroker, Option<AgentId>)>;
+
+/// Where (part of) a job physically runs — what `cancel` must tear down.
+#[derive(Debug, Clone, Copy)]
+enum Placement {
+    /// Under a site's LRMS.
+    Site {
+        site_index: usize,
+        local: cg_site::LocalJobId,
+    },
+    /// On a glide-in agent's interactive VM.
+    AgentInteractive { aid: AgentId },
+    /// On a glide-in agent's batch VM.
+    AgentBatch { aid: AgentId, task: cg_vm::TaskId },
+}
+
+/// The broker handle. Clones share state.
+#[derive(Clone)]
+pub struct CrossBroker {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl CrossBroker {
+    /// Builds a broker over the given sites and starts the information
+    /// index's refresh cycle.
+    pub fn new(sim: &mut Sim, sites: Vec<SiteHandle>, mds_link: Link, config: BrokerConfig) -> Self {
+        let total_cpus: u32 = sites
+            .iter()
+            .map(|s| s.site.lrms().total_nodes() as u32)
+            .sum();
+        let index = InformationIndex::start(
+            sim,
+            sites.iter().map(|s| s.site.clone()).collect(),
+            config.index_refresh,
+        );
+        let fairshare = FairShare::new(config.fairshare.clone(), total_cpus.max(1));
+        CrossBroker {
+            inner: Rc::new(RefCell::new(Inner {
+                config,
+                sites: sites
+                    .into_iter()
+                    .map(|s| SiteEntry {
+                        site: s.site,
+                        broker_link: s.broker_link,
+                        ui_link: s.ui_link,
+                        leased_until: SimTime::ZERO,
+                        agent_deaths: 0,
+                    })
+                    .collect(),
+                index,
+                mds_link,
+                agents: HashMap::new(),
+                fairshare,
+                jobs: HashMap::new(),
+                next_job: 0,
+                next_agent: 0,
+                queue: Vec::new(),
+                interactive_usages: HashMap::new(),
+                placements: HashMap::new(),
+                session_latency: cg_sim::SampleSet::new(),
+                tick_scheduled: false,
+                queue_retry_scheduled: false,
+                stats: BrokerStats::default(),
+            })),
+        }
+    }
+
+    /// Submits a job with the given natural runtime. The returned id indexes
+    /// [`CrossBroker::record`].
+    pub fn submit(&self, sim: &mut Sim, job: JobDescription, runtime: SimDuration) -> JobId {
+        let now = sim.now();
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            let id = JobId(inner.next_job);
+            inner.next_job += 1;
+            inner.stats.submitted += 1;
+            let record = JobRecord::new(id, job.user.clone(), now);
+            inner.jobs.insert(id, record);
+            id
+        };
+        self.ensure_fairshare_tick(sim);
+
+        // Fair-share admission under scarcity (§5.1).
+        let scarce = self.resources_scarce(&job);
+        {
+            let inner = self.inner.borrow();
+            if scarce && inner.fairshare.should_reject_under_scarcity(&job.user) {
+                drop(inner);
+                self.fail(sim, id, "rejected: user priority too low under scarcity", true);
+                return id;
+            }
+        }
+
+        match (job.interactivity, job.machine_access) {
+            // Parallel shared jobs: "it is possible to have a combination of
+            // machines with and without agents for executing a parallel
+            // interactive application" (§5.2).
+            (Interactivity::Interactive, MachineAccess::Shared) if job.is_parallel() => {
+                self.shared_parallel_path(sim, id, job, runtime);
+            }
+            (Interactivity::Interactive, MachineAccess::Shared) => {
+                self.shared_path(sim, id, job, runtime);
+            }
+            (Interactivity::Interactive, MachineAccess::Exclusive) => {
+                self.matched_path(sim, id, job, runtime, HashSet::new());
+            }
+            (Interactivity::Batch, _) => {
+                self.matched_path(sim, id, job, runtime, HashSet::new());
+            }
+        }
+        id
+    }
+
+    /// A job's current record.
+    pub fn record(&self, id: JobId) -> JobRecord {
+        self.inner.borrow().jobs[&id].clone()
+    }
+
+    /// All job records (for experiment summaries).
+    pub fn records(&self) -> Vec<JobRecord> {
+        let inner = self.inner.borrow();
+        let mut v: Vec<JobRecord> = inner.jobs.values().cloned().collect();
+        v.sort_by_key(|r| r.id);
+        v
+    }
+
+    /// A user's fair-share priority (higher = worse).
+    pub fn priority(&self, user: &str) -> f64 {
+        self.inner.borrow().fairshare.priority(user)
+    }
+
+    /// Live agents in the pool.
+    pub fn agent_count(&self) -> usize {
+        self.inner
+            .borrow()
+            .agents
+            .values()
+            .filter(|a| a.agent.borrow().is_alive())
+            .count()
+    }
+
+    /// Free interactive VM slots across the pool.
+    pub fn free_interactive_slots(&self) -> usize {
+        self.inner
+            .borrow()
+            .agents
+            .values()
+            .map(|a| a.agent.borrow().interactive_free())
+            .sum()
+    }
+
+    /// Aggregate metrics.
+    pub fn stats(&self) -> BrokerStats {
+        self.inner.borrow().stats
+    }
+
+    /// Console round-trip latencies sampled for every interactive job that
+    /// reached Running — the "feeling of interactivity" metric (§4) under
+    /// whatever mix the broker actually scheduled.
+    pub fn session_latencies(&self) -> cg_sim::SampleSet {
+        self.inner.borrow().session_latency.clone()
+    }
+
+    /// Cancels a job at the user's request — the paper's *on-line output
+    /// control*: "the ability to control application output online and to
+    /// enable the user to decide whether to cancel this in accordance with
+    /// the output results" (§1). Tears the job down wherever it is (broker
+    /// queue, site LRMS, agent VM slots) and restores the co-resident batch
+    /// job's priority. Returns `false` when the job is unknown or already
+    /// terminal.
+    pub fn cancel(&self, sim: &mut Sim, id: JobId) -> bool {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let Some(r) = inner.jobs.get(&id) else {
+                return false;
+            };
+            if matches!(r.state, JobState::Done | JobState::Failed { .. }) {
+                return false;
+            }
+            if let Some(pos) = inner.queue.iter().position(|(qid, _, _)| *qid == id) {
+                inner.queue.remove(pos);
+            }
+        }
+        let placements = self
+            .inner
+            .borrow_mut()
+            .placements
+            .remove(&id)
+            .unwrap_or_default();
+        for p in placements {
+            match p {
+                Placement::Site { site_index, local } => {
+                    let site = {
+                        let inner = self.inner.borrow();
+                        inner.sites[site_index].site.clone()
+                    };
+                    site.lrms().kill(sim, local, "cancelled by user");
+                }
+                Placement::AgentInteractive { aid } => {
+                    let agent = self
+                        .inner
+                        .borrow()
+                        .agents
+                        .get(&aid)
+                        .map(|e| Rc::clone(&e.agent));
+                    if let Some(agent) = agent {
+                        agent.borrow().cancel_interactive(sim);
+                    }
+                    // Restore the batch job's normal charging.
+                    {
+                        let mut inner = self.inner.borrow_mut();
+                        if let Some(e) = inner.agents.get(&aid) {
+                            if let Some(u) = e.batch_usage {
+                                if !e.batch_done {
+                                    inner.fairshare.set_kind(u, UsageKind::Batch);
+                                }
+                            }
+                        }
+                    }
+                    self.maybe_agent_departs(sim, aid);
+                }
+                Placement::AgentBatch { aid, task } => {
+                    let agent = self
+                        .inner
+                        .borrow()
+                        .agents
+                        .get(&aid)
+                        .map(|e| Rc::clone(&e.agent));
+                    if let Some(agent) = agent {
+                        agent.borrow().vm.cancel(sim, task);
+                        let mut inner = self.inner.borrow_mut();
+                        if let Some(e) = inner.agents.get_mut(&aid) {
+                            e.batch_done = true;
+                            if let Some(u) = e.batch_usage.take() {
+                                inner.fairshare.release(u);
+                            }
+                        }
+                    }
+                    self.maybe_agent_departs(sim, aid);
+                }
+            }
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.cancelled += 1;
+            if let Some(usage) = inner.interactive_usages.remove(&id) {
+                inner.fairshare.release(usage);
+            }
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                r.state = JobState::Failed {
+                    reason: "cancelled by user".into(),
+                };
+                r.finished_at = Some(sim.now());
+            }
+        }
+        self.retry_broker_queue(sim);
+        true
+    }
+
+    /// Pre-deploys a glide-in agent at `site_index` — operators (and the
+    /// Table I experiment) warm the pool this way so interactive jobs find a
+    /// live interactive-vm immediately.
+    pub fn predeploy_agent(
+        &self,
+        sim: &mut Sim,
+        site_index: usize,
+        then: impl FnOnce(&mut Sim, bool) + 'static,
+    ) {
+        self.deploy_agent_at(sim, site_index, move |sim, _broker, aid| {
+            then(sim, aid.is_some())
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn resources_scarce(&self, job: &JobDescription) -> bool {
+        let inner = self.inner.borrow();
+        match (job.interactivity, job.machine_access) {
+            (Interactivity::Interactive, MachineAccess::Shared) => {
+                let free_slots: usize = inner
+                    .agents
+                    .values()
+                    .map(|a| a.agent.borrow().interactive_free())
+                    .sum();
+                let idle: usize = inner.sites.iter().map(|s| s.site.lrms().free_nodes()).sum();
+                free_slots < job.node_number as usize && idle < job.node_number as usize
+            }
+            (Interactivity::Interactive, MachineAccess::Exclusive) => {
+                let idle: usize = inner.sites.iter().map(|s| s.site.lrms().free_nodes()).sum();
+                idle < job.node_number as usize
+            }
+            (Interactivity::Batch, _) => false, // batch can always queue
+        }
+    }
+
+    fn fail(&self, sim: &mut Sim, id: JobId, reason: &str, rejected: bool) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(r) = inner.jobs.get_mut(&id) {
+            if matches!(r.state, JobState::Done | JobState::Failed { .. }) {
+                return; // already terminal; late events must not re-fail it
+            }
+            r.state = JobState::Failed {
+                reason: reason.to_string(),
+            };
+            r.finished_at = Some(sim.now());
+        }
+        if rejected {
+            inner.stats.rejected += 1;
+        } else {
+            inner.stats.failed += 1;
+        }
+        if let Some(usage) = inner.interactive_usages.remove(&id) {
+            inner.fairshare.release(usage);
+        }
+        inner.placements.remove(&id);
+    }
+
+    fn add_placement(&self, id: JobId, p: Placement) {
+        self.inner
+            .borrow_mut()
+            .placements
+            .entry(id)
+            .or_default()
+            .push(p);
+    }
+
+    fn set_state(&self, id: JobId, state: JobState) {
+        if let Some(r) = self.inner.borrow_mut().jobs.get_mut(&id) {
+            r.state = state;
+        }
+    }
+
+    fn ensure_fairshare_tick(&self, sim: &mut Sim) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.tick_scheduled {
+            return;
+        }
+        inner.tick_scheduled = true;
+        let dt = inner.config.fairshare.delta_t;
+        drop(inner);
+        let this = self.clone();
+        sim.schedule_in(dt, move |sim| {
+            let keep = {
+                let mut inner = this.inner.borrow_mut();
+                inner.tick_scheduled = false;
+                let now = sim.now();
+                inner.fairshare.tick(now);
+                // Keep ticking while anything is charged or decaying.
+                inner.fairshare.active_usages() > 0
+                    || inner.jobs.values().any(|j| matches!(j.state, JobState::Running { .. }))
+            };
+            if keep {
+                this.ensure_fairshare_tick(sim);
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Shared (agent) path — §5.2 arrow 4
+    // ------------------------------------------------------------------
+
+    fn shared_path(&self, sim: &mut Sim, id: JobId, job: JobDescription, runtime: SimDuration) {
+        let now = sim.now();
+        {
+            // Discovery+selection are "a combined step inside CrossBroker"
+            // using local agent information only (§6.1).
+            let mut inner = self.inner.borrow_mut();
+            let r = inner.jobs.get_mut(&id).expect("job exists");
+            r.state = JobState::Matching;
+            r.discovered_at = Some(now);
+            r.selected_at = Some(now);
+        }
+
+        // Find a live agent with a free interactive slot whose lease allows.
+        let pick = {
+            let inner = self.inner.borrow();
+            let mut best: Option<AgentId> = None;
+            for (aid, entry) in &inner.agents {
+                if entry.leased_until > now {
+                    continue;
+                }
+                if entry.agent.borrow().interactive_free() >= 1 {
+                    best = Some(match best {
+                        None => *aid,
+                        Some(prev) => prev.min(*aid), // deterministic
+                    });
+                }
+            }
+            best
+        };
+
+        match pick {
+            Some(aid) => {
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    let lease = inner.config.lease;
+                    if let Some(e) = inner.agents.get_mut(&aid) {
+                        e.leased_until = now + lease;
+                    }
+                }
+                self.dispatch_to_agent(sim, id, aid, job, runtime);
+            }
+            None => {
+                // "If no free interactive agents are found, CrossBroker
+                // searches for an idle machine and submits the agent and the
+                // application in a similar way as it does for a batch job."
+                let idle_site = {
+                    let inner = self.inner.borrow();
+                    inner
+                        .sites
+                        .iter()
+                        .position(|s| s.leased_until <= now && s.site.lrms().free_nodes() >= 1)
+                };
+                match idle_site {
+                    Some(site_index) => {
+                        self.lease_site(sim, site_index);
+                        let this = self.clone();
+                        self.deploy_agent_at(sim, site_index, move |sim, broker, aid| {
+                            match aid {
+                                Some(aid) => broker.dispatch_to_agent(sim, id, aid, job.clone(), runtime),
+                                None => this.fail(sim, id, "agent deployment failed", false),
+                            }
+                        });
+                    }
+                    None => {
+                        // "If there are not enough machines (with or without
+                        // agents) to execute an interactive application, its
+                        // submission will fail."
+                        self.fail(sim, id, "no machines available for interactive job", false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Direct dispatch of an interactive job to a glide-in agent: delegation
+    /// + sandbox transfer + agent exec + console startup.
+    fn dispatch_to_agent(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        aid: AgentId,
+        job: JobDescription,
+        runtime: SimDuration,
+    ) {
+        let (agent, broker_link, ui_link, delegation, sandbox, console, site_name) = {
+            let inner = self.inner.borrow();
+            let Some(entry) = inner.agents.get(&aid) else {
+                drop(inner);
+                self.fail(sim, id, "agent vanished before dispatch", false);
+                return;
+            };
+            let site = &inner.sites[entry.site_index];
+            (
+                Rc::clone(&entry.agent),
+                site.broker_link.clone(),
+                site.ui_link.clone(),
+                SimDuration::from_secs_f64(inner.config.shared_delegation_s),
+                job_sandbox_bytes(&job, &inner.config),
+                inner.config.console,
+                site.site.name().to_string(),
+            )
+        };
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                r.dispatched_at = Some(sim.now());
+                r.state = JobState::Scheduled {
+                    site: site_name.clone(),
+                };
+            }
+        }
+
+        let this = self.clone();
+        let pl = job.performance_loss;
+        let smode = job.streaming_mode;
+        let user = job.user.clone();
+        sim.schedule_in(delegation, move |sim| {
+            // Stage the application directly to the agent.
+            let this2 = this.clone();
+            let agent2 = Rc::clone(&agent);
+            broker_link.clone().send(sim, Dir::AToB, sandbox, move |sim, r| {
+                if r.is_err() {
+                    this2.fail(sim, id, "staging to agent failed", false);
+                    return;
+                }
+                let this3 = this2.clone();
+                let this4 = this2.clone();
+                let ui_link2 = ui_link.clone();
+                let user2 = user.clone();
+                let sites = vec![site_name.clone()];
+                this2.add_placement(id, Placement::AgentInteractive { aid });
+                let result = agent2.borrow().submit_interactive(
+                    sim,
+                    runtime,
+                    pl,
+                    move |sim| {
+                        // Application is running: co-resident batch yields,
+                        // fair-share charges the interactive user, console
+                        // comes up and the first output travels home.
+                        this3.on_interactive_started(sim, id, aid, &user2, pl);
+                        let this5 = this3.clone();
+                        let sites2 = sites.clone();
+                        console_startup(sim, ui_link2.clone(), console, smode, move |sim, ok| {
+                            if ok {
+                                this5.mark_running(sim, id, sites2.clone(), Some((smode, ui_link2.profile())));
+                            } else {
+                                this5.fail(sim, id, "console startup failed", false);
+                            }
+                        });
+                    },
+                    move |sim| {
+                        this4.on_interactive_finished(sim, id, aid);
+                    },
+                );
+                if result.is_err() {
+                    this2.fail(sim, id, "agent slot taken concurrently", false);
+                }
+            });
+        });
+    }
+
+    fn on_interactive_started(&self, sim: &mut Sim, id: JobId, aid: AgentId, user: &str, pl: u8) {
+        let _ = sim;
+        let mut inner = self.inner.borrow_mut();
+        // Batch co-resident yields: its user is charged a_f = PL/100 (§5.1).
+        if let Some(entry) = inner.agents.get(&aid) {
+            if let Some(usage) = entry.batch_usage {
+                inner
+                    .fairshare
+                    .set_kind(usage, UsageKind::YieldedBatch { performance_loss: pl });
+            }
+        }
+        let usage = inner.fairshare.register(
+            user,
+            UsageKind::Interactive {
+                performance_loss: pl,
+            },
+            1,
+        );
+        // Remember the interactive usage on the job record via a side map in
+        // the agent entry is overkill; stash in jobs' resubmissions? Use a
+        // dedicated map:
+        inner.interactive_usages.insert(id, usage);
+    }
+
+    fn on_interactive_finished(&self, sim: &mut Sim, id: JobId, aid: AgentId) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(usage) = inner.interactive_usages.remove(&id) {
+                inner.fairshare.release(usage);
+            }
+            // Restore the batch job's normal charging.
+            if let Some(entry) = inner.agents.get(&aid) {
+                if let Some(usage) = entry.batch_usage {
+                    if !entry.batch_done {
+                        inner.fairshare.set_kind(usage, UsageKind::Batch);
+                    }
+                }
+            }
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                if !matches!(r.state, JobState::Failed { .. }) {
+                    r.state = JobState::Done;
+                    r.finished_at = Some(sim.now());
+                    inner.stats.finished += 1;
+                }
+            }
+        }
+        self.maybe_agent_departs(sim, aid);
+        self.retry_broker_queue(sim);
+    }
+
+    fn maybe_agent_departs(&self, sim: &mut Sim, aid: AgentId) {
+        let action = {
+            let inner = self.inner.borrow();
+            let Some(entry) = inner.agents.get(&aid) else {
+                return;
+            };
+            // "After completion of the batch job, the agent leaves the
+            // machine" — once no interactive job is using it either.
+            let agent = entry.agent.borrow();
+            let idle_interactive = agent.interactive_free() >= 1;
+            if entry.has_batch && entry.batch_done && idle_interactive {
+                entry
+                    .carrier
+                    .map(|c| (inner.sites[entry.site_index].site.clone(), c))
+            } else {
+                None
+            }
+        };
+        if let Some((site, carrier)) = action {
+            site.lrms().complete(sim, carrier);
+            // The deploy callback maps the carrier's Finished to Died and
+            // prunes the pool entry.
+        }
+    }
+
+    /// Combination path for parallel shared jobs (§5.2): free interactive-vm
+    /// slots host subjobs first, idle machines (direct gatekeeper
+    /// submissions) cover the remainder. The job starts when every subjob's
+    /// console has delivered output; it fails outright if agents plus idle
+    /// machines cannot cover `NodeNumber` — an interactive application never
+    /// waits and never preempts another interactive application.
+    fn shared_parallel_path(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        job: JobDescription,
+        runtime: SimDuration,
+    ) {
+        let now = sim.now();
+        {
+            // Combined local discovery/selection: agents and site states are
+            // known to the broker directly.
+            let mut inner = self.inner.borrow_mut();
+            let r = inner.jobs.get_mut(&id).expect("job exists");
+            r.state = JobState::Matching;
+            r.discovered_at = Some(now);
+            r.selected_at = Some(now);
+        }
+
+        // 1. Claim free agent slots (one subjob each).
+        let nodes_needed = job.node_number;
+        let agent_picks: Vec<AgentId> = {
+            let inner = self.inner.borrow();
+            let mut picks: Vec<AgentId> = inner
+                .agents
+                .iter()
+                .filter(|(_, e)| e.leased_until <= now && e.agent.borrow().interactive_free() >= 1)
+                .map(|(aid, _)| *aid)
+                .collect();
+            picks.sort(); // deterministic
+            picks.truncate(nodes_needed as usize);
+            picks
+        };
+        let remaining = nodes_needed - agent_picks.len() as u32;
+
+        // 2. Cover the remainder with idle machines (unleased sites).
+        let site_plan: Vec<(usize, u32)> = if remaining == 0 {
+            Vec::new()
+        } else {
+            let inner = self.inner.borrow();
+            let mut left = remaining;
+            let mut plan = Vec::new();
+            let mut order: Vec<usize> = (0..inner.sites.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(inner.sites[i].site.lrms().free_nodes()));
+            for i in order {
+                if left == 0 {
+                    break;
+                }
+                let e = &inner.sites[i];
+                if e.leased_until > now {
+                    continue;
+                }
+                let free = e.site.lrms().free_nodes() as u32;
+                if free == 0 {
+                    continue;
+                }
+                let take = free.min(left);
+                plan.push((i, take));
+                left -= take;
+            }
+            if left > 0 {
+                drop(inner);
+                self.fail(
+                    sim,
+                    id,
+                    "not enough machines (with or without agents) for the parallel interactive job",
+                    false,
+                );
+                return;
+            }
+            plan
+        };
+
+        // 3. Lease everything we are about to use.
+        {
+            let mut inner = self.inner.borrow_mut();
+            let lease = inner.config.lease;
+            for aid in &agent_picks {
+                if let Some(e) = inner.agents.get_mut(aid) {
+                    e.leased_until = now + lease;
+                }
+            }
+            for &(i, _) in &site_plan {
+                inner.sites[i].leased_until = now + lease;
+            }
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                r.dispatched_at = Some(now);
+                r.state = JobState::Scheduled {
+                    site: format!(
+                        "{} agent slot(s) + {} site(s)",
+                        agent_picks.len(),
+                        site_plan.len()
+                    ),
+                };
+            }
+        }
+
+        // Barrier/completion bookkeeping. Consoles: one CA per subjob (§4);
+        // completions: one per agent task plus one per site job.
+        struct MpiShared {
+            consoles_up: u32,
+            consoles_total: u32,
+            tasks_done: u32,
+            tasks_total: u32,
+            failed: bool,
+            site_names: Vec<String>,
+        }
+        let site_names: Vec<String> = {
+            let inner = self.inner.borrow();
+            agent_picks
+                .iter()
+                .filter_map(|aid| {
+                    inner
+                        .agents
+                        .get(aid)
+                        .map(|e| inner.sites[e.site_index].site.name().to_string())
+                })
+                .chain(
+                    site_plan
+                        .iter()
+                        .map(|&(i, _)| inner.sites[i].site.name().to_string()),
+                )
+                .collect()
+        };
+        let state = Rc::new(RefCell::new(MpiShared {
+            consoles_up: 0,
+            consoles_total: nodes_needed,
+            tasks_done: 0,
+            tasks_total: agent_picks.len() as u32 + site_plan.len() as u32,
+            failed: false,
+            site_names,
+        }));
+
+        // Representative UI path for session-latency sampling (first agent's
+        // site, else the first co-allocated site).
+        let session_profile: Option<(cg_jdl::StreamingMode, cg_net::LinkProfile)> = {
+            let inner = self.inner.borrow();
+            agent_picks
+                .first()
+                .and_then(|aid| {
+                    inner
+                        .agents
+                        .get(aid)
+                        .map(|e| inner.sites[e.site_index].ui_link.profile())
+                })
+                .or_else(|| site_plan.first().map(|&(i, _)| inner.sites[i].ui_link.profile()))
+                .map(|p| (job.streaming_mode, p))
+        };
+        let on_console_up = {
+            let this = self.clone();
+            let state = Rc::clone(&state);
+            let user = job.user.clone();
+            let total_nodes = nodes_needed;
+            move |sim: &mut Sim, ok: bool| {
+                let mut st = state.borrow_mut();
+                if !ok {
+                    if !st.failed {
+                        st.failed = true;
+                        drop(st);
+                        this.fail(sim, id, "console startup failed", false);
+                    }
+                    return;
+                }
+                st.consoles_up += 1;
+                if st.consoles_up == st.consoles_total && !st.failed {
+                    let names = st.site_names.clone();
+                    drop(st);
+                    {
+                        let mut inner = this.inner.borrow_mut();
+                        let usage = inner.fairshare.register(
+                            &user,
+                            UsageKind::Interactive {
+                                performance_loss: 0,
+                            },
+                            total_nodes,
+                        );
+                        inner.interactive_usages.insert(id, usage);
+                    }
+                    this.ensure_fairshare_tick(sim);
+                    this.mark_running(sim, id, names, session_profile.clone());
+                }
+            }
+        };
+        let on_console_up = Rc::new(on_console_up);
+        let on_task_done = {
+            let this = self.clone();
+            let state = Rc::clone(&state);
+            move |sim: &mut Sim| {
+                let mut st = state.borrow_mut();
+                st.tasks_done += 1;
+                if st.tasks_done == st.tasks_total {
+                    drop(st);
+                    this.finish_job(sim, id);
+                }
+            }
+        };
+        let on_task_done = Rc::new(on_task_done);
+
+        // 4a. Agent subjobs: delegation + staging + direct execution.
+        let (delegation, sandbox, console) = {
+            let inner = self.inner.borrow();
+            (
+                SimDuration::from_secs_f64(inner.config.shared_delegation_s),
+                job_sandbox_bytes(&job, &inner.config),
+                inner.config.console,
+            )
+        };
+        let pl = job.performance_loss;
+        let smode = job.streaming_mode;
+        for aid in agent_picks {
+            let (agent, broker_link, ui_link) = {
+                let inner = self.inner.borrow();
+                let e = &inner.agents[&aid];
+                let site = &inner.sites[e.site_index];
+                (
+                    Rc::clone(&e.agent),
+                    site.broker_link.clone(),
+                    site.ui_link.clone(),
+                )
+            };
+            let this = self.clone();
+            let up = Rc::clone(&on_console_up);
+            let done = Rc::clone(&on_task_done);
+            sim.schedule_in(delegation, move |sim| {
+                let this2 = this.clone();
+                let agent2 = Rc::clone(&agent);
+                broker_link.clone().send(sim, Dir::AToB, sandbox, move |sim, r| {
+                    if r.is_err() {
+                        this2.fail(sim, id, "staging to agent failed", false);
+                        return;
+                    }
+                    let up2 = Rc::clone(&up);
+                    let done2 = Rc::clone(&done);
+                    let this3 = this2.clone();
+                    let this4 = this2.clone();
+                    let ui2 = ui_link.clone();
+                    this2.add_placement(id, Placement::AgentInteractive { aid });
+                    let result = agent2.borrow().submit_interactive(
+                        sim,
+                        runtime,
+                        pl,
+                        move |sim| {
+                            // Co-resident batch yields; console comes up.
+                            {
+                                let mut inner = this3.inner.borrow_mut();
+                                if let Some(entry) = inner.agents.get(&aid) {
+                                    if let Some(u) = entry.batch_usage {
+                                        inner.fairshare.set_kind(
+                                            u,
+                                            UsageKind::YieldedBatch {
+                                                performance_loss: pl,
+                                            },
+                                        );
+                                    }
+                                }
+                            }
+                            let up3 = Rc::clone(&up2);
+                            console_startup(sim, ui2.clone(), console, smode, move |sim, ok| {
+                                up3(sim, ok)
+                            });
+                        },
+                        move |sim| {
+                            // Restore the batch job's charging; task done.
+                            {
+                                let mut inner = this4.inner.borrow_mut();
+                                if let Some(entry) = inner.agents.get(&aid) {
+                                    if let Some(u) = entry.batch_usage {
+                                        if !entry.batch_done {
+                                            inner.fairshare.set_kind(u, UsageKind::Batch);
+                                        }
+                                    }
+                                }
+                            }
+                            this4.maybe_agent_departs(sim, aid);
+                            done2(sim);
+                        },
+                    );
+                    if result.is_err() {
+                        this2.fail(sim, id, "agent slot taken concurrently", false);
+                    }
+                });
+            });
+        }
+
+        // 4b. Idle-machine subjobs: direct gatekeeper submissions, one
+        //     console per allocated node.
+        for (site_index, nodes) in site_plan {
+            let (site, broker_link, ui_link) = {
+                let inner = self.inner.borrow();
+                let e = &inner.sites[site_index];
+                (e.site.clone(), e.broker_link.clone(), e.ui_link.clone())
+            };
+            let spec = LocalJobSpec {
+                nodes,
+                runtime: Some(runtime),
+                walltime: None,
+                priority: 0,
+                user: job.user.clone(),
+            };
+            let this = self.clone();
+            let up = Rc::clone(&on_console_up);
+            let done = Rc::clone(&on_task_done);
+            let state2 = Rc::clone(&state);
+            site.gatekeeper().submit(sim, broker_link, spec, sandbox, move |sim, ev| {
+                match ev {
+                    GramEvent::Accepted { local_id } => {
+                        this.add_placement(
+                            id,
+                            Placement::Site {
+                                site_index,
+                                local: *local_id,
+                            },
+                        );
+                    }
+                    GramEvent::Started { nodes } => {
+                        for _ in 0..nodes.len() {
+                            let up2 = Rc::clone(&up);
+                            console_startup(sim, ui_link.clone(), console, smode, move |sim, ok| {
+                                up2(sim, ok)
+                            });
+                        }
+                    }
+                    GramEvent::Queued
+                        // The live view raced a local submission; this path
+                        // does not resubmit — the job fails cleanly.
+                        if !state2.borrow().failed => {
+                            state2.borrow_mut().failed = true;
+                            this.fail(sim, id, "idle machine stolen mid-submission", false);
+                        }
+                    GramEvent::Finished => done(sim),
+                    GramEvent::Failed(e)
+                        if !state2.borrow().failed => {
+                            state2.borrow_mut().failed = true;
+                            this.fail(sim, id, &format!("subjob failed: {e}"), false);
+                        }
+                    _ => {}
+                }
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Matched path (discovery → selection → submission)
+    // ------------------------------------------------------------------
+
+    fn matched_path(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        job: JobDescription,
+        runtime: SimDuration,
+        excluded: HashSet<usize>,
+    ) {
+        self.set_state(id, JobState::Matching);
+        let this = self.clone();
+        let (index, mds_link) = {
+            let inner = self.inner.borrow();
+            (inner.index.clone(), inner.mds_link.clone())
+        };
+        index.query(sim, &mds_link, move |sim, result| {
+            let stale = match result {
+                Err(_) => {
+                    this.fail(sim, id, "information system unreachable", false);
+                    return;
+                }
+                Ok(records) => records,
+            };
+            {
+                let mut inner = this.inner.borrow_mut();
+                if let Some(r) = inner.jobs.get_mut(&id) {
+                    r.discovered_at.get_or_insert(sim.now());
+                }
+            }
+            // Stale-info filter decides which sites to live-query.
+            let stale_ads: Vec<(usize, Ad)> = stale
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| !excluded.contains(i))
+                .map(|(i, rec)| (i, rec.ad))
+                .collect();
+            // MPICH-G2 co-allocation sums free CPUs across sites, so a
+            // single site need not host the whole job.
+            let require_full =
+                job.is_interactive() && job.parallelism != Parallelism::MpichG2;
+            let shortlist = filter_candidates(&job, &stale_ads, require_full);
+            if shortlist.is_empty() {
+                this.no_candidates(sim, id, job, runtime);
+                return;
+            }
+            // Live queries, sequentially — the ≈3 s selection step.
+            let this2 = this.clone();
+            live_query_chain(
+                sim,
+                this.clone(),
+                shortlist.iter().map(|c| c.site_index).collect(),
+                Vec::new(),
+                move |sim, live_ads| {
+                    this2.finish_selection(sim, id, job, runtime, live_ads, excluded);
+                },
+            );
+        });
+    }
+
+    fn finish_selection(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        job: JobDescription,
+        runtime: SimDuration,
+        live_ads: Vec<(usize, Ad)>,
+        excluded: HashSet<usize>,
+    ) {
+        let now = sim.now();
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                r.selected_at = Some(now);
+            }
+        }
+        let require_full = job.is_interactive() && job.parallelism != Parallelism::MpichG2;
+        // Exclude leased sites.
+        let usable: Vec<(usize, Ad)> = {
+            let inner = self.inner.borrow();
+            live_ads
+                .into_iter()
+                .filter(|(i, _)| inner.sites[*i].leased_until <= now)
+                .collect()
+        };
+        let candidates = filter_candidates(&job, &usable, require_full);
+        if candidates.is_empty() {
+            self.no_candidates(sim, id, job, runtime);
+            return;
+        }
+
+        if job.parallelism == Parallelism::MpichG2 && job.node_number > 1 {
+            match coallocate(&candidates, job.node_number) {
+                Some(plan) => self.submit_coallocated(sim, id, job, runtime, plan),
+                None => self.no_candidates(sim, id, job, runtime),
+            }
+            return;
+        }
+
+        let pick = select(&candidates, sim.rng());
+        let Some(chosen) = pick else {
+            self.no_candidates(sim, id, job, runtime);
+            return;
+        };
+        {
+            let mut inner = self.inner.borrow_mut();
+            let lease = inner.config.lease;
+            inner.sites[chosen.site_index].leased_until = now + lease;
+        }
+
+        if job.interactivity == Interactivity::Batch {
+            self.submit_batch_with_agent(sim, id, chosen.site_index, job, runtime);
+        } else {
+            self.submit_exclusive(sim, id, chosen.site_index, job, runtime, excluded);
+        }
+    }
+
+    fn no_candidates(&self, sim: &mut Sim, id: JobId, job: JobDescription, runtime: SimDuration) {
+        if job.interactivity == Interactivity::Batch {
+            // §5.2 arrow 2: wait in the broker for a machine to become idle.
+            let mut inner = self.inner.borrow_mut();
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                r.state = JobState::BrokerQueued;
+            }
+            inner.queue.push((id, job, runtime));
+            drop(inner);
+            self.schedule_queue_retry(sim);
+        } else {
+            self.fail(sim, id, "no resources match the interactive job", false);
+        }
+    }
+
+    fn schedule_queue_retry(&self, sim: &mut Sim) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.queue_retry_scheduled || inner.queue.is_empty() {
+            return;
+        }
+        inner.queue_retry_scheduled = true;
+        let retry = inner.config.broker_queue_retry;
+        drop(inner);
+        let this = self.clone();
+        sim.schedule_in(retry, move |sim| {
+            this.inner.borrow_mut().queue_retry_scheduled = false;
+            this.retry_broker_queue(sim);
+        });
+    }
+
+    fn retry_broker_queue(&self, sim: &mut Sim) {
+        let next = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.queue.is_empty() {
+                None
+            } else {
+                Some(inner.queue.remove(0))
+            }
+        };
+        if let Some((id, job, runtime)) = next {
+            self.matched_path(sim, id, job, runtime, HashSet::new());
+        }
+        self.schedule_queue_retry(sim);
+    }
+
+    /// Exclusive-mode interactive submission (§5.2 arrow 3): through the
+    /// gatekeeper, no agent; on-line scheduling resubmits if it queues.
+    fn submit_exclusive(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        site_index: usize,
+        job: JobDescription,
+        runtime: SimDuration,
+        excluded: HashSet<usize>,
+    ) {
+        let (site, broker_link, ui_link, console, sandbox, resubmit, max_resub) = {
+            let inner = self.inner.borrow();
+            let s = &inner.sites[site_index];
+            (
+                s.site.clone(),
+                s.broker_link.clone(),
+                s.ui_link.clone(),
+                inner.config.console,
+                job_sandbox_bytes(&job, &inner.config),
+                inner.config.resubmit_on_queue,
+                inner.config.max_resubmissions,
+            )
+        };
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                r.dispatched_at.get_or_insert(sim.now());
+                r.state = JobState::Scheduled {
+                    site: site.name().to_string(),
+                };
+            }
+        }
+        let spec = LocalJobSpec {
+            nodes: job.node_number,
+            runtime: Some(runtime),
+            walltime: declared_walltime(&job),
+            priority: 0,
+            user: job.user.clone(),
+        };
+        let this = self.clone();
+        let site_name = site.name().to_string();
+        let smode = job.streaming_mode;
+        let started = Rc::new(RefCell::new(false));
+        let local_id: Rc<RefCell<Option<cg_site::LocalJobId>>> = Rc::new(RefCell::new(None));
+        let lrms = site.lrms().clone();
+        site.gatekeeper().submit(sim, broker_link, spec, sandbox, move |sim, ev| {
+            match ev {
+                GramEvent::Accepted { local_id: lid } => {
+                    *local_id.borrow_mut() = Some(*lid);
+                    this.add_placement(
+                        id,
+                        Placement::Site {
+                            site_index,
+                            local: *lid,
+                        },
+                    );
+                }
+                GramEvent::Started { .. } => {
+                    *started.borrow_mut() = true;
+                    let this2 = this.clone();
+                    let user = job.user.clone();
+                    let nodes = job.node_number;
+                    let site_name2 = site_name.clone();
+                    let ui_profile = ui_link.profile();
+                    console_startup(sim, ui_link.clone(), console, smode, move |sim, ok| {
+                        if ok {
+                            {
+                                let mut inner = this2.inner.borrow_mut();
+                                let usage = inner.fairshare.register(
+                                    &user,
+                                    UsageKind::Interactive {
+                                        performance_loss: 0,
+                                    },
+                                    nodes,
+                                );
+                                inner.interactive_usages.insert(id, usage);
+                            }
+                            this2.ensure_fairshare_tick(sim);
+                            this2.mark_running(
+                                sim,
+                                id,
+                                vec![site_name2.clone()],
+                                Some((smode, ui_profile.clone())),
+                            );
+                        } else {
+                            this2.fail(sim, id, "console startup failed", false);
+                        }
+                    });
+                }
+                GramEvent::Queued if resubmit && !*started.borrow() => {
+                    // On-line scheduling (§3): it queued instead of starting —
+                    // kill it here and resubmit elsewhere.
+                    let resubs = {
+                        let mut inner = this.inner.borrow_mut();
+                        inner.stats.resubmissions += 1;
+                        let r = inner.jobs.get_mut(&id).expect("job exists");
+                        r.resubmissions += 1;
+                        r.resubmissions
+                    };
+                    // Withdraw the queued copy before resubmitting elsewhere.
+                    if let Some(lid) = *local_id.borrow() {
+                        lrms.kill(sim, lid, "withdrawn by broker (on-line scheduling)");
+                    }
+                    let mut excluded2 = excluded.clone();
+                    excluded2.insert(site_index);
+                    if resubs <= max_resub {
+                        let this2 = this.clone();
+                        let job2 = job.clone();
+                        sim.schedule_now(move |sim| {
+                            this2.matched_path(sim, id, job2, runtime, excluded2)
+                        });
+                    } else {
+                        this.fail(sim, id, "resubmission budget exhausted", false);
+                    }
+                }
+                GramEvent::Finished => {
+                    this.finish_job(sim, id);
+                }
+                GramEvent::Killed { reason } => {
+                    if !*started.borrow() {
+                        // Expected when we resubmitted away.
+                    } else {
+                        this.fail(sim, id, &format!("killed at site: {reason}"), false);
+                    }
+                }
+                GramEvent::Failed(e) => {
+                    this.fail(sim, id, &format!("submission failed: {e}"), false);
+                }
+                _ => {}
+            }
+        });
+    }
+
+    /// Batch submission (§5.2 arrow 1): deploy the agent, then run the batch
+    /// job on its batch-vm.
+    fn submit_batch_with_agent(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        site_index: usize,
+        job: JobDescription,
+        runtime: SimDuration,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let site_name = inner.sites[site_index].site.name().to_string();
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                r.dispatched_at.get_or_insert(sim.now());
+                r.state = JobState::Scheduled { site: site_name };
+            }
+        }
+        self.deploy_agent_at(sim, site_index, move |sim, broker, aid| {
+            let Some(aid) = aid else {
+                broker.fail(sim, id, "agent deployment failed", false);
+                return;
+            };
+            // Ship the batch application to the agent and run it batch-vm.
+            let (agent, broker_link, sandbox, delegation, user) = {
+                let inner = broker.inner.borrow();
+                let entry = &inner.agents[&aid];
+                let site = &inner.sites[entry.site_index];
+                (
+                    Rc::clone(&entry.agent),
+                    site.broker_link.clone(),
+                    job_sandbox_bytes(&job, &inner.config),
+                    SimDuration::from_secs_f64(inner.config.shared_delegation_s),
+                    job.user.clone(),
+                )
+            };
+            let broker2 = broker.clone();
+            sim.schedule_in(delegation, move |sim| {
+                let broker3 = broker2.clone();
+                broker_link.clone().send(sim, Dir::AToB, sandbox, move |sim, r| {
+                    if r.is_err() {
+                        broker3.fail(sim, id, "staging to agent failed", false);
+                        return;
+                    }
+                    let broker4 = broker3.clone();
+                    let broker5 = broker3.clone();
+                    let user2 = user.clone();
+                    let result = agent.borrow().run_batch(sim, runtime, move |sim| {
+                        // Batch job done.
+                        {
+                            let mut inner = broker5.inner.borrow_mut();
+                            if let Some(e) = inner.agents.get_mut(&aid) {
+                                e.batch_done = true;
+                                if let Some(u) = e.batch_usage.take() {
+                                    inner.fairshare.release(u);
+                                }
+                            }
+                        }
+                        broker5.finish_job(sim, id);
+                        broker5.maybe_agent_departs(sim, aid);
+                        broker5.retry_broker_queue(sim);
+                    });
+                    match result {
+                        Err(_) => broker4.fail(sim, id, "batch VM busy", false),
+                        Ok(task) => {
+                            broker4.add_placement(id, Placement::AgentBatch { aid, task });
+                            let mut inner = broker4.inner.borrow_mut();
+                            let usage =
+                                inner.fairshare.register(&user2, UsageKind::Batch, 1);
+                            if let Some(e) = inner.agents.get_mut(&aid) {
+                                e.has_batch = true;
+                                e.batch_done = false;
+                                e.batch_usage = Some(usage);
+                            }
+                            if let Some(r) = inner.jobs.get_mut(&id) {
+                                r.started_at = Some(sim.now());
+                                r.state = JobState::Running {
+                                    sites: vec![String::new()],
+                                };
+                                inner.stats.started += 1;
+                            }
+                            drop(inner);
+                            broker4.ensure_fairshare_tick(sim);
+                        }
+                    }
+                });
+            });
+        });
+    }
+
+    /// MPICH-G2 co-allocated submission across several sites.
+    fn submit_coallocated(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        job: JobDescription,
+        runtime: SimDuration,
+        plan: Vec<(usize, u32)>,
+    ) {
+        let now = sim.now();
+        let total_subjobs = plan.len() as u32;
+        {
+            let mut inner = self.inner.borrow_mut();
+            let lease = inner.config.lease;
+            for &(i, _) in &plan {
+                inner.sites[i].leased_until = now + lease;
+            }
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                r.dispatched_at.get_or_insert(now);
+                r.state = JobState::Scheduled {
+                    site: format!("{} sites", plan.len()),
+                };
+            }
+        }
+        // Barrier: the job is interactive-ready when every subjob's console
+        // has delivered its first output.
+        let ready = Rc::new(RefCell::new(0u32));
+        let site_names: Vec<String> = {
+            let inner = self.inner.borrow();
+            plan.iter()
+                .map(|&(i, _)| inner.sites[i].site.name().to_string())
+                .collect()
+        };
+        let failed = Rc::new(RefCell::new(false));
+
+        let smode = job.streaming_mode;
+        for &(site_index, nodes) in &plan {
+            let (site, broker_link, ui_link, console, sandbox) = {
+                let inner = self.inner.borrow();
+                let s = &inner.sites[site_index];
+                (
+                    s.site.clone(),
+                    s.broker_link.clone(),
+                    s.ui_link.clone(),
+                    inner.config.console,
+                    job_sandbox_bytes(&job, &inner.config),
+                )
+            };
+            let spec = LocalJobSpec {
+                nodes,
+                runtime: Some(runtime),
+                walltime: None,
+                priority: 0,
+                user: job.user.clone(),
+            };
+            let this = self.clone();
+            let ready2 = Rc::clone(&ready);
+            let failed2 = Rc::clone(&failed);
+            let user = job.user.clone();
+            let names = site_names.clone();
+            let total_nodes = job.node_number;
+            site.gatekeeper().submit(sim, broker_link, spec, sandbox, move |sim, ev| {
+                match ev {
+                    GramEvent::Accepted { local_id } => {
+                        this.add_placement(
+                            id,
+                            Placement::Site {
+                                site_index,
+                                local: *local_id,
+                            },
+                        );
+                    }
+                    GramEvent::Started { .. } => {
+                        let this2 = this.clone();
+                        let ready3 = Rc::clone(&ready2);
+                        let failed3 = Rc::clone(&failed2);
+                        let user2 = user.clone();
+                        let names2 = names.clone();
+                        let ui_profile = ui_link.profile();
+                        console_startup(sim, ui_link.clone(), console, smode, move |sim, ok| {
+                            if !ok {
+                                if !*failed3.borrow() {
+                                    *failed3.borrow_mut() = true;
+                                    this2.fail(sim, id, "console startup failed", false);
+                                }
+                                return;
+                            }
+                            *ready3.borrow_mut() += 1;
+                            if *ready3.borrow() == total_subjobs && !*failed3.borrow() {
+                                {
+                                    let mut inner = this2.inner.borrow_mut();
+                                    let usage = inner.fairshare.register(
+                                        &user2,
+                                        UsageKind::Interactive {
+                                            performance_loss: 0,
+                                        },
+                                        total_nodes,
+                                    );
+                                    inner.interactive_usages.insert(id, usage);
+                                }
+                                this2.ensure_fairshare_tick(sim);
+                                this2.mark_running(
+                                    sim,
+                                    id,
+                                    names2.clone(),
+                                    Some((smode, ui_profile.clone())),
+                                );
+                            }
+                        });
+                    }
+                    GramEvent::Finished => {
+                        // Last subjob to finish completes the job.
+                        this.finish_job(sim, id);
+                    }
+                    GramEvent::Failed(e)
+                        if !*failed2.borrow() => {
+                            *failed2.borrow_mut() = true;
+                            this.fail(sim, id, &format!("subjob failed: {e}"), false);
+                        }
+                    _ => {}
+                }
+            });
+        }
+    }
+
+    fn mark_running(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        sites: Vec<String>,
+        session: Option<(cg_jdl::StreamingMode, cg_net::LinkProfile)>,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(r) = inner.jobs.get_mut(&id) {
+            if r.started_at.is_none() {
+                r.started_at = Some(sim.now());
+                r.state = JobState::Running { sites };
+                inner.stats.started += 1;
+            } else {
+                return;
+            }
+        } else {
+            return;
+        }
+        // Sample the interactive session's steering latency: 1 KiB console
+        // round trips over the job's UI path in its streaming mode.
+        if let Some((mode, profile)) = session {
+            let costs = match mode {
+                cg_jdl::StreamingMode::Fast => cg_console::MethodCosts::fast(),
+                cg_jdl::StreamingMode::Reliable => cg_console::MethodCosts::reliable(),
+            };
+            drop(inner);
+            let mut samples = Vec::with_capacity(25);
+            for _ in 0..25 {
+                samples.push(costs.sequence_rtt(sim.rng(), &profile, 1024).as_secs_f64());
+            }
+            let mut inner = self.inner.borrow_mut();
+            for x in samples {
+                inner.session_latency.record(x);
+            }
+        }
+    }
+
+    fn finish_job(&self, sim: &mut Sim, id: JobId) {
+        let mut inner = self.inner.borrow_mut();
+        inner.placements.remove(&id);
+        if let Some(usage) = inner.interactive_usages.remove(&id) {
+            inner.fairshare.release(usage);
+        }
+        if let Some(r) = inner.jobs.get_mut(&id) {
+            if matches!(r.state, JobState::Running { .. } | JobState::Scheduled { .. }) {
+                r.state = JobState::Done;
+                r.finished_at = Some(sim.now());
+                inner.stats.finished += 1;
+            }
+        }
+        drop(inner);
+        self.retry_broker_queue(sim);
+    }
+
+    fn lease_site(&self, sim: &mut Sim, site_index: usize) {
+        let mut inner = self.inner.borrow_mut();
+        let lease = inner.config.lease;
+        inner.sites[site_index].leased_until = sim.now() + lease;
+    }
+
+    /// Deploys a glide-in agent at the given site; `then` receives the agent
+    /// id once `Ready`, or `None` on failure.
+    fn deploy_agent_at(
+        &self,
+        sim: &mut Sim,
+        site_index: usize,
+        then: impl FnOnce(&mut Sim, CrossBroker, Option<AgentId>) + 'static,
+    ) {
+        self.deploy_agent_at_boxed(sim, site_index, Box::new(then));
+    }
+
+    /// Non-generic body of [`Self::deploy_agent_at`]; the redeploy-on-death
+    /// path re-enters here, so the callback must be type-erased to avoid
+    /// recursive monomorphization.
+    fn deploy_agent_at_boxed(
+        &self,
+        sim: &mut Sim,
+        site_index: usize,
+        then: DeployCallback,
+    ) {
+        let (site, link, share_eff, costs, aid) = {
+            let mut inner = self.inner.borrow_mut();
+            let aid = AgentId(inner.next_agent);
+            inner.next_agent += 1;
+            inner.stats.agents_deployed += 1;
+            let s = &inner.sites[site_index];
+            (
+                s.site.clone(),
+                s.broker_link.clone(),
+                inner.config.share_efficiency,
+                inner.config.agent_costs,
+                aid,
+            )
+        };
+        let this = self.clone();
+        let then = Rc::new(RefCell::new(Some(then)));
+        let agent_slot: Rc<RefCell<Option<Rc<RefCell<Agent>>>>> = Rc::new(RefCell::new(None));
+        let agent_slot2 = Rc::clone(&agent_slot);
+        let agent = deploy_agent(sim, aid, &site, &link, share_eff, costs, move |sim, ev| {
+            match ev {
+                AgentEvent::Submitted { carrier } => {
+                    let mut inner = this.inner.borrow_mut();
+                    if let Some(e) = inner.agents.get_mut(&aid) {
+                        e.carrier = Some(*carrier);
+                    } else {
+                        // Entry created at Ready; remember via pre-entry.
+                        let agent_rc = agent_slot2.borrow().clone();
+                        if let Some(agent_rc) = agent_rc {
+                            inner.agents.insert(
+                                aid,
+                                AgentEntry {
+                                    agent: agent_rc,
+                                    site_index,
+                                    carrier: Some(*carrier),
+                                    leased_until: SimTime::ZERO,
+                                    batch_usage: None,
+                                    batch_done: false,
+                                    has_batch: false,
+                                    ready_at: SimTime::MAX,
+                                },
+                            );
+                        }
+                    }
+                }
+                AgentEvent::Ready { .. } => {
+                    {
+                        let mut inner = this.inner.borrow_mut();
+                        if let Some(e) = inner.agents.get_mut(&aid) {
+                            e.ready_at = sim.now();
+                        }
+                        if let std::collections::hash_map::Entry::Vacant(e) = inner.agents.entry(aid) {
+                            let agent_rc = agent_slot2.borrow().clone();
+                            if let Some(agent_rc) = agent_rc {
+                                e.insert(AgentEntry {
+                                        agent: agent_rc,
+                                        site_index,
+                                        carrier: None,
+                                        leased_until: SimTime::ZERO,
+                                        batch_usage: None,
+                                        batch_done: false,
+                                        has_batch: false,
+                                        ready_at: sim.now(),
+                                    });
+                            }
+                        }
+                    }
+                    if let Some(f) = then.borrow_mut().take() {
+                        f(sim, this.clone(), Some(aid));
+                    }
+                }
+                AgentEvent::Died { reason } => {
+                    let voluntary = reason == "agent left the machine";
+                    let redeploy = {
+                        let mut inner = this.inner.borrow_mut();
+                        let mut uptime = SimDuration::ZERO;
+                        if let Some(e) = inner.agents.remove(&aid) {
+                            if let Some(u) = e.batch_usage {
+                                inner.fairshare.release(u);
+                            }
+                            uptime = sim.now().saturating_since(e.ready_at);
+                        }
+                        if voluntary {
+                            false
+                        } else {
+                            // A healthy long-lived agent resets the site's
+                            // breaker; a short-lived one trips it further.
+                            if uptime >= inner.config.agent_min_uptime {
+                                inner.sites[site_index].agent_deaths = 1;
+                            } else {
+                                inner.sites[site_index].agent_deaths += 1;
+                            }
+                            inner.config.redeploy_agents
+                                && inner.sites[site_index].agent_deaths
+                                    <= inner.config.agent_redeploy_budget
+                        }
+                    };
+                    if redeploy {
+                        // "New agents will be submitted when possible" (§5.2).
+                        let this2 = this.clone();
+                        let delay = this.inner.borrow().config.agent_redeploy_delay;
+                        sim.schedule_in(delay, move |sim| {
+                            this2.deploy_agent_at_boxed(sim, site_index, Box::new(|_, _, _| {}));
+                        });
+                    }
+                    if let Some(f) = then.borrow_mut().take() {
+                        f(sim, this.clone(), None);
+                    }
+                }
+                AgentEvent::Failed(_) => {
+                    if let Some(f) = then.borrow_mut().take() {
+                        f(sim, this.clone(), None);
+                    }
+                }
+                AgentEvent::Queued => {}
+            }
+        });
+        *agent_slot.borrow_mut() = Some(agent);
+    }
+}
+
+/// The tail of every interactive path: the Console Agent starts on the WN,
+/// opens a GSI session back to the shadow, and sends the first output.
+/// In *reliable* streaming mode the output is spooled (a small disk cost)
+/// and failed connections are retried at the configured interval; in *fast*
+/// mode any failure ends the startup (§4).
+fn console_startup(
+    sim: &mut Sim,
+    ui_link: Link,
+    costs: crate::config::ConsoleCosts,
+    mode: cg_jdl::StreamingMode,
+    done: impl FnOnce(&mut Sim, bool) + 'static,
+) {
+    fn attempt(
+        sim: &mut Sim,
+        ui_link: Link,
+        costs: crate::config::ConsoleCosts,
+        mode: cg_jdl::StreamingMode,
+        tries: u32,
+        done: Box<dyn FnOnce(&mut Sim, bool)>,
+    ) {
+        let reliable = mode == cg_jdl::StreamingMode::Reliable;
+        let ui2 = ui_link.clone();
+        let retry_or_fail = move |sim: &mut Sim, done: Box<dyn FnOnce(&mut Sim, bool)>| {
+            if reliable && tries < costs.max_retries {
+                let interval = SimDuration::from_secs_f64(costs.retry_interval_s);
+                sim.schedule_in(interval, move |sim| {
+                    attempt(sim, ui2, costs, mode, tries + 1, done)
+                });
+            } else {
+                done(sim, false);
+            }
+        };
+        // CA (at the site, endpoint B) connects home to the shadow (A).
+        Session::connect(sim, ui_link, Dir::BToA, HandshakeProfile::gsi(), move |sim, r| {
+            match r {
+                Err(_) => retry_or_fail(sim, done),
+                Ok(session) => {
+                    // Reliable mode spools the output before sending.
+                    let spool = if reliable {
+                        SimDuration::from_secs_f64(costs.spool_op_s)
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    sim.schedule_in(spool, move |sim| {
+                        session.send(sim, costs.first_output_bytes, move |sim, r| match r {
+                            Ok(()) => done(sim, true),
+                            Err(_) => retry_or_fail(sim, done),
+                        });
+                    });
+                }
+            }
+        });
+    }
+    let start = SimDuration::from_secs_f64(costs.ca_start_s);
+    sim.schedule_in(start, move |sim| {
+        attempt(sim, ui_link, costs, mode, 0, Box::new(done));
+    });
+}
+
+/// Sequentially live-queries each site in `pending`, collecting live ads.
+fn live_query_chain(
+    sim: &mut Sim,
+    broker: CrossBroker,
+    mut pending: Vec<usize>,
+    mut collected: Vec<(usize, Ad)>,
+    done: impl FnOnce(&mut Sim, Vec<(usize, Ad)>) + 'static,
+) {
+    if pending.is_empty() {
+        sim.schedule_now(move |sim| done(sim, collected));
+        return;
+    }
+    let site_index = pending.remove(0);
+    let (link, site, service) = {
+        let inner = broker.inner.borrow();
+        (
+            inner.sites[site_index].broker_link.clone(),
+            inner.sites[site_index].site.clone(),
+            SimDuration::from_secs_f64(inner.config.live_query_service_s),
+        )
+    };
+    let broker2 = broker.clone();
+    rpc_call(sim, &link, Dir::AToB, 300, 1_200, service, move |sim, r| {
+        if r.is_ok() {
+            collected.push((site_index, site.machine_ad()));
+        }
+        live_query_chain(sim, broker2, pending, collected, done);
+    });
+}
+
+/// LRMS walltime derived from the job's `EstimatedRuntime` (4× safety
+/// factor, the usual operator convention); `None` when undeclared.
+fn declared_walltime(job: &JobDescription) -> Option<SimDuration> {
+    job.estimated_runtime_s
+        .map(|s| SimDuration::from_secs_f64(s * 4.0))
+}
+
+fn job_sandbox_bytes(job: &JobDescription, config: &BrokerConfig) -> u64 {
+    let declared = job.sandbox_bytes();
+    if declared > 0 {
+        declared
+    } else {
+        config.default_sandbox_bytes
+    }
+}

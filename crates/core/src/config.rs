@@ -1,0 +1,117 @@
+//! Broker configuration: the calibrated constants of the submission paths.
+
+use cg_sim::SimDuration;
+use cg_vm::AgentCosts;
+
+use crate::fairshare::FairShareConfig;
+
+/// Costs of starting the Grid Console on a worker node and delivering the
+/// first output to the user — the tail of every interactive submission path.
+#[derive(Debug, Clone, Copy)]
+pub struct ConsoleCosts {
+    /// Spawning the Console Agent wrapper and the application on the WN,
+    /// seconds.
+    pub ca_start_s: f64,
+    /// Size of the first output message, bytes.
+    pub first_output_bytes: u64,
+    /// Reliable mode: extra disk-spool cost on the first output, seconds.
+    pub spool_op_s: f64,
+    /// Reliable mode: wait between console connection attempts, seconds
+    /// ("the number of seconds between each retry are configurable", §4).
+    pub retry_interval_s: f64,
+    /// Reliable mode: attempts before giving up and failing the job.
+    pub max_retries: u32,
+}
+
+impl Default for ConsoleCosts {
+    fn default() -> Self {
+        ConsoleCosts {
+            ca_start_s: 1.0,
+            first_output_bytes: 256,
+            spool_op_s: 0.0005,
+            retry_interval_s: 5.0,
+            max_retries: 12,
+        }
+    }
+}
+
+/// Broker configuration.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Exclusive temporal access: a matched resource is withheld from other
+    /// matches for this long (§3).
+    pub lease: SimDuration,
+    /// Fair-share engine parameters (Eq. 1).
+    pub fairshare: FairShareConfig,
+    /// Delivered fraction of the nominal batch share on shared machines.
+    pub share_efficiency: f64,
+    /// Glide-in agent costs.
+    pub agent_costs: AgentCosts,
+    /// Console startup costs.
+    pub console: ConsoleCosts,
+    /// On-line scheduling: resubmit interactive jobs that queue instead of
+    /// starting (§3).
+    pub resubmit_on_queue: bool,
+    /// Resubmission attempts before giving up.
+    pub max_resubmissions: u32,
+    /// Per-site processing time of a live status query during selection,
+    /// seconds (with ~20 sites this yields the paper's ≈3 s selection).
+    pub live_query_service_s: f64,
+    /// MDS index refresh period.
+    pub index_refresh: SimDuration,
+    /// Broker-side work for a direct (shared-VM) dispatch: matching the job
+    /// to the agent ad, proxy delegation to the agent, seconds.
+    pub shared_delegation_s: f64,
+    /// Default application sandbox size when the job declares none, bytes.
+    pub default_sandbox_bytes: u64,
+    /// Retry period for batch jobs parked in the broker queue.
+    pub broker_queue_retry: SimDuration,
+    /// Proactively redeploy a replacement when an agent is killed ("new
+    /// agents will be submitted when possible", §5.2).
+    pub redeploy_agents: bool,
+    /// Wait before a replacement deployment.
+    pub agent_redeploy_delay: SimDuration,
+    /// Consecutive short-lived involuntary deaths per site tolerated before
+    /// giving up on redeployment there.
+    pub agent_redeploy_budget: u32,
+    /// An agent surviving at least this long counts as healthy and resets
+    /// the site's redeploy breaker.
+    pub agent_min_uptime: SimDuration,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            lease: SimDuration::from_secs(30),
+            fairshare: FairShareConfig::default(),
+            share_efficiency: 0.92,
+            agent_costs: AgentCosts::default(),
+            console: ConsoleCosts::default(),
+            resubmit_on_queue: true,
+            max_resubmissions: 3,
+            live_query_service_s: 0.11,
+            index_refresh: SimDuration::from_secs(300),
+            shared_delegation_s: 3.9,
+            default_sandbox_bytes: 10_000_000,
+            broker_queue_retry: SimDuration::from_secs(30),
+            redeploy_agents: true,
+            agent_redeploy_delay: SimDuration::from_secs(30),
+            agent_redeploy_budget: 3,
+            agent_min_uptime: SimDuration::from_secs(600),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = BrokerConfig::default();
+        assert!(c.lease > SimDuration::ZERO);
+        assert!(c.max_resubmissions >= 1);
+        assert!((0.5..=1.0).contains(&c.share_efficiency));
+        assert!(c.default_sandbox_bytes > 0);
+    }
+}

@@ -1,0 +1,381 @@
+//! The fair-share priority engine — Equation (1) of the paper.
+//!
+//! `P(u,t) = β · P(u, t−δt) + (1−β) · a_f · r(u,t)`, with
+//! `β = 0.5^(δt/h)` for half-life `h`. Higher `P` means **worse** priority.
+//! The application factor `a_f` depends on what the user is running:
+//!
+//! - batch jobs: `a_f = 1`;
+//! - interactive jobs: `a_f = 2 − PL/100` — they "worsen the priority faster
+//!   than in the previous case";
+//! - batch jobs forced to yield their machine to an interactive job:
+//!   `a_f = PL/100` of that interactive application — the compensation for
+//!   being throttled;
+//! - idle users decay back toward the initial priority at rate `h`.
+//!
+//! The engine prevents users from "always submitting their jobs as
+//! interactive and therefore saturating the system": when resources are
+//! scarce, jobs from users with worse priority than others are rejected.
+
+use std::collections::HashMap;
+
+use cg_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Engine parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FairShareConfig {
+    /// Half-life `h`: the rate at which priority values improve.
+    pub half_life: SimDuration,
+    /// Update period `δt`.
+    pub delta_t: SimDuration,
+    /// Initial (best) priority value.
+    pub initial: f64,
+    /// Floor below which a priority snaps back to `initial` (the paper
+    /// restores "the original number of credits" for idle users).
+    pub epsilon: f64,
+}
+
+impl Default for FairShareConfig {
+    fn default() -> Self {
+        FairShareConfig {
+            half_life: SimDuration::from_secs(3_600),
+            delta_t: SimDuration::from_secs(60),
+            initial: 0.0,
+            epsilon: 1e-6,
+        }
+    }
+}
+
+/// What a user is currently running, for the `a_f · r(u,t)` term.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum UsageKind {
+    /// A plain batch job (`a_f = 1`).
+    Batch,
+    /// An interactive job with this PerformanceLoss (`a_f = 2 − PL/100`).
+    Interactive {
+        /// Its `PerformanceLoss` attribute.
+        performance_loss: u8,
+    },
+    /// A batch job yielded to an interactive job with this PL
+    /// (`a_f = PL/100`).
+    YieldedBatch {
+        /// The interactive job's `PerformanceLoss`.
+        performance_loss: u8,
+    },
+}
+
+impl UsageKind {
+    /// The application factor `a_f` (§5.1).
+    pub fn application_factor(self) -> f64 {
+        match self {
+            UsageKind::Batch => 1.0,
+            UsageKind::Interactive { performance_loss } => {
+                2.0 - performance_loss as f64 / 100.0
+            }
+            UsageKind::YieldedBatch { performance_loss } => performance_loss as f64 / 100.0,
+        }
+    }
+}
+
+/// Identifies one usage registration so it can be released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UsageId(u64);
+
+#[derive(Debug, Clone)]
+struct Usage {
+    user: String,
+    kind: UsageKind,
+    /// Resources used, as a count of CPUs.
+    cpus: u32,
+}
+
+/// The fair-share engine. Call [`FairShare::tick`] every `δt` (the broker
+/// schedules this).
+#[derive(Debug)]
+pub struct FairShare {
+    config: FairShareConfig,
+    priorities: HashMap<String, f64>,
+    usages: HashMap<UsageId, Usage>,
+    next_usage: u64,
+    /// Total CPUs in the grid, the normalizer of `r(u,t)`.
+    total_cpus: u32,
+    last_tick: Option<SimTime>,
+}
+
+impl FairShare {
+    /// Creates the engine for a grid of `total_cpus` CPUs.
+    pub fn new(config: FairShareConfig, total_cpus: u32) -> Self {
+        assert!(total_cpus > 0, "grid with zero CPUs");
+        FairShare {
+            config,
+            priorities: HashMap::new(),
+            usages: HashMap::new(),
+            next_usage: 0,
+            total_cpus,
+            last_tick: None,
+        }
+    }
+
+    /// Updates the grid size (sites joining/leaving).
+    pub fn set_total_cpus(&mut self, total: u32) {
+        assert!(total > 0);
+        self.total_cpus = total;
+    }
+
+    /// Registers a running job's resource usage. Returns a handle for
+    /// [`release`](FairShare::release) and for yield transitions.
+    pub fn register(&mut self, user: impl Into<String>, kind: UsageKind, cpus: u32) -> UsageId {
+        let id = UsageId(self.next_usage);
+        self.next_usage += 1;
+        self.usages.insert(
+            id,
+            Usage {
+                user: user.into(),
+                kind,
+                cpus,
+            },
+        );
+        id
+    }
+
+    /// Ends a usage (job finished or was killed).
+    pub fn release(&mut self, id: UsageId) {
+        self.usages.remove(&id);
+    }
+
+    /// Marks a batch usage as yielded to an interactive job with the given
+    /// PL (and back, by passing `UsageKind::Batch`).
+    pub fn set_kind(&mut self, id: UsageId, kind: UsageKind) {
+        if let Some(u) = self.usages.get_mut(&id) {
+            u.kind = kind;
+        }
+    }
+
+    /// The user's current priority value (higher = worse). Unknown users are
+    /// at the initial (best) priority.
+    pub fn priority(&self, user: &str) -> f64 {
+        *self.priorities.get(user).unwrap_or(&self.config.initial)
+    }
+
+    /// Applies Equation (1) for one `δt` step at simulated time `now`.
+    ///
+    /// "User priorities are updated every δt times for each user whose
+    /// current priority is different (worse) than the initial priority" —
+    /// plus, of course, users currently consuming resources.
+    pub fn tick(&mut self, now: SimTime) {
+        self.last_tick = Some(now);
+        let dt = self.config.delta_t.as_secs_f64();
+        let h = self.config.half_life.as_secs_f64();
+        let beta = 0.5f64.powf(dt / h);
+
+        // a_f · r(u,t), summed over the user's running jobs.
+        let mut load: HashMap<&str, f64> = HashMap::new();
+        for u in self.usages.values() {
+            let r = u.cpus as f64 / self.total_cpus as f64;
+            *load.entry(u.user.as_str()).or_default() += u.kind.application_factor() * r;
+        }
+
+        // Decay + charge for every known-or-active user.
+        let mut users: Vec<String> = self.priorities.keys().cloned().collect();
+        for u in load.keys() {
+            if !self.priorities.contains_key(*u) {
+                users.push((*u).to_string());
+            }
+        }
+        for user in users {
+            let prev = self.priority(&user);
+            let charge = load.get(user.as_str()).copied().unwrap_or(0.0);
+            let next = beta * prev + (1.0 - beta) * charge;
+            if (next - self.config.initial).abs() < self.config.epsilon && charge == 0.0 {
+                self.priorities.remove(&user); // fully restored credits
+            } else {
+                self.priorities.insert(user, next);
+            }
+        }
+    }
+
+    /// Selection for rejection under scarcity: "If there are not enough
+    /// available resources, jobs belonging to users with worse priority are
+    /// rejected." True when `user` has strictly worse (higher) priority than
+    /// some other known user — i.e. they are not among the best claimants.
+    pub fn should_reject_under_scarcity(&self, user: &str) -> bool {
+        let p = self.priority(user);
+        let best = self
+            .priorities
+            .values()
+            .copied()
+            .fold(self.config.initial, f64::min);
+        p > best + self.config.epsilon
+    }
+
+    /// Active usage count (for tests/metrics).
+    pub fn active_usages(&self) -> usize {
+        self.usages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> FairShare {
+        FairShare::new(
+            FairShareConfig {
+                half_life: SimDuration::from_secs(3_600),
+                delta_t: SimDuration::from_secs(60),
+                initial: 0.0,
+                epsilon: 1e-9,
+            },
+            100,
+        )
+    }
+
+    fn tick_n(fs: &mut FairShare, n: u32) {
+        for i in 0..n {
+            fs.tick(SimTime::from_secs(60 * (i as u64 + 1)));
+        }
+    }
+
+    #[test]
+    fn application_factors_match_section_5_1() {
+        assert_eq!(UsageKind::Batch.application_factor(), 1.0);
+        assert_eq!(
+            UsageKind::Interactive { performance_loss: 0 }.application_factor(),
+            2.0
+        );
+        assert_eq!(
+            UsageKind::Interactive { performance_loss: 40 }.application_factor(),
+            1.6
+        );
+        assert_eq!(
+            UsageKind::YieldedBatch { performance_loss: 40 }.application_factor(),
+            0.4
+        );
+    }
+
+    #[test]
+    fn running_jobs_worsen_priority_toward_equilibrium() {
+        let mut fs = engine();
+        fs.register("alice", UsageKind::Batch, 50); // r = 0.5
+        tick_n(&mut fs, 1);
+        let p1 = fs.priority("alice");
+        assert!(p1 > 0.0);
+        tick_n(&mut fs, 500);
+        let p_eq = fs.priority("alice");
+        // Equilibrium of the recurrence is a_f·r = 0.5.
+        assert!((p_eq - 0.5).abs() < 0.01, "equilibrium {p_eq}");
+        assert!(p_eq > p1);
+    }
+
+    #[test]
+    fn interactive_worsens_faster_than_batch() {
+        let mut a = engine();
+        a.register("u", UsageKind::Batch, 10);
+        let mut b = engine();
+        b.register(
+            "u",
+            UsageKind::Interactive { performance_loss: 10 },
+            10,
+        );
+        tick_n(&mut a, 10);
+        tick_n(&mut b, 10);
+        assert!(
+            b.priority("u") > a.priority("u"),
+            "interactive {} vs batch {}",
+            b.priority("u"),
+            a.priority("u")
+        );
+        // Ratio equals the a_f ratio (same r, same dynamics): 1.9.
+        let ratio = b.priority("u") / a.priority("u");
+        assert!((ratio - 1.9).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn yielded_batch_is_charged_least() {
+        let mut fs = engine();
+        let id = fs.register("victim", UsageKind::Batch, 10);
+        tick_n(&mut fs, 500); // near the batch equilibrium of 0.1
+        let before = fs.priority("victim");
+        assert!((before - 0.1).abs() < 0.005, "batch equilibrium {before}");
+        // An interactive job (PL=20) moves in; the victim yields.
+        fs.set_kind(id, UsageKind::YieldedBatch { performance_loss: 20 });
+        // Equilibrium drops to 0.2·0.1 = 0.02 — the victim's priority now
+        // *improves* despite still "running".
+        tick_n(&mut fs, 500);
+        let after = fs.priority("victim");
+        assert!(after < before, "yielded batch must be charged less: {after} vs {before}");
+        assert!((after - 0.02).abs() < 0.005);
+    }
+
+    #[test]
+    fn idle_users_decay_with_the_half_life() {
+        let mut fs = engine();
+        let id = fs.register("alice", UsageKind::Batch, 100); // r = 1
+        tick_n(&mut fs, 100);
+        let peak = fs.priority("alice");
+        fs.release(id);
+        // One half-life = 60 ticks of 60 s.
+        tick_n(&mut fs, 60);
+        let halved = fs.priority("alice");
+        assert!(
+            (halved / peak - 0.5).abs() < 0.01,
+            "after one half-life: {halved} vs peak {peak}"
+        );
+    }
+
+    #[test]
+    fn fully_decayed_user_restores_initial_credits() {
+        let mut fs = engine();
+        let id = fs.register("bob", UsageKind::Batch, 10);
+        tick_n(&mut fs, 5);
+        fs.release(id);
+        tick_n(&mut fs, 5_000);
+        assert_eq!(fs.priority("bob"), 0.0);
+        assert!(!fs.should_reject_under_scarcity("bob"));
+    }
+
+    #[test]
+    fn scarcity_rejects_the_worse_user() {
+        let mut fs = engine();
+        fs.register("hog", UsageKind::Interactive { performance_loss: 0 }, 80);
+        tick_n(&mut fs, 20);
+        assert!(fs.should_reject_under_scarcity("hog"));
+        assert!(!fs.should_reject_under_scarcity("newcomer"));
+    }
+
+    #[test]
+    fn equal_users_are_not_rejected() {
+        let fs = engine();
+        assert!(!fs.should_reject_under_scarcity("anyone"));
+    }
+
+    #[test]
+    fn multiple_jobs_sum_their_charges() {
+        let mut fs = engine();
+        fs.register("u", UsageKind::Batch, 10);
+        fs.register("u", UsageKind::Batch, 10);
+        tick_n(&mut fs, 500);
+        assert!((fs.priority("u") - 0.2).abs() < 0.01);
+        assert_eq!(fs.active_usages(), 2);
+    }
+
+    #[test]
+    fn beta_formula_matches_the_paper() {
+        // With δt = h, β must be 0.5 exactly: a single tick moves priority
+        // halfway to the charge.
+        let mut fs = FairShare::new(
+            FairShareConfig {
+                half_life: SimDuration::from_secs(60),
+                delta_t: SimDuration::from_secs(60),
+                initial: 0.0,
+                epsilon: 1e-12,
+            },
+            10,
+        );
+        fs.register("u", UsageKind::Batch, 10); // a_f·r = 1
+        fs.tick(SimTime::from_secs(60));
+        assert!((fs.priority("u") - 0.5).abs() < 1e-12);
+        fs.tick(SimTime::from_secs(120));
+        assert!((fs.priority("u") - 0.75).abs() < 1e-12);
+    }
+}

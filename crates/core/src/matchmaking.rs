@@ -1,0 +1,244 @@
+//! Matchmaking: filtering sites against job requirements, ranking, and the
+//! paper's randomized selection among equals.
+
+use cg_jdl::{Ad, Ctx, Expr, JobDescription};
+use cg_sim::SimRng;
+
+/// One candidate after filtering, with its rank.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Index into the site list the ads came from.
+    pub site_index: usize,
+    /// Site name (from the ad).
+    pub site: String,
+    /// Rank value (higher is better; ClassAd convention).
+    pub rank: f64,
+    /// Free CPUs advertised.
+    pub free_cpus: i64,
+}
+
+/// Filters machine ads against the job's `Requirements` plus the broker's
+/// built-in constraints (enough free CPUs for the node count — or queueable
+/// for batch jobs).
+pub fn filter_candidates(
+    job: &JobDescription,
+    ads: &[(usize, Ad)],
+    require_free_cpus: bool,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (site_index, ad) in ads {
+        let free = ad.get("FreeCpus").and_then(|v| v.as_i64()).unwrap_or(0);
+        if require_free_cpus && free < job.node_number as i64 {
+            continue;
+        }
+        if !require_free_cpus {
+            // Batch path: the site must at least accept queued jobs.
+            let accepts = ad
+                .get("AcceptsQueued")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(true);
+            if free < job.node_number as i64 && !accepts {
+                continue;
+            }
+        }
+        if let Some(req) = &job.requirements {
+            let ctx = Ctx {
+                own: &job.ad,
+                other: ad,
+            };
+            match req.eval_requirement(ctx) {
+                Ok(true) => {}
+                // Undefined or false ⇒ no match; eval errors ⇒ no match
+                // (a malformed requirement must not crash the broker).
+                _ => continue,
+            }
+        }
+        let rank = match &job.rank {
+            Some(r) => eval_rank_or_default(r, job, ad),
+            // Default rank: prefer more free CPUs (the EDG broker default).
+            None => free as f64,
+        };
+        out.push(Candidate {
+            site_index: *site_index,
+            site: ad
+                .get("Site")
+                .and_then(|v| v.as_str())
+                .unwrap_or("<unnamed>")
+                .to_string(),
+            rank,
+            free_cpus: free,
+        });
+    }
+    out
+}
+
+fn eval_rank_or_default(rank: &Expr, job: &JobDescription, ad: &Ad) -> f64 {
+    let ctx = Ctx {
+        own: &job.ad,
+        other: ad,
+    };
+    rank.eval_rank(ctx).unwrap_or(0.0)
+}
+
+/// Picks the winner: best rank, with **randomized selection** among
+/// rank-ties — "used to generate different answers when there are multiple
+/// resource choices" (§3), which also prevents broker herds.
+pub fn select(candidates: &[Candidate], rng: &mut SimRng) -> Option<Candidate> {
+    let best = candidates
+        .iter()
+        .map(|c| c.rank)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if best == f64::NEG_INFINITY {
+        return None;
+    }
+    let ties: Vec<&Candidate> = candidates
+        .iter()
+        .filter(|c| (c.rank - best).abs() < 1e-12)
+        .collect();
+    Some((*rng.choose(&ties)).clone())
+}
+
+/// Greedy MPICH-G2 co-allocation: spread `nodes` across candidate sites,
+/// biggest free pool first. Returns `(site_index, nodes_there)` or `None`
+/// when the grid cannot host the job.
+pub fn coallocate(candidates: &[Candidate], nodes: u32) -> Option<Vec<(usize, u32)>> {
+    let mut sorted: Vec<&Candidate> = candidates.iter().filter(|c| c.free_cpus > 0).collect();
+    sorted.sort_by(|a, b| {
+        b.free_cpus
+            .cmp(&a.free_cpus)
+            .then(b.rank.total_cmp(&a.rank))
+            .then(a.site_index.cmp(&b.site_index))
+    });
+    let mut left = nodes;
+    let mut plan = Vec::new();
+    for c in sorted {
+        if left == 0 {
+            break;
+        }
+        let take = (c.free_cpus as u32).min(left);
+        plan.push((c.site_index, take));
+        left -= take;
+    }
+    (left == 0).then_some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site_ad(name: &str, free: i64, arch: &str) -> Ad {
+        let mut ad = Ad::new();
+        ad.set_str("Site", name)
+            .set_str("Arch", arch)
+            .set_int("FreeCpus", free)
+            .set_int("TotalCpus", free.max(4))
+            .set_bool("AcceptsQueued", true);
+        ad
+    }
+
+    fn job(src: &str) -> JobDescription {
+        JobDescription::parse(src).unwrap()
+    }
+
+    #[test]
+    fn requirements_filter_sites() {
+        let j = job(
+            r#"Executable = "a"; JobType = {"interactive","mpich-p4"}; NodeNumber = 4;
+               Requirements = other.Arch == "i686";"#,
+        );
+        let ads = vec![
+            (0, site_ad("big-sparc", 16, "sparc")),
+            (1, site_ad("small-i686", 2, "i686")),
+            (2, site_ad("big-i686", 8, "i686")),
+        ];
+        let c = filter_candidates(&j, &ads, true);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].site, "big-i686");
+    }
+
+    #[test]
+    fn default_rank_prefers_free_cpus() {
+        let j = job(r#"Executable = "a";"#);
+        let ads = vec![(0, site_ad("a", 2, "i686")), (1, site_ad("b", 9, "i686"))];
+        let c = filter_candidates(&j, &ads, true);
+        let mut rng = SimRng::new(1);
+        assert_eq!(select(&c, &mut rng).unwrap().site, "b");
+    }
+
+    #[test]
+    fn explicit_rank_wins_over_default() {
+        let j = job(
+            r#"Executable = "a"; Rank = 0 - other.FreeCpus;"#, // prefer FEWER cpus
+        );
+        let ads = vec![(0, site_ad("a", 2, "i686")), (1, site_ad("b", 9, "i686"))];
+        let c = filter_candidates(&j, &ads, true);
+        let mut rng = SimRng::new(1);
+        assert_eq!(select(&c, &mut rng).unwrap().site, "a");
+    }
+
+    #[test]
+    fn randomized_selection_spreads_ties() {
+        let j = job(r#"Executable = "a"; Rank = 1;"#);
+        let ads: Vec<(usize, Ad)> = (0..4).map(|i| (i, site_ad(&format!("s{i}"), 4, "i686"))).collect();
+        let c = filter_candidates(&j, &ads, true);
+        let mut rng = SimRng::new(42);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(select(&c, &mut rng).unwrap().site);
+        }
+        assert_eq!(seen.len(), 4, "all tied sites get picked over time");
+    }
+
+    #[test]
+    fn empty_candidates_select_none() {
+        let mut rng = SimRng::new(1);
+        assert!(select(&[], &mut rng).is_none());
+    }
+
+    #[test]
+    fn malformed_requirement_excludes_instead_of_crashing() {
+        let j = job(r#"Executable = "a"; Requirements = other.FreeCpus + "oops" == 3;"#);
+        let ads = vec![(0, site_ad("x", 4, "i686"))];
+        assert!(filter_candidates(&j, &ads, true).is_empty());
+    }
+
+    #[test]
+    fn batch_jobs_accept_queueing_sites() {
+        let j = job(r#"Executable = "a";"#);
+        let mut full = site_ad("full", 0, "i686");
+        full.set_bool("AcceptsQueued", true);
+        let mut closed = site_ad("closed", 0, "i686");
+        closed.set_bool("AcceptsQueued", false);
+        let ads = vec![(0, full), (1, closed)];
+        let c = filter_candidates(&j, &ads, false);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].site, "full");
+        // Interactive path (require_free_cpus) rejects both.
+        assert!(filter_candidates(&j, &ads, true).is_empty());
+    }
+
+    #[test]
+    fn coallocation_spreads_over_sites() {
+        let j = job(r#"Executable = "a"; JobType = {"interactive","mpich-g2"}; NodeNumber = 10;"#);
+        let ads = vec![
+            (0, site_ad("a", 6, "i686")),
+            (1, site_ad("b", 3, "i686")),
+            (2, site_ad("c", 2, "i686")),
+        ];
+        let c = filter_candidates(&j, &ads, false);
+        let plan = coallocate(&c, j.node_number).unwrap();
+        let total: u32 = plan.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 10);
+        assert_eq!(plan[0], (0, 6), "biggest pool first");
+        assert_eq!(plan[1], (1, 3));
+        assert_eq!(plan[2], (2, 1));
+    }
+
+    #[test]
+    fn coallocation_fails_when_grid_too_small() {
+        let ads = vec![(0, site_ad("a", 3, "i686"))];
+        let j = job(r#"Executable = "a"; JobType = {"interactive","mpich-g2"}; NodeNumber = 10;"#);
+        let c = filter_candidates(&j, &ads, false);
+        assert!(coallocate(&c, 10).is_none());
+    }
+}

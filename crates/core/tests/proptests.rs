@@ -1,0 +1,164 @@
+//! Property tests on the fair-share engine and matchmaking.
+
+use cg_jdl::{Ad, JobDescription};
+use cg_sim::{SimDuration, SimRng, SimTime};
+use crossbroker::{coallocate, filter_candidates, select, FairShare, FairShareConfig, UsageKind};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = UsageKind> {
+    prop_oneof![
+        Just(UsageKind::Batch),
+        (0u8..=20).prop_map(|i| UsageKind::Interactive {
+            performance_loss: i * 5
+        }),
+        (0u8..=20).prop_map(|i| UsageKind::YieldedBatch {
+            performance_loss: i * 5
+        }),
+    ]
+}
+
+proptest! {
+    /// Priorities are always within [0, max a_f]: non-negative, and bounded
+    /// by the worst possible instantaneous charge (a_f ≤ 2, r ≤ 1).
+    #[test]
+    fn priority_is_bounded(
+        usages in prop::collection::vec((kind_strategy(), 1u32..50), 0..10),
+        ticks in 1u32..300,
+    ) {
+        let mut fs = FairShare::new(FairShareConfig::default(), 100);
+        for (kind, cpus) in usages {
+            fs.register("u", kind, cpus.min(100));
+        }
+        for t in 1..=ticks {
+            fs.tick(SimTime::from_secs(60 * t as u64));
+        }
+        let p = fs.priority("u");
+        prop_assert!(p >= 0.0);
+        prop_assert!(p <= 2.0 * 10.0, "priority {p} out of bounds"); // ≤ max af × jobs
+    }
+
+    /// Priority is monotone in load: more CPUs used (same kind) never gives
+    /// a better priority after the same number of ticks.
+    #[test]
+    fn priority_monotone_in_load(cpus_a in 1u32..50, cpus_b in 1u32..50, ticks in 1u32..100) {
+        let run = |cpus: u32| {
+            let mut fs = FairShare::new(FairShareConfig::default(), 100);
+            fs.register("u", UsageKind::Batch, cpus);
+            for t in 1..=ticks {
+                fs.tick(SimTime::from_secs(60 * t as u64));
+            }
+            fs.priority("u")
+        };
+        let (lo, hi) = if cpus_a <= cpus_b { (cpus_a, cpus_b) } else { (cpus_b, cpus_a) };
+        prop_assert!(run(lo) <= run(hi) + 1e-12);
+    }
+
+    /// Decay after release is strictly monotone down to the initial value,
+    /// and eventually restores it exactly.
+    #[test]
+    fn decay_is_monotone_and_complete(busy in 1u32..50, cpus in 1u32..100) {
+        let mut fs = FairShare::new(
+            FairShareConfig {
+                half_life: SimDuration::from_secs(600),
+                delta_t: SimDuration::from_secs(60),
+                initial: 0.0,
+                epsilon: 1e-9,
+            },
+            100,
+        );
+        let id = fs.register("u", UsageKind::Batch, cpus.min(100));
+        let mut t = 0u64;
+        for _ in 0..busy {
+            t += 60;
+            fs.tick(SimTime::from_secs(t));
+        }
+        fs.release(id);
+        let mut prev = fs.priority("u");
+        for _ in 0..2_000 {
+            t += 60;
+            fs.tick(SimTime::from_secs(t));
+            let p = fs.priority("u");
+            prop_assert!(p <= prev + 1e-15, "decay must be monotone: {p} > {prev}");
+            prev = p;
+        }
+        prop_assert_eq!(fs.priority("u"), 0.0, "credits fully restored");
+    }
+
+    /// filter_candidates never returns a site that violates the free-CPU
+    /// constraint, and select always returns a maximal-rank candidate.
+    #[test]
+    fn matchmaking_respects_constraints(
+        frees in prop::collection::vec(0i64..32, 1..30),
+        nodes in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let src = format!(
+            r#"Executable = "a"; JobType = {{"interactive","mpich-p4"}}; NodeNumber = {nodes};"#
+        );
+        let job = JobDescription::parse(&src).unwrap();
+        let ads: Vec<(usize, Ad)> = frees
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                let mut ad = Ad::new();
+                ad.set_str("Site", format!("s{i}"))
+                    .set_int("FreeCpus", f)
+                    .set_bool("AcceptsQueued", true);
+                (i, ad)
+            })
+            .collect();
+        let candidates = filter_candidates(&job, &ads, true);
+        for c in &candidates {
+            prop_assert!(c.free_cpus >= nodes as i64);
+        }
+        let mut rng = SimRng::new(seed);
+        if let Some(winner) = select(&candidates, &mut rng) {
+            let best = candidates.iter().map(|c| c.rank).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((winner.rank - best).abs() < 1e-12);
+        } else {
+            prop_assert!(candidates.is_empty());
+        }
+    }
+
+    /// Co-allocation plans are exact covers: they sum to the request, take
+    /// no more than any site has, and exist iff the grid is big enough.
+    #[test]
+    fn coallocation_is_an_exact_cover(
+        frees in prop::collection::vec(0i64..16, 1..20),
+        nodes in 1u32..64,
+    ) {
+        let job = JobDescription::parse(
+            r#"Executable = "a"; JobType = {"interactive","mpich-g2"}; NodeNumber = 2;"#,
+        )
+        .unwrap();
+        let ads: Vec<(usize, Ad)> = frees
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                let mut ad = Ad::new();
+                ad.set_str("Site", format!("s{i}"))
+                    .set_int("FreeCpus", f)
+                    .set_bool("AcceptsQueued", true);
+                (i, ad)
+            })
+            .collect();
+        let candidates = filter_candidates(&job, &ads, false);
+        let total_free: i64 = frees.iter().sum();
+        match coallocate(&candidates, nodes) {
+            Some(plan) => {
+                prop_assert!(total_free >= nodes as i64);
+                prop_assert_eq!(plan.iter().map(|&(_, n)| n).sum::<u32>(), nodes);
+                for &(site, take) in &plan {
+                    prop_assert!(take as i64 <= frees[site], "site {site} over-allocated");
+                    prop_assert!(take > 0);
+                }
+                // No site appears twice.
+                let mut seen: Vec<usize> = plan.iter().map(|&(s, _)| s).collect();
+                seen.sort_unstable();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), plan.len());
+            }
+            None => prop_assert!(total_free < nodes as i64, "plan missing though {total_free} ≥ {nodes}"),
+        }
+    }
+}

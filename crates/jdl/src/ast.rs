@@ -1,0 +1,242 @@
+//! The attribute-record (ClassAd-lite) data model: [`Value`]s and [`Ad`]s.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::expr::Expr;
+
+/// A JDL attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// String literal.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Floating-point number.
+    Double(f64),
+    /// Boolean.
+    Bool(bool),
+    /// List of values, `{a, b, c}`.
+    List(Vec<Value>),
+    /// An unevaluated expression (Requirements, Rank).
+    Expr(Expr),
+}
+
+impl Value {
+    /// The string inside, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: integers widen to doubles.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Double(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The list inside, if this is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Double(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::List(items) => {
+                write!(f, "{{")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Expr(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// An attribute record: ordered, case-insensitive attribute names mapped to
+/// values. Both job descriptions and machine advertisements are `Ad`s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ad {
+    // Keyed by lower-cased name; the original spelling is kept for printing.
+    attrs: BTreeMap<String, (String, Value)>,
+}
+
+impl Ad {
+    /// An empty record.
+    pub fn new() -> Self {
+        Ad::default()
+    }
+
+    /// Sets an attribute (case-insensitive; later sets replace earlier ones).
+    pub fn set(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
+        let name = name.into();
+        self.attrs.insert(name.to_ascii_lowercase(), (name, value));
+        self
+    }
+
+    /// Convenience string setter.
+    pub fn set_str(&mut self, name: impl Into<String>, v: impl Into<String>) -> &mut Self {
+        self.set(name, Value::Str(v.into()))
+    }
+
+    /// Convenience integer setter.
+    pub fn set_int(&mut self, name: impl Into<String>, v: i64) -> &mut Self {
+        self.set(name, Value::Int(v))
+    }
+
+    /// Convenience float setter.
+    pub fn set_double(&mut self, name: impl Into<String>, v: f64) -> &mut Self {
+        self.set(name, Value::Double(v))
+    }
+
+    /// Convenience boolean setter.
+    pub fn set_bool(&mut self, name: impl Into<String>, v: bool) -> &mut Self {
+        self.set(name, Value::Bool(v))
+    }
+
+    /// Looks an attribute up, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.attrs.get(&name.to_ascii_lowercase()).map(|(_, v)| v)
+    }
+
+    /// Removes an attribute, returning its value.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.attrs.remove(&name.to_ascii_lowercase()).map(|(_, v)| v)
+    }
+
+    /// True when the attribute exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.attrs.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Iterates `(original_name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.attrs.values().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the record has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+}
+
+impl fmt::Display for Ad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[")?;
+        for (name, value) in self.iter() {
+            writeln!(f, "  {name} = {value};")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert!(Value::List(vec![Value::Int(1)]).as_list().is_some());
+    }
+
+    #[test]
+    fn ad_lookup_is_case_insensitive() {
+        let mut ad = Ad::new();
+        ad.set_str("Executable", "app");
+        assert_eq!(ad.get("executable").and_then(Value::as_str), Some("app"));
+        assert_eq!(ad.get("EXECUTABLE").and_then(Value::as_str), Some("app"));
+        assert!(ad.contains("ExEcUtAbLe"));
+        assert!(!ad.contains("missing"));
+    }
+
+    #[test]
+    fn later_set_replaces_earlier() {
+        let mut ad = Ad::new();
+        ad.set_int("NodeNumber", 2);
+        ad.set_int("nodenumber", 4);
+        assert_eq!(ad.get("NodeNumber").and_then(Value::as_i64), Some(4));
+        assert_eq!(ad.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_empty() {
+        let mut ad = Ad::new();
+        assert!(ad.is_empty());
+        ad.set_bool("x", true);
+        assert_eq!(ad.remove("X"), Some(Value::Bool(true)));
+        assert!(ad.is_empty());
+        assert_eq!(ad.remove("x"), None);
+    }
+
+    #[test]
+    fn display_round_trips_scalars() {
+        assert_eq!(Value::Str("a\"b".into()).to_string(), "\"a\\\"b\"");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Double(2.0).to_string(), "2.0");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Str("b".into())]).to_string(),
+            "{1, \"b\"}"
+        );
+    }
+
+    #[test]
+    fn ad_display_lists_attributes() {
+        let mut ad = Ad::new();
+        ad.set_str("Executable", "app").set_int("NodeNumber", 2);
+        let s = ad.to_string();
+        assert!(s.contains("Executable = \"app\";"));
+        assert!(s.contains("NodeNumber = 2;"));
+    }
+}

@@ -1,0 +1,461 @@
+//! Tokenizer for the Job Description Language.
+//!
+//! The JDL of the EDG/CrossGrid middleware is a ClassAd dialect: attribute
+//! assignments `Name = value;` where values are strings, numbers, booleans,
+//! lists `{a, b}`, or expressions (`other.FreeCpus >= 2 && other.Arch ==
+//! "i686"`). Comments: `//…`, `#…`, and `/* … */`.
+
+use std::fmt;
+
+/// Position of a token in the source, for error messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (attribute names are case-insensitive).
+    Ident(String),
+    /// Double-quoted string literal (escapes resolved).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Double(f64),
+    /// `true` / `false` (case-insensitive).
+    Bool(bool),
+    /// `undefined` keyword (ClassAd tri-state logic).
+    Undefined,
+    /// `=`
+    Assign,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `.`
+    Dot,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `!`
+    Not,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Str(s) => write!(f, "string {s:?}"),
+            Tok::Int(n) => write!(f, "integer {n}"),
+            Tok::Double(x) => write!(f, "number {x}"),
+            Tok::Bool(b) => write!(f, "boolean {b}"),
+            Tok::Undefined => write!(f, "`undefined`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Eq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::And => write!(f, "`&&`"),
+            Tok::Or => write!(f, "`||`"),
+            Tok::Not => write!(f, "`!`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::Question => write!(f, "`?`"),
+            Tok::Colon => write!(f, "`:`"),
+        }
+    }
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Where it happened.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes JDL source into `(token, position)` pairs.
+pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    loop {
+        let pos = Pos { line, col };
+        let Some(&c) = chars.peek() else { break };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '/' => {
+                bump!();
+                match chars.peek() {
+                    Some('/') => {
+                        while let Some(&c) = chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            bump!();
+                        }
+                    }
+                    Some('*') => {
+                        bump!();
+                        let mut closed = false;
+                        while let Some(c) = bump!() {
+                            if c == '*' && chars.peek() == Some(&'/') {
+                                bump!();
+                                closed = true;
+                                break;
+                            }
+                        }
+                        if !closed {
+                            return Err(LexError {
+                                pos,
+                                message: "unterminated block comment".into(),
+                            });
+                        }
+                    }
+                    _ => out.push((Tok::Slash, pos)),
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        None | Some('\n') => {
+                            return Err(LexError {
+                                pos,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some('"') => break,
+                        Some('\\') => match bump!() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('\\') => s.push('\\'),
+                            Some('"') => s.push('"'),
+                            other => {
+                                return Err(LexError {
+                                    pos,
+                                    message: format!("bad escape {other:?}"),
+                                })
+                            }
+                        },
+                        Some(c) => s.push(c),
+                    }
+                }
+                out.push((Tok::Str(s), pos));
+            }
+            '0'..='9' => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        bump!();
+                    } else if c == '.' {
+                        // Lookahead: `1.5` is a float, `other.X` never starts
+                        // with a digit, so a dot after digits is fractional.
+                        is_float = true;
+                        text.push(c);
+                        bump!();
+                    } else if c == 'e' || c == 'E' {
+                        is_float = true;
+                        text.push(c);
+                        bump!();
+                        if let Some(&sign @ ('+' | '-')) = chars.peek() {
+                            text.push(sign);
+                            bump!();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let tok = if is_float {
+                    Tok::Double(text.parse().map_err(|_| LexError {
+                        pos,
+                        message: format!("bad number `{text}`"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| LexError {
+                        pos,
+                        message: format!("bad integer `{text}`"),
+                    })?)
+                };
+                out.push((tok, pos));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let tok = match ident.to_ascii_lowercase().as_str() {
+                    "true" => Tok::Bool(true),
+                    "false" => Tok::Bool(false),
+                    "undefined" => Tok::Undefined,
+                    _ => Tok::Ident(ident),
+                };
+                out.push((tok, pos));
+            }
+            _ => {
+                bump!();
+                let tok = match c {
+                    '=' => {
+                        if chars.peek() == Some(&'=') {
+                            bump!();
+                            Tok::Eq
+                        } else {
+                            Tok::Assign
+                        }
+                    }
+                    '!' => {
+                        if chars.peek() == Some(&'=') {
+                            bump!();
+                            Tok::Ne
+                        } else {
+                            Tok::Not
+                        }
+                    }
+                    '<' => {
+                        if chars.peek() == Some(&'=') {
+                            bump!();
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if chars.peek() == Some(&'=') {
+                            bump!();
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    '&' => {
+                        if chars.peek() == Some(&'&') {
+                            bump!();
+                            Tok::And
+                        } else {
+                            return Err(LexError {
+                                pos,
+                                message: "single `&` (did you mean `&&`?)".into(),
+                            });
+                        }
+                    }
+                    '|' => {
+                        if chars.peek() == Some(&'|') {
+                            bump!();
+                            Tok::Or
+                        } else {
+                            return Err(LexError {
+                                pos,
+                                message: "single `|` (did you mean `||`?)".into(),
+                            });
+                        }
+                    }
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '.' => Tok::Dot,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '%' => Tok::Percent,
+                    '?' => Tok::Question,
+                    ':' => Tok::Colon,
+                    other => {
+                        return Err(LexError {
+                            pos,
+                            message: format!("unexpected character {other:?}"),
+                        })
+                    }
+                };
+                out.push((tok, pos));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn lexes_the_papers_figure_2() {
+        let src = r#"
+            Executable = "interactive_mpich-g2_app";
+            JobType = {"interactive", "mpich-g2"};
+            NodeNumber = 2;
+            Arguments = "-n";
+        "#;
+        // "interactive_mpich-g2_app" is a string, so the dash inside is fine.
+        let t = toks(src);
+        assert!(t.contains(&Tok::Ident("Executable".into())));
+        assert!(t.contains(&Tok::Str("interactive_mpich-g2_app".into())));
+        assert!(t.contains(&Tok::LBrace));
+        assert!(t.contains(&Tok::Int(2)));
+        assert_eq!(t.iter().filter(|t| **t == Tok::Semi).count(), 4);
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        assert_eq!(toks("42"), vec![Tok::Int(42)]);
+        assert_eq!(toks("4.5"), vec![Tok::Double(4.5)]);
+        assert_eq!(toks("1e3"), vec![Tok::Double(1000.0)]);
+        assert_eq!(toks("2.5e-2"), vec![Tok::Double(0.025)]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks(r#""a\"b\n\t\\c""#), vec![Tok::Str("a\"b\n\t\\c".into())]);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(toks("TRUE False UNDEFINED"), vec![Tok::Bool(true), Tok::Bool(false), Tok::Undefined]);
+    }
+
+    #[test]
+    fn operators_lex() {
+        assert_eq!(
+            toks("== != <= >= < > && || ! + - * / % ? : ."),
+            vec![
+                Tok::Eq, Tok::Ne, Tok::Le, Tok::Ge, Tok::Lt, Tok::Gt, Tok::And, Tok::Or,
+                Tok::Not, Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash, Tok::Percent,
+                Tok::Question, Tok::Colon, Tok::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "a = 1; // line\nb = 2; # hash\n/* block\n over lines */ c = 3;";
+        let t = toks(src);
+        assert_eq!(t.iter().filter(|t| matches!(t, Tok::Int(_))).count(), 3);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = lex("a = \"unterminated").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.pos.line, 1);
+        let err = lex("x = 1;\n  @").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+        assert_eq!(err.pos.col, 3);
+    }
+
+    #[test]
+    fn single_amp_and_pipe_rejected() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_comment_rejected() {
+        assert!(lex("/* never closed").is_err());
+    }
+}

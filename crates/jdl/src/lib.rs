@@ -1,0 +1,47 @@
+//! # cg-jdl — the Job Description Language
+//!
+//! The EDG/CrossGrid JDL is a ClassAd dialect: jobs are attribute records
+//! (`Executable = "app"; JobType = {"interactive", "mpich-g2"}; …`) with
+//! `Requirements`/`Rank` matchmaking expressions evaluated against machine
+//! advertisements. This crate provides:
+//!
+//! - [`lex`]/[`parse_ad`]/[`parse_expr`] — tokenizer and recursive-descent
+//!   parser with positioned errors;
+//! - [`Ad`]/[`Value`] — the attribute-record data model (case-insensitive
+//!   names, ordered printing, round-trippable);
+//! - [`Expr`] — ClassAd-lite expressions with tri-state (`undefined`)
+//!   semantics, `other.*` scoping, `member()`/`isUndefined()`;
+//! - [`JobDescription`] — the typed, validated view with the paper's
+//!   interactivity attributes: `JobType`, `NodeNumber`, `StreamingMode`
+//!   (reliable/fast), `MachineAccess` (exclusive/shared), `PerformanceLoss`
+//!   (multiples of 5), `ShadowPort`.
+//!
+//! ```
+//! use cg_jdl::{JobDescription, Interactivity, Parallelism};
+//!
+//! let job = JobDescription::parse(r#"
+//!     Executable  = "interactive_mpich-g2_app";
+//!     JobType     = {"interactive", "mpich-g2"};
+//!     NodeNumber  = 2;
+//!     Arguments   = "-n";
+//! "#).unwrap();
+//! assert_eq!(job.interactivity, Interactivity::Interactive);
+//! assert_eq!(job.parallelism, Parallelism::MpichG2);
+//! assert_eq!(job.console_agent_count(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod expr;
+mod job;
+mod lexer;
+mod parser;
+
+pub use ast::{Ad, Value};
+pub use expr::{BinOp, Ctx, Cv, EvalError, Expr};
+pub use job::{
+    Interactivity, JobDescription, JobError, MachineAccess, Parallelism, StreamingMode,
+};
+pub use lexer::{lex, LexError, Pos, Tok};
+pub use parser::{parse_ad, parse_expr, ParseError};

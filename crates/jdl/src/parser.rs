@@ -1,0 +1,482 @@
+//! Recursive-descent parser for JDL attribute records and expressions.
+//!
+//! Grammar (after lexing):
+//!
+//! ```text
+//! ad      := '[' attr* ']' | attr*
+//! attr    := IDENT '=' value ';'
+//! value   := list | expr
+//! list    := '{' (value (',' value)*)? '}'
+//! expr    := or ('?' expr ':' expr)?
+//! or      := and ('||' and)*
+//! and     := cmp ('&&' cmp)*
+//! cmp     := add (CMPOP add)?
+//! add     := mul (('+'|'-') mul)*
+//! mul     := unary (('*'|'/'|'%') unary)*
+//! unary   := ('!'|'-') unary | primary
+//! primary := literal | IDENT ['.' IDENT] | IDENT '(' args ')' | '(' expr ')'
+//! ```
+//!
+//! Plain literal values are stored as scalars; anything with structure is
+//! stored as an unevaluated [`Expr`].
+
+use std::fmt;
+
+use crate::ast::{Ad, Value};
+use crate::expr::{BinOp, Expr};
+use crate::lexer::{lex, LexError, Pos, Tok};
+
+/// A parse failure with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Where (best effort — end of input uses the last token's position).
+    pub pos: Pos,
+    /// What.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            pos: e.pos,
+            message: e.message,
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, Pos)>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(t, _)| t)
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks
+            .get(self.i)
+            .or_else(|| self.toks.last())
+            .map(|&(_, p)| p)
+            .unwrap_or(Pos { line: 1, col: 1 })
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.pos(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(ParseError {
+                pos: self.toks[self.i - 1].1,
+                message: format!("expected {want}, found {t}"),
+            }),
+            None => Err(self.error(format!("expected {want}, found end of input"))),
+        }
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_ad(&mut self) -> Result<Ad, ParseError> {
+        let bracketed = self.eat(&Tok::LBrace) && {
+            // `[` is not a JDL token; EDG JDL optionally wraps ads in `[ ]`,
+            // but our lexer maps both braces; accept `{ attrs }` too.
+            true
+        };
+        let mut ad = Ad::new();
+        loop {
+            match self.peek() {
+                None => {
+                    if bracketed {
+                        return Err(self.error("unterminated ad: missing `}`"));
+                    }
+                    break;
+                }
+                Some(Tok::RBrace) if bracketed => {
+                    self.i += 1;
+                    break;
+                }
+                Some(Tok::Ident(_)) => {
+                    let Some(Tok::Ident(name)) = self.next() else {
+                        unreachable!()
+                    };
+                    self.expect(Tok::Assign)?;
+                    let value = self.parse_value()?;
+                    self.expect(Tok::Semi)?;
+                    ad.set(name, value);
+                }
+                Some(t) => return Err(self.error(format!("expected attribute name, found {t}"))),
+            }
+        }
+        if self.peek().is_some() && !bracketed {
+            return Err(self.error("trailing input after ad"));
+        }
+        Ok(ad)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        if self.peek() == Some(&Tok::LBrace) {
+            return self.parse_list();
+        }
+        let expr = self.parse_expr()?;
+        Ok(simplify(expr))
+    }
+
+    fn parse_list(&mut self) -> Result<Value, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut items = Vec::new();
+        if !self.eat(&Tok::RBrace) {
+            loop {
+                items.push(self.parse_value()?);
+                if self.eat(&Tok::Comma) {
+                    continue;
+                }
+                self.expect(Tok::RBrace)?;
+                break;
+            }
+        }
+        Ok(Value::List(items))
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.parse_or()?;
+        if self.eat(&Tok::Question) {
+            let a = self.parse_expr()?;
+            self.expect(Tok::Colon)?;
+            let b = self.parse_expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_and()?;
+        while self.eat(&Tok::Or) {
+            let r = self.parse_and()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_cmp()?;
+        while self.eat(&Tok::And) {
+            let r = self.parse_cmp()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseError> {
+        let e = self.parse_add()?;
+        let op = match self.peek() {
+            Some(Tok::Eq) => BinOp::Eq,
+            Some(Tok::Ne) => BinOp::Ne,
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Le) => BinOp::Le,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Ge) => BinOp::Ge,
+            _ => return Ok(e),
+        };
+        self.i += 1;
+        let r = self.parse_add()?;
+        Ok(Expr::Bin(op, Box::new(e), Box::new(r)))
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => return Ok(e),
+            };
+            self.i += 1;
+            let r = self.parse_mul()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Mod,
+                _ => return Ok(e),
+            };
+            self.i += 1;
+            let r = self.parse_unary()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(r));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Tok::Not) {
+            return Ok(Expr::Not(Box::new(self.parse_unary()?)));
+        }
+        if self.eat(&Tok::Minus) {
+            // Fold negation into numeric literals.
+            return Ok(match self.parse_unary()? {
+                Expr::Int(n) => Expr::Int(-n),
+                Expr::Double(x) => Expr::Double(-x),
+                e => Expr::Neg(Box::new(e)),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Tok::Str(s)) => Ok(Expr::Str(s)),
+            Some(Tok::Int(n)) => Ok(Expr::Int(n)),
+            Some(Tok::Double(x)) => Ok(Expr::Double(x)),
+            Some(Tok::Bool(b)) => Ok(Expr::Bool(b)),
+            Some(Tok::Undefined) => Ok(Expr::Undefined),
+            Some(Tok::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat(&Tok::Comma) {
+                                continue;
+                            }
+                            self.expect(Tok::RParen)?;
+                            break;
+                        }
+                    }
+                    return Ok(Expr::Call(name, args));
+                }
+                if self.eat(&Tok::Dot) {
+                    match self.next() {
+                        Some(Tok::Ident(attr)) => Ok(Expr::Ref {
+                            scope: Some(name.to_ascii_lowercase()),
+                            name: attr,
+                        }),
+                        other => Err(self.error(format!(
+                            "expected attribute name after `{name}.`, found {}",
+                            other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                        ))),
+                    }
+                } else {
+                    Ok(Expr::Ref { scope: None, name })
+                }
+            }
+            Some(t) => Err(ParseError {
+                pos: self.toks[self.i - 1].1,
+                message: format!("expected a value, found {t}"),
+            }),
+            None => Err(self.error("expected a value, found end of input")),
+        }
+    }
+}
+
+/// Literal expressions collapse to scalar values; everything else stays an
+/// unevaluated expression.
+fn simplify(e: Expr) -> Value {
+    match e {
+        Expr::Str(s) => Value::Str(s),
+        Expr::Int(n) => Value::Int(n),
+        Expr::Double(x) => Value::Double(x),
+        Expr::Bool(b) => Value::Bool(b),
+        other => Value::Expr(other),
+    }
+}
+
+/// Parses a complete attribute record.
+pub fn parse_ad(src: &str) -> Result<Ad, ParseError> {
+    let toks = lex(src)?;
+    Parser { toks, i: 0 }.parse_ad()
+}
+
+/// Parses a standalone expression (e.g. a Requirements string).
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let e = p.parse_expr()?;
+    if p.peek().is_some() {
+        return Err(p.error("trailing input after expression"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Ctx, Cv};
+
+    #[test]
+    fn parses_the_papers_figure_2() {
+        let ad = parse_ad(
+            r#"
+            Executable = "interactive_mpich-g2_app";
+            JobType = {"interactive", "mpich-g2"};
+            NodeNumber = 2;
+            Arguments = "-n";
+        "#,
+        )
+        .unwrap();
+        assert_eq!(ad.get("Executable").unwrap().as_str(), Some("interactive_mpich-g2_app"));
+        assert_eq!(ad.get("NodeNumber").unwrap().as_i64(), Some(2));
+        let jt = ad.get("JobType").unwrap().as_list().unwrap();
+        assert_eq!(jt.len(), 2);
+        assert_eq!(jt[0].as_str(), Some("interactive"));
+        assert_eq!(jt[1].as_str(), Some("mpich-g2"));
+    }
+
+    #[test]
+    fn parses_requirements_expression() {
+        let ad = parse_ad(
+            r#"
+            Requirements = other.Arch == "i686" && other.FreeCpus >= NodeNumber;
+            Rank = other.FreeCpus * 2 - other.LoadAvg;
+            NodeNumber = 2;
+        "#,
+        )
+        .unwrap();
+        let Value::Expr(req) = ad.get("Requirements").unwrap() else {
+            panic!("Requirements should stay an expression")
+        };
+        let mut machine = Ad::new();
+        machine.set_str("Arch", "i686").set_int("FreeCpus", 3).set_double("LoadAvg", 0.5);
+        let ctx = Ctx { own: &ad, other: &machine };
+        assert!(req.eval_requirement(ctx).unwrap());
+        let Value::Expr(rank) = ad.get("Rank").unwrap() else {
+            panic!()
+        };
+        assert_eq!(rank.eval_rank(ctx).unwrap(), 5.5);
+    }
+
+    #[test]
+    fn precedence_is_conventional() {
+        let e = parse_expr("1 + 2 * 3 == 7 && true").unwrap();
+        let empty = Ad::new();
+        let ctx = Ctx { own: &empty, other: &empty };
+        assert_eq!(e.eval(ctx).unwrap(), Cv::Val(Value::Bool(true)));
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.eval(ctx).unwrap(), Cv::Val(Value::Int(9)));
+        let e = parse_expr("2 - 1 - 1").unwrap();
+        assert_eq!(e.eval(ctx).unwrap(), Cv::Val(Value::Int(0)), "left assoc");
+    }
+
+    #[test]
+    fn unary_folding_and_nesting() {
+        assert_eq!(parse_expr("-5").unwrap(), Expr::Int(-5));
+        assert_eq!(parse_expr("-5.5").unwrap(), Expr::Double(-5.5));
+        let e = parse_expr("!!true").unwrap();
+        let empty = Ad::new();
+        assert_eq!(
+            e.eval(Ctx { own: &empty, other: &empty }).unwrap(),
+            Cv::Val(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn nested_lists() {
+        let ad = parse_ad(r#"X = {1, {2, 3}, "four"};"#).unwrap();
+        let l = ad.get("X").unwrap().as_list().unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l[1].as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_list_and_empty_ad() {
+        let ad = parse_ad("X = {};").unwrap();
+        assert_eq!(ad.get("X").unwrap().as_list().unwrap().len(), 0);
+        let ad = parse_ad("").unwrap();
+        assert!(ad.is_empty());
+    }
+
+    #[test]
+    fn function_calls_parse() {
+        let e = parse_expr(r#"member("MPICH-G2", other.RunTimeEnv)"#).unwrap();
+        assert!(matches!(e, Expr::Call(ref name, ref args) if name == "member" && args.len() == 2));
+    }
+
+    #[test]
+    fn ternary_parses() {
+        let e = parse_expr("true ? 1 : 2").unwrap();
+        let empty = Ad::new();
+        assert_eq!(
+            e.eval(Ctx { own: &empty, other: &empty }).unwrap(),
+            Cv::Val(Value::Int(1))
+        );
+    }
+
+    #[test]
+    fn errors_are_located_and_described() {
+        let err = parse_ad("Executable \"app\";").unwrap_err();
+        assert!(err.message.contains("expected `=`"), "{}", err.message);
+        let err = parse_ad("X = ;").unwrap_err();
+        assert!(err.message.contains("expected a value"), "{}", err.message);
+        let err = parse_ad("X = 1").unwrap_err();
+        assert!(err.message.contains("`;`"), "{}", err.message);
+        let err = parse_expr("1 +").unwrap_err();
+        assert!(err.message.contains("end of input"), "{}", err.message);
+        let err = parse_expr("1 2").unwrap_err();
+        assert!(err.message.contains("trailing"), "{}", err.message);
+    }
+
+    #[test]
+    fn scope_refs() {
+        let e = parse_expr("other.FreeCpus >= self.NodeNumber").unwrap();
+        let mut job = Ad::new();
+        job.set_int("NodeNumber", 2);
+        let mut machine = Ad::new();
+        machine.set_int("FreeCpus", 2);
+        assert!(e.eval_requirement(Ctx { own: &job, other: &machine }).unwrap());
+    }
+
+    #[test]
+    fn round_trip_print_reparse() {
+        let src = r#"
+            Executable = "app";
+            JobType = {"interactive", "mpich-p4"};
+            NodeNumber = 4;
+            PerformanceLoss = 10;
+            Requirements = other.FreeCpus >= 4 && member("CG", other.Tags);
+        "#;
+        let ad = parse_ad(src).unwrap();
+        let printed = ad.to_string();
+        // The printed form wraps in [ ] which parse_ad does not consume; strip.
+        let inner = printed.trim().trim_start_matches('[').trim_end_matches(']');
+        let reparsed = parse_ad(inner).unwrap();
+        assert_eq!(ad, reparsed);
+    }
+}

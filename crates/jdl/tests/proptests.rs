@@ -1,0 +1,96 @@
+//! Property tests: printing and reparsing are inverse operations, and the
+//! expression evaluator is total and stable over the printed form.
+
+use cg_jdl::{parse_ad, parse_expr, Ad, Ctx, Expr, Value};
+use proptest::prelude::*;
+
+/// Attribute names: identifiers that aren't keywords.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,12}".prop_filter("keyword", |s| {
+        !["true", "false", "undefined"].contains(&s.to_ascii_lowercase().as_str())
+    })
+}
+
+/// Scalar values that print and reparse exactly.
+fn scalar_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[ -~]{0,20}".prop_map(Value::Str),
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        // Finite doubles with exact decimal round-trip via {x} formatting.
+        (-1e9f64..1e9).prop_map(Value::Double),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    scalar_strategy().prop_recursive(2, 16, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::List)
+    })
+}
+
+/// Expressions built from integer literals and arithmetic/comparison/logic,
+/// guaranteed well-typed by construction.
+fn int_expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = (-1000i64..1000).prop_map(Expr::Int);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        (inner.clone(), inner, prop::sample::select(vec!["+", "-", "*"])).prop_map(
+            |(a, b, op)| {
+                let op = match op {
+                    "+" => cg_jdl::BinOp::Add,
+                    "-" => cg_jdl::BinOp::Sub,
+                    _ => cg_jdl::BinOp::Mul,
+                };
+                Expr::Bin(op, Box::new(a), Box::new(b))
+            },
+        )
+    })
+}
+
+proptest! {
+    /// Ad print → strip brackets → reparse → identical ad.
+    #[test]
+    fn ad_print_parse_round_trip(
+        attrs in prop::collection::vec((name_strategy(), value_strategy()), 0..8)
+    ) {
+        let mut ad = Ad::new();
+        for (name, value) in attrs {
+            ad.set(name, value);
+        }
+        let printed = ad.to_string();
+        let inner = printed.trim().trim_start_matches('[').trim_end_matches(']');
+        let reparsed = parse_ad(inner).unwrap();
+        prop_assert_eq!(ad, reparsed);
+    }
+
+    /// Expression display → parse → identical evaluation.
+    #[test]
+    fn expr_display_parse_evaluation_stable(e in int_expr_strategy()) {
+        let empty = Ad::new();
+        let ctx = Ctx { own: &empty, other: &empty };
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed).unwrap();
+        prop_assert_eq!(e.eval(ctx).unwrap(), reparsed.eval(ctx).unwrap());
+    }
+
+    /// The evaluator never panics on arbitrary well-formed integer arithmetic
+    /// (wrapping semantics; division only by parser-produced literals).
+    #[test]
+    fn evaluator_is_total_on_int_arithmetic(e in int_expr_strategy()) {
+        let empty = Ad::new();
+        let ctx = Ctx { own: &empty, other: &empty };
+        prop_assert!(e.eval(ctx).is_ok());
+    }
+
+    /// Lexing arbitrary bytes never panics (errors are fine).
+    #[test]
+    fn lexer_is_total(src in "[ -~\n\t]{0,200}") {
+        let _ = cg_jdl::lex(&src);
+    }
+
+    /// Parsing arbitrary printable input never panics.
+    #[test]
+    fn parser_is_total(src in "[ -~\n\t]{0,200}") {
+        let _ = parse_ad(&src);
+        let _ = parse_expr(&src);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests on the network substrate.
+
+use cg_net::{Dir, FaultSchedule, Link, LinkProfile};
+use cg_sim::{Sim, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn windows_strategy() -> impl Strategy<Value = Vec<(SimTime, SimTime)>> {
+    prop::collection::vec((0u64..10_000, 0u64..10_000), 0..20).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(a, b)| (SimTime::from_secs(a), SimTime::from_secs(b)))
+            .collect()
+    })
+}
+
+/// Reference implementation: linear scan over the raw (unmerged) windows.
+fn naive_is_down(raw: &[(SimTime, SimTime)], t: SimTime) -> bool {
+    raw.iter().any(|&(s, e)| s < e && s <= t && t < e)
+}
+
+proptest! {
+    /// The merged, binary-searched schedule answers exactly like a naive
+    /// linear scan over the raw windows.
+    #[test]
+    fn fault_schedule_matches_naive(raw in windows_strategy(), probes in prop::collection::vec(0u64..11_000, 0..50)) {
+        let schedule = FaultSchedule::from_windows(raw.clone());
+        for p in probes {
+            let t = SimTime::from_secs(p);
+            prop_assert_eq!(schedule.is_down(t), naive_is_down(&raw, t), "at t={}", p);
+        }
+    }
+
+    /// `up_at` returns an instant that is actually up, and is the earliest
+    /// such instant at or after the probe.
+    #[test]
+    fn up_at_is_the_outage_end(raw in windows_strategy(), probe in 0u64..11_000) {
+        let schedule = FaultSchedule::from_windows(raw);
+        let t = SimTime::from_secs(probe);
+        match schedule.up_at(t) {
+            None => prop_assert!(!schedule.is_down(t)),
+            Some(end) => {
+                prop_assert!(schedule.is_down(t));
+                prop_assert!(!schedule.is_down(end));
+                prop_assert!(end > t);
+            }
+        }
+    }
+
+    /// Windows are sorted and disjoint after merging.
+    #[test]
+    fn merged_windows_are_canonical(raw in windows_strategy()) {
+        let schedule = FaultSchedule::from_windows(raw);
+        for w in schedule.windows().windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "overlap or disorder: {w:?}");
+        }
+        for &(s, e) in schedule.windows() {
+            prop_assert!(s < e);
+        }
+    }
+
+    /// On a clean link, every message is delivered exactly once, and
+    /// per-direction deliveries are in send order.
+    #[test]
+    fn clean_link_delivers_everything_in_order(
+        sizes in prop::collection::vec(0u64..100_000, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new(seed);
+        let link = Link::new(LinkProfile::wan_ifca());
+        let deliveries: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let d = Rc::clone(&deliveries);
+            link.send(&mut sim, Dir::AToB, bytes, move |_, r| {
+                r.unwrap();
+                d.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        let got = deliveries.borrow().clone();
+        prop_assert_eq!(got, (0..sizes.len()).collect::<Vec<_>>());
+        prop_assert_eq!(link.stats().delivered, sizes.len() as u64);
+        prop_assert_eq!(link.stats().failed, 0);
+    }
+
+    /// Every send gets exactly one outcome even across arbitrary outages:
+    /// delivered + failed == sent.
+    #[test]
+    fn outcomes_are_exhaustive_under_faults(
+        sizes in prop::collection::vec(1u64..10_000, 1..30),
+        raw in windows_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new(seed);
+        let link = Link::with_faults(LinkProfile::campus(), FaultSchedule::from_windows(raw));
+        let outcomes = Rc::new(RefCell::new(0u64));
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let o = Rc::clone(&outcomes);
+            let link2 = link.clone();
+            // Spread sends over time so some hit outages.
+            sim.schedule_at(SimTime::from_secs(i as u64 * 500), move |sim| {
+                link2.send(sim, Dir::AToB, bytes, move |_, _| {
+                    *o.borrow_mut() += 1;
+                });
+            });
+        }
+        sim.run();
+        prop_assert_eq!(*outcomes.borrow(), sizes.len() as u64);
+        let stats = link.stats();
+        prop_assert_eq!(stats.delivered + stats.failed, sizes.len() as u64);
+    }
+}

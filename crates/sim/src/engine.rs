@@ -1,0 +1,391 @@
+//! The event loop.
+//!
+//! [`Sim`] owns a priority queue of scheduled events. Each event is a boxed
+//! `FnOnce(&mut Sim)` so handlers can schedule further events, advance
+//! statistics, or mutate components captured as `Rc<RefCell<_>>`. Ties in time
+//! break on the monotonically increasing sequence number, which makes the
+//! execution order a pure function of the schedule calls — runs with the same
+//! seed are identical.
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle for a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number (unique per simulation run).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+type Action = Box<dyn FnOnce(&mut Sim)>;
+
+struct Entry {
+    time: SimTime,
+    id: EventId,
+    action: Action,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.id).cmp(&(other.time, other.id))
+    }
+}
+
+/// Outcome of [`Sim::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon.
+    Drained,
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The configured event budget was exhausted (runaway guard).
+    BudgetExhausted,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// ```
+/// use cg_sim::{Sim, SimDuration};
+///
+/// let mut sim = Sim::new(42);
+/// sim.schedule_in(SimDuration::from_secs(5), |sim| {
+///     assert_eq!(sim.now().as_secs_f64(), 5.0);
+/// });
+/// sim.run();
+/// assert_eq!(sim.now().as_secs_f64(), 5.0);
+/// ```
+pub struct Sim {
+    now: SimTime,
+    next_seq: u64,
+    heap: BinaryHeap<Reverse<Entry>>,
+    cancelled: HashSet<EventId>,
+    rng: SimRng,
+    executed: u64,
+    event_budget: u64,
+    trace: Option<Box<dyn FnMut(SimTime, EventId)>>,
+}
+
+impl Sim {
+    /// Creates a simulation whose random stream is derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            next_seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            rng: SimRng::new(seed),
+            executed: 0,
+            event_budget: u64::MAX,
+            trace: None,
+        }
+    }
+
+    /// Caps the total number of events executed; exceeding it stops the run
+    /// with [`RunOutcome::BudgetExhausted`]. A guard against runaway models.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Installs a hook invoked before each event executes (debug tracing).
+    pub fn set_trace(&mut self, hook: impl FnMut(SimTime, EventId) + 'static) {
+        self.trace = Some(Box::new(hook));
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled-but-unswept).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// The simulation's deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Schedules `action` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling backwards in time is always
+    /// a model bug and silently clamping would hide it.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim) + 'static) -> EventId {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let id = EventId(self.next_seq);
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            id,
+            action: Box::new(action),
+        }));
+        id
+    }
+
+    /// Schedules `action` after `delay` of simulated time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut Sim) + 'static,
+    ) -> EventId {
+        let at = self.now.saturating_add(delay);
+        self.schedule_at(at, action)
+    }
+
+    /// Schedules `action` to run at the current instant, after all events
+    /// already scheduled for this instant.
+    pub fn schedule_now(&mut self, action: impl FnOnce(&mut Sim) + 'static) -> EventId {
+        self.schedule_at(self.now, action)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event had not yet fired
+    /// (cancelling an already-executed or already-cancelled event is a no-op).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Runs until the queue drains.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs events with `time <= horizon`. On return the clock reads either
+    /// the time of the last executed event (drained) or `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            let next_time = match self.heap.peek() {
+                None => return RunOutcome::Drained,
+                Some(Reverse(e)) => e.time,
+            };
+            if next_time > horizon {
+                self.now = horizon;
+                return RunOutcome::HorizonReached;
+            }
+            let Reverse(entry) = self.heap.pop().expect("peeked entry vanished");
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            if self.executed >= self.event_budget {
+                self.now = entry.time;
+                return RunOutcome::BudgetExhausted;
+            }
+            debug_assert!(entry.time >= self.now, "event heap returned past event");
+            self.now = entry.time;
+            self.executed += 1;
+            if let Some(hook) = self.trace.as_mut() {
+                hook(entry.time, entry.id);
+            }
+            (entry.action)(self);
+        }
+    }
+
+    /// Runs a single event if one is pending; returns whether one ran.
+    /// Cancelled entries are swept without counting as a step.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(Reverse(entry)) = self.heap.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.now = entry.time;
+            self.executed += 1;
+            if let Some(hook) = self.trace.as_mut() {
+                hook(entry.time, entry.id);
+            }
+            (entry.action)(self);
+            return true;
+        }
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("executed", &self.executed)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for (delay, tag) in [(3u64, 3u32), (1, 1), (2, 2)] {
+            let log = Rc::clone(&log);
+            sim.schedule_in(SimDuration::from_secs(delay), move |_| {
+                log.borrow_mut().push(tag);
+            });
+        }
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..10u32 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_secs(1), move |_| log.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more() {
+        let mut sim = Sim::new(1);
+        let count = Rc::new(RefCell::new(0u32));
+        fn tick(sim: &mut Sim, count: Rc<RefCell<u32>>, left: u32) {
+            *count.borrow_mut() += 1;
+            if left > 0 {
+                sim.schedule_in(SimDuration::from_millis(10), move |sim| {
+                    tick(sim, count, left - 1)
+                });
+            }
+        }
+        let c = Rc::clone(&count);
+        sim.schedule_now(move |sim| tick(sim, c, 4));
+        sim.run();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Sim::new(1);
+        let fired = Rc::new(RefCell::new(false));
+        let f = Rc::clone(&fired);
+        let id = sim.schedule_in(SimDuration::from_secs(1), move |_| *f.borrow_mut() = true);
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double cancel reports false");
+        sim.run();
+        assert!(!*fired.borrow());
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut sim = Sim::new(1);
+        assert!(!sim.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Sim::new(1);
+        let fired = Rc::new(RefCell::new(0u32));
+        for s in [1u64, 2, 3] {
+            let f = Rc::clone(&fired);
+            sim.schedule_in(SimDuration::from_secs(s), move |_| *f.borrow_mut() += 1);
+        }
+        assert_eq!(sim.run_until(SimTime::from_secs(2)), RunOutcome::HorizonReached);
+        assert_eq!(*fired.borrow(), 2);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        assert_eq!(*fired.borrow(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Sim::new(1);
+        sim.schedule_in(SimDuration::from_secs(5), |sim| {
+            sim.schedule_at(SimTime::from_secs(1), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn event_budget_halts_runaway() {
+        let mut sim = Sim::new(1);
+        sim.set_event_budget(100);
+        fn forever(sim: &mut Sim) {
+            sim.schedule_in(SimDuration::from_nanos(1), forever);
+        }
+        sim.schedule_now(forever);
+        assert_eq!(sim.run(), RunOutcome::BudgetExhausted);
+        assert_eq!(sim.events_executed(), 100);
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        fn trace_of(seed: u64) -> Vec<(u64, u64)> {
+            let trace = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Sim::new(seed);
+            let t = Rc::clone(&trace);
+            sim.set_trace(move |time, id| t.borrow_mut().push((time.as_nanos(), id.raw())));
+            // A little model with randomized delays.
+            fn arrival(sim: &mut Sim, left: u32) {
+                if left == 0 {
+                    return;
+                }
+                let d = sim.rng().exp(0.5);
+                sim.schedule_in(d, move |sim| arrival(sim, left - 1));
+            }
+            sim.schedule_now(move |sim| arrival(sim, 50));
+            sim.run();
+            let out = trace.borrow().clone();
+            out
+        }
+        assert_eq!(trace_of(7), trace_of(7));
+        assert_ne!(trace_of(7), trace_of(8));
+    }
+
+    #[test]
+    fn step_executes_one_event() {
+        let mut sim = Sim::new(1);
+        let fired = Rc::new(RefCell::new(0u32));
+        for _ in 0..3 {
+            let f = Rc::clone(&fired);
+            sim.schedule_in(SimDuration::from_secs(1), move |_| *f.borrow_mut() += 1);
+        }
+        assert!(sim.step());
+        assert_eq!(*fired.borrow(), 1);
+        assert!(sim.step());
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+}

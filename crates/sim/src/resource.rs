@@ -1,0 +1,237 @@
+//! Counted resources with FIFO wait queues — the building block for CPUs,
+//! queue slots, and any other capacity-limited thing in the models.
+//!
+//! A [`Resource`] is a cheap clonable handle (`Rc<RefCell<_>>` inside; the
+//! engine is single-threaded). `acquire` either grants immediately or parks
+//! the continuation; `release` wakes the head of the queue at the current
+//! simulated instant.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::engine::Sim;
+use crate::time::SimTime;
+
+type Waiter = Box<dyn FnOnce(&mut Sim)>;
+
+struct Inner {
+    capacity: u64,
+    in_use: u64,
+    queue: VecDeque<(SimTime, Waiter)>,
+    peak_queue: usize,
+    grants: u64,
+}
+
+/// A counted resource. Clones share state.
+#[derive(Clone)]
+pub struct Resource {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Resource {
+    /// Creates a resource with `capacity` units.
+    ///
+    /// # Panics
+    /// Panics on zero capacity — a resource nothing can ever hold is a bug.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "resource with zero capacity");
+        Resource {
+            inner: Rc::new(RefCell::new(Inner {
+                capacity,
+                in_use: 0,
+                queue: VecDeque::new(),
+                peak_queue: 0,
+                grants: 0,
+            })),
+        }
+    }
+
+    /// Requests one unit. If a unit is free it is granted and `then` runs via
+    /// `schedule_now` (keeping the "handlers never re-enter" invariant);
+    /// otherwise `then` is parked FIFO until a release.
+    pub fn acquire(&self, sim: &mut Sim, then: impl FnOnce(&mut Sim) + 'static) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.in_use < inner.capacity {
+            inner.in_use += 1;
+            inner.grants += 1;
+            drop(inner);
+            sim.schedule_now(then);
+        } else {
+            inner.queue.push_back((sim.now(), Box::new(then)));
+            let depth = inner.queue.len();
+            inner.peak_queue = inner.peak_queue.max(depth);
+        }
+    }
+
+    /// Tries to take one unit without queueing. Returns whether it succeeded.
+    pub fn try_acquire(&self) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        if inner.in_use < inner.capacity {
+            inner.in_use += 1;
+            inner.grants += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns one unit. If waiters are parked, the head is granted the unit
+    /// and scheduled at the current instant.
+    ///
+    /// # Panics
+    /// Panics if no unit is held — a double release is always a model bug.
+    pub fn release(&self, sim: &mut Sim) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(inner.in_use > 0, "release without matching acquire");
+        if let Some((_, waiter)) = inner.queue.pop_front() {
+            // Unit moves directly to the waiter; in_use stays constant.
+            inner.grants += 1;
+            drop(inner);
+            sim.schedule_now(waiter);
+        } else {
+            inner.in_use -= 1;
+        }
+    }
+
+    /// Units currently held.
+    pub fn in_use(&self) -> u64 {
+        self.inner.borrow().in_use
+    }
+
+    /// Units free right now.
+    pub fn available(&self) -> u64 {
+        let inner = self.inner.borrow();
+        inner.capacity - inner.in_use
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.inner.borrow().capacity
+    }
+
+    /// Waiters currently parked.
+    pub fn queue_len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// Deepest the wait queue has ever been.
+    pub fn peak_queue(&self) -> usize {
+        self.inner.borrow().peak_queue
+    }
+
+    /// Total grants issued (immediate + dequeued).
+    pub fn grants(&self) -> u64 {
+        self.inner.borrow().grants
+    }
+}
+
+impl std::fmt::Debug for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Resource")
+            .field("capacity", &inner.capacity)
+            .field("in_use", &inner.in_use)
+            .field("queued", &inner.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A job that holds the resource for `hold` then releases it, logging its tag.
+    fn spawn_job(
+        sim: &mut Sim,
+        res: &Resource,
+        tag: u32,
+        hold: SimDuration,
+        log: Rc<RefCell<Vec<(u32, f64)>>>,
+    ) {
+        let res2 = res.clone();
+        res.acquire(sim, move |sim| {
+            log.borrow_mut().push((tag, sim.now().as_secs_f64()));
+            sim.schedule_in(hold, move |sim| res2.release(sim));
+        });
+    }
+
+    #[test]
+    fn grants_up_to_capacity_then_queues() {
+        let mut sim = Sim::new(1);
+        let res = Resource::new(2);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..4 {
+            spawn_job(&mut sim, &res, tag, SimDuration::from_secs(10), Rc::clone(&log));
+        }
+        assert_eq!(res.queue_len(), 2);
+        sim.run();
+        // Jobs 0,1 start at t=0; 2,3 at t=10 when the first two release.
+        let log = log.borrow();
+        assert_eq!(log[0], (0, 0.0));
+        assert_eq!(log[1], (1, 0.0));
+        assert_eq!(log[2], (2, 10.0));
+        assert_eq!(log[3], (3, 10.0));
+        assert_eq!(res.in_use(), 0);
+        assert_eq!(res.peak_queue(), 2);
+        assert_eq!(res.grants(), 4);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut sim = Sim::new(1);
+        let res = Resource::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..5 {
+            spawn_job(&mut sim, &res, tag, SimDuration::from_secs(1), Rc::clone(&log));
+        }
+        sim.run();
+        let order: Vec<u32> = log.borrow().iter().map(|&(t, _)| t).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_acquire_never_queues() {
+        let res = Resource::new(1);
+        assert!(res.try_acquire());
+        assert!(!res.try_acquire());
+        assert_eq!(res.queue_len(), 0);
+        assert_eq!(res.available(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without matching acquire")]
+    fn double_release_panics() {
+        let mut sim = Sim::new(1);
+        let res = Resource::new(1);
+        res.release(&mut sim);
+    }
+
+    #[test]
+    fn release_hands_unit_directly_to_waiter() {
+        let mut sim = Sim::new(1);
+        let res = Resource::new(1);
+        assert!(res.try_acquire());
+        let got = Rc::new(RefCell::new(false));
+        let g = Rc::clone(&got);
+        res.acquire(&mut sim, move |_| *g.borrow_mut() = true);
+        assert_eq!(res.queue_len(), 1);
+        res.release(&mut sim);
+        assert_eq!(res.in_use(), 1, "unit transferred, not freed");
+        sim.run();
+        assert!(*got.borrow());
+    }
+
+    #[test]
+    fn available_tracks_state() {
+        let res = Resource::new(3);
+        assert_eq!(res.available(), 3);
+        res.try_acquire();
+        res.try_acquire();
+        assert_eq!(res.available(), 1);
+        assert_eq!(res.capacity(), 3);
+    }
+}

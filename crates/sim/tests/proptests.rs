@@ -1,0 +1,110 @@
+//! Property tests for the simulation engine's core invariants.
+
+use cg_sim::{Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// Events always execute in nondecreasing time order, whatever the
+    /// schedule pattern, including events scheduled from inside handlers.
+    #[test]
+    fn execution_order_is_monotone(delays in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut sim = Sim::new(0);
+        let times: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &d in &delays {
+            let times = Rc::clone(&times);
+            sim.schedule_in(SimDuration::from_nanos(d), move |sim| {
+                times.borrow_mut().push(sim.now().as_nanos());
+                // Half the handlers schedule a follow-up.
+                if d % 2 == 0 {
+                    let times = Rc::clone(&times);
+                    sim.schedule_in(SimDuration::from_nanos(d / 2 + 1), move |sim| {
+                        times.borrow_mut().push(sim.now().as_nanos());
+                    });
+                }
+            });
+        }
+        sim.run();
+        let times = times.borrow();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// The clock after a drained run equals the max scheduled instant.
+    #[test]
+    fn final_clock_is_latest_event(delays in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut sim = Sim::new(0);
+        for &d in &delays {
+            sim.schedule_in(SimDuration::from_nanos(d), |_| {});
+        }
+        sim.run();
+        prop_assert_eq!(sim.now().as_nanos(), *delays.iter().max().unwrap());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_is_exact(spec in prop::collection::vec((0u64..10_000, any::<bool>()), 1..100)) {
+        let mut sim = Sim::new(0);
+        let fired: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut cancel_ids = Vec::new();
+        let mut kept = Vec::new();
+        for (i, &(d, cancel)) in spec.iter().enumerate() {
+            let fired = Rc::clone(&fired);
+            let id = sim.schedule_in(SimDuration::from_nanos(d), move |_| {
+                fired.borrow_mut().push(i);
+            });
+            if cancel {
+                cancel_ids.push(id);
+            } else {
+                kept.push(i);
+            }
+        }
+        for id in cancel_ids {
+            prop_assert!(sim.cancel(id));
+        }
+        sim.run();
+        let mut got = fired.borrow().clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, kept);
+    }
+
+    /// Same seed, same model: identical event count and final clock.
+    /// Different seeds: the randomized model diverges (almost surely).
+    #[test]
+    fn determinism_under_seed(seed in any::<u64>(), n in 1u32..50) {
+        fn run(seed: u64, n: u32) -> (u64, SimTime) {
+            let mut sim = Sim::new(seed);
+            fn arrival(sim: &mut Sim, left: u32) {
+                if left == 0 { return; }
+                let d = sim.rng().exp(1.0);
+                sim.schedule_in(d, move |sim| arrival(sim, left - 1));
+            }
+            sim.schedule_now(move |sim| arrival(sim, n));
+            sim.run();
+            (sim.events_executed(), sim.now())
+        }
+        prop_assert_eq!(run(seed, n), run(seed, n));
+    }
+
+    /// Horizon splitting is transparent: running to t then to the end visits
+    /// the same number of events as running straight through.
+    #[test]
+    fn run_until_composes(delays in prop::collection::vec(0u64..1_000, 1..100), split in 0u64..1_000) {
+        let build = |sim: &mut Sim, delays: &[u64]| {
+            for &d in delays {
+                sim.schedule_in(SimDuration::from_nanos(d), |_| {});
+            }
+        };
+        let mut whole = Sim::new(0);
+        build(&mut whole, &delays);
+        whole.run();
+
+        let mut split_sim = Sim::new(0);
+        build(&mut split_sim, &delays);
+        split_sim.run_until(SimTime::from_nanos(split));
+        split_sim.run();
+
+        prop_assert_eq!(whole.events_executed(), split_sim.events_executed());
+        prop_assert_eq!(whole.now().as_nanos(), split_sim.now().as_nanos());
+    }
+}

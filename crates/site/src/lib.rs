@@ -1,0 +1,27 @@
+//! # cg-site — the grid-site substrate
+//!
+//! Models everything the paper's jobs traverse *at* a site: worker nodes
+//! ([`NodeSpec`]), the local batch scheduler ([`Lrms`], FIFO / backfill /
+//! priority policies, walltime enforcement), the Globus-era gatekeeper
+//! ([`Gatekeeper`]: GSI auth, jobmanager fork, two-phase commit, sandbox
+//! staging), and the MDS information system ([`InformationIndex`]: per-site
+//! snapshots that go stale between refreshes, forcing the broker's two-step
+//! discovery/selection).
+//!
+//! These are the layers whose costs the paper's Table I decomposes, and the
+//! batch-system "adversary" whose queueing delays motivate the
+//! multi-programming mechanism.
+
+#![warn(missing_docs)]
+
+mod gatekeeper;
+mod lrms;
+mod mds;
+mod site;
+mod wn;
+
+pub use gatekeeper::{Gatekeeper, GramCosts, GramEvent};
+pub use lrms::{LocalJobId, LocalJobSpec, Lrms, LrmsEvent, LrmsStats, Policy};
+pub use mds::{InformationIndex, SiteRecord};
+pub use site::{Site, SiteConfig};
+pub use wn::NodeSpec;

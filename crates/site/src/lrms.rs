@@ -1,0 +1,595 @@
+//! Local Resource Management System — the per-site batch scheduler (PBS- or
+//! Condor-like) that owns the worker nodes.
+//!
+//! The paper's premise is that "the existence of batch systems at each Grid
+//! site that have full control over local resources … imposes significant
+//! restrictions on the fast startup of interactive jobs" (§1). This module is
+//! that adversary: jobs queue, dispatch carries latency, and nothing here
+//! knows or cares that a job is interactive.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use cg_sim::{EventId, OnlineStats, Sim, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Scheduling policy of the local queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Strict FIFO: the head blocks everything behind it (PBS default-like).
+    Fifo,
+    /// FIFO with backfill: later jobs may jump a blocked head if they fit now.
+    FifoBackfill,
+    /// Priority order (smaller value first), FIFO among equals (Condor-like).
+    Priority,
+}
+
+/// What a submitted job asks of the LRMS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalJobSpec {
+    /// Nodes required (entire nodes; the testbed scheduled whole WNs).
+    pub nodes: u32,
+    /// Natural runtime once started. `None` = runs until completed/killed
+    /// externally (glide-in agents do this).
+    pub runtime: Option<SimDuration>,
+    /// Walltime limit enforced by the LRMS, if any.
+    pub walltime: Option<SimDuration>,
+    /// Priority (lower = runs earlier) under [`Policy::Priority`].
+    pub priority: i64,
+    /// Owner, for accounting.
+    pub user: String,
+}
+
+impl LocalJobSpec {
+    /// A single-node job with a fixed runtime — the common case.
+    pub fn simple(runtime: SimDuration) -> Self {
+        LocalJobSpec {
+            nodes: 1,
+            runtime: Some(runtime),
+            walltime: None,
+            priority: 0,
+            user: "anonymous".into(),
+        }
+    }
+}
+
+/// Identifies a job within one LRMS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalJobId(pub u64);
+
+/// Job lifecycle notifications delivered to the submitter's callback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrmsEvent {
+    /// The job entered the queue (always first, even if it starts instantly).
+    Queued,
+    /// The job started on the given nodes.
+    Started {
+        /// Indices of the allocated worker nodes.
+        nodes: Vec<usize>,
+    },
+    /// The job ran to completion.
+    Finished,
+    /// The job was killed (walltime exceeded, explicit kill, node loss).
+    Killed {
+        /// Why.
+        reason: String,
+    },
+}
+
+type Callback = Rc<dyn Fn(&mut Sim, LocalJobId, &LrmsEvent)>;
+
+struct QueuedJob {
+    id: LocalJobId,
+    spec: LocalJobSpec,
+    callback: Callback,
+    queued_at: SimTime,
+    seq: u64,
+}
+
+struct RunningJob {
+    callback: Callback,
+    nodes: Vec<usize>,
+    finish_event: Option<EventId>,
+    kill_event: Option<EventId>,
+}
+
+/// Aggregate LRMS metrics.
+#[derive(Debug, Clone, Default)]
+pub struct LrmsStats {
+    /// Queue-wait times of started jobs, seconds.
+    pub wait: OnlineStats,
+    /// Jobs finished normally.
+    pub finished: u64,
+    /// Jobs killed.
+    pub killed: u64,
+}
+
+struct Inner {
+    policy: Policy,
+    node_busy: Vec<bool>,
+    queue: VecDeque<QueuedJob>,
+    running: std::collections::HashMap<LocalJobId, RunningJob>,
+    next_id: u64,
+    next_seq: u64,
+    /// Scheduler cycle latency: time between a dispatch decision and the job
+    /// actually starting on the node (fork, image activation).
+    dispatch_latency: SimDuration,
+    stats: LrmsStats,
+}
+
+/// A local batch scheduler handle. Clones share state.
+#[derive(Clone)]
+pub struct Lrms {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Lrms {
+    /// Creates an LRMS over `nodes` worker nodes.
+    ///
+    /// # Panics
+    /// Panics when `nodes == 0`.
+    pub fn new(policy: Policy, nodes: usize, dispatch_latency: SimDuration) -> Self {
+        assert!(nodes > 0, "LRMS with no worker nodes");
+        Lrms {
+            inner: Rc::new(RefCell::new(Inner {
+                policy,
+                node_busy: vec![false; nodes],
+                queue: VecDeque::new(),
+                running: std::collections::HashMap::new(),
+                next_id: 0,
+                next_seq: 0,
+                dispatch_latency,
+                stats: LrmsStats::default(),
+            })),
+        }
+    }
+
+    /// Submits a job; `callback` observes every lifecycle event. Returns the
+    /// job id (also passed to the callback, so one callback can serve many
+    /// jobs).
+    pub fn submit(
+        &self,
+        sim: &mut Sim,
+        spec: LocalJobSpec,
+        callback: impl Fn(&mut Sim, LocalJobId, &LrmsEvent) + 'static,
+    ) -> LocalJobId {
+        assert!(spec.nodes >= 1, "job requesting zero nodes");
+        let callback: Callback = Rc::new(callback);
+        let mut inner = self.inner.borrow_mut();
+        let id = LocalJobId(inner.next_id);
+        inner.next_id += 1;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.queue.push_back(QueuedJob {
+            id,
+            spec,
+            callback: Rc::clone(&callback),
+            queued_at: sim.now(),
+            seq,
+        });
+        drop(inner);
+        let cb = Rc::clone(&callback);
+        sim.schedule_now(move |sim| cb(sim, id, &LrmsEvent::Queued));
+        let this = self.clone();
+        sim.schedule_now(move |sim| this.try_dispatch(sim));
+        id
+    }
+
+    /// Ends a running job early with `Finished` (used by components whose
+    /// jobs have no natural runtime, like glide-in agents leaving a machine).
+    /// No-op when the job is not running.
+    pub fn complete(&self, sim: &mut Sim, id: LocalJobId) {
+        self.end_job(sim, id, None);
+    }
+
+    /// Kills a queued or running job. Returns whether the job was known.
+    pub fn kill(&self, sim: &mut Sim, id: LocalJobId, reason: impl Into<String>) -> bool {
+        let reason = reason.into();
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(pos) = inner.queue.iter().position(|q| q.id == id) {
+                let q = inner.queue.remove(pos).expect("position was valid");
+                inner.stats.killed += 1;
+                drop(inner);
+                let cb = q.callback;
+                sim.schedule_now(move |sim| cb(sim, id, &LrmsEvent::Killed { reason }));
+                return true;
+            }
+        }
+        if self.inner.borrow().running.contains_key(&id) {
+            self.end_job(sim, id, Some(reason));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Free nodes right now.
+    pub fn free_nodes(&self) -> usize {
+        self.inner.borrow().node_busy.iter().filter(|b| !**b).count()
+    }
+
+    /// Total nodes.
+    pub fn total_nodes(&self) -> usize {
+        self.inner.borrow().node_busy.len()
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// Jobs currently running.
+    pub fn running_count(&self) -> usize {
+        self.inner.borrow().running.len()
+    }
+
+    /// Whether the queue has room by this site's admission policy — CrossGrid
+    /// sites bounded their queues; the broker checks before submitting.
+    /// (Modelled as a fixed multiple of the node count.)
+    pub fn accepts_queued_jobs(&self) -> bool {
+        let inner = self.inner.borrow();
+        inner.queue.len() < 4 * inner.node_busy.len()
+    }
+
+    /// Scheduler metrics so far.
+    pub fn stats(&self) -> LrmsStats {
+        self.inner.borrow().stats.clone()
+    }
+
+    fn end_job(&self, sim: &mut Sim, id: LocalJobId, kill_reason: Option<String>) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(job) = inner.running.remove(&id) else {
+            return;
+        };
+        for &n in &job.nodes {
+            inner.node_busy[n] = false;
+        }
+        if kill_reason.is_some() {
+            inner.stats.killed += 1;
+        } else {
+            inner.stats.finished += 1;
+        }
+        drop(inner);
+        for ev in [job.finish_event, job.kill_event].into_iter().flatten() {
+            sim.cancel(ev);
+        }
+        let cb = job.callback;
+        let event = match kill_reason {
+            Some(reason) => LrmsEvent::Killed { reason },
+            None => LrmsEvent::Finished,
+        };
+        sim.schedule_now(move |sim| cb(sim, id, &event));
+        let this = self.clone();
+        sim.schedule_now(move |sim| this.try_dispatch(sim));
+    }
+
+    fn try_dispatch(&self, sim: &mut Sim) {
+        loop {
+            let mut inner = self.inner.borrow_mut();
+            if inner.queue.is_empty() {
+                return;
+            }
+            let free: Vec<usize> = inner
+                .node_busy
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| (!b).then_some(i))
+                .collect();
+            // Pick the next job per policy.
+            let pick = match inner.policy {
+                Policy::Fifo => {
+                    let head = &inner.queue[0];
+                    (head.spec.nodes as usize <= free.len()).then_some(0)
+                }
+                Policy::FifoBackfill => (0..inner.queue.len())
+                    .find(|&i| inner.queue[i].spec.nodes as usize <= free.len()),
+                Policy::Priority => {
+                    let mut best: Option<usize> = None;
+                    for i in 0..inner.queue.len() {
+                        if inner.queue[i].spec.nodes as usize > free.len() {
+                            continue;
+                        }
+                        best = Some(match best {
+                            None => i,
+                            Some(j) => {
+                                let (a, b) = (&inner.queue[i], &inner.queue[j]);
+                                if (a.spec.priority, a.seq) < (b.spec.priority, b.seq) {
+                                    i
+                                } else {
+                                    j
+                                }
+                            }
+                        });
+                    }
+                    best
+                }
+            };
+            let Some(pick) = pick else { return };
+            let job = inner.queue.remove(pick).expect("pick index valid");
+            let nodes: Vec<usize> = free[..job.spec.nodes as usize].to_vec();
+            for &n in &nodes {
+                inner.node_busy[n] = true;
+            }
+            let wait = sim.now().saturating_since(job.queued_at);
+            inner.stats.wait.record_duration(wait);
+            let dispatch = inner.dispatch_latency;
+            drop(inner);
+
+            let id = job.id;
+            let spec = job.spec;
+            let callback = job.callback;
+            let this = self.clone();
+            let node_list = nodes.clone();
+            sim.schedule_in(dispatch, move |sim| {
+                // Register as running, then announce.
+                let mut finish_event = None;
+                let mut kill_event = None;
+                if let Some(rt) = spec.runtime {
+                    let this2 = this.clone();
+                    let run = match spec.walltime {
+                        Some(w) if w < rt => None, // walltime fires first
+                        _ => Some(rt),
+                    };
+                    if let Some(rt) = run {
+                        finish_event =
+                            Some(sim.schedule_in(rt, move |sim| this2.end_job(sim, id, None)));
+                    }
+                }
+                if let Some(w) = spec.walltime {
+                    if spec.runtime.is_none_or(|rt| w < rt) {
+                        let this2 = this.clone();
+                        kill_event = Some(sim.schedule_in(w, move |sim| {
+                            this2.end_job(sim, id, Some("walltime exceeded".into()))
+                        }));
+                    }
+                }
+                this.inner.borrow_mut().running.insert(
+                    id,
+                    RunningJob {
+                        callback: Rc::clone(&callback),
+                        nodes: node_list.clone(),
+                        finish_event,
+                        kill_event,
+                    },
+                );
+                callback(sim, id, &LrmsEvent::Started { nodes: node_list });
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for Lrms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Lrms")
+            .field("policy", &inner.policy)
+            .field("nodes", &inner.node_busy.len())
+            .field("queued", &inner.queue.len())
+            .field("running", &inner.running.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Log = Rc<RefCell<Vec<(u64, String, f64)>>>;
+
+    fn logging_cb(log: Log) -> impl Fn(&mut Sim, LocalJobId, &LrmsEvent) {
+        move |sim, id, ev| {
+            let tag = match ev {
+                LrmsEvent::Queued => "queued".to_string(),
+                LrmsEvent::Started { .. } => "started".to_string(),
+                LrmsEvent::Finished => "finished".to_string(),
+                LrmsEvent::Killed { reason } => format!("killed:{reason}"),
+            };
+            log.borrow_mut().push((id.0, tag, sim.now().as_secs_f64()));
+        }
+    }
+
+    fn events_for(log: &Log, id: u64) -> Vec<(String, f64)> {
+        log.borrow()
+            .iter()
+            .filter(|(i, _, _)| *i == id)
+            .map(|(_, t, at)| (t.clone(), *at))
+            .collect()
+    }
+
+    #[test]
+    fn job_runs_through_lifecycle() {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 2, SimDuration::from_secs(1));
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let id = lrms.submit(&mut sim, LocalJobSpec::simple(SimDuration::from_secs(10)), logging_cb(Rc::clone(&log)));
+        sim.run();
+        let evs = events_for(&log, id.0);
+        assert_eq!(evs[0].0, "queued");
+        assert_eq!(evs[1], ("started".into(), 1.0), "dispatch latency applied");
+        assert_eq!(evs[2], ("finished".into(), 11.0));
+        assert_eq!(lrms.stats().finished, 1);
+    }
+
+    #[test]
+    fn fifo_head_blocks_backfill_does_not() {
+        // 3 nodes. Job A (2 nodes, 10 s) runs, leaving one node free; job B
+        // (2 nodes) must wait; job C (1 node) behind B: FIFO blocks it behind
+        // the stuck head, backfill runs it immediately on the free node.
+        let run = |policy: Policy| {
+            let mut sim = Sim::new(1);
+            let lrms = Lrms::new(policy, 3, SimDuration::ZERO);
+            let log: Log = Rc::new(RefCell::new(Vec::new()));
+            let mk = |nodes| LocalJobSpec {
+                nodes,
+                runtime: Some(SimDuration::from_secs(10)),
+                walltime: None,
+                priority: 0,
+                user: "u".into(),
+            };
+            let _a = lrms.submit(&mut sim, mk(2), logging_cb(Rc::clone(&log)));
+            let _b = lrms.submit(&mut sim, mk(2), logging_cb(Rc::clone(&log)));
+            let c = lrms.submit(&mut sim, mk(1), logging_cb(Rc::clone(&log)));
+            sim.run();
+            events_for(&log, c.0)
+                .iter()
+                .find(|(t, _)| t == "started")
+                .map(|&(_, at)| at)
+                .unwrap()
+        };
+        assert_eq!(run(Policy::Fifo), 10.0, "FIFO: C waits behind the blocked head");
+        assert_eq!(run(Policy::FifoBackfill), 0.0, "backfill: C jumps the blocked head");
+    }
+
+    #[test]
+    fn priority_policy_reorders_queue() {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Priority, 1, SimDuration::ZERO);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mk = |priority| LocalJobSpec {
+            nodes: 1,
+            runtime: Some(SimDuration::from_secs(5)),
+            walltime: None,
+            priority,
+            user: "u".into(),
+        };
+        // All three land in the queue in the same instant, so the first
+        // dispatch already sees the full queue and priority decides alone.
+        let low = lrms.submit(&mut sim, mk(10), logging_cb(Rc::clone(&log)));
+        let worst = lrms.submit(&mut sim, mk(99), logging_cb(Rc::clone(&log)));
+        let best = lrms.submit(&mut sim, mk(1), logging_cb(Rc::clone(&log)));
+        sim.run();
+        let started_at = |id: LocalJobId| {
+            events_for(&log, id.0)
+                .iter()
+                .find(|(t, _)| t == "started")
+                .map(|&(_, at)| at)
+                .unwrap()
+        };
+        assert_eq!(started_at(best), 0.0, "best priority runs first");
+        assert_eq!(started_at(low), 5.0);
+        assert_eq!(started_at(worst), 10.0);
+    }
+
+    #[test]
+    fn walltime_kills_overrunning_job() {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 1, SimDuration::ZERO);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let spec = LocalJobSpec {
+            nodes: 1,
+            runtime: Some(SimDuration::from_secs(100)),
+            walltime: Some(SimDuration::from_secs(30)),
+            priority: 0,
+            user: "u".into(),
+        };
+        let id = lrms.submit(&mut sim, spec, logging_cb(Rc::clone(&log)));
+        sim.run();
+        let evs = events_for(&log, id.0);
+        assert_eq!(evs.last().unwrap().0, "killed:walltime exceeded");
+        assert_eq!(evs.last().unwrap().1, 30.0);
+        assert_eq!(lrms.free_nodes(), 1, "node freed after kill");
+    }
+
+    #[test]
+    fn indefinite_job_runs_until_completed() {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 1, SimDuration::ZERO);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let spec = LocalJobSpec {
+            nodes: 1,
+            runtime: None,
+            walltime: None,
+            priority: 0,
+            user: "agent".into(),
+        };
+        let id = lrms.submit(&mut sim, spec, logging_cb(Rc::clone(&log)));
+        sim.run_until(cg_sim::SimTime::from_secs(1_000));
+        assert_eq!(lrms.running_count(), 1, "agent still holding the node");
+        lrms.complete(&mut sim, id);
+        sim.run();
+        assert_eq!(events_for(&log, id.0).last().unwrap().0, "finished");
+        assert_eq!(lrms.free_nodes(), 1);
+    }
+
+    #[test]
+    fn kill_queued_job_never_starts() {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 1, SimDuration::ZERO);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let blocker = lrms.submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(50)),
+            logging_cb(Rc::clone(&log)),
+        );
+        let victim = lrms.submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(1)),
+            logging_cb(Rc::clone(&log)),
+        );
+        sim.run_until(cg_sim::SimTime::from_secs(5));
+        assert!(lrms.kill(&mut sim, victim, "user abort"));
+        assert!(!lrms.kill(&mut sim, LocalJobId(999), "no such"), "unknown id");
+        sim.run();
+        let evs = events_for(&log, victim.0);
+        assert!(evs.iter().all(|(t, _)| t != "started"));
+        assert_eq!(evs.last().unwrap().0, "killed:user abort");
+        let _ = blocker;
+        assert_eq!(lrms.stats().killed, 1);
+    }
+
+    #[test]
+    fn wait_times_are_recorded() {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 1, SimDuration::ZERO);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        lrms.submit(&mut sim, LocalJobSpec::simple(SimDuration::from_secs(10)), logging_cb(Rc::clone(&log)));
+        lrms.submit(&mut sim, LocalJobSpec::simple(SimDuration::from_secs(10)), logging_cb(Rc::clone(&log)));
+        sim.run();
+        let stats = lrms.stats();
+        assert_eq!(stats.wait.count(), 2);
+        assert_eq!(stats.wait.min(), Some(0.0));
+        assert_eq!(stats.wait.max(), Some(10.0));
+    }
+
+    #[test]
+    fn queue_admission_bound() {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 1, SimDuration::ZERO);
+        assert!(lrms.accepts_queued_jobs());
+        for _ in 0..6 {
+            lrms.submit(&mut sim, LocalJobSpec::simple(SimDuration::from_secs(1_000)), |_, _, _| {});
+        }
+        sim.run_until(cg_sim::SimTime::from_secs(1));
+        // 1 running, 5 queued > 4×1 nodes.
+        assert!(!lrms.accepts_queued_jobs());
+    }
+
+    #[test]
+    fn multi_node_job_takes_whole_nodes() {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 4, SimDuration::ZERO);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let spec = LocalJobSpec {
+            nodes: 3,
+            runtime: Some(SimDuration::from_secs(10)),
+            walltime: None,
+            priority: 0,
+            user: "mpi".into(),
+        };
+        lrms.submit(&mut sim, spec, logging_cb(Rc::clone(&log)));
+        sim.run_until(cg_sim::SimTime::from_secs(1));
+        assert_eq!(lrms.free_nodes(), 1);
+        sim.run();
+        assert_eq!(lrms.free_nodes(), 4);
+        let started_nodes = log
+            .borrow()
+            .iter()
+            .filter(|(_, t, _)| t == "started")
+            .count();
+        assert_eq!(started_nodes, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! The information system — a Globus MDS (GRIS/GIIS) model.
+//!
+//! Each site publishes its state to the project index on a refresh interval,
+//! so the index's answer is *stale* by up to that interval. That staleness is
+//! why CrossBroker's resource selection "contacts each remote site
+//! individually and gets the most updated information" after the initial
+//! discovery (§6.1) — the two-step cost structure Table I's text reports
+//! (discovery ≈ 0.5 s, selection ≈ 3 s for 20 sites).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cg_jdl::Ad;
+use cg_net::{rpc_call, Dir, Link, NetError};
+use cg_sim::{Sim, SimDuration, SimTime};
+
+use crate::site::Site;
+
+/// One site's entry in the index.
+#[derive(Debug, Clone)]
+pub struct SiteRecord {
+    /// Site name.
+    pub site: String,
+    /// The machine ad as of the last refresh (possibly stale).
+    pub ad: Ad,
+    /// When the entry was refreshed.
+    pub published_at: SimTime,
+}
+
+struct Inner {
+    sites: Vec<Site>,
+    records: Vec<SiteRecord>,
+    refresh_interval: SimDuration,
+    /// Index-side processing per query, seconds (LDAP search in 2006).
+    query_cpu_s: f64,
+    refreshes: u64,
+}
+
+/// The aggregated index (GIIS). Clones share state.
+#[derive(Clone)]
+pub struct InformationIndex {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl InformationIndex {
+    /// Builds the index over `sites` and starts the refresh cycle. The first
+    /// snapshot is taken immediately; subsequent refreshes run every
+    /// `refresh_interval`.
+    pub fn start(sim: &mut Sim, sites: Vec<Site>, refresh_interval: SimDuration) -> Self {
+        let records = sites
+            .iter()
+            .map(|s| SiteRecord {
+                site: s.name().to_string(),
+                ad: s.machine_ad(),
+                published_at: sim.now(),
+            })
+            .collect();
+        let index = InformationIndex {
+            inner: Rc::new(RefCell::new(Inner {
+                sites,
+                records,
+                refresh_interval,
+                query_cpu_s: 0.42,
+                refreshes: 0,
+            })),
+        };
+        index.schedule_refresh(sim);
+        index
+    }
+
+    fn schedule_refresh(&self, sim: &mut Sim) {
+        let this = self.clone();
+        let interval = self.inner.borrow().refresh_interval;
+        sim.schedule_in(interval, move |sim| {
+            {
+                let mut inner = this.inner.borrow_mut();
+                let now = sim.now();
+                let fresh: Vec<SiteRecord> = inner
+                    .sites
+                    .iter()
+                    .map(|s| SiteRecord {
+                        site: s.name().to_string(),
+                        ad: s.machine_ad(),
+                        published_at: now,
+                    })
+                    .collect();
+                inner.records = fresh;
+                inner.refreshes += 1;
+            }
+            this.schedule_refresh(sim);
+        });
+    }
+
+    /// Queries the index over `link` (the broker→MDS path). The response
+    /// carries every site record; its size scales with the number of sites.
+    pub fn query(
+        &self,
+        sim: &mut Sim,
+        link: &Link,
+        on: impl FnOnce(&mut Sim, Result<Vec<SiteRecord>, NetError>) + 'static,
+    ) {
+        let inner = self.inner.borrow();
+        let resp_bytes = 300 + 900 * inner.records.len() as u64; // LDAP entries
+        let service = SimDuration::from_secs_f64(inner.query_cpu_s);
+        drop(inner);
+        let this = self.clone();
+        rpc_call(sim, link, Dir::AToB, 250, resp_bytes, service, move |sim, r| match r {
+            Err(e) => on(sim, Err(e)),
+            Ok(()) => {
+                let records = this.inner.borrow().records.clone();
+                on(sim, Ok(records))
+            }
+        });
+    }
+
+    /// Number of completed refresh cycles.
+    pub fn refreshes(&self) -> u64 {
+        self.inner.borrow().refreshes
+    }
+
+    /// Current (possibly stale) records, without network cost — for tests.
+    pub fn snapshot(&self) -> Vec<SiteRecord> {
+        self.inner.borrow().records.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lrms::{LocalJobSpec, Policy};
+    use crate::site::{Site, SiteConfig};
+    use cg_jdl::Value;
+    use cg_net::LinkProfile;
+
+    fn test_site(sim: &mut Sim, name: &str, nodes: usize) -> Site {
+        let _ = sim;
+        Site::new(SiteConfig {
+            name: name.into(),
+            nodes,
+            policy: Policy::Fifo,
+            ..SiteConfig::default()
+        })
+    }
+
+    #[test]
+    fn index_snapshots_go_stale_until_refresh() {
+        let mut sim = Sim::new(1);
+        let site = test_site(&mut sim, "uab", 2);
+        let index = InformationIndex::start(
+            &mut sim,
+            vec![site.clone()],
+            SimDuration::from_secs(300),
+        );
+        // Initial snapshot: 2 free CPUs.
+        assert_eq!(
+            index.snapshot()[0].ad.get("FreeCpus").unwrap(),
+            &Value::Int(2)
+        );
+        // Occupy a node; the index must NOT see it until refresh.
+        site.lrms().submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(10_000)),
+            |_, _, _| {},
+        );
+        sim.run_until(SimTime::from_secs(100));
+        assert_eq!(
+            index.snapshot()[0].ad.get("FreeCpus").unwrap(),
+            &Value::Int(2),
+            "stale value before refresh"
+        );
+        sim.run_until(SimTime::from_secs(301));
+        assert_eq!(
+            index.snapshot()[0].ad.get("FreeCpus").unwrap(),
+            &Value::Int(1),
+            "fresh value after refresh"
+        );
+        assert_eq!(index.refreshes(), 1);
+    }
+
+    #[test]
+    fn query_cost_is_around_half_a_second_on_the_mds_path() {
+        // Paper §6.1: discovery "takes around 0.5 seconds" with the index in
+        // Germany and the broker in Spain.
+        let mut sim = Sim::new(2);
+        let sites: Vec<Site> = (0..20)
+            .map(|i| test_site(&mut sim, &format!("site{i}"), 4))
+            .collect();
+        let index = InformationIndex::start(&mut sim, sites, SimDuration::from_secs(300));
+        let link = Link::new(LinkProfile::wan_mds());
+        let done = Rc::new(RefCell::new(None));
+        let d = Rc::clone(&done);
+        index.query(&mut sim, &link, move |sim, r| {
+            assert_eq!(r.unwrap().len(), 20);
+            *d.borrow_mut() = Some(sim.now().as_secs_f64());
+        });
+        sim.run_until(SimTime::from_secs(10));
+        let t = done.borrow().unwrap();
+        assert!((0.2..0.9).contains(&t), "discovery took {t}s, expected ~0.5");
+    }
+
+    #[test]
+    fn query_fails_over_dead_link() {
+        let mut sim = Sim::new(3);
+        let site = test_site(&mut sim, "x", 1);
+        let index = InformationIndex::start(&mut sim, vec![site], SimDuration::from_secs(300));
+        let faults =
+            cg_net::FaultSchedule::from_windows(vec![(SimTime::ZERO, SimTime::from_secs(100))]);
+        let link = Link::with_faults(LinkProfile::wan_mds(), faults);
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        index.query(&mut sim, &link, move |_, r| *g.borrow_mut() = Some(r.is_err()));
+        sim.run_until(SimTime::from_secs(50));
+        assert_eq!(*got.borrow(), Some(true));
+    }
+}

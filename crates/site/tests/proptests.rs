@@ -1,0 +1,174 @@
+//! Property tests on the local resource manager: allocation safety and
+//! conservation under arbitrary job mixes.
+
+use cg_site::{LocalJobSpec, Lrms, LrmsEvent, Policy};
+use cg_sim::{Sim, SimDuration, SimTime};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    prop::sample::select(vec![Policy::Fifo, Policy::FifoBackfill, Policy::Priority])
+}
+
+#[derive(Debug, Clone)]
+struct JobSpec {
+    nodes: u32,
+    runtime: u64,
+    priority: i64,
+    arrival: u64,
+}
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (1u32..4, 1u64..500, -5i64..5, 0u64..1_000).prop_map(|(nodes, runtime, priority, arrival)| {
+            JobSpec {
+                nodes,
+                runtime,
+                priority,
+                arrival,
+            }
+        }),
+        1..25,
+    )
+}
+
+proptest! {
+    /// Across any job mix and policy: every accepted job starts exactly once
+    /// and finishes exactly once; no node is ever double-allocated; and all
+    /// nodes return at the end.
+    #[test]
+    fn lrms_allocation_is_safe(
+        policy in policy_strategy(),
+        nodes in 2usize..6,
+        jobs in jobs_strategy(),
+    ) {
+        let mut sim = Sim::new(7);
+        let lrms = Lrms::new(policy, nodes, SimDuration::from_millis(100));
+        // Track node occupancy over time through Started events.
+        #[derive(Default)]
+        struct Tracker {
+            running: HashMap<u64, Vec<usize>>, // job -> nodes
+            started: u32,
+            finished: u32,
+            max_nodes_busy: usize,
+            violations: Vec<String>,
+        }
+        let tracker = Rc::new(RefCell::new(Tracker::default()));
+        let total_nodes = nodes;
+
+        for job in &jobs {
+            if job.nodes as usize > nodes {
+                continue; // never fits; LRMS would hold it forever
+            }
+            let spec = LocalJobSpec {
+                nodes: job.nodes,
+                runtime: Some(SimDuration::from_secs(job.runtime)),
+                walltime: None,
+                priority: job.priority,
+                user: "p".into(),
+            };
+            let lrms2 = lrms.clone();
+            let t = Rc::clone(&tracker);
+            sim.schedule_at(SimTime::from_secs(job.arrival), move |sim| {
+                let t2 = Rc::clone(&t);
+                lrms2.submit(sim, spec, move |_, id, ev| {
+                    let mut tr = t2.borrow_mut();
+                    match ev {
+                        LrmsEvent::Queued => {}
+                        LrmsEvent::Started { nodes } => {
+                            tr.started += 1;
+                            // No node may be in use by another running job.
+                            let mut clashes = Vec::new();
+                            for n in nodes {
+                                for (other, held) in &tr.running {
+                                    if held.contains(n) {
+                                        clashes.push(format!(
+                                            "node {n} double-allocated (jobs {other} and {})",
+                                            id.0
+                                        ));
+                                    }
+                                }
+                            }
+                            tr.violations.extend(clashes);
+                            tr.running.insert(id.0, nodes.clone());
+                            let busy: usize = tr.running.values().map(Vec::len).sum();
+                            tr.max_nodes_busy = tr.max_nodes_busy.max(busy);
+                        }
+                        LrmsEvent::Finished | LrmsEvent::Killed { .. } => {
+                            tr.finished += 1;
+                            tr.running.remove(&id.0);
+                        }
+                    }
+                });
+            });
+        }
+        sim.run();
+        let tr = tracker.borrow();
+        prop_assert!(tr.violations.is_empty(), "{:?}", tr.violations);
+        prop_assert_eq!(tr.started, tr.finished, "every started job terminates");
+        prop_assert!(tr.max_nodes_busy <= total_nodes, "overcommitted nodes");
+        prop_assert!(tr.running.is_empty());
+        prop_assert_eq!(lrms.free_nodes(), total_nodes, "all nodes returned");
+        prop_assert_eq!(lrms.queue_depth(), 0);
+    }
+
+    /// FIFO never starts a later-submitted job before an earlier one (equal
+    /// arrival times use submission order).
+    #[test]
+    fn fifo_is_fifo(runtimes in prop::collection::vec(1u64..100, 2..15)) {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 1, SimDuration::ZERO);
+        let order: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &rt) in runtimes.iter().enumerate() {
+            let o = Rc::clone(&order);
+            lrms.submit(
+                &mut sim,
+                LocalJobSpec::simple(SimDuration::from_secs(rt)),
+                move |_, _, ev| {
+                    if matches!(ev, LrmsEvent::Started { .. }) {
+                        o.borrow_mut().push(i);
+                    }
+                },
+            );
+        }
+        sim.run();
+        let got = order.borrow().clone();
+        prop_assert_eq!(got, (0..runtimes.len()).collect::<Vec<_>>());
+    }
+
+    /// Walltime enforcement: a job never runs longer than its limit.
+    #[test]
+    fn walltime_caps_runtime(runtime in 1u64..1000, walltime in 1u64..1000) {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 1, SimDuration::ZERO);
+        let spec = LocalJobSpec {
+            nodes: 1,
+            runtime: Some(SimDuration::from_secs(runtime)),
+            walltime: Some(SimDuration::from_secs(walltime)),
+            priority: 0,
+            user: "w".into(),
+        };
+        let ended: Rc<RefCell<Option<(bool, f64)>>> = Rc::new(RefCell::new(None));
+        let e = Rc::clone(&ended);
+        lrms.submit(&mut sim, spec, move |sim, _, ev| match ev {
+            LrmsEvent::Finished => {
+                *e.borrow_mut() = Some((false, sim.now().as_secs_f64()))
+            }
+            LrmsEvent::Killed { .. } => {
+                *e.borrow_mut() = Some((true, sim.now().as_secs_f64()))
+            }
+            _ => {}
+        });
+        sim.run();
+        let (killed, at) = ended.borrow().expect("job terminated");
+        if runtime <= walltime {
+            prop_assert!(!killed);
+            prop_assert!((at - runtime as f64).abs() < 1e-9);
+        } else {
+            prop_assert!(killed, "overrunning job must be killed");
+            prop_assert!((at - walltime as f64).abs() < 1e-9);
+        }
+    }
+}

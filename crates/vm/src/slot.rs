@@ -1,0 +1,491 @@
+//! The lightweight virtual machines: execution slots with rate-based CPU
+//! progress.
+//!
+//! "The machine only runs one O/S, but we split the machine into two separate
+//! execution slots" (§5.2). A [`VmMachine`] runs at most one batch task and
+//! up to `interactive_capacity` interactive tasks (the paper uses 1; the
+//! degree-of-multiprogramming ablation raises it). Tasks progress at rates
+//! set by who is co-resident:
+//!
+//! - batch alone: rate 1;
+//! - batch + interactive(s): batch throttles to `eff × PL/100`, the
+//!   interactive tasks share the rest;
+//! - when the interactive job finishes "the original priority of the batch
+//!   job is restored".
+//!
+//! Rate changes re-derive every task's remaining work and reschedule its
+//! completion event — a small generalized-processor-sharing engine.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cg_sim::{EventId, Sim, SimDuration, SimTime};
+
+/// Identifies a task within one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(u64);
+
+/// Completion continuation of a task.
+type DoneCallback = Box<dyn FnOnce(&mut Sim)>;
+
+/// Why an interactive submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotError {
+    /// All interactive slots are occupied — an interactive job never preempts
+    /// another interactive job (§5.2).
+    InteractiveBusy,
+    /// The batch slot is occupied.
+    BatchBusy,
+}
+
+impl std::fmt::Display for SlotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlotError::InteractiveBusy => write!(f, "interactive slots busy"),
+            SlotError::BatchBusy => write!(f, "batch slot busy"),
+        }
+    }
+}
+
+impl std::error::Error for SlotError {}
+
+struct Task {
+    id: TaskId,
+    /// Remaining work in seconds at rate 1.
+    remaining: f64,
+    /// Current progress rate.
+    rate: f64,
+    /// When `remaining` was last brought up to date.
+    updated: SimTime,
+    finish_event: Option<EventId>,
+    on_done: Option<DoneCallback>,
+    /// PerformanceLoss carried by interactive tasks.
+    pl: u8,
+}
+
+struct Inner {
+    batch: Option<Task>,
+    interactive: Vec<Task>,
+    interactive_capacity: usize,
+    /// Delivered fraction of nominal share (nice-level approximation).
+    share_efficiency: f64,
+    next_id: u64,
+}
+
+/// A worker node split into VM slots. Clones share state.
+#[derive(Clone)]
+pub struct VmMachine {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl VmMachine {
+    /// A machine with one batch and one interactive slot (the paper's
+    /// configuration) and the given share efficiency.
+    pub fn new(share_efficiency: f64) -> Self {
+        Self::with_capacity(share_efficiency, 1)
+    }
+
+    /// A machine allowing `interactive_capacity` concurrent interactive
+    /// tasks (the §5.2 "larger degree of multi-programming" extension).
+    pub fn with_capacity(share_efficiency: f64, interactive_capacity: usize) -> Self {
+        assert!(interactive_capacity >= 1, "need at least one interactive slot");
+        VmMachine {
+            inner: Rc::new(RefCell::new(Inner {
+                batch: None,
+                interactive: Vec::new(),
+                interactive_capacity,
+                share_efficiency,
+                next_id: 0,
+            })),
+        }
+    }
+
+    /// Starts a batch task of `work` CPU-seconds in the batch slot.
+    pub fn run_batch(
+        &self,
+        sim: &mut Sim,
+        work: SimDuration,
+        on_done: impl FnOnce(&mut Sim) + 'static,
+    ) -> Result<TaskId, SlotError> {
+        {
+            let inner = self.inner.borrow();
+            if inner.batch.is_some() {
+                return Err(SlotError::BatchBusy);
+            }
+        }
+        let id = self.insert_task(sim, work, 0, true, Box::new(on_done));
+        self.reschedule(sim);
+        Ok(id)
+    }
+
+    /// Starts an interactive task; `performance_loss` is the CPU share it
+    /// leaves to the batch slot.
+    pub fn run_interactive(
+        &self,
+        sim: &mut Sim,
+        work: SimDuration,
+        performance_loss: u8,
+        on_done: impl FnOnce(&mut Sim) + 'static,
+    ) -> Result<TaskId, SlotError> {
+        {
+            let inner = self.inner.borrow();
+            if inner.interactive.len() >= inner.interactive_capacity {
+                return Err(SlotError::InteractiveBusy);
+            }
+        }
+        let id = self.insert_task(sim, work, performance_loss, false, Box::new(on_done));
+        self.reschedule(sim);
+        Ok(id)
+    }
+
+    /// Cancels a task (job kill). Returns whether it was running here.
+    pub fn cancel(&self, sim: &mut Sim, id: TaskId) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        let now = sim.now();
+        let mut found = false;
+        if inner.batch.as_ref().is_some_and(|t| t.id == id) {
+            let t = inner.batch.take().expect("checked");
+            if let Some(ev) = t.finish_event {
+                sim.cancel(ev);
+            }
+            found = true;
+        } else if let Some(pos) = inner.interactive.iter().position(|t| t.id == id) {
+            let t = inner.interactive.remove(pos);
+            if let Some(ev) = t.finish_event {
+                sim.cancel(ev);
+            }
+            found = true;
+        }
+        let _ = now;
+        drop(inner);
+        if found {
+            self.reschedule(sim);
+        }
+        found
+    }
+
+    /// Cancels every interactive task (user abort of the job using the
+    /// slot). Returns how many were cancelled; their completion callbacks
+    /// never fire. The batch slot speeds back up.
+    pub fn cancel_all_interactive(&self, sim: &mut Sim) -> usize {
+        let ids: Vec<TaskId> = self
+            .inner
+            .borrow()
+            .interactive
+            .iter()
+            .map(|t| t.id)
+            .collect();
+        let mut n = 0;
+        for id in ids {
+            if self.cancel(sim, id) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Is the batch slot free?
+    pub fn batch_free(&self) -> bool {
+        self.inner.borrow().batch.is_none()
+    }
+
+    /// Number of free interactive slots.
+    pub fn interactive_free(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.interactive_capacity - inner.interactive.len()
+    }
+
+    /// Current rate of the batch task (1.0 alone, throttled when sharing).
+    pub fn batch_rate(&self) -> Option<f64> {
+        self.inner.borrow().batch.as_ref().map(|t| t.rate)
+    }
+
+    fn insert_task(
+        &self,
+        sim: &mut Sim,
+        work: SimDuration,
+        pl: u8,
+        is_batch: bool,
+        on_done: DoneCallback,
+    ) -> TaskId {
+        let mut inner = self.inner.borrow_mut();
+        let id = TaskId(inner.next_id);
+        inner.next_id += 1;
+        let task = Task {
+            id,
+            remaining: work.as_secs_f64(),
+            rate: 0.0,
+            updated: sim.now(),
+            finish_event: None,
+            on_done: Some(on_done),
+            pl,
+        };
+        if is_batch {
+            inner.batch = Some(task);
+        } else {
+            inner.interactive.push(task);
+        }
+        id
+    }
+
+    /// Brings progress up to date, recomputes rates, reschedules finishes.
+    fn reschedule(&self, sim: &mut Sim) {
+        let now = sim.now();
+        let mut inner = self.inner.borrow_mut();
+
+        // 1. Progress everything at its old rate.
+        let advance = |t: &mut Task, now: SimTime| {
+            let dt = now.saturating_since(t.updated).as_secs_f64();
+            t.remaining = (t.remaining - dt * t.rate).max(0.0);
+            t.updated = now;
+        };
+        if let Some(b) = inner.batch.as_mut() {
+            advance(b, now);
+        }
+        for t in inner.interactive.iter_mut() {
+            advance(t, now);
+        }
+
+        // 2. New rates.
+        let eff = inner.share_efficiency;
+        let n_iv = inner.interactive.len();
+        let batch_present = inner.batch.is_some();
+        let batch_share = if n_iv == 0 {
+            1.0
+        } else {
+            // The batch slot keeps eff × max(PL) of the CPU.
+            let max_pl = inner
+                .interactive
+                .iter()
+                .map(|t| t.pl as f64 / 100.0)
+                .fold(0.0, f64::max);
+            eff * max_pl
+        };
+        let iv_share_total = if batch_present { 1.0 - batch_share } else { 1.0 };
+        let iv_rate = if n_iv == 0 {
+            0.0
+        } else {
+            iv_share_total / n_iv as f64
+        };
+        if let Some(b) = inner.batch.as_mut() {
+            b.rate = batch_share;
+        }
+        for t in inner.interactive.iter_mut() {
+            t.rate = iv_rate;
+        }
+
+        // 3. Reschedule finish events.
+        let this = self.clone();
+        let mut plan: Vec<(TaskId, Option<EventId>, f64, f64)> = Vec::new();
+        if let Some(b) = inner.batch.as_ref() {
+            plan.push((b.id, b.finish_event, b.remaining, b.rate));
+        }
+        for t in inner.interactive.iter() {
+            plan.push((t.id, t.finish_event, t.remaining, t.rate));
+        }
+        drop(inner);
+        for (id, old_event, remaining, rate) in plan {
+            if let Some(ev) = old_event {
+                sim.cancel(ev);
+            }
+            let new_event = if rate > 0.0 {
+                let eta = SimDuration::from_secs_f64(remaining / rate);
+                let this2 = this.clone();
+                Some(sim.schedule_in(eta, move |sim| this2.finish(sim, id)))
+            } else {
+                None
+            };
+            let mut inner = self.inner.borrow_mut();
+            if let Some(b) = inner.batch.as_mut() {
+                if b.id == id {
+                    b.finish_event = new_event;
+                    continue;
+                }
+            }
+            if let Some(t) = inner.interactive.iter_mut().find(|t| t.id == id) {
+                t.finish_event = new_event;
+            }
+        }
+    }
+
+    fn finish(&self, sim: &mut Sim, id: TaskId) {
+        let mut inner = self.inner.borrow_mut();
+        let task = if inner.batch.as_ref().is_some_and(|t| t.id == id) {
+            inner.batch.take()
+        } else {
+            inner
+                .interactive
+                .iter()
+                .position(|t| t.id == id)
+                .map(|pos| inner.interactive.remove(pos))
+        };
+        drop(inner);
+        let Some(mut task) = task else { return };
+        if let Some(cb) = task.on_done.take() {
+            cb(sim);
+        }
+        // Survivors speed back up ("original priority … restored").
+        self.reschedule(sim);
+    }
+}
+
+impl std::fmt::Debug for VmMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("VmMachine")
+            .field("batch_busy", &inner.batch.is_some())
+            .field("interactive", &inner.interactive.len())
+            .field("capacity", &inner.interactive_capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Log = Rc<RefCell<Vec<(&'static str, f64)>>>;
+
+    fn done(log: &Log, tag: &'static str) -> impl FnOnce(&mut Sim) {
+        let log = Rc::clone(log);
+        move |sim| log.borrow_mut().push((tag, sim.now().as_secs_f64()))
+    }
+
+    #[test]
+    fn batch_alone_runs_at_full_rate() {
+        let mut sim = Sim::new(1);
+        let vm = VmMachine::new(1.0);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        vm.run_batch(&mut sim, SimDuration::from_secs(100), done(&log, "batch")).unwrap();
+        assert_eq!(vm.batch_rate(), Some(1.0));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![("batch", 100.0)]);
+        assert!(vm.batch_free());
+    }
+
+    #[test]
+    fn interactive_throttles_batch_then_priority_restored() {
+        // eff = 1.0 for round numbers. Batch 100 s work; at t=10 an
+        // interactive job (50 s work, PL=20) arrives:
+        //   interactive rate 0.8 → finishes at 10 + 62.5 = 72.5
+        //   batch: 10 s done, then rate 0.2 for 62.5 s → 12.5 more done,
+        //   77.5 s left at rate 1 → finishes at 150.
+        let mut sim = Sim::new(1);
+        let vm = VmMachine::new(1.0);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        vm.run_batch(&mut sim, SimDuration::from_secs(100), done(&log, "batch")).unwrap();
+        {
+            let vm2 = vm.clone();
+            let log2 = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_secs(10), move |sim| {
+                vm2.run_interactive(sim, SimDuration::from_secs(50), 20, done(&log2, "iv"))
+                    .unwrap();
+                assert_eq!(vm2.batch_rate(), Some(0.2));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log[0].0, "iv");
+        assert!((log[0].1 - 72.5).abs() < 1e-6, "iv at {}", log[0].1);
+        assert_eq!(log[1].0, "batch");
+        assert!((log[1].1 - 150.0).abs() < 1e-6, "batch at {}", log[1].1);
+    }
+
+    #[test]
+    fn pl_zero_stops_batch_entirely_while_shared() {
+        let mut sim = Sim::new(1);
+        let vm = VmMachine::new(1.0);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        vm.run_batch(&mut sim, SimDuration::from_secs(10), done(&log, "batch")).unwrap();
+        vm.run_interactive(&mut sim, SimDuration::from_secs(100), 0, done(&log, "iv"))
+            .unwrap();
+        assert_eq!(vm.batch_rate(), Some(0.0));
+        sim.run();
+        // Batch makes zero progress until the interactive job ends at 100,
+        // then needs its full 10 s.
+        assert_eq!(log.borrow()[0], ("iv", 100.0));
+        assert_eq!(log.borrow()[1], ("batch", 110.0));
+    }
+
+    #[test]
+    fn share_efficiency_scales_batch_rate() {
+        let mut sim = Sim::new(1);
+        let vm = VmMachine::new(0.92);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        vm.run_batch(&mut sim, SimDuration::from_secs(1_000), done(&log, "b")).unwrap();
+        vm.run_interactive(&mut sim, SimDuration::from_secs(10), 25, done(&log, "i"))
+            .unwrap();
+        let rate = vm.batch_rate().unwrap();
+        assert!((rate - 0.92 * 0.25).abs() < 1e-12, "rate {rate}");
+    }
+
+    #[test]
+    fn second_interactive_rejected_at_default_capacity() {
+        let mut sim = Sim::new(1);
+        let vm = VmMachine::new(1.0);
+        vm.run_interactive(&mut sim, SimDuration::from_secs(10), 10, |_| {}).unwrap();
+        let err = vm
+            .run_interactive(&mut sim, SimDuration::from_secs(10), 10, |_| {})
+            .unwrap_err();
+        assert_eq!(err, SlotError::InteractiveBusy);
+        assert_eq!(vm.interactive_free(), 0);
+    }
+
+    #[test]
+    fn higher_capacity_splits_the_interactive_share() {
+        let mut sim = Sim::new(1);
+        let vm = VmMachine::with_capacity(1.0, 2);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        // No batch job: two interactive tasks of 50 s work each share the
+        // CPU → both finish at 100 s.
+        vm.run_interactive(&mut sim, SimDuration::from_secs(50), 0, done(&log, "a")).unwrap();
+        vm.run_interactive(&mut sim, SimDuration::from_secs(50), 0, done(&log, "b")).unwrap();
+        sim.run();
+        let log = log.borrow();
+        assert!((log[0].1 - 100.0).abs() < 1e-6);
+        assert!((log[1].1 - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_slot_busy_rejected() {
+        let mut sim = Sim::new(1);
+        let vm = VmMachine::new(1.0);
+        vm.run_batch(&mut sim, SimDuration::from_secs(10), |_| {}).unwrap();
+        assert_eq!(
+            vm.run_batch(&mut sim, SimDuration::from_secs(10), |_| {}).unwrap_err(),
+            SlotError::BatchBusy
+        );
+    }
+
+    #[test]
+    fn cancel_frees_slot_and_restores_rates() {
+        let mut sim = Sim::new(1);
+        let vm = VmMachine::new(1.0);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        vm.run_batch(&mut sim, SimDuration::from_secs(100), done(&log, "batch")).unwrap();
+        let iv = vm
+            .run_interactive(&mut sim, SimDuration::from_secs(1_000), 10, done(&log, "iv"))
+            .unwrap();
+        sim.run_until(SimTime::from_secs(10));
+        assert!(vm.cancel(&mut sim, iv));
+        assert!(!vm.cancel(&mut sim, iv), "second cancel is a no-op");
+        sim.run();
+        // Batch: 10 s at rate 0.1 (1 s done) + 99 s at rate 1 → ends at 109.
+        let log = log.borrow();
+        assert_eq!(log.len(), 1, "cancelled task's callback never fires");
+        assert_eq!(log[0].0, "batch");
+        assert!((log[0].1 - 109.0).abs() < 1e-6, "batch at {}", log[0].1);
+    }
+
+    #[test]
+    fn zero_work_interactive_finishes_immediately() {
+        let mut sim = Sim::new(1);
+        let vm = VmMachine::new(1.0);
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        vm.run_interactive(&mut sim, SimDuration::ZERO, 10, done(&log, "iv")).unwrap();
+        sim.run();
+        assert_eq!(*log.borrow(), vec![("iv", 0.0)]);
+    }
+}

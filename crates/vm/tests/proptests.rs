@@ -1,0 +1,136 @@
+//! Property tests on the VM-slot processor-sharing engine and the quantum
+//! scheduler.
+
+use cg_sim::{Sim, SimDuration, SimRng};
+use cg_vm::{run_loop_app, LoopAppSpec, RunMode, ShareConfig, VmMachine};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    /// Work conservation with full efficiency: a batch job plus one
+    /// interactive job on one machine finish no earlier than the total work
+    /// (one CPU!) and no later than needed (the CPU is never idle while work
+    /// remains).
+    #[test]
+    fn vm_machine_is_work_conserving(
+        batch_work in 1u64..500,
+        iv_work in 1u64..500,
+        iv_arrival in 0u64..300,
+        pl in prop::sample::select(vec![0u8, 5, 10, 25, 50, 100]),
+    ) {
+        let mut sim = Sim::new(1);
+        let vm = VmMachine::new(1.0); // full efficiency → exact conservation
+        let done: Rc<RefCell<Vec<(&'static str, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+        {
+            let d = Rc::clone(&done);
+            vm.run_batch(&mut sim, SimDuration::from_secs(batch_work), move |sim| {
+                d.borrow_mut().push(("batch", sim.now().as_secs_f64()));
+            }).unwrap();
+        }
+        {
+            let vm2 = vm.clone();
+            let d = Rc::clone(&done);
+            sim.schedule_at(cg_sim::SimTime::from_secs(iv_arrival), move |sim| {
+                vm2.run_interactive(sim, SimDuration::from_secs(iv_work), pl, move |sim| {
+                    d.borrow_mut().push(("iv", sim.now().as_secs_f64()));
+                }).unwrap();
+            });
+        }
+        sim.run();
+        let done = done.borrow();
+        prop_assert_eq!(done.len(), 2, "both tasks finish");
+        let makespan = done.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        let total_work = (batch_work + iv_work) as f64;
+        // One CPU: makespan at least the total work (minus what batch did
+        // alone before the interactive arrived, already counted in work).
+        prop_assert!(makespan >= total_work - 1e-6 || makespan >= iv_arrival as f64,
+            "makespan {makespan} vs work {total_work}");
+        // Never idle while work remains: makespan ≤ arrival offset + total.
+        prop_assert!(
+            makespan <= iv_arrival as f64 + total_work + 1e-6,
+            "makespan {makespan} too late (arrival {iv_arrival}, work {total_work})"
+        );
+    }
+
+    /// The interactive job's completion with a batch co-resident at PL is
+    /// exactly arrival + work / (1 − PL/100) under full efficiency (PL<100).
+    #[test]
+    fn interactive_dilation_is_exact(
+        iv_work in 1u64..400,
+        pl in prop::sample::select(vec![0u8, 5, 10, 25, 50, 75]),
+    ) {
+        let mut sim = Sim::new(1);
+        let vm = VmMachine::new(1.0);
+        vm.run_batch(&mut sim, SimDuration::from_secs(1_000_000), |_| {}).unwrap();
+        let done = Rc::new(RefCell::new(None));
+        {
+            let d = Rc::clone(&done);
+            vm.run_interactive(&mut sim, SimDuration::from_secs(iv_work), pl, move |sim| {
+                *d.borrow_mut() = Some(sim.now().as_secs_f64());
+            }).unwrap();
+        }
+        sim.run_until(cg_sim::SimTime::from_secs(10_000_000));
+        let t = done.borrow().unwrap();
+        let expected = iv_work as f64 / (1.0 - pl as f64 / 100.0);
+        prop_assert!((t - expected).abs() < 1e-6 * expected + 1e-9, "{t} vs {expected}");
+    }
+
+    /// Quantum scheduler: measured CPU loss is monotone in PL, bounded by
+    /// the nominal dilation, and zero without a batch job — for arbitrary
+    /// app shapes.
+    #[test]
+    fn quantum_loss_is_sane_for_arbitrary_apps(
+        cpu_ms in 50u64..2_000,
+        io_ms in 1u64..50,
+        pl in prop::sample::select(vec![5u8, 10, 25, 50]),
+        seed in any::<u64>(),
+    ) {
+        let spec = LoopAppSpec {
+            iterations: 40,
+            cpu_burst: SimDuration::from_millis(cpu_ms),
+            io_op: SimDuration::from_millis(io_ms),
+        };
+        let config = ShareConfig::default();
+        let mut rng = SimRng::new(seed);
+        let excl = run_loop_app(spec, RunMode::Exclusive, &config, &mut rng);
+        let mut rng = SimRng::new(seed);
+        let shared = run_loop_app(
+            spec,
+            RunMode::Shared { performance_loss: pl },
+            &config,
+            &mut rng,
+        );
+        let loss = shared.cpu.mean() / excl.cpu.mean() - 1.0;
+        let nominal = 1.0 / (1.0 - pl as f64 / 100.0) - 1.0;
+        prop_assert!(loss >= -0.01, "loss {loss} negative");
+        prop_assert!(
+            loss <= nominal + 0.02,
+            "loss {loss} exceeds nominal dilation {nominal} for pl={pl}"
+        );
+        // Batch actually received CPU.
+        prop_assert!(shared.batch_cpu > 0.0);
+    }
+
+    /// The batch share delivered never exceeds the nominal entitlement
+    /// (efficiency < 1 guarantees under-delivery).
+    #[test]
+    fn batch_share_never_exceeds_nominal(
+        pl in prop::sample::select(vec![5u8, 10, 25, 50]),
+        seed in any::<u64>(),
+    ) {
+        let spec = LoopAppSpec {
+            iterations: 60,
+            ..LoopAppSpec::paper()
+        };
+        let config = ShareConfig::default();
+        let mut rng = SimRng::new(seed);
+        let r = run_loop_app(spec, RunMode::Shared { performance_loss: pl }, &config, &mut rng);
+        let share = r.batch_cpu / r.wall;
+        prop_assert!(
+            share <= pl as f64 / 100.0 + 0.01,
+            "delivered {share} vs nominal {}",
+            pl as f64 / 100.0
+        );
+    }
+}

@@ -1,0 +1,351 @@
+//! `cgrun` — run any command under Grid Console split execution.
+//!
+//! The practical face of the library: a shadow on your terminal, an agent
+//! around an unmodified command, real TCP in between. Three modes:
+//!
+//! ```text
+//! cgrun shadow --secret-file S [--port P] [--ranks N] [--reliable DIR]
+//!     Start a Console Shadow. Prints the address; your stdin is broadcast
+//!     to the job, the job's stdout/stderr appear here. Exits with the
+//!     job's exit code once every rank has finished.
+//!
+//! cgrun agent --shadow HOST:PORT --secret-file S [--rank K] [--reliable DIR] -- CMD ARGS…
+//!     Wrap CMD under a Console Agent and stream it to the shadow.
+//!
+//! cgrun local [--reliable DIR] -- CMD ARGS…
+//!     Both halves in one process (loopback demo): your terminal talks to
+//!     CMD through the full agent↔shadow protocol.
+//! ```
+//!
+//! The secret file is any byte string shared by both sides (the GSI proxy
+//! stand-in). Create one with e.g. `head -c 32 /dev/urandom > secret`.
+
+use std::io::{BufRead, Write};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::Duration;
+
+use crossgrid::console::{
+    run_agent, AgentConfig, ConsoleShadow, Mode, Secret, ShadowConfig, ShadowEvent, StreamKind,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("shadow") => cmd_shadow(&args[1..]),
+        Some("agent") => cmd_agent(&args[1..]),
+        Some("local") => cmd_local(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{}", USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("cgrun: unknown subcommand {other:?}\n");
+            eprint!("{}", USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+cgrun — run a command under Grid Console split execution
+
+USAGE:
+  cgrun shadow --secret-file S [--port P] [--ranks N] [--reliable DIR]
+  cgrun agent  --shadow HOST:PORT --secret-file S [--rank K] [--reliable DIR] -- CMD ARGS…
+  cgrun local  [--reliable DIR] -- CMD ARGS…
+";
+
+struct Flags {
+    secret_file: Option<PathBuf>,
+    port: u16,
+    ranks: u32,
+    rank: u32,
+    shadow: Option<SocketAddr>,
+    reliable: Option<PathBuf>,
+    command: Vec<String>,
+}
+
+fn parse(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        secret_file: None,
+        port: 0,
+        ranks: 1,
+        rank: 0,
+        shadow: None,
+        reliable: None,
+        command: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--secret-file" => f.secret_file = Some(PathBuf::from(value("--secret-file")?)),
+            "--port" => {
+                f.port = value("--port")?
+                    .parse()
+                    .map_err(|_| "--port must be a number".to_string())?
+            }
+            "--ranks" => {
+                f.ranks = value("--ranks")?
+                    .parse()
+                    .map_err(|_| "--ranks must be a number".to_string())?
+            }
+            "--rank" => {
+                f.rank = value("--rank")?
+                    .parse()
+                    .map_err(|_| "--rank must be a number".to_string())?
+            }
+            "--shadow" => {
+                f.shadow = Some(
+                    value("--shadow")?
+                        .parse()
+                        .map_err(|_| "--shadow must be HOST:PORT".to_string())?,
+                )
+            }
+            "--reliable" => f.reliable = Some(PathBuf::from(value("--reliable")?)),
+            "--" => {
+                f.command = it.cloned().collect();
+                break;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(f)
+}
+
+fn load_secret(f: &Flags) -> Result<Secret, String> {
+    match &f.secret_file {
+        Some(path) => std::fs::read(path)
+            .map(Secret::new)
+            .map_err(|e| format!("cannot read secret file {}: {e}", path.display())),
+        None => Err("--secret-file is required (shared by shadow and agent)".into()),
+    }
+}
+
+fn mode_of(f: &Flags) -> Result<Mode, String> {
+    match &f.reliable {
+        None => Ok(Mode::Fast),
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create spool dir {}: {e}", dir.display()))?;
+            Ok(Mode::Reliable {
+                spool_dir: dir.clone(),
+            })
+        }
+    }
+}
+
+fn cmd_shadow(args: &[String]) -> i32 {
+    match shadow_impl(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("cgrun shadow: {e}");
+            2
+        }
+    }
+}
+
+fn shadow_impl(args: &[String]) -> Result<i32, String> {
+    let f = parse(args)?;
+    let secret = load_secret(&f)?;
+    let mut config = ShadowConfig::local(secret);
+    config.bind = format!("0.0.0.0:{}", f.port)
+        .parse()
+        .expect("valid bind literal");
+    config.expected_ranks = f.ranks;
+    config.mode = mode_of(&f)?;
+    let shadow = ConsoleShadow::start(config).map_err(|e| e.to_string())?;
+    println!("cgrun: shadow listening on {}", shadow.addr());
+    println!("cgrun: run the agent with: cgrun agent --shadow <this-host>:{} --secret-file <same file> -- CMD", shadow.addr().port());
+    Ok(run_shadow_terminal(shadow, f.ranks))
+}
+
+fn cmd_agent(args: &[String]) -> i32 {
+    let f = match parse(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cgrun agent: {e}");
+            return 2;
+        }
+    };
+    let Some(addr) = f.shadow else {
+        eprintln!("cgrun agent: --shadow HOST:PORT is required");
+        return 2;
+    };
+    if f.command.is_empty() {
+        eprintln!("cgrun agent: no command given (use `-- CMD ARGS…`)");
+        return 2;
+    }
+    let secret = match load_secret(&f) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cgrun agent: {e}");
+            return 2;
+        }
+    };
+    let mode = match mode_of(&f) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cgrun agent: {e}");
+            return 2;
+        }
+    };
+    let mut config = AgentConfig::fast(format!("cgrun-{}", std::process::id()), addr, secret);
+    config.rank = f.rank;
+    config.mode = mode;
+    let mut cmd = Command::new(&f.command[0]);
+    cmd.args(&f.command[1..]);
+    match run_agent(config, cmd) {
+        Ok(report) => {
+            if report.gave_up {
+                eprintln!("cgrun agent: gave up reaching the shadow; job killed");
+                return 70;
+            }
+            if !report.delivered_all {
+                eprintln!("cgrun agent: warning: some output was lost (fast mode)");
+            }
+            report.exit_code
+        }
+        Err(e) => {
+            eprintln!("cgrun agent: {e}");
+            66
+        }
+    }
+}
+
+fn cmd_local(args: &[String]) -> i32 {
+    let f = match parse(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cgrun local: {e}");
+            return 2;
+        }
+    };
+    if f.command.is_empty() {
+        eprintln!("cgrun local: no command given (use `-- CMD ARGS…`)");
+        return 2;
+    }
+    let secret = Secret::random();
+    let mut config = ShadowConfig::local(secret.clone());
+    config.mode = match mode_of(&f) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cgrun local: {e}");
+            return 2;
+        }
+    };
+    let shadow = match ConsoleShadow::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cgrun local: {e}");
+            return 2;
+        }
+    };
+    let addr = shadow.addr();
+    let mode = match mode_of(&f) {
+        Ok(m) => m,
+        Err(_) => Mode::Fast,
+    };
+    let command = f.command.clone();
+    let agent = std::thread::spawn(move || {
+        let mut config =
+            AgentConfig::fast(format!("cgrun-local-{}", std::process::id()), addr, secret);
+        config.mode = mode;
+        let mut cmd = Command::new(&command[0]);
+        cmd.args(&command[1..]);
+        run_agent(config, cmd)
+    });
+    let code = run_shadow_terminal(shadow, 1);
+    match agent.join() {
+        Ok(Ok(report)) => {
+            if report.exit_code != code {
+                return report.exit_code;
+            }
+            code
+        }
+        Ok(Err(e)) => {
+            eprintln!("cgrun local: agent failed: {e}");
+            66
+        }
+        Err(_) => 70,
+    }
+}
+
+/// The shadow-side terminal loop: stdin broadcast in, rank-attributed
+/// output out, exit once every rank finished.
+fn run_shadow_terminal(shadow: ConsoleShadow, ranks: u32) -> i32 {
+    let shadow = std::sync::Arc::new(shadow);
+    // stdin pump.
+    {
+        let s = std::sync::Arc::clone(&shadow);
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                if s.send_stdin_line(&line).is_err() {
+                    break;
+                }
+            }
+            s.close_stdin();
+        });
+    }
+    let mut exits: std::collections::HashMap<u32, i32> = std::collections::HashMap::new();
+    loop {
+        match shadow.events().recv_timeout(Duration::from_millis(200)) {
+            Ok(ShadowEvent::Output { rank, stream, data }) => {
+                let prefix = if ranks > 1 {
+                    format!("[{rank}] ")
+                } else {
+                    String::new()
+                };
+                let text = String::from_utf8_lossy(&data).into_owned();
+                if stream == StreamKind::Stderr {
+                    eprint!("{prefix}{text}");
+                    let _ = std::io::stderr().flush();
+                } else {
+                    print!("{prefix}{text}");
+                    let _ = std::io::stdout().flush();
+                }
+            }
+            Ok(ShadowEvent::AgentConnected { rank, reconnect, .. }) => {
+                if reconnect {
+                    eprintln!("cgrun: rank {rank} reconnected");
+                }
+            }
+            Ok(ShadowEvent::AgentDisconnected { rank }) => {
+                eprintln!("cgrun: rank {rank} disconnected (agent will retry)");
+            }
+            Ok(ShadowEvent::Exit { rank, code }) => {
+                exits.insert(rank, code);
+                if exits.len() as u32 >= ranks {
+                    let until = std::time::Instant::now() + Duration::from_millis(300);
+                    while std::time::Instant::now() < until {
+                        if let Ok(ShadowEvent::Output { data, .. }) =
+                            shadow.events().recv_timeout(Duration::from_millis(50))
+                        {
+                            print!("{}", String::from_utf8_lossy(&data));
+                            let _ = std::io::stdout().flush();
+                        }
+                    }
+                    return exits
+                        .get(&0)
+                        .copied()
+                        .or_else(|| exits.values().copied().find(|&c| c != 0))
+                        .unwrap_or(0);
+                }
+            }
+            Ok(ShadowEvent::AuthFailure { peer }) => {
+                eprintln!("cgrun: authentication failure from {peer}");
+            }
+            Ok(ShadowEvent::Eof { .. }) => {}
+            Err(_) => {}
+        }
+    }
+}

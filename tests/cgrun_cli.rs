@@ -1,0 +1,147 @@
+//! Integration tests of the `cgrun` CLI binary: real processes, real pipes,
+//! real TCP.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn cgrun() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cgrun"))
+}
+
+#[test]
+fn local_mode_round_trips_stdio_and_exit_code() {
+    let mut child = cgrun()
+        .args(["local", "--", "sh", "-c", "read x; echo got:$x; exit 5"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"ping\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "got:ping\n");
+    assert_eq!(out.status.code(), Some(5), "exit code propagates");
+}
+
+#[test]
+fn local_mode_reliable_flag_spools_to_disk() {
+    let spool = std::env::temp_dir().join(format!("cgrun-test-spool-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    let out = cgrun()
+        .args([
+            "local",
+            "--reliable",
+            spool.to_str().unwrap(),
+            "--",
+            "echo",
+            "durable",
+        ])
+        .stdin(Stdio::null())
+        .output()
+        .unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "durable\n");
+    assert!(out.status.success());
+    // Spool files were created (agent stdout spool at least).
+    let entries: Vec<_> = std::fs::read_dir(&spool).unwrap().collect();
+    assert!(!entries.is_empty(), "spool dir should contain files");
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn shadow_and_agent_as_separate_processes() {
+    let dir = std::env::temp_dir().join(format!("cgrun-test-sep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let secret_path = dir.join("secret");
+    std::fs::write(&secret_path, b"cgrun-integration-secret").unwrap();
+
+    // Shadow process.
+    let mut shadow = cgrun()
+        .args(["shadow", "--secret-file", secret_path.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    // Parse "shadow listening on 0.0.0.0:PORT" from its stdout.
+    let mut reader = BufReader::new(shadow.stdout.take().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let port: u16 = line
+        .rsplit(':')
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("no port in {line:?}"));
+    // Swallow the hint line.
+    let mut hint = String::new();
+    reader.read_line(&mut hint).unwrap();
+
+    // Agent process wrapping `cat`-like echo.
+    let mut agent = cgrun()
+        .args([
+            "agent",
+            "--shadow",
+            &format!("127.0.0.1:{port}"),
+            "--secret-file",
+            secret_path.to_str().unwrap(),
+            "--",
+            "sh",
+            "-c",
+            "read a; echo reply:$a",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Type into the shadow; expect the job's reply on the shadow's stdout.
+    shadow
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"over-tcp\n")
+        .unwrap();
+    let mut reply = String::new();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while Instant::now() < deadline && !reply.contains("reply:over-tcp") {
+        let mut l = String::new();
+        if reader.read_line(&mut l).unwrap() == 0 {
+            break;
+        }
+        reply.push_str(&l);
+    }
+    assert!(
+        reply.contains("reply:over-tcp"),
+        "shadow printed {reply:?}"
+    );
+
+    let agent_status = agent.wait().unwrap();
+    assert!(agent_status.success());
+    let shadow_status = shadow.wait().unwrap();
+    assert!(shadow_status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_and_errors() {
+    let out = cgrun().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let out = cgrun().arg("bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = cgrun().args(["agent", "--", "true"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing --shadow rejected");
+
+    let out = cgrun().args(["local"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "missing command rejected");
+}

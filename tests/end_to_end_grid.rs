@@ -1,0 +1,159 @@
+//! Cross-crate end-to-end: the full 18-site testbed under mixed load,
+//! exercised through the facade crate.
+
+use crossgrid::handles_from_scenario;
+use crossgrid::prelude::*;
+use crossgrid::sim::SimRng;
+use crossgrid::workloads::{poisson_arrivals, JobMix};
+
+fn run_day(seed: u64, hours: u64) -> (CrossBroker, Vec<JobRecord>) {
+    let mut sim = Sim::new(seed);
+    let mut rng = SimRng::new(seed ^ 0xABCD);
+    let scenario = crossgrid_testbed(&mut rng, false);
+    let broker = CrossBroker::new(
+        &mut sim,
+        handles_from_scenario(&scenario),
+        scenario.mds_link(),
+        BrokerConfig::default(),
+    );
+    let horizon = SimTime::from_secs(hours * 3_600);
+    for arrival in poisson_arrivals(&mut rng, &JobMix::default(), SimDuration::from_secs(180), horizon) {
+        let broker2 = broker.clone();
+        let job = arrival.job.clone();
+        let runtime = arrival.runtime;
+        sim.schedule_at(arrival.at, move |sim| {
+            broker2.submit(sim, job, runtime);
+        });
+    }
+    sim.run_until(horizon + SimDuration::from_secs(6 * 3_600));
+    let records = broker.records();
+    (broker, records)
+}
+
+#[test]
+fn every_job_reaches_a_terminal_state() {
+    let (broker, records) = run_day(1, 4);
+    assert!(!records.is_empty());
+    for r in &records {
+        assert!(
+            matches!(r.state, JobState::Done | JobState::Failed { .. }),
+            "{}: non-terminal state after drain: {:?}",
+            r.id,
+            r.state
+        );
+    }
+    let stats = broker.stats();
+    assert_eq!(
+        stats.submitted,
+        (stats.finished + stats.failed + stats.rejected),
+        "accounting closes: {stats:?}"
+    );
+}
+
+#[test]
+fn timestamps_are_causally_ordered() {
+    let (_, records) = run_day(2, 4);
+    for r in &records {
+        if let (Some(d), Some(s)) = (r.discovered_at, r.selected_at) {
+            assert!(d >= r.submitted_at);
+            assert!(s >= d);
+        }
+        if let (Some(disp), Some(start)) = (r.dispatched_at, r.started_at) {
+            assert!(start >= disp, "{}: started before dispatch", r.id);
+        }
+        if let (Some(start), Some(fin)) = (r.started_at, r.finished_at) {
+            assert!(fin >= start);
+        }
+    }
+}
+
+#[test]
+fn interactive_jobs_start_faster_than_batch_on_average() {
+    let (_, records) = run_day(3, 6);
+    // Shared-path interactive jobs have selection_s == 0 (combined step).
+    let shared: Vec<f64> = records
+        .iter()
+        .filter(|r| r.selection_s() == Some(0.0))
+        .filter_map(|r| r.response_s())
+        .collect();
+    let matched: Vec<f64> = records
+        .iter()
+        .filter(|r| r.selection_s().is_some_and(|s| s > 0.0))
+        .filter_map(|r| r.response_s())
+        .collect();
+    assert!(shared.len() > 3, "need shared-path samples, got {}", shared.len());
+    assert!(matched.len() > 3);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&shared) < mean(&matched) / 2.0,
+        "shared {:.1}s vs matched {:.1}s — the paper's headline result",
+        mean(&shared),
+        mean(&matched)
+    );
+}
+
+#[test]
+fn identical_seeds_give_identical_days() {
+    let (_, a) = run_day(7, 3);
+    let (_, b) = run_day(7, 3);
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(b.iter()) {
+        assert_eq!(ra.id, rb.id);
+        assert_eq!(ra.submitted_at, rb.submitted_at);
+        assert_eq!(ra.started_at, rb.started_at);
+        assert_eq!(ra.finished_at, rb.finished_at);
+        assert_eq!(
+            std::mem::discriminant(&ra.state),
+            std::mem::discriminant(&rb.state)
+        );
+    }
+}
+
+#[test]
+fn different_seeds_give_different_days() {
+    let (_, a) = run_day(11, 3);
+    let (_, b) = run_day(12, 3);
+    let fingerprint = |rs: &[JobRecord]| -> Vec<Option<u64>> {
+        rs.iter()
+            .map(|r| r.started_at.map(|t| t.as_nanos()))
+            .collect()
+    };
+    assert_ne!(fingerprint(&a), fingerprint(&b));
+}
+
+#[test]
+fn nodes_are_returned_after_the_day() {
+    let mut sim = Sim::new(21);
+    let mut rng = SimRng::new(21);
+    let scenario = crossgrid_testbed(&mut rng, false);
+    let total_before: usize = scenario
+        .sites
+        .iter()
+        .map(|(s, _)| s.lrms().free_nodes())
+        .sum();
+    let broker = CrossBroker::new(
+        &mut sim,
+        handles_from_scenario(&scenario),
+        scenario.mds_link(),
+        BrokerConfig::default(),
+    );
+    let horizon = SimTime::from_secs(2 * 3_600);
+    for arrival in poisson_arrivals(&mut rng, &JobMix::default(), SimDuration::from_secs(300), horizon) {
+        let broker2 = broker.clone();
+        let job = arrival.job.clone();
+        let runtime = arrival.runtime.min(SimDuration::from_secs(600));
+        sim.schedule_at(arrival.at, move |sim| {
+            broker2.submit(sim, job, runtime);
+        });
+    }
+    sim.run_until(SimTime::from_secs(24 * 3_600));
+    let total_after: usize = scenario
+        .sites
+        .iter()
+        .map(|(s, _)| s.lrms().free_nodes())
+        .sum();
+    assert_eq!(
+        total_before, total_after,
+        "every node freed once the day drained (no leaked agents/jobs)"
+    );
+}

@@ -1,0 +1,113 @@
+//! The paper's headline claims, verified end-to-end in one place. These are
+//! the acceptance tests of the reproduction: if any of them fails, the
+//! repository no longer reproduces the paper's evaluation shapes.
+
+use cg_bench::response::{sample_discovery_selection, sample_submission, Path};
+use cg_bench::streaming::{run_figure, shape_violations};
+use cg_bench::vmload::{paper_values, run_fig8};
+use crossgrid::net::LinkProfile;
+use crossgrid::sim::SampleSet;
+
+fn mean_submission(path: Path, profile: &LinkProfile, n: u32, seed: u64) -> f64 {
+    let mut s = SampleSet::new();
+    for i in 0..n {
+        if let Some(t) = sample_submission(path, profile, seed + i as u64) {
+            s.record(t);
+        }
+    }
+    assert!(s.len() as u32 >= n * 9 / 10, "most samples must complete");
+    s.mean()
+}
+
+#[test]
+fn claim_table1_ordering_and_magnitudes() {
+    let campus = LinkProfile::campus();
+    let n = 15;
+    let glogin = mean_submission(Path::Glogin, &campus, n, 100);
+    let idle = mean_submission(Path::Idle, &campus, n, 200);
+    let vm = mean_submission(Path::VirtualMachine, &campus, n, 300);
+    let agent = mean_submission(Path::JobPlusAgent, &campus, n, 400);
+
+    // §6.1: "submission of interactive jobs in shared mode exhibits the
+    // shortest startup times. It is more than two times smaller than the
+    // best of the other options (Glogin)".
+    assert!(vm * 2.0 < glogin.min(idle).min(agent), "vm={vm} others={glogin}/{idle}/{agent}");
+    // "Glogin submission and interactive submission in exclusive mode
+    // exhibit similar performance, although Glogin is slightly better."
+    assert!(glogin < idle, "glogin {glogin} vs idle {idle}");
+    assert!(idle / glogin < 1.25, "similar performance: {idle} vs {glogin}");
+    // "the worst time corresponds to the submission of a batch job".
+    assert!(agent > idle && agent > glogin, "agent {agent} worst");
+
+    // Magnitudes within ±20 % of the paper's campus numbers.
+    for (ours, paper) in [(glogin, 16.43), (idle, 17.2), (vm, 6.79), (agent, 29.3)] {
+        assert!(
+            (ours / paper - 1.0).abs() < 0.20,
+            "{ours:.2} vs paper {paper}"
+        );
+    }
+}
+
+#[test]
+fn claim_glogin_slower_over_wan() {
+    let n = 15;
+    let campus = mean_submission(Path::Glogin, &LinkProfile::campus(), n, 500);
+    let ifca = mean_submission(Path::Glogin, &LinkProfile::wan_ifca(), n, 600);
+    // Paper: 16.43 → 20.12 s.
+    assert!(ifca > campus + 1.5, "{ifca} vs {campus}");
+    assert!(ifca < campus + 7.0);
+}
+
+#[test]
+fn claim_discovery_and_selection_costs() {
+    let mut disc = SampleSet::new();
+    let mut sel = SampleSet::new();
+    for i in 0..10 {
+        let (d, s) = sample_discovery_selection(20, 700 + i).unwrap();
+        disc.record(d);
+        sel.record(s);
+    }
+    assert!((0.3..0.7).contains(&disc.mean()), "discovery {} vs paper 0.5", disc.mean());
+    assert!((2.3..3.7).contains(&sel.mean()), "selection {} vs paper 3", sel.mean());
+}
+
+#[test]
+fn claim_figure6_campus_shapes() {
+    let runs = run_figure(&LinkProfile::campus(), 400, 0xAA);
+    let v = shape_violations(&runs, true);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn claim_figure7_wan_shapes() {
+    let runs = run_figure(&LinkProfile::wan_ifca(), 400, 0xBB);
+    let v = shape_violations(&runs, false);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+#[test]
+fn claim_figure8_overheads() {
+    let series = run_fig8(0xCC);
+    for s in &series {
+        let paper = paper_values(&s.label).unwrap();
+        let cpu = s.result.cpu.mean();
+        assert!(
+            (cpu / paper.cpu_mean - 1.0).abs() < 0.02,
+            "{}: {cpu} vs {}",
+            s.label,
+            paper.cpu_mean
+        );
+    }
+    // "the overhead introduced by our multiprogramming agent is negligible".
+    let excl = series[0].result.cpu.mean();
+    let alone = series[1].result.cpu.mean();
+    assert!((alone / excl - 1.0).abs() < 0.002);
+    // "CPU adjustment is close to the value of the Performance Loss
+    // attribute, while the priority adjustment has a lower repercussion on
+    // I/O performance."
+    let pl25 = &series[3].result;
+    let cpu_loss = pl25.cpu.mean() / excl - 1.0;
+    let io_loss = pl25.io.mean() / series[0].result.io.mean() - 1.0;
+    assert!((0.19..0.25).contains(&cpu_loss));
+    assert!(io_loss < cpu_loss / 1.8, "io {io_loss} vs cpu {cpu_loss}");
+}
