@@ -1,0 +1,182 @@
+//! Offline shim for the subset of the `criterion` API the bench harnesses
+//! use. Timing is a plain wall-clock mean over a small fixed iteration
+//! count — enough to spot order-of-magnitude regressions and to keep the
+//! bench targets compiling and runnable without the real crate.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Passed to bench closures; runs and times the workload.
+pub struct Bencher {
+    iters: u32,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup iteration, then the measured runs.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Declares the group's throughput (echoed in the report).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.to_string(), b.last_mean_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.to_string(), b.last_mean_ns);
+        self
+    }
+
+    /// Ends the group (no-op; parity with the real API).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &str, mean_ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.0} elem/s", n as f64 / (mean_ns / 1e9))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:.0} MiB/s",
+                    n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0)
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {:<50} {:>12.0} ns/iter{}",
+            format!("{}/{}", self.name, id),
+            mean_ns,
+            rate
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+/// Entry point handed to bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: u32,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name).bench_function("bench", f);
+        self
+    }
+}
+
+/// Bundles bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

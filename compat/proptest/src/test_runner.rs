@@ -1,0 +1,54 @@
+//! Deterministic per-case RNG for the proptest shim.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SampleRange, SeedableRng, Standard};
+
+/// Number of cases each property runs. Overridable via `PROPTEST_CASES`.
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// FNV-1a, used to derive a stable seed from the test's full path.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministic random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// RNG for one case of one named test.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        let seed =
+            fnv1a(test_path.as_bytes()) ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        TestRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform draw over a type's whole domain.
+    pub fn r#gen<T: Standard>(&mut self) -> T {
+        self.inner.gen::<T>()
+    }
+
+    /// Uniform draw from a range.
+    pub fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        self.inner.gen_range(range)
+    }
+
+    /// Raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

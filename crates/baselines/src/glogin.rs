@@ -114,13 +114,19 @@ mod tests {
     #[test]
     fn campus_submission_near_16_43_seconds() {
         let t = mean_submission(LinkProfile::campus());
-        assert!((15.0..18.0).contains(&t), "glogin campus submission {t}s vs paper 16.43");
+        assert!(
+            (15.0..18.0).contains(&t),
+            "glogin campus submission {t}s vs paper 16.43"
+        );
     }
 
     #[test]
     fn ifca_submission_near_20_12_seconds() {
         let t = mean_submission(LinkProfile::wan_ifca());
-        assert!((18.5..22.0).contains(&t), "glogin IFCA submission {t}s vs paper 20.12");
+        assert!(
+            (18.5..22.0).contains(&t),
+            "glogin IFCA submission {t}s vs paper 20.12"
+        );
     }
 
     #[test]
@@ -161,11 +167,19 @@ mod tests {
         let mut rng = SimRng::new(4);
         for bytes in [10u64, 1024, 10 * 1024] {
             let g: f64 = (0..500)
-                .map(|_| glogin_method().sequence_rtt(&mut rng, &campus, bytes).as_secs_f64())
+                .map(|_| {
+                    glogin_method()
+                        .sequence_rtt(&mut rng, &campus, bytes)
+                        .as_secs_f64()
+                })
                 .sum::<f64>()
                 / 500.0;
             let s: f64 = (0..500)
-                .map(|_| crate::ssh_method().sequence_rtt(&mut rng, &campus, bytes).as_secs_f64())
+                .map(|_| {
+                    crate::ssh_method()
+                        .sequence_rtt(&mut rng, &campus, bytes)
+                        .as_secs_f64()
+                })
                 .sum::<f64>()
                 / 500.0;
             assert!(g > s, "{bytes}B: glogin {g} vs ssh {s}");

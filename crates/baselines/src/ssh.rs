@@ -20,8 +20,8 @@ use cg_sim::{Sim, SimDuration};
 pub fn ssh_method() -> MethodCosts {
     MethodCosts {
         name: "ssh".into(),
-        fixed_s: 90e-6,     // channel write path + syscall
-        per_byte_s: 14e-9,  // encryption on a 2006 CPU
+        fixed_s: 90e-6,        // channel write path + syscall
+        per_byte_s: 14e-9,     // encryption on a 2006 CPU
         chunk_bytes: 4 * 1024, // OpenSSH channel packet size
         per_chunk_s: 260e-6,   // per-packet MAC + framing + window bookkeeping
         per_chunk_rtts: 0.0,   // windows large enough not to stall at 10 KB
@@ -81,7 +81,10 @@ mod tests {
         let campus = LinkProfile::campus();
         let ssh = mean_rtt(&ssh_method(), &campus, 10 * 1024);
         let reliable = mean_rtt(&cg_console::MethodCosts::reliable(), &campus, 10 * 1024);
-        assert!(reliable < ssh, "reliable {reliable} must beat ssh {ssh} at 10KB");
+        assert!(
+            reliable < ssh,
+            "reliable {reliable} must beat ssh {ssh} at 10KB"
+        );
     }
 
     #[test]
@@ -89,7 +92,10 @@ mod tests {
         let campus = LinkProfile::campus();
         let ssh = mean_rtt(&ssh_method(), &campus, 10);
         let reliable = mean_rtt(&cg_console::MethodCosts::reliable(), &campus, 10);
-        assert!(ssh < reliable, "ssh {ssh} wins at 10 B vs reliable {reliable}");
+        assert!(
+            ssh < reliable,
+            "ssh {ssh} wins at 10 B vs reliable {reliable}"
+        );
     }
 
     #[test]

@@ -48,7 +48,9 @@ const JDL_SRC: &str = r#"
 fn bench_jdl(c: &mut Criterion) {
     let mut group = c.benchmark_group("jdl");
     group.throughput(Throughput::Bytes(JDL_SRC.len() as u64));
-    group.bench_function("parse_ad", |b| b.iter(|| parse_ad(black_box(JDL_SRC)).unwrap()));
+    group.bench_function("parse_ad", |b| {
+        b.iter(|| parse_ad(black_box(JDL_SRC)).unwrap())
+    });
     group.bench_function("parse_and_validate", |b| {
         b.iter(|| JobDescription::parse(black_box(JDL_SRC)).unwrap())
     });

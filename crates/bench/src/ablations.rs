@@ -117,7 +117,12 @@ pub struct LeaseOutcome {
 /// Herd experiment: `n_jobs` exclusive interactive jobs submitted within one
 /// second against `n_sites` single-node sites, with and without the
 /// exclusive temporal lease.
-pub fn lease_experiment(lease: SimDuration, n_jobs: usize, n_sites: usize, seed: u64) -> LeaseOutcome {
+pub fn lease_experiment(
+    lease: SimDuration,
+    n_jobs: usize,
+    n_sites: usize,
+    seed: u64,
+) -> LeaseOutcome {
     let mut sim = Sim::new(seed);
     let mut handles = Vec::new();
     for i in 0..n_sites {
@@ -195,7 +200,10 @@ mod tests {
         let points = ts.points();
         let peak_at_release = points[60].1;
         assert!(peak_at_release > 0.0);
-        assert!(points.last().unwrap().1 < peak_at_release / 2.0, "decays after release");
+        assert!(
+            points.last().unwrap().1 < peak_at_release / 2.0,
+            "decays after release"
+        );
         // Monotone rise while busy.
         for w in points[..61].windows(2) {
             assert!(w[1].1 >= w[0].1);

@@ -8,15 +8,17 @@
 //! ```
 
 use cg_bench::ablations::buffer_sweep;
-use cg_bench::report::print_table;
+use cg_bench::report::{print_table, TraceSink};
 use cg_bench::write_csv;
 
 fn main() {
     let buffers = [256u64, 1_024, 4_096, 16_384, 65_536, 262_144];
+    let sink = TraceSink::new();
     let mut rows = Vec::new();
     let mut csv = String::from("buffer_bytes,payload_bytes,mean_rtt_s\n");
     for payload in [10u64, 1_024, 10_240] {
         for (b, mean) in buffer_sweep(&buffers, payload, 1_000, 0xB0F) {
+            sink.measure(format!("ablation_buffers.{b}B.{payload}B.mean_rtt_s"), mean);
             rows.push(vec![
                 format!("{b}"),
                 format!("{payload}"),
@@ -35,4 +37,5 @@ fn main() {
     );
     let path = write_csv("ablation_buffers.csv", &csv);
     println!("CSV: {}", path.display());
+    sink.dump();
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use cg_bench::ablations::priority_trajectory;
-use cg_bench::report::print_table;
+use cg_bench::report::{print_table, TraceSink};
 use cg_bench::write_csv;
 use cg_sim::SimDuration;
 use crossbroker::UsageKind;
@@ -15,15 +15,37 @@ fn main() {
     // Trajectories: 60 busy ticks then 120 idle ticks, r = 0.1.
     let kinds = [
         ("batch", UsageKind::Batch),
-        ("interactive PL=10", UsageKind::Interactive { performance_loss: 10 }),
-        ("interactive PL=50", UsageKind::Interactive { performance_loss: 50 }),
-        ("yielded batch PL=10", UsageKind::YieldedBatch { performance_loss: 10 }),
+        (
+            "interactive PL=10",
+            UsageKind::Interactive {
+                performance_loss: 10,
+            },
+        ),
+        (
+            "interactive PL=50",
+            UsageKind::Interactive {
+                performance_loss: 50,
+            },
+        ),
+        (
+            "yielded batch PL=10",
+            UsageKind::YieldedBatch {
+                performance_loss: 10,
+            },
+        ),
     ];
+    let sink = TraceSink::new();
     let mut rows = Vec::new();
     for (label, kind) in kinds {
         let ts = priority_trajectory(kind, 10, 100, 60, 120, SimDuration::from_secs(3_600));
         let peak = ts.points()[60].1;
         let end = ts.points().last().unwrap().1;
+        let slug = label.replace([' ', '='], "_");
+        sink.measure(format!("ablation_fairshare.{slug}.peak_priority"), peak);
+        sink.measure(
+            format!("ablation_fairshare.{slug}.priority_after_idle"),
+            end,
+        );
         rows.push(vec![
             label.to_string(),
             format!("{:.3}", kind.application_factor()),
@@ -55,6 +77,10 @@ fn main() {
         );
         let peak = ts.points()[60].1;
         let end = ts.points().last().unwrap().1;
+        sink.measure(
+            format!("ablation_fairshare.halflife_{hl}s.retained_pct"),
+            end / peak * 100.0,
+        );
         rows.push(vec![
             format!("{hl}"),
             format!("{peak:.5}"),
@@ -73,4 +99,5 @@ fn main() {
     );
     let path = write_csv("ablation_fairshare_halflife.csv", &csv);
     println!("CSV: {}", path.display());
+    sink.dump();
 }

@@ -7,15 +7,22 @@
 //! ```
 
 use cg_bench::ablations::lease_experiment;
-use cg_bench::report::print_table;
+use cg_bench::report::{print_table, TraceSink};
 use cg_bench::write_csv;
 use cg_sim::{SampleSet, SimDuration};
 
 fn main() {
-    let n_jobs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
-    let n_sites: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let n_jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let n_sites: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
     let seeds = 0u64..20;
 
+    let sink = TraceSink::new();
     let mut rows = Vec::new();
     let mut csv = String::from("lease_s,started,failed,resubmissions,mean_response_s\n");
     for lease_s in [0u64, 5, 30, 120] {
@@ -32,6 +39,14 @@ fn main() {
                 resp.record(o.mean_response_s);
             }
         }
+        sink.measure(
+            format!("ablation_lease.{lease_s}s.resubmissions"),
+            resub as f64,
+        );
+        sink.measure(
+            format!("ablation_lease.{lease_s}s.mean_response_s"),
+            resp.mean(),
+        );
         rows.push(vec![
             format!("{lease_s}"),
             format!("{started}"),
@@ -45,8 +60,16 @@ fn main() {
         ));
     }
     print_table(
-        &format!("Exclusive temporal lease: {n_jobs} jobs racing for {n_sites} 1-node sites (20 seeds)"),
-        &["lease s", "started", "failed", "resubmissions", "mean response s"],
+        &format!(
+            "Exclusive temporal lease: {n_jobs} jobs racing for {n_sites} 1-node sites (20 seeds)"
+        ),
+        &[
+            "lease s",
+            "started",
+            "failed",
+            "resubmissions",
+            "mean response s",
+        ],
         &rows,
     );
     println!(
@@ -54,4 +77,5 @@ fn main() {
     );
     let path = write_csv("ablation_lease.csv", &csv);
     println!("CSV: {}", path.display());
+    sink.dump();
 }

@@ -8,17 +8,23 @@
 //! ```
 
 use cg_bench::ablations::multiprog_sweep;
-use cg_bench::report::print_table;
+use cg_bench::report::{print_table, TraceSink};
 use cg_bench::write_csv;
 use cg_vm::{AdaptiveConfig, AdaptiveController};
 
 fn main() {
     let degrees = [1usize, 2, 3, 4, 6, 8];
     let work_s = 600;
+    let sink = TraceSink::new();
     let mut rows = Vec::new();
     let mut csv = String::from("degree,interactive_completion_s,batch_completion_s,iv_stretch\n");
     for (k, iv, batch) in multiprog_sweep(&degrees, work_s, 10) {
         let stretch = iv / work_s as f64;
+        sink.measure(
+            format!("ablation_multiprog.k{k}.interactive_completion_s"),
+            iv,
+        );
+        sink.measure(format!("ablation_multiprog.k{k}.batch_completion_s"), batch);
         rows.push(vec![
             format!("{k}"),
             format!("{iv:.1}"),
@@ -29,7 +35,12 @@ fn main() {
     }
     print_table(
         &format!("Degree of multi-programming (each task {work_s}s of work, PL=10)"),
-        &["interactive slots", "last interactive done", "batch done", "iv stretch"],
+        &[
+            "interactive slots",
+            "last interactive done",
+            "batch done",
+            "iv stretch",
+        ],
         &rows,
     );
     println!(
@@ -62,4 +73,5 @@ fn main() {
         &["application profile", "duty cycle", "recommended slots"],
         &rows,
     );
+    sink.dump();
 }

@@ -6,7 +6,7 @@
 //! cargo run -p cg-bench --release --bin fig6 [sequences]
 //! ```
 
-use cg_bench::report::print_table;
+use cg_bench::report::{print_table, TraceSink};
 use cg_bench::streaming::{run_figure, shape_violations};
 use cg_bench::write_csv;
 use cg_net::LinkProfile;
@@ -19,8 +19,17 @@ fn main() {
     println!("Figure 6 (campus): {sequences} sequences per method × payload…");
     let runs = run_figure(&LinkProfile::campus(), sequences, 0xF16);
 
+    let sink = TraceSink::new();
     let mut rows = Vec::new();
     for run in &runs {
+        sink.measure(
+            format!("fig6.{}.{}B.mean_rtt_s", run.method, run.payload),
+            run.samples.mean(),
+        );
+        sink.measure(
+            format!("fig6.{}.{}B.p95_rtt_s", run.method, run.payload),
+            run.samples.percentile(95.0).unwrap(),
+        );
         rows.push(vec![
             run.method.clone(),
             format!("{}", run.payload),
@@ -46,4 +55,5 @@ fn main() {
         std::process::exit(1);
     }
     println!("Per-series CSVs in {}", cg_bench::results_dir().display());
+    sink.dump();
 }

@@ -6,7 +6,7 @@
 //! cargo run -p cg-bench --release --bin fig8
 //! ```
 
-use cg_bench::report::print_table;
+use cg_bench::report::{print_table, TraceSink};
 use cg_bench::vmload::{paper_values, run_fig8};
 use cg_bench::write_csv;
 
@@ -16,11 +16,15 @@ fn main() {
     let reference = series[0].result.cpu.mean();
     let reference_io = series[0].result.io.mean();
 
+    let sink = TraceSink::new();
     let mut rows = Vec::new();
     for s in &series {
         let paper = paper_values(&s.label).expect("reference exists");
         let cpu = s.result.cpu.mean();
         let io = s.result.io.mean();
+        let slug = s.label.replace([' ', '='], "_");
+        sink.measure(format!("fig8.{slug}.cpu_mean_s"), cpu);
+        sink.measure(format!("fig8.{slug}.io_mean_s"), io);
         rows.push(vec![
             s.label.clone(),
             format!("{:.4}", cpu),
@@ -43,7 +47,10 @@ fn main() {
         {
             csv.push_str(&format!("{i},{c},{io}\n"));
         }
-        write_csv(&format!("fig8_{}.csv", s.label.replace([' ', '='], "_")), &csv);
+        write_csv(
+            &format!("fig8_{}.csv", s.label.replace([' ', '='], "_")),
+            &csv,
+        );
     }
     print_table(
         "Figure 8 — VM overhead (seconds)",
@@ -62,5 +69,9 @@ fn main() {
     println!(
         "\nShape checks: shared-alone indistinguishable from exclusive; PL=10 ⇒ ≈+8–9 %\nCPU, ≈+4–5 % I/O; PL=25 ⇒ ≈+22–23 % CPU, ≈+9–11 % I/O (measured loss lands\nslightly below nominal PL, as in the paper)."
     );
-    println!("Per-iteration CSVs in {}", cg_bench::results_dir().display());
+    println!(
+        "Per-iteration CSVs in {}",
+        cg_bench::results_dir().display()
+    );
+    sink.dump();
 }

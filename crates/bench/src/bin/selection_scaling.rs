@@ -6,7 +6,7 @@
 //! cargo run -p cg-bench --release --bin selection_scaling [samples]
 //! ```
 
-use cg_bench::report::print_table;
+use cg_bench::report::{print_table, TraceSink};
 use cg_bench::response::sample_discovery_selection;
 use cg_bench::write_csv;
 use cg_sim::SampleSet;
@@ -16,6 +16,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(30);
+    let sink = TraceSink::new();
     let mut rows = Vec::new();
     let mut csv = String::from("sites,discovery_mean_s,selection_mean_s\n");
     for n in [1usize, 2, 5, 10, 15, 20, 30, 40] {
@@ -28,6 +29,14 @@ fn main() {
                 sel.record(s);
             }
         }
+        sink.measure(
+            format!("selection_scaling.{n}_sites.discovery_mean_s"),
+            disc.mean(),
+        );
+        sink.measure(
+            format!("selection_scaling.{n}_sites.selection_mean_s"),
+            sel.mean(),
+        );
         rows.push(vec![
             format!("{n}"),
             format!("{:.3}", disc.mean()),
@@ -42,4 +51,5 @@ fn main() {
     );
     let path = write_csv("selection_scaling.csv", &csv);
     println!("\nCSV: {}", path.display());
+    sink.dump();
 }

@@ -5,7 +5,7 @@
 //! cargo run -p cg-bench --release --bin table1 [samples]
 //! ```
 
-use cg_bench::report::{fmt_s, print_table};
+use cg_bench::report::{fmt_s, print_table, TraceSink};
 use cg_bench::response::{paper_table1, run_table1};
 use cg_bench::write_csv;
 
@@ -19,11 +19,22 @@ fn main() {
     let measured = run_table1(samples, 0xCB01);
     let paper = paper_table1();
 
+    let sink = TraceSink::new();
     let mut rows = Vec::new();
     let mut csv = String::from(
         "method,discovery_s,selection_s,submission_campus_s,submission_ifca_s,paper_campus_s,paper_ifca_s\n",
     );
     for (m, p) in measured.iter().zip(paper.iter()) {
+        for (field, value) in [
+            ("discovery_s", m.discovery_s),
+            ("selection_s", m.selection_s),
+            ("submission_campus_s", m.submission_campus_s),
+            ("submission_ifca_s", m.submission_ifca_s),
+        ] {
+            if let Some(v) = value {
+                sink.measure(format!("table1.{}.{field}", m.method), v);
+            }
+        }
         rows.push(vec![
             m.method.clone(),
             fmt_s(m.discovery_s),
@@ -59,6 +70,7 @@ fn main() {
     );
     let path = write_csv("table1.csv", &csv);
     println!("\nCSV: {}", path.display());
+    sink.dump();
     println!(
         "\nShape checks: shared-VM must be the fastest path by >2x over the best\n\
          alternative; job+agent the slowest; discovery ≈0.5 s; selection ≈3 s @20 sites."

@@ -14,4 +14,4 @@ pub mod response;
 pub mod streaming;
 pub mod vmload;
 
-pub use report::{results_dir, write_csv};
+pub use report::{results_dir, write_csv, TraceSink, TRACE_ENV};

@@ -1,11 +1,78 @@
-//! Result output: aligned tables on stdout, CSV files on disk.
+//! Result output: aligned tables on stdout, CSV files on disk, and the
+//! optional JSONL event dump every binary honours via `CG_TRACE_JSONL`.
 
 use std::path::PathBuf;
 
+use cg_sim::SimTime;
+use cg_trace::{dump_jsonl_env, Event, EventLog};
+
+/// Environment variable naming the JSONL file bench binaries dump their
+/// event stream to (unset or empty ⇒ no dump).
+pub const TRACE_ENV: &str = "CG_TRACE_JSONL";
+
+/// Measurement sink shared by the bench binaries.
+///
+/// Each binary funnels the numbers it reports through [`TraceSink::measure`]
+/// and, for experiments that expose one, merges a component's lifecycle
+/// stream with [`TraceSink::absorb`]; [`TraceSink::dump`] then writes the
+/// combined stream as JSON Lines when [`TRACE_ENV`] names a file, so
+/// `CG_TRACE_JSONL=out.jsonl cargo run -p cg-bench --bin …` captures every
+/// reported number machine-readably with no extra flags.
+pub struct TraceSink {
+    log: EventLog,
+}
+
+impl TraceSink {
+    /// Creates a sink large enough that a bench run never drops events.
+    pub fn new() -> Self {
+        TraceSink {
+            log: EventLog::new(1 << 20),
+        }
+    }
+
+    /// Records one named scalar result. Bench results are end-of-run
+    /// aggregates, so they are stamped at t = 0 rather than a sim time.
+    pub fn measure(&self, name: impl Into<String>, value: f64) {
+        self.log.record(
+            SimTime::ZERO,
+            Event::Measurement {
+                name: name.into(),
+                value,
+            },
+        );
+    }
+
+    /// Copies every retained event of `other` (e.g. a broker's lifecycle
+    /// log) into this sink, keeping the original timestamps.
+    pub fn absorb(&self, other: &EventLog) {
+        for ev in other.snapshot() {
+            self.log.record(ev.at, ev.event);
+        }
+    }
+
+    /// The underlying shared log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Writes the stream as JSONL when [`TRACE_ENV`] is set, announcing the
+    /// path on stdout. Returns the path written, if any.
+    pub fn dump(&self) -> Option<PathBuf> {
+        let path = dump_jsonl_env(&self.log, TRACE_ENV)?;
+        println!("Event JSONL: {}", path.display());
+        Some(path)
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Directory experiment CSVs are written to.
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiment-results");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiment-results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
@@ -31,7 +98,11 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            s.push_str(&format!("{:<w$}  ", cell, w = widths[i.min(widths.len() - 1)]));
+            s.push_str(&format!(
+                "{:<w$}  ",
+                cell,
+                w = widths[i.min(widths.len() - 1)]
+            ));
         }
         println!("{}", s.trim_end());
     };
@@ -66,5 +137,34 @@ mod tests {
     fn fmt_s_handles_none() {
         assert_eq!(fmt_s(None), "-");
         assert_eq!(fmt_s(Some(1.23456)), "1.235");
+    }
+
+    #[test]
+    fn sink_records_measurements_and_absorbs_other_logs() {
+        let sink = TraceSink::new();
+        sink.measure("table1.mean_s", 2.5);
+        let other = EventLog::new(8);
+        other.record(SimTime::from_secs(3), Event::JobStarted { job: 9 });
+        sink.absorb(&other);
+        let events = sink.log().snapshot();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            &events[0].event,
+            Event::Measurement { name, value } if name == "table1.mean_s" && *value == 2.5
+        ));
+        assert_eq!(
+            events[1].at,
+            SimTime::from_secs(3),
+            "timestamps survive absorb"
+        );
+    }
+
+    #[test]
+    fn dump_is_a_no_op_without_the_env_var() {
+        // The test runner never sets CG_TRACE_JSONL, so dump() must be inert.
+        std::env::remove_var(TRACE_ENV);
+        let sink = TraceSink::new();
+        sink.measure("x", 1.0);
+        assert!(sink.dump().is_none());
     }
 }

@@ -280,7 +280,10 @@ mod tests {
     fn discovery_and_selection_near_paper_values() {
         let (d, s) = sample_discovery_selection(20, 3).unwrap();
         assert!((0.2..0.9).contains(&d), "discovery {d} (paper ≈0.5)");
-        assert!((2.0..4.5).contains(&s), "selection {s} for 20 sites (paper ≈3)");
+        assert!(
+            (2.0..4.5).contains(&s),
+            "selection {s} for 20 sites (paper ≈3)"
+        );
     }
 
     #[test]

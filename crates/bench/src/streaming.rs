@@ -35,7 +35,9 @@ pub fn shape_violations(runs: &[PingPongRun], campus: bool) -> Vec<String> {
             let fast = mean("fast", payload);
             for other in ["ssh", "glogin", "reliable"] {
                 if fast >= mean(other, payload) {
-                    v.push(format!("campus {payload}B: fast ({fast}) not fastest vs {other}"));
+                    v.push(format!(
+                        "campus {payload}B: fast ({fast}) not fastest vs {other}"
+                    ));
                 }
             }
         }
@@ -55,7 +57,9 @@ pub fn shape_violations(runs: &[PingPongRun], campus: bool) -> Vec<String> {
             let fast = mean("fast", payload);
             let ssh = mean("ssh", payload);
             if (fast / ssh - 1.0).abs() > 0.25 {
-                v.push(format!("wan {payload}B: fast ({fast}) far from ssh ({ssh})"));
+                v.push(format!(
+                    "wan {payload}B: fast ({fast}) far from ssh ({ssh})"
+                ));
             }
         }
         // Glogin collapses at 10 KB.
@@ -66,7 +70,9 @@ pub fn shape_violations(runs: &[PingPongRun], campus: bool) -> Vec<String> {
         let rel = mean("reliable", 10_240);
         let ssh = mean("ssh", 10_240);
         if (rel / ssh - 1.0).abs() > 0.4 {
-            v.push(format!("wan 10KB: reliable ({rel}) not within 40% of ssh ({ssh})"));
+            v.push(format!(
+                "wan 10KB: reliable ({rel}) not within 40% of ssh ({ssh})"
+            ));
         }
         // Fast has the highest relative variance on WAN at mid sizes.
         let rel_sd = |m: &str| {
@@ -98,6 +104,28 @@ mod tests {
         let runs = run_figure(&LinkProfile::wan_ifca(), 1_000, 42);
         let v = shape_violations(&runs, false);
         assert!(v.is_empty(), "figure 7 violations: {v:#?}");
+    }
+
+    #[test]
+    fn figure7_variance_ordering_robust_across_seeds() {
+        // The fast-vs-ssh variance ordering on the WAN must be structural
+        // (method jitter dilating the whole delivery), not a sampling
+        // accident of one seed.
+        for seed in [0xBBu64, 7, 42, 1234, 99_991] {
+            let runs = run_figure(&LinkProfile::wan_ifca(), 400, seed);
+            let rel_sd = |m: &str| {
+                runs.iter()
+                    .find(|r| r.method == m && r.payload == 1024)
+                    .map(|r| r.samples.std_dev() / r.samples.mean())
+                    .unwrap()
+            };
+            assert!(
+                rel_sd("fast") > rel_sd("ssh"),
+                "seed {seed}: fast {} vs ssh {}",
+                rel_sd("fast"),
+                rel_sd("ssh")
+            );
+        }
     }
 
     #[test]

@@ -57,8 +57,18 @@ pub fn run_fig8(seed: u64) -> Vec<Fig8Series> {
     let modes = [
         ("exclusive", RunMode::Exclusive),
         ("shared-alone", RunMode::SharedAlone),
-        ("shared PL=10", RunMode::Shared { performance_loss: 10 }),
-        ("shared PL=25", RunMode::Shared { performance_loss: 25 }),
+        (
+            "shared PL=10",
+            RunMode::Shared {
+                performance_loss: 10,
+            },
+        ),
+        (
+            "shared PL=25",
+            RunMode::Shared {
+                performance_loss: 25,
+            },
+        ),
     ];
     modes
         .into_iter()

@@ -57,6 +57,8 @@ pub struct AgentConfig {
     pub max_retries: u32,
     /// Output buffering policy (full/timeout/EOL triggers).
     pub flush: FlushPolicy,
+    /// Optional lifecycle event sink (buffer flushes, spool append/ack/replay).
+    pub trace: Option<cg_trace::EventLog>,
 }
 
 impl AgentConfig {
@@ -71,6 +73,7 @@ impl AgentConfig {
             retry_interval: Duration::from_millis(500),
             max_retries: 10,
             flush: FlushPolicy::default(),
+            trace: None,
         }
     }
 
@@ -127,7 +130,10 @@ enum Msg {
 /// stdin/stdout/stderr are owned by the agent; the binary itself is
 /// untouched — the paper's transparency requirement.
 pub fn run_agent(config: AgentConfig, mut command: Command) -> io::Result<ExitReport> {
-    command.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::piped());
+    command
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
     let mut child = command.spawn()?;
     let child_stdin = child.stdin.take().expect("piped stdin");
     let child_stdout = child.stdout.take().expect("piped stdout");
@@ -253,23 +259,27 @@ fn mux_loop(
     let mut lost_fast_data = false;
 
     let mk_stream = |kind: StreamKind| -> io::Result<OutStream> {
-        let spool = match &config.mode {
+        let name = match kind {
+            StreamKind::Stdout => "stdout",
+            StreamKind::Stderr => "stderr",
+            StreamKind::Stdin => unreachable!("agent does not spool stdin"),
+        };
+        let label = format!("agent-{}-r{}-{name}", sanitize(&config.job_id), config.rank);
+        let mut spool = match &config.mode {
             Mode::Fast => None,
             Mode::Reliable { spool_dir } => {
-                let name = match kind {
-                    StreamKind::Stdout => "stdout",
-                    StreamKind::Stderr => "stderr",
-                    StreamKind::Stdin => unreachable!("agent does not spool stdin"),
-                };
-                Some(Spool::open(spool_dir.join(format!(
-                    "agent-{}-r{}-{name}.spool",
-                    sanitize(&config.job_id),
-                    config.rank
-                )))?)
+                Some(Spool::open(spool_dir.join(format!("{label}.spool")))?)
             }
         };
+        let mut buffer = OutputBuffer::new(config.flush);
+        if let Some(log) = &config.trace {
+            buffer.set_trace(log.clone(), label.clone());
+            if let Some(spool) = spool.as_mut() {
+                spool.set_trace(log.clone(), label);
+            }
+        }
         Ok(OutStream {
-            buffer: OutputBuffer::new(config.flush),
+            buffer,
             spool,
             next_seq: 1,
             acked: 0,
@@ -496,7 +506,13 @@ fn mux_loop(
 
 fn sanitize(s: &str) -> String {
     s.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -559,11 +575,19 @@ fn session(
 ) -> SessionEnd {
     let mut write_sock = match sock.try_clone() {
         Ok(s) => s,
-        Err(_) => return SessionEnd::Retry { was_established: false },
+        Err(_) => {
+            return SessionEnd::Retry {
+                was_established: false,
+            }
+        }
     };
     let mut reader = match FrameReader::new(sock) {
         Ok(r) => r,
-        Err(_) => return SessionEnd::Retry { was_established: false },
+        Err(_) => {
+            return SessionEnd::Retry {
+                was_established: false,
+            }
+        }
     };
 
     // Mutual handshake.
@@ -579,7 +603,9 @@ fn session(
         nonce: my_nonce,
     };
     if write_frame(&mut write_sock, &hello).is_err() {
-        return SessionEnd::Retry { was_established: false };
+        return SessionEnd::Retry {
+            was_established: false,
+        };
     }
     let challenge = match reader.next_frame_timeout(Duration::from_secs(5)) {
         Ok(Frame::Challenge { nonce, proof }) => {
@@ -592,18 +618,28 @@ fn session(
             nonce
         }
         Ok(Frame::AuthFailed) => return SessionEnd::Fatal,
-        Ok(_) | Err(_) => return SessionEnd::Retry { was_established: false },
+        Ok(_) | Err(_) => {
+            return SessionEnd::Retry {
+                was_established: false,
+            }
+        }
     };
     let response = Frame::AuthResponse {
         proof: config.secret.prove(&challenge),
     };
     if write_frame(&mut write_sock, &response).is_err() {
-        return SessionEnd::Retry { was_established: false };
+        return SessionEnd::Retry {
+            was_established: false,
+        };
     }
     let resume = match reader.next_frame_timeout(Duration::from_secs(5)) {
         Ok(Frame::Welcome { resume }) => resume,
         Ok(Frame::AuthFailed) => return SessionEnd::Fatal,
-        Ok(_) | Err(_) => return SessionEnd::Retry { was_established: false },
+        Ok(_) | Err(_) => {
+            return SessionEnd::Retry {
+                was_established: false,
+            }
+        }
     };
 
     // Writer thread drains the per-connection queue.
@@ -616,7 +652,10 @@ fn session(
         }
         let _ = write_sock.shutdown(std::net::Shutdown::Write);
     });
-    let _ = mux.send(Msg::ConnUp { tx: tx.clone(), resume });
+    let _ = mux.send(Msg::ConnUp {
+        tx: tx.clone(),
+        resume,
+    });
 
     // Read until the connection dies or we are stopped.
     let end = loop {
@@ -626,7 +665,9 @@ fn session(
         match reader.poll() {
             Ok(ReadEvent::Idle) => continue,
             Ok(ReadEvent::Closed) | Err(_) => {
-                break SessionEnd::Retry { was_established: true }
+                break SessionEnd::Retry {
+                    was_established: true,
+                }
             }
             Ok(ReadEvent::Frame(frame)) => match frame {
                 Frame::Data {

@@ -44,6 +44,18 @@ pub enum FlushReason {
     Explicit,
 }
 
+impl FlushReason {
+    /// Stable lower-case label (trace/metrics field value).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FlushReason::Full => "full",
+            FlushReason::Timeout => "timeout",
+            FlushReason::Eol => "eol",
+            FlushReason::Explicit => "explicit",
+        }
+    }
+}
+
 /// Buffers one output stream (stdout or stderr) at either end.
 #[derive(Debug)]
 pub struct OutputBuffer {
@@ -52,6 +64,8 @@ pub struct OutputBuffer {
     /// Clock reading when the oldest unbuffered byte arrived.
     oldest_ns: Option<u64>,
     emitted_chunks: u64,
+    /// Lifecycle event sink and this buffer's stream label.
+    trace: Option<(cg_trace::EventLog, String)>,
 }
 
 impl OutputBuffer {
@@ -66,6 +80,25 @@ impl OutputBuffer {
             buf: Vec::with_capacity(policy.capacity.min(64 * 1024)),
             oldest_ns: None,
             emitted_chunks: 0,
+            trace: None,
+        }
+    }
+
+    /// Routes this buffer's flushes into `log` under the label `stream`.
+    pub fn set_trace(&mut self, log: cg_trace::EventLog, stream: impl Into<String>) {
+        self.trace = Some((log, stream.into()));
+    }
+
+    fn trace_flush(&self, reason: FlushReason, bytes: usize) {
+        if let Some((log, stream)) = &self.trace {
+            log.record(
+                cg_sim::SimTime::from_nanos(crate::wire::mono_ns()),
+                cg_trace::Event::BufferFlush {
+                    stream: stream.clone(),
+                    reason: reason.as_str().to_string(),
+                    bytes: bytes as u64,
+                },
+            );
         }
     }
 
@@ -99,6 +132,9 @@ impl OutputBuffer {
             self.oldest_ns = Some(now_ns);
         }
         self.emitted_chunks += out.len() as u64;
+        for (chunk, reason) in &out {
+            self.trace_flush(*reason, chunk.len());
+        }
         out
     }
 
@@ -108,6 +144,7 @@ impl OutputBuffer {
         if now_ns.saturating_sub(oldest) >= self.policy.timeout_ns && !self.buf.is_empty() {
             self.oldest_ns = None;
             self.emitted_chunks += 1;
+            self.trace_flush(FlushReason::Timeout, self.buf.len());
             Some((std::mem::take(&mut self.buf), FlushReason::Timeout))
         } else {
             None
@@ -127,6 +164,7 @@ impl OutputBuffer {
         }
         self.oldest_ns = None;
         self.emitted_chunks += 1;
+        self.trace_flush(FlushReason::Explicit, self.buf.len());
         Some((std::mem::take(&mut self.buf), FlushReason::Explicit))
     }
 

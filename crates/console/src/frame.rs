@@ -282,8 +282,8 @@ impl Frame {
                 if buf.remaining() < n {
                     return Err(FrameError::Truncated);
                 }
-                let job_id = String::from_utf8(buf.split_to(n).to_vec())
-                    .map_err(|_| FrameError::BadUtf8)?;
+                let job_id =
+                    String::from_utf8(buf.split_to(n).to_vec()).map_err(|_| FrameError::BadUtf8)?;
                 Ok(Frame::Hello {
                     job_id,
                     rank,

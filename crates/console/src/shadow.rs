@@ -38,6 +38,8 @@ pub struct ShadowConfig {
     pub flush: FlushPolicy,
     /// Number of subjobs expected (MPICH-G2: one agent per subjob).
     pub expected_ranks: u32,
+    /// Optional lifecycle event sink (connections, flushes, stdin spool).
+    pub trace: Option<cg_trace::EventLog>,
 }
 
 impl ShadowConfig {
@@ -49,6 +51,7 @@ impl ShadowConfig {
             mode: Mode::Fast,
             flush: FlushPolicy::default(),
             expected_ranks: 1,
+            trace: None,
         }
     }
 }
@@ -126,15 +129,28 @@ struct State {
 impl State {
     fn rank_mut(&mut self, rank: u32) -> io::Result<&mut RankState> {
         if !self.ranks.contains_key(&rank) {
-            let stdin_spool = match &self.config.mode {
+            let mut stdin_spool = match &self.config.mode {
                 Mode::Fast => None,
-                Mode::Reliable { spool_dir } => {
-                    Some(Spool::open(spool_dir.join(format!("shadow-stdin-r{rank}.spool")))?)
-                }
+                Mode::Reliable { spool_dir } => Some(Spool::open(
+                    spool_dir.join(format!("shadow-stdin-r{rank}.spool")),
+                )?),
             };
             let mut buffers = HashMap::new();
             buffers.insert(StreamKind::Stdout, OutputBuffer::new(self.config.flush));
             buffers.insert(StreamKind::Stderr, OutputBuffer::new(self.config.flush));
+            if let Some(log) = &self.config.trace {
+                if let Some(spool) = stdin_spool.as_mut() {
+                    spool.set_trace(log.clone(), format!("shadow-stdin-r{rank}"));
+                }
+                for (kind, buffer) in buffers.iter_mut() {
+                    let name = if *kind == StreamKind::Stdout {
+                        "stdout"
+                    } else {
+                        "stderr"
+                    };
+                    buffer.set_trace(log.clone(), format!("shadow-{name}-r{rank}"));
+                }
+            }
             self.ranks.insert(
                 rank,
                 RankState {
@@ -370,36 +386,35 @@ fn serve_connection(
     let mut reader = FrameReader::new(sock)?;
 
     // Handshake.
-    let (job_id, rank, agent_resume) =
-        match reader.next_frame_timeout(Duration::from_secs(5))? {
-            Frame::Hello {
-                job_id,
-                rank,
-                resume,
-                nonce: agent_nonce,
-            } => {
-                let my_nonce = nonce();
-                write_frame(
-                    &mut write_sock,
-                    &Frame::Challenge {
-                        nonce: my_nonce,
-                        proof: secret.prove(&agent_nonce),
-                    },
-                )?;
-                match reader.next_frame_timeout(Duration::from_secs(5))? {
-                    Frame::AuthResponse { proof } if secret.verify(&my_nonce, &proof) => {
-                        (job_id, rank, resume)
-                    }
-                    _ => {
-                        let _ = write_frame(&mut write_sock, &Frame::AuthFailed);
-                        let st = state.lock();
-                        let _ = st.events.send(ShadowEvent::AuthFailure { peer });
-                        return Ok(());
-                    }
+    let (job_id, rank, agent_resume) = match reader.next_frame_timeout(Duration::from_secs(5))? {
+        Frame::Hello {
+            job_id,
+            rank,
+            resume,
+            nonce: agent_nonce,
+        } => {
+            let my_nonce = nonce();
+            write_frame(
+                &mut write_sock,
+                &Frame::Challenge {
+                    nonce: my_nonce,
+                    proof: secret.prove(&agent_nonce),
+                },
+            )?;
+            match reader.next_frame_timeout(Duration::from_secs(5))? {
+                Frame::AuthResponse { proof } if secret.verify(&my_nonce, &proof) => {
+                    (job_id, rank, resume)
+                }
+                _ => {
+                    let _ = write_frame(&mut write_sock, &Frame::AuthFailed);
+                    let st = state.lock();
+                    let _ = st.events.send(ShadowEvent::AuthFailure { peer });
+                    return Ok(());
                 }
             }
-            _ => return Ok(()), // not an agent
-        };
+        }
+        _ => return Ok(()), // not an agent
+    };
 
     // Install the connection and replay spooled stdin.
     let (tx, frame_rx) = unbounded::<Frame>();
@@ -446,6 +461,12 @@ fn serve_connection(
             job_id,
             reconnect,
         });
+        if let Some(log) = &st.config.trace {
+            log.record(
+                cg_sim::SimTime::from_nanos(crate::wire::mono_ns()),
+                cg_trace::Event::ShadowConnected { rank },
+            );
+        }
     }
 
     // Writer thread.
@@ -492,11 +513,7 @@ fn serve_connection(
                             let buffer = rs.buffers.get_mut(&stream).expect("buffer exists");
                             let chunks = buffer.push(&payload, now);
                             for (data, _) in chunks {
-                                let _ = st.events.send(ShadowEvent::Output {
-                                    rank,
-                                    stream,
-                                    data,
-                                });
+                                let _ = st.events.send(ShadowEvent::Output { rank, stream, data });
                             }
                         }
                     }
@@ -543,13 +560,15 @@ fn serve_connection(
     {
         let mut st = state.lock();
         if let Some(rs) = st.ranks.get_mut(&rank) {
-            if rs
-                .conn
-                .as_ref()
-                .is_some_and(|c| c.same_channel(&tx))
-            {
+            if rs.conn.as_ref().is_some_and(|c| c.same_channel(&tx)) {
                 rs.conn = None;
                 let _ = st.events.send(ShadowEvent::AgentDisconnected { rank });
+                if let Some(log) = &st.config.trace {
+                    log.record(
+                        cg_sim::SimTime::from_nanos(crate::wire::mono_ns()),
+                        cg_trace::Event::ShadowDisconnected { rank },
+                    );
+                }
             }
         }
     }

@@ -43,8 +43,12 @@ pub struct MethodCosts {
     pub disk_per_op_s: f64,
     /// Disk spool cost per byte at each end, seconds.
     pub disk_per_byte_s: f64,
-    /// Log-normal sigma multiplying endpoint costs (method-inherent
-    /// variance; the paper notes fast mode "exhibits a higher variance").
+    /// Log-normal sigma multiplying the whole one-way delivery time. The
+    /// method's forwarding machinery sits on the critical path of the
+    /// transfer, so endpoint scheduling stalls dilate the delivery as a
+    /// whole; buffered methods smooth those stalls (small sigma) while the
+    /// unbuffered fast mode exposes them fully (the paper notes fast mode
+    /// "exhibits a higher variance").
     pub jitter_sigma: f64,
 }
 
@@ -116,9 +120,12 @@ impl MethodCosts {
         } else {
             1.0
         };
-        let cpu = SimDuration::from_secs_f64((endpoint + chunking + disk) * jitter);
         let wire = profile.one_way(rng, bytes + n * FRAME_OVERHEAD_BYTES);
-        cpu + wire
+        // The jitter dilates the whole delivery, not just the endpoint work:
+        // while the forwarding process is descheduled the in-flight transfer
+        // stalls with it. This is what keeps fast mode's variance visible
+        // even on the WAN, where wire time dwarfs the endpoint costs.
+        SimDuration::from_secs_f64((endpoint + chunking + disk + wire.as_secs_f64()) * jitter)
     }
 
     /// Samples one §6.2 sequence: client writes `bytes`, server reads it and
@@ -244,7 +251,11 @@ mod tests {
         // The paper's explanation of the reliable@10KB result: larger
         // internal buffers → fewer I/O operations.
         let campus = LinkProfile::campus();
-        let big = mean_rtt(&MethodCosts::reliable_with_buffer(64 * 1024), &campus, 10_240);
+        let big = mean_rtt(
+            &MethodCosts::reliable_with_buffer(64 * 1024),
+            &campus,
+            10_240,
+        );
         let small = mean_rtt(&MethodCosts::reliable_with_buffer(1024), &campus, 10_240);
         assert!(small > 1.5 * big, "small buffers {small} vs big {big}");
     }
@@ -273,8 +284,7 @@ mod tests {
                 .map(|_| c.sequence_rtt(&mut rng, &campus, 1024).as_secs_f64())
                 .collect();
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
-            let sd =
-                (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
+            let sd = (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
             sd / m // relative
         };
         assert!(
@@ -298,7 +308,10 @@ mod tests {
             move |_, out| *g.borrow_mut() = Some(out),
         );
         sim.run();
-        assert_eq!(*got.borrow(), Some(ReliableOutcome::Delivered { retries: 0 }));
+        assert_eq!(
+            *got.borrow(),
+            Some(ReliableOutcome::Delivered { retries: 0 })
+        );
     }
 
     #[test]
@@ -306,8 +319,7 @@ mod tests {
         let mut sim = Sim::new(1);
         // Down from t=0 to t=12; retry interval 5 s → attempts at ~0, 5, 10
         // fail (plus detection delays), success soon after 12.
-        let faults =
-            FaultSchedule::from_windows(vec![(SimTime::ZERO, SimTime::from_secs(12))]);
+        let faults = FaultSchedule::from_windows(vec![(SimTime::ZERO, SimTime::from_secs(12))]);
         let link = Link::with_faults(LinkProfile::campus(), faults);
         let got = Rc::new(RefCell::new(None));
         let g = Rc::clone(&got);
@@ -336,10 +348,8 @@ mod tests {
     #[test]
     fn reliable_deliver_gives_up_after_max_retries() {
         let mut sim = Sim::new(1);
-        let faults = FaultSchedule::from_windows(vec![(
-            SimTime::ZERO,
-            SimTime::from_secs(100_000),
-        )]);
+        let faults =
+            FaultSchedule::from_windows(vec![(SimTime::ZERO, SimTime::from_secs(100_000))]);
         let link = Link::with_faults(LinkProfile::campus(), faults);
         let got = Rc::new(RefCell::new(None));
         let g = Rc::clone(&got);

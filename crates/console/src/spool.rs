@@ -10,8 +10,18 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use cg_sim::SimTime;
+use cg_trace::{Event, EventLog};
+
 /// On-disk record header: seq (8) + len (4).
 const HEADER: usize = 12;
+
+/// Sidecar file persisting the cumulative ack watermark across reopens.
+fn ack_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".ack");
+    PathBuf::from(os)
+}
 
 /// An append-only, replayable log of sequenced payloads.
 #[derive(Debug)]
@@ -24,12 +34,16 @@ pub struct Spool {
     acked: u64,
     /// Total payload bytes ever appended (metric).
     appended_bytes: u64,
+    /// Lifecycle event sink and this spool's stream label.
+    trace: Option<(EventLog, String)>,
 }
 
 impl Spool {
     /// Opens (or creates) a spool file, rebuilding the index from any
     /// existing records. A trailing partial record (crash mid-append) is
-    /// discarded by truncation.
+    /// discarded by truncation. The ack watermark survives reopens via a
+    /// `.ack` sidecar file — without it, a compacted-then-reopened spool
+    /// would accept duplicate sequence numbers and replay ambiguously.
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
@@ -62,22 +76,45 @@ impl Spool {
         }
         file.seek(SeekFrom::End(0))?;
         let appended_bytes = index.iter().map(|&(_, _, l)| l as u64).sum();
+        let acked = match std::fs::read(ack_path(&path)) {
+            Ok(bytes) if bytes.len() == 8 => u64::from_le_bytes(bytes.try_into().expect("8 bytes")),
+            _ => 0,
+        };
         Ok(Spool {
             file,
             path,
             index,
-            acked: 0,
+            acked,
             appended_bytes,
+            trace: None,
         })
     }
 
-    /// Appends a record. Sequences must be strictly increasing.
+    /// Routes this spool's append/ack/replay activity into `log` under the
+    /// stream label `stream`.
+    pub fn set_trace(&mut self, log: EventLog, stream: impl Into<String>) {
+        self.trace = Some((log, stream.into()));
+    }
+
+    fn trace_event(&self, make: impl FnOnce(&str) -> Event) {
+        if let Some((log, stream)) = &self.trace {
+            log.record(SimTime::from_nanos(crate::wire::mono_ns()), make(stream));
+        }
+    }
+
+    /// Appends a record. Sequences must be strictly increasing, including
+    /// across acknowledged (compacted-away) records.
     ///
     /// # Panics
-    /// Panics on a non-increasing sequence — replay would be ambiguous.
+    /// Panics on a sequence at or below [`Spool::highest_seq`] — replay
+    /// would be ambiguous.
     pub fn append(&mut self, seq: u64, payload: &[u8]) -> io::Result<()> {
-        if let Some(&(last, _, _)) = self.index.last() {
-            assert!(seq > last, "spool sequence must increase: {seq} after {last}");
+        let high = self.highest_seq();
+        if !self.index.is_empty() || self.acked > 0 {
+            assert!(
+                seq > high,
+                "spool sequence must increase: {seq} after {high}"
+            );
         }
         let offset = self.file.seek(SeekFrom::End(0))?;
         let mut header = [0u8; HEADER];
@@ -87,6 +124,10 @@ impl Spool {
         self.file.write_all(payload)?;
         self.index.push((seq, offset, payload.len() as u32));
         self.appended_bytes += payload.len() as u64;
+        self.trace_event(|stream| Event::SpoolAppend {
+            stream: stream.to_string(),
+            seq,
+        });
         Ok(())
     }
 
@@ -101,29 +142,46 @@ impl Spool {
             out.push((seq, buf));
         }
         self.file.seek(SeekFrom::End(0))?;
+        self.trace_event(|stream| Event::SpoolReplay {
+            stream: stream.to_string(),
+            after,
+            records: out.len() as u32,
+        });
         Ok(out)
     }
 
-    /// Records a cumulative acknowledgement. When everything is acked the
-    /// file is compacted to zero length.
+    /// Records a cumulative acknowledgement, persisting the watermark so a
+    /// reopen sees it. When everything is acked the file is compacted to
+    /// zero length.
     pub fn ack(&mut self, seq: u64) -> io::Result<()> {
-        self.acked = self.acked.max(seq);
+        if seq > self.acked {
+            self.acked = seq;
+            std::fs::write(ack_path(&self.path), self.acked.to_le_bytes())?;
+        }
         if self
             .index
             .last()
             .is_some_and(|&(last, _, _)| last <= self.acked)
-            && !self.index.is_empty()
         {
             self.index.clear();
             self.file.set_len(0)?;
             self.file.seek(SeekFrom::Start(0))?;
         }
+        let acked = self.acked;
+        self.trace_event(|stream| Event::SpoolAck {
+            stream: stream.to_string(),
+            seq: acked,
+        });
         Ok(())
     }
 
-    /// Highest sequence appended, 0 when empty.
+    /// Highest sequence ever appended or acknowledged, 0 when the spool has
+    /// seen neither. Consistent across compaction: acknowledged records are
+    /// removed from disk but their sequence numbers stay burned.
     pub fn highest_seq(&self) -> u64 {
-        self.index.last().map_or(self.acked, |&(s, _, _)| s)
+        self.index
+            .last()
+            .map_or(self.acked, |&(s, _, _)| s.max(self.acked))
     }
 
     /// Highest cumulative ack received.
@@ -154,8 +212,13 @@ mod tests {
     fn tmp(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
         p.push(format!("cg-spool-test-{}-{name}", std::process::id()));
-        let _ = std::fs::remove_file(&p);
+        cleanup(&p);
         p
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(ack_path(p));
     }
 
     #[test]
@@ -176,7 +239,7 @@ mod tests {
         );
         assert_eq!(s.highest_seq(), 5);
         assert_eq!(s.appended_bytes(), 22);
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -193,8 +256,11 @@ mod tests {
         assert!(s.replay_after(10).unwrap().is_empty());
         // Appending after a replay still works (file position restored).
         s.append(11, b"after-replay").unwrap();
-        assert_eq!(s.replay_after(10).unwrap(), vec![(11, b"after-replay".to_vec())]);
-        std::fs::remove_file(&path).unwrap();
+        assert_eq!(
+            s.replay_after(10).unwrap(),
+            vec![(11, b"after-replay".to_vec())]
+        );
+        cleanup(&path);
     }
 
     #[test]
@@ -214,7 +280,7 @@ mod tests {
         s.append(4, b"next").unwrap();
         assert_eq!(s.replay_after(0).unwrap(), vec![(4, b"next".to_vec())]);
         assert_eq!(s.highest_seq(), 4);
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -231,7 +297,7 @@ mod tests {
             s.replay_after(0).unwrap(),
             vec![(1, b"survives".to_vec()), (2, b"reopen".to_vec())]
         );
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -249,7 +315,7 @@ mod tests {
         let mut s = Spool::open(&path).unwrap();
         assert_eq!(s.replay_after(0).unwrap(), vec![(1, b"complete".to_vec())]);
         assert_eq!(s.record_count(), 1);
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -271,7 +337,7 @@ mod tests {
             s.replay_after(0).unwrap(),
             vec![(1, Vec::new()), (2, b"x".to_vec())]
         );
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -281,6 +347,88 @@ mod tests {
         s.ack(100).unwrap();
         assert_eq!(s.acked(), 100);
         assert_eq!(s.highest_seq(), 100, "empty spool reports ack watermark");
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
+    }
+
+    #[test]
+    fn ack_watermark_survives_reopen() {
+        let path = tmp("ack-reopen");
+        {
+            let mut s = Spool::open(&path).unwrap();
+            for seq in 1..=3u64 {
+                s.append(seq, b"payload").unwrap();
+            }
+            s.ack(3).unwrap(); // full ack compacts the file to zero length
+            assert_eq!(s.record_count(), 0);
+        }
+        let mut s = Spool::open(&path).unwrap();
+        assert_eq!(s.acked(), 3, "watermark must survive the reopen");
+        assert_eq!(s.highest_seq(), 3);
+        // Appending continues where the compacted history left off.
+        s.append(4, b"next").unwrap();
+        assert_eq!(s.replay_after(3).unwrap(), vec![(4, b"next".to_vec())]);
+        cleanup(&path);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence must increase")]
+    fn reopened_spool_rejects_acked_sequences() {
+        let path = tmp("ack-reopen-dup");
+        {
+            let mut s = Spool::open(&path).unwrap();
+            s.append(1, b"x").unwrap();
+            s.ack(1).unwrap();
+        }
+        let mut s = Spool::open(&path).unwrap();
+        // Without the persisted watermark this would silently duplicate
+        // sequence 1 and make replay ambiguous.
+        let result = s.append(1, b"duplicate");
+        cleanup(&path);
+        result.unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence must increase")]
+    fn compaction_does_not_reset_monotonicity() {
+        let path = tmp("compact-monotonic");
+        let mut s = Spool::open(&path).unwrap();
+        s.append(5, b"x").unwrap();
+        s.ack(5).unwrap(); // compacts; 5 stays burned
+        let _ = s.append(5, b"reused seq");
+    }
+
+    #[test]
+    fn highest_seq_consistent_after_partial_compaction_states() {
+        let path = tmp("hs-consistency");
+        let mut s = Spool::open(&path).unwrap();
+        s.append(2, b"a").unwrap();
+        s.ack(1).unwrap();
+        assert_eq!(s.highest_seq(), 2, "live record above watermark wins");
+        s.ack(2).unwrap();
+        assert_eq!(s.highest_seq(), 2, "compaction keeps the sequence");
+        s.append(7, b"b").unwrap();
+        s.ack(9).unwrap(); // peer acks ahead; watermark dominates
+        assert_eq!(s.highest_seq(), 9);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn trace_records_append_ack_replay() {
+        let path = tmp("trace");
+        let log = cg_trace::EventLog::new(64);
+        let mut s = Spool::open(&path).unwrap();
+        s.set_trace(log.clone(), "stdout-r0");
+        s.append(1, b"a").unwrap();
+        s.append(2, b"b").unwrap();
+        s.replay_after(1).unwrap();
+        s.ack(2).unwrap();
+        let kinds: Vec<&str> = log.snapshot().iter().map(|e| e.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec!["SpoolAppend", "SpoolAppend", "SpoolReplay", "SpoolAck"]
+        );
+        // A well-behaved spool stream satisfies the ack≤append invariant.
+        assert!(cg_trace::check_invariants(&log.snapshot()).is_empty());
+        cleanup(&path);
     }
 }

@@ -59,7 +59,9 @@ impl FrameReader {
                     None => Ok(ReadEvent::Idle),
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
                 Ok(ReadEvent::Idle)
             }
             Err(e) => Err(e),
@@ -119,14 +121,27 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let sender = std::thread::spawn(move || {
             let mut sock = TcpStream::connect(addr).unwrap();
-            write_frame(&mut sock, &Frame::Ack { stream: StreamKind::Stdout, seq: 42 }).unwrap();
+            write_frame(
+                &mut sock,
+                &Frame::Ack {
+                    stream: StreamKind::Stdout,
+                    seq: 42,
+                },
+            )
+            .unwrap();
             write_frame(&mut sock, &Frame::Exit { code: 7 }).unwrap();
         });
         let (sock, _) = listener.accept().unwrap();
         let mut reader = FrameReader::new(sock).unwrap();
         let f1 = reader.next_frame_timeout(Duration::from_secs(5)).unwrap();
         let f2 = reader.next_frame_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(f1, Frame::Ack { stream: StreamKind::Stdout, seq: 42 });
+        assert_eq!(
+            f1,
+            Frame::Ack {
+                stream: StreamKind::Stdout,
+                seq: 42
+            }
+        );
         assert_eq!(f2, Frame::Exit { code: 7 });
         sender.join().unwrap();
     }

@@ -1,0 +1,105 @@
+//! Property tests for [`cg_console::OutputBuffer`]: under any interleaving
+//! of the three flush triggers (capacity, end-of-line, timeout) the buffer
+//! must behave like a plain FIFO pipe — no byte reordered, dropped or
+//! duplicated — and once pushes stop, no byte may be held past the policy
+//! timeout.
+
+use cg_console::{FlushPolicy, FlushReason, OutputBuffer};
+use proptest::prelude::*;
+
+/// One producer step: wait `delay_ns`, then push `data`.
+fn pushes() -> impl Strategy<Value = Vec<(u64, Vec<u8>)>> {
+    prop::collection::vec(
+        (
+            0u64..150_000,
+            prop::collection::vec(
+                // Bias towards newlines and repeated letters so the EOL
+                // trigger and capacity trigger actually interact.
+                prop_oneof![Just(b'\n'), Just(b'a'), Just(b'b'), 0u8..=255],
+                0..40usize,
+            ),
+        ),
+        0..25usize,
+    )
+}
+
+fn policies() -> impl Strategy<Value = FlushPolicy> {
+    (1usize..=48, 1u64..=100_000, any::<bool>()).prop_map(|(capacity, timeout_ns, on_eol)| {
+        FlushPolicy {
+            capacity,
+            timeout_ns,
+            on_eol,
+        }
+    })
+}
+
+proptest! {
+    /// Concatenating every emitted chunk (in emission order) plus whatever
+    /// is still pending always reproduces the pushed byte stream exactly,
+    /// with timeout polls interleaved between pushes.
+    #[test]
+    fn byte_stream_is_preserved(policy in policies(), steps in pushes()) {
+        let mut buf = OutputBuffer::new(policy);
+        let mut now = 0u64;
+        let mut pushed: Vec<u8> = Vec::new();
+        let mut emitted: Vec<u8> = Vec::new();
+        for (delay, data) in &steps {
+            // Let the timeout race the arrival, as a pump thread would.
+            if let Some((chunk, reason)) = buf.poll_timeout(now + delay / 2) {
+                prop_assert_eq!(reason, FlushReason::Timeout);
+                emitted.extend_from_slice(&chunk);
+            }
+            now += delay;
+            pushed.extend_from_slice(data);
+            for (chunk, reason) in buf.push(data, now) {
+                prop_assert!(!chunk.is_empty(), "empty chunk emitted");
+                prop_assert!(
+                    reason == FlushReason::Full || reason == FlushReason::Eol,
+                    "push may only emit Full/Eol chunks"
+                );
+                emitted.extend_from_slice(&chunk);
+            }
+            prop_assert!(
+                buf.pending() < policy.capacity,
+                "pending {} not below capacity {}", buf.pending(), policy.capacity
+            );
+        }
+        if let Some((chunk, _)) = buf.flush() {
+            emitted.extend_from_slice(&chunk);
+        }
+        prop_assert_eq!(buf.pending(), 0);
+        prop_assert_eq!(emitted, pushed, "bytes reordered, dropped or duplicated");
+    }
+
+    /// Once pushes stop, a single timeout poll at `last push + timeout_ns`
+    /// drains the buffer: the clock restart rules never extend a byte's
+    /// residency past one full timeout after the final push.
+    #[test]
+    fn nothing_outlives_the_timeout(policy in policies(), steps in pushes()) {
+        let mut buf = OutputBuffer::new(policy);
+        let mut now = 0u64;
+        for (delay, data) in &steps {
+            now += delay;
+            buf.push(data, now);
+        }
+        if let Some(deadline) = buf.timeout_deadline() {
+            prop_assert!(
+                deadline <= now + policy.timeout_ns,
+                "deadline {} past last push {} + timeout {}", deadline, now, policy.timeout_ns
+            );
+        }
+        let poll_at = now + policy.timeout_ns;
+        match buf.poll_timeout(poll_at) {
+            Some((chunk, reason)) => {
+                prop_assert_eq!(reason, FlushReason::Timeout);
+                prop_assert!(!chunk.is_empty());
+            }
+            None => prop_assert_eq!(
+                buf.pending(), 0,
+                "bytes held past timeout: poll at {} left {} pending", poll_at, buf.pending()
+            ),
+        }
+        prop_assert_eq!(buf.pending(), 0);
+        prop_assert_eq!(buf.timeout_deadline(), None);
+    }
+}

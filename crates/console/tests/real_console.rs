@@ -71,12 +71,17 @@ fn echo_session_round_trips_bytes_exactly() {
 
     // `cat` echoes stdin to stdout — an unmodified interactive "application".
     let agent = std::thread::spawn(move || {
-        run_agent(AgentConfig::fast("echo-job", addr, secret), Command::new("cat")).unwrap()
+        run_agent(
+            AgentConfig::fast("echo-job", addr, secret),
+            Command::new("cat"),
+        )
+        .unwrap()
     });
 
     // Wait for the agent, type two lines, close stdin.
     drain_until(&shadow, Duration::from_secs(10), |evs| {
-        evs.iter().any(|e| matches!(e, ShadowEvent::AgentConnected { .. }))
+        evs.iter()
+            .any(|e| matches!(e, ShadowEvent::AgentConnected { .. }))
     });
     shadow.send_stdin_line("hello grid").unwrap();
     shadow.send_stdin_line("second line").unwrap();
@@ -107,7 +112,8 @@ fn stderr_and_exit_code_propagate() {
 
     let agent = std::thread::spawn(move || {
         let mut cmd = Command::new("sh");
-        cmd.arg("-c").arg("echo out-line; echo err-line >&2; exit 3");
+        cmd.arg("-c")
+            .arg("echo out-line; echo err-line >&2; exit 3");
         run_agent(AgentConfig::fast("exit3", addr, secret), cmd).unwrap()
     });
 
@@ -116,7 +122,9 @@ fn stderr_and_exit_code_propagate() {
     });
     let report = agent.join().unwrap();
     assert_eq!(report.exit_code, 3);
-    assert!(events.iter().any(|e| matches!(e, ShadowEvent::Exit { code: 3, .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, ShadowEvent::Exit { code: 3, .. })));
     assert_eq!(stdout_of(&events, 0), b"out-line\n");
     let err: Vec<u8> = events
         .iter()
@@ -156,7 +164,10 @@ fn multiple_ranks_fan_in_like_mpich_g2() {
         .collect();
 
     let events = drain_until(&shadow, Duration::from_secs(15), |evs| {
-        evs.iter().filter(|e| matches!(e, ShadowEvent::Exit { .. })).count() == 3
+        evs.iter()
+            .filter(|e| matches!(e, ShadowEvent::Exit { .. }))
+            .count()
+            == 3
     });
     for a in agents {
         let r = a.join().unwrap();
@@ -203,7 +214,10 @@ fn stdin_broadcast_reaches_every_rank() {
     shadow.send_stdin_line("steer-param=7").unwrap();
 
     let events = drain_until(&shadow, Duration::from_secs(15), |evs| {
-        evs.iter().filter(|e| matches!(e, ShadowEvent::Exit { .. })).count() == 2
+        evs.iter()
+            .filter(|e| matches!(e, ShadowEvent::Exit { .. }))
+            .count()
+            == 2
     });
     for a in agents {
         a.join().unwrap();
@@ -225,15 +239,23 @@ fn wrong_secret_is_rejected() {
     });
 
     let events = drain_until(&shadow, Duration::from_secs(10), |evs| {
-        evs.iter().any(|e| matches!(e, ShadowEvent::AuthFailure { .. }))
+        evs.iter()
+            .any(|e| matches!(e, ShadowEvent::AuthFailure { .. }))
     });
-    assert!(events.iter().any(|e| matches!(e, ShadowEvent::AuthFailure { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, ShadowEvent::AuthFailure { .. })));
     assert!(
-        !events.iter().any(|e| matches!(e, ShadowEvent::AgentConnected { .. })),
+        !events
+            .iter()
+            .any(|e| matches!(e, ShadowEvent::AgentConnected { .. })),
         "no session for a bad secret"
     );
     let report = agent.join().unwrap();
-    assert!(report.gave_up, "agent gives up on auth failure and kills the job");
+    assert!(
+        report.gave_up,
+        "agent gives up on auth failure and kills the job"
+    );
 }
 
 /// A TCP proxy whose connections we can kill on demand — the network-failure
@@ -283,7 +305,8 @@ impl ChaosProxy {
                                     match std::io::Read::read(&mut a, &mut buf) {
                                         Ok(0) => return,
                                         Ok(n) => {
-                                            if std::io::Write::write_all(&mut b, &buf[..n]).is_err() {
+                                            if std::io::Write::write_all(&mut b, &buf[..n]).is_err()
+                                            {
                                                 return;
                                             }
                                         }
@@ -381,7 +404,10 @@ fn reliable_mode_survives_connection_loss_byte_exactly() {
     });
     let report = agent.join().unwrap();
 
-    assert!(report.delivered_all, "reliable mode delivers everything: {report:?}");
+    assert!(
+        report.delivered_all,
+        "reliable mode delivers everything: {report:?}"
+    );
     assert!(report.reconnects >= 1, "the outage forced a reconnect");
     assert!(!report.gave_up);
 
@@ -421,7 +447,8 @@ fn reliable_stdin_typed_during_outage_is_replayed() {
     });
 
     drain_until(&shadow, Duration::from_secs(10), |evs| {
-        evs.iter().any(|e| matches!(e, ShadowEvent::AgentConnected { .. }))
+        evs.iter()
+            .any(|e| matches!(e, ShadowEvent::AgentConnected { .. }))
     });
     shadow.send_stdin_line("before outage").unwrap();
 
@@ -432,7 +459,15 @@ fn reliable_stdin_typed_during_outage_is_replayed() {
     proxy.go_up();
 
     drain_until(&shadow, Duration::from_secs(15), |evs| {
-        evs.iter().any(|e| matches!(e, ShadowEvent::AgentConnected { reconnect: true, .. }))
+        evs.iter().any(|e| {
+            matches!(
+                e,
+                ShadowEvent::AgentConnected {
+                    reconnect: true,
+                    ..
+                }
+            )
+        })
     });
     shadow.send_stdin_line("after outage").unwrap();
     shadow.close_stdin();
@@ -522,8 +557,13 @@ fn reliable_mode_is_byte_exact_for_megabytes_across_two_outages() {
             "ABCDEFGHIJKLMNOPQRSTUVWXYZ!?\\n\", i; }"
         );
         let script = String::from("b=0; while [ $b -lt 20 ]; do ")
-            + "awk -v S=$((b * " + &per.to_string() + ")) -v E=$(( (b + 1) * "
-            + &per.to_string() + " )) '" + awk_prog + "'; sleep 0.12; b=$((b+1)); done";
+            + "awk -v S=$((b * "
+            + &per.to_string()
+            + ")) -v E=$(( (b + 1) * "
+            + &per.to_string()
+            + " )) '"
+            + awk_prog
+            + "'; sleep 0.12; b=$((b+1)); done";
         let mut cmd = Command::new("sh");
         cmd.arg("-c").arg(script);
         run_agent(cfg, cmd).unwrap()

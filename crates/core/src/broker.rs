@@ -17,6 +17,7 @@ use cg_jdl::{Ad, Interactivity, JobDescription, MachineAccess, Parallelism};
 use cg_net::{rpc_call, Dir, HandshakeProfile, Link, Session};
 use cg_sim::{Sim, SimDuration, SimTime};
 use cg_site::{GramEvent, InformationIndex, LocalJobSpec, Site};
+use cg_trace::{Event, EventLog, MetricsRegistry};
 use cg_vm::{deploy_agent, Agent, AgentEvent, AgentId};
 
 use crate::config::BrokerConfig;
@@ -94,7 +95,16 @@ struct Inner {
     tick_scheduled: bool,
     queue_retry_scheduled: bool,
     stats: BrokerStats,
+    /// Broker-wide lifecycle event log (shared with fair-share, sites,
+    /// agents' VMs and the console path).
+    trace: EventLog,
+    /// Counters/gauges/histograms behind the event log.
+    metrics: MetricsRegistry,
 }
+
+/// Events the ring buffer keeps; a simulated day of the Table I workload
+/// stays well under this.
+const TRACE_CAPACITY: usize = 65_536;
 
 /// Type-erased continuation of an agent deployment.
 type DeployCallback = Box<dyn FnOnce(&mut Sim, CrossBroker, Option<AgentId>)>;
@@ -122,7 +132,12 @@ pub struct CrossBroker {
 impl CrossBroker {
     /// Builds a broker over the given sites and starts the information
     /// index's refresh cycle.
-    pub fn new(sim: &mut Sim, sites: Vec<SiteHandle>, mds_link: Link, config: BrokerConfig) -> Self {
+    pub fn new(
+        sim: &mut Sim,
+        sites: Vec<SiteHandle>,
+        mds_link: Link,
+        config: BrokerConfig,
+    ) -> Self {
         let total_cpus: u32 = sites
             .iter()
             .map(|s| s.site.lrms().total_nodes() as u32)
@@ -132,7 +147,13 @@ impl CrossBroker {
             sites.iter().map(|s| s.site.clone()).collect(),
             config.index_refresh,
         );
-        let fairshare = FairShare::new(config.fairshare.clone(), total_cpus.max(1));
+        let metrics = MetricsRegistry::new();
+        let trace = EventLog::with_metrics(TRACE_CAPACITY, metrics.clone());
+        let mut fairshare = FairShare::new(config.fairshare.clone(), total_cpus.max(1));
+        fairshare.set_trace(trace.clone());
+        for s in &sites {
+            s.site.lrms().set_trace(trace.clone(), s.site.name());
+        }
         CrossBroker {
             inner: Rc::new(RefCell::new(Inner {
                 config,
@@ -160,6 +181,8 @@ impl CrossBroker {
                 tick_scheduled: false,
                 queue_retry_scheduled: false,
                 stats: BrokerStats::default(),
+                trace,
+                metrics,
             })),
         }
     }
@@ -175,6 +198,14 @@ impl CrossBroker {
             inner.stats.submitted += 1;
             let record = JobRecord::new(id, job.user.clone(), now);
             inner.jobs.insert(id, record);
+            inner.trace.record(
+                now,
+                Event::JobSubmitted {
+                    job: id.0,
+                    user: job.user.clone(),
+                    interactive: job.is_interactive(),
+                },
+            );
             id
         };
         self.ensure_fairshare_tick(sim);
@@ -185,7 +216,12 @@ impl CrossBroker {
             let inner = self.inner.borrow();
             if scarce && inner.fairshare.should_reject_under_scarcity(&job.user) {
                 drop(inner);
-                self.fail(sim, id, "rejected: user priority too low under scarcity", true);
+                self.fail(
+                    sim,
+                    id,
+                    "rejected: user priority too low under scarcity",
+                    true,
+                );
                 return id;
             }
         }
@@ -253,6 +289,19 @@ impl CrossBroker {
         self.inner.borrow().stats
     }
 
+    /// The broker-wide lifecycle event log. Clones share the buffer, so this
+    /// handle sees everything the broker, its sites, agents and consoles
+    /// record from now on — snapshot it for invariant checks or JSONL dumps.
+    pub fn event_log(&self) -> EventLog {
+        self.inner.borrow().trace.clone()
+    }
+
+    /// The metrics registry behind the event log: per-event-kind counters
+    /// plus broker histograms such as `response_s`.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.inner.borrow().metrics.clone()
+    }
+
     /// Console round-trip latencies sampled for every interactive job that
     /// reached Running — the "feeling of interactivity" metric (§4) under
     /// whatever mix the broker actually scheduled.
@@ -312,6 +361,13 @@ impl CrossBroker {
                             if let Some(u) = e.batch_usage {
                                 if !e.batch_done {
                                     inner.fairshare.set_kind(u, UsageKind::Batch);
+                                    inner.trace.record(
+                                        sim.now(),
+                                        Event::BatchRestored {
+                                            agent: aid.0,
+                                            job: id.0,
+                                        },
+                                    );
                                 }
                             }
                         }
@@ -333,6 +389,9 @@ impl CrossBroker {
                             if let Some(u) = e.batch_usage.take() {
                                 inner.fairshare.release(u);
                             }
+                            inner
+                                .trace
+                                .record(sim.now(), Event::AgentBatchFinished { agent: aid.0 });
                         }
                     }
                     self.maybe_agent_departs(sim, aid);
@@ -351,6 +410,9 @@ impl CrossBroker {
                 };
                 r.finished_at = Some(sim.now());
             }
+            inner
+                .trace
+                .record(sim.now(), Event::JobCancelled { job: id.0 });
         }
         self.retry_broker_queue(sim);
         true
@@ -404,6 +466,13 @@ impl CrossBroker {
                 reason: reason.to_string(),
             };
             r.finished_at = Some(sim.now());
+            inner.trace.record(
+                sim.now(),
+                Event::JobFailed {
+                    job: id.0,
+                    reason: reason.to_string(),
+                },
+            );
         }
         if rejected {
             inner.stats.rejected += 1;
@@ -448,7 +517,10 @@ impl CrossBroker {
                 inner.fairshare.tick(now);
                 // Keep ticking while anything is charged or decaying.
                 inner.fairshare.active_usages() > 0
-                    || inner.jobs.values().any(|j| matches!(j.state, JobState::Running { .. }))
+                    || inner
+                        .jobs
+                        .values()
+                        .any(|j| matches!(j.state, JobState::Running { .. }))
             };
             if keep {
                 this.ensure_fairshare_tick(sim);
@@ -498,6 +570,14 @@ impl CrossBroker {
                     if let Some(e) = inner.agents.get_mut(&aid) {
                         e.leased_until = now + lease;
                     }
+                    inner.trace.record(
+                        now,
+                        Event::LeaseGranted {
+                            job: id.0,
+                            target: format!("agent:{}", aid.0),
+                            until_ns: (now + lease).as_nanos(),
+                        },
+                    );
                 }
                 self.dispatch_to_agent(sim, id, aid, job, runtime);
             }
@@ -515,12 +595,24 @@ impl CrossBroker {
                 match idle_site {
                     Some(site_index) => {
                         self.lease_site(sim, site_index);
+                        {
+                            let inner = self.inner.borrow();
+                            let entry = &inner.sites[site_index];
+                            inner.trace.record(
+                                now,
+                                Event::LeaseGranted {
+                                    job: id.0,
+                                    target: format!("site:{}", entry.site.name()),
+                                    until_ns: entry.leased_until.as_nanos(),
+                                },
+                            );
+                        }
                         let this = self.clone();
-                        self.deploy_agent_at(sim, site_index, move |sim, broker, aid| {
-                            match aid {
-                                Some(aid) => broker.dispatch_to_agent(sim, id, aid, job.clone(), runtime),
-                                None => this.fail(sim, id, "agent deployment failed", false),
+                        self.deploy_agent_at(sim, site_index, move |sim, broker, aid| match aid {
+                            Some(aid) => {
+                                broker.dispatch_to_agent(sim, id, aid, job.clone(), runtime)
                             }
+                            None => this.fail(sim, id, "agent deployment failed", false),
                         });
                     }
                     None => {
@@ -570,6 +662,13 @@ impl CrossBroker {
                     site: site_name.clone(),
                 };
             }
+            inner.trace.record(
+                sim.now(),
+                Event::JobDispatched {
+                    job: id.0,
+                    target: format!("agent:{}", aid.0),
+                },
+            );
         }
 
         let this = self.clone();
@@ -580,56 +679,82 @@ impl CrossBroker {
             // Stage the application directly to the agent.
             let this2 = this.clone();
             let agent2 = Rc::clone(&agent);
-            broker_link.clone().send(sim, Dir::AToB, sandbox, move |sim, r| {
-                if r.is_err() {
-                    this2.fail(sim, id, "staging to agent failed", false);
-                    return;
-                }
-                let this3 = this2.clone();
-                let this4 = this2.clone();
-                let ui_link2 = ui_link.clone();
-                let user2 = user.clone();
-                let sites = vec![site_name.clone()];
-                this2.add_placement(id, Placement::AgentInteractive { aid });
-                let result = agent2.borrow().submit_interactive(
-                    sim,
-                    runtime,
-                    pl,
-                    move |sim| {
-                        // Application is running: co-resident batch yields,
-                        // fair-share charges the interactive user, console
-                        // comes up and the first output travels home.
-                        this3.on_interactive_started(sim, id, aid, &user2, pl);
-                        let this5 = this3.clone();
-                        let sites2 = sites.clone();
-                        console_startup(sim, ui_link2.clone(), console, smode, move |sim, ok| {
-                            if ok {
-                                this5.mark_running(sim, id, sites2.clone(), Some((smode, ui_link2.profile())));
-                            } else {
-                                this5.fail(sim, id, "console startup failed", false);
-                            }
-                        });
-                    },
-                    move |sim| {
-                        this4.on_interactive_finished(sim, id, aid);
-                    },
-                );
-                if result.is_err() {
-                    this2.fail(sim, id, "agent slot taken concurrently", false);
-                }
-            });
+            broker_link
+                .clone()
+                .send(sim, Dir::AToB, sandbox, move |sim, r| {
+                    if r.is_err() {
+                        this2.fail(sim, id, "staging to agent failed", false);
+                        return;
+                    }
+                    let this3 = this2.clone();
+                    let this4 = this2.clone();
+                    let ui_link2 = ui_link.clone();
+                    let user2 = user.clone();
+                    let sites = vec![site_name.clone()];
+                    this2.add_placement(id, Placement::AgentInteractive { aid });
+                    let result = agent2.borrow().submit_interactive(
+                        sim,
+                        runtime,
+                        pl,
+                        move |sim| {
+                            // Application is running: co-resident batch yields,
+                            // fair-share charges the interactive user, console
+                            // comes up and the first output travels home.
+                            this3.on_interactive_started(sim, id, aid, &user2, pl);
+                            let this5 = this3.clone();
+                            let sites2 = sites.clone();
+                            let log = this3.inner.borrow().trace.clone();
+                            console_startup(
+                                sim,
+                                ui_link2.clone(),
+                                console,
+                                smode,
+                                log,
+                                id.0,
+                                move |sim, ok| {
+                                    if ok {
+                                        this5.mark_running(
+                                            sim,
+                                            id,
+                                            sites2.clone(),
+                                            Some((smode, ui_link2.profile())),
+                                        );
+                                    } else {
+                                        this5.fail(sim, id, "console startup failed", false);
+                                    }
+                                },
+                            );
+                        },
+                        move |sim| {
+                            this4.on_interactive_finished(sim, id, aid);
+                        },
+                    );
+                    if result.is_err() {
+                        this2.fail(sim, id, "agent slot taken concurrently", false);
+                    }
+                });
         });
     }
 
     fn on_interactive_started(&self, sim: &mut Sim, id: JobId, aid: AgentId, user: &str, pl: u8) {
-        let _ = sim;
         let mut inner = self.inner.borrow_mut();
         // Batch co-resident yields: its user is charged a_f = PL/100 (§5.1).
         if let Some(entry) = inner.agents.get(&aid) {
             if let Some(usage) = entry.batch_usage {
-                inner
-                    .fairshare
-                    .set_kind(usage, UsageKind::YieldedBatch { performance_loss: pl });
+                inner.fairshare.set_kind(
+                    usage,
+                    UsageKind::YieldedBatch {
+                        performance_loss: pl,
+                    },
+                );
+                inner.trace.record(
+                    sim.now(),
+                    Event::BatchYielded {
+                        agent: aid.0,
+                        job: id.0,
+                        performance_loss: pl as u32,
+                    },
+                );
             }
         }
         let usage = inner.fairshare.register(
@@ -656,6 +781,13 @@ impl CrossBroker {
                 if let Some(usage) = entry.batch_usage {
                     if !entry.batch_done {
                         inner.fairshare.set_kind(usage, UsageKind::Batch);
+                        inner.trace.record(
+                            sim.now(),
+                            Event::BatchRestored {
+                                agent: aid.0,
+                                job: id.0,
+                            },
+                        );
                     }
                 }
             }
@@ -664,6 +796,9 @@ impl CrossBroker {
                     r.state = JobState::Done;
                     r.finished_at = Some(sim.now());
                     inner.stats.finished += 1;
+                    inner
+                        .trace
+                        .record(sim.now(), Event::JobFinished { job: id.0 });
                 }
             }
         }
@@ -782,20 +917,41 @@ impl CrossBroker {
                 if let Some(e) = inner.agents.get_mut(aid) {
                     e.leased_until = now + lease;
                 }
+                inner.trace.record(
+                    now,
+                    Event::LeaseGranted {
+                        job: id.0,
+                        target: format!("agent:{}", aid.0),
+                        until_ns: (now + lease).as_nanos(),
+                    },
+                );
             }
             for &(i, _) in &site_plan {
                 inner.sites[i].leased_until = now + lease;
+                let name = inner.sites[i].site.name().to_string();
+                inner.trace.record(
+                    now,
+                    Event::LeaseGranted {
+                        job: id.0,
+                        target: format!("site:{name}"),
+                        until_ns: (now + lease).as_nanos(),
+                    },
+                );
             }
+            let target = format!(
+                "{} agent slot(s) + {} site(s)",
+                agent_picks.len(),
+                site_plan.len()
+            );
             if let Some(r) = inner.jobs.get_mut(&id) {
                 r.dispatched_at = Some(now);
                 r.state = JobState::Scheduled {
-                    site: format!(
-                        "{} agent slot(s) + {} site(s)",
-                        agent_picks.len(),
-                        site_plan.len()
-                    ),
+                    site: target.clone(),
                 };
             }
+            inner
+                .trace
+                .record(now, Event::JobDispatched { job: id.0, target });
         }
 
         // Barrier/completion bookkeeping. Consoles: one CA per subjob (§4);
@@ -846,7 +1002,11 @@ impl CrossBroker {
                         .get(aid)
                         .map(|e| inner.sites[e.site_index].ui_link.profile())
                 })
-                .or_else(|| site_plan.first().map(|&(i, _)| inner.sites[i].ui_link.profile()))
+                .or_else(|| {
+                    site_plan
+                        .first()
+                        .map(|&(i, _)| inner.sites[i].ui_link.profile())
+                })
                 .map(|p| (job.streaming_mode, p))
         };
         let on_console_up = {
@@ -927,61 +1087,85 @@ impl CrossBroker {
             sim.schedule_in(delegation, move |sim| {
                 let this2 = this.clone();
                 let agent2 = Rc::clone(&agent);
-                broker_link.clone().send(sim, Dir::AToB, sandbox, move |sim, r| {
-                    if r.is_err() {
-                        this2.fail(sim, id, "staging to agent failed", false);
-                        return;
-                    }
-                    let up2 = Rc::clone(&up);
-                    let done2 = Rc::clone(&done);
-                    let this3 = this2.clone();
-                    let this4 = this2.clone();
-                    let ui2 = ui_link.clone();
-                    this2.add_placement(id, Placement::AgentInteractive { aid });
-                    let result = agent2.borrow().submit_interactive(
-                        sim,
-                        runtime,
-                        pl,
-                        move |sim| {
-                            // Co-resident batch yields; console comes up.
-                            {
-                                let mut inner = this3.inner.borrow_mut();
-                                if let Some(entry) = inner.agents.get(&aid) {
-                                    if let Some(u) = entry.batch_usage {
-                                        inner.fairshare.set_kind(
-                                            u,
-                                            UsageKind::YieldedBatch {
-                                                performance_loss: pl,
-                                            },
-                                        );
-                                    }
-                                }
-                            }
-                            let up3 = Rc::clone(&up2);
-                            console_startup(sim, ui2.clone(), console, smode, move |sim, ok| {
-                                up3(sim, ok)
-                            });
-                        },
-                        move |sim| {
-                            // Restore the batch job's charging; task done.
-                            {
-                                let mut inner = this4.inner.borrow_mut();
-                                if let Some(entry) = inner.agents.get(&aid) {
-                                    if let Some(u) = entry.batch_usage {
-                                        if !entry.batch_done {
-                                            inner.fairshare.set_kind(u, UsageKind::Batch);
+                broker_link
+                    .clone()
+                    .send(sim, Dir::AToB, sandbox, move |sim, r| {
+                        if r.is_err() {
+                            this2.fail(sim, id, "staging to agent failed", false);
+                            return;
+                        }
+                        let up2 = Rc::clone(&up);
+                        let done2 = Rc::clone(&done);
+                        let this3 = this2.clone();
+                        let this4 = this2.clone();
+                        let ui2 = ui_link.clone();
+                        this2.add_placement(id, Placement::AgentInteractive { aid });
+                        let result = agent2.borrow().submit_interactive(
+                            sim,
+                            runtime,
+                            pl,
+                            move |sim| {
+                                // Co-resident batch yields; console comes up.
+                                {
+                                    let mut inner = this3.inner.borrow_mut();
+                                    if let Some(entry) = inner.agents.get(&aid) {
+                                        if let Some(u) = entry.batch_usage {
+                                            inner.fairshare.set_kind(
+                                                u,
+                                                UsageKind::YieldedBatch {
+                                                    performance_loss: pl,
+                                                },
+                                            );
+                                            inner.trace.record(
+                                                sim.now(),
+                                                Event::BatchYielded {
+                                                    agent: aid.0,
+                                                    job: id.0,
+                                                    performance_loss: pl as u32,
+                                                },
+                                            );
                                         }
                                     }
                                 }
-                            }
-                            this4.maybe_agent_departs(sim, aid);
-                            done2(sim);
-                        },
-                    );
-                    if result.is_err() {
-                        this2.fail(sim, id, "agent slot taken concurrently", false);
-                    }
-                });
+                                let up3 = Rc::clone(&up2);
+                                let log = this3.inner.borrow().trace.clone();
+                                console_startup(
+                                    sim,
+                                    ui2.clone(),
+                                    console,
+                                    smode,
+                                    log,
+                                    id.0,
+                                    move |sim, ok| up3(sim, ok),
+                                );
+                            },
+                            move |sim| {
+                                // Restore the batch job's charging; task done.
+                                {
+                                    let mut inner = this4.inner.borrow_mut();
+                                    if let Some(entry) = inner.agents.get(&aid) {
+                                        if let Some(u) = entry.batch_usage {
+                                            if !entry.batch_done {
+                                                inner.fairshare.set_kind(u, UsageKind::Batch);
+                                                inner.trace.record(
+                                                    sim.now(),
+                                                    Event::BatchRestored {
+                                                        agent: aid.0,
+                                                        job: id.0,
+                                                    },
+                                                );
+                                            }
+                                        }
+                                    }
+                                }
+                                this4.maybe_agent_departs(sim, aid);
+                                done2(sim);
+                            },
+                        );
+                        if result.is_err() {
+                            this2.fail(sim, id, "agent slot taken concurrently", false);
+                        }
+                    });
             });
         }
 
@@ -1018,7 +1202,8 @@ impl CrossBroker {
                     GramEvent::Started { nodes } => {
                         for _ in 0..nodes.len() {
                             let up2 = Rc::clone(&up);
-                            console_startup(sim, ui_link.clone(), console, smode, move |sim, ok| {
+                            let log = this.inner.borrow().trace.clone();
+                            console_startup(sim, ui_link.clone(), console, smode, log, id.0, move |sim, ok| {
                                 up2(sim, ok)
                             });
                         }
@@ -1083,8 +1268,7 @@ impl CrossBroker {
                 .collect();
             // MPICH-G2 co-allocation sums free CPUs across sites, so a
             // single site need not host the whole job.
-            let require_full =
-                job.is_interactive() && job.parallelism != Parallelism::MpichG2;
+            let require_full = job.is_interactive() && job.parallelism != Parallelism::MpichG2;
             let shortlist = filter_candidates(&job, &stale_ads, require_full);
             if shortlist.is_empty() {
                 this.no_candidates(sim, id, job, runtime);
@@ -1152,6 +1336,15 @@ impl CrossBroker {
             let mut inner = self.inner.borrow_mut();
             let lease = inner.config.lease;
             inner.sites[chosen.site_index].leased_until = now + lease;
+            let name = inner.sites[chosen.site_index].site.name().to_string();
+            inner.trace.record(
+                now,
+                Event::LeaseGranted {
+                    job: id.0,
+                    target: format!("site:{name}"),
+                    until_ns: (now + lease).as_nanos(),
+                },
+            );
         }
 
         if job.interactivity == Interactivity::Batch {
@@ -1169,6 +1362,9 @@ impl CrossBroker {
                 r.state = JobState::BrokerQueued;
             }
             inner.queue.push((id, job, runtime));
+            inner
+                .trace
+                .record(sim.now(), Event::JobQueued { job: id.0 });
             drop(inner);
             self.schedule_queue_retry(sim);
         } else {
@@ -1201,6 +1397,10 @@ impl CrossBroker {
             }
         };
         if let Some((id, job, runtime)) = next {
+            self.inner
+                .borrow()
+                .trace
+                .record(sim.now(), Event::QueueRetry { job: id.0 });
             self.matched_path(sim, id, job, runtime, HashSet::new());
         }
         self.schedule_queue_retry(sim);
@@ -1238,6 +1438,13 @@ impl CrossBroker {
                     site: site.name().to_string(),
                 };
             }
+            inner.trace.record(
+                sim.now(),
+                Event::JobDispatched {
+                    job: id.0,
+                    target: format!("site:{}", site.name()),
+                },
+            );
         }
         let spec = LocalJobSpec {
             nodes: job.node_number,
@@ -1252,92 +1459,106 @@ impl CrossBroker {
         let started = Rc::new(RefCell::new(false));
         let local_id: Rc<RefCell<Option<cg_site::LocalJobId>>> = Rc::new(RefCell::new(None));
         let lrms = site.lrms().clone();
-        site.gatekeeper().submit(sim, broker_link, spec, sandbox, move |sim, ev| {
-            match ev {
-                GramEvent::Accepted { local_id: lid } => {
-                    *local_id.borrow_mut() = Some(*lid);
-                    this.add_placement(
-                        id,
-                        Placement::Site {
-                            site_index,
-                            local: *lid,
-                        },
-                    );
-                }
-                GramEvent::Started { .. } => {
-                    *started.borrow_mut() = true;
-                    let this2 = this.clone();
-                    let user = job.user.clone();
-                    let nodes = job.node_number;
-                    let site_name2 = site_name.clone();
-                    let ui_profile = ui_link.profile();
-                    console_startup(sim, ui_link.clone(), console, smode, move |sim, ok| {
-                        if ok {
-                            {
-                                let mut inner = this2.inner.borrow_mut();
-                                let usage = inner.fairshare.register(
-                                    &user,
-                                    UsageKind::Interactive {
-                                        performance_loss: 0,
-                                    },
-                                    nodes,
-                                );
-                                inner.interactive_usages.insert(id, usage);
-                            }
-                            this2.ensure_fairshare_tick(sim);
-                            this2.mark_running(
-                                sim,
-                                id,
-                                vec![site_name2.clone()],
-                                Some((smode, ui_profile.clone())),
-                            );
-                        } else {
-                            this2.fail(sim, id, "console startup failed", false);
-                        }
-                    });
-                }
-                GramEvent::Queued if resubmit && !*started.borrow() => {
-                    // On-line scheduling (§3): it queued instead of starting —
-                    // kill it here and resubmit elsewhere.
-                    let resubs = {
-                        let mut inner = this.inner.borrow_mut();
-                        inner.stats.resubmissions += 1;
-                        let r = inner.jobs.get_mut(&id).expect("job exists");
-                        r.resubmissions += 1;
-                        r.resubmissions
-                    };
-                    // Withdraw the queued copy before resubmitting elsewhere.
-                    if let Some(lid) = *local_id.borrow() {
-                        lrms.kill(sim, lid, "withdrawn by broker (on-line scheduling)");
+        site.gatekeeper()
+            .submit(sim, broker_link, spec, sandbox, move |sim, ev| {
+                match ev {
+                    GramEvent::Accepted { local_id: lid } => {
+                        *local_id.borrow_mut() = Some(*lid);
+                        this.add_placement(
+                            id,
+                            Placement::Site {
+                                site_index,
+                                local: *lid,
+                            },
+                        );
                     }
-                    let mut excluded2 = excluded.clone();
-                    excluded2.insert(site_index);
-                    if resubs <= max_resub {
+                    GramEvent::Started { .. } => {
+                        *started.borrow_mut() = true;
                         let this2 = this.clone();
-                        let job2 = job.clone();
-                        sim.schedule_now(move |sim| {
-                            this2.matched_path(sim, id, job2, runtime, excluded2)
-                        });
-                    } else {
-                        this.fail(sim, id, "resubmission budget exhausted", false);
+                        let user = job.user.clone();
+                        let nodes = job.node_number;
+                        let site_name2 = site_name.clone();
+                        let ui_profile = ui_link.profile();
+                        let log = this.inner.borrow().trace.clone();
+                        console_startup(
+                            sim,
+                            ui_link.clone(),
+                            console,
+                            smode,
+                            log,
+                            id.0,
+                            move |sim, ok| {
+                                if ok {
+                                    {
+                                        let mut inner = this2.inner.borrow_mut();
+                                        let usage = inner.fairshare.register(
+                                            &user,
+                                            UsageKind::Interactive {
+                                                performance_loss: 0,
+                                            },
+                                            nodes,
+                                        );
+                                        inner.interactive_usages.insert(id, usage);
+                                    }
+                                    this2.ensure_fairshare_tick(sim);
+                                    this2.mark_running(
+                                        sim,
+                                        id,
+                                        vec![site_name2.clone()],
+                                        Some((smode, ui_profile.clone())),
+                                    );
+                                } else {
+                                    this2.fail(sim, id, "console startup failed", false);
+                                }
+                            },
+                        );
                     }
-                }
-                GramEvent::Finished => {
-                    this.finish_job(sim, id);
-                }
-                GramEvent::Killed { reason } => {
-                    if !*started.borrow() {
-                        // Expected when we resubmitted away.
-                    } else {
-                        this.fail(sim, id, &format!("killed at site: {reason}"), false);
+                    GramEvent::Queued if resubmit && !*started.borrow() => {
+                        // On-line scheduling (§3): it queued instead of starting —
+                        // kill it here and resubmit elsewhere.
+                        let resubs = {
+                            let mut inner = this.inner.borrow_mut();
+                            inner.stats.resubmissions += 1;
+                            let r = inner.jobs.get_mut(&id).expect("job exists");
+                            r.resubmissions += 1;
+                            let attempt = r.resubmissions;
+                            inner
+                                .trace
+                                .record(sim.now(), Event::JobResubmitted { job: id.0, attempt });
+                            attempt
+                        };
+                        // Withdraw the queued copy before resubmitting elsewhere.
+                        if let Some(lid) = *local_id.borrow() {
+                            lrms.kill(sim, lid, "withdrawn by broker (on-line scheduling)");
+                        }
+                        let mut excluded2 = excluded.clone();
+                        excluded2.insert(site_index);
+                        if resubs <= max_resub {
+                            let this2 = this.clone();
+                            let job2 = job.clone();
+                            sim.schedule_now(move |sim| {
+                                this2.matched_path(sim, id, job2, runtime, excluded2)
+                            });
+                        } else {
+                            this.fail(sim, id, "resubmission budget exhausted", false);
+                        }
                     }
+                    GramEvent::Finished => {
+                        this.finish_job(sim, id);
+                    }
+                    GramEvent::Killed { reason } => {
+                        if !*started.borrow() {
+                            // Expected when we resubmitted away.
+                        } else {
+                            this.fail(sim, id, &format!("killed at site: {reason}"), false);
+                        }
+                    }
+                    GramEvent::Failed(e) => {
+                        this.fail(sim, id, &format!("submission failed: {e}"), false);
+                    }
+                    _ => {}
                 }
-                GramEvent::Failed(e) => {
-                    this.fail(sim, id, &format!("submission failed: {e}"), false);
-                }
-                _ => {}
-            }
-        });
+            });
     }
 
     /// Batch submission (§5.2 arrow 1): deploy the agent, then run the batch
@@ -1355,8 +1576,17 @@ impl CrossBroker {
             let site_name = inner.sites[site_index].site.name().to_string();
             if let Some(r) = inner.jobs.get_mut(&id) {
                 r.dispatched_at.get_or_insert(sim.now());
-                r.state = JobState::Scheduled { site: site_name };
+                r.state = JobState::Scheduled {
+                    site: site_name.clone(),
+                };
             }
+            inner.trace.record(
+                sim.now(),
+                Event::JobDispatched {
+                    job: id.0,
+                    target: format!("site:{site_name}"),
+                },
+            );
         }
         self.deploy_agent_at(sim, site_index, move |sim, broker, aid| {
             let Some(aid) = aid else {
@@ -1379,53 +1609,64 @@ impl CrossBroker {
             let broker2 = broker.clone();
             sim.schedule_in(delegation, move |sim| {
                 let broker3 = broker2.clone();
-                broker_link.clone().send(sim, Dir::AToB, sandbox, move |sim, r| {
-                    if r.is_err() {
-                        broker3.fail(sim, id, "staging to agent failed", false);
-                        return;
-                    }
-                    let broker4 = broker3.clone();
-                    let broker5 = broker3.clone();
-                    let user2 = user.clone();
-                    let result = agent.borrow().run_batch(sim, runtime, move |sim| {
-                        // Batch job done.
-                        {
-                            let mut inner = broker5.inner.borrow_mut();
-                            if let Some(e) = inner.agents.get_mut(&aid) {
-                                e.batch_done = true;
-                                if let Some(u) = e.batch_usage.take() {
-                                    inner.fairshare.release(u);
+                broker_link
+                    .clone()
+                    .send(sim, Dir::AToB, sandbox, move |sim, r| {
+                        if r.is_err() {
+                            broker3.fail(sim, id, "staging to agent failed", false);
+                            return;
+                        }
+                        let broker4 = broker3.clone();
+                        let broker5 = broker3.clone();
+                        let user2 = user.clone();
+                        let result = agent.borrow().run_batch(sim, runtime, move |sim| {
+                            // Batch job done.
+                            {
+                                let mut inner = broker5.inner.borrow_mut();
+                                if let Some(e) = inner.agents.get_mut(&aid) {
+                                    e.batch_done = true;
+                                    if let Some(u) = e.batch_usage.take() {
+                                        inner.fairshare.release(u);
+                                    }
+                                    inner.trace.record(
+                                        sim.now(),
+                                        Event::AgentBatchFinished { agent: aid.0 },
+                                    );
                                 }
                             }
+                            broker5.finish_job(sim, id);
+                            broker5.maybe_agent_departs(sim, aid);
+                            broker5.retry_broker_queue(sim);
+                        });
+                        match result {
+                            Err(_) => broker4.fail(sim, id, "batch VM busy", false),
+                            Ok(task) => {
+                                broker4.add_placement(id, Placement::AgentBatch { aid, task });
+                                let mut inner = broker4.inner.borrow_mut();
+                                let usage = inner.fairshare.register(&user2, UsageKind::Batch, 1);
+                                if let Some(e) = inner.agents.get_mut(&aid) {
+                                    e.has_batch = true;
+                                    e.batch_done = false;
+                                    e.batch_usage = Some(usage);
+                                }
+                                if let Some(r) = inner.jobs.get_mut(&id) {
+                                    r.started_at = Some(sim.now());
+                                    r.state = JobState::Running {
+                                        sites: vec![String::new()],
+                                    };
+                                    let response =
+                                        sim.now().saturating_since(r.submitted_at).as_secs_f64();
+                                    inner.stats.started += 1;
+                                    inner
+                                        .trace
+                                        .record(sim.now(), Event::JobStarted { job: id.0 });
+                                    inner.metrics.observe("response_s", response);
+                                }
+                                drop(inner);
+                                broker4.ensure_fairshare_tick(sim);
+                            }
                         }
-                        broker5.finish_job(sim, id);
-                        broker5.maybe_agent_departs(sim, aid);
-                        broker5.retry_broker_queue(sim);
                     });
-                    match result {
-                        Err(_) => broker4.fail(sim, id, "batch VM busy", false),
-                        Ok(task) => {
-                            broker4.add_placement(id, Placement::AgentBatch { aid, task });
-                            let mut inner = broker4.inner.borrow_mut();
-                            let usage =
-                                inner.fairshare.register(&user2, UsageKind::Batch, 1);
-                            if let Some(e) = inner.agents.get_mut(&aid) {
-                                e.has_batch = true;
-                                e.batch_done = false;
-                                e.batch_usage = Some(usage);
-                            }
-                            if let Some(r) = inner.jobs.get_mut(&id) {
-                                r.started_at = Some(sim.now());
-                                r.state = JobState::Running {
-                                    sites: vec![String::new()],
-                                };
-                                inner.stats.started += 1;
-                            }
-                            drop(inner);
-                            broker4.ensure_fairshare_tick(sim);
-                        }
-                    }
-                });
             });
         });
     }
@@ -1446,6 +1687,15 @@ impl CrossBroker {
             let lease = inner.config.lease;
             for &(i, _) in &plan {
                 inner.sites[i].leased_until = now + lease;
+                let name = inner.sites[i].site.name().to_string();
+                inner.trace.record(
+                    now,
+                    Event::LeaseGranted {
+                        job: id.0,
+                        target: format!("site:{name}"),
+                        until_ns: (now + lease).as_nanos(),
+                    },
+                );
             }
             if let Some(r) = inner.jobs.get_mut(&id) {
                 r.dispatched_at.get_or_insert(now);
@@ -1453,6 +1703,13 @@ impl CrossBroker {
                     site: format!("{} sites", plan.len()),
                 };
             }
+            inner.trace.record(
+                now,
+                Event::JobDispatched {
+                    job: id.0,
+                    target: format!("{} sites", plan.len()),
+                },
+            );
         }
         // Barrier: the job is interactive-ready when every subjob's console
         // has delivered its first output.
@@ -1491,67 +1748,76 @@ impl CrossBroker {
             let user = job.user.clone();
             let names = site_names.clone();
             let total_nodes = job.node_number;
-            site.gatekeeper().submit(sim, broker_link, spec, sandbox, move |sim, ev| {
-                match ev {
-                    GramEvent::Accepted { local_id } => {
-                        this.add_placement(
-                            id,
-                            Placement::Site {
-                                site_index,
-                                local: *local_id,
-                            },
-                        );
-                    }
-                    GramEvent::Started { .. } => {
-                        let this2 = this.clone();
-                        let ready3 = Rc::clone(&ready2);
-                        let failed3 = Rc::clone(&failed2);
-                        let user2 = user.clone();
-                        let names2 = names.clone();
-                        let ui_profile = ui_link.profile();
-                        console_startup(sim, ui_link.clone(), console, smode, move |sim, ok| {
-                            if !ok {
-                                if !*failed3.borrow() {
-                                    *failed3.borrow_mut() = true;
-                                    this2.fail(sim, id, "console startup failed", false);
-                                }
-                                return;
-                            }
-                            *ready3.borrow_mut() += 1;
-                            if *ready3.borrow() == total_subjobs && !*failed3.borrow() {
-                                {
-                                    let mut inner = this2.inner.borrow_mut();
-                                    let usage = inner.fairshare.register(
-                                        &user2,
-                                        UsageKind::Interactive {
-                                            performance_loss: 0,
-                                        },
-                                        total_nodes,
-                                    );
-                                    inner.interactive_usages.insert(id, usage);
-                                }
-                                this2.ensure_fairshare_tick(sim);
-                                this2.mark_running(
-                                    sim,
-                                    id,
-                                    names2.clone(),
-                                    Some((smode, ui_profile.clone())),
-                                );
-                            }
-                        });
-                    }
-                    GramEvent::Finished => {
-                        // Last subjob to finish completes the job.
-                        this.finish_job(sim, id);
-                    }
-                    GramEvent::Failed(e)
-                        if !*failed2.borrow() => {
+            site.gatekeeper()
+                .submit(sim, broker_link, spec, sandbox, move |sim, ev| {
+                    match ev {
+                        GramEvent::Accepted { local_id } => {
+                            this.add_placement(
+                                id,
+                                Placement::Site {
+                                    site_index,
+                                    local: *local_id,
+                                },
+                            );
+                        }
+                        GramEvent::Started { .. } => {
+                            let this2 = this.clone();
+                            let ready3 = Rc::clone(&ready2);
+                            let failed3 = Rc::clone(&failed2);
+                            let user2 = user.clone();
+                            let names2 = names.clone();
+                            let ui_profile = ui_link.profile();
+                            let log = this.inner.borrow().trace.clone();
+                            console_startup(
+                                sim,
+                                ui_link.clone(),
+                                console,
+                                smode,
+                                log,
+                                id.0,
+                                move |sim, ok| {
+                                    if !ok {
+                                        if !*failed3.borrow() {
+                                            *failed3.borrow_mut() = true;
+                                            this2.fail(sim, id, "console startup failed", false);
+                                        }
+                                        return;
+                                    }
+                                    *ready3.borrow_mut() += 1;
+                                    if *ready3.borrow() == total_subjobs && !*failed3.borrow() {
+                                        {
+                                            let mut inner = this2.inner.borrow_mut();
+                                            let usage = inner.fairshare.register(
+                                                &user2,
+                                                UsageKind::Interactive {
+                                                    performance_loss: 0,
+                                                },
+                                                total_nodes,
+                                            );
+                                            inner.interactive_usages.insert(id, usage);
+                                        }
+                                        this2.ensure_fairshare_tick(sim);
+                                        this2.mark_running(
+                                            sim,
+                                            id,
+                                            names2.clone(),
+                                            Some((smode, ui_profile.clone())),
+                                        );
+                                    }
+                                },
+                            );
+                        }
+                        GramEvent::Finished => {
+                            // Last subjob to finish completes the job.
+                            this.finish_job(sim, id);
+                        }
+                        GramEvent::Failed(e) if !*failed2.borrow() => {
                             *failed2.borrow_mut() = true;
                             this.fail(sim, id, &format!("subjob failed: {e}"), false);
                         }
-                    _ => {}
-                }
-            });
+                        _ => {}
+                    }
+                });
         }
     }
 
@@ -1567,7 +1833,12 @@ impl CrossBroker {
             if r.started_at.is_none() {
                 r.started_at = Some(sim.now());
                 r.state = JobState::Running { sites };
+                let response = sim.now().saturating_since(r.submitted_at).as_secs_f64();
                 inner.stats.started += 1;
+                inner
+                    .trace
+                    .record(sim.now(), Event::JobStarted { job: id.0 });
+                inner.metrics.observe("response_s", response);
             } else {
                 return;
             }
@@ -1600,10 +1871,16 @@ impl CrossBroker {
             inner.fairshare.release(usage);
         }
         if let Some(r) = inner.jobs.get_mut(&id) {
-            if matches!(r.state, JobState::Running { .. } | JobState::Scheduled { .. }) {
+            if matches!(
+                r.state,
+                JobState::Running { .. } | JobState::Scheduled { .. }
+            ) {
                 r.state = JobState::Done;
                 r.finished_at = Some(sim.now());
                 inner.stats.finished += 1;
+                inner
+                    .trace
+                    .record(sim.now(), Event::JobFinished { job: id.0 });
             }
         }
         drop(inner);
@@ -1630,18 +1907,20 @@ impl CrossBroker {
     /// Non-generic body of [`Self::deploy_agent_at`]; the redeploy-on-death
     /// path re-enters here, so the callback must be type-erased to avoid
     /// recursive monomorphization.
-    fn deploy_agent_at_boxed(
-        &self,
-        sim: &mut Sim,
-        site_index: usize,
-        then: DeployCallback,
-    ) {
+    fn deploy_agent_at_boxed(&self, sim: &mut Sim, site_index: usize, then: DeployCallback) {
         let (site, link, share_eff, costs, aid) = {
             let mut inner = self.inner.borrow_mut();
             let aid = AgentId(inner.next_agent);
             inner.next_agent += 1;
             inner.stats.agents_deployed += 1;
             let s = &inner.sites[site_index];
+            inner.trace.record(
+                sim.now(),
+                Event::AgentDeployed {
+                    agent: aid.0,
+                    site: s.site.name().to_string(),
+                },
+            );
             (
                 s.site.clone(),
                 s.broker_link.clone(),
@@ -1686,20 +1965,33 @@ impl CrossBroker {
                         if let Some(e) = inner.agents.get_mut(&aid) {
                             e.ready_at = sim.now();
                         }
-                        if let std::collections::hash_map::Entry::Vacant(e) = inner.agents.entry(aid) {
+                        if let std::collections::hash_map::Entry::Vacant(e) =
+                            inner.agents.entry(aid)
+                        {
                             let agent_rc = agent_slot2.borrow().clone();
                             if let Some(agent_rc) = agent_rc {
                                 e.insert(AgentEntry {
-                                        agent: agent_rc,
-                                        site_index,
-                                        carrier: None,
-                                        leased_until: SimTime::ZERO,
-                                        batch_usage: None,
-                                        batch_done: false,
-                                        has_batch: false,
-                                        ready_at: sim.now(),
-                                    });
+                                    agent: agent_rc,
+                                    site_index,
+                                    carrier: None,
+                                    leased_until: SimTime::ZERO,
+                                    batch_usage: None,
+                                    batch_done: false,
+                                    has_batch: false,
+                                    ready_at: sim.now(),
+                                });
                             }
+                        }
+                        inner
+                            .trace
+                            .record(sim.now(), Event::AgentReady { agent: aid.0 });
+                        // Route the agent's VM slot transitions into the
+                        // broker-wide log.
+                        if let Some(e) = inner.agents.get(&aid) {
+                            e.agent
+                                .borrow()
+                                .vm
+                                .set_trace(inner.trace.clone(), format!("agent-{}", aid.0));
                         }
                     }
                     if let Some(f) = then.borrow_mut().take() {
@@ -1710,6 +2002,14 @@ impl CrossBroker {
                     let voluntary = reason == "agent left the machine";
                     let redeploy = {
                         let mut inner = this.inner.borrow_mut();
+                        inner.trace.record(
+                            sim.now(),
+                            Event::AgentDied {
+                                agent: aid.0,
+                                reason: reason.clone(),
+                                voluntary,
+                            },
+                        );
                         let mut uptime = SimDuration::ZERO;
                         if let Some(e) = inner.agents.remove(&aid) {
                             if let Some(u) = e.batch_usage {
@@ -1756,6 +2056,19 @@ impl CrossBroker {
     }
 }
 
+/// Completion callback of a [`console_startup`] attempt chain.
+type ConsoleDone = Box<dyn FnOnce(&mut Sim, bool)>;
+
+/// Everything a console-startup attempt carries between retries.
+#[derive(Clone)]
+struct ConsoleStartup {
+    ui_link: Link,
+    costs: crate::config::ConsoleCosts,
+    mode: cg_jdl::StreamingMode,
+    trace: EventLog,
+    job: u64,
+}
+
 /// The tail of every interactive path: the Console Agent starts on the WN,
 /// opens a GSI session back to the shadow, and sends the first output.
 /// In *reliable* streaming mode the output is spooled (a small disk cost)
@@ -1766,52 +2079,94 @@ fn console_startup(
     ui_link: Link,
     costs: crate::config::ConsoleCosts,
     mode: cg_jdl::StreamingMode,
+    trace: EventLog,
+    job: u64,
     done: impl FnOnce(&mut Sim, bool) + 'static,
 ) {
-    fn attempt(
-        sim: &mut Sim,
-        ui_link: Link,
-        costs: crate::config::ConsoleCosts,
-        mode: cg_jdl::StreamingMode,
-        tries: u32,
-        done: Box<dyn FnOnce(&mut Sim, bool)>,
-    ) {
+    fn attempt(sim: &mut Sim, ctx: ConsoleStartup, tries: u32, done: ConsoleDone) {
+        let ConsoleStartup {
+            ui_link,
+            costs,
+            mode,
+            trace,
+            job,
+        } = ctx.clone();
         let reliable = mode == cg_jdl::StreamingMode::Reliable;
-        let ui2 = ui_link.clone();
-        let retry_or_fail = move |sim: &mut Sim, done: Box<dyn FnOnce(&mut Sim, bool)>| {
+        let trace2 = trace.clone();
+        let retry_or_fail = move |sim: &mut Sim, done: ConsoleDone| {
             if reliable && tries < costs.max_retries {
+                trace2.record(
+                    sim.now(),
+                    Event::ConsoleRetry {
+                        job,
+                        attempt: tries + 1,
+                    },
+                );
                 let interval = SimDuration::from_secs_f64(costs.retry_interval_s);
-                sim.schedule_in(interval, move |sim| {
-                    attempt(sim, ui2, costs, mode, tries + 1, done)
-                });
+                sim.schedule_in(interval, move |sim| attempt(sim, ctx, tries + 1, done));
             } else {
                 done(sim, false);
             }
         };
         // CA (at the site, endpoint B) connects home to the shadow (A).
-        Session::connect(sim, ui_link, Dir::BToA, HandshakeProfile::gsi(), move |sim, r| {
-            match r {
-                Err(_) => retry_or_fail(sim, done),
-                Ok(session) => {
-                    // Reliable mode spools the output before sending.
-                    let spool = if reliable {
-                        SimDuration::from_secs_f64(costs.spool_op_s)
-                    } else {
-                        SimDuration::ZERO
-                    };
-                    sim.schedule_in(spool, move |sim| {
-                        session.send(sim, costs.first_output_bytes, move |sim, r| match r {
-                            Ok(()) => done(sim, true),
-                            Err(_) => retry_or_fail(sim, done),
+        Session::connect(
+            sim,
+            ui_link,
+            Dir::BToA,
+            HandshakeProfile::gsi(),
+            move |sim, r| {
+                match r {
+                    Err(_) => retry_or_fail(sim, done),
+                    Ok(session) => {
+                        trace.record(sim.now(), Event::ConsoleConnected { job });
+                        // Reliable mode spools the output before sending.
+                        let spool = if reliable {
+                            SimDuration::from_secs_f64(costs.spool_op_s)
+                        } else {
+                            SimDuration::ZERO
+                        };
+                        sim.schedule_in(spool, move |sim| {
+                            if reliable {
+                                trace.record(
+                                    sim.now(),
+                                    Event::SpoolAppend {
+                                        stream: format!("console:{job}"),
+                                        seq: tries as u64 + 1,
+                                    },
+                                );
+                            }
+                            session.send(sim, costs.first_output_bytes, move |sim, r| match r {
+                                Ok(()) => {
+                                    if reliable {
+                                        trace.record(
+                                            sim.now(),
+                                            Event::SpoolAck {
+                                                stream: format!("console:{job}"),
+                                                seq: tries as u64 + 1,
+                                            },
+                                        );
+                                    }
+                                    trace.record(sim.now(), Event::ConsoleReady { job });
+                                    done(sim, true)
+                                }
+                                Err(_) => retry_or_fail(sim, done),
+                            });
                         });
-                    });
+                    }
                 }
-            }
-        });
+            },
+        );
     }
     let start = SimDuration::from_secs_f64(costs.ca_start_s);
     sim.schedule_in(start, move |sim| {
-        attempt(sim, ui_link, costs, mode, 0, Box::new(done));
+        let ctx = ConsoleStartup {
+            ui_link,
+            costs,
+            mode,
+            trace,
+            job,
+        };
+        attempt(sim, ctx, 0, Box::new(done));
     });
 }
 

@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 
 use cg_sim::{SimDuration, SimTime};
+use cg_trace::{Event, EventLog};
 use serde::{Deserialize, Serialize};
 
 /// Engine parameters.
@@ -69,9 +70,7 @@ impl UsageKind {
     pub fn application_factor(self) -> f64 {
         match self {
             UsageKind::Batch => 1.0,
-            UsageKind::Interactive { performance_loss } => {
-                2.0 - performance_loss as f64 / 100.0
-            }
+            UsageKind::Interactive { performance_loss } => 2.0 - performance_loss as f64 / 100.0,
             UsageKind::YieldedBatch { performance_loss } => performance_loss as f64 / 100.0,
         }
     }
@@ -100,6 +99,19 @@ pub struct FairShare {
     /// Total CPUs in the grid, the normalizer of `r(u,t)`.
     total_cpus: u32,
     last_tick: Option<SimTime>,
+    /// Lifecycle event sink (ticks and kind transitions).
+    trace: Option<EventLog>,
+}
+
+impl UsageKind {
+    /// Stable lower-case label (trace field value).
+    fn label(self) -> &'static str {
+        match self {
+            UsageKind::Batch => "batch",
+            UsageKind::Interactive { .. } => "interactive",
+            UsageKind::YieldedBatch { .. } => "yielded-batch",
+        }
+    }
 }
 
 impl FairShare {
@@ -113,7 +125,13 @@ impl FairShare {
             next_usage: 0,
             total_cpus,
             last_tick: None,
+            trace: None,
         }
+    }
+
+    /// Routes tick and priority-kind events into `log`.
+    pub fn set_trace(&mut self, log: EventLog) {
+        self.trace = Some(log);
     }
 
     /// Updates the grid size (sites joining/leaving).
@@ -144,10 +162,20 @@ impl FairShare {
     }
 
     /// Marks a batch usage as yielded to an interactive job with the given
-    /// PL (and back, by passing `UsageKind::Batch`).
+    /// PL (and back, by passing `UsageKind::Batch`). The trace event is
+    /// timestamped at the last tick (the engine itself has no clock).
     pub fn set_kind(&mut self, id: UsageId, kind: UsageKind) {
         if let Some(u) = self.usages.get_mut(&id) {
             u.kind = kind;
+            if let Some(log) = &self.trace {
+                log.record(
+                    self.last_tick.unwrap_or(SimTime::from_nanos(0)),
+                    Event::PriorityChanged {
+                        usage: id.0,
+                        kind: kind.label().to_string(),
+                    },
+                );
+            }
         }
     }
 
@@ -164,6 +192,14 @@ impl FairShare {
     /// plus, of course, users currently consuming resources.
     pub fn tick(&mut self, now: SimTime) {
         self.last_tick = Some(now);
+        if let Some(log) = &self.trace {
+            log.record(
+                now,
+                Event::FairShareTick {
+                    usages: self.usages.len() as u32,
+                },
+            );
+        }
         let dt = self.config.delta_t.as_secs_f64();
         let h = self.config.half_life.as_secs_f64();
         let beta = 0.5f64.powf(dt / h);
@@ -240,15 +276,24 @@ mod tests {
     fn application_factors_match_section_5_1() {
         assert_eq!(UsageKind::Batch.application_factor(), 1.0);
         assert_eq!(
-            UsageKind::Interactive { performance_loss: 0 }.application_factor(),
+            UsageKind::Interactive {
+                performance_loss: 0
+            }
+            .application_factor(),
             2.0
         );
         assert_eq!(
-            UsageKind::Interactive { performance_loss: 40 }.application_factor(),
+            UsageKind::Interactive {
+                performance_loss: 40
+            }
+            .application_factor(),
             1.6
         );
         assert_eq!(
-            UsageKind::YieldedBatch { performance_loss: 40 }.application_factor(),
+            UsageKind::YieldedBatch {
+                performance_loss: 40
+            }
+            .application_factor(),
             0.4
         );
     }
@@ -274,7 +319,9 @@ mod tests {
         let mut b = engine();
         b.register(
             "u",
-            UsageKind::Interactive { performance_loss: 10 },
+            UsageKind::Interactive {
+                performance_loss: 10,
+            },
             10,
         );
         tick_n(&mut a, 10);
@@ -298,12 +345,20 @@ mod tests {
         let before = fs.priority("victim");
         assert!((before - 0.1).abs() < 0.005, "batch equilibrium {before}");
         // An interactive job (PL=20) moves in; the victim yields.
-        fs.set_kind(id, UsageKind::YieldedBatch { performance_loss: 20 });
+        fs.set_kind(
+            id,
+            UsageKind::YieldedBatch {
+                performance_loss: 20,
+            },
+        );
         // Equilibrium drops to 0.2·0.1 = 0.02 — the victim's priority now
         // *improves* despite still "running".
         tick_n(&mut fs, 500);
         let after = fs.priority("victim");
-        assert!(after < before, "yielded batch must be charged less: {after} vs {before}");
+        assert!(
+            after < before,
+            "yielded batch must be charged less: {after} vs {before}"
+        );
         assert!((after - 0.02).abs() < 0.005);
     }
 
@@ -337,7 +392,13 @@ mod tests {
     #[test]
     fn scarcity_rejects_the_worse_user() {
         let mut fs = engine();
-        fs.register("hog", UsageKind::Interactive { performance_loss: 0 }, 80);
+        fs.register(
+            "hog",
+            UsageKind::Interactive {
+                performance_loss: 0,
+            },
+            80,
+        );
         tick_n(&mut fs, 20);
         assert!(fs.should_reject_under_scarcity("hog"));
         assert!(!fs.should_reject_under_scarcity("newcomer"));
@@ -357,6 +418,30 @@ mod tests {
         tick_n(&mut fs, 500);
         assert!((fs.priority("u") - 0.2).abs() < 0.01);
         assert_eq!(fs.active_usages(), 2);
+    }
+
+    #[test]
+    fn ticks_and_kind_changes_are_traced() {
+        let log = EventLog::new(16);
+        let mut fs = engine();
+        fs.set_trace(log.clone());
+        let id = fs.register("u", UsageKind::Batch, 10);
+        fs.tick(SimTime::from_secs(60));
+        fs.set_kind(
+            id,
+            UsageKind::YieldedBatch {
+                performance_loss: 30,
+            },
+        );
+        fs.tick(SimTime::from_secs(120));
+        let events = log.snapshot();
+        let kinds: Vec<&str> = events.iter().map(|e| e.event.kind()).collect();
+        assert_eq!(kinds, ["FairShareTick", "PriorityChanged", "FairShareTick"]);
+        match &events[1].event {
+            Event::PriorityChanged { kind, .. } => assert_eq!(kind, "yielded-batch"),
+            other => panic!("expected PriorityChanged, got {:?}", other.kind()),
+        }
+        assert_eq!(events[1].at, SimTime::from_secs(60), "stamped at last tick");
     }
 
     #[test]

@@ -179,7 +179,9 @@ mod tests {
     #[test]
     fn randomized_selection_spreads_ties() {
         let j = job(r#"Executable = "a"; Rank = 1;"#);
-        let ads: Vec<(usize, Ad)> = (0..4).map(|i| (i, site_ad(&format!("s{i}"), 4, "i686"))).collect();
+        let ads: Vec<(usize, Ad)> = (0..4)
+            .map(|i| (i, site_ad(&format!("s{i}"), 4, "i686")))
+            .collect();
         let c = filter_candidates(&j, &ads, true);
         let mut rng = SimRng::new(42);
         let mut seen = std::collections::BTreeSet::new();

@@ -60,7 +60,10 @@ fn exclusive_interactive_starts_with_full_pipeline() {
     let sub = r.submission_s().expect("submission ran");
     assert!((0.1..1.5).contains(&disc), "discovery {disc}s (paper ≈0.5)");
     assert!((0.3..3.0).contains(&sel), "selection {sel}s for 5 sites");
-    assert!((5.0..30.0).contains(&sub), "Globus-path submission {sub}s (paper ≈17)");
+    assert!(
+        (5.0..30.0).contains(&sub),
+        "Globus-path submission {sub}s (paper ≈17)"
+    );
 }
 
 #[test]
@@ -120,7 +123,10 @@ fn batch_runs_via_agent_and_agent_departs() {
     sim.run_until(SimTime::from_secs(2_000));
     let r = broker.record(id);
     assert!(matches!(r.state, JobState::Done), "{:?}", r.state);
-    assert!(r.response_s().unwrap() > 15.0, "job+agent path is the slowest");
+    assert!(
+        r.response_s().unwrap() > 15.0,
+        "job+agent path is the slowest"
+    );
     // Agent left after the batch job completed: node is free again.
     assert_eq!(broker.agent_count(), 0, "agent departed");
     assert_eq!(sites[0].lrms().free_nodes(), 2, "node returned to the site");
@@ -169,7 +175,10 @@ fn interactive_never_preempts_interactive() {
     // for a long time.
     let first = broker.submit(&mut sim, job(SHARED), SimDuration::from_secs(5_000));
     sim.run_until(SimTime::from_secs(300));
-    assert!(matches!(broker.record(first).state, JobState::Running { .. }));
+    assert!(matches!(
+        broker.record(first).state,
+        JobState::Running { .. }
+    ));
     assert_eq!(broker.free_interactive_slots(), 0);
 
     // Second interactive job: no free slot, no idle machine → fails; the
@@ -414,7 +423,10 @@ fn cancel_shared_job_restores_batch_priority() {
     // Batch job brings up an agent and occupies its batch-vm.
     let batch = broker.submit(&mut sim, job(BATCH), SimDuration::from_secs(3_000));
     sim.run_until(SimTime::from_secs(120));
-    assert!(matches!(broker.record(batch).state, JobState::Running { .. }));
+    assert!(matches!(
+        broker.record(batch).state,
+        JobState::Running { .. }
+    ));
 
     // Interactive job lands on the same agent, throttling the batch job.
     let iv = broker.submit(&mut sim, job(SHARED), SimDuration::from_secs(10_000));
@@ -549,7 +561,10 @@ fn cancel_coallocated_mpi_job_frees_all_sites() {
     let id = broker.submit(&mut sim, job(mpi), SimDuration::from_secs(50_000));
     sim.run_until(SimTime::from_secs(120));
     assert!(matches!(broker.record(id).state, JobState::Running { .. }));
-    let busy: usize = sites.iter().map(|s| s.lrms().total_nodes() - s.lrms().free_nodes()).sum();
+    let busy: usize = sites
+        .iter()
+        .map(|s| s.lrms().total_nodes() - s.lrms().free_nodes())
+        .sum();
     assert_eq!(busy, 5);
 
     assert!(broker.cancel(&mut sim, id));
@@ -575,7 +590,11 @@ fn leased_agent_becomes_available_after_lease_expiry() {
     let b = broker.submit(&mut sim, job(SHARED), SimDuration::from_secs(5));
     sim.run_until(SimTime::from_secs(600));
     assert!(matches!(broker.record(b).state, JobState::Done));
-    assert_eq!(broker.stats().agents_deployed, deployed_before, "agent reused");
+    assert_eq!(
+        broker.stats().agents_deployed,
+        deployed_before,
+        "agent reused"
+    );
 }
 
 #[test]
@@ -591,9 +610,15 @@ fn back_to_back_shared_jobs_second_waits_for_no_one() {
     let a = broker.submit(&mut sim, job(SHARED), SimDuration::from_secs(600));
     let b = broker.submit(&mut sim, job(SHARED), SimDuration::from_secs(600));
     sim.run_until(SimTime::from_secs(1_500));
-    assert!(matches!(broker.record(a).state, JobState::Done | JobState::Running { .. }));
+    assert!(matches!(
+        broker.record(a).state,
+        JobState::Done | JobState::Running { .. }
+    ));
     assert!(
-        matches!(broker.record(b).state, JobState::Done | JobState::Running { .. }),
+        matches!(
+            broker.record(b).state,
+            JobState::Done | JobState::Running { .. }
+        ),
         "{:?}",
         broker.record(b).state
     );

@@ -141,7 +141,9 @@ impl Ad {
 
     /// Removes an attribute, returning its value.
     pub fn remove(&mut self, name: &str) -> Option<Value> {
-        self.attrs.remove(&name.to_ascii_lowercase()).map(|(_, v)| v)
+        self.attrs
+            .remove(&name.to_ascii_lowercase())
+            .map(|(_, v)| v)
     }
 
     /// True when the attribute exists.

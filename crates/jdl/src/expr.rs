@@ -291,7 +291,10 @@ fn eval_bin(op: BinOp, l: &Expr, r: &Expr, ctx: Ctx<'_>) -> Result<Cv, EvalError
     };
 
     // Comparisons.
-    if matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+    if matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    ) {
         let ord = match (&a, &b) {
             (Value::Str(x), Value::Str(y)) => {
                 // ClassAd string comparison is case-insensitive.
@@ -417,7 +420,10 @@ fn eval_call(name: &str, args: &[Expr], ctx: Ctx<'_>) -> Result<Cv, EvalError> {
             if args.len() != 1 {
                 return Err(err("isUndefined() takes exactly 1 argument"));
             }
-            Ok(Cv::Val(Value::Bool(matches!(args[0].eval(ctx)?, Cv::Undefined))))
+            Ok(Cv::Val(Value::Bool(matches!(
+                args[0].eval(ctx)?,
+                Cv::Undefined
+            ))))
         }
         "stringlistmember" => {
             // stringListMember("needle", "a,b,c" [, "delims"])
@@ -427,12 +433,20 @@ fn eval_call(name: &str, args: &[Expr], ctx: Ctx<'_>) -> Result<Cv, EvalError> {
             let needle = match args[0].eval(ctx)? {
                 Cv::Undefined => return Ok(Cv::Undefined),
                 Cv::Val(Value::Str(s)) => s,
-                Cv::Val(v) => return Err(err(format!("stringListMember needle must be a string, got {v}"))),
+                Cv::Val(v) => {
+                    return Err(err(format!(
+                        "stringListMember needle must be a string, got {v}"
+                    )))
+                }
             };
             let list = match args[1].eval(ctx)? {
                 Cv::Undefined => return Ok(Cv::Undefined),
                 Cv::Val(Value::Str(s)) => s,
-                Cv::Val(v) => return Err(err(format!("stringListMember list must be a string, got {v}"))),
+                Cv::Val(v) => {
+                    return Err(err(format!(
+                        "stringListMember list must be a string, got {v}"
+                    )))
+                }
             };
             let delims = match args.get(2) {
                 None => ",".to_string(),
@@ -457,7 +471,11 @@ fn eval_call(name: &str, args: &[Expr], ctx: Ctx<'_>) -> Result<Cv, EvalError> {
                 Cv::Val(v) => v,
             };
             match v {
-                Value::Int(n) => Ok(Cv::Val(Value::Int(if name == "abs" { n.wrapping_abs() } else { n }))),
+                Value::Int(n) => Ok(Cv::Val(Value::Int(if name == "abs" {
+                    n.wrapping_abs()
+                } else {
+                    n
+                }))),
                 Value::Double(x) => {
                     let y = match name {
                         "floor" => x.floor(),
@@ -599,7 +617,11 @@ mod tests {
 
     #[test]
     fn comparisons_work_and_strings_fold_case() {
-        let e = Expr::Bin(BinOp::Ge, Box::new(other_ref("FreeCpus")), Box::new(own_ref("NodeNumber")));
+        let e = Expr::Bin(
+            BinOp::Ge,
+            Box::new(other_ref("FreeCpus")),
+            Box::new(own_ref("NodeNumber")),
+        );
         assert_eq!(eval(e), Cv::Val(Value::Bool(true)));
         let e = Expr::Bin(
             BinOp::Eq,
@@ -611,35 +633,71 @@ mod tests {
 
     #[test]
     fn cross_type_equality_is_false_order_undefined() {
-        let e = Expr::Bin(BinOp::Eq, Box::new(Expr::Str("x".into())), Box::new(Expr::Int(1)));
+        let e = Expr::Bin(
+            BinOp::Eq,
+            Box::new(Expr::Str("x".into())),
+            Box::new(Expr::Int(1)),
+        );
         assert_eq!(eval(e), Cv::Val(Value::Bool(false)));
-        let e = Expr::Bin(BinOp::Ne, Box::new(Expr::Str("x".into())), Box::new(Expr::Int(1)));
+        let e = Expr::Bin(
+            BinOp::Ne,
+            Box::new(Expr::Str("x".into())),
+            Box::new(Expr::Int(1)),
+        );
         assert_eq!(eval(e), Cv::Val(Value::Bool(true)));
-        let e = Expr::Bin(BinOp::Lt, Box::new(Expr::Str("x".into())), Box::new(Expr::Int(1)));
+        let e = Expr::Bin(
+            BinOp::Lt,
+            Box::new(Expr::Str("x".into())),
+            Box::new(Expr::Int(1)),
+        );
         assert_eq!(eval(e), Cv::Undefined);
     }
 
     #[test]
     fn undefined_propagates_through_arithmetic_and_comparison() {
-        let e = Expr::Bin(BinOp::Add, Box::new(own_ref("missing")), Box::new(Expr::Int(1)));
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(own_ref("missing")),
+            Box::new(Expr::Int(1)),
+        );
         assert_eq!(eval(e), Cv::Undefined);
-        let e = Expr::Bin(BinOp::Lt, Box::new(own_ref("missing")), Box::new(Expr::Int(1)));
+        let e = Expr::Bin(
+            BinOp::Lt,
+            Box::new(own_ref("missing")),
+            Box::new(Expr::Int(1)),
+        );
         assert_eq!(eval(e), Cv::Undefined);
     }
 
     #[test]
     fn logic_absorbs_undefined_when_decided() {
         // false && undefined == false
-        let e = Expr::Bin(BinOp::And, Box::new(Expr::Bool(false)), Box::new(own_ref("missing")));
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::Bool(false)),
+            Box::new(own_ref("missing")),
+        );
         assert_eq!(eval(e), Cv::Val(Value::Bool(false)));
         // undefined && false == false
-        let e = Expr::Bin(BinOp::And, Box::new(own_ref("missing")), Box::new(Expr::Bool(false)));
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(own_ref("missing")),
+            Box::new(Expr::Bool(false)),
+        );
         assert_eq!(eval(e), Cv::Val(Value::Bool(false)));
         // true || undefined == true (short-circuit)
-        let e = Expr::Bin(BinOp::Or, Box::new(Expr::Bool(true)), Box::new(own_ref("missing")));
+        let e = Expr::Bin(
+            BinOp::Or,
+            Box::new(Expr::Bool(true)),
+            Box::new(own_ref("missing")),
+        );
         assert_eq!(eval(e), Cv::Val(Value::Bool(true)));
         // true && undefined == undefined
-        let e = Expr::Bin(BinOp::And, Box::new(Expr::Bool(true)), Box::new(own_ref("missing")));
+        let e = Expr::Bin(
+            BinOp::And,
+            Box::new(Expr::Bool(true)),
+            Box::new(own_ref("missing")),
+        );
         assert_eq!(eval(e), Cv::Undefined);
     }
 
@@ -651,7 +709,11 @@ mod tests {
         assert_eq!(eval(e), Cv::Val(Value::Int(3)));
         let e = Expr::Bin(BinOp::Div, Box::new(Expr::Int(7)), Box::new(Expr::Int(0)));
         assert_eq!(eval(e), Cv::Undefined);
-        let e = Expr::Bin(BinOp::Mul, Box::new(Expr::Int(2)), Box::new(Expr::Double(1.5)));
+        let e = Expr::Bin(
+            BinOp::Mul,
+            Box::new(Expr::Int(2)),
+            Box::new(Expr::Double(1.5)),
+        );
         assert_eq!(eval(e), Cv::Val(Value::Double(3.0)));
     }
 
@@ -703,10 +765,17 @@ mod tests {
         let j = job();
         let m = machine();
         let ctx = Ctx { own: &j, other: &m };
-        let req = Expr::Bin(BinOp::Ge, Box::new(other_ref("FreeCpus")), Box::new(Expr::Int(2)));
+        let req = Expr::Bin(
+            BinOp::Ge,
+            Box::new(other_ref("FreeCpus")),
+            Box::new(Expr::Int(2)),
+        );
         assert!(req.eval_requirement(ctx).unwrap());
         let undef = own_ref("missing");
-        assert!(!undef.eval_requirement(ctx).unwrap(), "undefined is no-match");
+        assert!(
+            !undef.eval_requirement(ctx).unwrap(),
+            "undefined is no-match"
+        );
         let rank = other_ref("FreeCpus");
         assert_eq!(rank.eval_rank(ctx).unwrap(), 4.0);
         assert_eq!(own_ref("missing").eval_rank(ctx).unwrap(), 0.0);
@@ -740,7 +809,11 @@ mod tests {
         let j = job();
         let m = machine();
         assert!(e.eval(Ctx { own: &j, other: &m }).is_err());
-        let e = Expr::Bin(BinOp::Add, Box::new(Expr::Str("a".into())), Box::new(Expr::Int(1)));
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Str("a".into())),
+            Box::new(Expr::Int(1)),
+        );
         assert!(e.eval(Ctx { own: &j, other: &m }).is_err());
     }
 
@@ -748,7 +821,11 @@ mod tests {
     fn display_round_trip_shape() {
         let e = Expr::Bin(
             BinOp::And,
-            Box::new(Expr::Bin(BinOp::Ge, Box::new(other_ref("FreeCpus")), Box::new(Expr::Int(2)))),
+            Box::new(Expr::Bin(
+                BinOp::Ge,
+                Box::new(other_ref("FreeCpus")),
+                Box::new(Expr::Int(2)),
+            )),
             Box::new(Expr::Not(Box::new(own_ref("x")))),
         );
         assert_eq!(e.to_string(), "((other.FreeCpus >= 2) && !(x))");
@@ -764,7 +841,10 @@ mod function_tests {
         let empty = Ad::new();
         parse_expr(src)
             .unwrap()
-            .eval(Ctx { own: &empty, other: &empty })
+            .eval(Ctx {
+                own: &empty,
+                other: &empty,
+            })
             .unwrap()
     }
 
@@ -828,7 +908,10 @@ mod function_tests {
             .set_double("LoadAvg", 0.31)
             .set_str("Environments", "CROSSGRID, MPICH-G2, GLITE");
         let job = Ad::new();
-        let ctx = Ctx { own: &job, other: &machine };
+        let ctx = Ctx {
+            own: &job,
+            other: &machine,
+        };
         let rank = parse_expr(
             r#"stringListMember("mpich-g2", other.Environments)
                ? max(other.FreeCpus - ceiling(other.LoadAvg), 0) : 0"#,
@@ -840,8 +923,16 @@ mod function_tests {
     #[test]
     fn arity_errors() {
         let empty = Ad::new();
-        let ctx = Ctx { own: &empty, other: &empty };
-        for bad in ["floor()", "min()", r#"int(1, 2)"#, r#"stringListMember("a")"#] {
+        let ctx = Ctx {
+            own: &empty,
+            other: &empty,
+        };
+        for bad in [
+            "floor()",
+            "min()",
+            r#"int(1, 2)"#,
+            r#"stringListMember("a")"#,
+        ] {
             let e = parse_expr(bad).unwrap();
             assert!(e.eval(ctx).is_err(), "{bad} should be an arity error");
         }

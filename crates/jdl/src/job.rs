@@ -225,9 +225,7 @@ impl JobDescription {
             Some(Value::Expr(e)) => Some(e.clone()),
             Some(Value::Int(n)) => Some(Expr::Int(*n)),
             Some(Value::Double(x)) => Some(Expr::Double(*x)),
-            Some(other) => {
-                return Err(invalid(format!("Rank must be an expression, got {other}")))
-            }
+            Some(other) => return Err(invalid(format!("Rank must be an expression, got {other}"))),
         };
 
         let user = ad
@@ -236,12 +234,13 @@ impl JobDescription {
             .unwrap_or("anonymous")
             .to_string();
 
-        let estimated_runtime_s = match ad.get("EstimatedRuntime") {
-            None => None,
-            Some(v) => Some(v.as_f64().ok_or_else(|| {
-                invalid(format!("EstimatedRuntime must be a number, got {v}"))
-            })?),
-        };
+        let estimated_runtime_s =
+            match ad.get("EstimatedRuntime") {
+                None => None,
+                Some(v) => Some(v.as_f64().ok_or_else(|| {
+                    invalid(format!("EstimatedRuntime must be a number, got {v}"))
+                })?),
+            };
 
         let input_sandbox_bytes = match ad.get("InputSandboxSizes") {
             None => Vec::new(),
@@ -251,7 +250,9 @@ impl JobDescription {
                     v.as_i64()
                         .filter(|&n| n >= 0)
                         .map(|n| n as u64)
-                        .ok_or_else(|| invalid("InputSandboxSizes entries must be non-negative integers"))
+                        .ok_or_else(|| {
+                            invalid("InputSandboxSizes entries must be non-negative integers")
+                        })
                 })
                 .collect::<Result<_, _>>()?,
             Some(other) => {
@@ -320,7 +321,11 @@ fn parse_job_type(ad: &Ad) -> Result<(Interactivity, Parallelism), JobError> {
                     .ok_or_else(|| invalid(format!("JobType entries must be strings, got {i}")))
             })
             .collect::<Result<_, _>>()?,
-        other => return Err(invalid(format!("JobType must be a string or list, got {other}"))),
+        other => {
+            return Err(invalid(format!(
+                "JobType must be a string or list, got {other}"
+            )))
+        }
     };
     for item in items {
         match item.to_ascii_lowercase().as_str() {
@@ -391,10 +396,16 @@ mod tests {
 
     #[test]
     fn performance_loss_must_be_multiple_of_five() {
-        for (pl, ok) in [(0, true), (5, true), (100, true), (3, false), (105, false), (-5, false)] {
-            let src = format!(
-                r#"Executable = "app"; JobType = "interactive"; PerformanceLoss = {pl};"#
-            );
+        for (pl, ok) in [
+            (0, true),
+            (5, true),
+            (100, true),
+            (3, false),
+            (105, false),
+            (-5, false),
+        ] {
+            let src =
+                format!(r#"Executable = "app"; JobType = "interactive"; PerformanceLoss = {pl};"#);
             assert_eq!(JobDescription::parse(&src).is_ok(), ok, "PL={pl}");
         }
     }
@@ -422,8 +433,7 @@ mod tests {
 
     #[test]
     fn bad_job_type_rejected() {
-        let err =
-            JobDescription::parse(r#"Executable = "a"; JobType = "weird";"#).unwrap_err();
+        let err = JobDescription::parse(r#"Executable = "a"; JobType = "weird";"#).unwrap_err();
         assert!(err.message.contains("weird"));
         assert!(JobDescription::parse(r#"Executable = "a"; JobType = 3;"#).is_err());
     }
@@ -435,10 +445,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(j.shadow_port, Some(9000));
-        assert!(JobDescription::parse(
-            r#"Executable = "a"; ShadowPort = 70000;"#
-        )
-        .is_err());
+        assert!(JobDescription::parse(r#"Executable = "a"; ShadowPort = 70000;"#).is_err());
         assert!(JobDescription::parse(r#"Executable = "a"; ShadowPort = 0;"#).is_err());
     }
 
@@ -461,23 +468,17 @@ mod tests {
 
     #[test]
     fn sandbox_sizes() {
-        let j = JobDescription::parse(
-            r#"Executable = "a"; InputSandboxSizes = {1000, 2500};"#,
-        )
-        .unwrap();
+        let j = JobDescription::parse(r#"Executable = "a"; InputSandboxSizes = {1000, 2500};"#)
+            .unwrap();
         assert_eq!(j.sandbox_bytes(), 3500);
-        assert!(JobDescription::parse(
-            r#"Executable = "a"; InputSandboxSizes = {-5};"#
-        )
-        .is_err());
+        assert!(JobDescription::parse(r#"Executable = "a"; InputSandboxSizes = {-5};"#).is_err());
     }
 
     #[test]
     fn user_and_runtime() {
-        let j = JobDescription::parse(
-            r#"Executable = "a"; User = "alice"; EstimatedRuntime = 3600;"#,
-        )
-        .unwrap();
+        let j =
+            JobDescription::parse(r#"Executable = "a"; User = "alice"; EstimatedRuntime = 3600;"#)
+                .unwrap();
         assert_eq!(j.user, "alice");
         assert_eq!(j.estimated_runtime_s, Some(3600.0));
     }

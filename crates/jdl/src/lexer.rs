@@ -411,12 +411,18 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(toks(r#""a\"b\n\t\\c""#), vec![Tok::Str("a\"b\n\t\\c".into())]);
+        assert_eq!(
+            toks(r#""a\"b\n\t\\c""#),
+            vec![Tok::Str("a\"b\n\t\\c".into())]
+        );
     }
 
     #[test]
     fn keywords_case_insensitive() {
-        assert_eq!(toks("TRUE False UNDEFINED"), vec![Tok::Bool(true), Tok::Bool(false), Tok::Undefined]);
+        assert_eq!(
+            toks("TRUE False UNDEFINED"),
+            vec![Tok::Bool(true), Tok::Bool(false), Tok::Undefined]
+        );
     }
 
     #[test]
@@ -424,9 +430,23 @@ mod tests {
         assert_eq!(
             toks("== != <= >= < > && || ! + - * / % ? : ."),
             vec![
-                Tok::Eq, Tok::Ne, Tok::Le, Tok::Ge, Tok::Lt, Tok::Gt, Tok::And, Tok::Or,
-                Tok::Not, Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash, Tok::Percent,
-                Tok::Question, Tok::Colon, Tok::Dot
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::And,
+                Tok::Or,
+                Tok::Not,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+                Tok::Question,
+                Tok::Colon,
+                Tok::Dot
             ]
         );
     }

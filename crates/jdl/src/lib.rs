@@ -40,8 +40,6 @@ mod parser;
 
 pub use ast::{Ad, Value};
 pub use expr::{BinOp, Ctx, Cv, EvalError, Expr};
-pub use job::{
-    Interactivity, JobDescription, JobError, MachineAccess, Parallelism, StreamingMode,
-};
+pub use job::{Interactivity, JobDescription, JobError, MachineAccess, Parallelism, StreamingMode};
 pub use lexer::{lex, LexError, Pos, Tok};
 pub use parser::{parse_ad, parse_expr, ParseError};

@@ -291,7 +291,9 @@ impl Parser {
                         }),
                         other => Err(self.error(format!(
                             "expected attribute name after `{name}.`, found {}",
-                            other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                            other
+                                .map(|t| t.to_string())
+                                .unwrap_or_else(|| "end of input".into())
                         ))),
                     }
                 } else {
@@ -352,7 +354,10 @@ mod tests {
         "#,
         )
         .unwrap();
-        assert_eq!(ad.get("Executable").unwrap().as_str(), Some("interactive_mpich-g2_app"));
+        assert_eq!(
+            ad.get("Executable").unwrap().as_str(),
+            Some("interactive_mpich-g2_app")
+        );
         assert_eq!(ad.get("NodeNumber").unwrap().as_i64(), Some(2));
         let jt = ad.get("JobType").unwrap().as_list().unwrap();
         assert_eq!(jt.len(), 2);
@@ -374,8 +379,14 @@ mod tests {
             panic!("Requirements should stay an expression")
         };
         let mut machine = Ad::new();
-        machine.set_str("Arch", "i686").set_int("FreeCpus", 3).set_double("LoadAvg", 0.5);
-        let ctx = Ctx { own: &ad, other: &machine };
+        machine
+            .set_str("Arch", "i686")
+            .set_int("FreeCpus", 3)
+            .set_double("LoadAvg", 0.5);
+        let ctx = Ctx {
+            own: &ad,
+            other: &machine,
+        };
         assert!(req.eval_requirement(ctx).unwrap());
         let Value::Expr(rank) = ad.get("Rank").unwrap() else {
             panic!()
@@ -387,7 +398,10 @@ mod tests {
     fn precedence_is_conventional() {
         let e = parse_expr("1 + 2 * 3 == 7 && true").unwrap();
         let empty = Ad::new();
-        let ctx = Ctx { own: &empty, other: &empty };
+        let ctx = Ctx {
+            own: &empty,
+            other: &empty,
+        };
         assert_eq!(e.eval(ctx).unwrap(), Cv::Val(Value::Bool(true)));
         let e = parse_expr("(1 + 2) * 3").unwrap();
         assert_eq!(e.eval(ctx).unwrap(), Cv::Val(Value::Int(9)));
@@ -402,7 +416,11 @@ mod tests {
         let e = parse_expr("!!true").unwrap();
         let empty = Ad::new();
         assert_eq!(
-            e.eval(Ctx { own: &empty, other: &empty }).unwrap(),
+            e.eval(Ctx {
+                own: &empty,
+                other: &empty
+            })
+            .unwrap(),
             Cv::Val(Value::Bool(true))
         );
     }
@@ -434,7 +452,11 @@ mod tests {
         let e = parse_expr("true ? 1 : 2").unwrap();
         let empty = Ad::new();
         assert_eq!(
-            e.eval(Ctx { own: &empty, other: &empty }).unwrap(),
+            e.eval(Ctx {
+                own: &empty,
+                other: &empty
+            })
+            .unwrap(),
             Cv::Val(Value::Int(1))
         );
     }
@@ -460,7 +482,12 @@ mod tests {
         job.set_int("NodeNumber", 2);
         let mut machine = Ad::new();
         machine.set_int("FreeCpus", 2);
-        assert!(e.eval_requirement(Ctx { own: &job, other: &machine }).unwrap());
+        assert!(e
+            .eval_requirement(Ctx {
+                own: &job,
+                other: &machine
+            })
+            .unwrap());
     }
 
     #[test]

@@ -33,16 +33,19 @@ fn value_strategy() -> impl Strategy<Value = Value> {
 fn int_expr_strategy() -> impl Strategy<Value = Expr> {
     let leaf = (-1000i64..1000).prop_map(Expr::Int);
     leaf.prop_recursive(4, 32, 2, |inner| {
-        (inner.clone(), inner, prop::sample::select(vec!["+", "-", "*"])).prop_map(
-            |(a, b, op)| {
+        (
+            inner.clone(),
+            inner,
+            prop::sample::select(vec!["+", "-", "*"]),
+        )
+            .prop_map(|(a, b, op)| {
                 let op = match op {
                     "+" => cg_jdl::BinOp::Add,
                     "-" => cg_jdl::BinOp::Sub,
                     _ => cg_jdl::BinOp::Mul,
                 };
                 Expr::Bin(op, Box::new(a), Box::new(b))
-            },
-        )
+            })
     })
 }
 

@@ -36,7 +36,12 @@ impl FaultSchedule {
 
     /// Periodic outages: down for `down` every `period`, starting at `first`.
     /// Generates windows up to `horizon`.
-    pub fn periodic(first: SimTime, period: SimDuration, down: SimDuration, horizon: SimTime) -> Self {
+    pub fn periodic(
+        first: SimTime,
+        period: SimDuration,
+        down: SimDuration,
+        horizon: SimTime,
+    ) -> Self {
         assert!(down < period, "outage longer than its period");
         let mut windows = Vec::new();
         let mut t = first;
@@ -58,7 +63,9 @@ impl FaultSchedule {
         let mut windows = Vec::new();
         let mut t = SimTime::ZERO + rng.exp(mean_up.as_secs_f64());
         while t < horizon {
-            let down = rng.exp(mean_down.as_secs_f64()).max(SimDuration::from_millis(1));
+            let down = rng
+                .exp(mean_down.as_secs_f64())
+                .max(SimDuration::from_millis(1));
             windows.push((t, t + down));
             t = t + down + rng.exp(mean_up.as_secs_f64());
         }
@@ -164,7 +171,12 @@ mod tests {
         );
         assert_eq!(
             f.windows(),
-            &[(t(100), t(105)), (t(160), t(165)), (t(220), t(225)), (t(280), t(285))]
+            &[
+                (t(100), t(105)),
+                (t(160), t(165)),
+                (t(220), t(225)),
+                (t(280), t(285))
+            ]
         );
         assert_eq!(f.total_downtime(t(300)), SimDuration::from_secs(20));
     }

@@ -261,7 +261,9 @@ mod tests {
         let link = Link::with_faults(LinkProfile::campus(), faults);
         let result = Rc::new(RefCell::new(None));
         let r2 = Rc::clone(&result);
-        link.send(&mut sim, Dir::AToB, 10, move |_, r| *r2.borrow_mut() = Some(r));
+        link.send(&mut sim, Dir::AToB, 10, move |_, r| {
+            *r2.borrow_mut() = Some(r)
+        });
         sim.run();
         assert_eq!(*result.borrow(), Some(Err(NetError::LinkDown)));
         assert_eq!(link.stats().failed, 1);
@@ -274,14 +276,14 @@ mod tests {
         let mut sim = Sim::new(1);
         // Outage begins 1 µs after the send; WAN latency is ms-scale, so the
         // message is in flight when the link dies.
-        let faults = FaultSchedule::from_windows(vec![(
-            SimTime::from_nanos(1_000),
-            SimTime::from_secs(5),
-        )]);
+        let faults =
+            FaultSchedule::from_windows(vec![(SimTime::from_nanos(1_000), SimTime::from_secs(5))]);
         let link = Link::with_faults(LinkProfile::wan_ifca(), faults);
         let result = Rc::new(RefCell::new(None));
         let r2 = Rc::clone(&result);
-        link.send(&mut sim, Dir::AToB, 10_000, move |_, r| *r2.borrow_mut() = Some(r));
+        link.send(&mut sim, Dir::AToB, 10_000, move |_, r| {
+            *r2.borrow_mut() = Some(r)
+        });
         sim.run();
         assert_eq!(*result.borrow(), Some(Err(NetError::BrokenMidTransfer)));
     }

@@ -151,7 +151,11 @@ mod tests {
             .map(|_| LinkProfile::campus().one_way(&mut rng, 1000).as_secs_f64())
             .sum();
         let wan: f64 = (0..1000)
-            .map(|_| LinkProfile::wan_ifca().one_way(&mut rng, 1000).as_secs_f64())
+            .map(|_| {
+                LinkProfile::wan_ifca()
+                    .one_way(&mut rng, 1000)
+                    .as_secs_f64()
+            })
             .sum();
         assert!(wan > 10.0 * campus, "wan {wan} campus {campus}");
     }
@@ -160,7 +164,9 @@ mod tests {
     fn wan_has_higher_variance() {
         let mut rng = SimRng::new(3);
         let sd = |p: &LinkProfile, rng: &mut SimRng| {
-            let xs: Vec<f64> = (0..2000).map(|_| p.one_way(rng, 10).as_secs_f64()).collect();
+            let xs: Vec<f64> = (0..2000)
+                .map(|_| p.one_way(rng, 10).as_secs_f64())
+                .collect();
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
             (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
         };

@@ -47,7 +47,10 @@ impl Topology {
 
     /// The host's registered name.
     pub fn host_name(&self, id: HostId) -> &str {
-        self.names.get(&id).map(String::as_str).unwrap_or("<unknown>")
+        self.names
+            .get(&id)
+            .map(String::as_str)
+            .unwrap_or("<unknown>")
     }
 
     /// Wires two hosts with a fresh fault-free link of the given profile.

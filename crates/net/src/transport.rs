@@ -171,10 +171,16 @@ mod tests {
         let link = Link::new(LinkProfile::wan_ifca());
         let done = Rc::new(RefCell::new(None));
         let d = Rc::clone(&done);
-        Session::connect(&mut sim, link, Dir::AToB, HandshakeProfile::tcp(), move |sim, r| {
-            assert!(r.is_ok());
-            *d.borrow_mut() = Some(sim.now());
-        });
+        Session::connect(
+            &mut sim,
+            link,
+            Dir::AToB,
+            HandshakeProfile::tcp(),
+            move |sim, r| {
+                assert!(r.is_ok());
+                *d.borrow_mut() = Some(sim.now());
+            },
+        );
         sim.run();
         let t = done.borrow().unwrap().as_secs_f64();
         // 3 legs ≈ 1.5 RTT ≈ 42 ms on the IFCA path (+ jitter + cpu).
@@ -208,9 +214,15 @@ mod tests {
         let link = Link::with_faults(LinkProfile::campus(), faults);
         let result = Rc::new(RefCell::new(None));
         let r = Rc::clone(&result);
-        Session::connect(&mut sim, link, Dir::AToB, HandshakeProfile::tcp(), move |_, res| {
-            *r.borrow_mut() = Some(res.map(|_| ()));
-        });
+        Session::connect(
+            &mut sim,
+            link,
+            Dir::AToB,
+            HandshakeProfile::tcp(),
+            move |_, res| {
+                *r.borrow_mut() = Some(res.map(|_| ()));
+            },
+        );
         sim.run();
         assert_eq!(*result.borrow(), Some(Err(NetError::LinkDown)));
     }
@@ -221,22 +233,31 @@ mod tests {
         let link = Link::new(LinkProfile::campus());
         let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
         let log2 = Rc::clone(&log);
-        Session::connect(&mut sim, link, Dir::AToB, HandshakeProfile::tcp(), move |sim, r| {
-            let s = r.unwrap();
-            let s2 = s.clone();
-            let log3 = Rc::clone(&log2);
-            s.send(sim, 100, move |sim, r| {
-                r.unwrap();
-                log3.borrow_mut().push("request-at-server");
-                let log4 = Rc::clone(&log3);
-                s2.send_back(sim, 200, move |_, r| {
+        Session::connect(
+            &mut sim,
+            link,
+            Dir::AToB,
+            HandshakeProfile::tcp(),
+            move |sim, r| {
+                let s = r.unwrap();
+                let s2 = s.clone();
+                let log3 = Rc::clone(&log2);
+                s.send(sim, 100, move |sim, r| {
                     r.unwrap();
-                    log4.borrow_mut().push("response-at-client");
+                    log3.borrow_mut().push("request-at-server");
+                    let log4 = Rc::clone(&log3);
+                    s2.send_back(sim, 200, move |_, r| {
+                        r.unwrap();
+                        log4.borrow_mut().push("response-at-client");
+                    });
                 });
-            });
-        });
+            },
+        );
         sim.run();
-        assert_eq!(*log.borrow(), vec!["request-at-server", "response-at-client"]);
+        assert_eq!(
+            *log.borrow(),
+            vec!["request-at-server", "response-at-client"]
+        );
     }
 
     #[test]
@@ -269,9 +290,17 @@ mod tests {
         let link = Link::with_faults(LinkProfile::campus(), faults);
         let result = Rc::new(RefCell::new(None));
         let r = Rc::clone(&result);
-        rpc_call(&mut sim, &link, Dir::AToB, 10, 10, SimDuration::ZERO, move |_, res| {
-            *r.borrow_mut() = Some(res);
-        });
+        rpc_call(
+            &mut sim,
+            &link,
+            Dir::AToB,
+            10,
+            10,
+            SimDuration::ZERO,
+            move |_, res| {
+                *r.borrow_mut() = Some(res);
+            },
+        );
         sim.run();
         assert_eq!(*result.borrow(), Some(Err(NetError::LinkDown)));
     }

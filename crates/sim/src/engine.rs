@@ -321,7 +321,10 @@ mod tests {
             let f = Rc::clone(&fired);
             sim.schedule_in(SimDuration::from_secs(s), move |_| *f.borrow_mut() += 1);
         }
-        assert_eq!(sim.run_until(SimTime::from_secs(2)), RunOutcome::HorizonReached);
+        assert_eq!(
+            sim.run_until(SimTime::from_secs(2)),
+            RunOutcome::HorizonReached
+        );
         assert_eq!(*fired.borrow(), 2);
         assert_eq!(sim.now(), SimTime::from_secs(2));
         assert_eq!(sim.run(), RunOutcome::Drained);

@@ -165,7 +165,13 @@ mod tests {
         let res = Resource::new(2);
         let log = Rc::new(RefCell::new(Vec::new()));
         for tag in 0..4 {
-            spawn_job(&mut sim, &res, tag, SimDuration::from_secs(10), Rc::clone(&log));
+            spawn_job(
+                &mut sim,
+                &res,
+                tag,
+                SimDuration::from_secs(10),
+                Rc::clone(&log),
+            );
         }
         assert_eq!(res.queue_len(), 2);
         sim.run();
@@ -186,7 +192,13 @@ mod tests {
         let res = Resource::new(1);
         let log = Rc::new(RefCell::new(Vec::new()));
         for tag in 0..5 {
-            spawn_job(&mut sim, &res, tag, SimDuration::from_secs(1), Rc::clone(&log));
+            spawn_job(
+                &mut sim,
+                &res,
+                tag,
+                SimDuration::from_secs(1),
+                Rc::clone(&log),
+            );
         }
         sim.run();
         let order: Vec<u32> = log.borrow().iter().map(|&(t, _)| t).collect();

@@ -109,7 +109,10 @@ impl SimRng {
 
     /// Pareto with scale `xm` and shape `alpha` (heavy-tailed sizes).
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         let u = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
         xm / u.powf(1.0 / alpha)
     }
@@ -227,7 +230,10 @@ mod tests {
         assert!(!rng.chance(-0.5));
         assert!(rng.chance(1.5));
         let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
-        assert!((2_700..3_300).contains(&hits), "chance(0.3) hit {hits}/10000");
+        assert!(
+            (2_700..3_300).contains(&hits),
+            "chance(0.3) hit {hits}/10000"
+        );
     }
 
     #[test]

@@ -112,7 +112,9 @@ pub struct SampleSet {
 impl SampleSet {
     /// An empty set.
     pub fn new() -> Self {
-        SampleSet { samples: Vec::new() }
+        SampleSet {
+            samples: Vec::new(),
+        }
     }
 
     /// Records one observation.
@@ -154,8 +156,7 @@ impl SampleSet {
             return 0.0;
         }
         let mean = self.mean();
-        (self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / self.samples.len() as f64)
+        (self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / self.samples.len() as f64)
             .sqrt()
     }
 

@@ -301,7 +301,11 @@ mod tests {
         sandbox: u64,
     ) -> (Vec<(String, f64)>, Lrms) {
         let mut sim = Sim::new(42);
-        let lrms = Lrms::new(Policy::Fifo, free_nodes.max(1), SimDuration::from_millis(1500));
+        let lrms = Lrms::new(
+            Policy::Fifo,
+            free_nodes.max(1),
+            SimDuration::from_millis(1500),
+        );
         if free_nodes == 0 {
             // Occupy the single node with a long batch job.
             lrms.submit(
@@ -329,7 +333,10 @@ mod tests {
     #[test]
     fn idle_site_submission_lands_in_globus_era_range() {
         let (log, _) = submit_one(LinkProfile::campus(), 4, 1_000_000);
-        let started = log.iter().find(|(t, _)| t == "started").expect("job started");
+        let started = log
+            .iter()
+            .find(|(t, _)| t == "started")
+            .expect("job started");
         // GSI + jobmanager fork + 2PC + staging + dispatch: several seconds,
         // the order of magnitude Table I reports for the middleware path.
         assert!(
@@ -357,7 +364,10 @@ mod tests {
         let (log, _) = submit_one(LinkProfile::campus(), 2, 0);
         let finished = log.iter().find(|(t, _)| t == "finished").expect("finished");
         let started = log.iter().find(|(t, _)| t == "started").unwrap();
-        assert!((finished.1 - started.1 - 60.0).abs() < 1.0, "runtime ≈ 60 s");
+        assert!(
+            (finished.1 - started.1 - 60.0).abs() < 1.0,
+            "runtime ≈ 60 s"
+        );
     }
 
     #[test]
@@ -379,7 +389,11 @@ mod tests {
             logging(Rc::clone(&log)),
         );
         sim.run();
-        assert!(log.borrow()[0].0.starts_with("failed:"), "{:?}", log.borrow());
+        assert!(
+            log.borrow()[0].0.starts_with("failed:"),
+            "{:?}",
+            log.borrow()
+        );
     }
 
     #[test]

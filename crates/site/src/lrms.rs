@@ -116,6 +116,8 @@ struct Inner {
     /// actually starting on the node (fork, image activation).
     dispatch_latency: SimDuration,
     stats: LrmsStats,
+    /// Lifecycle event sink and this scheduler's site label.
+    trace: Option<(cg_trace::EventLog, String)>,
 }
 
 /// A local batch scheduler handle. Clones share state.
@@ -141,7 +143,20 @@ impl Lrms {
                 next_seq: 0,
                 dispatch_latency,
                 stats: LrmsStats::default(),
+                trace: None,
             })),
+        }
+    }
+
+    /// Routes this scheduler's queue/start/finish/kill transitions into
+    /// `log`, labelled with `site`.
+    pub fn set_trace(&self, log: cg_trace::EventLog, site: impl Into<String>) {
+        self.inner.borrow_mut().trace = Some((log, site.into()));
+    }
+
+    fn trace_event(&self, sim: &Sim, make: impl FnOnce(&str) -> cg_trace::Event) {
+        if let Some((log, site)) = &self.inner.borrow().trace {
+            log.record(sim.now(), make(site));
         }
     }
 
@@ -169,6 +184,10 @@ impl Lrms {
             seq,
         });
         drop(inner);
+        self.trace_event(sim, |site| cg_trace::Event::LrmsQueued {
+            site: site.to_string(),
+            job: id.0,
+        });
         let cb = Rc::clone(&callback);
         sim.schedule_now(move |sim| cb(sim, id, &LrmsEvent::Queued));
         let this = self.clone();
@@ -192,6 +211,11 @@ impl Lrms {
                 let q = inner.queue.remove(pos).expect("position was valid");
                 inner.stats.killed += 1;
                 drop(inner);
+                self.trace_event(sim, |site| cg_trace::Event::LrmsKilled {
+                    site: site.to_string(),
+                    job: id.0,
+                    reason: reason.clone(),
+                });
                 let cb = q.callback;
                 sim.schedule_now(move |sim| cb(sim, id, &LrmsEvent::Killed { reason }));
                 return true;
@@ -207,7 +231,12 @@ impl Lrms {
 
     /// Free nodes right now.
     pub fn free_nodes(&self) -> usize {
-        self.inner.borrow().node_busy.iter().filter(|b| !**b).count()
+        self.inner
+            .borrow()
+            .node_busy
+            .iter()
+            .filter(|b| !**b)
+            .count()
     }
 
     /// Total nodes.
@@ -255,6 +284,17 @@ impl Lrms {
         for ev in [job.finish_event, job.kill_event].into_iter().flatten() {
             sim.cancel(ev);
         }
+        self.trace_event(sim, |site| match &kill_reason {
+            Some(reason) => cg_trace::Event::LrmsKilled {
+                site: site.to_string(),
+                job: id.0,
+                reason: reason.clone(),
+            },
+            None => cg_trace::Event::LrmsFinished {
+                site: site.to_string(),
+                job: id.0,
+            },
+        });
         let cb = job.callback;
         let event = match kill_reason {
             Some(reason) => LrmsEvent::Killed { reason },
@@ -354,6 +394,11 @@ impl Lrms {
                         kill_event,
                     },
                 );
+                this.trace_event(sim, |site| cg_trace::Event::LrmsStarted {
+                    site: site.to_string(),
+                    job: id.0,
+                    nodes: node_list.len() as u32,
+                });
                 callback(sim, id, &LrmsEvent::Started { nodes: node_list });
             });
         }
@@ -405,7 +450,11 @@ mod tests {
         let mut sim = Sim::new(1);
         let lrms = Lrms::new(Policy::Fifo, 2, SimDuration::from_secs(1));
         let log: Log = Rc::new(RefCell::new(Vec::new()));
-        let id = lrms.submit(&mut sim, LocalJobSpec::simple(SimDuration::from_secs(10)), logging_cb(Rc::clone(&log)));
+        let id = lrms.submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(10)),
+            logging_cb(Rc::clone(&log)),
+        );
         sim.run();
         let evs = events_for(&log, id.0);
         assert_eq!(evs[0].0, "queued");
@@ -440,8 +489,16 @@ mod tests {
                 .map(|&(_, at)| at)
                 .unwrap()
         };
-        assert_eq!(run(Policy::Fifo), 10.0, "FIFO: C waits behind the blocked head");
-        assert_eq!(run(Policy::FifoBackfill), 0.0, "backfill: C jumps the blocked head");
+        assert_eq!(
+            run(Policy::Fifo),
+            10.0,
+            "FIFO: C waits behind the blocked head"
+        );
+        assert_eq!(
+            run(Policy::FifoBackfill),
+            0.0,
+            "backfill: C jumps the blocked head"
+        );
     }
 
     #[test]
@@ -532,7 +589,10 @@ mod tests {
         );
         sim.run_until(cg_sim::SimTime::from_secs(5));
         assert!(lrms.kill(&mut sim, victim, "user abort"));
-        assert!(!lrms.kill(&mut sim, LocalJobId(999), "no such"), "unknown id");
+        assert!(
+            !lrms.kill(&mut sim, LocalJobId(999), "no such"),
+            "unknown id"
+        );
         sim.run();
         let evs = events_for(&log, victim.0);
         assert!(evs.iter().all(|(t, _)| t != "started"));
@@ -546,8 +606,16 @@ mod tests {
         let mut sim = Sim::new(1);
         let lrms = Lrms::new(Policy::Fifo, 1, SimDuration::ZERO);
         let log: Log = Rc::new(RefCell::new(Vec::new()));
-        lrms.submit(&mut sim, LocalJobSpec::simple(SimDuration::from_secs(10)), logging_cb(Rc::clone(&log)));
-        lrms.submit(&mut sim, LocalJobSpec::simple(SimDuration::from_secs(10)), logging_cb(Rc::clone(&log)));
+        lrms.submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(10)),
+            logging_cb(Rc::clone(&log)),
+        );
+        lrms.submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(10)),
+            logging_cb(Rc::clone(&log)),
+        );
         sim.run();
         let stats = lrms.stats();
         assert_eq!(stats.wait.count(), 2);
@@ -561,7 +629,11 @@ mod tests {
         let lrms = Lrms::new(Policy::Fifo, 1, SimDuration::ZERO);
         assert!(lrms.accepts_queued_jobs());
         for _ in 0..6 {
-            lrms.submit(&mut sim, LocalJobSpec::simple(SimDuration::from_secs(1_000)), |_, _, _| {});
+            lrms.submit(
+                &mut sim,
+                LocalJobSpec::simple(SimDuration::from_secs(1_000)),
+                |_, _, _| {},
+            );
         }
         sim.run_until(cg_sim::SimTime::from_secs(1));
         // 1 running, 5 queued > 4×1 nodes.

@@ -104,13 +104,21 @@ impl InformationIndex {
         let service = SimDuration::from_secs_f64(inner.query_cpu_s);
         drop(inner);
         let this = self.clone();
-        rpc_call(sim, link, Dir::AToB, 250, resp_bytes, service, move |sim, r| match r {
-            Err(e) => on(sim, Err(e)),
-            Ok(()) => {
-                let records = this.inner.borrow().records.clone();
-                on(sim, Ok(records))
-            }
-        });
+        rpc_call(
+            sim,
+            link,
+            Dir::AToB,
+            250,
+            resp_bytes,
+            service,
+            move |sim, r| match r {
+                Err(e) => on(sim, Err(e)),
+                Ok(()) => {
+                    let records = this.inner.borrow().records.clone();
+                    on(sim, Ok(records))
+                }
+            },
+        );
     }
 
     /// Number of completed refresh cycles.
@@ -146,11 +154,8 @@ mod tests {
     fn index_snapshots_go_stale_until_refresh() {
         let mut sim = Sim::new(1);
         let site = test_site(&mut sim, "uab", 2);
-        let index = InformationIndex::start(
-            &mut sim,
-            vec![site.clone()],
-            SimDuration::from_secs(300),
-        );
+        let index =
+            InformationIndex::start(&mut sim, vec![site.clone()], SimDuration::from_secs(300));
         // Initial snapshot: 2 free CPUs.
         assert_eq!(
             index.snapshot()[0].ad.get("FreeCpus").unwrap(),
@@ -195,7 +200,10 @@ mod tests {
         });
         sim.run_until(SimTime::from_secs(10));
         let t = done.borrow().unwrap();
-        assert!((0.2..0.9).contains(&t), "discovery took {t}s, expected ~0.5");
+        assert!(
+            (0.2..0.9).contains(&t),
+            "discovery took {t}s, expected ~0.5"
+        );
     }
 
     #[test]
@@ -208,7 +216,9 @@ mod tests {
         let link = Link::with_faults(LinkProfile::wan_mds(), faults);
         let got = Rc::new(RefCell::new(None));
         let g = Rc::clone(&got);
-        index.query(&mut sim, &link, move |_, r| *g.borrow_mut() = Some(r.is_err()));
+        index.query(&mut sim, &link, move |_, r| {
+            *g.borrow_mut() = Some(r.is_err())
+        });
         sim.run_until(SimTime::from_secs(50));
         assert_eq!(*got.borrow(), Some(true));
     }

@@ -143,8 +143,11 @@ mod tests {
         assert_eq!(ad.get("Site").unwrap().as_str(), Some("uab"));
         assert_eq!(ad.get("Tags").unwrap().as_list().unwrap().len(), 2);
 
-        site.lrms()
-            .submit(&mut sim, LocalJobSpec::simple(SimDuration::from_secs(100)), |_, _, _| {});
+        site.lrms().submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(100)),
+            |_, _, _| {},
+        );
         sim.run_until(cg_sim::SimTime::from_secs(10));
         assert_eq!(site.machine_ad().get("FreeCpus").unwrap().as_i64(), Some(2));
     }
@@ -170,7 +173,12 @@ mod tests {
             own: &job.ad,
             other: &machine,
         };
-        assert!(job.requirements.as_ref().unwrap().eval_requirement(ctx).unwrap());
+        assert!(job
+            .requirements
+            .as_ref()
+            .unwrap()
+            .eval_requirement(ctx)
+            .unwrap());
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property tests on the local resource manager: allocation safety and
 //! conservation under arbitrary job mixes.
 
-use cg_site::{LocalJobSpec, Lrms, LrmsEvent, Policy};
 use cg_sim::{Sim, SimDuration, SimTime};
+use cg_site::{LocalJobSpec, Lrms, LrmsEvent, Policy};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -22,14 +22,14 @@ struct JobSpec {
 
 fn jobs_strategy() -> impl Strategy<Value = Vec<JobSpec>> {
     prop::collection::vec(
-        (1u32..4, 1u64..500, -5i64..5, 0u64..1_000).prop_map(|(nodes, runtime, priority, arrival)| {
-            JobSpec {
+        (1u32..4, 1u64..500, -5i64..5, 0u64..1_000).prop_map(
+            |(nodes, runtime, priority, arrival)| JobSpec {
                 nodes,
                 runtime,
                 priority,
                 arrival,
-            }
-        }),
+            },
+        ),
         1..25,
     )
 }

@@ -1,0 +1,255 @@
+//! Whole-stream protocol invariants.
+//!
+//! These encode cross-layer rules no single component can check for
+//! itself: the broker grants leases, agents dispatch, the fair-share
+//! engine restores priorities, and only the merged event stream shows
+//! whether the handshakes actually happened in order.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::event::{Event, TimedEvent};
+
+/// Checks the event stream (oldest first) against the broker-stack
+/// protocol invariants; returns one human-readable line per violation
+/// (empty = clean).
+///
+/// 1. **Dispatch after lease** — every `JobDispatched` is preceded by a
+///    `LeaseGranted` for the same job; the broker never ships a job
+///    without first claiming a target.
+/// 2. **Single terminal state** — no job sees more than one of
+///    `JobFinished` / `JobFailed` / `JobCancelled`.
+/// 3. **Ack within append** — per stream, a `SpoolAck` sequence never
+///    exceeds the highest `SpoolAppend` seen, so the reliable console
+///    never acknowledges data that was never written.
+/// 4. **Priority restored** — for every `BatchYielded` whose interactive
+///    job later departs (reaches a terminal state inside the stream),
+///    a matching `BatchRestored` / `AgentBatchFinished` / `AgentDied`
+///    follows the yield: an interactive departure always hands the CPU
+///    back to the batch job it demoted.
+///
+/// The caller should pass a snapshot whose ring has not dropped events
+/// ([`crate::EventLog::dropped`] == 0); on a truncated stream the checker
+/// can report spurious lease/yield violations.
+pub fn check_invariants(events: &[TimedEvent]) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    // 1 + 2: single forward pass.
+    let mut leased: HashSet<u64> = HashSet::new();
+    let mut terminal: HashMap<u64, &'static str> = HashMap::new();
+    // 3: per-stream high-water marks.
+    let mut appended: HashMap<&str, u64> = HashMap::new();
+    for ev in events {
+        match &ev.event {
+            Event::LeaseGranted { job, .. } => {
+                leased.insert(*job);
+            }
+            Event::JobDispatched { job, target } if !leased.contains(job) => {
+                violations.push(format!(
+                    "job {job} dispatched to {target} at {}s without a prior lease",
+                    ev.at.as_secs_f64()
+                ));
+            }
+            Event::JobFinished { job }
+            | Event::JobFailed { job, .. }
+            | Event::JobCancelled { job } => {
+                let kind = ev.event.kind();
+                if let Some(first) = terminal.insert(*job, kind) {
+                    violations.push(format!(
+                        "job {job} reached a second terminal state {kind} at {}s (already {first})",
+                        ev.at.as_secs_f64()
+                    ));
+                }
+            }
+            Event::SpoolAppend { stream, seq } => {
+                let high = appended.entry(stream.as_str()).or_insert(0);
+                *high = (*high).max(*seq);
+            }
+            Event::SpoolAck { stream, seq } => {
+                let high = appended.get(stream.as_str()).copied().unwrap_or(0);
+                if *seq > high {
+                    violations.push(format!(
+                        "stream {stream}: ack of seq {seq} at {}s exceeds highest append {high}",
+                        ev.at.as_secs_f64()
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // 4: for each yield, look ahead for the interactive departure and the
+    // matching restore. Yield counts are tiny next to the stream length,
+    // so the quadratic look-ahead is fine.
+    for (i, ev) in events.iter().enumerate() {
+        let Event::BatchYielded { agent, job, .. } = &ev.event else {
+            continue;
+        };
+        let departed = events[i + 1..].iter().any(|later| {
+            matches!(
+                &later.event,
+                Event::JobFinished { job: j }
+                | Event::JobFailed { job: j, .. }
+                | Event::JobCancelled { job: j } if j == job
+            )
+        });
+        if !departed {
+            continue; // interactive job still running at snapshot time
+        }
+        let restored = events[i + 1..].iter().any(|later| match &later.event {
+            Event::BatchRestored { agent: a, .. }
+            | Event::AgentBatchFinished { agent: a }
+            | Event::AgentDied { agent: a, .. } => a == agent,
+            _ => false,
+        });
+        if !restored {
+            violations.push(format!(
+                "agent {agent}: batch priority never restored after interactive job {job} \
+                 (yielded at {}s) departed",
+                ev.at.as_secs_f64()
+            ));
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cg_sim::SimTime;
+
+    fn stream(events: Vec<Event>) -> Vec<TimedEvent> {
+        events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| TimedEvent {
+                at: SimTime::from_secs(i as u64),
+                seq: i as u64,
+                event,
+            })
+            .collect()
+    }
+
+    fn lease(job: u64) -> Event {
+        Event::LeaseGranted {
+            job,
+            target: "agent:0".into(),
+            until_ns: 0,
+        }
+    }
+
+    fn dispatch(job: u64) -> Event {
+        Event::JobDispatched {
+            job,
+            target: "agent:0".into(),
+        }
+    }
+
+    #[test]
+    fn clean_stream_passes() {
+        let s = stream(vec![
+            Event::JobSubmitted {
+                job: 1,
+                user: "alice".into(),
+                interactive: true,
+            },
+            lease(1),
+            dispatch(1),
+            Event::JobStarted { job: 1 },
+            Event::JobFinished { job: 1 },
+        ]);
+        assert!(check_invariants(&s).is_empty());
+    }
+
+    #[test]
+    fn dispatch_without_lease_is_flagged() {
+        let s = stream(vec![dispatch(1)]);
+        let v = check_invariants(&s);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("without a prior lease"), "{v:?}");
+    }
+
+    #[test]
+    fn lease_after_dispatch_does_not_count() {
+        let s = stream(vec![dispatch(1), lease(1)]);
+        assert_eq!(check_invariants(&s).len(), 1);
+    }
+
+    #[test]
+    fn double_terminal_is_flagged() {
+        let s = stream(vec![
+            Event::JobFinished { job: 2 },
+            Event::JobFailed {
+                job: 2,
+                reason: "late failure".into(),
+            },
+        ]);
+        let v = check_invariants(&s);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("second terminal state"), "{v:?}");
+    }
+
+    #[test]
+    fn ack_beyond_append_is_flagged_per_stream() {
+        let s = stream(vec![
+            Event::SpoolAppend {
+                stream: "a".into(),
+                seq: 5,
+            },
+            Event::SpoolAck {
+                stream: "a".into(),
+                seq: 5,
+            },
+            Event::SpoolAck {
+                stream: "b".into(),
+                seq: 1,
+            },
+        ]);
+        let v = check_invariants(&s);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("stream b"), "{v:?}");
+    }
+
+    #[test]
+    fn yield_without_restore_is_flagged_only_after_departure() {
+        let yielded = Event::BatchYielded {
+            agent: 3,
+            job: 9,
+            performance_loss: 20,
+        };
+        // Interactive still running: no violation.
+        let s = stream(vec![yielded.clone()]);
+        assert!(check_invariants(&s).is_empty());
+        // Departed without restore: violation.
+        let s = stream(vec![yielded.clone(), Event::JobFinished { job: 9 }]);
+        assert_eq!(check_invariants(&s).len(), 1);
+        // Restored before departure: clean.
+        let s = stream(vec![
+            yielded.clone(),
+            Event::BatchRestored { agent: 3, job: 9 },
+            Event::JobFinished { job: 9 },
+        ]);
+        assert!(check_invariants(&s).is_empty());
+        // Batch finished while yielded also closes the yield.
+        let s = stream(vec![
+            yielded.clone(),
+            Event::AgentBatchFinished { agent: 3 },
+            Event::JobFinished { job: 9 },
+        ]);
+        assert!(check_invariants(&s).is_empty());
+        // Agent death closes it too.
+        let s = stream(vec![
+            yielded,
+            Event::AgentDied {
+                agent: 3,
+                reason: "walltime exceeded".into(),
+                voluntary: false,
+            },
+            Event::JobFailed {
+                job: 9,
+                reason: "agent died".into(),
+            },
+        ]);
+        assert!(check_invariants(&s).is_empty());
+    }
+}

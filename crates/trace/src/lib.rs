@@ -1,0 +1,36 @@
+//! # cg-trace — lifecycle event log & metrics for the CrossBroker stack
+//!
+//! Every layer of the broker (matchmaking, leases, glide-in agents, VM
+//! slots, fair-share, the Grid Console, site LRMSes) emits typed,
+//! sim-timestamped [`Event`]s into a shared ring-buffered [`EventLog`].
+//! The log is cheap enough to leave on everywhere: recording is one mutex
+//! lock plus an enum push, and the ring bound caps memory no matter how
+//! long a simulation runs.
+//!
+//! On top of the raw stream sit three consumers:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges and sample-backed
+//!   histograms (built on [`cg_sim::OnlineStats`] / [`cg_sim::SampleSet`]).
+//!   An [`EventLog`] wired to a registry counts every event kind
+//!   automatically under `events.<Kind>`.
+//! * JSONL export — [`EventLog::to_jsonl`] renders one JSON object per
+//!   line for offline analysis; [`dump_jsonl_env`] writes it to the path
+//!   named by an environment variable so every bench binary can opt in
+//!   without new flags.
+//! * [`check_invariants`] — a whole-stream checker for cross-layer
+//!   protocol rules (dispatch-after-lease, single terminal state, spool
+//!   ack ≤ append, batch priority restored after interactive departure).
+//!
+//! The log is `Send + Sync + Clone` (clones share the buffer), so the real
+//! threaded Grid Console transport can feed the same stream as the
+//! single-threaded simulation side.
+
+mod event;
+mod invariants;
+mod log;
+mod metrics;
+
+pub use event::{json_escape, Event, TimedEvent};
+pub use invariants::check_invariants;
+pub use log::{dump_jsonl_env, EventLog};
+pub use metrics::MetricsRegistry;

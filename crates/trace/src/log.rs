@@ -1,0 +1,275 @@
+//! The shared, bounded event log.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use cg_sim::SimTime;
+
+use crate::event::{Event, TimedEvent};
+use crate::metrics::MetricsRegistry;
+
+struct LogInner {
+    ring: VecDeque<TimedEvent>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    metrics: Option<MetricsRegistry>,
+}
+
+/// A ring-buffered lifecycle event log.
+///
+/// Clones share the same buffer, so one log can be threaded through the
+/// broker, agents, consoles and sites and read back in a single snapshot.
+/// The ring keeps the newest `capacity` events; `dropped()` counts how many
+/// older ones were evicted (sequence numbers stay gap-free regardless).
+#[derive(Clone)]
+pub struct EventLog {
+    inner: Arc<Mutex<LogInner>>,
+}
+
+impl EventLog {
+    /// Creates a log keeping at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            inner: Arc::new(Mutex::new(LogInner {
+                ring: VecDeque::new(),
+                capacity: capacity.max(1),
+                next_seq: 0,
+                dropped: 0,
+                metrics: None,
+            })),
+        }
+    }
+
+    /// Creates a log that also bumps `events.<Kind>` counters in `metrics`
+    /// for every recorded event.
+    pub fn with_metrics(capacity: usize, metrics: MetricsRegistry) -> Self {
+        let log = EventLog::new(capacity);
+        log.lock().metrics = Some(metrics);
+        log
+    }
+
+    fn lock(&self) -> MutexGuard<'_, LogInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends an event at sim time `at`.
+    pub fn record(&self, at: SimTime, event: Event) {
+        let mut inner = self.lock();
+        if let Some(metrics) = &inner.metrics {
+            metrics.inc(&format!("events.{}", event.kind()));
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        inner.ring.push_back(TimedEvent { at, seq, event });
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TimedEvent> {
+        self.lock().ring.iter().cloned().collect()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.lock().ring.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.lock().ring.is_empty()
+    }
+
+    /// Events evicted by the ring bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Total events ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// Discards all retained events (sequence numbering continues).
+    pub fn clear(&self) {
+        self.lock().ring.clear();
+    }
+
+    /// Renders the retained events as JSON Lines, one object per event.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.lock().ring.iter() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("EventLog")
+            .field("len", &inner.ring.len())
+            .field("capacity", &inner.capacity)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+/// Writes `log` as JSONL to the file named by the environment variable
+/// `env_var`, if set. Returns the path written, `None` when the variable is
+/// unset or empty. Bench binaries call this after their run so
+/// `CG_TRACE_JSONL=out.jsonl cargo run --bin …` captures the event stream
+/// with no extra flags.
+pub fn dump_jsonl_env(log: &EventLog, env_var: &str) -> Option<std::path::PathBuf> {
+    let path = std::env::var(env_var).ok().filter(|p| !p.is_empty())?;
+    let path = std::path::PathBuf::from(path);
+    if let Err(e) = std::fs::write(&path, log.to_jsonl()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+        return None;
+    }
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(job: u64) -> Event {
+        Event::JobStarted { job }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let log = EventLog::new(3);
+        for i in 0..5 {
+            log.record(SimTime::from_secs(i), ev(i));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.recorded(), 5);
+        let snap = log.snapshot();
+        assert_eq!(snap[0].seq, 2, "oldest retained is the third event");
+        assert_eq!(snap[2].seq, 4);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let log = EventLog::new(16);
+        let clone = log.clone();
+        clone.record(SimTime::ZERO, ev(1));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn metrics_count_event_kinds() {
+        let metrics = MetricsRegistry::new();
+        let log = EventLog::with_metrics(16, metrics.clone());
+        log.record(SimTime::ZERO, ev(1));
+        log.record(SimTime::ZERO, ev(2));
+        log.record(SimTime::ZERO, Event::JobFinished { job: 1 });
+        assert_eq!(metrics.counter("events.JobStarted"), 2);
+        assert_eq!(metrics.counter("events.JobFinished"), 1);
+    }
+
+    #[test]
+    fn threads_can_record_concurrently() {
+        let log = EventLog::new(1024);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let log = log.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        log.record(SimTime::from_nanos(i), ev(t));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 400);
+        // Sequence numbers are unique even under contention.
+        let mut seqs: Vec<u64> = log.snapshot().iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 400);
+    }
+
+    #[test]
+    fn golden_jsonl_shape() {
+        let log = EventLog::new(16);
+        log.record(
+            SimTime::from_secs(1),
+            Event::JobSubmitted {
+                job: 7,
+                user: "al\"ice".into(),
+                interactive: true,
+            },
+        );
+        log.record(
+            SimTime::from_secs(2),
+            Event::LeaseGranted {
+                job: 7,
+                target: "agent:0".into(),
+                until_ns: 2_500_000_000,
+            },
+        );
+        log.record(
+            SimTime::from_secs(3),
+            Event::Measurement {
+                name: "response_s".into(),
+                value: 2.0,
+            },
+        );
+        let expected = concat!(
+            "{\"at_ns\":1000000000,\"seq\":0,\"event\":\"JobSubmitted\",",
+            "\"job\":7,\"user\":\"al\\\"ice\",\"interactive\":true}\n",
+            "{\"at_ns\":2000000000,\"seq\":1,\"event\":\"LeaseGranted\",",
+            "\"job\":7,\"target\":\"agent:0\",\"until_ns\":2500000000}\n",
+            "{\"at_ns\":3000000000,\"seq\":2,\"event\":\"Measurement\",",
+            "\"name\":\"response_s\",\"value\":2.0}\n",
+        );
+        assert_eq!(log.to_jsonl(), expected);
+    }
+
+    #[test]
+    fn jsonl_lines_are_schema_clean() {
+        // Every line must start with the three envelope fields in order and
+        // be a structurally balanced flat object — a cheap stand-in for a
+        // JSON parser in this no-serde workspace.
+        let log = EventLog::new(64);
+        log.record(SimTime::ZERO, ev(1));
+        log.record(
+            SimTime::from_secs(9),
+            Event::JobFailed {
+                job: 1,
+                reason: "lease expired\n(retry)".into(),
+            },
+        );
+        log.record(
+            SimTime::from_secs(10),
+            Event::BufferFlush {
+                stream: "stdout-r0".into(),
+                reason: "timeout".into(),
+                bytes: 42,
+            },
+        );
+        for line in log.to_jsonl().lines() {
+            assert!(line.starts_with("{\"at_ns\":"), "envelope first: {line}");
+            assert!(line.contains("\"seq\":"), "seq present: {line}");
+            assert!(line.contains("\"event\":\""), "kind present: {line}");
+            assert!(line.ends_with('}'), "closed object: {line}");
+            // Balanced, non-nested braces and an even number of unescaped
+            // quotes mean the object is structurally sound.
+            let bare = line.replace("\\\"", "").replace("\\\\", "");
+            assert_eq!(bare.matches('{').count(), 1, "flat object: {line}");
+            assert_eq!(bare.matches('}').count(), 1, "flat object: {line}");
+            assert_eq!(bare.matches('"').count() % 2, 0, "quotes paired: {line}");
+            assert!(!bare.contains('\n'), "one line per event");
+        }
+    }
+}

@@ -143,20 +143,28 @@ impl Agent {
         let exec_start = SimDuration::from_secs_f64(self.costs.exec_start_s);
         let req = self.costs.submit_req_bytes;
         let link = self.link.clone();
-        rpc_call(sim, &link, Dir::AToB, req, 200, exec_start, move |sim, r| {
-            match r {
-                Err(_) => {
-                    // Direct path failed; the broker's scheduling layer
-                    // handles resubmission. The slot was never taken.
-                    on_done(sim);
+        rpc_call(
+            sim,
+            &link,
+            Dir::AToB,
+            req,
+            200,
+            exec_start,
+            move |sim, r| {
+                match r {
+                    Err(_) => {
+                        // Direct path failed; the broker's scheduling layer
+                        // handles resubmission. The slot was never taken.
+                        on_done(sim);
+                    }
+                    Ok(()) => {
+                        on_started(sim);
+                        // Run on the interactive VM.
+                        let _ = vm.run_interactive(sim, work, performance_loss, on_done);
+                    }
                 }
-                Ok(()) => {
-                    on_started(sim);
-                    // Run on the interactive VM.
-                    let _ = vm.run_interactive(sim, work, performance_loss, on_done);
-                }
-            }
-        });
+            },
+        );
         Ok(())
     }
 
@@ -217,12 +225,9 @@ pub fn deploy_agent(
         carrier,
         costs.binary_bytes,
         move |sim, ev| match ev {
-            GramEvent::Accepted { local_id } => on_event(
-                sim,
-                &AgentEvent::Submitted {
-                    carrier: *local_id,
-                },
-            ),
+            GramEvent::Accepted { local_id } => {
+                on_event(sim, &AgentEvent::Submitted { carrier: *local_id })
+            }
             GramEvent::Queued => on_event(sim, &AgentEvent::Queued),
             GramEvent::Started { nodes } => {
                 let node = nodes.first().copied().unwrap_or(0);
@@ -267,8 +272,8 @@ pub fn deploy_agent(
 mod tests {
     use super::*;
     use cg_net::LinkProfile;
-    use cg_site::{Policy, SiteConfig};
     use cg_sim::SimTime;
+    use cg_site::{Policy, SiteConfig};
 
     type EventLog = Rc<RefCell<Vec<(String, f64)>>>;
 
@@ -281,10 +286,7 @@ mod tests {
         })
     }
 
-    fn deploy_and_run(
-        nodes: usize,
-        busy: bool,
-    ) -> (Sim, Rc<RefCell<Agent>>, EventLog) {
+    fn deploy_and_run(nodes: usize, busy: bool) -> (Sim, Rc<RefCell<Agent>>, EventLog) {
         let mut sim = Sim::new(7);
         let site = make_site(nodes);
         if busy {
@@ -336,7 +338,11 @@ mod tests {
     fn agent_queues_on_busy_site() {
         let (mut sim, agent, log) = deploy_and_run(1, true);
         sim.run_until(SimTime::from_secs(120));
-        assert!(log.borrow().iter().any(|(t, _)| t == "queued"), "{:?}", log.borrow());
+        assert!(
+            log.borrow().iter().any(|(t, _)| t == "queued"),
+            "{:?}",
+            log.borrow()
+        );
         assert!(!agent.borrow().is_alive());
     }
 
@@ -428,9 +434,12 @@ mod tests {
         assert!(lrms.kill(&mut sim, cg_site::LocalJobId(0), "drained"));
         sim.run_until(SimTime::from_secs(240));
         assert!(!agent.borrow().is_alive());
-        assert!(log
-            .borrow()
-            .iter()
-            .any(|(t, _)| t.starts_with("died:drained")), "{:?}", log.borrow());
+        assert!(
+            log.borrow()
+                .iter()
+                .any(|(t, _)| t.starts_with("died:drained")),
+            "{:?}",
+            log.borrow()
+        );
     }
 }

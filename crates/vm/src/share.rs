@@ -112,7 +112,12 @@ impl LoopAppResult {
 }
 
 /// Runs the loop application under the quantum scheduler.
-pub fn run_loop_app(spec: LoopAppSpec, mode: RunMode, config: &ShareConfig, rng: &mut SimRng) -> LoopAppResult {
+pub fn run_loop_app(
+    spec: LoopAppSpec,
+    mode: RunMode,
+    config: &ShareConfig,
+    rng: &mut SimRng,
+) -> LoopAppResult {
     let q = config.quantum.as_secs_f64();
     let (agent_present, pl) = match mode {
         RunMode::Exclusive => (false, 0.0),
@@ -217,9 +222,21 @@ mod tests {
         let r = run_loop_app(LoopAppSpec::paper(), RunMode::Exclusive, &cfg(), &mut rng);
         assert_eq!(r.cpu.len(), 1_000);
         // Paper: mean CPU 0.921 s (σ 0.001), I/O 6.06 ms (σ 6.9e-5).
-        assert!((r.cpu.mean() - 0.921).abs() < 0.001, "cpu mean {}", r.cpu.mean());
-        assert!((r.cpu.std_dev() - 0.001).abs() < 0.0005, "cpu sd {}", r.cpu.std_dev());
-        assert!((r.io.mean() - 0.00606).abs() < 0.0001, "io mean {}", r.io.mean());
+        assert!(
+            (r.cpu.mean() - 0.921).abs() < 0.001,
+            "cpu mean {}",
+            r.cpu.mean()
+        );
+        assert!(
+            (r.cpu.std_dev() - 0.001).abs() < 0.0005,
+            "cpu sd {}",
+            r.cpu.std_dev()
+        );
+        assert!(
+            (r.io.mean() - 0.00606).abs() < 0.0001,
+            "io mean {}",
+            r.io.mean()
+        );
         assert_eq!(r.batch_cpu, 0.0);
     }
 
@@ -242,27 +259,42 @@ mod tests {
     fn pl10_lands_on_the_papers_figure8_numbers() {
         let (r, cpu_loss, io_loss) = measure_loss(
             LoopAppSpec::paper(),
-            RunMode::Shared { performance_loss: 10 },
+            RunMode::Shared {
+                performance_loss: 10,
+            },
             &cfg(),
             42,
         );
         // Paper: CPU 1.004 s (+8–9 %), I/O 6.32 ms (+4–5 %).
-        assert!((r.cpu.mean() - 1.004).abs() < 0.012, "cpu mean {}", r.cpu.mean());
+        assert!(
+            (r.cpu.mean() - 1.004).abs() < 0.012,
+            "cpu mean {}",
+            r.cpu.mean()
+        );
         assert!((0.06..0.11).contains(&cpu_loss), "cpu loss {cpu_loss}");
         assert!((0.02..0.07).contains(&io_loss), "io loss {io_loss}");
-        assert!(cpu_loss < 0.10 + 1e-9, "measured loss stays at or below nominal PL");
+        assert!(
+            cpu_loss < 0.10 + 1e-9,
+            "measured loss stays at or below nominal PL"
+        );
     }
 
     #[test]
     fn pl25_lands_on_the_papers_figure8_numbers() {
         let (r, cpu_loss, io_loss) = measure_loss(
             LoopAppSpec::paper(),
-            RunMode::Shared { performance_loss: 25 },
+            RunMode::Shared {
+                performance_loss: 25,
+            },
             &cfg(),
             42,
         );
         // Paper: CPU 1.132 s (+22 %), I/O 6.61 ms (+10 %).
-        assert!((r.cpu.mean() - 1.132).abs() < 0.02, "cpu mean {}", r.cpu.mean());
+        assert!(
+            (r.cpu.mean() - 1.132).abs() < 0.02,
+            "cpu mean {}",
+            r.cpu.mean()
+        );
         assert!((0.19..0.25).contains(&cpu_loss), "cpu loss {cpu_loss}");
         assert!((0.07..0.13).contains(&io_loss), "io loss {io_loss}");
     }
@@ -272,7 +304,9 @@ mod tests {
         let mut rng = SimRng::new(3);
         let r = run_loop_app(
             LoopAppSpec::paper(),
-            RunMode::Shared { performance_loss: 25 },
+            RunMode::Shared {
+                performance_loss: 25,
+            },
             &cfg(),
             &mut rng,
         );
@@ -288,7 +322,9 @@ mod tests {
         for pl in [0u8, 5, 10, 15, 25, 50] {
             let (_, cpu_loss, _) = measure_loss(
                 LoopAppSpec::paper(),
-                RunMode::Shared { performance_loss: pl },
+                RunMode::Shared {
+                    performance_loss: pl,
+                },
                 &cfg(),
                 7,
             );
@@ -307,11 +343,16 @@ mod tests {
         for pl in [10u8, 25, 50] {
             let (_, cpu_loss, io_loss) = measure_loss(
                 LoopAppSpec::paper(),
-                RunMode::Shared { performance_loss: pl },
+                RunMode::Shared {
+                    performance_loss: pl,
+                },
                 &cfg(),
                 11,
             );
-            assert!(io_loss < cpu_loss, "pl={pl}: io {io_loss} vs cpu {cpu_loss}");
+            assert!(
+                io_loss < cpu_loss,
+                "pl={pl}: io {io_loss} vs cpu {cpu_loss}"
+            );
         }
     }
 
@@ -320,7 +361,9 @@ mod tests {
         let mut rng = SimRng::new(9);
         let zero = run_loop_app(
             LoopAppSpec::paper(),
-            RunMode::Shared { performance_loss: 0 },
+            RunMode::Shared {
+                performance_loss: 0,
+            },
             &cfg(),
             &mut rng,
         );
@@ -335,13 +378,17 @@ mod tests {
     fn determinism_under_seed() {
         let (a, la, _) = measure_loss(
             LoopAppSpec::paper(),
-            RunMode::Shared { performance_loss: 10 },
+            RunMode::Shared {
+                performance_loss: 10,
+            },
             &cfg(),
             123,
         );
         let (b, lb, _) = measure_loss(
             LoopAppSpec::paper(),
-            RunMode::Shared { performance_loss: 10 },
+            RunMode::Shared {
+                performance_loss: 10,
+            },
             &cfg(),
             123,
         );

@@ -20,6 +20,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use cg_sim::{EventId, Sim, SimDuration, SimTime};
+use cg_trace::{Event, EventLog};
 
 /// Identifies a task within one machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,6 +71,11 @@ struct Inner {
     /// Delivered fraction of nominal share (nice-level approximation).
     share_efficiency: f64,
     next_id: u64,
+    /// Was the batch task throttled by co-resident interactives at the
+    /// last reschedule? Drives the Preempted/Restored trace transitions.
+    batch_throttled: bool,
+    /// Lifecycle event sink and this machine's label.
+    trace: Option<(EventLog, String)>,
 }
 
 /// A worker node split into VM slots. Clones share state.
@@ -88,7 +94,10 @@ impl VmMachine {
     /// A machine allowing `interactive_capacity` concurrent interactive
     /// tasks (the §5.2 "larger degree of multi-programming" extension).
     pub fn with_capacity(share_efficiency: f64, interactive_capacity: usize) -> Self {
-        assert!(interactive_capacity >= 1, "need at least one interactive slot");
+        assert!(
+            interactive_capacity >= 1,
+            "need at least one interactive slot"
+        );
         VmMachine {
             inner: Rc::new(RefCell::new(Inner {
                 batch: None,
@@ -96,7 +105,23 @@ impl VmMachine {
                 interactive_capacity,
                 share_efficiency,
                 next_id: 0,
+                batch_throttled: false,
+                trace: None,
             })),
+        }
+    }
+
+    /// Routes this machine's slot transitions into `log` under `machine`.
+    pub fn set_trace(&self, log: EventLog, machine: impl Into<String>) {
+        self.inner.borrow_mut().trace = Some((log, machine.into()));
+    }
+
+    /// Records a slot event, if tracing is on. Must not be called while
+    /// `inner` is borrowed.
+    fn trace_event(&self, now: SimTime, make: impl FnOnce(&str) -> Event) {
+        let inner = self.inner.borrow();
+        if let Some((log, machine)) = &inner.trace {
+            log.record(now, make(machine));
         }
     }
 
@@ -114,6 +139,10 @@ impl VmMachine {
             }
         }
         let id = self.insert_task(sim, work, 0, true, Box::new(on_done));
+        self.trace_event(sim.now(), |machine| Event::SlotStarted {
+            machine: machine.to_string(),
+            interactive: false,
+        });
         self.reschedule(sim);
         Ok(id)
     }
@@ -134,6 +163,10 @@ impl VmMachine {
             }
         }
         let id = self.insert_task(sim, work, performance_loss, false, Box::new(on_done));
+        self.trace_event(sim.now(), |machine| Event::SlotStarted {
+            machine: machine.to_string(),
+            interactive: true,
+        });
         self.reschedule(sim);
         Ok(id)
     }
@@ -261,7 +294,11 @@ impl VmMachine {
                 .fold(0.0, f64::max);
             eff * max_pl
         };
-        let iv_share_total = if batch_present { 1.0 - batch_share } else { 1.0 };
+        let iv_share_total = if batch_present {
+            1.0 - batch_share
+        } else {
+            1.0
+        };
         let iv_rate = if n_iv == 0 {
             0.0
         } else {
@@ -274,6 +311,14 @@ impl VmMachine {
             t.rate = iv_rate;
         }
 
+        // Trace the throttle transitions ("the original priority of the
+        // batch job is restored").
+        let now_throttled = batch_present && n_iv > 0;
+        let was_throttled = inner.batch_throttled;
+        inner.batch_throttled = now_throttled;
+        let preempted = now_throttled && !was_throttled;
+        let restored = batch_present && was_throttled && !now_throttled;
+
         // 3. Reschedule finish events.
         let this = self.clone();
         let mut plan: Vec<(TaskId, Option<EventId>, f64, f64)> = Vec::new();
@@ -284,6 +329,18 @@ impl VmMachine {
             plan.push((t.id, t.finish_event, t.remaining, t.rate));
         }
         drop(inner);
+        if preempted {
+            let pct = (batch_share * 100.0).round() as u32;
+            self.trace_event(now, |machine| Event::SlotPreempted {
+                machine: machine.to_string(),
+                batch_rate_pct: pct,
+            });
+        }
+        if restored {
+            self.trace_event(now, |machine| Event::SlotRestored {
+                machine: machine.to_string(),
+            });
+        }
         for (id, old_event, remaining, rate) in plan {
             if let Some(ev) = old_event {
                 sim.cancel(ev);
@@ -310,7 +367,8 @@ impl VmMachine {
 
     fn finish(&self, sim: &mut Sim, id: TaskId) {
         let mut inner = self.inner.borrow_mut();
-        let task = if inner.batch.as_ref().is_some_and(|t| t.id == id) {
+        let was_batch = inner.batch.as_ref().is_some_and(|t| t.id == id);
+        let task = if was_batch {
             inner.batch.take()
         } else {
             inner
@@ -321,11 +379,88 @@ impl VmMachine {
         };
         drop(inner);
         let Some(mut task) = task else { return };
+        self.trace_event(sim.now(), |machine| Event::SlotFinished {
+            machine: machine.to_string(),
+            interactive: !was_batch,
+        });
         if let Some(cb) = task.on_done.take() {
             cb(sim);
         }
         // Survivors speed back up ("original priority … restored").
         self.reschedule(sim);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+
+    /// A shared slot emits Started/Preempted/Restored/Finished in order and
+    /// tracing does not perturb the GPS numerics.
+    #[test]
+    fn slot_lifecycle_is_traced() {
+        let mut sim = Sim::new(1);
+        let log = EventLog::new(256);
+        let vm = VmMachine::new(0.5);
+        vm.set_trace(log.clone(), "wn0");
+        vm.run_batch(&mut sim, SimDuration::from_secs(100), |_| {})
+            .unwrap();
+        sim.run_until(SimTime::from_secs(10));
+        vm.run_interactive(&mut sim, SimDuration::from_secs(30), 50, |_| {})
+            .unwrap();
+        sim.run();
+        let kinds: Vec<&str> = log.snapshot().iter().map(|e| e.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "SlotStarted",   // batch
+                "SlotStarted",   // interactive
+                "SlotPreempted", // batch throttled to eff × PL
+                "SlotFinished",  // interactive done
+                "SlotRestored",  // batch back to full rate
+                "SlotFinished",  // batch done
+            ]
+        );
+        let events = log.snapshot();
+        match &events[2].event {
+            Event::SlotPreempted { batch_rate_pct, .. } => {
+                // eff 0.5 × PL 50% = 25% of one CPU.
+                assert_eq!(*batch_rate_pct, 25);
+            }
+            other => panic!("expected SlotPreempted, got {:?}", other.kind()),
+        }
+        // Interactive: 30 s of work at rate 0.75 → finishes 40 s in.
+        assert_eq!(events[3].at, SimTime::from_secs(50));
+        // Batch: 10 s at 1.0 + 40 s at 0.25 = 20 s done; 80 left at 1.0.
+        assert_eq!(events[5].at, SimTime::from_secs(130));
+    }
+
+    /// Cancelling the last interactive restores the batch rate (traced),
+    /// without a Finished event for the cancelled task.
+    #[test]
+    fn cancel_traces_restore_only() {
+        let mut sim = Sim::new(1);
+        let log = EventLog::new(256);
+        let vm = VmMachine::new(0.5);
+        vm.set_trace(log.clone(), "wn1");
+        vm.run_batch(&mut sim, SimDuration::from_secs(1000), |_| {})
+            .unwrap();
+        let iv = vm
+            .run_interactive(&mut sim, SimDuration::from_secs(500), 40, |_| {})
+            .unwrap();
+        sim.run_until(SimTime::from_secs(5));
+        assert!(vm.cancel(&mut sim, iv));
+        let kinds: Vec<&str> = log.snapshot().iter().map(|e| e.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "SlotStarted",
+                "SlotStarted",
+                "SlotPreempted",
+                "SlotRestored"
+            ]
+        );
+        assert_eq!(vm.batch_rate(), Some(1.0));
     }
 }
 
@@ -358,7 +493,8 @@ mod tests {
         let mut sim = Sim::new(1);
         let vm = VmMachine::new(1.0);
         let log: Log = Rc::new(RefCell::new(Vec::new()));
-        vm.run_batch(&mut sim, SimDuration::from_secs(100), done(&log, "batch")).unwrap();
+        vm.run_batch(&mut sim, SimDuration::from_secs(100), done(&log, "batch"))
+            .unwrap();
         assert_eq!(vm.batch_rate(), Some(1.0));
         sim.run();
         assert_eq!(*log.borrow(), vec![("batch", 100.0)]);
@@ -375,7 +511,8 @@ mod tests {
         let mut sim = Sim::new(1);
         let vm = VmMachine::new(1.0);
         let log: Log = Rc::new(RefCell::new(Vec::new()));
-        vm.run_batch(&mut sim, SimDuration::from_secs(100), done(&log, "batch")).unwrap();
+        vm.run_batch(&mut sim, SimDuration::from_secs(100), done(&log, "batch"))
+            .unwrap();
         {
             let vm2 = vm.clone();
             let log2 = Rc::clone(&log);
@@ -398,7 +535,8 @@ mod tests {
         let mut sim = Sim::new(1);
         let vm = VmMachine::new(1.0);
         let log: Log = Rc::new(RefCell::new(Vec::new()));
-        vm.run_batch(&mut sim, SimDuration::from_secs(10), done(&log, "batch")).unwrap();
+        vm.run_batch(&mut sim, SimDuration::from_secs(10), done(&log, "batch"))
+            .unwrap();
         vm.run_interactive(&mut sim, SimDuration::from_secs(100), 0, done(&log, "iv"))
             .unwrap();
         assert_eq!(vm.batch_rate(), Some(0.0));
@@ -414,7 +552,8 @@ mod tests {
         let mut sim = Sim::new(1);
         let vm = VmMachine::new(0.92);
         let log: Log = Rc::new(RefCell::new(Vec::new()));
-        vm.run_batch(&mut sim, SimDuration::from_secs(1_000), done(&log, "b")).unwrap();
+        vm.run_batch(&mut sim, SimDuration::from_secs(1_000), done(&log, "b"))
+            .unwrap();
         vm.run_interactive(&mut sim, SimDuration::from_secs(10), 25, done(&log, "i"))
             .unwrap();
         let rate = vm.batch_rate().unwrap();
@@ -425,7 +564,8 @@ mod tests {
     fn second_interactive_rejected_at_default_capacity() {
         let mut sim = Sim::new(1);
         let vm = VmMachine::new(1.0);
-        vm.run_interactive(&mut sim, SimDuration::from_secs(10), 10, |_| {}).unwrap();
+        vm.run_interactive(&mut sim, SimDuration::from_secs(10), 10, |_| {})
+            .unwrap();
         let err = vm
             .run_interactive(&mut sim, SimDuration::from_secs(10), 10, |_| {})
             .unwrap_err();
@@ -440,8 +580,10 @@ mod tests {
         let log: Log = Rc::new(RefCell::new(Vec::new()));
         // No batch job: two interactive tasks of 50 s work each share the
         // CPU → both finish at 100 s.
-        vm.run_interactive(&mut sim, SimDuration::from_secs(50), 0, done(&log, "a")).unwrap();
-        vm.run_interactive(&mut sim, SimDuration::from_secs(50), 0, done(&log, "b")).unwrap();
+        vm.run_interactive(&mut sim, SimDuration::from_secs(50), 0, done(&log, "a"))
+            .unwrap();
+        vm.run_interactive(&mut sim, SimDuration::from_secs(50), 0, done(&log, "b"))
+            .unwrap();
         sim.run();
         let log = log.borrow();
         assert!((log[0].1 - 100.0).abs() < 1e-6);
@@ -452,9 +594,11 @@ mod tests {
     fn batch_slot_busy_rejected() {
         let mut sim = Sim::new(1);
         let vm = VmMachine::new(1.0);
-        vm.run_batch(&mut sim, SimDuration::from_secs(10), |_| {}).unwrap();
+        vm.run_batch(&mut sim, SimDuration::from_secs(10), |_| {})
+            .unwrap();
         assert_eq!(
-            vm.run_batch(&mut sim, SimDuration::from_secs(10), |_| {}).unwrap_err(),
+            vm.run_batch(&mut sim, SimDuration::from_secs(10), |_| {})
+                .unwrap_err(),
             SlotError::BatchBusy
         );
     }
@@ -464,9 +608,15 @@ mod tests {
         let mut sim = Sim::new(1);
         let vm = VmMachine::new(1.0);
         let log: Log = Rc::new(RefCell::new(Vec::new()));
-        vm.run_batch(&mut sim, SimDuration::from_secs(100), done(&log, "batch")).unwrap();
+        vm.run_batch(&mut sim, SimDuration::from_secs(100), done(&log, "batch"))
+            .unwrap();
         let iv = vm
-            .run_interactive(&mut sim, SimDuration::from_secs(1_000), 10, done(&log, "iv"))
+            .run_interactive(
+                &mut sim,
+                SimDuration::from_secs(1_000),
+                10,
+                done(&log, "iv"),
+            )
             .unwrap();
         sim.run_until(SimTime::from_secs(10));
         assert!(vm.cancel(&mut sim, iv));
@@ -484,7 +634,8 @@ mod tests {
         let mut sim = Sim::new(1);
         let vm = VmMachine::new(1.0);
         let log: Log = Rc::new(RefCell::new(Vec::new()));
-        vm.run_interactive(&mut sim, SimDuration::ZERO, 10, done(&log, "iv")).unwrap();
+        vm.run_interactive(&mut sim, SimDuration::ZERO, 10, done(&log, "iv"))
+            .unwrap();
         sim.run();
         assert_eq!(*log.borrow(), vec![("iv", 0.0)]);
     }

@@ -173,8 +173,12 @@ mod tests {
             shared_fraction: 1.0,
             ..JobMix::default()
         };
-        let arrivals =
-            poisson_arrivals(&mut rng, &mix, SimDuration::from_secs(60), SimTime::from_secs(6_000));
+        let arrivals = poisson_arrivals(
+            &mut rng,
+            &mix,
+            SimDuration::from_secs(60),
+            SimTime::from_secs(6_000),
+        );
         assert!(!arrivals.is_empty());
         assert!(arrivals
             .iter()

@@ -90,10 +90,7 @@ pub fn run_suite(
             out.push(run_pingpong(
                 method,
                 link,
-                &PingPongSpec {
-                    sequences,
-                    payload,
-                },
+                &PingPongSpec { sequences, payload },
                 &mut rng,
             ));
         }
@@ -125,8 +122,7 @@ mod tests {
         let methods = [MethodCosts::fast(), MethodCosts::reliable()];
         let runs = run_suite(&methods, &LinkProfile::campus(), 50, 7);
         assert_eq!(runs.len(), 2 * 4);
-        let payloads: std::collections::BTreeSet<u64> =
-            runs.iter().map(|r| r.payload).collect();
+        let payloads: std::collections::BTreeSet<u64> = runs.iter().map(|r| r.payload).collect();
         assert_eq!(payloads.len(), 4);
     }
 

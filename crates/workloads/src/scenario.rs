@@ -6,8 +6,8 @@
 //! (§6)
 
 use cg_net::{FaultSchedule, HostId, Link, LinkProfile, Topology};
-use cg_site::{NodeSpec, Policy, Site, SiteConfig};
 use cg_sim::SimRng;
+use cg_site::{NodeSpec, Policy, Site, SiteConfig};
 
 /// A wired grid: broker, UI, information index host, and sites.
 pub struct GridScenario {
@@ -227,11 +227,10 @@ mod tests {
         let mut rng = SimRng::new(1);
         let s = crossgrid_testbed(&mut rng, false);
         assert_eq!(s.sites.len(), 18, "18 sites");
-        let countries: std::collections::BTreeSet<&str> = [
-            "es", "pt", "de", "pl", "cy", "gr", "ie", "sk", "nl", "it",
-        ]
-        .into_iter()
-        .collect();
+        let countries: std::collections::BTreeSet<&str> =
+            ["es", "pt", "de", "pl", "cy", "gr", "ie", "sk", "nl", "it"]
+                .into_iter()
+                .collect();
         assert!(countries.len() >= 9, "nine countries");
         let total_nodes: usize = s.sites.iter().map(|(s, _)| s.lrms().total_nodes()).sum();
         assert!(total_nodes >= 80, "realistic pool: {total_nodes}");

@@ -60,8 +60,14 @@ fn main() {
     println!("  started        {}", stats.started);
     println!("  finished       {}", stats.finished);
     println!("  failed         {}", stats.failed);
-    println!("  rejected       {} (fair-share under scarcity)", stats.rejected);
-    println!("  resubmissions  {} (on-line scheduling)", stats.resubmissions);
+    println!(
+        "  rejected       {} (fair-share under scarcity)",
+        stats.rejected
+    );
+    println!(
+        "  resubmissions  {} (on-line scheduling)",
+        stats.resubmissions
+    );
     println!("  agents used    {}", stats.agents_deployed);
 
     let records = broker.records();

@@ -58,14 +58,20 @@ fn main() {
 
     // Wait for all ranks to report in.
     collect_until(&shadow, |log| {
-        (0..RANKS).all(|r| log.iter().any(|(rank, line)| *rank == r && line.contains("online")))
+        (0..RANKS).all(|r| {
+            log.iter()
+                .any(|(rank, line)| *rank == r && line.contains("online"))
+        })
     });
     println!("\nall ranks online — user steers: tolerance=1e-6");
     shadow.send_stdin_line("tolerance=1e-6").unwrap();
 
     let log = collect_until(&shadow, |log| {
         log.iter().any(|(_, line)| line.contains("converged"))
-            && (1..RANKS).all(|r| log.iter().any(|(rank, l)| *rank == r && l.contains("partial")))
+            && (1..RANKS).all(|r| {
+                log.iter()
+                    .any(|(rank, l)| *rank == r && l.contains("partial"))
+            })
     });
 
     for a in agents {
@@ -79,7 +85,8 @@ fn main() {
         println!("  rank{rank} | {}", line.trim_end());
     }
     assert!(
-        log.iter().any(|(r, l)| *r == 0 && l.contains("tolerance=1e-6")),
+        log.iter()
+            .any(|(r, l)| *r == 0 && l.contains("tolerance=1e-6")),
         "rank 0 consumed the broadcast steering input"
     );
     println!("\nsteering reached rank 0 only; all ranks' output fanned into one shadow.");

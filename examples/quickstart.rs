@@ -51,10 +51,7 @@ fn main() {
         "  submission→1st output  {:>8} s   (paper Table I, idle: 17.2 s)",
         fmt(record.submission_s())
     );
-    println!(
-        "  total response time    {:>8} s",
-        fmt(record.response_s())
-    );
+    println!("  total response time    {:>8} s", fmt(record.response_s()));
     assert!(
         matches!(record.state, JobState::Done),
         "the job should have completed"

@@ -32,7 +32,11 @@ fn main() {
 
     // The killable network: a TCP proxy standing in for the flaky WAN.
     let proxy = Proxy::start(shadow.addr());
-    println!("shadow on {}, agent connects via flaky proxy {}", shadow.addr(), proxy.addr);
+    println!(
+        "shadow on {}, agent connects via flaky proxy {}",
+        shadow.addr(),
+        proxy.addr
+    );
 
     let agent = {
         let secret = secret.clone();
@@ -69,7 +73,9 @@ fn main() {
                 ..
             }) => received.push_str(&String::from_utf8_lossy(&data)),
             Ok(ShadowEvent::Exit { .. }) => exited = true,
-            Ok(ShadowEvent::AgentConnected { reconnect: true, .. }) => {
+            Ok(ShadowEvent::AgentConnected {
+                reconnect: true, ..
+            }) => {
                 println!("(agent reconnected and replayed its spool)")
             }
             _ => {}
@@ -133,7 +139,8 @@ impl Proxy {
                         ] {
                             let k2 = Arc::clone(&k);
                             std::thread::spawn(move || {
-                                from.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+                                from.set_read_timeout(Some(Duration::from_millis(50)))
+                                    .unwrap();
                                 let mut buf = [0u8; 4096];
                                 loop {
                                     if k2.load(Ordering::SeqCst) {

@@ -1,0 +1,85 @@
+//! The broker's lifecycle event stream: run two simulated hours of mixed
+//! load, then read back the merged event log, the per-kind counters, the
+//! response-time histogram, and the protocol invariant check.
+//!
+//! ```text
+//! cargo run --release --example trace_stream
+//! CG_TRACE_JSONL=day.jsonl cargo run --release --example trace_stream
+//! ```
+
+use crossgrid::handles_from_scenario;
+use crossgrid::prelude::*;
+use crossgrid::trace::dump_jsonl_env;
+use crossgrid::workloads::{poisson_arrivals, JobMix};
+
+fn main() {
+    let mut sim = Sim::new(0x7ACE);
+    let mut rng = crossgrid::sim::SimRng::new(0x7ACE);
+    let scenario = crossgrid_testbed(&mut rng, false);
+    let broker = CrossBroker::new(
+        &mut sim,
+        handles_from_scenario(&scenario),
+        scenario.mds_link(),
+        BrokerConfig::default(),
+    );
+
+    let horizon = SimTime::from_secs(2 * 3_600);
+    for arrival in poisson_arrivals(
+        &mut rng,
+        &JobMix::default(),
+        SimDuration::from_secs(120),
+        horizon,
+    ) {
+        let broker2 = broker.clone();
+        let job = arrival.job.clone();
+        let runtime = arrival.runtime;
+        sim.schedule_at(arrival.at, move |sim| {
+            broker2.submit(sim, job, runtime);
+        });
+    }
+    sim.run_until(horizon + SimDuration::from_secs(2 * 3_600));
+
+    let log = broker.event_log();
+    let metrics = broker.metrics();
+    println!(
+        "{} events recorded ({} dropped by the ring)",
+        log.recorded(),
+        log.dropped()
+    );
+
+    let mut kinds: Vec<(String, u64)> = metrics
+        .counter_names()
+        .iter()
+        .filter(|n| n.starts_with("events."))
+        .map(|n| (n["events.".len()..].to_string(), metrics.counter(n)))
+        .collect();
+    kinds.sort_by_key(|k| std::cmp::Reverse(k.1));
+    println!("\ntop event kinds:");
+    for (kind, n) in kinds.iter().take(10) {
+        println!("  {n:>6}  {kind}");
+    }
+
+    if let Some(resp) = metrics.histogram_stats("response_s") {
+        println!(
+            "\nresponse time: n={} mean={:.1}s p95={:.1}s",
+            resp.count(),
+            resp.mean(),
+            metrics.percentile("response_s", 95.0).unwrap_or(f64::NAN)
+        );
+    }
+
+    let violations = check_invariants(&log.snapshot());
+    if violations.is_empty() {
+        println!("\ninvariants: clean (dispatch-after-lease, single terminal state, ack≤append, batch restored)");
+    } else {
+        println!("\ninvariants: {} VIOLATIONS", violations.len());
+        for v in &violations {
+            println!("  {v}");
+        }
+        std::process::exit(1);
+    }
+
+    if let Some(path) = dump_jsonl_env(&log, "CG_TRACE_JSONL") {
+        println!("JSONL written to {}", path.display());
+    }
+}

@@ -314,7 +314,9 @@ fn run_shadow_terminal(shadow: ConsoleShadow, ranks: u32) -> i32 {
                     let _ = std::io::stdout().flush();
                 }
             }
-            Ok(ShadowEvent::AgentConnected { rank, reconnect, .. }) => {
+            Ok(ShadowEvent::AgentConnected {
+                rank, reconnect, ..
+            }) => {
                 if reconnect {
                     eprintln!("cgrun: rank {rank} reconnected");
                 }

@@ -18,6 +18,7 @@
 //! | [`site`] | worker nodes, LRMS, gatekeeper, information system |
 //! | [`console`] | the Grid Console: real TCP agent/shadow + cost models |
 //! | [`vm`] | glide-in agents, VM slots, proportional CPU sharing |
+//! | [`trace`] | lifecycle event log, metrics registry, invariant checker |
 //! | [`broker`] | CrossBroker itself |
 //! | [`baselines`] | ssh and Glogin comparators |
 //! | [`workloads`] | pingpong suite, arrival streams, testbed scenarios |
@@ -60,6 +61,7 @@ pub use cg_jdl as jdl;
 pub use cg_net as net;
 pub use cg_sim as sim;
 pub use cg_site as site;
+pub use cg_trace as trace;
 pub use cg_vm as vm;
 pub use cg_workloads as workloads;
 pub use crossbroker as broker;
@@ -70,6 +72,7 @@ pub mod prelude {
     pub use cg_net::{Link, LinkProfile};
     pub use cg_sim::{Sim, SimDuration, SimTime};
     pub use cg_site::{Site, SiteConfig};
+    pub use cg_trace::{check_invariants, Event, EventLog, MetricsRegistry};
     pub use cg_workloads::{campus_pair, crossgrid_testbed, wan_pair, GridScenario};
     pub use crossbroker::{BrokerConfig, CrossBroker, JobId, JobRecord, JobState, SiteHandle};
 }

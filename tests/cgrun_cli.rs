@@ -18,12 +18,7 @@ fn local_mode_round_trips_stdio_and_exit_code() {
         .stderr(Stdio::null())
         .spawn()
         .unwrap();
-    child
-        .stdin
-        .as_mut()
-        .unwrap()
-        .write_all(b"ping\n")
-        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"ping\n").unwrap();
     let out = child.wait_with_output().unwrap();
     assert_eq!(String::from_utf8_lossy(&out.stdout), "got:ping\n");
     assert_eq!(out.status.code(), Some(5), "exit code propagates");
@@ -118,10 +113,7 @@ fn shadow_and_agent_as_separate_processes() {
         }
         reply.push_str(&l);
     }
-    assert!(
-        reply.contains("reply:over-tcp"),
-        "shadow printed {reply:?}"
-    );
+    assert!(reply.contains("reply:over-tcp"), "shadow printed {reply:?}");
 
     let agent_status = agent.wait().unwrap();
     assert!(agent_status.success());

@@ -17,7 +17,12 @@ fn run_day(seed: u64, hours: u64) -> (CrossBroker, Vec<JobRecord>) {
         BrokerConfig::default(),
     );
     let horizon = SimTime::from_secs(hours * 3_600);
-    for arrival in poisson_arrivals(&mut rng, &JobMix::default(), SimDuration::from_secs(180), horizon) {
+    for arrival in poisson_arrivals(
+        &mut rng,
+        &JobMix::default(),
+        SimDuration::from_secs(180),
+        horizon,
+    ) {
         let broker2 = broker.clone();
         let job = arrival.job.clone();
         let runtime = arrival.runtime;
@@ -81,7 +86,11 @@ fn interactive_jobs_start_faster_than_batch_on_average() {
         .filter(|r| r.selection_s().is_some_and(|s| s > 0.0))
         .filter_map(|r| r.response_s())
         .collect();
-    assert!(shared.len() > 3, "need shared-path samples, got {}", shared.len());
+    assert!(
+        shared.len() > 3,
+        "need shared-path samples, got {}",
+        shared.len()
+    );
     assert!(matched.len() > 3);
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     assert!(
@@ -90,6 +99,52 @@ fn interactive_jobs_start_faster_than_batch_on_average() {
         mean(&shared),
         mean(&matched)
     );
+}
+
+/// The lifecycle event stream of a full simulated day satisfies the
+/// broker-wide invariants: every dispatch was preceded by a lease for the
+/// same job, no job reaches two terminal states, spool acks never run ahead
+/// of appends, and every yielded batch task is restored once its
+/// interactive guest departs.
+#[test]
+fn event_stream_invariants_hold_over_a_day() {
+    let (broker, records) = run_day(5, 24);
+    assert!(!records.is_empty());
+    let log = broker.event_log();
+    assert_eq!(
+        log.dropped(),
+        0,
+        "ring too small for the day: {} events recorded",
+        log.recorded()
+    );
+    let events = log.snapshot();
+    assert!(
+        events.len() > 100,
+        "expected a rich stream, got {} events",
+        events.len()
+    );
+    let violations = check_invariants(&events);
+    assert!(
+        violations.is_empty(),
+        "{} invariant violations, first: {}",
+        violations.len(),
+        violations[0]
+    );
+    // The metrics registry counted every recorded event.
+    let metrics = broker.metrics();
+    let counted: u64 = metrics
+        .counter_names()
+        .iter()
+        .filter(|n| n.starts_with("events."))
+        .map(|n| metrics.counter(n))
+        .sum();
+    assert_eq!(counted, log.recorded());
+    // Every started job left a response-time sample.
+    let stats = broker.stats();
+    let response = metrics
+        .histogram_stats("response_s")
+        .expect("jobs started during the day");
+    assert_eq!(response.count(), stats.started);
 }
 
 #[test]
@@ -138,7 +193,12 @@ fn nodes_are_returned_after_the_day() {
         BrokerConfig::default(),
     );
     let horizon = SimTime::from_secs(2 * 3_600);
-    for arrival in poisson_arrivals(&mut rng, &JobMix::default(), SimDuration::from_secs(300), horizon) {
+    for arrival in poisson_arrivals(
+        &mut rng,
+        &JobMix::default(),
+        SimDuration::from_secs(300),
+        horizon,
+    ) {
         let broker2 = broker.clone();
         let job = arrival.job.clone();
         let runtime = arrival.runtime.min(SimDuration::from_secs(600));

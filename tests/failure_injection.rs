@@ -59,10 +59,8 @@ fn mds_blackout_fails_the_matched_path_cleanly() {
 fn site_link_outage_during_submission_fails_the_job() {
     let mut sim = Sim::new(2);
     // The site link dies 2 s in — during the GRAM pipeline — and stays dead.
-    let outage = FaultSchedule::from_windows(vec![(
-        SimTime::from_secs(2),
-        SimTime::from_secs(10_000),
-    )]);
+    let outage =
+        FaultSchedule::from_windows(vec![(SimTime::from_secs(2), SimTime::from_secs(10_000))]);
     let (broker, _) = one_site_broker(&mut sim, outage, FaultSchedule::none());
     let id = broker.submit(&mut sim, exclusive_job(), SimDuration::from_secs(60));
     sim.run_until(SimTime::from_secs(2_000));
@@ -77,8 +75,7 @@ fn site_link_outage_during_submission_fails_the_job() {
 fn transient_outage_before_submission_does_not_break_later_jobs() {
     let mut sim = Sim::new(3);
     // Outage covers t=0–60 s; a job submitted at t=120 must work normally.
-    let outage =
-        FaultSchedule::from_windows(vec![(SimTime::ZERO, SimTime::from_secs(60))]);
+    let outage = FaultSchedule::from_windows(vec![(SimTime::ZERO, SimTime::from_secs(60))]);
     let (broker, _) = one_site_broker(&mut sim, outage, FaultSchedule::none());
     let early = broker.submit(&mut sim, exclusive_job(), SimDuration::from_secs(30));
     sim.run_until(SimTime::from_secs(120));
@@ -177,10 +174,7 @@ fn reliable_streaming_model_survives_what_fast_loses() {
     use crossgrid::console::{reliable_deliver, ReliableOutcome, RetryPolicy};
     use crossgrid::net::Dir;
 
-    let outage = FaultSchedule::from_windows(vec![(
-        SimTime::from_nanos(1),
-        SimTime::from_secs(8),
-    )]);
+    let outage = FaultSchedule::from_windows(vec![(SimTime::from_nanos(1), SimTime::from_secs(8))]);
 
     // Fast mode: a plain send during the outage is simply lost.
     let mut sim = Sim::new(5);
@@ -196,7 +190,11 @@ fn reliable_streaming_model_survives_what_fast_loses() {
         });
     }
     sim.run();
-    assert_eq!(*fast_result.borrow(), Some(true), "fast mode loses the data");
+    assert_eq!(
+        *fast_result.borrow(),
+        Some(true),
+        "fast mode loses the data"
+    );
 
     // Reliable mode: spooled and retried until the link returns.
     let mut sim = Sim::new(5);

@@ -31,11 +31,17 @@ fn claim_table1_ordering_and_magnitudes() {
     // §6.1: "submission of interactive jobs in shared mode exhibits the
     // shortest startup times. It is more than two times smaller than the
     // best of the other options (Glogin)".
-    assert!(vm * 2.0 < glogin.min(idle).min(agent), "vm={vm} others={glogin}/{idle}/{agent}");
+    assert!(
+        vm * 2.0 < glogin.min(idle).min(agent),
+        "vm={vm} others={glogin}/{idle}/{agent}"
+    );
     // "Glogin submission and interactive submission in exclusive mode
     // exhibit similar performance, although Glogin is slightly better."
     assert!(glogin < idle, "glogin {glogin} vs idle {idle}");
-    assert!(idle / glogin < 1.25, "similar performance: {idle} vs {glogin}");
+    assert!(
+        idle / glogin < 1.25,
+        "similar performance: {idle} vs {glogin}"
+    );
     // "the worst time corresponds to the submission of a batch job".
     assert!(agent > idle && agent > glogin, "agent {agent} worst");
 
@@ -67,8 +73,16 @@ fn claim_discovery_and_selection_costs() {
         disc.record(d);
         sel.record(s);
     }
-    assert!((0.3..0.7).contains(&disc.mean()), "discovery {} vs paper 0.5", disc.mean());
-    assert!((2.3..3.7).contains(&sel.mean()), "selection {} vs paper 3", sel.mean());
+    assert!(
+        (0.3..0.7).contains(&disc.mean()),
+        "discovery {} vs paper 0.5",
+        disc.mean()
+    );
+    assert!(
+        (2.3..3.7).contains(&sel.mean()),
+        "selection {} vs paper 3",
+        sel.mean()
+    );
 }
 
 #[test]
