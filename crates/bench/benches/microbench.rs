@@ -27,7 +27,7 @@ fn bench_event_loop(c: &mut Criterion) {
             }
             sim.run();
             black_box(sim.events_executed())
-        })
+        });
     });
     group.finish();
 }
@@ -49,10 +49,10 @@ fn bench_jdl(c: &mut Criterion) {
     let mut group = c.benchmark_group("jdl");
     group.throughput(Throughput::Bytes(JDL_SRC.len() as u64));
     group.bench_function("parse_ad", |b| {
-        b.iter(|| parse_ad(black_box(JDL_SRC)).unwrap())
+        b.iter(|| parse_ad(black_box(JDL_SRC)).unwrap());
     });
     group.bench_function("parse_and_validate", |b| {
-        b.iter(|| JobDescription::parse(black_box(JDL_SRC)).unwrap())
+        b.iter(|| JobDescription::parse(black_box(JDL_SRC)).unwrap());
     });
     group.finish();
 }
@@ -81,7 +81,7 @@ fn bench_matchmaking(c: &mut Criterion) {
         b.iter(|| {
             let candidates = filter_candidates(black_box(&job), black_box(&ads), true);
             select(&candidates, &mut rng)
-        })
+        });
     });
     group.finish();
 }
@@ -101,7 +101,7 @@ fn bench_frame_codec(c: &mut Criterion) {
             let mut d = Decoder::new();
             d.feed(black_box(&encoded));
             d.next_frame().unwrap().unwrap()
-        })
+        });
     });
     group.finish();
 }
@@ -147,7 +147,7 @@ fn bench_fairshare(c: &mut Criterion) {
             t += 60;
             fs.tick(SimTime::from_secs(t));
             black_box(fs.priority("user0"))
-        })
+        });
     });
     group.finish();
 }
@@ -173,7 +173,7 @@ fn bench_quantum_scheduler(c: &mut Criterion) {
             )
             .cpu
             .mean()
-        })
+        });
     });
     group.finish();
 }

@@ -25,7 +25,7 @@ fn bench_table1_paths(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 sample_submission(path, &campus, seed).expect("path completes")
-            })
+            });
         });
     }
     group.finish();
@@ -40,7 +40,7 @@ fn bench_discovery_selection(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 sample_discovery_selection(n, seed).expect("selection completes")
-            })
+            });
         });
     }
     group.finish();
@@ -58,7 +58,7 @@ fn bench_fig67_streams(c: &mut Criterion) {
                     run_pingpong(&method, &profile, &PingPongSpec::paper(10_240), &mut rng)
                         .samples
                         .mean()
-                })
+                });
             });
         }
     }
@@ -73,7 +73,7 @@ fn bench_fig8(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             run_fig8(seed)
-        })
+        });
     });
     group.finish();
 }

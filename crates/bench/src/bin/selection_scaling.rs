@@ -6,10 +6,100 @@
 //! cargo run -p cg-bench --release --bin selection_scaling [samples]
 //! ```
 
+use std::time::Instant;
+
 use cg_bench::report::{print_table, TraceSink};
 use cg_bench::response::sample_discovery_selection;
 use cg_bench::write_csv;
+use cg_jdl::{Ad, JobDescription};
 use cg_sim::SampleSet;
+use cg_site::{Site, SiteConfig};
+use crossbroker::{filter_candidates, filter_candidates_compiled, CompiledJob};
+
+/// A figure-2-shaped interactive job: an own-ad reference (`NodeNumber`),
+/// a list-membership test, and an arithmetic rank — the expression shapes
+/// the submit-time compiler is built to speed up.
+fn bench_job() -> JobDescription {
+    JobDescription::parse(
+        r#"
+        Executable   = "hep_event_display";
+        JobType      = {"interactive", "mpich-g2"};
+        NodeNumber   = 2;
+        Requirements = other.FreeCpus >= NodeNumber && member("CROSSGRID", other.Tags);
+        Rank         = other.FreeCpus * other.SpeedFactor;
+    "#,
+    )
+    .expect("bench job parses")
+}
+
+/// MDS answers from `n` sites, half of them tagged CROSSGRID.
+fn bench_ads(n: usize) -> Vec<(usize, Ad)> {
+    (0..n)
+        .map(|i| {
+            let site = Site::new(SiteConfig {
+                name: format!("site{i:02}"),
+                nodes: 2 + i % 6,
+                tags: if i % 2 == 0 {
+                    vec!["CROSSGRID".into(), "MPI".into()]
+                } else {
+                    vec!["MPI".into()]
+                },
+                ..SiteConfig::default()
+            });
+            (i, site.machine_ad())
+        })
+        .collect()
+}
+
+/// Mean microseconds per `filter_candidates` call over `iters` calls.
+fn time_us(iters: u32, mut f: impl FnMut() -> usize) -> f64 {
+    // Warm-up, and keep the result observable so the calls can't be elided.
+    let mut total = f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        total += f();
+    }
+    let elapsed = start.elapsed().as_secs_f64() / f64::from(iters) * 1e6;
+    assert!(total > 0, "matchmaking found no candidates");
+    elapsed
+}
+
+/// Raw-AST vs compiled matchmaking over the same job and site ads.
+fn matchmaking_comparison(sink: &TraceSink) {
+    let job = bench_job();
+    let compiled = CompiledJob::prepare(&job);
+    let mut rows = Vec::new();
+    let mut csv = String::from("sites,raw_us,compiled_us,speedup\n");
+    for n in [5usize, 10, 20, 40, 80] {
+        let ads = bench_ads(n);
+        assert_eq!(
+            filter_candidates(&job, &ads, true),
+            filter_candidates_compiled(&job, &compiled, &ads, true),
+            "compiled path must select identical candidates"
+        );
+        let iters = (200_000 / n) as u32;
+        let raw = time_us(iters, || filter_candidates(&job, &ads, true).len());
+        let fast = time_us(iters, || {
+            filter_candidates_compiled(&job, &compiled, &ads, true).len()
+        });
+        sink.measure(format!("selection_scaling.{n}_sites.raw_eval_us"), raw);
+        sink.measure(format!("selection_scaling.{n}_sites.compiled_us"), fast);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{raw:.2}"),
+            format!("{fast:.2}"),
+            format!("{:.2}x", raw / fast),
+        ]);
+        csv.push_str(&format!("{n},{raw},{fast},{}\n", raw / fast));
+    }
+    print_table(
+        "Matchmaking: raw AST walk vs submit-time compiled Requirements/Rank (µs per pass)",
+        &["sites", "raw", "compiled", "speedup"],
+        &rows,
+    );
+    let path = write_csv("matchmaking_compiled.csv", &csv);
+    println!("CSV: {}\n", path.display());
+}
 
 fn main() {
     let samples: u32 = std::env::args()
@@ -17,6 +107,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(30);
     let sink = TraceSink::new();
+    matchmaking_comparison(&sink);
     let mut rows = Vec::new();
     let mut csv = String::from("sites,discovery_mean_s,selection_mean_s\n");
     for n in [1usize, 2, 5, 10, 15, 20, 30, 40] {

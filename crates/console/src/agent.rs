@@ -296,7 +296,7 @@ fn mux_loop(
         stream_kind: StreamKind,
         st: &mut OutStream,
         data: Vec<u8>,
-        conn: &Option<Sender<Frame>>,
+        conn: Option<&Sender<Frame>>,
         ever_connected: bool,
         lost_fast_data: &mut bool,
     ) -> io::Result<()> {
@@ -341,7 +341,8 @@ fn mux_loop(
         let finished =
             gave_up || (child_done && eofs_done && delivered && exit_sent && conn.is_some());
         if finished && gave_up {
-            done_since = Some(std::time::Instant::now() - LINGER); // no linger on abort
+            done_since = Some(std::time::Instant::now().checked_sub(LINGER).unwrap());
+        // no linger on abort
         } else if finished {
             done_since.get_or_insert_with(std::time::Instant::now);
         } else {
@@ -384,7 +385,14 @@ fn mux_loop(
         for kind in [StreamKind::Stdout, StreamKind::Stderr] {
             let st = streams.get_mut(&kind).expect("stream exists");
             if let Some((data, _)) = st.buffer.poll_timeout(now) {
-                emit(kind, st, data, &conn, conn_count > 0, &mut lost_fast_data)?;
+                emit(
+                    kind,
+                    st,
+                    data,
+                    conn.as_ref(),
+                    conn_count > 0,
+                    &mut lost_fast_data,
+                )?;
             }
         }
 
@@ -394,13 +402,27 @@ fn mux_loop(
                 let st = streams.get_mut(&kind).expect("stream exists");
                 let chunks = st.buffer.push(&data, mono_ns());
                 for (chunk, _) in chunks {
-                    emit(kind, st, chunk, &conn, conn_count > 0, &mut lost_fast_data)?;
+                    emit(
+                        kind,
+                        st,
+                        chunk,
+                        conn.as_ref(),
+                        conn_count > 0,
+                        &mut lost_fast_data,
+                    )?;
                 }
             }
             Msg::PumpEof(kind) => {
                 let st = streams.get_mut(&kind).expect("stream exists");
                 if let Some((data, _)) = st.buffer.flush() {
-                    emit(kind, st, data, &conn, conn_count > 0, &mut lost_fast_data)?;
+                    emit(
+                        kind,
+                        st,
+                        data,
+                        conn.as_ref(),
+                        conn_count > 0,
+                        &mut lost_fast_data,
+                    )?;
                 }
                 st.eof = true;
                 if let Some(tx) = &conn {
@@ -426,7 +448,7 @@ fn mux_loop(
                 let seen = stdin_received.load(Ordering::SeqCst);
                 if seq > seen {
                     if let Some(w) = stdin_handle.as_mut() {
-                        if w.write_all(&data).and_then(|_| w.flush()).is_err() {
+                        if w.write_all(&data).and_then(|()| w.flush()).is_err() {
                             stdin_handle = None; // child closed its stdin
                         }
                     }
@@ -525,17 +547,14 @@ fn net_manager(
     let mut attempts: u32 = 0;
     while !stop.load(Ordering::SeqCst) {
         let sock = TcpStream::connect_timeout(&config.shadow_addr, Duration::from_secs(2));
-        let sock = match sock {
-            Ok(s) => s,
-            Err(_) => {
-                attempts += 1;
-                if attempts > config.max_retries {
-                    let _ = mux.send(Msg::GiveUp);
-                    return;
-                }
-                sleep_interruptible(config.retry_interval, &stop);
-                continue;
+        let Ok(sock) = sock else {
+            attempts += 1;
+            if attempts > config.max_retries {
+                let _ = mux.send(Msg::GiveUp);
+                return;
             }
+            sleep_interruptible(config.retry_interval, &stop);
+            continue;
         };
         let _ = sock.set_nodelay(true);
         match session(&config, sock, &mux, &stop, &stdin_received) {
@@ -573,21 +592,15 @@ fn session(
     stop: &AtomicBool,
     stdin_received: &AtomicU64,
 ) -> SessionEnd {
-    let mut write_sock = match sock.try_clone() {
-        Ok(s) => s,
-        Err(_) => {
-            return SessionEnd::Retry {
-                was_established: false,
-            }
-        }
+    let Ok(mut write_sock) = sock.try_clone() else {
+        return SessionEnd::Retry {
+            was_established: false,
+        };
     };
-    let mut reader = match FrameReader::new(sock) {
-        Ok(r) => r,
-        Err(_) => {
-            return SessionEnd::Retry {
-                was_established: false,
-            }
-        }
+    let Ok(mut reader) = FrameReader::new(sock) else {
+        return SessionEnd::Retry {
+            was_established: false,
+        };
     };
 
     // Mutual handshake.
@@ -663,7 +676,7 @@ fn session(
             break SessionEnd::Stopped;
         }
         match reader.poll() {
-            Ok(ReadEvent::Idle) => continue,
+            Ok(ReadEvent::Idle) => {}
             Ok(ReadEvent::Closed) | Err(_) => {
                 break SessionEnd::Retry {
                     was_established: true,

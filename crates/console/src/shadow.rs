@@ -142,7 +142,7 @@ impl State {
                 if let Some(spool) = stdin_spool.as_mut() {
                     spool.set_trace(log.clone(), format!("shadow-stdin-r{rank}"));
                 }
-                for (kind, buffer) in buffers.iter_mut() {
+                for (kind, buffer) in &mut buffers {
                     let name = if *kind == StreamKind::Stdout {
                         "stdout"
                     } else {
@@ -254,8 +254,8 @@ impl ConsoleShadow {
                     let mut st = tick_state.lock();
                     let now = crate::wire::mono_ns();
                     let mut out = Vec::new();
-                    for (&rank, rs) in st.ranks.iter_mut() {
-                        for (&stream, buffer) in rs.buffers.iter_mut() {
+                    for (&rank, rs) in &mut st.ranks {
+                        for (&stream, buffer) in &mut rs.buffers {
                             if let Some((data, _)) = buffer.poll_timeout(now) {
                                 out.push(ShadowEvent::Output { rank, stream, data });
                             }
@@ -484,7 +484,7 @@ fn serve_connection(
             break;
         }
         match reader.poll() {
-            Ok(ReadEvent::Idle) => continue,
+            Ok(ReadEvent::Idle) => {}
             Ok(ReadEvent::Closed) | Err(_) => break,
             Ok(ReadEvent::Frame(frame)) => {
                 let mut st = state.lock();

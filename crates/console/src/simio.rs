@@ -193,12 +193,12 @@ pub fn reliable_deliver(
         let link2 = link.clone();
         link.send(sim, dir, bytes, move |sim, r| match r {
             Ok(()) => on_done(sim, ReliableOutcome::Delivered { retries: tries }),
-            Err(NetError::LinkDown) | Err(NetError::BrokenMidTransfer) => {
+            Err(NetError::LinkDown | NetError::BrokenMidTransfer) => {
                 if tries >= policy.max_retries {
                     on_done(sim, ReliableOutcome::Aborted);
                 } else {
                     sim.schedule_in(policy.interval, move |sim| {
-                        attempt(sim, link2, dir, bytes, policy, tries + 1, on_done)
+                        attempt(sim, link2, dir, bytes, policy, tries + 1, on_done);
                     });
                 }
             }
@@ -341,7 +341,7 @@ mod tests {
                 assert!(retries >= 2, "needed multiple retries, got {retries}");
                 assert!(at >= 12.0, "delivered only after the outage, at {at}");
             }
-            other => panic!("expected delivery, got {other:?}"),
+            ReliableOutcome::Aborted => panic!("expected delivery, got Aborted"),
         }
     }
 

@@ -160,7 +160,7 @@ mod tests {
         loop {
             match reader.poll().unwrap() {
                 ReadEvent::Closed => break,
-                ReadEvent::Idle => continue,
+                ReadEvent::Idle => {}
                 ReadEvent::Frame(f) => panic!("unexpected frame {f:?}"),
             }
         }

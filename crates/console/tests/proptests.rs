@@ -66,7 +66,9 @@ proptest! {
             expected.extend_from_slice(t);
             for line in buffer.push(t) {
                 prop_assert!(line.ends_with(b"\n"));
-                prop_assert_eq!(line.iter().filter(|&&b| b == b'\n').count(), 1);
+                #[allow(clippy::naive_bytecount)] // no bytecount crate in the offline workspace
+                let newlines = line.iter().filter(|&&b| b == b'\n').count();
+                prop_assert_eq!(newlines, 1);
                 lines_out.extend_from_slice(&line);
             }
         }

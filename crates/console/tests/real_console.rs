@@ -312,10 +312,7 @@ impl ChaosProxy {
                                         }
                                         Err(e)
                                             if e.kind() == std::io::ErrorKind::WouldBlock
-                                                || e.kind() == std::io::ErrorKind::TimedOut =>
-                                        {
-                                            continue
-                                        }
+                                                || e.kind() == std::io::ErrorKind::TimedOut => {}
                                         Err(_) => return,
                                     }
                                 }
@@ -580,7 +577,7 @@ fn reliable_mode_is_byte_exact_for_megabytes_across_two_outages() {
     std::thread::sleep(Duration::from_millis(500));
     proxy.go_up();
 
-    let deadline = Duration::from_secs(60);
+    let deadline = Duration::from_mins(1);
     all.extend(drain_until(&shadow, deadline, |evs| {
         evs.iter().any(|e| matches!(e, ShadowEvent::Exit { .. }))
     }));

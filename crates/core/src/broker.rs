@@ -23,7 +23,9 @@ use cg_vm::{deploy_agent, Agent, AgentEvent, AgentId};
 use crate::config::BrokerConfig;
 use crate::fairshare::{FairShare, UsageId, UsageKind};
 use crate::job::{JobId, JobRecord, JobState};
-use crate::matchmaking::{coallocate, filter_candidates, select};
+use crate::matchmaking::{
+    coallocate, filter_candidates, filter_candidates_compiled, select, CompiledJob,
+};
 
 /// One site as the broker sees it.
 pub struct SiteHandle {
@@ -87,6 +89,9 @@ struct Inner {
     next_job: u64,
     next_agent: u64,
     queue: Vec<(JobId, JobDescription, SimDuration)>,
+    /// Per-job compiled `Requirements`/`Rank` from the submit-time
+    /// analyzer; the selection loop evaluates these instead of the raw AST.
+    compiled: HashMap<JobId, Rc<CompiledJob>>,
     interactive_usages: HashMap<JobId, UsageId>,
     placements: HashMap<JobId, Vec<Placement>>,
     /// Per-op console round-trip latencies sampled for running interactive
@@ -175,6 +180,7 @@ impl CrossBroker {
                 next_job: 0,
                 next_agent: 0,
                 queue: Vec::new(),
+                compiled: HashMap::new(),
                 interactive_usages: HashMap::new(),
                 placements: HashMap::new(),
                 session_latency: cg_sim::SampleSet::new(),
@@ -208,6 +214,46 @@ impl CrossBroker {
             );
             id
         };
+
+        // Submit-time static analysis: warnings are traced, errors reject
+        // the ad outright — a job whose Requirements can never match must
+        // not enter matchmaking and wait forever.
+        let analysis = job.analyze();
+        {
+            let mut inner = self.inner.borrow_mut();
+            for d in &analysis.diagnostics {
+                inner.trace.record(
+                    now,
+                    Event::JdlDiagnostic {
+                        job: id.0,
+                        severity: d.severity.as_str().to_string(),
+                        code: d.code.to_string(),
+                        message: d.message.clone(),
+                    },
+                );
+            }
+            if analysis.has_errors() {
+                let errors = analysis.error_count() as u32;
+                if let Some(r) = inner.jobs.get_mut(&id) {
+                    r.state = JobState::Failed {
+                        reason: format!("rejected by JDL analysis ({errors} errors)"),
+                    };
+                    r.finished_at = Some(now);
+                }
+                inner.stats.rejected += 1;
+                inner
+                    .trace
+                    .record(now, Event::JdlRejected { job: id.0, errors });
+                return id;
+            }
+            inner.compiled.insert(
+                id,
+                Rc::new(CompiledJob {
+                    requirements: analysis.requirements,
+                    rank: analysis.rank,
+                }),
+            );
+        }
         self.ensure_fairshare_tick(sim);
 
         // Fair-share admission under scarcity (§5.1).
@@ -428,7 +474,7 @@ impl CrossBroker {
         then: impl FnOnce(&mut Sim, bool) + 'static,
     ) {
         self.deploy_agent_at(sim, site_index, move |sim, _broker, aid| {
-            then(sim, aid.is_some())
+            then(sim, aid.is_some());
         });
     }
 
@@ -483,6 +529,13 @@ impl CrossBroker {
             inner.fairshare.release(usage);
         }
         inner.placements.remove(&id);
+    }
+
+    /// The job's analyzer-compiled expressions, when it passed submit-time
+    /// analysis (jobs injected through test back doors have none and fall
+    /// back to raw AST evaluation).
+    fn compiled_for(&self, id: JobId) -> Option<Rc<CompiledJob>> {
+        self.inner.borrow().compiled.get(&id).cloned()
     }
 
     fn add_placement(&self, id: JobId, p: Placement) {
@@ -610,7 +663,7 @@ impl CrossBroker {
                         let this = self.clone();
                         self.deploy_agent_at(sim, site_index, move |sim, broker, aid| match aid {
                             Some(aid) => {
-                                broker.dispatch_to_agent(sim, id, aid, job.clone(), runtime)
+                                broker.dispatch_to_agent(sim, id, aid, job.clone(), runtime);
                             }
                             None => this.fail(sim, id, "agent deployment failed", false),
                         });
@@ -1204,7 +1257,7 @@ impl CrossBroker {
                             let up2 = Rc::clone(&up);
                             let log = this.inner.borrow().trace.clone();
                             console_startup(sim, ui_link.clone(), console, smode, log, id.0, move |sim, ok| {
-                                up2(sim, ok)
+                                up2(sim, ok);
                             });
                         }
                     }
@@ -1246,12 +1299,9 @@ impl CrossBroker {
             (inner.index.clone(), inner.mds_link.clone())
         };
         index.query(sim, &mds_link, move |sim, result| {
-            let stale = match result {
-                Err(_) => {
-                    this.fail(sim, id, "information system unreachable", false);
-                    return;
-                }
-                Ok(records) => records,
+            let Ok(stale) = result else {
+                this.fail(sim, id, "information system unreachable", false);
+                return;
             };
             {
                 let mut inner = this.inner.borrow_mut();
@@ -1269,7 +1319,10 @@ impl CrossBroker {
             // MPICH-G2 co-allocation sums free CPUs across sites, so a
             // single site need not host the whole job.
             let require_full = job.is_interactive() && job.parallelism != Parallelism::MpichG2;
-            let shortlist = filter_candidates(&job, &stale_ads, require_full);
+            let shortlist = match this.compiled_for(id) {
+                Some(c) => filter_candidates_compiled(&job, &c, &stale_ads, require_full),
+                None => filter_candidates(&job, &stale_ads, require_full),
+            };
             if shortlist.is_empty() {
                 this.no_candidates(sim, id, job, runtime);
                 return;
@@ -1313,7 +1366,10 @@ impl CrossBroker {
                 .filter(|(i, _)| inner.sites[*i].leased_until <= now)
                 .collect()
         };
-        let candidates = filter_candidates(&job, &usable, require_full);
+        let candidates = match self.compiled_for(id) {
+            Some(c) => filter_candidates_compiled(&job, &c, &usable, require_full),
+            None => filter_candidates(&job, &usable, require_full),
+        };
         if candidates.is_empty() {
             self.no_candidates(sim, id, job, runtime);
             return;
@@ -1537,7 +1593,7 @@ impl CrossBroker {
                             let this2 = this.clone();
                             let job2 = job.clone();
                             sim.schedule_now(move |sim| {
-                                this2.matched_path(sim, id, job2, runtime, excluded2)
+                                this2.matched_path(sim, id, job2, runtime, excluded2);
                             });
                         } else {
                             this.fail(sim, id, "resubmission budget exhausted", false);
@@ -1556,7 +1612,7 @@ impl CrossBroker {
                     GramEvent::Failed(e) => {
                         this.fail(sim, id, &format!("submission failed: {e}"), false);
                     }
-                    _ => {}
+                    GramEvent::Queued => {}
                 }
             });
     }
@@ -2147,7 +2203,7 @@ fn console_startup(
                                         );
                                     }
                                     trace.record(sim.now(), Event::ConsoleReady { job });
-                                    done(sim, true)
+                                    done(sim, true);
                                 }
                                 Err(_) => retry_or_fail(sim, done),
                             });

@@ -28,4 +28,6 @@ pub use broker::{BrokerStats, CrossBroker, SiteHandle};
 pub use config::{BrokerConfig, ConsoleCosts};
 pub use fairshare::{FairShare, FairShareConfig, UsageId, UsageKind};
 pub use job::{JobId, JobRecord, JobState};
-pub use matchmaking::{coallocate, filter_candidates, select, Candidate};
+pub use matchmaking::{
+    coallocate, filter_candidates, filter_candidates_compiled, select, Candidate, CompiledJob,
+};

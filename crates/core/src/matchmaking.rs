@@ -1,11 +1,11 @@
 //! Matchmaking: filtering sites against job requirements, ranking, and the
 //! paper's randomized selection among equals.
 
-use cg_jdl::{Ad, Ctx, Expr, JobDescription};
+use cg_jdl::{Ad, CompiledExpr, Ctx, Expr, JobDescription};
 use cg_sim::SimRng;
 
 /// One candidate after filtering, with its rank.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Candidate {
     /// Index into the site list the ads came from.
     pub site_index: usize,
@@ -25,6 +25,52 @@ pub fn filter_candidates(
     ads: &[(usize, Ad)],
     require_free_cpus: bool,
 ) -> Vec<Candidate> {
+    filter_candidates_inner(job, None, ads, require_free_cpus)
+}
+
+/// A job's matchmaking expressions compiled by the submit-time analyzer
+/// ([`cg_jdl::analyze`]): own attributes substituted, constants folded,
+/// lookup keys pre-lowercased. The broker caches one of these per job so
+/// the per-site selection loop never re-walks the raw AST.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledJob {
+    /// Compiled `Requirements`, when the job declares one.
+    pub requirements: Option<CompiledExpr>,
+    /// Compiled `Rank`, when the job declares one.
+    pub rank: Option<CompiledExpr>,
+}
+
+impl CompiledJob {
+    /// Compiles a job's expressions directly, without running the full
+    /// analyzer (used when an `Analysis` is not already at hand).
+    pub fn prepare(job: &JobDescription) -> CompiledJob {
+        CompiledJob {
+            requirements: job
+                .requirements
+                .as_ref()
+                .map(|e| CompiledExpr::compile(e, &job.ad)),
+            rank: job.rank.as_ref().map(|e| CompiledExpr::compile(e, &job.ad)),
+        }
+    }
+}
+
+/// [`filter_candidates`] over pre-compiled expressions — identical
+/// semantics, without per-site AST walks over the job's own attributes.
+pub fn filter_candidates_compiled(
+    job: &JobDescription,
+    compiled: &CompiledJob,
+    ads: &[(usize, Ad)],
+    require_free_cpus: bool,
+) -> Vec<Candidate> {
+    filter_candidates_inner(job, Some(compiled), ads, require_free_cpus)
+}
+
+fn filter_candidates_inner(
+    job: &JobDescription,
+    compiled: Option<&CompiledJob>,
+    ads: &[(usize, Ad)],
+    require_free_cpus: bool,
+) -> Vec<Candidate> {
     let mut out = Vec::new();
     for (site_index, ad) in ads {
         let free = ad.get("FreeCpus").and_then(|v| v.as_i64()).unwrap_or(0);
@@ -41,22 +87,30 @@ pub fn filter_candidates(
                 continue;
             }
         }
-        if let Some(req) = &job.requirements {
-            let ctx = Ctx {
-                own: &job.ad,
-                other: ad,
-            };
-            match req.eval_requirement(ctx) {
-                Ok(true) => {}
-                // Undefined or false ⇒ no match; eval errors ⇒ no match
-                // (a malformed requirement must not crash the broker).
-                _ => continue,
+        // Undefined or false ⇒ no match; eval errors ⇒ no match (a
+        // malformed requirement must not crash the broker).
+        let matched = match (
+            compiled.and_then(|c| c.requirements.as_ref()),
+            &job.requirements,
+        ) {
+            (Some(creq), _) => creq.matches(&job.ad, ad),
+            (None, Some(req)) => {
+                let ctx = Ctx {
+                    own: &job.ad,
+                    other: ad,
+                };
+                matches!(req.eval_requirement(ctx), Ok(true))
             }
+            (None, None) => true,
+        };
+        if !matched {
+            continue;
         }
-        let rank = match &job.rank {
-            Some(r) => eval_rank_or_default(r, job, ad),
+        let rank = match (compiled.and_then(|c| c.rank.as_ref()), &job.rank) {
+            (Some(crank), _) => crank.rank(&job.ad, ad),
+            (None, Some(r)) => eval_rank_or_default(r, job, ad),
             // Default rank: prefer more free CPUs (the EDG broker default).
-            None => free as f64,
+            (None, None) => free as f64,
         };
         out.push(Candidate {
             site_index: *site_index,
@@ -217,6 +271,44 @@ mod tests {
         assert_eq!(c[0].site, "full");
         // Interactive path (require_free_cpus) rejects both.
         assert!(filter_candidates(&j, &ads, true).is_empty());
+    }
+
+    #[test]
+    fn compiled_path_agrees_with_raw_eval() {
+        let jobs = [
+            r#"Executable = "a"; JobType = {"interactive","mpich-p4"}; NodeNumber = 2;
+               Requirements = other.FreeCpus >= NodeNumber && member("CROSSGRID", other.Tags);
+               Rank = other.FreeCpus * other.SpeedFactor;"#,
+            r#"Executable = "a"; Requirements = other.Arch == "i686";"#,
+            r#"Executable = "a"; Rank = 0 - other.FreeCpus;"#,
+            r#"Executable = "a"; Requirements = other.FreeCpus + "oops" == 3;"#,
+            r#"Executable = "a";"#,
+        ];
+        let mut tagged = site_ad("tagged", 6, "i686");
+        tagged.set(
+            "Tags",
+            cg_jdl::Value::List(vec![cg_jdl::Value::Str("CROSSGRID".into())]),
+        );
+        tagged.set_double("SpeedFactor", 1.5);
+        let ads = vec![
+            (0, site_ad("plain", 4, "i686")),
+            (1, tagged),
+            (2, site_ad("sparc", 16, "sparc")),
+        ];
+        for src in jobs {
+            let j = job(src);
+            let compiled = CompiledJob::prepare(&j);
+            for require_free in [true, false] {
+                let raw = filter_candidates(&j, &ads, require_free);
+                let fast = filter_candidates_compiled(&j, &compiled, &ads, require_free);
+                assert_eq!(raw.len(), fast.len(), "{src}");
+                for (a, b) in raw.iter().zip(&fast) {
+                    assert_eq!(a.site, b.site, "{src}");
+                    assert_eq!(a.rank, b.rank, "{src}");
+                    assert_eq!(a.free_cpus, b.free_cpus, "{src}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -365,7 +365,7 @@ fn shared_parallel_fails_when_capacity_short() {
     sim.run_until(SimTime::from_secs(600));
     match broker.record(id).state {
         JobState::Failed { reason } => {
-            assert!(reason.contains("machines"), "{reason}")
+            assert!(reason.contains("machines"), "{reason}");
         }
         other => panic!("expected clean failure, got {other:?}"),
     }
@@ -629,4 +629,72 @@ fn back_to_back_shared_jobs_second_waits_for_no_one() {
     assert!(ra < 10.0, "first used the warm agent: {ra}");
     assert!(rb > ra, "second paid for its own agent: {rb}");
     assert_eq!(broker.stats().agents_deployed, 2);
+}
+
+#[test]
+fn unsatisfiable_requirements_rejected_at_submit() {
+    let mut sim = Sim::new(11);
+    let (broker, _) = grid(&mut sim, 3, 4);
+    let bad = job(r#"Executable = "bapp"; JobType = "batch"; User = "mallory";
+           Requirements = other.FreeCpus > 4 && other.FreeCpus < 2;"#);
+    let id = broker.submit(&mut sim, bad, SimDuration::from_secs(60));
+    sim.run_until(SimTime::from_secs(600));
+
+    // Terminal immediately, counted as a rejection, never started.
+    let r = broker.record(id);
+    match &r.state {
+        JobState::Failed { reason } => {
+            assert!(reason.contains("JDL"), "{reason}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    assert!(r.finished_at.is_some());
+    assert_eq!(broker.stats().rejected, 1);
+    assert_eq!(broker.stats().started, 0);
+
+    // The trace shows the diagnostic and the terminal rejection, and the
+    // rejected job never leased or dispatched anywhere.
+    let events = broker.event_log().snapshot();
+    let diag = events.iter().find_map(|e| match &e.event {
+        cg_trace::Event::JdlDiagnostic {
+            job,
+            code,
+            severity,
+            ..
+        } if *job == id.0 => Some((code.clone(), severity.clone())),
+        _ => None,
+    });
+    assert_eq!(diag, Some(("E108".into(), "error".into())), "{events:?}");
+    assert!(events.iter().any(|e| matches!(
+        &e.event,
+        cg_trace::Event::JdlRejected { job, errors } if *job == id.0 && *errors == 1
+    )));
+    assert!(!events.iter().any(|e| matches!(
+        &e.event,
+        cg_trace::Event::LeaseGranted { job, .. } | cg_trace::Event::JobDispatched { job, .. }
+            if *job == id.0
+    )));
+    assert!(cg_trace::check_invariants(&events).is_empty());
+    assert_eq!(broker.metrics().counter("events.JdlRejected"), 1);
+    assert_eq!(broker.metrics().counter("events.JdlDiagnostic"), 1);
+}
+
+#[test]
+fn analyzer_clean_jobs_proceed_and_warnings_do_not_reject() {
+    let mut sim = Sim::new(12);
+    let (broker, _) = grid(&mut sim, 3, 4);
+    // W203 (always-true Requirements) is a warning: traced, not fatal.
+    let warned = job(r#"Executable = "bapp"; JobType = "batch"; User = "carol";
+           Requirements = true;"#);
+    let id = broker.submit(&mut sim, warned, SimDuration::from_secs(30));
+    sim.run_until(SimTime::from_secs(600));
+    assert!(matches!(broker.record(id).state, JobState::Done));
+    assert_eq!(broker.stats().rejected, 0);
+    let events = broker.event_log().snapshot();
+    assert!(events.iter().any(|e| matches!(
+        &e.event,
+        cg_trace::Event::JdlDiagnostic { job, severity, .. }
+            if *job == id.0 && severity == "warning"
+    )));
+    assert!(cg_trace::check_invariants(&events).is_empty());
 }

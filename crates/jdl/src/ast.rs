@@ -139,6 +139,13 @@ impl Ad {
         self.attrs.get(&name.to_ascii_lowercase()).map(|(_, v)| v)
     }
 
+    /// Looks up an attribute by an already-lowercased key without the
+    /// per-call allocation of [`Ad::get`] — the matchmaking hot loop uses
+    /// this with keys normalised once at compile time.
+    pub fn get_norm(&self, lower: &str) -> Option<&Value> {
+        self.attrs.get(lower).map(|(_, v)| v)
+    }
+
     /// Removes an attribute, returning its value.
     pub fn remove(&mut self, name: &str) -> Option<Value> {
         self.attrs

@@ -167,7 +167,7 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-fn err(message: impl Into<String>) -> EvalError {
+pub(crate) fn err(message: impl Into<String>) -> EvalError {
     EvalError {
         message: message.into(),
     }
@@ -258,29 +258,11 @@ fn eval_bin(op: BinOp, l: &Expr, r: &Expr, ctx: Ctx<'_>) -> Result<Cv, EvalError
     // Short-circuiting logic with ClassAd undefined-absorption.
     if matches!(op, BinOp::And | BinOp::Or) {
         let lv = l.eval(ctx)?;
-        match (op, lv.bool_or_undef()) {
-            (BinOp::And, Some(false)) => return Ok(Cv::Val(Value::Bool(false))),
-            (BinOp::Or, Some(true)) => return Ok(Cv::Val(Value::Bool(true))),
-            _ => {}
+        if let Some(short) = logic_short_circuit(op, &lv) {
+            return Ok(short);
         }
         let rv = r.eval(ctx)?;
-        return Ok(match (op, lv, rv) {
-            (_, Cv::Val(Value::Bool(a)), Cv::Val(Value::Bool(b))) => {
-                let v = if op == BinOp::And { a && b } else { a || b };
-                Cv::Val(Value::Bool(v))
-            }
-            // One side undefined: absorbed only if the defined side decides.
-            (BinOp::And, Cv::Undefined, Cv::Val(Value::Bool(false)))
-            | (BinOp::And, Cv::Val(Value::Bool(false)), Cv::Undefined) => {
-                Cv::Val(Value::Bool(false))
-            }
-            (BinOp::Or, Cv::Undefined, Cv::Val(Value::Bool(true)))
-            | (BinOp::Or, Cv::Val(Value::Bool(true)), Cv::Undefined) => Cv::Val(Value::Bool(true)),
-            (_, Cv::Undefined, _) | (_, _, Cv::Undefined) => Cv::Undefined,
-            (_, Cv::Val(a), Cv::Val(b)) => {
-                return Err(err(format!("logical op on non-booleans {a} and {b}")))
-            }
-        });
+        return apply_logic(op, lv, rv);
     }
 
     let lv = l.eval(ctx)?;
@@ -289,7 +271,42 @@ fn eval_bin(op: BinOp, l: &Expr, r: &Expr, ctx: Ctx<'_>) -> Result<Cv, EvalError
         (Cv::Undefined, _) | (_, Cv::Undefined) => return Ok(Cv::Undefined),
         (Cv::Val(a), Cv::Val(b)) => (a, b),
     };
+    apply_bin_values(op, a, b)
+}
 
+/// The `&&`/`||` fast exit after evaluating only the left side: a defined
+/// `false && …` / `true || …` decides without touching the right side.
+pub(crate) fn logic_short_circuit(op: BinOp, lv: &Cv) -> Option<Cv> {
+    match (op, lv.bool_or_undef()) {
+        (BinOp::And, Some(false)) => Some(Cv::Val(Value::Bool(false))),
+        (BinOp::Or, Some(true)) => Some(Cv::Val(Value::Bool(true))),
+        _ => None,
+    }
+}
+
+/// Joins two evaluated operands of `&&`/`||` with ClassAd
+/// undefined-absorption. Assumes [`logic_short_circuit`] already ran.
+pub(crate) fn apply_logic(op: BinOp, lv: Cv, rv: Cv) -> Result<Cv, EvalError> {
+    Ok(match (op, lv, rv) {
+        (_, Cv::Val(Value::Bool(a)), Cv::Val(Value::Bool(b))) => {
+            let v = if op == BinOp::And { a && b } else { a || b };
+            Cv::Val(Value::Bool(v))
+        }
+        // One side undefined: absorbed only if the defined side decides.
+        (BinOp::And, Cv::Undefined, Cv::Val(Value::Bool(false)))
+        | (BinOp::And, Cv::Val(Value::Bool(false)), Cv::Undefined) => Cv::Val(Value::Bool(false)),
+        (BinOp::Or, Cv::Undefined, Cv::Val(Value::Bool(true)))
+        | (BinOp::Or, Cv::Val(Value::Bool(true)), Cv::Undefined) => Cv::Val(Value::Bool(true)),
+        (_, Cv::Undefined, _) | (_, _, Cv::Undefined) => Cv::Undefined,
+        (_, Cv::Val(a), Cv::Val(b)) => {
+            return Err(err(format!("logical op on non-booleans {a} and {b}")))
+        }
+    })
+}
+
+/// Applies a comparison or arithmetic operator to two defined values —
+/// the shared kernel behind both the AST walker and the compiled form.
+pub(crate) fn apply_bin_values(op: BinOp, a: Value, b: Value) -> Result<Cv, EvalError> {
     // Comparisons.
     if matches!(
         op,
@@ -349,9 +366,8 @@ fn eval_bin(op: BinOp, l: &Expr, r: &Expr, ctx: Ctx<'_>) -> Result<Cv, EvalError
             _ => unreachable!(),
         }),
         _ => {
-            let (x, y) = match (a.as_f64(), b.as_f64()) {
-                (Some(x), Some(y)) => (x, y),
-                _ => return Err(err(format!("arithmetic on non-numbers {a} and {b}"))),
+            let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
+                return Err(err(format!("arithmetic on non-numbers {a} and {b}")));
             };
             let v = match op {
                 BinOp::Add => x + y,
@@ -407,14 +423,7 @@ fn eval_call(name: &str, args: &[Expr], ctx: Ctx<'_>) -> Result<Cv, EvalError> {
                     Cv::Val(v) => vec![v],
                 },
             };
-            let found = list.iter().any(|item| match (item, &needle) {
-                (Value::Str(a), Value::Str(b)) => a.eq_ignore_ascii_case(b),
-                (a, b) => match (a.as_f64(), b.as_f64()) {
-                    (Some(x), Some(y)) => x == y,
-                    _ => a == b,
-                },
-            });
-            Ok(Cv::Val(Value::Bool(found)))
+            Ok(Cv::Val(Value::Bool(member_contains(&list, &needle))))
         }
         "isundefined" => {
             if args.len() != 1 {
@@ -456,40 +465,17 @@ fn eval_call(name: &str, args: &[Expr], ctx: Ctx<'_>) -> Result<Cv, EvalError> {
                     Cv::Val(v) => return Err(err(format!("delims must be a string, got {v}"))),
                 },
             };
-            let found = list
-                .split(|c| delims.contains(c))
-                .map(str::trim)
-                .any(|item| item.eq_ignore_ascii_case(&needle));
-            Ok(Cv::Val(Value::Bool(found)))
+            Ok(Cv::Val(Value::Bool(string_list_contains(
+                &list, &delims, &needle,
+            ))))
         }
         name @ ("floor" | "ceiling" | "round" | "abs") => {
             if args.len() != 1 {
                 return Err(err(format!("{name}() takes exactly 1 argument")));
             }
-            let v = match args[0].eval(ctx)? {
-                Cv::Undefined => return Ok(Cv::Undefined),
-                Cv::Val(v) => v,
-            };
-            match v {
-                Value::Int(n) => Ok(Cv::Val(Value::Int(if name == "abs" {
-                    n.wrapping_abs()
-                } else {
-                    n
-                }))),
-                Value::Double(x) => {
-                    let y = match name {
-                        "floor" => x.floor(),
-                        "ceiling" => x.ceil(),
-                        "round" => x.round(),
-                        _ => x.abs(),
-                    };
-                    if name == "abs" {
-                        Ok(Cv::Val(Value::Double(y)))
-                    } else {
-                        Ok(Cv::Val(Value::Int(y as i64)))
-                    }
-                }
-                other => Err(err(format!("{name}() needs a number, got {other}"))),
+            match args[0].eval(ctx)? {
+                Cv::Undefined => Ok(Cv::Undefined),
+                Cv::Val(v) => apply_rounding(name, v),
             }
         }
         name @ ("min" | "max") => {
@@ -533,14 +519,7 @@ fn eval_call(name: &str, args: &[Expr], ctx: Ctx<'_>) -> Result<Cv, EvalError> {
             }
             match args[0].eval(ctx)? {
                 Cv::Undefined => Ok(Cv::Undefined),
-                Cv::Val(Value::Int(n)) => Ok(Cv::Val(Value::Int(n))),
-                Cv::Val(Value::Double(x)) => Ok(Cv::Val(Value::Int(x as i64))),
-                Cv::Val(Value::Bool(b)) => Ok(Cv::Val(Value::Int(b as i64))),
-                Cv::Val(Value::Str(s)) => match s.trim().parse::<i64>() {
-                    Ok(n) => Ok(Cv::Val(Value::Int(n))),
-                    Err(_) => Ok(Cv::Undefined),
-                },
-                Cv::Val(v) => Err(err(format!("int() cannot convert {v}"))),
+                Cv::Val(v) => apply_int_cast(v),
             }
         }
         "real" => {
@@ -549,16 +528,81 @@ fn eval_call(name: &str, args: &[Expr], ctx: Ctx<'_>) -> Result<Cv, EvalError> {
             }
             match args[0].eval(ctx)? {
                 Cv::Undefined => Ok(Cv::Undefined),
-                Cv::Val(Value::Int(n)) => Ok(Cv::Val(Value::Double(n as f64))),
-                Cv::Val(Value::Double(x)) => Ok(Cv::Val(Value::Double(x))),
-                Cv::Val(Value::Str(s)) => match s.trim().parse::<f64>() {
-                    Ok(x) => Ok(Cv::Val(Value::Double(x))),
-                    Err(_) => Ok(Cv::Undefined),
-                },
-                Cv::Val(v) => Err(err(format!("real() cannot convert {v}"))),
+                Cv::Val(v) => apply_real_cast(v),
             }
         }
         other => Err(err(format!("unknown function `{other}`"))),
+    }
+}
+
+/// `member()` membership test over resolved list items: strings compare
+/// case-insensitively, numbers by value, everything else structurally.
+pub(crate) fn member_contains(list: &[Value], needle: &Value) -> bool {
+    list.iter().any(|item| match (item, needle) {
+        (Value::Str(a), Value::Str(b)) => a.eq_ignore_ascii_case(b),
+        (a, b) => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x == y,
+            _ => a == b,
+        },
+    })
+}
+
+/// `stringListMember()` membership test over a delimited string list.
+pub(crate) fn string_list_contains(list: &str, delims: &str, needle: &str) -> bool {
+    list.split(|c| delims.contains(c))
+        .map(str::trim)
+        .any(|item| item.eq_ignore_ascii_case(needle))
+}
+
+/// `floor`/`ceiling`/`round`/`abs` on a defined value.
+pub(crate) fn apply_rounding(name: &str, v: Value) -> Result<Cv, EvalError> {
+    match v {
+        Value::Int(n) => Ok(Cv::Val(Value::Int(if name == "abs" {
+            n.wrapping_abs()
+        } else {
+            n
+        }))),
+        Value::Double(x) => {
+            let y = match name {
+                "floor" => x.floor(),
+                "ceiling" => x.ceil(),
+                "round" => x.round(),
+                _ => x.abs(),
+            };
+            if name == "abs" {
+                Ok(Cv::Val(Value::Double(y)))
+            } else {
+                Ok(Cv::Val(Value::Int(y as i64)))
+            }
+        }
+        other => Err(err(format!("{name}() needs a number, got {other}"))),
+    }
+}
+
+/// `int()` on a defined value.
+pub(crate) fn apply_int_cast(v: Value) -> Result<Cv, EvalError> {
+    match v {
+        Value::Int(n) => Ok(Cv::Val(Value::Int(n))),
+        Value::Double(x) => Ok(Cv::Val(Value::Int(x as i64))),
+        Value::Bool(b) => Ok(Cv::Val(Value::Int(b as i64))),
+        Value::Str(s) => match s.trim().parse::<i64>() {
+            Ok(n) => Ok(Cv::Val(Value::Int(n))),
+            Err(_) => Ok(Cv::Undefined),
+        },
+        v => Err(err(format!("int() cannot convert {v}"))),
+    }
+}
+
+/// `real()` on a defined value.
+pub(crate) fn apply_real_cast(v: Value) -> Result<Cv, EvalError> {
+    match v {
+        Value::Int(n) => Ok(Cv::Val(Value::Double(n as f64))),
+        Value::Double(x) => Ok(Cv::Val(Value::Double(x))),
+        Value::Str(s) => match s.trim().parse::<f64>() {
+            Ok(x) => Ok(Cv::Val(Value::Double(x))),
+            Err(_) => Ok(Cv::Undefined),
+        },
+        v => Err(err(format!("real() cannot convert {v}"))),
     }
 }
 
@@ -927,12 +971,7 @@ mod function_tests {
             own: &empty,
             other: &empty,
         };
-        for bad in [
-            "floor()",
-            "min()",
-            r#"int(1, 2)"#,
-            r#"stringListMember("a")"#,
-        ] {
+        for bad in ["floor()", "min()", r"int(1, 2)", r#"stringListMember("a")"#] {
             let e = parse_expr(bad).unwrap();
             assert!(e.eval(ctx).is_err(), "{bad} should be an arity error");
         }

@@ -120,6 +120,18 @@ impl JobDescription {
         Self::from_ad(parse_ad(src)?)
     }
 
+    /// Statically analyses this job's ad against the default machine-ad
+    /// vocabulary ([`crate::analyze::Schema::machine`]). The broker runs
+    /// this at submit time and rejects ads with `Error`-severity findings.
+    pub fn analyze(&self) -> crate::analyze::Analysis {
+        self.analyze_with(&crate::analyze::Schema::machine())
+    }
+
+    /// Statically analyses this job's ad against a custom machine schema.
+    pub fn analyze_with(&self, machine: &crate::analyze::Schema) -> crate::analyze::Analysis {
+        crate::analyze::analyze_ad(&self.ad, None, machine)
+    }
+
     /// Validates a parsed ad.
     pub fn from_ad(ad: Ad) -> Result<Self, JobError> {
         let executable = ad

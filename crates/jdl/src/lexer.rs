@@ -143,6 +143,13 @@ impl std::error::Error for LexError {}
 
 /// Tokenizes JDL source into `(token, position)` pairs.
 pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
+    lex_spanned(src).map(|(toks, _)| toks)
+}
+
+/// Like [`lex`], but also returns the position just past the last character,
+/// so "unexpected end of input" errors can point at a real location instead
+/// of the previous token.
+pub fn lex_spanned(src: &str) -> Result<(Vec<(Tok, Pos)>, Pos), LexError> {
     let mut out = Vec::new();
     let mut chars = src.chars().peekable();
     let mut line = 1u32;
@@ -373,7 +380,7 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, LexError> {
             }
         }
     }
-    Ok(out)
+    Ok((out, Pos { line, col }))
 }
 
 #[cfg(test)]

@@ -14,7 +14,11 @@
 //! - [`JobDescription`] — the typed, validated view with the paper's
 //!   interactivity attributes: `JobType`, `NodeNumber`, `StreamingMode`
 //!   (reliable/fast), `MachineAccess` (exclusive/shared), `PerformanceLoss`
-//!   (multiples of 5), `ShadowPort`.
+//!   (multiples of 5), `ShadowPort`;
+//! - [`analyze`] — static analysis: schema-driven type checking of
+//!   `Requirements`/`Rank` against the job and machine vocabularies,
+//!   constant folding with unsatisfiability detection, and a compiled
+//!   expression form ([`CompiledExpr`]) for the matchmaking hot loop.
 //!
 //! ```
 //! use cg_jdl::{JobDescription, Interactivity, Parallelism};
@@ -32,14 +36,20 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod ast;
 mod expr;
 mod job;
 mod lexer;
 mod parser;
 
+pub use analyze::{
+    analyze_ad, analyze_source, Analysis, CompiledExpr, Diagnostic, Schema, Severity, Ty,
+};
 pub use ast::{Ad, Value};
 pub use expr::{BinOp, Ctx, Cv, EvalError, Expr};
 pub use job::{Interactivity, JobDescription, JobError, MachineAccess, Parallelism, StreamingMode};
-pub use lexer::{lex, LexError, Pos, Tok};
-pub use parser::{parse_ad, parse_expr, ParseError};
+pub use lexer::{lex, lex_spanned, LexError, Pos, Tok};
+pub use parser::{
+    parse_ad, parse_ad_spanned, parse_expr, parse_expr_spanned, AdSpans, ParseError, Span,
+};

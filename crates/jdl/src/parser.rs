@@ -19,17 +19,22 @@
 //!
 //! Plain literal values are stored as scalars; anything with structure is
 //! stored as an unevaluated [`Expr`].
+//!
+//! The spanned entry points ([`parse_ad_spanned`]) additionally return a
+//! [`Span`] tree that mirrors each expression's shape, so the static
+//! analyzer in [`crate::analyze`] can attach line/column positions to
+//! diagnostics about any subexpression.
 
 use std::fmt;
 
 use crate::ast::{Ad, Value};
 use crate::expr::{BinOp, Expr};
-use crate::lexer::{lex, LexError, Pos, Tok};
+use crate::lexer::{lex_spanned, LexError, Pos, Tok};
 
 /// A parse failure with source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
-    /// Where (best effort — end of input uses the last token's position).
+    /// Where (end-of-input errors point just past the last character).
     pub pos: Pos,
     /// What.
     pub message: String,
@@ -52,8 +57,75 @@ impl From<LexError> for ParseError {
     }
 }
 
+/// Source positions for an [`Expr`], mirroring its shape: `pos` locates the
+/// node itself (operators point at the operator token) and `kids` line up
+/// with the expression's children in evaluation order — `[cond, then, else]`
+/// for a ternary, `[left, right]` for a binary operator, the argument list
+/// for a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Position of this node in the source.
+    pub pos: Pos,
+    /// Child spans, in the same order as the expression's children.
+    pub kids: Vec<Span>,
+}
+
+impl Span {
+    /// A childless span at `pos`.
+    pub fn leaf(pos: Pos) -> Span {
+        Span {
+            pos,
+            kids: Vec::new(),
+        }
+    }
+
+    /// A placeholder span (1:1) for expressions that never came from source
+    /// text, e.g. ads built programmatically.
+    pub fn synthetic() -> Span {
+        Span::leaf(Pos { line: 1, col: 1 })
+    }
+
+    /// The `i`-th child span, falling back to `self` when the span tree is
+    /// shallower than the expression (synthetic spans have no children).
+    pub fn child(&self, i: usize) -> &Span {
+        self.kids.get(i).unwrap_or(self)
+    }
+}
+
+/// Positions for the attributes of a parsed ad: where each attribute name
+/// appears and the [`Span`] tree of its value expression.
+#[derive(Debug, Clone, Default)]
+pub struct AdSpans {
+    /// `(lowercased name, name position, value span)`; later duplicates win,
+    /// matching [`Ad::set`] overwrite semantics.
+    attrs: Vec<(String, Pos, Span)>,
+}
+
+impl AdSpans {
+    fn record(&mut self, name: &str, name_pos: Pos, value: Span) {
+        self.attrs
+            .push((name.to_ascii_lowercase(), name_pos, value));
+    }
+
+    fn find(&self, name: &str) -> Option<&(String, Pos, Span)> {
+        let lower = name.to_ascii_lowercase();
+        self.attrs.iter().rev().find(|(n, _, _)| *n == lower)
+    }
+
+    /// Position of the attribute's name, case-insensitively.
+    pub fn name_pos(&self, name: &str) -> Option<Pos> {
+        self.find(name).map(|&(_, p, _)| p)
+    }
+
+    /// Span tree of the attribute's value, case-insensitively.
+    pub fn value_span(&self, name: &str) -> Option<&Span> {
+        self.find(name).map(|(_, _, s)| s)
+    }
+}
+
 struct Parser {
     toks: Vec<(Tok, Pos)>,
+    end: Pos,
     i: usize,
 }
 
@@ -63,11 +135,7 @@ impl Parser {
     }
 
     fn pos(&self) -> Pos {
-        self.toks
-            .get(self.i)
-            .or_else(|| self.toks.last())
-            .map(|&(_, p)| p)
-            .unwrap_or(Pos { line: 1, col: 1 })
+        self.toks.get(self.i).map(|&(_, p)| p).unwrap_or(self.end)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -105,13 +173,14 @@ impl Parser {
         }
     }
 
-    fn parse_ad(&mut self) -> Result<Ad, ParseError> {
+    fn parse_ad(&mut self) -> Result<(Ad, AdSpans), ParseError> {
         let bracketed = self.eat(&Tok::LBrace) && {
             // `[` is not a JDL token; EDG JDL optionally wraps ads in `[ ]`,
             // but our lexer maps both braces; accept `{ attrs }` too.
             true
         };
         let mut ad = Ad::new();
+        let mut spans = AdSpans::default();
         loop {
             match self.peek() {
                 None => {
@@ -125,12 +194,14 @@ impl Parser {
                     break;
                 }
                 Some(Tok::Ident(_)) => {
+                    let name_pos = self.pos();
                     let Some(Tok::Ident(name)) = self.next() else {
                         unreachable!()
                     };
                     self.expect(Tok::Assign)?;
-                    let value = self.parse_value()?;
+                    let (value, vsp) = self.parse_value()?;
                     self.expect(Tok::Semi)?;
+                    spans.record(&name, name_pos, vsp);
                     ad.set(name, value);
                 }
                 Some(t) => return Err(self.error(format!("expected attribute name, found {t}"))),
@@ -139,23 +210,27 @@ impl Parser {
         if self.peek().is_some() && !bracketed {
             return Err(self.error("trailing input after ad"));
         }
-        Ok(ad)
+        Ok((ad, spans))
     }
 
-    fn parse_value(&mut self) -> Result<Value, ParseError> {
+    fn parse_value(&mut self) -> Result<(Value, Span), ParseError> {
         if self.peek() == Some(&Tok::LBrace) {
             return self.parse_list();
         }
-        let expr = self.parse_expr()?;
-        Ok(simplify(expr))
+        let (expr, sp) = self.parse_expr()?;
+        Ok((simplify(expr), sp))
     }
 
-    fn parse_list(&mut self) -> Result<Value, ParseError> {
+    fn parse_list(&mut self) -> Result<(Value, Span), ParseError> {
+        let list_pos = self.pos();
         self.expect(Tok::LBrace)?;
         let mut items = Vec::new();
+        let mut kids = Vec::new();
         if !self.eat(&Tok::RBrace) {
             loop {
-                items.push(self.parse_value()?);
+                let (v, sp) = self.parse_value()?;
+                items.push(v);
+                kids.push(sp);
                 if self.eat(&Tok::Comma) {
                     continue;
                 }
@@ -163,41 +238,68 @@ impl Parser {
                 break;
             }
         }
-        Ok(Value::List(items))
+        Ok((
+            Value::List(items),
+            Span {
+                pos: list_pos,
+                kids,
+            },
+        ))
     }
 
-    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
-        let cond = self.parse_or()?;
+    fn parse_expr(&mut self) -> Result<(Expr, Span), ParseError> {
+        let (cond, csp) = self.parse_or()?;
         if self.eat(&Tok::Question) {
-            let a = self.parse_expr()?;
+            let (a, asp) = self.parse_expr()?;
             self.expect(Tok::Colon)?;
-            let b = self.parse_expr()?;
-            Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)))
+            let (b, bsp) = self.parse_expr()?;
+            let pos = csp.pos;
+            Ok((
+                Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)),
+                Span {
+                    pos,
+                    kids: vec![csp, asp, bsp],
+                },
+            ))
         } else {
-            Ok(cond)
+            Ok((cond, csp))
         }
     }
 
-    fn parse_or(&mut self) -> Result<Expr, ParseError> {
-        let mut e = self.parse_and()?;
-        while self.eat(&Tok::Or) {
-            let r = self.parse_and()?;
+    fn parse_or(&mut self) -> Result<(Expr, Span), ParseError> {
+        let (mut e, mut sp) = self.parse_and()?;
+        loop {
+            let op_pos = self.pos();
+            if !self.eat(&Tok::Or) {
+                return Ok((e, sp));
+            }
+            let (r, rsp) = self.parse_and()?;
             e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(r));
+            sp = Span {
+                pos: op_pos,
+                kids: vec![sp, rsp],
+            };
         }
-        Ok(e)
     }
 
-    fn parse_and(&mut self) -> Result<Expr, ParseError> {
-        let mut e = self.parse_cmp()?;
-        while self.eat(&Tok::And) {
-            let r = self.parse_cmp()?;
+    fn parse_and(&mut self) -> Result<(Expr, Span), ParseError> {
+        let (mut e, mut sp) = self.parse_cmp()?;
+        loop {
+            let op_pos = self.pos();
+            if !self.eat(&Tok::And) {
+                return Ok((e, sp));
+            }
+            let (r, rsp) = self.parse_cmp()?;
             e = Expr::Bin(BinOp::And, Box::new(e), Box::new(r));
+            sp = Span {
+                pos: op_pos,
+                kids: vec![sp, rsp],
+            };
         }
-        Ok(e)
     }
 
-    fn parse_cmp(&mut self) -> Result<Expr, ParseError> {
-        let e = self.parse_add()?;
+    fn parse_cmp(&mut self) -> Result<(Expr, Span), ParseError> {
+        let (e, sp) = self.parse_add()?;
         let op = match self.peek() {
             Some(Tok::Eq) => BinOp::Eq,
             Some(Tok::Ne) => BinOp::Ne,
@@ -205,75 +307,111 @@ impl Parser {
             Some(Tok::Le) => BinOp::Le,
             Some(Tok::Gt) => BinOp::Gt,
             Some(Tok::Ge) => BinOp::Ge,
-            _ => return Ok(e),
+            _ => return Ok((e, sp)),
         };
+        let op_pos = self.pos();
         self.i += 1;
-        let r = self.parse_add()?;
-        Ok(Expr::Bin(op, Box::new(e), Box::new(r)))
+        let (r, rsp) = self.parse_add()?;
+        Ok((
+            Expr::Bin(op, Box::new(e), Box::new(r)),
+            Span {
+                pos: op_pos,
+                kids: vec![sp, rsp],
+            },
+        ))
     }
 
-    fn parse_add(&mut self) -> Result<Expr, ParseError> {
-        let mut e = self.parse_mul()?;
+    fn parse_add(&mut self) -> Result<(Expr, Span), ParseError> {
+        let (mut e, mut sp) = self.parse_mul()?;
         loop {
             let op = match self.peek() {
                 Some(Tok::Plus) => BinOp::Add,
                 Some(Tok::Minus) => BinOp::Sub,
-                _ => return Ok(e),
+                _ => return Ok((e, sp)),
             };
+            let op_pos = self.pos();
             self.i += 1;
-            let r = self.parse_mul()?;
+            let (r, rsp) = self.parse_mul()?;
             e = Expr::Bin(op, Box::new(e), Box::new(r));
+            sp = Span {
+                pos: op_pos,
+                kids: vec![sp, rsp],
+            };
         }
     }
 
-    fn parse_mul(&mut self) -> Result<Expr, ParseError> {
-        let mut e = self.parse_unary()?;
+    fn parse_mul(&mut self) -> Result<(Expr, Span), ParseError> {
+        let (mut e, mut sp) = self.parse_unary()?;
         loop {
             let op = match self.peek() {
                 Some(Tok::Star) => BinOp::Mul,
                 Some(Tok::Slash) => BinOp::Div,
                 Some(Tok::Percent) => BinOp::Mod,
-                _ => return Ok(e),
+                _ => return Ok((e, sp)),
             };
+            let op_pos = self.pos();
             self.i += 1;
-            let r = self.parse_unary()?;
+            let (r, rsp) = self.parse_unary()?;
             e = Expr::Bin(op, Box::new(e), Box::new(r));
+            sp = Span {
+                pos: op_pos,
+                kids: vec![sp, rsp],
+            };
         }
     }
 
-    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+    fn parse_unary(&mut self) -> Result<(Expr, Span), ParseError> {
+        let op_pos = self.pos();
         if self.eat(&Tok::Not) {
-            return Ok(Expr::Not(Box::new(self.parse_unary()?)));
+            let (e, sp) = self.parse_unary()?;
+            return Ok((
+                Expr::Not(Box::new(e)),
+                Span {
+                    pos: op_pos,
+                    kids: vec![sp],
+                },
+            ));
         }
         if self.eat(&Tok::Minus) {
             // Fold negation into numeric literals.
-            return Ok(match self.parse_unary()? {
-                Expr::Int(n) => Expr::Int(-n),
-                Expr::Double(x) => Expr::Double(-x),
-                e => Expr::Neg(Box::new(e)),
+            let (e, sp) = self.parse_unary()?;
+            return Ok(match e {
+                Expr::Int(n) => (Expr::Int(-n), Span::leaf(op_pos)),
+                Expr::Double(x) => (Expr::Double(-x), Span::leaf(op_pos)),
+                e => (
+                    Expr::Neg(Box::new(e)),
+                    Span {
+                        pos: op_pos,
+                        kids: vec![sp],
+                    },
+                ),
             });
         }
         self.parse_primary()
     }
 
-    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+    fn parse_primary(&mut self) -> Result<(Expr, Span), ParseError> {
+        let start = self.pos();
         match self.next() {
-            Some(Tok::Str(s)) => Ok(Expr::Str(s)),
-            Some(Tok::Int(n)) => Ok(Expr::Int(n)),
-            Some(Tok::Double(x)) => Ok(Expr::Double(x)),
-            Some(Tok::Bool(b)) => Ok(Expr::Bool(b)),
-            Some(Tok::Undefined) => Ok(Expr::Undefined),
+            Some(Tok::Str(s)) => Ok((Expr::Str(s), Span::leaf(start))),
+            Some(Tok::Int(n)) => Ok((Expr::Int(n), Span::leaf(start))),
+            Some(Tok::Double(x)) => Ok((Expr::Double(x), Span::leaf(start))),
+            Some(Tok::Bool(b)) => Ok((Expr::Bool(b), Span::leaf(start))),
+            Some(Tok::Undefined) => Ok((Expr::Undefined, Span::leaf(start))),
             Some(Tok::LParen) => {
-                let e = self.parse_expr()?;
+                let (e, sp) = self.parse_expr()?;
                 self.expect(Tok::RParen)?;
-                Ok(e)
+                Ok((e, sp))
             }
             Some(Tok::Ident(name)) => {
                 if self.eat(&Tok::LParen) {
                     let mut args = Vec::new();
+                    let mut kids = Vec::new();
                     if !self.eat(&Tok::RParen) {
                         loop {
-                            args.push(self.parse_expr()?);
+                            let (a, sp) = self.parse_expr()?;
+                            args.push(a);
+                            kids.push(sp);
                             if self.eat(&Tok::Comma) {
                                 continue;
                             }
@@ -281,14 +419,17 @@ impl Parser {
                             break;
                         }
                     }
-                    return Ok(Expr::Call(name, args));
+                    return Ok((Expr::Call(name, args), Span { pos: start, kids }));
                 }
                 if self.eat(&Tok::Dot) {
                     match self.next() {
-                        Some(Tok::Ident(attr)) => Ok(Expr::Ref {
-                            scope: Some(name.to_ascii_lowercase()),
-                            name: attr,
-                        }),
+                        Some(Tok::Ident(attr)) => Ok((
+                            Expr::Ref {
+                                scope: Some(name.to_ascii_lowercase()),
+                                name: attr,
+                            },
+                            Span::leaf(start),
+                        )),
                         other => Err(self.error(format!(
                             "expected attribute name after `{name}.`, found {}",
                             other
@@ -297,7 +438,7 @@ impl Parser {
                         ))),
                     }
                 } else {
-                    Ok(Expr::Ref { scope: None, name })
+                    Ok((Expr::Ref { scope: None, name }, Span::leaf(start)))
                 }
             }
             Some(t) => Err(ParseError {
@@ -321,21 +462,36 @@ fn simplify(e: Expr) -> Value {
     }
 }
 
+fn parser(src: &str) -> Result<Parser, ParseError> {
+    let (toks, end) = lex_spanned(src)?;
+    Ok(Parser { toks, end, i: 0 })
+}
+
 /// Parses a complete attribute record.
 pub fn parse_ad(src: &str) -> Result<Ad, ParseError> {
-    let toks = lex(src)?;
-    Parser { toks, i: 0 }.parse_ad()
+    parse_ad_spanned(src).map(|(ad, _)| ad)
+}
+
+/// Parses a complete attribute record, also returning source positions for
+/// every attribute and its value expression — the input the static analyzer
+/// needs to produce span-accurate diagnostics.
+pub fn parse_ad_spanned(src: &str) -> Result<(Ad, AdSpans), ParseError> {
+    parser(src)?.parse_ad()
 }
 
 /// Parses a standalone expression (e.g. a Requirements string).
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, i: 0 };
-    let e = p.parse_expr()?;
+    parse_expr_spanned(src).map(|(e, _)| e)
+}
+
+/// Parses a standalone expression along with its [`Span`] tree.
+pub fn parse_expr_spanned(src: &str) -> Result<(Expr, Span), ParseError> {
+    let mut p = parser(src)?;
+    let (e, sp) = p.parse_expr()?;
     if p.peek().is_some() {
         return Err(p.error("trailing input after expression"));
     }
-    Ok(e)
+    Ok((e, sp))
 }
 
 #[cfg(test)]
@@ -476,6 +632,14 @@ mod tests {
     }
 
     #[test]
+    fn end_of_input_errors_point_past_the_source() {
+        let err = parse_expr("1 +").unwrap_err();
+        assert_eq!((err.pos.line, err.pos.col), (1, 4));
+        let err = parse_ad("X = 1").unwrap_err();
+        assert_eq!((err.pos.line, err.pos.col), (1, 6));
+    }
+
+    #[test]
     fn scope_refs() {
         let e = parse_expr("other.FreeCpus >= self.NodeNumber").unwrap();
         let mut job = Ad::new();
@@ -505,5 +669,35 @@ mod tests {
         let inner = printed.trim().trim_start_matches('[').trim_end_matches(']');
         let reparsed = parse_ad(inner).unwrap();
         assert_eq!(ad, reparsed);
+    }
+
+    #[test]
+    fn spans_mirror_expression_shape() {
+        let (e, sp) = parse_expr_spanned("other.FreeCpus >= 2 && !flag").unwrap();
+        let Expr::Bin(BinOp::And, _, _) = e else {
+            panic!()
+        };
+        // `&&` is at col 21, `>=` at col 16, the `!` at col 24.
+        assert_eq!((sp.pos.line, sp.pos.col), (1, 21));
+        assert_eq!(sp.kids.len(), 2);
+        assert_eq!(sp.child(0).pos.col, 16);
+        assert_eq!(sp.child(0).child(0).pos.col, 1);
+        assert_eq!(sp.child(0).child(1).pos.col, 19);
+        assert_eq!(sp.child(1).pos.col, 24);
+        assert_eq!(sp.child(1).child(0).pos.col, 25);
+    }
+
+    #[test]
+    fn ad_spans_locate_attribute_names_and_values() {
+        let src = "NodeNumber = 2;\nRequirements = other.FreeCpus >= NodeNumber;\n";
+        let (_, spans) = parse_ad_spanned(src).unwrap();
+        let p = spans.name_pos("requirements").unwrap();
+        assert_eq!((p.line, p.col), (2, 1));
+        let v = spans.value_span("Requirements").unwrap();
+        assert_eq!((v.pos.line, v.pos.col), (2, 31), "points at `>=`");
+        assert_eq!(v.child(0).pos.col, 16);
+        // Synthetic fallback: asking deeper than the tree goes returns self.
+        let leaf = v.child(0);
+        assert_eq!(leaf.child(5).pos, leaf.pos);
     }
 }

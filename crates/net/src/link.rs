@@ -178,7 +178,7 @@ impl Link {
                 .unwrap_or(arrival);
             drop(inner);
             sim.schedule_at(fail_at.max(now), move |sim| {
-                on(sim, Err(NetError::BrokenMidTransfer))
+                on(sim, Err(NetError::BrokenMidTransfer));
             });
             return;
         }
@@ -262,7 +262,7 @@ mod tests {
         let result = Rc::new(RefCell::new(None));
         let r2 = Rc::clone(&result);
         link.send(&mut sim, Dir::AToB, 10, move |_, r| {
-            *r2.borrow_mut() = Some(r)
+            *r2.borrow_mut() = Some(r);
         });
         sim.run();
         assert_eq!(*result.borrow(), Some(Err(NetError::LinkDown)));
@@ -282,7 +282,7 @@ mod tests {
         let result = Rc::new(RefCell::new(None));
         let r2 = Rc::clone(&result);
         link.send(&mut sim, Dir::AToB, 10_000, move |_, r| {
-            *r2.borrow_mut() = Some(r)
+            *r2.borrow_mut() = Some(r);
         });
         sim.run();
         assert_eq!(*result.borrow(), Some(Err(NetError::BrokenMidTransfer)));

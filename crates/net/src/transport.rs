@@ -91,7 +91,7 @@ impl Session {
                 Ok(()) => {
                     // Endpoint processing before answering the next leg.
                     sim.schedule_in(cpu, move |sim| {
-                        leg(sim, link2, dir, hs, left - 1, leg_dir.flip(), on)
+                        leg(sim, link2, dir, hs, left - 1, leg_dir.flip(), on);
                     });
                 }
             });

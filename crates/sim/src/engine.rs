@@ -283,7 +283,7 @@ mod tests {
             *count.borrow_mut() += 1;
             if left > 0 {
                 sim.schedule_in(SimDuration::from_millis(10), move |sim| {
-                    tick(sim, count, left - 1)
+                    tick(sim, count, left - 1);
                 });
             }
         }

@@ -23,5 +23,5 @@ mod wn;
 pub use gatekeeper::{Gatekeeper, GramCosts, GramEvent};
 pub use lrms::{LocalJobId, LocalJobSpec, Lrms, LrmsEvent, LrmsStats, Policy};
 pub use mds::{InformationIndex, SiteRecord};
-pub use site::{Site, SiteConfig};
+pub use site::{machine_schema, Site, SiteConfig};
 pub use wn::NodeSpec;

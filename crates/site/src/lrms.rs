@@ -381,7 +381,7 @@ impl Lrms {
                     if spec.runtime.is_none_or(|rt| w < rt) {
                         let this2 = this.clone();
                         kill_event = Some(sim.schedule_in(w, move |sim| {
-                            this2.end_job(sim, id, Some("walltime exceeded".into()))
+                            this2.end_job(sim, id, Some("walltime exceeded".into()));
                         }));
                     }
                 }

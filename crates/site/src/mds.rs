@@ -115,7 +115,7 @@ impl InformationIndex {
                 Err(e) => on(sim, Err(e)),
                 Ok(()) => {
                     let records = this.inner.borrow().records.clone();
-                    on(sim, Ok(records))
+                    on(sim, Ok(records));
                 }
             },
         );
@@ -217,7 +217,7 @@ mod tests {
         let got = Rc::new(RefCell::new(None));
         let g = Rc::clone(&got);
         index.query(&mut sim, &link, move |_, r| {
-            *g.borrow_mut() = Some(r.is_err())
+            *g.borrow_mut() = Some(r.is_err());
         });
         sim.run_until(SimTime::from_secs(50));
         assert_eq!(*got.borrow(), Some(true));

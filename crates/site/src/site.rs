@@ -113,13 +113,21 @@ impl Site {
     }
 }
 
+/// The attribute schema of the machine ads published by [`Site::machine_ad`],
+/// derived from a live ad so it can never drift from what sites actually
+/// advertise. The broker's JDL analyzer checks `other.*` references in
+/// `Requirements`/`Rank` against this vocabulary.
+pub fn machine_schema() -> cg_jdl::analyze::Schema {
+    cg_jdl::analyze::Schema::infer_from_ad(&Site::new(SiteConfig::default()).machine_ad())
+}
+
 impl std::fmt::Debug for Site {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Site")
             .field("name", &self.config.name)
             .field("nodes", &self.config.nodes)
             .field("free", &self.lrms.free_nodes())
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -128,6 +136,13 @@ mod tests {
     use super::*;
     use crate::lrms::LocalJobSpec;
     use cg_sim::Sim;
+
+    #[test]
+    fn machine_schema_matches_analyzer_vocabulary() {
+        // The analyzer ships a hand-written copy of this vocabulary so
+        // cg-jdl does not depend on cg-site; this pins the two together.
+        assert_eq!(machine_schema(), cg_jdl::analyze::Schema::machine());
+    }
 
     #[test]
     fn machine_ad_reflects_live_state() {

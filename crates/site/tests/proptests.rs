@@ -154,10 +154,10 @@ proptest! {
         let e = Rc::clone(&ended);
         lrms.submit(&mut sim, spec, move |sim, _, ev| match ev {
             LrmsEvent::Finished => {
-                *e.borrow_mut() = Some((false, sim.now().as_secs_f64()))
+                *e.borrow_mut() = Some((false, sim.now().as_secs_f64()));
             }
             LrmsEvent::Killed { .. } => {
-                *e.borrow_mut() = Some((true, sim.now().as_secs_f64()))
+                *e.borrow_mut() = Some((true, sim.now().as_secs_f64()));
             }
             _ => {}
         });

@@ -77,6 +77,25 @@ pub enum Event {
         /// Broker job id.
         job: u64,
     },
+    /// The submit-time JDL analyzer produced a finding for this job's ad.
+    JdlDiagnostic {
+        /// Broker job id.
+        job: u64,
+        /// `error` or `warning`.
+        severity: String,
+        /// Stable diagnostic code, e.g. `E108`.
+        code: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Terminal: the ad failed static analysis and was rejected at submit;
+    /// no dispatch or lease may follow.
+    JdlRejected {
+        /// Broker job id.
+        job: u64,
+        /// Number of `error`-severity diagnostics.
+        errors: u32,
+    },
 
     // ── fair-share scheduler ────────────────────────────────────────────
     /// The fair-share engine decayed usage and recomputed priorities.
@@ -294,6 +313,8 @@ impl Event {
             Event::JobFinished { .. } => "JobFinished",
             Event::JobFailed { .. } => "JobFailed",
             Event::JobCancelled { .. } => "JobCancelled",
+            Event::JdlDiagnostic { .. } => "JdlDiagnostic",
+            Event::JdlRejected { .. } => "JdlRejected",
             Event::FairShareTick { .. } => "FairShareTick",
             Event::PriorityChanged { .. } => "PriorityChanged",
             Event::AgentDeployed { .. } => "AgentDeployed",
@@ -368,6 +389,20 @@ impl Event {
             Event::JobFailed { job, reason } => {
                 let _ = write!(out, ",\"job\":{job}");
                 str_field(out, "reason", reason);
+            }
+            Event::JdlDiagnostic {
+                job,
+                severity,
+                code,
+                message,
+            } => {
+                let _ = write!(out, ",\"job\":{job}");
+                str_field(out, "severity", severity);
+                str_field(out, "code", code);
+                str_field(out, "message", message);
+            }
+            Event::JdlRejected { job, errors } => {
+                let _ = write!(out, ",\"job\":{job},\"errors\":{errors}");
             }
             Event::FairShareTick { usages } => {
                 let _ = write!(out, ",\"usages\":{usages}");

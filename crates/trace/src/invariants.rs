@@ -26,6 +26,10 @@ use crate::event::{Event, TimedEvent};
 ///    a matching `BatchRestored` / `AgentBatchFinished` / `AgentDied`
 ///    follows the yield: an interactive departure always hands the CPU
 ///    back to the batch job it demoted.
+/// 5. **Rejection is final** — a job rejected by the submit-time JDL
+///    analyzer (`JdlRejected`, a terminal state like the other three)
+///    never acquires a lease or dispatches anywhere in the stream; the
+///    broker must not run matchmaking on an ad it refused.
 ///
 /// The caller should pass a snapshot whose ring has not dropped events
 /// ([`crate::EventLog::dropped`] == 0); on a truncated stream the checker
@@ -33,21 +37,52 @@ use crate::event::{Event, TimedEvent};
 pub fn check_invariants(events: &[TimedEvent]) -> Vec<String> {
     let mut violations = Vec::new();
 
-    // 1 + 2: single forward pass.
+    // 1 + 2 + 5: single forward pass.
     let mut leased: HashSet<u64> = HashSet::new();
     let mut terminal: HashMap<u64, &'static str> = HashMap::new();
+    let mut rejected: HashSet<u64> = HashSet::new();
     // 3: per-stream high-water marks.
     let mut appended: HashMap<&str, u64> = HashMap::new();
     for ev in events {
         match &ev.event {
             Event::LeaseGranted { job, .. } => {
                 leased.insert(*job);
+                if rejected.contains(job) {
+                    violations.push(format!(
+                        "job {job} granted a lease at {}s after JdlRejected",
+                        ev.at.as_secs_f64()
+                    ));
+                }
             }
-            Event::JobDispatched { job, target } if !leased.contains(job) => {
-                violations.push(format!(
-                    "job {job} dispatched to {target} at {}s without a prior lease",
-                    ev.at.as_secs_f64()
-                ));
+            Event::JobDispatched { job, target } => {
+                if !leased.contains(job) {
+                    violations.push(format!(
+                        "job {job} dispatched to {target} at {}s without a prior lease",
+                        ev.at.as_secs_f64()
+                    ));
+                }
+                if rejected.contains(job) {
+                    violations.push(format!(
+                        "job {job} dispatched to {target} at {}s after JdlRejected",
+                        ev.at.as_secs_f64()
+                    ));
+                }
+            }
+            Event::JdlRejected { job, .. } => {
+                if leased.contains(job) {
+                    violations.push(format!(
+                        "job {job} rejected at {}s after already holding a lease",
+                        ev.at.as_secs_f64()
+                    ));
+                }
+                rejected.insert(*job);
+                let kind = ev.event.kind();
+                if let Some(first) = terminal.insert(*job, kind) {
+                    violations.push(format!(
+                        "job {job} reached a second terminal state {kind} at {}s (already {first})",
+                        ev.at.as_secs_f64()
+                    ));
+                }
             }
             Event::JobFinished { job }
             | Event::JobFailed { job, .. }
@@ -208,6 +243,42 @@ mod tests {
         let v = check_invariants(&s);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("stream b"), "{v:?}");
+    }
+
+    #[test]
+    fn rejected_job_must_not_lease_or_dispatch() {
+        let rejected = Event::JdlRejected { job: 7, errors: 2 };
+        // A rejection with no later activity is clean.
+        let s = stream(vec![
+            Event::JobSubmitted {
+                job: 7,
+                user: "alice".into(),
+                interactive: false,
+            },
+            Event::JdlDiagnostic {
+                job: 7,
+                severity: "error".into(),
+                code: "E108".into(),
+                message: "Requirements can never match".into(),
+            },
+            rejected.clone(),
+        ]);
+        assert!(check_invariants(&s).is_empty());
+        // Lease after rejection: flagged.
+        let s = stream(vec![rejected.clone(), lease(7), dispatch(7)]);
+        let v = check_invariants(&s);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("after JdlRejected"), "{v:?}");
+        // Lease before rejection: flagged too.
+        let s = stream(vec![lease(7), rejected.clone()]);
+        let v = check_invariants(&s);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("already holding a lease"), "{v:?}");
+        // Rejection is terminal: a later JobFinished double-terminates.
+        let s = stream(vec![rejected, Event::JobFinished { job: 7 }]);
+        let v = check_invariants(&s);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("second terminal state"), "{v:?}");
     }
 
     #[test]

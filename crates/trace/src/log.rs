@@ -101,7 +101,7 @@ impl EventLog {
     /// Renders the retained events as JSON Lines, one object per event.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
-        for ev in self.lock().ring.iter() {
+        for ev in &self.lock().ring {
             out.push_str(&ev.to_json());
             out.push('\n');
         }

@@ -226,7 +226,7 @@ pub fn deploy_agent(
         costs.binary_bytes,
         move |sim, ev| match ev {
             GramEvent::Accepted { local_id } => {
-                on_event(sim, &AgentEvent::Submitted { carrier: *local_id })
+                on_event(sim, &AgentEvent::Submitted { carrier: *local_id });
             }
             GramEvent::Queued => on_event(sim, &AgentEvent::Queued),
             GramEvent::Started { nodes } => {
@@ -389,7 +389,7 @@ mod tests {
             agent
                 .borrow()
                 .run_batch(&mut sim, SimDuration::from_secs(100), move |sim| {
-                    *d.borrow_mut() = Some((sim.now() - t0).as_secs_f64())
+                    *d.borrow_mut() = Some((sim.now() - t0).as_secs_f64());
                 })
                 .unwrap();
         }

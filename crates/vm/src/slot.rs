@@ -275,7 +275,7 @@ impl VmMachine {
         if let Some(b) = inner.batch.as_mut() {
             advance(b, now);
         }
-        for t in inner.interactive.iter_mut() {
+        for t in &mut inner.interactive {
             advance(t, now);
         }
 
@@ -307,7 +307,7 @@ impl VmMachine {
         if let Some(b) = inner.batch.as_mut() {
             b.rate = batch_share;
         }
-        for t in inner.interactive.iter_mut() {
+        for t in &mut inner.interactive {
             t.rate = iv_rate;
         }
 
@@ -325,7 +325,7 @@ impl VmMachine {
         if let Some(b) = inner.batch.as_ref() {
             plan.push((b.id, b.finish_event, b.remaining, b.rate));
         }
-        for t in inner.interactive.iter() {
+        for t in &inner.interactive {
             plan.push((t.id, t.finish_event, t.remaining, t.rate));
         }
         drop(inner);

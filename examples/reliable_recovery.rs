@@ -58,7 +58,7 @@ fn main() {
     drain(&shadow, &mut received, Duration::from_millis(600));
     println!("\n--- network outage injected (proxy killed) ---");
     proxy.down();
-    std::thread::sleep(Duration::from_millis(1_000));
+    std::thread::sleep(Duration::from_secs(1));
     println!("--- network restored ---\n");
     proxy.up();
 
@@ -76,7 +76,7 @@ fn main() {
             Ok(ShadowEvent::AgentConnected {
                 reconnect: true, ..
             }) => {
-                println!("(agent reconnected and replayed its spool)")
+                println!("(agent reconnected and replayed its spool)");
             }
             _ => {}
         }
@@ -87,7 +87,11 @@ fn main() {
     let report = agent.join().unwrap();
     shadow.shutdown();
 
-    let expected: String = (0..40).map(|i| format!("tick-{i}\n")).collect();
+    let expected = (0..40).fold(String::new(), |mut s, i| {
+        use std::fmt::Write as _;
+        let _ = writeln!(s, "tick-{i}");
+        s
+    });
     assert_eq!(received, expected, "byte-exact despite the outage");
     assert!(report.delivered_all);
     assert!(report.reconnects >= 1, "the outage forced a reconnection");
@@ -157,10 +161,7 @@ impl Proxy {
                                         }
                                         Err(e)
                                             if e.kind() == std::io::ErrorKind::WouldBlock
-                                                || e.kind() == std::io::ErrorKind::TimedOut =>
-                                        {
-                                            continue
-                                        }
+                                                || e.kind() == std::io::ErrorKind::TimedOut => {}
                                         Err(_) => return,
                                     }
                                 }
@@ -170,7 +171,7 @@ impl Proxy {
                 }
                 Ok((refused, _)) => drop(refused),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(20))
+                    std::thread::sleep(Duration::from_millis(20));
                 }
                 Err(_) => return,
             }

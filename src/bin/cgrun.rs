@@ -15,6 +15,11 @@
 //! cgrun local [--reliable DIR] -- CMD ARGS…
 //!     Both halves in one process (loopback demo): your terminal talks to
 //!     CMD through the full agent↔shadow protocol.
+//!
+//! cgrun lint FILE.jdl…
+//!     Statically analyse job descriptions the way the broker does at
+//!     submit time; prints rustc-style diagnostics and exits non-zero when
+//!     any file carries an error.
 //! ```
 //!
 //! The secret file is any byte string shared by both sides (the GSI proxy
@@ -36,7 +41,8 @@ fn main() {
         Some("shadow") => cmd_shadow(&args[1..]),
         Some("agent") => cmd_agent(&args[1..]),
         Some("local") => cmd_local(&args[1..]),
-        Some("--help") | Some("-h") | None => {
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("--help" | "-h") | None => {
             eprint!("{}", USAGE);
             0
         }
@@ -56,6 +62,7 @@ USAGE:
   cgrun shadow --secret-file S [--port P] [--ranks N] [--reliable DIR]
   cgrun agent  --shadow HOST:PORT --secret-file S [--rank K] [--reliable DIR] -- CMD ARGS…
   cgrun local  [--reliable DIR] -- CMD ARGS…
+  cgrun lint   FILE.jdl…
 ";
 
 struct Flags {
@@ -90,24 +97,24 @@ fn parse(args: &[String]) -> Result<Flags, String> {
             "--port" => {
                 f.port = value("--port")?
                     .parse()
-                    .map_err(|_| "--port must be a number".to_string())?
+                    .map_err(|_| "--port must be a number".to_string())?;
             }
             "--ranks" => {
                 f.ranks = value("--ranks")?
                     .parse()
-                    .map_err(|_| "--ranks must be a number".to_string())?
+                    .map_err(|_| "--ranks must be a number".to_string())?;
             }
             "--rank" => {
                 f.rank = value("--rank")?
                     .parse()
-                    .map_err(|_| "--rank must be a number".to_string())?
+                    .map_err(|_| "--rank must be a number".to_string())?;
             }
             "--shadow" => {
                 f.shadow = Some(
                     value("--shadow")?
                         .parse()
                         .map_err(|_| "--shadow must be HOST:PORT".to_string())?,
-                )
+                );
             }
             "--reliable" => f.reliable = Some(PathBuf::from(value("--reliable")?)),
             "--" => {
@@ -140,6 +147,39 @@ fn mode_of(f: &Flags) -> Result<Mode, String> {
             })
         }
     }
+}
+
+/// `cgrun lint FILE…`: run the submit-time JDL analyzer over each file,
+/// printing rustc-style diagnostics. Exit 0 = clean (warnings allowed),
+/// 1 = at least one error-severity finding, 2 = usage or I/O failure.
+fn cmd_lint(args: &[String]) -> i32 {
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: cgrun lint FILE.jdl…");
+        return 2;
+    }
+    let machine = cg_site::machine_schema();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for path in args {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cgrun lint: cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        let analysis = cg_jdl::analyze_source(&src, &machine);
+        for d in &analysis.diagnostics {
+            print!("{}", d.render(path, &src));
+        }
+        errors += analysis.error_count();
+        warnings += analysis.diagnostics.len() - analysis.error_count();
+    }
+    match (errors, warnings) {
+        (0, 0) => println!("cgrun lint: {} file(s) clean", args.len()),
+        (e, w) => println!("cgrun lint: {e} error(s), {w} warning(s)"),
+    }
+    i32::from(errors > 0)
 }
 
 fn cmd_shadow(args: &[String]) -> i32 {
