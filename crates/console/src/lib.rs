@@ -37,5 +37,5 @@ pub use frame::{Decoder, Frame, FrameError, ResumePoint, StreamKind};
 pub use gsi::{nonce, Secret};
 pub use shadow::{ConsoleShadow, ShadowConfig, ShadowEvent};
 pub use simio::{reliable_deliver, MethodCosts, ReliableOutcome, RetryPolicy};
-pub use spool::Spool;
+pub use spool::{recover_watermarks, Spool};
 pub use wire::{mono_ns, write_frame, FrameReader, ReadEvent};

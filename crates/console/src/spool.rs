@@ -205,6 +205,32 @@ impl Spool {
     }
 }
 
+/// Scans `dir` for spool `.ack` sidecars and returns each spool's persisted
+/// ack watermark, keyed by the spool file's name (the stream label),
+/// sorted. Crash recovery seeds the broker's spool watermarks from this
+/// without having to open and index every spool file; the recovery
+/// invariants then enforce that no stream's watermark regresses.
+pub fn recover_watermarks(dir: impl AsRef<Path>) -> io::Result<Vec<(String, u64)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stream) = name.strip_suffix(".ack") else {
+            continue;
+        };
+        let Ok(bytes) = std::fs::read(&path) else {
+            continue; // raced a compacting writer; skip
+        };
+        if let Ok(word) = <[u8; 8]>::try_from(bytes.as_slice()) {
+            out.push((stream.to_string(), u64::from_le_bytes(word)));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

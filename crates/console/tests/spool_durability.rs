@@ -1,0 +1,143 @@
+//! Property tests: spool durability under torn-write truncation.
+//!
+//! A crash can cut the reliable-mode spool file at any byte. Whatever the
+//! cut, reopening must (a) never panic, (b) keep the persisted ack
+//! watermark, (c) never re-deliver data at or below that watermark, and
+//! (d) surface the surviving unacked records as an exact in-order prefix —
+//! torn writes may only ever drop a suffix, never corrupt the middle.
+
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cg_console::Spool;
+use proptest::prelude::*;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn case_path() -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "cg-spool-durability-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    p
+}
+
+fn cleanup(p: &Path) {
+    let _ = std::fs::remove_file(p);
+    let mut ack = p.as_os_str().to_os_string();
+    ack.push(".ack");
+    let _ = std::fs::remove_file(PathBuf::from(ack));
+}
+
+proptest! {
+    /// Truncate the spool file at an arbitrary byte after an arbitrary
+    /// append/ack history: the reopened spool keeps the watermark, replays
+    /// only an in-order prefix of the unacked suffix, and keeps accepting
+    /// appends.
+    #[test]
+    fn torn_truncation_never_loses_acked_state(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 1..12),
+        ack_upto in 0usize..12,
+        cut_bp in 0u64..=10_000,
+    ) {
+        let path = case_path();
+        cleanup(&path);
+        let ack_to = ack_upto.min(payloads.len()) as u64;
+        {
+            let mut s = Spool::open(&path).unwrap();
+            for (i, p) in payloads.iter().enumerate() {
+                s.append(i as u64 + 1, p).unwrap();
+            }
+            if ack_to > 0 {
+                s.ack(ack_to).unwrap();
+            }
+        }
+        // Tear the file at an arbitrary point (basis points of its length).
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        let cut = full_len * cut_bp / 10_000;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        let mut s = Spool::open(&path).unwrap();
+        prop_assert_eq!(s.acked(), ack_to, "ack watermark lost in the tear");
+        prop_assert!(s.highest_seq() >= ack_to);
+
+        let got = s.replay_after(ack_to).unwrap();
+        for (seq, _) in &got {
+            prop_assert!(*seq > ack_to, "re-delivered acked record {seq}");
+        }
+        let expected: Vec<(u64, Vec<u8>)> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64 + 1, p.clone()))
+            .filter(|(seq, _)| *seq > ack_to)
+            .collect();
+        prop_assert!(got.len() <= expected.len());
+        prop_assert_eq!(
+            &got[..],
+            &expected[..got.len()],
+            "a torn write may only drop a suffix"
+        );
+
+        // The spool keeps working where the surviving history left off.
+        let next = s.highest_seq() + 1;
+        s.append(next, b"resume").unwrap();
+        prop_assert_eq!(
+            s.replay_after(next - 1).unwrap(),
+            vec![(next, b"resume".to_vec())]
+        );
+        cleanup(&path);
+    }
+
+    /// The `.ack` sidecar alone (what `recover_watermarks` reads) always
+    /// reports exactly the highest cumulative ack, whatever the append/ack
+    /// interleaving and however the data file was torn.
+    #[test]
+    fn recovered_watermarks_match_the_acks(
+        records in 1usize..10,
+        acks in prop::collection::vec(1u64..20, 0..6),
+        cut_bp in 0u64..=10_000,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "cg-spool-wm-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stdout-r0");
+        let mut highest_ack = 0u64;
+        {
+            let mut s = Spool::open(&path).unwrap();
+            for i in 0..records {
+                s.append(i as u64 + 1, b"payload").unwrap();
+            }
+            for a in &acks {
+                let a = (*a).min(records as u64);
+                s.ack(a).unwrap();
+                highest_ack = highest_ack.max(a);
+            }
+        }
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(full_len * cut_bp / 10_000)
+            .unwrap();
+
+        let marks = cg_console::recover_watermarks(&dir).unwrap();
+        if highest_ack == 0 {
+            prop_assert!(marks.is_empty(), "no sidecar without an ack");
+        } else {
+            prop_assert_eq!(marks, vec![("stdout-r0".to_string(), highest_ack)]);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -17,6 +17,7 @@ use cg_jdl::{Ad, Interactivity, JobDescription, MachineAccess, Parallelism};
 use cg_net::{rpc_call, Dir, HandshakeProfile, Link, Session};
 use cg_sim::{Sim, SimDuration, SimTime};
 use cg_site::{GramEvent, InformationIndex, LocalJobSpec, Site};
+use cg_trace::replay::{Phase, ReplayAgent, ReplayJob, ReplayState, SpoolMark};
 use cg_trace::{Event, EventLog, MetricsRegistry};
 use cg_vm::{deploy_agent, Agent, AgentEvent, AgentId};
 
@@ -92,6 +93,13 @@ struct Inner {
     /// Per-job compiled `Requirements`/`Rank` from the submit-time
     /// analyzer; the selection loop evaluates these instead of the raw AST.
     compiled: HashMap<JobId, Rc<CompiledJob>>,
+    /// Re-parseable JDL source + declared runtime for every live job — the
+    /// commit record that lets crash recovery re-arm in-flight work. Dropped
+    /// once the job is terminal.
+    job_ads: HashMap<JobId, RetainedAd>,
+    /// Per-stream spool ack watermarks seeded by crash recovery; recovery
+    /// invariant rule 8 forbids these from regressing.
+    spool_watermarks: HashMap<String, u64>,
     interactive_usages: HashMap<JobId, UsageId>,
     placements: HashMap<JobId, Vec<Placement>>,
     /// Per-op console round-trip latencies sampled for running interactive
@@ -105,6 +113,15 @@ struct Inner {
     trace: EventLog,
     /// Counters/gauges/histograms behind the event log.
     metrics: MetricsRegistry,
+}
+
+/// The submit-time commit record retained for a live job: everything crash
+/// recovery needs to re-create and re-route it.
+#[derive(Clone)]
+struct RetainedAd {
+    jdl: String,
+    runtime: SimDuration,
+    interactive: bool,
 }
 
 /// Events the ring buffer keeps; a simulated day of the Table I workload
@@ -181,6 +198,8 @@ impl CrossBroker {
                 next_agent: 0,
                 queue: Vec::new(),
                 compiled: HashMap::new(),
+                job_ads: HashMap::new(),
+                spool_watermarks: HashMap::new(),
                 interactive_usages: HashMap::new(),
                 placements: HashMap::new(),
                 session_latency: cg_sim::SampleSet::new(),
@@ -209,6 +228,24 @@ impl CrossBroker {
                 Event::JobSubmitted {
                     job: id.0,
                     user: job.user.clone(),
+                    interactive: job.is_interactive(),
+                },
+            );
+            // The JobAd commit record: together with JobSubmitted it carries
+            // everything recovery needs to re-arm the job after a crash.
+            inner.trace.record(
+                now,
+                Event::JobAd {
+                    job: id.0,
+                    jdl: job.ad.to_string(),
+                    runtime_ns: runtime.as_nanos(),
+                },
+            );
+            inner.job_ads.insert(
+                id,
+                RetainedAd {
+                    jdl: job.ad.to_string(),
+                    runtime,
                     interactive: job.is_interactive(),
                 },
             );
@@ -244,6 +281,7 @@ impl CrossBroker {
                 inner
                     .trace
                     .record(now, Event::JdlRejected { job: id.0, errors });
+                inner.job_ads.remove(&id);
                 return id;
             }
             inner.compiled.insert(
@@ -459,6 +497,7 @@ impl CrossBroker {
             inner
                 .trace
                 .record(sim.now(), Event::JobCancelled { job: id.0 });
+            inner.job_ads.remove(&id);
         }
         self.retry_broker_queue(sim);
         true
@@ -476,6 +515,299 @@ impl CrossBroker {
         self.deploy_agent_at(sim, site_index, move |sim, _broker, aid| {
             then(sim, aid.is_some());
         });
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery: journal snapshots + reconstruction plumbing
+    // ------------------------------------------------------------------
+
+    /// Projects the broker's live tables into the stream-state model
+    /// ([`ReplayState`]) used by journal snapshots and the recovery
+    /// invariants: the job table (with retained JDL commit records), the
+    /// live agent registry, and spool watermarks (seeded recovery marks
+    /// merged with whatever the event ring has seen).
+    pub fn replay_state(&self) -> ReplayState {
+        let inner = self.inner.borrow();
+        let mut state = ReplayState::default();
+        for (id, r) in &inner.jobs {
+            let ad = inner.job_ads.get(id);
+            let phase = match &r.state {
+                JobState::Submitted => Phase::Submitted,
+                JobState::Matching => Phase::Matching,
+                JobState::Scheduled { .. } => Phase::Dispatched,
+                JobState::BrokerQueued => Phase::Queued,
+                JobState::Running { .. } => Phase::Running,
+                JobState::Done => Phase::Finished,
+                JobState::Failed { .. } => Phase::Failed,
+            };
+            let fail_reason = match &r.state {
+                JobState::Failed { reason } => Some(reason.clone()),
+                _ => None,
+            };
+            state.jobs.insert(
+                id.0,
+                ReplayJob {
+                    user: r.user.clone(),
+                    interactive: ad.is_some_and(|a| a.interactive),
+                    phase,
+                    queued: matches!(r.state, JobState::BrokerQueued),
+                    attempts: r.resubmissions,
+                    started: r.started_at.is_some(),
+                    submitted_at_ns: r.submitted_at.as_nanos(),
+                    started_at_ns: r.started_at.map(SimTime::as_nanos),
+                    finished_at_ns: r.finished_at.map(SimTime::as_nanos),
+                    lease: None,
+                    jdl: ad.map(|a| a.jdl.clone()),
+                    runtime_ns: ad.map(|a| a.runtime.as_nanos()),
+                    fail_reason,
+                },
+            );
+        }
+        for (aid, e) in &inner.agents {
+            if !e.agent.borrow().is_alive() {
+                continue;
+            }
+            state.agents.insert(
+                aid.0,
+                ReplayAgent {
+                    site: inner.sites[e.site_index].site.name().to_string(),
+                    alive: true,
+                    ready: e.ready_at != SimTime::MAX,
+                },
+            );
+        }
+        for (stream, acked) in &inner.spool_watermarks {
+            state.spools.insert(
+                stream.clone(),
+                SpoolMark {
+                    appended: *acked,
+                    acked: *acked,
+                },
+            );
+        }
+        let ring = inner.trace.snapshot();
+        for te in &ring {
+            match &te.event {
+                Event::SpoolAppend { stream, seq } => {
+                    let m = state.spools.entry(stream.clone()).or_default();
+                    m.appended = m.appended.max(*seq);
+                }
+                Event::SpoolAck { stream, seq } => {
+                    let m = state.spools.entry(stream.clone()).or_default();
+                    m.acked = m.acked.max(*seq);
+                }
+                _ => {}
+            }
+        }
+        if let Some(last) = ring.last() {
+            state.last_seq = Some(last.seq);
+            state.last_at_ns = last.at.as_nanos();
+        }
+        state
+    }
+
+    /// Writes a snapshot of the broker's current state into the attached
+    /// journal, bounding how many tail events a later recovery must replay.
+    /// Returns `Ok(false)` when no journal is attached (never attached, or
+    /// already sealed by a crash plan) or nothing has been recorded yet.
+    ///
+    /// # Errors
+    /// Propagates the journal file's I/O errors.
+    pub fn journal_snapshot(&self) -> std::io::Result<bool> {
+        let log = self.event_log();
+        let Some(journal) = log.journal() else {
+            return Ok(false);
+        };
+        let recorded = log.recorded();
+        if recorded == 0 {
+            return Ok(false);
+        }
+        let blob = cg_trace::encode_state(&self.replay_state());
+        journal.append_snapshot(recorded - 1, &blob)?;
+        Ok(true)
+    }
+
+    /// Snapshots the attached journal every `every` of simulated time, so
+    /// recovery replays a bounded tail instead of the whole history. Stops
+    /// by itself once the journal detaches (crash plan) or turns sick.
+    pub fn enable_periodic_snapshots(&self, sim: &mut Sim, every: SimDuration) {
+        let this = self.clone();
+        sim.schedule_in(every, move |sim| {
+            if this.event_log().journal().is_none() {
+                return;
+            }
+            if this.journal_snapshot().is_ok() {
+                this.enable_periodic_snapshots(sim, every);
+            }
+        });
+    }
+
+    /// Installs a job reconstructed from the journal, bucket-faithfully:
+    /// the recovered table must land every job in the same coarse
+    /// disposition the stream last saw (recovery invariant rule 6).
+    pub(crate) fn install_restored_job(&self, id: u64, rj: &ReplayJob) {
+        let mut inner = self.inner.borrow_mut();
+        let jid = JobId(id);
+        inner.next_job = inner.next_job.max(id + 1);
+        let state = match rj.phase {
+            Phase::Submitted => JobState::Submitted,
+            Phase::Matching | Phase::Leased | Phase::Dispatched => JobState::Matching,
+            Phase::Queued => JobState::BrokerQueued,
+            Phase::Running => JobState::Running { sites: Vec::new() },
+            Phase::Finished => JobState::Done,
+            Phase::Failed => JobState::Failed {
+                reason: rj
+                    .fail_reason
+                    .clone()
+                    .unwrap_or_else(|| "failed before the broker crash".into()),
+            },
+            Phase::Cancelled => JobState::Failed {
+                reason: "cancelled by user".into(),
+            },
+            Phase::Rejected => JobState::Failed {
+                reason: "rejected by JDL analysis".into(),
+            },
+        };
+        let record = JobRecord {
+            id: jid,
+            user: rj.user.clone(),
+            state,
+            submitted_at: SimTime::from_nanos(rj.submitted_at_ns),
+            discovered_at: None,
+            selected_at: None,
+            dispatched_at: None,
+            started_at: rj.started_at_ns.map(SimTime::from_nanos),
+            finished_at: rj.finished_at_ns.map(SimTime::from_nanos),
+            resubmissions: rj.attempts,
+        };
+        inner.jobs.insert(jid, record);
+        if !rj.phase.is_terminal() {
+            if let (Some(jdl), Some(runtime_ns)) = (&rj.jdl, rj.runtime_ns) {
+                inner.job_ads.insert(
+                    jid,
+                    RetainedAd {
+                        jdl: jdl.clone(),
+                        runtime: SimDuration::from_nanos(runtime_ns),
+                        interactive: rj.interactive,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Overwrites the aggregate counters with values rebuilt from the
+    /// stream (crash recovery).
+    pub(crate) fn set_restored_stats(&self, stats: BrokerStats) {
+        self.inner.borrow_mut().stats = stats;
+    }
+
+    /// Keeps freshly deployed agents' ids clear of the pre-crash id space.
+    pub(crate) fn reserve_agent_ids(&self, next_agent: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.next_agent = inner.next_agent.max(next_agent);
+    }
+
+    /// Seeds a spool ack watermark from the journal; recovery invariant
+    /// rule 8 forbids recovery from regressing these.
+    pub(crate) fn seed_spool_watermark(&self, stream: &str, acked: u64) {
+        self.inner
+            .borrow_mut()
+            .spool_watermarks
+            .insert(stream.to_string(), acked);
+    }
+
+    /// Terminal failure entry point for recovery (private `fail` is not
+    /// visible from the recovery module).
+    pub(crate) fn fail_restored(&self, sim: &mut Sim, id: JobId, reason: &str) {
+        self.fail(sim, id, reason, false);
+    }
+
+    /// Re-runs submit-time static analysis for a restored job so the
+    /// matchmaking loop gets its compiled expressions back. Returns `false`
+    /// (and fails the job, mirroring `submit`) when the ad no longer passes.
+    pub(crate) fn reanalyze_restored(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        job: &JobDescription,
+    ) -> bool {
+        let analysis = job.analyze();
+        let now = sim.now();
+        let mut inner = self.inner.borrow_mut();
+        if analysis.has_errors() {
+            let errors = analysis.error_count() as u32;
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                r.state = JobState::Failed {
+                    reason: format!("rejected by JDL analysis ({errors} errors)"),
+                };
+                r.finished_at = Some(now);
+            }
+            inner.stats.rejected += 1;
+            inner
+                .trace
+                .record(now, Event::JdlRejected { job: id.0, errors });
+            inner.job_ads.remove(&id);
+            return false;
+        }
+        inner.compiled.insert(
+            id,
+            Rc::new(CompiledJob {
+                requirements: analysis.requirements,
+                rank: analysis.rank,
+            }),
+        );
+        true
+    }
+
+    /// Puts a restored batch job back on the broker queue and arms the
+    /// retry cycle.
+    pub(crate) fn requeue_restored(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        job: JobDescription,
+        runtime: SimDuration,
+    ) {
+        if !self.reanalyze_restored(sim, id, &job) {
+            return;
+        }
+        {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(r) = inner.jobs.get_mut(&id) {
+                r.state = JobState::BrokerQueued;
+            }
+            inner.queue.push((id, job, runtime));
+            inner
+                .trace
+                .record(sim.now(), Event::JobQueued { job: id.0 });
+        }
+        self.schedule_queue_retry(sim);
+    }
+
+    /// Routes a restored in-flight job back through its submission path, as
+    /// a resubmission (the pre-crash attempt is gone with the broker).
+    pub(crate) fn rearm_restored(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        job: JobDescription,
+        runtime: SimDuration,
+    ) {
+        if !self.reanalyze_restored(sim, id, &job) {
+            return;
+        }
+        self.ensure_fairshare_tick(sim);
+        match (job.interactivity, job.machine_access) {
+            (Interactivity::Interactive, MachineAccess::Shared) if job.is_parallel() => {
+                self.shared_parallel_path(sim, id, job, runtime);
+            }
+            (Interactivity::Interactive, MachineAccess::Shared) => {
+                self.shared_path(sim, id, job, runtime);
+            }
+            _ => {
+                self.matched_path(sim, id, job, runtime, HashSet::new());
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -529,6 +861,73 @@ impl CrossBroker {
             inner.fairshare.release(usage);
         }
         inner.placements.remove(&id);
+        inner.job_ads.remove(&id);
+    }
+
+    /// Books one resubmission attempt for `id` — stats, the job record's
+    /// attempt counter and the `JobResubmitted` event — and returns the
+    /// jittered exponential backoff delay to wait before re-entering
+    /// matchmaking, or `None` when the attempt budget is exhausted. The
+    /// chosen delay is recorded as a `JobBackoff` event.
+    fn begin_resubmit(&self, sim: &mut Sim, id: JobId) -> Option<SimDuration> {
+        let (attempt, max_resub, base, cap, jitter) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.resubmissions += 1;
+            let r = inner.jobs.get_mut(&id).expect("job exists");
+            r.resubmissions += 1;
+            let attempt = r.resubmissions;
+            inner
+                .trace
+                .record(sim.now(), Event::JobResubmitted { job: id.0, attempt });
+            (
+                attempt,
+                inner.config.max_resubmissions,
+                inner.config.resubmit_backoff_base,
+                inner.config.resubmit_backoff_max,
+                inner.config.resubmit_backoff_jitter,
+            )
+        };
+        if attempt > max_resub {
+            return None;
+        }
+        let delay = backoff_delay(base, cap, jitter, attempt, sim.rng());
+        self.inner.borrow().trace.record(
+            sim.now(),
+            Event::JobBackoff {
+                job: id.0,
+                attempt,
+                delay_ns: delay.as_nanos(),
+            },
+        );
+        Some(delay)
+    }
+
+    /// Resubmits a shared-mode interactive job down [`Self::shared_path`]
+    /// after a dispatch-time race (agent died, vanished, or lost its free
+    /// slot between selection and delegation), honouring the resubmission
+    /// budget and backoff. Falls back to failing the job with `reason` when
+    /// the budget is spent.
+    fn resubmit_shared(
+        &self,
+        sim: &mut Sim,
+        id: JobId,
+        job: JobDescription,
+        runtime: SimDuration,
+        reason: &str,
+    ) {
+        if let Some(delay) = self.begin_resubmit(sim, id) {
+            let this = self.clone();
+            sim.schedule_in(delay, move |sim| {
+                this.shared_path(sim, id, job, runtime);
+            });
+        } else {
+            self.fail(
+                sim,
+                id,
+                &format!("{reason}; resubmission budget exhausted"),
+                false,
+            );
+        }
     }
 
     /// The job's analyzer-compiled expressions, when it passed submit-time
@@ -693,7 +1092,9 @@ impl CrossBroker {
             let inner = self.inner.borrow();
             let Some(entry) = inner.agents.get(&aid) else {
                 drop(inner);
-                self.fail(sim, id, "agent vanished before dispatch", false);
+                // Selection raced an agent death: resubmit rather than fail —
+                // another agent (or an idle node) may still take the job.
+                self.resubmit_shared(sim, id, job, runtime, "agent vanished before dispatch");
                 return;
             };
             let site = &inner.sites[entry.site_index];
@@ -737,6 +1138,14 @@ impl CrossBroker {
                 .send(sim, Dir::AToB, sandbox, move |sim, r| {
                     if r.is_err() {
                         this2.fail(sim, id, "staging to agent failed", false);
+                        return;
+                    }
+                    // The agent may have been killed while the sandbox was in
+                    // flight; a dead target is a race, not a job failure.
+                    let alive = this2.inner.borrow().agents.contains_key(&aid)
+                        && agent2.borrow().is_alive();
+                    if !alive {
+                        this2.resubmit_shared(sim, id, job, runtime, "agent died during dispatch");
                         return;
                     }
                     let this3 = this2.clone();
@@ -783,7 +1192,13 @@ impl CrossBroker {
                         },
                     );
                     if result.is_err() {
-                        this2.fail(sim, id, "agent slot taken concurrently", false);
+                        this2.resubmit_shared(
+                            sim,
+                            id,
+                            job,
+                            runtime,
+                            "agent slot taken concurrently",
+                        );
                     }
                 });
         });
@@ -1473,7 +1888,7 @@ impl CrossBroker {
         runtime: SimDuration,
         excluded: HashSet<usize>,
     ) {
-        let (site, broker_link, ui_link, console, sandbox, resubmit, max_resub) = {
+        let (site, broker_link, ui_link, console, sandbox, resubmit) = {
             let inner = self.inner.borrow();
             let s = &inner.sites[site_index];
             (
@@ -1483,7 +1898,6 @@ impl CrossBroker {
                 inner.config.console,
                 job_sandbox_bytes(&job, &inner.config),
                 inner.config.resubmit_on_queue,
-                inner.config.max_resubmissions,
             )
         };
         {
@@ -1572,27 +1986,16 @@ impl CrossBroker {
                     GramEvent::Queued if resubmit && !*started.borrow() => {
                         // On-line scheduling (§3): it queued instead of starting —
                         // kill it here and resubmit elsewhere.
-                        let resubs = {
-                            let mut inner = this.inner.borrow_mut();
-                            inner.stats.resubmissions += 1;
-                            let r = inner.jobs.get_mut(&id).expect("job exists");
-                            r.resubmissions += 1;
-                            let attempt = r.resubmissions;
-                            inner
-                                .trace
-                                .record(sim.now(), Event::JobResubmitted { job: id.0, attempt });
-                            attempt
-                        };
                         // Withdraw the queued copy before resubmitting elsewhere.
                         if let Some(lid) = *local_id.borrow() {
                             lrms.kill(sim, lid, "withdrawn by broker (on-line scheduling)");
                         }
                         let mut excluded2 = excluded.clone();
                         excluded2.insert(site_index);
-                        if resubs <= max_resub {
+                        if let Some(delay) = this.begin_resubmit(sim, id) {
                             let this2 = this.clone();
                             let job2 = job.clone();
-                            sim.schedule_now(move |sim| {
+                            sim.schedule_in(delay, move |sim| {
                                 this2.matched_path(sim, id, job2, runtime, excluded2);
                             });
                         } else {
@@ -1937,6 +2340,7 @@ impl CrossBroker {
                 inner
                     .trace
                     .record(sim.now(), Event::JobFinished { job: id.0 });
+                inner.job_ads.remove(&id);
             }
         }
         drop(inner);
@@ -2269,5 +2673,89 @@ fn job_sandbox_bytes(job: &JobDescription, config: &BrokerConfig) -> u64 {
         declared
     } else {
         config.default_sandbox_bytes
+    }
+}
+
+/// Bounded exponential backoff with jitter: `base * 2^(attempt-1)` capped at
+/// `cap`, then scaled by a uniform factor in `1 ± jitter_frac`. Keeps a
+/// burst of racing resubmissions from hammering the same shortlist in
+/// lockstep.
+fn backoff_delay(
+    base: SimDuration,
+    cap: SimDuration,
+    jitter_frac: f64,
+    attempt: u32,
+    rng: &mut cg_sim::SimRng,
+) -> SimDuration {
+    let mut delay = if base.is_zero() {
+        SimDuration::from_nanos(1)
+    } else {
+        base
+    };
+    for _ in 1..attempt.min(64) {
+        if delay >= cap {
+            break;
+        }
+        delay = delay * 2;
+    }
+    if delay > cap {
+        delay = cap;
+    }
+    let jitter_frac = jitter_frac.clamp(0.0, 1.0);
+    let factor = 1.0 - jitter_frac + 2.0 * jitter_frac * rng.f64();
+    delay.mul_f64(factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::backoff_delay;
+    use cg_sim::{Sim, SimDuration};
+
+    #[test]
+    fn backoff_spacing_grows_and_is_bounded() {
+        let mut sim = Sim::new(7);
+        let base = SimDuration::from_secs(2);
+        let cap = SimDuration::from_secs(60);
+        // Without jitter the ladder is exactly 2, 4, 8, … capped at 60.
+        let mut prev = SimDuration::ZERO;
+        for attempt in 1..=8 {
+            let d = backoff_delay(base, cap, 0.0, attempt, sim.rng());
+            assert!(d >= prev, "attempt {attempt} shrank: {d:?} < {prev:?}");
+            assert!(d <= cap);
+            prev = d;
+        }
+        assert_eq!(prev, cap, "the ladder must saturate at the cap");
+        assert_eq!(
+            backoff_delay(base, cap, 0.0, 3, sim.rng()),
+            SimDuration::from_secs(8)
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_the_band() {
+        let mut sim = Sim::new(11);
+        let base = SimDuration::from_secs(2);
+        let cap = SimDuration::from_secs(60);
+        let lo = base.mul_f64(0.8);
+        let hi = base.mul_f64(1.2);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..64 {
+            let d = backoff_delay(base, cap, 0.2, 1, sim.rng());
+            assert!(d >= lo && d <= hi, "jittered delay {d:?} outside ±20%");
+            distinct.insert(d);
+        }
+        assert!(distinct.len() > 1, "jitter must actually vary the delay");
+    }
+
+    #[test]
+    fn backoff_tolerates_degenerate_inputs() {
+        let mut sim = Sim::new(3);
+        let cap = SimDuration::from_secs(60);
+        // Zero base must still yield a forward-progress delay.
+        let d = backoff_delay(SimDuration::ZERO, cap, 0.0, 40, sim.rng());
+        assert!(d > SimDuration::ZERO && d <= cap);
+        // Huge attempt numbers must not overflow past the cap.
+        let d = backoff_delay(SimDuration::from_secs(2), cap, 0.0, u32::MAX, sim.rng());
+        assert_eq!(d, cap);
     }
 }

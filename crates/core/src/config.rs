@@ -77,6 +77,13 @@ pub struct BrokerConfig {
     /// An agent surviving at least this long counts as healthy and resets
     /// the site's redeploy breaker.
     pub agent_min_uptime: SimDuration,
+    /// First resubmission backoff delay; each further attempt doubles it.
+    pub resubmit_backoff_base: SimDuration,
+    /// Upper bound on the exponential resubmission backoff.
+    pub resubmit_backoff_max: SimDuration,
+    /// Jitter fraction applied to each backoff delay: the scheduled wait is
+    /// drawn uniformly from `delay * (1 ± jitter)`.
+    pub resubmit_backoff_jitter: f64,
 }
 
 impl Default for BrokerConfig {
@@ -98,6 +105,9 @@ impl Default for BrokerConfig {
             agent_redeploy_delay: SimDuration::from_secs(30),
             agent_redeploy_budget: 3,
             agent_min_uptime: SimDuration::from_secs(600),
+            resubmit_backoff_base: SimDuration::from_secs(2),
+            resubmit_backoff_max: SimDuration::from_secs(60),
+            resubmit_backoff_jitter: 0.2,
         }
     }
 }
@@ -113,5 +123,7 @@ mod tests {
         assert!(c.max_resubmissions >= 1);
         assert!((0.5..=1.0).contains(&c.share_efficiency));
         assert!(c.default_sandbox_bytes > 0);
+        assert!(c.resubmit_backoff_base <= c.resubmit_backoff_max);
+        assert!((0.0..1.0).contains(&c.resubmit_backoff_jitter));
     }
 }

@@ -23,6 +23,7 @@ mod config;
 mod fairshare;
 mod job;
 mod matchmaking;
+mod recovery;
 
 pub use broker::{BrokerStats, CrossBroker, SiteHandle};
 pub use config::{BrokerConfig, ConsoleCosts};
@@ -31,3 +32,4 @@ pub use job::{JobId, JobRecord, JobState};
 pub use matchmaking::{
     coallocate, filter_candidates, filter_candidates_compiled, select, Candidate, CompiledJob,
 };
+pub use recovery::RecoveryReport;

@@ -364,6 +364,20 @@ mod tests {
     "#;
 
     #[test]
+    fn printed_ad_reparses_identically() {
+        // The broker journals `ad.to_string()` as the job's durable commit
+        // record; crash recovery must be able to parse that bracketed form
+        // back into the same job.
+        let j = JobDescription::parse(FIGURE_2).unwrap();
+        let reparsed = JobDescription::parse(&j.ad.to_string()).unwrap();
+        assert_eq!(reparsed.executable, j.executable);
+        assert_eq!(reparsed.interactivity, j.interactivity);
+        assert_eq!(reparsed.parallelism, j.parallelism);
+        assert_eq!(reparsed.node_number, j.node_number);
+        assert_eq!(reparsed.ad.to_string(), j.ad.to_string());
+    }
+
+    #[test]
     fn parses_figure_2_fully_typed() {
         let j = JobDescription::parse(FIGURE_2).unwrap();
         assert_eq!(j.executable, "interactive_mpich-g2_app");

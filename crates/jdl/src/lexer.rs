@@ -358,8 +358,11 @@ pub fn lex_spanned(src: &str) -> Result<(Vec<(Tok, Pos)>, Pos), LexError> {
                     }
                     ';' => Tok::Semi,
                     ',' => Tok::Comma,
-                    '{' => Tok::LBrace,
-                    '}' => Tok::RBrace,
+                    // EDG JDL wraps ads in `[ ]`; our `Ad` Display does the
+                    // same, so both bracket styles must lex for the printed
+                    // form (e.g. a journal's JobAd commit record) to re-parse.
+                    '{' | '[' => Tok::LBrace,
+                    '}' | ']' => Tok::RBrace,
                     '(' => Tok::LParen,
                     ')' => Tok::RParen,
                     '.' => Tok::Dot,

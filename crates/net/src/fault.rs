@@ -36,13 +36,24 @@ impl FaultSchedule {
 
     /// Periodic outages: down for `down` every `period`, starting at `first`.
     /// Generates windows up to `horizon`.
+    ///
+    /// Degenerate parameters are clamped instead of panicking: a `down`
+    /// that reaches or exceeds `period` (or a zero `period`, which would
+    /// otherwise never advance) collapses into one continuous outage
+    /// `[first, horizon)`, and a zero `down` yields no outages at all.
     pub fn periodic(
         first: SimTime,
         period: SimDuration,
         down: SimDuration,
         horizon: SimTime,
     ) -> Self {
-        assert!(down < period, "outage longer than its period");
+        if down.is_zero() || first >= horizon {
+            return FaultSchedule::none();
+        }
+        if period.is_zero() || down >= period {
+            // Windows would touch or overlap: the link is just down.
+            return FaultSchedule::from_windows(vec![(first, horizon)]);
+        }
         let mut windows = Vec::new();
         let mut t = first;
         while t < horizon {
@@ -179,6 +190,44 @@ mod tests {
             ]
         );
         assert_eq!(f.total_downtime(t(300)), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn periodic_clamps_degenerate_parameters() {
+        // down == period: back-to-back windows are one continuous outage.
+        let f = FaultSchedule::periodic(
+            t(10),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(5),
+            t(100),
+        );
+        assert_eq!(f.windows(), &[(t(10), t(100))]);
+        // down > period likewise (used to assert/panic).
+        let f = FaultSchedule::periodic(
+            t(10),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(30),
+            t(100),
+        );
+        assert_eq!(f.windows(), &[(t(10), t(100))]);
+        assert!(f.is_down(t(50)) && !f.is_down(t(100)));
+        // Zero period must not loop forever; it is a continuous outage too.
+        let f = FaultSchedule::periodic(t(0), SimDuration::ZERO, SimDuration::from_secs(1), t(40));
+        assert_eq!(f.windows(), &[(t(0), t(40))]);
+        // Zero down means no outages; first at/after horizon likewise.
+        assert!(
+            FaultSchedule::periodic(t(0), SimDuration::from_secs(5), SimDuration::ZERO, t(40))
+                .windows()
+                .is_empty()
+        );
+        assert!(FaultSchedule::periodic(
+            t(40),
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(1),
+            t(40)
+        )
+        .windows()
+        .is_empty());
     }
 
     #[test]

@@ -22,6 +22,18 @@ pub enum Event {
         /// Whether the job is interactive.
         interactive: bool,
     },
+    /// The job's full description, journalled right after [`Event::JobSubmitted`]
+    /// so crash recovery can re-run matchmaking. The pair acts as the job's
+    /// commit record: a journal that contains `JobSubmitted` but not `JobAd`
+    /// aborts the job deterministically on recovery.
+    JobAd {
+        /// Broker job id.
+        job: u64,
+        /// The classad source, as re-parseable JDL text.
+        jdl: String,
+        /// Declared runtime, nanoseconds.
+        runtime_ns: u64,
+    },
     /// A batch job with no current candidates entered the broker queue.
     JobQueued {
         /// Broker job id.
@@ -59,6 +71,15 @@ pub enum Event {
         job: u64,
         /// 1-based resubmission attempt.
         attempt: u32,
+    },
+    /// A resubmission was delayed by bounded exponential backoff.
+    JobBackoff {
+        /// Broker job id.
+        job: u64,
+        /// 1-based resubmission attempt being delayed.
+        attempt: u32,
+        /// Jittered delay before the retry, nanoseconds.
+        delay_ns: u64,
     },
     /// Terminal: the job completed normally.
     JobFinished {
@@ -276,6 +297,20 @@ pub enum Event {
         reason: String,
     },
 
+    // ── crash recovery ──────────────────────────────────────────────────
+    /// A fresh broker finished replaying a journal and re-armed in-flight
+    /// work. First event of a post-crash epoch.
+    BrokerRecovered {
+        /// Jobs restored into the job table.
+        jobs: u64,
+        /// Queued batch jobs put back on the broker queue.
+        requeued: u64,
+        /// In-flight jobs sent back through matchmaking.
+        resubmitted: u64,
+        /// Agents that were alive in the journal and died with the broker.
+        agents_lost: u64,
+    },
+
     // ── experiments ─────────────────────────────────────────────────────
     /// A named scalar produced by a bench binary.
     Measurement {
@@ -304,12 +339,14 @@ impl Event {
     pub fn kind(&self) -> &'static str {
         match self {
             Event::JobSubmitted { .. } => "JobSubmitted",
+            Event::JobAd { .. } => "JobAd",
             Event::JobQueued { .. } => "JobQueued",
             Event::QueueRetry { .. } => "QueueRetry",
             Event::LeaseGranted { .. } => "LeaseGranted",
             Event::JobDispatched { .. } => "JobDispatched",
             Event::JobStarted { .. } => "JobStarted",
             Event::JobResubmitted { .. } => "JobResubmitted",
+            Event::JobBackoff { .. } => "JobBackoff",
             Event::JobFinished { .. } => "JobFinished",
             Event::JobFailed { .. } => "JobFailed",
             Event::JobCancelled { .. } => "JobCancelled",
@@ -340,6 +377,7 @@ impl Event {
             Event::LrmsStarted { .. } => "LrmsStarted",
             Event::LrmsFinished { .. } => "LrmsFinished",
             Event::LrmsKilled { .. } => "LrmsKilled",
+            Event::BrokerRecovered { .. } => "BrokerRecovered",
             Event::Measurement { .. } => "Measurement",
         }
     }
@@ -383,8 +421,27 @@ impl Event {
                 let _ = write!(out, ",\"job\":{job}");
                 str_field(out, "target", target);
             }
+            Event::JobAd {
+                job,
+                jdl,
+                runtime_ns,
+            } => {
+                let _ = write!(out, ",\"job\":{job}");
+                str_field(out, "jdl", jdl);
+                let _ = write!(out, ",\"runtime_ns\":{runtime_ns}");
+            }
             Event::JobResubmitted { job, attempt } => {
                 let _ = write!(out, ",\"job\":{job},\"attempt\":{attempt}");
+            }
+            Event::JobBackoff {
+                job,
+                attempt,
+                delay_ns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"job\":{job},\"attempt\":{attempt},\"delay_ns\":{delay_ns}"
+                );
             }
             Event::JobFailed { job, reason } => {
                 let _ = write!(out, ",\"job\":{job}");
@@ -500,6 +557,17 @@ impl Event {
                 str_field(out, "site", site);
                 let _ = write!(out, ",\"job\":{job}");
                 str_field(out, "reason", reason);
+            }
+            Event::BrokerRecovered {
+                jobs,
+                requeued,
+                resubmitted,
+                agents_lost,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"jobs\":{jobs},\"requeued\":{requeued},\"resubmitted\":{resubmitted},\"agents_lost\":{agents_lost}"
+                );
             }
             Event::Measurement { name, value } => {
                 str_field(out, "name", name);

@@ -8,6 +8,7 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::event::{Event, TimedEvent};
+use crate::replay::ReplayState;
 
 /// Checks the event stream (oldest first) against the broker-stack
 /// protocol invariants; returns one human-readable line per violation
@@ -141,6 +142,122 @@ pub fn check_invariants(events: &[TimedEvent]) -> Vec<String> {
                 "agent {agent}: batch priority never restored after interactive job {job} \
                  (yielded at {}s) departed",
                 ev.at.as_secs_f64()
+            ));
+        }
+    }
+
+    violations
+}
+
+/// Checks the three crash-recovery invariants over the journal tail and
+/// the two state views it produces: `expected` is the pure event-stream
+/// fold (snapshot + tail, see [`ReplayState::from_events`]) and
+/// `recovered` is what the reconstructed broker actually holds
+/// (`CrossBroker::replay_state()` taken after state rebuild, before
+/// re-arm). Returns one line per violation (empty = clean).
+///
+/// 6. **Fixpoint** — the recovered state is a fixpoint of the event
+///    stream: (a) re-applying the tail events to `expected` changes
+///    nothing (the fold is idempotent on its comparison core), and (b)
+///    `recovered` agrees with `expected` job-for-job on disposition
+///    bucket, resubmission attempts, user and started-flag, and
+///    stream-for-stream on the spool ack watermark. Agents alive in the
+///    stream must not resurrect in `recovered` without a fresh
+///    deployment — the crash killed them.
+/// 7. **No leased-and-queued job** — in both views, no job sits on the
+///    broker queue while holding a lease still live at crash time.
+/// 8. **Spool acks never regress** — every stream's recovered ack
+///    watermark is at least the stream's.
+pub fn check_recovery_invariants(
+    tail: &[TimedEvent],
+    expected: &ReplayState,
+    recovered: &ReplayState,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let crash_at_ns = expected.last_at_ns;
+
+    // 6a: idempotence of the fold on the comparison core.
+    let mut refolded = expected.clone();
+    for ev in tail {
+        refolded.apply(ev);
+    }
+    if refolded.jobs != expected.jobs {
+        violations.push("replay fold is not idempotent over the job table".into());
+    }
+    if refolded.agents != expected.agents {
+        violations.push("replay fold is not idempotent over the agent registry".into());
+    }
+    if refolded.spools != expected.spools {
+        violations.push("replay fold is not idempotent over the spool watermarks".into());
+    }
+
+    // 6b: the broker's reconstruction matches the stream.
+    for (id, want) in &expected.jobs {
+        let Some(got) = recovered.jobs.get(id) else {
+            violations.push(format!("job {id} in the stream is missing after recovery"));
+            continue;
+        };
+        if got.phase.bucket() != want.phase.bucket() {
+            violations.push(format!(
+                "job {id} recovered into bucket {:?}, stream says {:?}",
+                got.phase.bucket(),
+                want.phase.bucket()
+            ));
+        }
+        if got.attempts != want.attempts {
+            violations.push(format!(
+                "job {id} recovered with {} resubmission attempts, stream says {}",
+                got.attempts, want.attempts
+            ));
+        }
+        if got.user != want.user {
+            violations.push(format!(
+                "job {id} recovered under user {:?}, stream says {:?}",
+                got.user, want.user
+            ));
+        }
+        if got.started != want.started {
+            violations.push(format!(
+                "job {id} recovered with started={}, stream says {}",
+                got.started, want.started
+            ));
+        }
+    }
+    for id in recovered.jobs.keys() {
+        if !expected.jobs.contains_key(id) {
+            violations.push(format!("job {id} appeared from nowhere during recovery"));
+        }
+    }
+    for (id, agent) in &expected.agents {
+        if agent.alive && recovered.agents.get(id).is_some_and(|a| a.alive) {
+            violations.push(format!(
+                "agent {id} resurrected across the crash without redeployment"
+            ));
+        }
+    }
+
+    // 7: leased ∧ queued is contradictory in either view.
+    for (label, view) in [("stream", expected), ("recovered", recovered)] {
+        for (id, job) in &view.jobs {
+            let lease_live = job
+                .lease
+                .as_ref()
+                .is_some_and(|(_, until_ns)| *until_ns > crash_at_ns);
+            if job.queued && lease_live {
+                violations.push(format!(
+                    "{label}: job {id} is on the broker queue while holding a live lease"
+                ));
+            }
+        }
+    }
+
+    // 8: ack watermarks are durable.
+    for (stream, want) in &expected.spools {
+        let got = recovered.spools.get(stream).map_or(0, |m| m.acked);
+        if got < want.acked {
+            violations.push(format!(
+                "stream {stream}: ack watermark regressed across recovery ({got} < {})",
+                want.acked
             ));
         }
     }
@@ -322,5 +439,106 @@ mod tests {
             },
         ]);
         assert!(check_invariants(&s).is_empty());
+    }
+
+    fn recovery_stream() -> Vec<TimedEvent> {
+        stream(vec![
+            Event::JobSubmitted {
+                job: 0,
+                user: "alice".into(),
+                interactive: true,
+            },
+            Event::LeaseGranted {
+                job: 0,
+                target: "site:a".into(),
+                until_ns: u64::MAX,
+            },
+            Event::JobSubmitted {
+                job: 1,
+                user: "bob".into(),
+                interactive: false,
+            },
+            Event::JobQueued { job: 1 },
+            Event::SpoolAppend {
+                stream: "stdout".into(),
+                seq: 9,
+            },
+            Event::SpoolAck {
+                stream: "stdout".into(),
+                seq: 7,
+            },
+        ])
+    }
+
+    #[test]
+    fn faithful_recovery_passes_the_new_rules() {
+        let tail = recovery_stream();
+        let expected = ReplayState::from_events(&tail);
+        let recovered = expected.clone();
+        let v = check_recovery_invariants(&tail, &expected, &recovered);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn bucket_drift_and_lost_jobs_violate_the_fixpoint_rule() {
+        let tail = recovery_stream();
+        let expected = ReplayState::from_events(&tail);
+        // Bucket drift: job 0 "recovered" as finished.
+        let mut drifted = expected.clone();
+        drifted.jobs.get_mut(&0).unwrap().phase = crate::replay::Phase::Finished;
+        let v = check_recovery_invariants(&tail, &expected, &drifted);
+        assert!(v.iter().any(|m| m.contains("bucket")), "{v:?}");
+        // Lost job: job 1 missing entirely.
+        let mut lost = expected.clone();
+        lost.jobs.remove(&1);
+        let v = check_recovery_invariants(&tail, &expected, &lost);
+        assert!(
+            v.iter().any(|m| m.contains("missing after recovery")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn leased_and_queued_is_contradictory() {
+        let mut tail = recovery_stream();
+        // Queue job 0 while its (unexpired) lease is outstanding.
+        tail.push(TimedEvent {
+            at: SimTime::from_secs(90),
+            seq: tail.len() as u64,
+            event: Event::JobQueued { job: 0 },
+        });
+        let expected = ReplayState::from_events(&tail);
+        let recovered = expected.clone();
+        let v = check_recovery_invariants(&tail, &expected, &recovered);
+        assert!(
+            v.iter().any(|m| m.contains("live lease")),
+            "both views must flag leased∧queued: {v:?}"
+        );
+    }
+
+    #[test]
+    fn spool_ack_regression_is_flagged() {
+        let tail = recovery_stream();
+        let expected = ReplayState::from_events(&tail);
+        let mut regressed = expected.clone();
+        regressed.spools.get_mut("stdout").unwrap().acked = 3;
+        let v = check_recovery_invariants(&tail, &expected, &regressed);
+        assert!(v.iter().any(|m| m.contains("regressed")), "{v:?}");
+    }
+
+    #[test]
+    fn resurrected_agents_are_flagged() {
+        let tail = stream(vec![Event::AgentDeployed {
+            agent: 4,
+            site: "a".into(),
+        }]);
+        let expected = ReplayState::from_events(&tail);
+        // A faithful recovery reports the agent dead (the crash killed it).
+        let mut honest = expected.clone();
+        honest.agents.get_mut(&4).unwrap().alive = false;
+        assert!(check_recovery_invariants(&tail, &expected, &honest).is_empty());
+        // Claiming it alive without a fresh deployment is a violation.
+        let v = check_recovery_invariants(&tail, &expected, &expected.clone());
+        assert!(v.iter().any(|m| m.contains("resurrected")), "{v:?}");
     }
 }

@@ -1,0 +1,575 @@
+//! Durable, CRC-framed event journal — the write-ahead log behind
+//! [`crate::EventLog`].
+//!
+//! File layout:
+//!
+//! ```text
+//! magic "CGJRNL01"                                  (8 bytes)
+//! record*   where record = [kind: u8]               1 = event, 2 = snapshot
+//!                          [len:  u32 LE]           payload length
+//!                          [crc:  u32 LE]           CRC-32 over kind‖len‖payload
+//!                          [payload: len bytes]
+//! ```
+//!
+//! Event payloads use the binary codec in [`crate::codec`]; snapshot payloads
+//! are `[through_seq: u64 LE]` followed by an opaque state blob (see
+//! [`crate::replay`]). The journal is append-only: snapshots are inline
+//! records, and a reader replays from the **last** snapshot, so replay work
+//! is bounded by snapshot cadence even though the file itself only grows.
+//!
+//! Torn tails vs corruption: a record whose bytes simply stop at end-of-file
+//! is the signature of a crash mid-write — the reader truncates it and
+//! reports how many bytes were dropped. A record that is fully present but
+//! fails its CRC (or decodes to garbage) is bit rot, not a torn write, and
+//! surfaces as a typed [`JournalError::Corrupt`] — never a panic, never a
+//! silent partial replay.
+
+use crate::codec::{self, CodecError};
+use crate::event::TimedEvent;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// File magic: "CrossGrid JouRNaL, format 01".
+pub const JOURNAL_MAGIC: &[u8; 8] = b"CGJRNL01";
+
+const KIND_EVENT: u8 = 1;
+const KIND_SNAPSHOT: u8 = 2;
+/// kind + len + crc.
+const FRAME_HEADER: usize = 1 + 4 + 4;
+
+// ── CRC-32 (IEEE 802.3, reflected) ──────────────────────────────────────
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`, as used by the journal framing.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ── errors ──────────────────────────────────────────────────────────────
+
+/// A typed journal failure. Corruption is always surfaced through here —
+/// the journal code path contains no `panic!`/`unwrap` on file contents.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying file could not be read or written.
+    Io(io::Error),
+    /// The file does not start with [`JOURNAL_MAGIC`].
+    BadMagic,
+    /// A fully-present record failed validation (CRC mismatch, undecodable
+    /// payload, out-of-order sequence numbers, unknown record kind).
+    Corrupt {
+        /// Byte offset of the offending record's frame header.
+        offset: u64,
+        /// What failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadMagic => write!(f, "not a journal file (bad magic)"),
+            JournalError::Corrupt { offset, reason } => {
+                write!(f, "journal corrupt at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+// ── writer ──────────────────────────────────────────────────────────────
+
+/// Durability knobs for the journal writer.
+#[derive(Debug, Clone, Copy)]
+pub struct JournalConfig {
+    /// `fsync` after this many appended records; `0` means only on
+    /// [`Journal::sync`] / snapshot writes. Snapshots always sync.
+    pub fsync_every: u32,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig { fsync_every: 64 }
+    }
+}
+
+struct WriterInner {
+    file: File,
+    config: JournalConfig,
+    unsynced: u32,
+    appended: u64,
+}
+
+/// Handle to an open journal file. Clones share the file; appends are
+/// serialized by an internal mutex so the [`crate::EventLog`] can write from
+/// any thread.
+#[derive(Clone)]
+pub struct Journal {
+    inner: Arc<Mutex<WriterInner>>,
+    path: Arc<PathBuf>,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Journal {
+    /// Creates (truncating) a journal at `path` and writes the file magic.
+    ///
+    /// # Errors
+    /// Propagates file-creation and write failures.
+    pub fn create(path: impl AsRef<Path>, config: JournalConfig) -> io::Result<Journal> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(JOURNAL_MAGIC)?;
+        file.sync_data()?;
+        Ok(Journal {
+            inner: Arc::new(Mutex::new(WriterInner {
+                file,
+                config,
+                unsynced: 0,
+                appended: 0,
+            })),
+            path: Arc::new(path),
+        })
+    }
+
+    /// The journal's file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended (events + snapshots) since creation.
+    #[must_use]
+    pub fn appended(&self) -> u64 {
+        self.lock().appended
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WriterInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn append_record(&self, kind: u8, payload: &[u8], force_sync: bool) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.push(kind);
+        frame.extend_from_slice(
+            &u32::try_from(payload.len())
+                .map_err(|_| io::Error::other("journal record over 4 GiB"))?
+                .to_le_bytes(),
+        );
+        // CRC covers kind ‖ len ‖ payload so a bit flip anywhere in the
+        // frame (header included) is caught.
+        let mut crc_input = Vec::with_capacity(5 + payload.len());
+        crc_input.extend_from_slice(&frame[0..5]);
+        crc_input.extend_from_slice(payload);
+        frame.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+        frame.extend_from_slice(payload);
+
+        let mut inner = self.lock();
+        inner.file.write_all(&frame)?;
+        inner.appended += 1;
+        inner.unsynced += 1;
+        let due = force_sync
+            || (inner.config.fsync_every > 0 && inner.unsynced >= inner.config.fsync_every);
+        if due {
+            inner.file.sync_data()?;
+            inner.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Appends one event record.
+    ///
+    /// # Errors
+    /// Propagates write/sync failures.
+    pub fn append_event(&self, ev: &TimedEvent) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(64);
+        codec::encode_event(ev, &mut payload);
+        self.append_record(KIND_EVENT, &payload, false)
+    }
+
+    /// Appends a snapshot record covering all events with `seq <=
+    /// through_seq`. Always fsyncs: a snapshot that might not be durable is
+    /// worse than none.
+    ///
+    /// # Errors
+    /// Propagates write/sync failures.
+    pub fn append_snapshot(&self, through_seq: u64, state: &[u8]) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(8 + state.len());
+        payload.extend_from_slice(&through_seq.to_le_bytes());
+        payload.extend_from_slice(state);
+        self.append_record(KIND_SNAPSHOT, &payload, true)
+    }
+
+    /// Forces buffered records to stable storage.
+    ///
+    /// # Errors
+    /// Propagates the fsync failure.
+    pub fn sync(&self) -> io::Result<()> {
+        let mut inner = self.lock();
+        inner.file.sync_data()?;
+        inner.unsynced = 0;
+        Ok(())
+    }
+}
+
+// ── reader ──────────────────────────────────────────────────────────────
+
+/// The last snapshot found in a journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalSnapshot {
+    /// Events with `seq <= through_seq` are summarized by the blob.
+    pub through_seq: u64,
+    /// Opaque state blob (decode with [`crate::replay::decode_state`]).
+    pub state: Vec<u8>,
+}
+
+/// Everything recovered from a journal file.
+#[derive(Debug, Clone, Default)]
+pub struct LoadedJournal {
+    /// The last snapshot, if any.
+    pub snapshot: Option<JournalSnapshot>,
+    /// Events after the snapshot (all events when there is none), in
+    /// stream order.
+    pub events: Vec<TimedEvent>,
+    /// Bytes dropped from a torn tail (crash mid-append). Zero for a
+    /// cleanly closed journal.
+    pub truncated_bytes: u64,
+}
+
+impl LoadedJournal {
+    /// Sequence number of the last journalled event (or the snapshot
+    /// horizon when the tail is empty).
+    #[must_use]
+    pub fn last_seq(&self) -> Option<u64> {
+        self.events
+            .last()
+            .map(|e| e.seq)
+            .or(self.snapshot.as_ref().map(|s| s.through_seq))
+    }
+
+    /// Sim-time of the last journalled event — the recovery epoch's "crash
+    /// time".
+    #[must_use]
+    pub fn crash_at_ns(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.at.as_nanos())
+    }
+}
+
+/// Opens and fully validates a journal file.
+///
+/// # Errors
+/// [`JournalError::Io`] on read failures, [`JournalError::BadMagic`] when
+/// the header is wrong, [`JournalError::Corrupt`] when a fully-present
+/// record fails CRC or decoding. A torn tail is **not** an error: the
+/// partial record is dropped and counted in
+/// [`LoadedJournal::truncated_bytes`].
+pub fn open_journal(path: impl AsRef<Path>) -> Result<LoadedJournal, JournalError> {
+    let mut bytes = Vec::new();
+    File::open(path.as_ref())?.read_to_end(&mut bytes)?;
+    parse_journal(&bytes)
+}
+
+/// Parses journal bytes (see [`open_journal`]).
+///
+/// # Errors
+/// Same contract as [`open_journal`], minus the I/O.
+pub fn parse_journal(bytes: &[u8]) -> Result<LoadedJournal, JournalError> {
+    if bytes.len() < JOURNAL_MAGIC.len() {
+        // A crash between file creation and the magic write leaves a short
+        // header: an empty journal, not a corrupt one.
+        if bytes.is_empty() || JOURNAL_MAGIC.starts_with(bytes) {
+            return Ok(LoadedJournal {
+                truncated_bytes: bytes.len() as u64,
+                ..LoadedJournal::default()
+            });
+        }
+        return Err(JournalError::BadMagic);
+    }
+    if &bytes[..8] != JOURNAL_MAGIC {
+        return Err(JournalError::BadMagic);
+    }
+
+    let mut loaded = LoadedJournal::default();
+    let mut last_seq: Option<u64> = None;
+    let mut offset = JOURNAL_MAGIC.len();
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < FRAME_HEADER {
+            loaded.truncated_bytes = remaining as u64;
+            break;
+        }
+        let kind = bytes[offset];
+        let len = u32::from_le_bytes([
+            bytes[offset + 1],
+            bytes[offset + 2],
+            bytes[offset + 3],
+            bytes[offset + 4],
+        ]) as usize;
+        let stored_crc = u32::from_le_bytes([
+            bytes[offset + 5],
+            bytes[offset + 6],
+            bytes[offset + 7],
+            bytes[offset + 8],
+        ]);
+        let Some(end) = offset
+            .checked_add(FRAME_HEADER)
+            .and_then(|s| s.checked_add(len))
+        else {
+            loaded.truncated_bytes = remaining as u64;
+            break;
+        };
+        if end > bytes.len() {
+            // The record's bytes stop at EOF: torn write, drop the tail.
+            loaded.truncated_bytes = remaining as u64;
+            break;
+        }
+        let payload = &bytes[offset + FRAME_HEADER..end];
+        let mut crc_input = Vec::with_capacity(5 + len);
+        crc_input.extend_from_slice(&bytes[offset..offset + 5]);
+        crc_input.extend_from_slice(payload);
+        if crc32(&crc_input) != stored_crc {
+            return Err(JournalError::Corrupt {
+                offset: offset as u64,
+                reason: "CRC mismatch".into(),
+            });
+        }
+        match kind {
+            KIND_EVENT => {
+                let ev = codec::decode_event(payload).map_err(|e: CodecError| {
+                    JournalError::Corrupt {
+                        offset: offset as u64,
+                        reason: format!("undecodable event: {e}"),
+                    }
+                })?;
+                if last_seq.is_some_and(|prev| ev.seq <= prev) {
+                    return Err(JournalError::Corrupt {
+                        offset: offset as u64,
+                        reason: format!(
+                            "event seq {} not after previous {}",
+                            ev.seq,
+                            last_seq.unwrap_or(0)
+                        ),
+                    });
+                }
+                last_seq = Some(ev.seq);
+                loaded.events.push(ev);
+            }
+            KIND_SNAPSHOT => {
+                if payload.len() < 8 {
+                    return Err(JournalError::Corrupt {
+                        offset: offset as u64,
+                        reason: "snapshot payload shorter than its header".into(),
+                    });
+                }
+                let through_seq = u64::from_le_bytes([
+                    payload[0], payload[1], payload[2], payload[3], payload[4], payload[5],
+                    payload[6], payload[7],
+                ]);
+                loaded.snapshot = Some(JournalSnapshot {
+                    through_seq,
+                    state: payload[8..].to_vec(),
+                });
+            }
+            other => {
+                return Err(JournalError::Corrupt {
+                    offset: offset as u64,
+                    reason: format!("unknown record kind {other}"),
+                });
+            }
+        }
+        offset = end;
+    }
+
+    // Replay starts at the last snapshot: earlier events are already
+    // summarized by its state blob.
+    if let Some(sn) = &loaded.snapshot {
+        let horizon = sn.through_seq;
+        loaded.events.retain(|e| e.seq > horizon);
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use cg_sim::SimTime;
+
+    fn ev(seq: u64) -> TimedEvent {
+        TimedEvent {
+            at: SimTime::from_secs(seq),
+            seq,
+            event: Event::JobStarted { job: seq },
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cg-journal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn append_and_reload_round_trips() {
+        let path = tmp("roundtrip.jrnl");
+        let j = Journal::create(&path, JournalConfig::default()).unwrap();
+        for seq in 0..10 {
+            j.append_event(&ev(seq)).unwrap();
+        }
+        j.sync().unwrap();
+        let loaded = open_journal(&path).unwrap();
+        assert_eq!(loaded.events.len(), 10);
+        assert_eq!(loaded.truncated_bytes, 0);
+        assert_eq!(loaded.last_seq(), Some(9));
+        assert!(loaded.snapshot.is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_resumes_from_the_last_snapshot() {
+        let path = tmp("snapshot.jrnl");
+        let j = Journal::create(&path, JournalConfig::default()).unwrap();
+        for seq in 0..5 {
+            j.append_event(&ev(seq)).unwrap();
+        }
+        j.append_snapshot(4, b"state-a").unwrap();
+        for seq in 5..8 {
+            j.append_event(&ev(seq)).unwrap();
+        }
+        j.sync().unwrap();
+        let loaded = open_journal(&path).unwrap();
+        let sn = loaded.snapshot.expect("snapshot present");
+        assert_eq!(sn.through_seq, 4);
+        assert_eq!(sn.state, b"state-a");
+        let seqs: Vec<u64> = loaded.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7], "only the tail replays");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_an_error() {
+        let path = tmp("torn.jrnl");
+        let j = Journal::create(&path, JournalConfig::default()).unwrap();
+        for seq in 0..4 {
+            j.append_event(&ev(seq)).unwrap();
+        }
+        j.sync().unwrap();
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        // Cut the file at every possible length: each prefix must load the
+        // CRC-valid whole records and drop the torn remainder.
+        let record_size = (full.len() - 8) / 4;
+        for cut in 8..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let loaded = open_journal(&path).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+            let on_boundary = (cut - 8) % record_size == 0;
+            assert_eq!(
+                loaded.events.len(),
+                (cut - 8) / record_size,
+                "cut {cut}: every whole record loads"
+            );
+            assert_eq!(
+                loaded.truncated_bytes > 0,
+                !on_boundary,
+                "cut {cut}: truncation is reported iff bytes were dropped"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_rot_is_a_typed_corrupt_error() {
+        let path = tmp("bitrot.jrnl");
+        let j = Journal::create(&path, JournalConfig::default()).unwrap();
+        for seq in 0..3 {
+            j.append_event(&ev(seq)).unwrap();
+        }
+        j.sync().unwrap();
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        // Flip one bit in the middle record's payload.
+        let mut rotten = full.clone();
+        let mid = 8 + (full.len() - 8) / 2;
+        rotten[mid] ^= 0x10;
+        match parse_journal(&rotten) {
+            Err(JournalError::Corrupt { .. }) => {}
+            Ok(loaded) => {
+                // The flip may land in the last record's bytes in a way that
+                // shortens it past EOF — then truncation is the correct read.
+                assert!(loaded.truncated_bytes > 0, "accepted a corrupted journal");
+            }
+            Err(other) => panic!("wrong error type: {other}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_journal_file_is_bad_magic() {
+        assert!(matches!(
+            parse_journal(b"definitely not a journal"),
+            Err(JournalError::BadMagic)
+        ));
+        // An empty or magic-prefix-only file is an empty journal (crash
+        // before the header finished), not corruption.
+        assert!(parse_journal(b"").unwrap().events.is_empty());
+        assert!(parse_journal(b"CGJ").unwrap().events.is_empty());
+    }
+}

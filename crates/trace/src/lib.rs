@@ -24,13 +24,34 @@
 //! The log is `Send + Sync + Clone` (clones share the buffer), so the real
 //! threaded Grid Console transport can feed the same stream as the
 //! single-threaded simulation side.
+//!
+//! ## Durability
+//!
+//! The log doubles as a write-ahead journal: attach a [`Journal`] with
+//! [`EventLog::set_journal`] and every recorded event is also appended to a
+//! CRC-framed file ([`journal`] module), with periodic [`replay`] snapshots
+//! bounding recovery work. [`open_journal`] reads it back (truncating torn
+//! tails, surfacing corruption as typed [`JournalError`]s), and
+//! [`ReplayState`] folds the stream back into broker-visible state.
+//! [`check_recovery_invariants`] validates a reconstruction against the
+//! stream; [`CrashPlan`] provides deterministic kill-point injection for
+//! crash-recovery tests.
 
+mod codec;
 mod event;
 mod invariants;
+pub mod journal;
 mod log;
 mod metrics;
+pub mod replay;
 
+pub use codec::{decode_event, encode_event, CodecError};
 pub use event::{json_escape, Event, TimedEvent};
-pub use invariants::check_invariants;
-pub use log::{dump_jsonl_env, EventLog};
+pub use invariants::{check_invariants, check_recovery_invariants};
+pub use journal::{
+    open_journal, parse_journal, Journal, JournalConfig, JournalError, JournalSnapshot,
+    LoadedJournal,
+};
+pub use log::{dump_jsonl_env, CrashPlan, EventLog};
 pub use metrics::MetricsRegistry;
+pub use replay::{decode_state, encode_state, Bucket, Phase, ReplayState};

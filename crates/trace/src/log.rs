@@ -6,7 +6,21 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use cg_sim::SimTime;
 
 use crate::event::{Event, TimedEvent};
+use crate::journal::Journal;
 use crate::metrics::MetricsRegistry;
+
+/// A deterministic kill point: the broker "crashes" immediately after the
+/// event with this sequence number is journalled. Used by the kill-point
+/// sweep to crash a scenario at every event boundary.
+///
+/// A crash here means the durable journal is sealed — synced and detached —
+/// exactly after `after_event_seq`; everything the process does afterwards
+/// is lost, precisely like power failing between two appends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Seal the journal right after the event with this sequence number.
+    pub after_event_seq: u64,
+}
 
 struct LogInner {
     ring: VecDeque<TimedEvent>,
@@ -14,6 +28,10 @@ struct LogInner {
     next_seq: u64,
     dropped: u64,
     metrics: Option<MetricsRegistry>,
+    journal: Option<Journal>,
+    crash_after: Option<u64>,
+    crashed: bool,
+    journal_error: Option<String>,
 }
 
 /// A ring-buffered lifecycle event log.
@@ -37,6 +55,10 @@ impl EventLog {
                 next_seq: 0,
                 dropped: 0,
                 metrics: None,
+                journal: None,
+                crash_after: None,
+                crashed: false,
+                journal_error: None,
             })),
         }
     }
@@ -53,6 +75,34 @@ impl EventLog {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Attaches a durable journal: every event recorded from now on is
+    /// also appended to it. Attach before the first `record` call if the
+    /// journal must contain the whole stream.
+    pub fn set_journal(&self, journal: Journal) {
+        self.lock().journal = Some(journal);
+    }
+
+    /// The attached journal, if any (and not yet sealed by a crash).
+    pub fn journal(&self) -> Option<Journal> {
+        self.lock().journal.clone()
+    }
+
+    /// Arms a deterministic kill point (see [`CrashPlan`]).
+    pub fn arm_crash(&self, plan: CrashPlan) {
+        self.lock().crash_after = Some(plan.after_event_seq);
+    }
+
+    /// True once an armed [`CrashPlan`] has fired and sealed the journal.
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// The first journal append/sync failure, if one occurred. Journal I/O
+    /// trouble never takes the simulation down; it is surfaced here.
+    pub fn journal_error(&self) -> Option<String> {
+        self.lock().journal_error.clone()
+    }
+
     /// Appends an event at sim time `at`.
     pub fn record(&self, at: SimTime, event: Event) {
         let mut inner = self.lock();
@@ -65,7 +115,25 @@ impl EventLog {
             inner.ring.pop_front();
             inner.dropped += 1;
         }
-        inner.ring.push_back(TimedEvent { at, seq, event });
+        let timed = TimedEvent { at, seq, event };
+        if let Some(journal) = &inner.journal {
+            if let Err(e) = journal.append_event(&timed) {
+                let msg = format!("journal append failed at seq {seq}: {e}");
+                inner.journal_error.get_or_insert(msg);
+            }
+        }
+        if inner.crash_after == Some(seq) {
+            // The kill point: make everything up to and including `seq`
+            // durable, then detach — later events are lost with the crash.
+            if let Some(journal) = inner.journal.take() {
+                if let Err(e) = journal.sync() {
+                    let msg = format!("journal sync failed at crash point: {e}");
+                    inner.journal_error.get_or_insert(msg);
+                }
+            }
+            inner.crashed = true;
+        }
+        inner.ring.push_back(timed);
     }
 
     /// Copies out the retained events, oldest first.
@@ -197,6 +265,37 @@ mod tests {
         let mut seqs: Vec<u64> = log.snapshot().iter().map(|e| e.seq).collect();
         seqs.dedup();
         assert_eq!(seqs.len(), 400);
+    }
+
+    #[test]
+    fn armed_crash_seals_the_journal_at_the_kill_point() {
+        use crate::journal::{open_journal, Journal, JournalConfig};
+        let path = std::env::temp_dir().join(format!(
+            "cg-log-crash-{}-{:?}.jrnl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let log = EventLog::new(64);
+        log.set_journal(Journal::create(&path, JournalConfig { fsync_every: 1 }).unwrap());
+        log.arm_crash(CrashPlan { after_event_seq: 2 });
+        for i in 0..6 {
+            log.record(SimTime::from_secs(i), ev(i));
+        }
+        assert!(log.crashed());
+        assert!(
+            log.journal().is_none(),
+            "journal detached at the kill point"
+        );
+        assert_eq!(log.len(), 6, "the in-memory ring keeps running");
+        let loaded = open_journal(&path).unwrap();
+        let seqs: Vec<u64> = loaded.events.iter().map(|e| e.seq).collect();
+        assert_eq!(
+            seqs,
+            vec![0, 1, 2],
+            "exactly the pre-crash prefix is durable"
+        );
+        assert_eq!(log.journal_error(), None);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

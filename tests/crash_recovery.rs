@@ -1,0 +1,335 @@
+//! Crash-recovery integration tests: the deterministic kill-point sweep
+//! (crash after every journaled event, recover, and demand the same
+//! terminal outcome per job), snapshot-bounded recovery, and journal
+//! corruption fuzzing (torn tails and bit flips must surface as typed
+//! errors, never panics or silent partial replays).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crossgrid::broker::RecoveryReport;
+use crossgrid::jdl::JobDescription;
+use crossgrid::net::{FaultSchedule, Link, LinkProfile};
+use crossgrid::prelude::*;
+use crossgrid::site::{Policy, SiteConfig};
+use crossgrid::trace::journal::{
+    open_journal, parse_journal, Journal, JournalConfig, JournalError,
+};
+use crossgrid::trace::replay::Bucket;
+use crossgrid::trace::CrashPlan;
+
+const SEED: u64 = 7;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cg-crashrec-{}-{name}.journal", std::process::id()));
+    p
+}
+
+fn config() -> BrokerConfig {
+    // A generous resubmission budget keeps the reference scenario's outcome
+    // independent of transient placement collisions, in the original run
+    // and in every recovered epoch of the sweep.
+    BrokerConfig {
+        max_resubmissions: 10,
+        ..BrokerConfig::default()
+    }
+}
+
+fn world() -> (Vec<SiteHandle>, Link) {
+    let handles = ["alpha", "beta"]
+        .iter()
+        .map(|name| {
+            let site = Site::new(SiteConfig {
+                name: (*name).into(),
+                nodes: 2,
+                policy: Policy::Fifo,
+                ..SiteConfig::default()
+            });
+            SiteHandle {
+                site,
+                broker_link: Link::with_faults(LinkProfile::campus(), FaultSchedule::none()),
+                ui_link: Link::with_faults(LinkProfile::campus(), FaultSchedule::none()),
+            }
+        })
+        .collect();
+    let mds = Link::with_faults(LinkProfile::wan_mds(), FaultSchedule::none());
+    (handles, mds)
+}
+
+fn exclusive() -> JobDescription {
+    JobDescription::parse(
+        r#"Executable = "viz"; JobType = "interactive"; MachineAccess = "exclusive"; User = "alice";"#,
+    )
+    .unwrap()
+}
+
+fn shared() -> JobDescription {
+    JobDescription::parse(
+        r#"Executable = "viz"; JobType = "interactive"; MachineAccess = "shared";
+           PerformanceLoss = 10; User = "bob";"#,
+    )
+    .unwrap()
+}
+
+/// Parses fine but fails submit-time static analysis (unknown function in
+/// `Requirements`), so the broker rejects it deterministically in any world.
+fn broken() -> JobDescription {
+    JobDescription::parse(
+        r#"Executable = "viz"; JobType = "interactive"; MachineAccess = "exclusive";
+           User = "mallory"; Requirements = frob(1);"#,
+    )
+    .unwrap()
+}
+
+/// The reference scenario: two exclusive interactive jobs at t=0 (one per
+/// site — exclusive submissions lease a whole site, so two is the most
+/// this world runs concurrently), an analyzer-rejected job at t=1, a third
+/// exclusive job at t=45 once the leases have lapsed, and a shared job at
+/// t=120 that rides a freshly deployed glide-in agent. Every job's outcome
+/// is capacity-independent, so any recovered epoch must reproduce it.
+fn drive(sim: &mut Sim, broker: &CrossBroker) {
+    for _ in 0..2 {
+        broker.submit(sim, exclusive(), SimDuration::from_secs(10));
+    }
+    let b = broker.clone();
+    sim.schedule_at(SimTime::from_secs(1), move |sim| {
+        b.submit(sim, broken(), SimDuration::from_secs(10));
+    });
+    let b = broker.clone();
+    sim.schedule_at(SimTime::from_secs(45), move |sim| {
+        b.submit(sim, exclusive(), SimDuration::from_secs(10));
+    });
+    let b = broker.clone();
+    sim.schedule_at(SimTime::from_secs(120), move |sim| {
+        b.submit(sim, shared(), SimDuration::from_secs(20));
+    });
+}
+
+/// Runs the reference scenario with a journal at `path`. Returns the total
+/// event count and whether the armed kill point fired.
+fn journaled_run(
+    path: &PathBuf,
+    crash_after: Option<u64>,
+    snapshot_at: Option<u64>,
+) -> (u64, bool) {
+    let _ = std::fs::remove_file(path);
+    let mut sim = Sim::new(SEED);
+    let (handles, mds) = world();
+    let broker = CrossBroker::new(&mut sim, handles, mds, config());
+    let log = broker.event_log();
+    log.set_journal(Journal::create(path, JournalConfig::default()).unwrap());
+    if let Some(k) = crash_after {
+        log.arm_crash(CrashPlan { after_event_seq: k });
+    }
+    if let Some(secs) = snapshot_at {
+        let b = broker.clone();
+        sim.schedule_at(SimTime::from_secs(secs), move |_sim| {
+            b.journal_snapshot().unwrap();
+        });
+    }
+    drive(&mut sim, &broker);
+    sim.run_until(SimTime::from_secs(600));
+    if let Some(j) = log.journal() {
+        j.sync().unwrap();
+    }
+    (log.recorded(), log.crashed())
+}
+
+fn bucket_of(state: &JobState) -> Bucket {
+    match state {
+        JobState::Done => Bucket::Done,
+        JobState::Failed { .. } => Bucket::Errored,
+        JobState::Running { .. } => Bucket::Running,
+        JobState::BrokerQueued => Bucket::Queued,
+        _ => Bucket::Pending,
+    }
+}
+
+/// Recovers from `path` into a fresh world and runs it to quiescence.
+fn recover_and_run(path: &PathBuf, seed: u64) -> (CrossBroker, RecoveryReport, Sim) {
+    let loaded = open_journal(path).unwrap();
+    let mut sim = Sim::new(seed);
+    let (handles, mds) = world();
+    let (broker, report) = CrossBroker::recover(&mut sim, handles, mds, config(), &loaded).unwrap();
+    sim.run_until(report.crash_at + SimDuration::from_secs(600));
+    (broker, report, sim)
+}
+
+#[test]
+fn kill_point_sweep_recovers_identical_terminal_stats() {
+    let base = tmp("sweep-base");
+    let (total, crashed) = journaled_run(&base, None, None);
+    assert!(!crashed);
+    assert!(total > 20, "reference scenario too small: {total} events");
+
+    let baseline = open_journal(&base).unwrap().replay_state().unwrap();
+    assert_eq!(baseline.jobs.len(), 5);
+    let mut base_buckets: BTreeMap<u64, Bucket> = BTreeMap::new();
+    for (id, rj) in &baseline.jobs {
+        assert!(
+            rj.phase.is_terminal(),
+            "baseline job {id} not terminal: {:?}",
+            rj.phase
+        );
+        base_buckets.insert(*id, rj.phase.bucket());
+    }
+    assert_eq!(
+        base_buckets
+            .values()
+            .filter(|b| **b == Bucket::Done)
+            .count(),
+        4,
+        "healthy run: everything but the rejected job finishes: {:?}",
+        baseline.jobs
+    );
+
+    let crash = tmp("sweep-crash");
+    for k in 0..total {
+        let (_, crashed) = journaled_run(&crash, Some(k), None);
+        assert!(crashed, "kill point {k} of {total} must fire");
+
+        let loaded = open_journal(&crash).unwrap();
+        let expected = loaded.replay_state().unwrap();
+        let (broker, report, _sim) = recover_and_run(&crash, 1_000 + k);
+        assert!(
+            report.violations.is_empty(),
+            "k={k}: recovery invariants violated: {:?}",
+            report.violations
+        );
+
+        for (id, rj) in &expected.jobs {
+            let state = broker.record(JobId(*id)).state;
+            assert!(
+                matches!(state, JobState::Done | JobState::Failed { .. }),
+                "k={k}: job {id} never reached a terminal state: {state:?}"
+            );
+            // A job whose JobAd commit record missed the journal was never
+            // durably submitted: recovery aborts it. Every other journaled
+            // job must end in the same bucket as the uncrashed run.
+            let want = if !rj.phase.is_terminal() && (rj.jdl.is_none() || rj.runtime_ns.is_none()) {
+                Bucket::Errored
+            } else {
+                base_buckets[id]
+            };
+            assert_eq!(
+                bucket_of(&state),
+                want,
+                "k={k}: job {id} diverged from the uncrashed run: {state:?}"
+            );
+        }
+
+        let new_epoch = crossgrid::trace::check_invariants(&broker.event_log().snapshot());
+        assert!(
+            new_epoch.is_empty(),
+            "k={k}: new-epoch stream broken: {new_epoch:?}"
+        );
+    }
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&crash);
+}
+
+#[test]
+fn snapshot_bounds_the_replayed_tail() {
+    let base = tmp("snap-base");
+    let (total, _) = journaled_run(&base, None, Some(60));
+    let baseline = open_journal(&base).unwrap().replay_state().unwrap();
+
+    // Crash near the end: well after the t=60 s snapshot was written.
+    let crash = tmp("snap-crash");
+    let k = total - 3;
+    let (_, crashed) = journaled_run(&crash, Some(k), Some(60));
+    assert!(crashed);
+
+    let loaded = open_journal(&crash).unwrap();
+    let snap = loaded.snapshot.as_ref().expect("snapshot present");
+    assert!(
+        loaded.events.iter().all(|e| e.seq > snap.through_seq),
+        "tail must start after the snapshot"
+    );
+    assert!(
+        (loaded.events.len() as u64) < total,
+        "snapshot did not bound the tail"
+    );
+
+    let (broker, report, _sim) = recover_and_run(&crash, 42);
+    assert!(report.from_snapshot);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    for (id, rj) in &baseline.jobs {
+        let state = broker.record(JobId(*id)).state;
+        assert_eq!(
+            bucket_of(&state),
+            rj.phase.bucket(),
+            "job {id} diverged across snapshot-bounded recovery"
+        );
+    }
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&crash);
+}
+
+#[test]
+fn torn_tails_and_bit_flips_never_panic_and_corruption_is_typed() {
+    let path = tmp("fuzz");
+    journaled_run(&path, None, None);
+    let bytes = std::fs::read(&path).unwrap();
+    assert!(bytes.len() > 1_000, "journal too small to fuzz");
+
+    // Torn tails: every cut inside the final records, strided elsewhere.
+    // Reopening must yield a clean (possibly shorter) journal or a typed
+    // error — and folding whatever survived must not panic either.
+    let dense_from = bytes.len().saturating_sub(600);
+    for cut in (0..bytes.len()).filter(|i| *i >= dense_from || i % 7 == 0) {
+        match parse_journal(&bytes[..cut]) {
+            Ok(loaded) => {
+                let _ = loaded.replay_state();
+            }
+            Err(JournalError::Corrupt { .. }) => {}
+            Err(e) => panic!("cut={cut}: unexpected error kind: {e:?}"),
+        }
+    }
+
+    // Bit flips: every flip is either caught by the CRC (typed Corrupt), or
+    // lands in framing where it reads as a torn tail (shorter clean
+    // journal). Nothing may panic, and the CRC must actually catch some.
+    let mut corrupt = 0usize;
+    for pos in (8..bytes.len()).step_by(11) {
+        for bit in [0u8, 3, 7] {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= 1 << bit;
+            match parse_journal(&mutated) {
+                Ok(loaded) => {
+                    let _ = loaded.replay_state();
+                }
+                Err(JournalError::Corrupt { .. }) => corrupt += 1,
+                Err(e) => panic!("pos={pos} bit={bit}: unexpected error kind: {e:?}"),
+            }
+        }
+    }
+    assert!(
+        corrupt > 0,
+        "no bit flip tripped the CRC — framing is not actually checked"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn recovery_from_a_healthy_complete_journal_is_a_no_op_rebuild() {
+    let path = tmp("complete");
+    let (total, crashed) = journaled_run(&path, None, None);
+    assert!(!crashed);
+
+    let (broker, report, _sim) = recover_and_run(&path, 99);
+    assert_eq!(report.jobs, 5);
+    assert_eq!(
+        report.terminal, 5,
+        "complete journal: nothing left in flight"
+    );
+    assert_eq!(report.requeued + report.resubmitted + report.aborted, 0);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.tail_events, total);
+    let stats = broker.stats();
+    assert_eq!(stats.submitted, 5);
+    assert_eq!(stats.finished, 4);
+    assert_eq!(stats.rejected, 1);
+    let _ = std::fs::remove_file(&path);
+}

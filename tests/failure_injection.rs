@@ -223,3 +223,50 @@ fn reliable_streaming_model_survives_what_fast_loses() {
         ReliableOutcome::Aborted => panic!("reliable mode must deliver, got Aborted"),
     }
 }
+
+#[test]
+fn agent_death_during_dispatch_resubmits_with_backoff() {
+    use crossgrid::trace::Event;
+
+    let mut sim = Sim::new(11);
+    let (broker, site) = one_site_broker(&mut sim, FaultSchedule::none(), FaultSchedule::none());
+    broker.predeploy_agent(&mut sim, 0, |_, ok| assert!(ok));
+    sim.run_until(SimTime::from_secs(300));
+    assert_eq!(broker.agent_count(), 1);
+
+    // Submit a shared job, then kill the agent's carrier inside the ~3.9 s
+    // delegation window — the sandbox arrives at a dead agent. The broker
+    // must treat that as a race (resubmit with backoff), not a job failure.
+    let submitted_at = sim.now();
+    let shared = JobDescription::parse(
+        r#"Executable = "i"; JobType = "interactive"; MachineAccess = "shared";
+           PerformanceLoss = 10; User = "u";"#,
+    )
+    .unwrap();
+    let id = broker.submit(&mut sim, shared, SimDuration::from_secs(30));
+    let lrms = site.lrms().clone();
+    sim.schedule_at(submitted_at + SimDuration::from_millis(500), move |sim| {
+        assert!(lrms.kill(sim, LocalJobId(0), "drained mid-dispatch"));
+    });
+    sim.run_until(submitted_at + SimDuration::from_secs(1_800));
+
+    assert!(
+        matches!(broker.record(id).state, JobState::Done),
+        "job must survive the dispatch race: {:?}",
+        broker.record(id).state
+    );
+    assert!(
+        broker.stats().resubmissions >= 1,
+        "death during dispatch must go through resubmission"
+    );
+
+    let events = broker.event_log().snapshot();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, Event::JobBackoff { job, .. } if job == id.0)),
+        "resubmission must be paced by a JobBackoff event"
+    );
+    let violations = check_invariants(&events);
+    assert!(violations.is_empty(), "{violations:?}");
+}
