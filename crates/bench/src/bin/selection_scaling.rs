@@ -2,9 +2,17 @@
 //! The paper reports ≈0.5 s discovery and ≈3 s selection with 20 sites; this
 //! sweep shows where those numbers come from (per-site live queries).
 //!
+//! Also measures the sharded broker core: multi-thread matchmaking
+//! throughput over 1000 synthetic sites, with a bit-identical-outcome
+//! assertion against the single-threaded run.
+//!
 //! ```text
 //! cargo run -p cg-bench --release --bin selection_scaling [samples]
+//! cargo run -p cg-bench --release --bin selection_scaling -- --check
 //! ```
+//!
+//! `--check` runs the quick CI gates only: the compiled-matchmaking margin
+//! and the multi-thread speedup (skipped below 4 cores).
 
 use std::time::Instant;
 
@@ -14,7 +22,11 @@ use cg_bench::write_csv;
 use cg_jdl::{Ad, JobDescription};
 use cg_sim::SampleSet;
 use cg_site::{Site, SiteConfig};
-use crossbroker::{filter_candidates, filter_candidates_compiled, CompiledJob};
+use cg_trace::EventLog;
+use crossbroker::{
+    filter_candidates, filter_candidates_compiled, CompiledJob, JobId, MatchRequest,
+    ParallelMatcher, ShardedJobTable, DEFAULT_SHARDS,
+};
 
 /// A figure-2-shaped interactive job: an own-ad reference (`NodeNumber`),
 /// a list-membership test, and an arithmetic rank — the expression shapes
@@ -65,10 +77,12 @@ fn time_us(iters: u32, mut f: impl FnMut() -> usize) -> f64 {
 }
 
 /// Raw-AST vs compiled matchmaking over the same job and site ads.
-fn matchmaking_comparison(sink: &TraceSink) {
+/// Returns (raw, compiled) µs/pass at the largest site count.
+fn matchmaking_comparison(sink: &TraceSink) -> (f64, f64) {
     let job = bench_job();
     let compiled = CompiledJob::prepare(&job);
     let mut rows = Vec::new();
+    let mut last = (0.0, 0.0);
     let mut csv = String::from("sites,raw_us,compiled_us,speedup\n");
     for n in [5usize, 10, 20, 40, 80] {
         let ads = bench_ads(n);
@@ -91,6 +105,7 @@ fn matchmaking_comparison(sink: &TraceSink) {
             format!("{:.2}x", raw / fast),
         ]);
         csv.push_str(&format!("{n},{raw},{fast},{}\n", raw / fast));
+        last = (raw, fast);
     }
     print_table(
         "Matchmaking: raw AST walk vs submit-time compiled Requirements/Rank (µs per pass)",
@@ -99,15 +114,104 @@ fn matchmaking_comparison(sink: &TraceSink) {
     );
     let path = write_csv("matchmaking_compiled.csv", &csv);
     println!("CSV: {}\n", path.display());
+    last
+}
+
+/// Multi-thread matchmaking over 1000 synthetic sites: µs/job at each
+/// worker count, asserting the outcome vector is bit-identical to the
+/// single-threaded run. Returns the speedup at 4 workers.
+fn parallel_matching(sink: &TraceSink, quick: bool) -> f64 {
+    let sites = 1_000;
+    let batch = if quick { 256 } else { 512 };
+    let engine = ParallelMatcher::new(bench_ads(sites), 0xC055);
+    let jobs: Vec<MatchRequest> = (0..batch)
+        .map(|i| MatchRequest {
+            id: JobId(i),
+            job: bench_job(),
+        })
+        .collect();
+    let run = |threads: usize| {
+        let mut best = f64::INFINITY;
+        let mut outcomes = Vec::new();
+        for _ in 0..2 {
+            let log = EventLog::new(jobs.len() * 4);
+            let table = ShardedJobTable::new(DEFAULT_SHARDS);
+            let start = Instant::now();
+            outcomes = engine.run(&jobs, threads, &log, &table);
+            let us = start.elapsed().as_secs_f64() / jobs.len() as f64 * 1e6;
+            best = best.min(us);
+        }
+        (best, outcomes)
+    };
+    let (base_us, base_outcomes) = run(1);
+    let mut rows = vec![vec!["1".into(), format!("{base_us:.1}"), "1.00x".into()]];
+    sink.measure("selection_scaling.parallel.1_threads_us_per_job", base_us);
+    let mut speedup_at_4 = 0.0;
+    for threads in [2usize, 4, 8] {
+        let (us, outcomes) = run(threads);
+        assert_eq!(
+            outcomes, base_outcomes,
+            "{threads}-thread outcomes diverged from the sequential run"
+        );
+        let speedup = base_us / us;
+        if threads == 4 {
+            speedup_at_4 = speedup;
+        }
+        sink.measure(
+            format!("selection_scaling.parallel.{threads}_threads_us_per_job"),
+            us,
+        );
+        rows.push(vec![
+            format!("{threads}"),
+            format!("{us:.1}"),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+    print_table(
+        &format!("Parallel matchmaking over {sites} sites (µs per job, outcome-identical)"),
+        &["threads", "us/job", "speedup"],
+        &rows,
+    );
+    speedup_at_4
+}
+
+/// The CI perf gates (`--check`): compiled matchmaking must keep a clear
+/// margin over the raw AST walk, and the sharded core must hit ≥2×
+/// throughput at 4 workers when the machine has the cores for it.
+fn run_checks(sink: &TraceSink) {
+    let (raw, compiled) = matchmaking_comparison(sink);
+    // The compiled path normally beats the raw AST walk outright; failing
+    // means its µs/job regressed by more than 20% past the raw baseline —
+    // the submit-time compiler stopped paying for itself.
+    assert!(
+        compiled < raw * 1.2,
+        "compiled matchmaking regressed >20% past the raw walk: \
+         {compiled:.2}µs vs raw {raw:.2}µs"
+    );
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let speedup = parallel_matching(sink, true);
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "sharded core below 2x at 4 workers on {cores} cores: {speedup:.2}x"
+        );
+    } else {
+        println!("(speedup gate skipped: only {cores} cores)");
+    }
+    println!("selection_scaling --check: all gates passed");
 }
 
 fn main() {
-    let samples: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30);
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let sink = TraceSink::new();
+    if args.iter().any(|a| a == "--check") {
+        run_checks(&sink);
+        sink.dump();
+        return;
+    }
+    let samples: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(30);
     matchmaking_comparison(&sink);
+    parallel_matching(&sink, false);
     let mut rows = Vec::new();
     let mut csv = String::from("sites,discovery_mean_s,selection_mean_s\n");
     for n in [1usize, 2, 5, 10, 15, 20, 30, 40] {

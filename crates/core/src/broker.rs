@@ -25,8 +25,9 @@ use crate::config::BrokerConfig;
 use crate::fairshare::{FairShare, UsageId, UsageKind};
 use crate::job::{JobId, JobRecord, JobState};
 use crate::matchmaking::{
-    coallocate, filter_candidates, filter_candidates_compiled, select, CompiledJob,
+    coallocate, filter_candidates, filter_candidates_compiled, select_detailed, CompiledJob,
 };
+use crate::shard::{ShardedJobTable, DEFAULT_SHARDS};
 
 /// One site as the broker sees it.
 pub struct SiteHandle {
@@ -86,7 +87,11 @@ struct Inner {
     mds_link: Link,
     agents: HashMap<AgentId, AgentEntry>,
     fairshare: FairShare,
-    jobs: HashMap<JobId, JobRecord>,
+    /// The job table, sharded by id with one lock per shard. The sim loop
+    /// drives it single-threaded, but the structure is `Send + Sync`, so the
+    /// parallel matchmaking engine ([`crate::ParallelMatcher`]) writes the
+    /// same table type from worker threads.
+    jobs: ShardedJobTable<JobRecord>,
     next_job: u64,
     next_agent: u64,
     queue: Vec<(JobId, JobDescription, SimDuration)>,
@@ -193,7 +198,7 @@ impl CrossBroker {
                 mds_link,
                 agents: HashMap::new(),
                 fairshare,
-                jobs: HashMap::new(),
+                jobs: ShardedJobTable::new(DEFAULT_SHARDS),
                 next_job: 0,
                 next_agent: 0,
                 queue: Vec::new(),
@@ -271,12 +276,12 @@ impl CrossBroker {
             }
             if analysis.has_errors() {
                 let errors = analysis.error_count() as u32;
-                if let Some(r) = inner.jobs.get_mut(&id) {
+                inner.jobs.update(id, |r| {
                     r.state = JobState::Failed {
                         reason: format!("rejected by JDL analysis ({errors} errors)"),
                     };
                     r.finished_at = Some(now);
-                }
+                });
                 inner.stats.rejected += 1;
                 inner
                     .trace
@@ -332,15 +337,13 @@ impl CrossBroker {
 
     /// A job's current record.
     pub fn record(&self, id: JobId) -> JobRecord {
-        self.inner.borrow().jobs[&id].clone()
+        self.inner.borrow().jobs.get(id).expect("job exists")
     }
 
-    /// All job records (for experiment summaries).
+    /// All job records (for experiment summaries), sorted by id.
     pub fn records(&self) -> Vec<JobRecord> {
         let inner = self.inner.borrow();
-        let mut v: Vec<JobRecord> = inner.jobs.values().cloned().collect();
-        v.sort_by_key(|r| r.id);
-        v
+        inner.jobs.snapshot().into_iter().map(|(_, r)| r).collect()
     }
 
     /// A user's fair-share priority (higher = worse).
@@ -403,11 +406,11 @@ impl CrossBroker {
     pub fn cancel(&self, sim: &mut Sim, id: JobId) -> bool {
         {
             let mut inner = self.inner.borrow_mut();
-            let Some(r) = inner.jobs.get(&id) else {
-                return false;
-            };
-            if matches!(r.state, JobState::Done | JobState::Failed { .. }) {
-                return false;
+            match inner.jobs.with(id, |r| {
+                matches!(r.state, JobState::Done | JobState::Failed { .. })
+            }) {
+                None | Some(true) => return false,
+                Some(false) => {}
             }
             if let Some(pos) = inner.queue.iter().position(|(qid, _, _)| *qid == id) {
                 inner.queue.remove(pos);
@@ -488,12 +491,12 @@ impl CrossBroker {
             if let Some(usage) = inner.interactive_usages.remove(&id) {
                 inner.fairshare.release(usage);
             }
-            if let Some(r) = inner.jobs.get_mut(&id) {
+            inner.jobs.update(id, |r| {
                 r.state = JobState::Failed {
                     reason: "cancelled by user".into(),
                 };
                 r.finished_at = Some(sim.now());
-            }
+            });
             inner
                 .trace
                 .record(sim.now(), Event::JobCancelled { job: id.0 });
@@ -529,8 +532,8 @@ impl CrossBroker {
     pub fn replay_state(&self) -> ReplayState {
         let inner = self.inner.borrow();
         let mut state = ReplayState::default();
-        for (id, r) in &inner.jobs {
-            let ad = inner.job_ads.get(id);
+        for (id, r) in inner.jobs.snapshot() {
+            let ad = inner.job_ads.get(&id);
             let phase = match &r.state {
                 JobState::Submitted => Phase::Submitted,
                 JobState::Matching => Phase::Matching,
@@ -736,12 +739,12 @@ impl CrossBroker {
         let mut inner = self.inner.borrow_mut();
         if analysis.has_errors() {
             let errors = analysis.error_count() as u32;
-            if let Some(r) = inner.jobs.get_mut(&id) {
+            inner.jobs.update(id, |r| {
                 r.state = JobState::Failed {
                     reason: format!("rejected by JDL analysis ({errors} errors)"),
                 };
                 r.finished_at = Some(now);
-            }
+            });
             inner.stats.rejected += 1;
             inner
                 .trace
@@ -773,9 +776,7 @@ impl CrossBroker {
         }
         {
             let mut inner = self.inner.borrow_mut();
-            if let Some(r) = inner.jobs.get_mut(&id) {
-                r.state = JobState::BrokerQueued;
-            }
+            inner.jobs.update(id, |r| r.state = JobState::BrokerQueued);
             inner.queue.push((id, job, runtime));
             inner
                 .trace
@@ -836,14 +837,20 @@ impl CrossBroker {
 
     fn fail(&self, sim: &mut Sim, id: JobId, reason: &str, rejected: bool) {
         let mut inner = self.inner.borrow_mut();
-        if let Some(r) = inner.jobs.get_mut(&id) {
+        let failed_now = inner.jobs.update(id, |r| {
             if matches!(r.state, JobState::Done | JobState::Failed { .. }) {
-                return; // already terminal; late events must not re-fail it
+                return false; // already terminal; late events must not re-fail it
             }
             r.state = JobState::Failed {
                 reason: reason.to_string(),
             };
             r.finished_at = Some(sim.now());
+            true
+        });
+        if failed_now == Some(false) {
+            return;
+        }
+        if failed_now == Some(true) {
             inner.trace.record(
                 sim.now(),
                 Event::JobFailed {
@@ -873,9 +880,13 @@ impl CrossBroker {
         let (attempt, max_resub, base, cap, jitter) = {
             let mut inner = self.inner.borrow_mut();
             inner.stats.resubmissions += 1;
-            let r = inner.jobs.get_mut(&id).expect("job exists");
-            r.resubmissions += 1;
-            let attempt = r.resubmissions;
+            let attempt = inner
+                .jobs
+                .update(id, |r| {
+                    r.resubmissions += 1;
+                    r.resubmissions
+                })
+                .expect("job exists");
             inner
                 .trace
                 .record(sim.now(), Event::JobResubmitted { job: id.0, attempt });
@@ -947,9 +958,7 @@ impl CrossBroker {
     }
 
     fn set_state(&self, id: JobId, state: JobState) {
-        if let Some(r) = self.inner.borrow_mut().jobs.get_mut(&id) {
-            r.state = state;
-        }
+        self.inner.borrow_mut().jobs.update(id, |r| r.state = state);
     }
 
     fn ensure_fairshare_tick(&self, sim: &mut Sim) {
@@ -971,7 +980,6 @@ impl CrossBroker {
                 inner.fairshare.active_usages() > 0
                     || inner
                         .jobs
-                        .values()
                         .any(|j| matches!(j.state, JobState::Running { .. }))
             };
             if keep {
@@ -989,11 +997,15 @@ impl CrossBroker {
         {
             // Discovery+selection are "a combined step inside CrossBroker"
             // using local agent information only (§6.1).
-            let mut inner = self.inner.borrow_mut();
-            let r = inner.jobs.get_mut(&id).expect("job exists");
-            r.state = JobState::Matching;
-            r.discovered_at = Some(now);
-            r.selected_at = Some(now);
+            let inner = self.inner.borrow_mut();
+            inner
+                .jobs
+                .update(id, |r| {
+                    r.state = JobState::Matching;
+                    r.discovered_at = Some(now);
+                    r.selected_at = Some(now);
+                })
+                .expect("job exists");
         }
 
         // Find a live agent with a free interactive slot whose lease allows.
@@ -1109,13 +1121,13 @@ impl CrossBroker {
             )
         };
         {
-            let mut inner = self.inner.borrow_mut();
-            if let Some(r) = inner.jobs.get_mut(&id) {
+            let inner = self.inner.borrow_mut();
+            inner.jobs.update(id, |r| {
                 r.dispatched_at = Some(sim.now());
                 r.state = JobState::Scheduled {
                     site: site_name.clone(),
                 };
-            }
+            });
             inner.trace.record(
                 sim.now(),
                 Event::JobDispatched {
@@ -1259,15 +1271,19 @@ impl CrossBroker {
                     }
                 }
             }
-            if let Some(r) = inner.jobs.get_mut(&id) {
-                if !matches!(r.state, JobState::Failed { .. }) {
-                    r.state = JobState::Done;
-                    r.finished_at = Some(sim.now());
-                    inner.stats.finished += 1;
-                    inner
-                        .trace
-                        .record(sim.now(), Event::JobFinished { job: id.0 });
+            let finished = inner.jobs.update(id, |r| {
+                if matches!(r.state, JobState::Failed { .. }) {
+                    return false;
                 }
+                r.state = JobState::Done;
+                r.finished_at = Some(sim.now());
+                true
+            });
+            if finished == Some(true) {
+                inner.stats.finished += 1;
+                inner
+                    .trace
+                    .record(sim.now(), Event::JobFinished { job: id.0 });
             }
         }
         self.maybe_agent_departs(sim, aid);
@@ -1316,11 +1332,15 @@ impl CrossBroker {
         {
             // Combined local discovery/selection: agents and site states are
             // known to the broker directly.
-            let mut inner = self.inner.borrow_mut();
-            let r = inner.jobs.get_mut(&id).expect("job exists");
-            r.state = JobState::Matching;
-            r.discovered_at = Some(now);
-            r.selected_at = Some(now);
+            let inner = self.inner.borrow_mut();
+            inner
+                .jobs
+                .update(id, |r| {
+                    r.state = JobState::Matching;
+                    r.discovered_at = Some(now);
+                    r.selected_at = Some(now);
+                })
+                .expect("job exists");
         }
 
         // 1. Claim free agent slots (one subjob each).
@@ -1411,12 +1431,12 @@ impl CrossBroker {
                 agent_picks.len(),
                 site_plan.len()
             );
-            if let Some(r) = inner.jobs.get_mut(&id) {
+            inner.jobs.update(id, |r| {
                 r.dispatched_at = Some(now);
                 r.state = JobState::Scheduled {
                     site: target.clone(),
                 };
-            }
+            });
             inner
                 .trace
                 .record(now, Event::JobDispatched { job: id.0, target });
@@ -1719,10 +1739,10 @@ impl CrossBroker {
                 return;
             };
             {
-                let mut inner = this.inner.borrow_mut();
-                if let Some(r) = inner.jobs.get_mut(&id) {
+                let inner = this.inner.borrow_mut();
+                inner.jobs.update(id, |r| {
                     r.discovered_at.get_or_insert(sim.now());
-                }
+                });
             }
             // Stale-info filter decides which sites to live-query.
             let stale_ads: Vec<(usize, Ad)> = stale
@@ -1767,10 +1787,8 @@ impl CrossBroker {
     ) {
         let now = sim.now();
         {
-            let mut inner = self.inner.borrow_mut();
-            if let Some(r) = inner.jobs.get_mut(&id) {
-                r.selected_at = Some(now);
-            }
+            let inner = self.inner.borrow_mut();
+            inner.jobs.update(id, |r| r.selected_at = Some(now));
         }
         let require_full = job.is_interactive() && job.parallelism != Parallelism::MpichG2;
         // Exclude leased sites.
@@ -1798,8 +1816,20 @@ impl CrossBroker {
             return;
         }
 
-        let pick = select(&candidates, sim.rng());
-        let Some(chosen) = pick else {
+        let selection = select_detailed(&candidates, sim.rng());
+        if !selection.nan_discarded.is_empty() {
+            let inner = self.inner.borrow();
+            for c in &selection.nan_discarded {
+                inner.trace.record(
+                    now,
+                    Event::RankNanDiscarded {
+                        job: id.0,
+                        site: c.site.clone(),
+                    },
+                );
+            }
+        }
+        let Some(chosen) = selection.winner else {
             self.no_candidates(sim, id, job, runtime);
             return;
         };
@@ -1829,9 +1859,7 @@ impl CrossBroker {
         if job.interactivity == Interactivity::Batch {
             // §5.2 arrow 2: wait in the broker for a machine to become idle.
             let mut inner = self.inner.borrow_mut();
-            if let Some(r) = inner.jobs.get_mut(&id) {
-                r.state = JobState::BrokerQueued;
-            }
+            inner.jobs.update(id, |r| r.state = JobState::BrokerQueued);
             inner.queue.push((id, job, runtime));
             inner
                 .trace
@@ -1901,13 +1929,13 @@ impl CrossBroker {
             )
         };
         {
-            let mut inner = self.inner.borrow_mut();
-            if let Some(r) = inner.jobs.get_mut(&id) {
+            let inner = self.inner.borrow_mut();
+            inner.jobs.update(id, |r| {
                 r.dispatched_at.get_or_insert(sim.now());
                 r.state = JobState::Scheduled {
                     site: site.name().to_string(),
                 };
-            }
+            });
             inner.trace.record(
                 sim.now(),
                 Event::JobDispatched {
@@ -2031,14 +2059,14 @@ impl CrossBroker {
         runtime: SimDuration,
     ) {
         {
-            let mut inner = self.inner.borrow_mut();
+            let inner = self.inner.borrow_mut();
             let site_name = inner.sites[site_index].site.name().to_string();
-            if let Some(r) = inner.jobs.get_mut(&id) {
+            inner.jobs.update(id, |r| {
                 r.dispatched_at.get_or_insert(sim.now());
                 r.state = JobState::Scheduled {
                     site: site_name.clone(),
                 };
-            }
+            });
             inner.trace.record(
                 sim.now(),
                 Event::JobDispatched {
@@ -2108,13 +2136,14 @@ impl CrossBroker {
                                     e.batch_done = false;
                                     e.batch_usage = Some(usage);
                                 }
-                                if let Some(r) = inner.jobs.get_mut(&id) {
+                                let response = inner.jobs.update(id, |r| {
                                     r.started_at = Some(sim.now());
                                     r.state = JobState::Running {
                                         sites: vec![String::new()],
                                     };
-                                    let response =
-                                        sim.now().saturating_since(r.submitted_at).as_secs_f64();
+                                    sim.now().saturating_since(r.submitted_at).as_secs_f64()
+                                });
+                                if let Some(response) = response {
                                     inner.stats.started += 1;
                                     inner
                                         .trace
@@ -2156,12 +2185,12 @@ impl CrossBroker {
                     },
                 );
             }
-            if let Some(r) = inner.jobs.get_mut(&id) {
+            inner.jobs.update(id, |r| {
                 r.dispatched_at.get_or_insert(now);
                 r.state = JobState::Scheduled {
                     site: format!("{} sites", plan.len()),
                 };
-            }
+            });
             inner.trace.record(
                 now,
                 Event::JobDispatched {
@@ -2207,16 +2236,40 @@ impl CrossBroker {
             let user = job.user.clone();
             let names = site_names.clone();
             let total_nodes = job.node_number;
+            let interactive = job.is_interactive();
+            let subjob_local: Rc<RefCell<Option<cg_site::LocalJobId>>> =
+                Rc::new(RefCell::new(None));
+            let lrms = site.lrms().clone();
             site.gatekeeper()
                 .submit(sim, broker_link, spec, sandbox, move |sim, ev| {
                     match ev {
                         GramEvent::Accepted { local_id } => {
+                            *subjob_local.borrow_mut() = Some(*local_id);
                             this.add_placement(
                                 id,
                                 Placement::Site {
                                     site_index,
                                     local: *local_id,
                                 },
+                            );
+                        }
+                        GramEvent::Queued if interactive && !*failed2.borrow() => {
+                            // The co-allocation plan promised immediately
+                            // leasable CPUs here, but the LRMS queued the
+                            // subjob (the live view raced a local
+                            // submission). Honour the planner/dispatch
+                            // contract: withdraw the queued copy and fail
+                            // the whole job cleanly rather than leaving an
+                            // interactive job wedged behind a queue.
+                            *failed2.borrow_mut() = true;
+                            if let Some(lid) = *subjob_local.borrow() {
+                                lrms.kill(sim, lid, "withdrawn by broker (co-allocation)");
+                            }
+                            this.fail(
+                                sim,
+                                id,
+                                "co-allocated subjob queued instead of starting",
+                                false,
                             );
                         }
                         GramEvent::Started { .. } => {
@@ -2288,22 +2341,22 @@ impl CrossBroker {
         session: Option<(cg_jdl::StreamingMode, cg_net::LinkProfile)>,
     ) {
         let mut inner = self.inner.borrow_mut();
-        if let Some(r) = inner.jobs.get_mut(&id) {
-            if r.started_at.is_none() {
-                r.started_at = Some(sim.now());
-                r.state = JobState::Running { sites };
-                let response = sim.now().saturating_since(r.submitted_at).as_secs_f64();
-                inner.stats.started += 1;
-                inner
-                    .trace
-                    .record(sim.now(), Event::JobStarted { job: id.0 });
-                inner.metrics.observe("response_s", response);
-            } else {
-                return;
+        let response = inner.jobs.update(id, |r| {
+            if r.started_at.is_some() {
+                return None;
             }
-        } else {
+            r.started_at = Some(sim.now());
+            r.state = JobState::Running { sites };
+            Some(sim.now().saturating_since(r.submitted_at).as_secs_f64())
+        });
+        let Some(Some(response)) = response else {
             return;
-        }
+        };
+        inner.stats.started += 1;
+        inner
+            .trace
+            .record(sim.now(), Event::JobStarted { job: id.0 });
+        inner.metrics.observe("response_s", response);
         // Sample the interactive session's steering latency: 1 KiB console
         // round trips over the job's UI path in its streaming mode.
         if let Some((mode, profile)) = session {
@@ -2329,19 +2382,23 @@ impl CrossBroker {
         if let Some(usage) = inner.interactive_usages.remove(&id) {
             inner.fairshare.release(usage);
         }
-        if let Some(r) = inner.jobs.get_mut(&id) {
-            if matches!(
+        let finished = inner.jobs.update(id, |r| {
+            if !matches!(
                 r.state,
                 JobState::Running { .. } | JobState::Scheduled { .. }
             ) {
-                r.state = JobState::Done;
-                r.finished_at = Some(sim.now());
-                inner.stats.finished += 1;
-                inner
-                    .trace
-                    .record(sim.now(), Event::JobFinished { job: id.0 });
-                inner.job_ads.remove(&id);
+                return false;
             }
+            r.state = JobState::Done;
+            r.finished_at = Some(sim.now());
+            true
+        });
+        if finished == Some(true) {
+            inner.stats.finished += 1;
+            inner
+                .trace
+                .record(sim.now(), Event::JobFinished { job: id.0 });
+            inner.job_ads.remove(&id);
         }
         drop(inner);
         self.retry_broker_queue(sim);
@@ -2630,34 +2687,93 @@ fn console_startup(
     });
 }
 
-/// Sequentially live-queries each site in `pending`, collecting live ads.
+/// Continuation invoked with the index-sorted live ads once a sweep ends.
+type SweepDone = Box<dyn FnOnce(&mut Sim, Vec<(usize, Ad)>)>;
+
+/// In-flight state of one windowed live-query sweep over the shortlist.
+struct LiveQuerySweep {
+    broker: CrossBroker,
+    /// Site indices not yet queried, in shortlist order.
+    pending: Vec<usize>,
+    in_flight: usize,
+    collected: Vec<(usize, Ad)>,
+    done: Option<SweepDone>,
+}
+
+/// Live-queries each site in `pending`, keeping up to
+/// `BrokerConfig::live_query_fanout` RPCs in flight at once. With fanout 1
+/// this is exactly the paper's sequential chain (the ≈3 s selection step);
+/// wider windows overlap the per-site round trips. Either way `done`
+/// receives the successful ads sorted by site index — the same list in the
+/// same order the sequential chain produces — so selection outcomes do not
+/// depend on the fanout width, only wall-clock does.
 fn live_query_chain(
     sim: &mut Sim,
     broker: CrossBroker,
-    mut pending: Vec<usize>,
-    mut collected: Vec<(usize, Ad)>,
+    pending: Vec<usize>,
+    collected: Vec<(usize, Ad)>,
     done: impl FnOnce(&mut Sim, Vec<(usize, Ad)>) + 'static,
 ) {
-    if pending.is_empty() {
-        sim.schedule_now(move |sim| done(sim, collected));
-        return;
+    let sweep = Rc::new(RefCell::new(LiveQuerySweep {
+        broker,
+        pending,
+        in_flight: 0,
+        collected,
+        done: Some(Box::new(done)),
+    }));
+    live_query_pump(sim, &sweep);
+}
+
+/// Launches queries until the fan-out window is full, and finishes the
+/// sweep once nothing is pending or in flight.
+fn live_query_pump(sim: &mut Sim, sweep: &Rc<RefCell<LiveQuerySweep>>) {
+    loop {
+        let (site_index, link, site, service) = {
+            let mut s = sweep.borrow_mut();
+            if s.pending.is_empty() {
+                if s.in_flight == 0 {
+                    if let Some(done) = s.done.take() {
+                        let mut collected = std::mem::take(&mut s.collected);
+                        collected.sort_by_key(|(i, _)| *i);
+                        drop(s);
+                        sim.schedule_now(move |sim| done(sim, collected));
+                    }
+                }
+                return;
+            }
+            let (fanout, service) = {
+                let inner = s.broker.inner.borrow();
+                (
+                    inner.config.live_query_fanout.max(1),
+                    SimDuration::from_secs_f64(inner.config.live_query_service_s),
+                )
+            };
+            if s.in_flight >= fanout {
+                return;
+            }
+            let site_index = s.pending.remove(0);
+            let (link, site) = {
+                let inner = s.broker.inner.borrow();
+                (
+                    inner.sites[site_index].broker_link.clone(),
+                    inner.sites[site_index].site.clone(),
+                )
+            };
+            s.in_flight += 1;
+            (site_index, link, site, service)
+        };
+        let sweep2 = Rc::clone(sweep);
+        rpc_call(sim, &link, Dir::AToB, 300, 1_200, service, move |sim, r| {
+            {
+                let mut s = sweep2.borrow_mut();
+                s.in_flight -= 1;
+                if r.is_ok() {
+                    s.collected.push((site_index, site.machine_ad()));
+                }
+            }
+            live_query_pump(sim, &sweep2);
+        });
     }
-    let site_index = pending.remove(0);
-    let (link, site, service) = {
-        let inner = broker.inner.borrow();
-        (
-            inner.sites[site_index].broker_link.clone(),
-            inner.sites[site_index].site.clone(),
-            SimDuration::from_secs_f64(inner.config.live_query_service_s),
-        )
-    };
-    let broker2 = broker.clone();
-    rpc_call(sim, &link, Dir::AToB, 300, 1_200, service, move |sim, r| {
-        if r.is_ok() {
-            collected.push((site_index, site.machine_ad()));
-        }
-        live_query_chain(sim, broker2, pending, collected, done);
-    });
 }
 
 /// LRMS walltime derived from the job's `EstimatedRuntime` (4× safety

@@ -57,6 +57,12 @@ pub struct BrokerConfig {
     /// Per-site processing time of a live status query during selection,
     /// seconds (with ~20 sites this yields the paper's ≈3 s selection).
     pub live_query_service_s: f64,
+    /// How many live site queries the selection step keeps in flight at
+    /// once. `1` reproduces the paper's sequential ≈3 s chain; wider
+    /// windows overlap the per-site RPCs and shrink selection wall-clock
+    /// without changing which ads are collected or their order (results
+    /// are always handed to selection sorted by site index).
+    pub live_query_fanout: usize,
     /// MDS index refresh period.
     pub index_refresh: SimDuration,
     /// Broker-side work for a direct (shared-VM) dispatch: matching the job
@@ -97,6 +103,7 @@ impl Default for BrokerConfig {
             resubmit_on_queue: true,
             max_resubmissions: 3,
             live_query_service_s: 0.11,
+            live_query_fanout: 1,
             index_refresh: SimDuration::from_secs(300),
             shared_delegation_s: 3.9,
             default_sandbox_bytes: 10_000_000,

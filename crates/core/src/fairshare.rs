@@ -445,6 +445,32 @@ mod tests {
     }
 
     #[test]
+    fn register_and_release_within_one_delta_t_charges_nothing() {
+        let mut fs = engine();
+        // The usage lives entirely between two ticks: it must leave no
+        // stale `Usage` and contribute zero charge at the next tick.
+        fs.tick(SimTime::from_secs(60));
+        let id = fs.register("u", UsageKind::Batch, 50);
+        fs.release(id);
+        fs.release(id); // double release is harmless
+        assert_eq!(fs.active_usages(), 0);
+        fs.tick(SimTime::from_secs(120));
+        assert_eq!(fs.priority("u"), 0.0);
+
+        // Surviving exactly one tick charges a_f·r exactly once.
+        let id = fs.register("u", UsageKind::Batch, 50);
+        fs.tick(SimTime::from_secs(180));
+        let once = fs.priority("u");
+        fs.release(id);
+        fs.set_kind(id, UsageKind::Batch); // no-op on a released id
+        assert_eq!(fs.active_usages(), 0);
+        let beta = 0.5f64.powf(60.0 / 3_600.0);
+        assert!(((once - (1.0 - beta) * 0.5) / once).abs() < 1e-12);
+        fs.tick(SimTime::from_secs(240));
+        assert!((fs.priority("u") - beta * once).abs() < 1e-15, "decay only");
+    }
+
+    #[test]
     fn beta_formula_matches_the_paper() {
         // With δt = h, β must be 0.5 exactly: a single tick moves priority
         // halfway to the charge.

@@ -24,12 +24,17 @@ mod fairshare;
 mod job;
 mod matchmaking;
 mod recovery;
+mod shard;
 
 pub use broker::{BrokerStats, CrossBroker, SiteHandle};
 pub use config::{BrokerConfig, ConsoleCosts};
 pub use fairshare::{FairShare, FairShareConfig, UsageId, UsageKind};
 pub use job::{JobId, JobRecord, JobState};
 pub use matchmaking::{
-    coallocate, filter_candidates, filter_candidates_compiled, select, Candidate, CompiledJob,
+    coallocate, filter_candidates, filter_candidates_compiled, select, select_detailed, Candidate,
+    CompiledJob, Selection,
 };
 pub use recovery::RecoveryReport;
+pub use shard::{
+    job_rng, MatchOutcome, MatchRequest, ParallelMatcher, ShardedJobTable, DEFAULT_SHARDS,
+};

@@ -134,33 +134,83 @@ fn eval_rank_or_default(rank: &Expr, job: &JobDescription, ad: &Ad) -> f64 {
     rank.eval_rank(ctx).unwrap_or(0.0)
 }
 
+/// Result of a selection pass: the winner (if any) plus the candidates the
+/// pass had to discard because their `Rank` evaluated to NaN. The broker
+/// traces one diagnostic per discarded candidate so a misbehaving `Rank`
+/// expression (e.g. `0.0/0.0`) is visible instead of silently shrinking the
+/// candidate pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// The chosen candidate, `None` when no candidate has a comparable rank.
+    pub winner: Option<Candidate>,
+    /// Candidates excluded because their rank was NaN.
+    pub nan_discarded: Vec<Candidate>,
+}
+
 /// Picks the winner: best rank, with **randomized selection** among
 /// rank-ties — "used to generate different answers when there are multiple
 /// resource choices" (§3), which also prevents broker herds.
-pub fn select(candidates: &[Candidate], rng: &mut SimRng) -> Option<Candidate> {
-    let best = candidates
+///
+/// Ties are detected with exact [`f64::total_cmp`] equality: two sites tie
+/// only when their ranks are the same float, never "close enough" under an
+/// absolute epsilon (which tied 1e9 with 1e9+1e-13 but not 1e-13 with 0).
+/// NaN ranks are excluded up front and reported in
+/// [`Selection::nan_discarded`]; an all-NaN candidate set selects nothing.
+pub fn select_detailed(candidates: &[Candidate], rng: &mut SimRng) -> Selection {
+    let (valid, nan_discarded): (Vec<&Candidate>, Vec<&Candidate>) =
+        candidates.iter().partition(|c| !c.rank.is_nan());
+    let nan_discarded: Vec<Candidate> = nan_discarded.into_iter().cloned().collect();
+    let Some(best) = valid.iter().map(|c| c.rank).reduce(f64::max) else {
+        return Selection {
+            winner: None,
+            nan_discarded,
+        };
+    };
+    let ties: Vec<&Candidate> = valid
         .iter()
-        .map(|c| c.rank)
-        .fold(f64::NEG_INFINITY, f64::max);
-    if best == f64::NEG_INFINITY {
-        return None;
-    }
-    let ties: Vec<&Candidate> = candidates
-        .iter()
-        .filter(|c| (c.rank - best).abs() < 1e-12)
+        .filter(|c| c.rank.total_cmp(&best) == std::cmp::Ordering::Equal)
+        .copied()
         .collect();
-    Some((*rng.choose(&ties)).clone())
+    Selection {
+        winner: Some((*rng.choose(&ties)).clone()),
+        nan_discarded,
+    }
+}
+
+/// [`select_detailed`] with the diagnostics dropped — the winner only.
+pub fn select(candidates: &[Candidate], rng: &mut SimRng) -> Option<Candidate> {
+    select_detailed(candidates, rng).winner
 }
 
 /// Greedy MPICH-G2 co-allocation: spread `nodes` across candidate sites,
 /// biggest free pool first. Returns `(site_index, nodes_there)` or `None`
 /// when the grid cannot host the job.
+///
+/// The planner's contract with dispatch: a plan claims **immediately
+/// leasable** capacity only. Candidates at zero free CPUs (admitted into
+/// the candidate list by the batch filter when the site `AcceptsQueued`)
+/// are excluded here — queued capacity cannot host a co-allocated subjob
+/// now, and a plan built on it would "succeed" only to stall at the
+/// gatekeeper. The dispatch side enforces the same contract by failing the
+/// job if a planned subjob queues anyway (a plan/dispatch race).
+///
+/// The plan is deterministic under ties: sites are ordered by free pool
+/// (descending), then rank (descending, [`f64::total_cmp`] so NaN orders
+/// last instead of poisoning the sort), then site index (ascending).
 pub fn coallocate(candidates: &[Candidate], nodes: u32) -> Option<Vec<(usize, u32)>> {
+    // Descending by rank with NaN demoted below every real rank (raw
+    // `total_cmp` would put NaN above +inf and hand it the best spot).
+    let rank_desc = |a: f64, b: f64| match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    };
     let mut sorted: Vec<&Candidate> = candidates.iter().filter(|c| c.free_cpus > 0).collect();
     sorted.sort_by(|a, b| {
         b.free_cpus
             .cmp(&a.free_cpus)
-            .then(b.rank.total_cmp(&a.rank))
+            .then(rank_desc(a.rank, b.rank))
             .then(a.site_index.cmp(&b.site_index))
     });
     let mut left = nodes;
@@ -311,6 +361,64 @@ mod tests {
         }
     }
 
+    fn cand(site_index: usize, rank: f64, free: i64) -> Candidate {
+        Candidate {
+            site_index,
+            site: format!("s{site_index}"),
+            rank,
+            free_cpus: free,
+        }
+    }
+
+    #[test]
+    fn nan_ranks_are_discarded_not_silently_skipped() {
+        let mut rng = SimRng::new(7);
+        let c = vec![cand(0, f64::NAN, 4), cand(1, 2.0, 4), cand(2, f64::NAN, 4)];
+        let sel = select_detailed(&c, &mut rng);
+        assert_eq!(sel.winner.as_ref().unwrap().site_index, 1);
+        let discarded: Vec<usize> = sel.nan_discarded.iter().map(|c| c.site_index).collect();
+        assert_eq!(discarded, vec![0, 2], "every NaN candidate is reported");
+    }
+
+    #[test]
+    fn all_nan_candidate_set_selects_nothing() {
+        let mut rng = SimRng::new(7);
+        let c = vec![cand(0, f64::NAN, 4), cand(1, f64::NAN, 4)];
+        let sel = select_detailed(&c, &mut rng);
+        assert!(sel.winner.is_none());
+        assert_eq!(sel.nan_discarded.len(), 2);
+        assert!(select(&c, &mut rng).is_none());
+    }
+
+    #[test]
+    fn ties_require_exact_rank_equality() {
+        // 1e9 vs 1e9 + 1: under the old absolute-epsilon test these could
+        // never tie anyway, but 1.0 vs 1.0 + 5e-13 *did* — the epsilon
+        // blurred genuinely different ranks into one tie group.
+        let close = vec![cand(0, 1.0, 4), cand(1, 1.0 + 5e-13, 4)];
+        let mut rng = SimRng::new(3);
+        for _ in 0..50 {
+            let w = select(&close, &mut rng).unwrap();
+            assert_eq!(w.site_index, 1, "the strictly larger rank always wins");
+        }
+        // Bit-identical ranks still tie and spread.
+        let tied = vec![cand(0, 1.0, 4), cand(1, 1.0, 4)];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(select(&tied, &mut rng).unwrap().site_index);
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn negative_infinity_is_a_real_rank_unlike_nan() {
+        // -inf is comparable ("worst possible") and selectable when it is
+        // all there is; NaN is not a rank at all.
+        let mut rng = SimRng::new(1);
+        let c = vec![cand(0, f64::NEG_INFINITY, 4)];
+        assert_eq!(select(&c, &mut rng).unwrap().site_index, 0);
+    }
+
     #[test]
     fn coallocation_spreads_over_sites() {
         let j = job(r#"Executable = "a"; JobType = {"interactive","mpich-g2"}; NodeNumber = 10;"#);
@@ -334,5 +442,45 @@ mod tests {
         let j = job(r#"Executable = "a"; JobType = {"interactive","mpich-g2"}; NodeNumber = 10;"#);
         let c = filter_candidates(&j, &ads, false);
         assert!(coallocate(&c, 10).is_none());
+    }
+
+    #[test]
+    fn coallocation_never_plans_on_queued_capacity() {
+        // The batch filter admits an AcceptsQueued site at 0 free CPUs into
+        // the candidate list; the planner must not count it. With 4 free
+        // CPUs at site 0 and only queued capacity at site 1, a 5-node job
+        // has no valid plan — planning 4+1 would hand dispatch a subjob
+        // the gatekeeper can only queue, never lease.
+        let j = job(r#"Executable = "a"; JobType = {"interactive","mpich-g2"}; NodeNumber = 5;"#);
+        let ads = vec![
+            (0, site_ad("small", 4, "i686")),
+            (1, site_ad("full", 0, "i686")),
+        ];
+        let c = filter_candidates(&j, &ads, false);
+        assert_eq!(c.len(), 2, "the batch filter admits the queueing site");
+        assert!(
+            coallocate(&c, 5).is_none(),
+            "planner refuses plans that need queued capacity"
+        );
+        // A 4-node job fits entirely on leasable capacity and never touches
+        // the queued site.
+        let plan = coallocate(&c, 4).unwrap();
+        assert_eq!(plan, vec![(0, 4)]);
+    }
+
+    #[test]
+    fn coallocation_plan_is_deterministic_under_ties() {
+        // Equal rank, equal pool: ordering falls through to site_index, so
+        // repeated planning gives byte-identical plans.
+        let c = vec![cand(2, 1.0, 4), cand(0, 1.0, 4), cand(1, 1.0, 4)];
+        let first = coallocate(&c, 10).unwrap();
+        assert_eq!(first, vec![(0, 4), (1, 4), (2, 2)]);
+        for _ in 0..10 {
+            assert_eq!(coallocate(&c, 10).unwrap(), first);
+        }
+        // A NaN rank orders after real ranks (total_cmp) instead of making
+        // the comparator panic or the order run-dependent.
+        let with_nan = vec![cand(0, f64::NAN, 4), cand(1, 0.0, 4)];
+        assert_eq!(coallocate(&with_nan, 6).unwrap(), vec![(1, 4), (0, 2)]);
     }
 }

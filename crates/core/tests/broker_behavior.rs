@@ -698,3 +698,60 @@ fn analyzer_clean_jobs_proceed_and_warnings_do_not_reject() {
     )));
     assert!(cg_trace::check_invariants(&events).is_empty());
 }
+
+/// Runs one exclusive interactive job on a `n_sites` grid with the given
+/// live-query fan-out, returning (record, dispatch target).
+fn run_with_fanout(seed: u64, n_sites: usize, fanout: usize) -> (crossbroker::JobRecord, String) {
+    let mut sim = Sim::new(seed);
+    let mut handles = Vec::new();
+    for i in 0..n_sites {
+        let site = Site::new(SiteConfig {
+            name: format!("site{i}"),
+            nodes: 4,
+            policy: Policy::Fifo,
+            tags: vec!["CROSSGRID".into()],
+            ..SiteConfig::default()
+        });
+        handles.push(SiteHandle {
+            site,
+            broker_link: Link::new(LinkProfile::campus()),
+            ui_link: Link::new(LinkProfile::campus()),
+        });
+    }
+    let mds = Link::new(LinkProfile::wan_mds());
+    let config = BrokerConfig {
+        live_query_fanout: fanout,
+        ..BrokerConfig::default()
+    };
+    let broker = CrossBroker::new(&mut sim, handles, mds, config);
+    let id = broker.submit(&mut sim, job(EXCLUSIVE), SimDuration::from_secs(120));
+    sim.run_until(SimTime::from_secs(600));
+    let events = broker.event_log().snapshot();
+    let target = events
+        .iter()
+        .find_map(|e| match &e.event {
+            cg_trace::Event::JobDispatched { job, target } if *job == id.0 => Some(target.clone()),
+            _ => None,
+        })
+        .expect("job dispatched");
+    assert!(cg_trace::check_invariants(&events).is_empty());
+    (broker.record(id), target)
+}
+
+#[test]
+fn live_query_fanout_shrinks_selection_without_changing_the_outcome() {
+    let (seq, seq_target) = run_with_fanout(77, 12, 1);
+    let (par, par_target) = run_with_fanout(77, 12, 8);
+    assert!(matches!(seq.state, JobState::Done), "{:?}", seq.state);
+    assert!(matches!(par.state, JobState::Done), "{:?}", par.state);
+    // Same winner: the fan-out collects the same ads in the same order, so
+    // selection is equivalent; only the sweep's wall-clock changes.
+    assert_eq!(seq_target, par_target);
+    let seq_sel = seq.selection_s().expect("selection ran");
+    let par_sel = par.selection_s().expect("selection ran");
+    assert!(
+        par_sel < seq_sel / 2.0,
+        "fan-out 8 over 12 sites should overlap the per-site RPCs: \
+         sequential {seq_sel}s vs windowed {par_sel}s"
+    );
+}

@@ -162,3 +162,130 @@ proptest! {
         }
     }
 }
+
+/// One step of a random register/release/set-kind/tick interleaving.
+#[derive(Debug, Clone)]
+enum FsOp {
+    Register {
+        user: u8,
+        kind: UsageKind,
+        cpus: u32,
+    },
+    Release {
+        slot: usize,
+    },
+    SetKind {
+        slot: usize,
+        kind: UsageKind,
+    },
+    Tick,
+}
+
+fn fs_op_strategy() -> impl Strategy<Value = FsOp> {
+    prop_oneof![
+        (0u8..2, kind_strategy(), 1u32..40).prop_map(|(user, kind, cpus)| FsOp::Register {
+            user,
+            kind,
+            cpus
+        }),
+        (0usize..64).prop_map(|slot| FsOp::Release { slot }),
+        ((0usize..64), kind_strategy()).prop_map(|(slot, kind)| FsOp::SetKind { slot, kind }),
+        Just(FsOp::Tick),
+        Just(FsOp::Tick), // weight ticks up so charge paths actually run
+    ]
+}
+
+proptest! {
+    /// Random interleavings of register / release / set-kind / tick can
+    /// never leave a stale `Usage` behind or double-apply an application
+    /// factor: after every step, the engine's usage count and every user's
+    /// priority match a straightforward shadow fold of Equation (1) over
+    /// the live usage set. In particular a usage registered and released
+    /// within the same δt window is charged exactly zero times, and one
+    /// that survives a tick is charged exactly once per tick.
+    #[test]
+    fn interleavings_never_leave_stale_usage_or_double_apply(
+        ops in prop::collection::vec(fs_op_strategy(), 1..80),
+    ) {
+        use std::collections::HashMap;
+        let config = FairShareConfig::default();
+        let beta = 0.5f64.powf(
+            config.delta_t.as_secs_f64() / config.half_life.as_secs_f64(),
+        );
+        let epsilon = config.epsilon;
+        let mut fs = FairShare::new(config, 100);
+        // Parallel model: slot i holds Some((user, kind, cpus)) while live.
+        let mut handles: Vec<crossbroker::UsageId> = Vec::new();
+        let mut live: Vec<Option<(String, UsageKind, u32)>> = Vec::new();
+        let mut shadow: HashMap<String, f64> = HashMap::new();
+        let mut t = 0u64;
+        for op in ops {
+            match op {
+                FsOp::Register { user, kind, cpus } => {
+                    let name = format!("u{user}");
+                    handles.push(fs.register(&name, kind, cpus));
+                    live.push(Some((name, kind, cpus)));
+                }
+                FsOp::Release { slot } => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let i = slot % handles.len();
+                    // A second release of the same id must be harmless.
+                    fs.release(handles[i]);
+                    live[i] = None;
+                }
+                FsOp::SetKind { slot, kind } => {
+                    if handles.is_empty() {
+                        continue;
+                    }
+                    let i = slot % handles.len();
+                    // On a released id this must be a no-op.
+                    fs.set_kind(handles[i], kind);
+                    if let Some(u) = live[i].as_mut() {
+                        u.1 = kind;
+                    }
+                }
+                FsOp::Tick => {
+                    t += 60;
+                    fs.tick(SimTime::from_secs(t));
+                    let mut load: HashMap<String, f64> = HashMap::new();
+                    for (user, kind, cpus) in live.iter().flatten() {
+                        *load.entry(user.clone()).or_default() +=
+                            kind.application_factor() * f64::from(*cpus) / 100.0;
+                    }
+                    let users: Vec<String> = shadow
+                        .keys()
+                        .chain(load.keys())
+                        .cloned()
+                        .collect::<std::collections::HashSet<_>>()
+                        .into_iter()
+                        .collect();
+                    for user in users {
+                        let prev = shadow.get(&user).copied().unwrap_or(0.0);
+                        let charge = load.get(&user).copied().unwrap_or(0.0);
+                        let next = beta * prev + (1.0 - beta) * charge;
+                        if next.abs() < epsilon && charge == 0.0 {
+                            shadow.remove(&user);
+                        } else {
+                            shadow.insert(user, next);
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(
+                fs.active_usages(),
+                live.iter().flatten().count(),
+                "stale usage left behind"
+            );
+            for user in ["u0", "u1"] {
+                let got = fs.priority(user);
+                let want = shadow.get(user).copied().unwrap_or(0.0);
+                prop_assert!(
+                    (got - want).abs() < 1e-9,
+                    "{user}: engine {got} vs shadow {want} after {t}s"
+                );
+            }
+        }
+    }
+}

@@ -130,6 +130,20 @@ impl InformationIndex {
     pub fn snapshot(&self) -> Vec<SiteRecord> {
         self.inner.borrow().records.clone()
     }
+
+    /// The current records as an indexed ad list — the discovery-snapshot
+    /// shape matchmaking consumes (`filter_candidates`, and the parallel
+    /// engine's `ParallelMatcher::new`). Site index `i` is the position in
+    /// the index's site list, matching the broker's `SiteHandle` order.
+    pub fn snapshot_ads(&self) -> Vec<(usize, Ad)> {
+        self.inner
+            .borrow()
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, rec)| (i, rec.ad.clone()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +194,21 @@ mod tests {
             "fresh value after refresh"
         );
         assert_eq!(index.refreshes(), 1);
+    }
+
+    #[test]
+    fn snapshot_ads_indexes_sites_in_registration_order() {
+        let mut sim = Sim::new(4);
+        let sites: Vec<Site> = (0..3)
+            .map(|i| test_site(&mut sim, &format!("s{i}"), 1 + i))
+            .collect();
+        let index = InformationIndex::start(&mut sim, sites, SimDuration::from_secs(300));
+        let ads = index.snapshot_ads();
+        assert_eq!(ads.len(), 3);
+        for (i, (idx, ad)) in ads.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(ad.get("FreeCpus").unwrap(), &Value::Int(1 + i as i64));
+        }
     }
 
     #[test]

@@ -393,6 +393,11 @@ pub fn encode_event(ev: &TimedEvent, out: &mut Vec<u8>) {
             put_str(out, name);
             put_f64(out, *value);
         }
+        Event::RankNanDiscarded { job, site } => {
+            put_u8(out, 41);
+            put_u64(out, *job);
+            put_str(out, site);
+        }
     }
 }
 
@@ -546,6 +551,10 @@ pub fn decode_event(buf: &[u8]) -> Result<TimedEvent, CodecError> {
             name: c.str()?,
             value: c.f64()?,
         },
+        41 => Event::RankNanDiscarded {
+            job: c.u64()?,
+            site: c.str()?,
+        },
         other => return Err(CodecError::BadTag(other)),
     };
     if !c.is_empty() {
@@ -688,6 +697,10 @@ mod tests {
             Event::Measurement {
                 name: "table1/response_s".into(),
                 value: 1.25,
+            },
+            Event::RankNanDiscarded {
+                job: 7,
+                site: "cesga".into(),
             },
         ]
     }

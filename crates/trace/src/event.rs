@@ -117,6 +117,15 @@ pub enum Event {
         /// Number of `error`-severity diagnostics.
         errors: u32,
     },
+    /// Matchmaking excluded a candidate whose `Rank` evaluated to NaN
+    /// (e.g. `0.0/0.0`). Without this exclusion the selection fold would
+    /// silently never pick the site; the diagnostic makes the drop visible.
+    RankNanDiscarded {
+        /// Broker job id whose `Rank` misbehaved.
+        job: u64,
+        /// Site whose candidate was discarded.
+        site: String,
+    },
 
     // ── fair-share scheduler ────────────────────────────────────────────
     /// The fair-share engine decayed usage and recomputed priorities.
@@ -352,6 +361,7 @@ impl Event {
             Event::JobCancelled { .. } => "JobCancelled",
             Event::JdlDiagnostic { .. } => "JdlDiagnostic",
             Event::JdlRejected { .. } => "JdlRejected",
+            Event::RankNanDiscarded { .. } => "RankNanDiscarded",
             Event::FairShareTick { .. } => "FairShareTick",
             Event::PriorityChanged { .. } => "PriorityChanged",
             Event::AgentDeployed { .. } => "AgentDeployed",
@@ -460,6 +470,10 @@ impl Event {
             }
             Event::JdlRejected { job, errors } => {
                 let _ = write!(out, ",\"job\":{job},\"errors\":{errors}");
+            }
+            Event::RankNanDiscarded { job, site } => {
+                let _ = write!(out, ",\"job\":{job}");
+                str_field(out, "site", site);
             }
             Event::FairShareTick { usages } => {
                 let _ = write!(out, ",\"usages\":{usages}");

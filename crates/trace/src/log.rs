@@ -34,6 +34,43 @@ struct LogInner {
     journal_error: Option<String>,
 }
 
+impl LogInner {
+    /// The single append path: seq allocation, ring eviction, journal
+    /// append and the kill point all happen under the caller-held lock, so
+    /// concurrent writers can never produce a gap, a duplicate seq, or a
+    /// journal whose order disagrees with the ring.
+    fn append(&mut self, at: SimTime, event: Event) {
+        if let Some(metrics) = &self.metrics {
+            metrics.inc(&format!("events.{}", event.kind()));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        let timed = TimedEvent { at, seq, event };
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append_event(&timed) {
+                let msg = format!("journal append failed at seq {seq}: {e}");
+                self.journal_error.get_or_insert(msg);
+            }
+        }
+        if self.crash_after == Some(seq) {
+            // The kill point: make everything up to and including `seq`
+            // durable, then detach — later events are lost with the crash.
+            if let Some(journal) = self.journal.take() {
+                if let Err(e) = journal.sync() {
+                    let msg = format!("journal sync failed at crash point: {e}");
+                    self.journal_error.get_or_insert(msg);
+                }
+            }
+            self.crashed = true;
+        }
+        self.ring.push_back(timed);
+    }
+}
+
 /// A ring-buffered lifecycle event log.
 ///
 /// Clones share the same buffer, so one log can be threaded through the
@@ -105,35 +142,19 @@ impl EventLog {
 
     /// Appends an event at sim time `at`.
     pub fn record(&self, at: SimTime, event: Event) {
+        self.lock().append(at, event);
+    }
+
+    /// Appends a batch of events at sim time `at` under a single lock
+    /// acquisition: the batch occupies one contiguous, gap-free run of
+    /// sequence numbers with no other writer's events interleaved. This is
+    /// what the sharded matchmaking engine uses to flush one job's
+    /// lifecycle events atomically from a worker thread.
+    pub fn record_many<I: IntoIterator<Item = Event>>(&self, at: SimTime, events: I) {
         let mut inner = self.lock();
-        if let Some(metrics) = &inner.metrics {
-            metrics.inc(&format!("events.{}", event.kind()));
+        for event in events {
+            inner.append(at, event);
         }
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        if inner.ring.len() == inner.capacity {
-            inner.ring.pop_front();
-            inner.dropped += 1;
-        }
-        let timed = TimedEvent { at, seq, event };
-        if let Some(journal) = &inner.journal {
-            if let Err(e) = journal.append_event(&timed) {
-                let msg = format!("journal append failed at seq {seq}: {e}");
-                inner.journal_error.get_or_insert(msg);
-            }
-        }
-        if inner.crash_after == Some(seq) {
-            // The kill point: make everything up to and including `seq`
-            // durable, then detach — later events are lost with the crash.
-            if let Some(journal) = inner.journal.take() {
-                if let Err(e) = journal.sync() {
-                    let msg = format!("journal sync failed at crash point: {e}");
-                    inner.journal_error.get_or_insert(msg);
-                }
-            }
-            inner.crashed = true;
-        }
-        inner.ring.push_back(timed);
     }
 
     /// Copies out the retained events, oldest first.
@@ -265,6 +286,78 @@ mod tests {
         let mut seqs: Vec<u64> = log.snapshot().iter().map(|e| e.seq).collect();
         seqs.dedup();
         assert_eq!(seqs.len(), 400);
+    }
+
+    #[test]
+    fn concurrent_writers_keep_the_journal_gap_free() {
+        use crate::journal::{open_journal, Journal, JournalConfig};
+        let path = std::env::temp_dir().join(format!(
+            "cg-log-conc-{}-{:?}.jrnl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let log = EventLog::new(4096);
+        log.set_journal(Journal::create(&path, JournalConfig { fsync_every: 64 }).unwrap());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let log = log.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        log.record(SimTime::from_nanos(i), ev(t));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        log.journal().unwrap().sync().unwrap();
+        assert_eq!(log.journal_error(), None);
+        let loaded = open_journal(&path).unwrap();
+        let seqs: Vec<u64> = loaded.events.iter().map(|e| e.seq).collect();
+        assert_eq!(
+            seqs,
+            (0..400).collect::<Vec<u64>>(),
+            "journal order is the allocation order: monotonic and gap-free"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_many_keeps_batches_contiguous_under_contention() {
+        let log = EventLog::new(4096);
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let log = log.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..40 {
+                        // One job's lifecycle flushed as an atomic batch.
+                        log.record_many(
+                            SimTime::from_nanos(t),
+                            [Event::JobStarted { job: t }, Event::JobFinished { job: t }],
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 640);
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.seq, i as u64, "gap-free under contention");
+        }
+        // Every batch is contiguous: a JobStarted is always immediately
+        // followed by the same writer's JobFinished.
+        for pair in snap.chunks(2) {
+            let (Event::JobStarted { job: a }, Event::JobFinished { job: b }) =
+                (&pair[0].event, &pair[1].event)
+            else {
+                panic!("interleaved batch at seq {}", pair[0].seq);
+            };
+            assert_eq!(a, b, "batch from one writer stayed together");
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@ use crossgrid::trace::journal::{
 use crossgrid::trace::replay::Bucket;
 use crossgrid::trace::CrashPlan;
 
+mod common;
+use common::bucket_of;
+
 const SEED: u64 = 7;
 
 fn tmp(name: &str) -> PathBuf {
@@ -134,16 +137,6 @@ fn journaled_run(
         j.sync().unwrap();
     }
     (log.recorded(), log.crashed())
-}
-
-fn bucket_of(state: &JobState) -> Bucket {
-    match state {
-        JobState::Done => Bucket::Done,
-        JobState::Failed { .. } => Bucket::Errored,
-        JobState::Running { .. } => Bucket::Running,
-        JobState::BrokerQueued => Bucket::Queued,
-        _ => Bucket::Pending,
-    }
 }
 
 /// Recovers from `path` into a fresh world and runs it to quiescence.

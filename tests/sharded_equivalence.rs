@@ -1,0 +1,171 @@
+//! Sharded-vs-sequential equivalence: the parallel matchmaking engine must
+//! land every job in exactly the terminal bucket the one-thread run
+//! produces, at every thread count, and its merged event stream must obey
+//! the whole-stream protocol invariants (rules 1–5) and the recovery
+//! comparison rules (6–8) against the sharded job table's projection.
+
+use std::collections::BTreeMap;
+
+use crossgrid::broker::{
+    JobId, JobRecord, JobState, MatchOutcome, MatchRequest, ParallelMatcher, ShardedJobTable,
+    DEFAULT_SHARDS,
+};
+use crossgrid::jdl::{Ad, JobDescription};
+use crossgrid::trace::replay::{Bucket, ReplayJob, ReplayState};
+use crossgrid::trace::{check_invariants, check_recovery_invariants, EventLog};
+
+mod common;
+use common::{bucket_of, phase_of};
+
+const SEED: u64 = 20_060_925; // the paper's conference date
+
+/// A synthetic grid: `n` sites with cyclic free-CPU counts (including
+/// zero-free sites) and a batch-queue policy that varies by site.
+fn ads(n: usize) -> Vec<(usize, Ad)> {
+    (0..n)
+        .map(|i| {
+            let mut ad = Ad::new();
+            ad.set_str("Site", format!("s{i}"))
+                .set_int("FreeCpus", (i % 5) as i64)
+                .set_bool("AcceptsQueued", i % 3 != 0);
+            (i, ad)
+        })
+        .collect()
+}
+
+/// A mixed batch: interactive MPI jobs of varying widths racing batch jobs,
+/// spread over a handful of users. Default (absent) `Rank` leaves every
+/// candidate at the same rank, so the per-job tie shuffles do real work.
+fn requests(n: usize) -> Vec<MatchRequest> {
+    (0..n)
+        .map(|i| {
+            let nodes = 1 + i % 3;
+            let user = format!("u{}", i % 7);
+            let src = if i % 2 == 0 {
+                format!(
+                    r#"Executable = "iapp"; JobType = {{"interactive","mpich-p4"}};
+                       NodeNumber = {nodes}; User = "{user}";"#
+                )
+            } else {
+                // Batch jobs are sequential in this dialect (width 1).
+                format!(r#"Executable = "bapp"; JobType = "batch"; User = "{user}";"#)
+            };
+            MatchRequest {
+                id: JobId(i as u64),
+                job: JobDescription::parse(&src).unwrap(),
+            }
+        })
+        .collect()
+}
+
+struct Run {
+    outcomes: Vec<(JobId, MatchOutcome)>,
+    buckets: BTreeMap<u64, Bucket>,
+    log: EventLog,
+    table: ShardedJobTable<JobRecord>,
+}
+
+fn run(requests: &[MatchRequest], sites: usize, threads: usize) -> Run {
+    let log = EventLog::new(requests.len() * 4 + sites + 16);
+    let table = ShardedJobTable::new(DEFAULT_SHARDS);
+    let engine = ParallelMatcher::new(ads(sites), SEED);
+    let outcomes = engine.run(requests, threads, &log, &table);
+    let buckets = table
+        .snapshot()
+        .iter()
+        .map(|(id, r)| (id.0, bucket_of(&r.state)))
+        .collect();
+    Run {
+        outcomes,
+        buckets,
+        log,
+        table,
+    }
+}
+
+/// Lifts the sharded job table into the replay model so
+/// [`check_recovery_invariants`] can compare it with the event stream.
+fn project(table: &ShardedJobTable<JobRecord>, requests: &[MatchRequest]) -> ReplayState {
+    let interactive: BTreeMap<u64, bool> = requests
+        .iter()
+        .map(|r| (r.id.0, r.job.is_interactive()))
+        .collect();
+    let mut state = ReplayState::default();
+    for (id, r) in table.snapshot() {
+        state.jobs.insert(
+            id.0,
+            ReplayJob {
+                user: r.user.clone(),
+                interactive: interactive[&id.0],
+                phase: phase_of(&r.state),
+                queued: matches!(r.state, JobState::BrokerQueued),
+                attempts: r.resubmissions,
+                started: r.started_at.is_some(),
+                submitted_at_ns: r.submitted_at.as_nanos(),
+                started_at_ns: None,
+                finished_at_ns: None,
+                lease: None,
+                jdl: None,
+                runtime_ns: None,
+                fail_reason: match &r.state {
+                    JobState::Failed { reason } => Some(reason.clone()),
+                    _ => None,
+                },
+            },
+        );
+    }
+    state
+}
+
+#[test]
+fn every_thread_count_reproduces_the_sequential_terminal_buckets() {
+    let reqs = requests(400);
+    let baseline = run(&reqs, 40, 1);
+    // The sweep only proves something if all three dispositions occur.
+    for bucket in ["dispatched", "queued", "no-resources"] {
+        assert!(
+            baseline.outcomes.iter().any(|(_, o)| o.bucket() == bucket),
+            "sweep scenario never produces a {bucket} job"
+        );
+    }
+    assert_eq!(baseline.table.len(), reqs.len());
+    for threads in [2, 4, 8, 16] {
+        let sharded = run(&reqs, 40, threads);
+        assert_eq!(
+            sharded.outcomes, baseline.outcomes,
+            "outcomes diverged at {threads} threads"
+        );
+        assert_eq!(
+            sharded.buckets, baseline.buckets,
+            "job-table buckets diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn stress_eight_threads_five_thousand_jobs_obeys_all_invariants() {
+    let reqs = requests(5_000);
+    let r = run(&reqs, 100, 8);
+    assert_eq!(r.table.len(), reqs.len());
+    assert_eq!(r.log.dropped(), 0, "ring too small for the stream");
+
+    // Rules 1–5 on the merged stream: every dispatch behind a lease, one
+    // terminal event per job, no post-rejection activity.
+    let events = r.log.snapshot();
+    let violations = check_invariants(&events);
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // Rules 6–8: the event stream's fold and the sharded table agree
+    // job-for-job on bucket, attempts, user and started.
+    let mut expected = ReplayState::default();
+    for ev in &events {
+        expected.apply(ev);
+    }
+    let recovered = project(&r.table, &reqs);
+    let violations = check_recovery_invariants(&[], &expected, &recovered);
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // And the outcome vector is still the sequential one.
+    let sequential = run(&reqs, 100, 1);
+    assert_eq!(r.outcomes, sequential.outcomes);
+}
