@@ -1,0 +1,32 @@
+//! Regression test for the `selection_scaling --check` skip path: on a
+//! machine with fewer than 4 cores the gate run must announce itself as
+//! skipped (marker in stdout) and exit 77 — not quietly exit 0, which CI
+//! logs used to read as "all gates passed".
+
+use std::process::Command;
+
+#[test]
+fn sub_four_core_check_is_a_loud_skip_not_a_green_gate() {
+    let out = Command::new(env!("CARGO_BIN_EXE_selection_scaling"))
+        .arg("--check")
+        .env("CG_CHECK_CORES", "2")
+        .output()
+        .expect("run selection_scaling --check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(77), "{stdout}");
+    assert!(stdout.contains("SKIPPED speedup gate"), "{stdout}");
+    assert!(stdout.contains("only 2 cores"), "{stdout}");
+    assert!(!stdout.contains("all gates passed"), "{stdout}");
+}
+
+#[test]
+fn one_core_skip_names_the_core_count() {
+    let out = Command::new(env!("CARGO_BIN_EXE_selection_scaling"))
+        .arg("--check")
+        .env("CG_CHECK_CORES", "1")
+        .output()
+        .expect("run selection_scaling --check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(77), "{stdout}");
+    assert!(stdout.contains("only 1 cores, need 4"), "{stdout}");
+}

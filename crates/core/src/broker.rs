@@ -24,8 +24,9 @@ use cg_vm::{deploy_agent, Agent, AgentEvent, AgentId};
 use crate::config::BrokerConfig;
 use crate::fairshare::{FairShare, UsageId, UsageKind};
 use crate::job::{JobId, JobRecord, JobState};
-use crate::matchmaking::{
-    coallocate, filter_candidates, filter_candidates_compiled, select_detailed, CompiledJob,
+use crate::matchmaking::{filter_candidates, filter_candidates_compiled, CompiledJob};
+use crate::policy::{
+    coallocate_with, select_detailed_with, PolicyKind, PolicySignals, QueueForecaster, SiteSignals,
 };
 use crate::shard::{ShardedJobTable, DEFAULT_SHARDS};
 
@@ -46,6 +47,9 @@ struct SiteEntry {
     leased_until: SimTime,
     /// Consecutive involuntary agent deaths at this site (redeploy breaker).
     agent_deaths: u32,
+    /// Consecutive dispatches that queued or failed at this site since the
+    /// last successful start — the `lease-backoff` policy's input signal.
+    lease_failures: u32,
 }
 
 struct AgentEntry {
@@ -112,6 +116,9 @@ struct Inner {
     session_latency: cg_sim::SampleSet,
     tick_scheduled: bool,
     queue_retry_scheduled: bool,
+    /// Per-site EWMA of LRMS queue depth, advanced on fair-share ticks —
+    /// the `queue-forecast` policy's input signal.
+    queue_forecast: QueueForecaster,
     stats: BrokerStats,
     /// Broker-wide lifecycle event log (shared with fair-share, sites,
     /// agents' VMs and the console path).
@@ -178,6 +185,8 @@ impl CrossBroker {
         let trace = EventLog::with_metrics(TRACE_CAPACITY, metrics.clone());
         let mut fairshare = FairShare::new(config.fairshare.clone(), total_cpus.max(1));
         fairshare.set_trace(trace.clone());
+        let queue_forecast =
+            QueueForecaster::new(config.fairshare.half_life, config.fairshare.delta_t);
         for s in &sites {
             s.site.lrms().set_trace(trace.clone(), s.site.name());
         }
@@ -192,6 +201,7 @@ impl CrossBroker {
                         ui_link: s.ui_link,
                         leased_until: SimTime::ZERO,
                         agent_deaths: 0,
+                        lease_failures: 0,
                     })
                     .collect(),
                 index,
@@ -210,6 +220,7 @@ impl CrossBroker {
                 session_latency: cg_sim::SampleSet::new(),
                 tick_scheduled: false,
                 queue_retry_scheduled: false,
+                queue_forecast,
                 stats: BrokerStats::default(),
                 trace,
                 metrics,
@@ -961,6 +972,49 @@ impl CrossBroker {
         self.inner.borrow_mut().jobs.update(id, |r| r.state = state);
     }
 
+    /// The effective selection policy for a job: its own JDL
+    /// `SelectionPolicy` when the name is registered (the analyzer already
+    /// warned about unknown spellings), otherwise the broker default.
+    fn policy_for(&self, job: &JobDescription) -> PolicyKind {
+        job.selection_policy
+            .as_deref()
+            .and_then(PolicyKind::parse)
+            .unwrap_or(self.inner.borrow().config.selection_policy)
+    }
+
+    /// Snapshots the per-site signals the policies score against: current
+    /// and forecast LRMS queue depth, nominal broker-link RTT, and the
+    /// consecutive lease-failure counter.
+    fn site_signals(&self) -> PolicySignals {
+        let inner = self.inner.borrow();
+        let mut signals = PolicySignals::new();
+        for (i, s) in inner.sites.iter().enumerate() {
+            signals.set(
+                i,
+                SiteSignals {
+                    queue_depth: s.site.lrms().queue_depth() as i64,
+                    queue_forecast: inner.queue_forecast.forecast(i),
+                    rtt_s: s.broker_link.profile().nominal_rtt().as_secs_f64(),
+                    lease_failures: s.lease_failures,
+                },
+            );
+        }
+        signals
+    }
+
+    /// Records a dispatch outcome at a site for the `lease-backoff`
+    /// signal: a successful start clears the streak, a queued-withdrawal
+    /// or submission failure extends it.
+    fn note_lease_result(&self, site_index: usize, ok: bool) {
+        let mut inner = self.inner.borrow_mut();
+        let entry = &mut inner.sites[site_index];
+        entry.lease_failures = if ok {
+            0
+        } else {
+            entry.lease_failures.saturating_add(1)
+        };
+    }
+
     fn ensure_fairshare_tick(&self, sim: &mut Sim) {
         let mut inner = self.inner.borrow_mut();
         if inner.tick_scheduled {
@@ -976,6 +1030,18 @@ impl CrossBroker {
                 inner.tick_scheduled = false;
                 let now = sim.now();
                 inner.fairshare.tick(now);
+                // Observe every site's LRMS queue depth on the same tick
+                // cadence: the queue-forecast EWMA shares the fair-share
+                // δt/half-life and its same-δt no-double-decay contract.
+                let depths: Vec<i64> = inner
+                    .sites
+                    .iter()
+                    .map(|s| s.site.lrms().queue_depth() as i64)
+                    .collect();
+                for (i, depth) in depths.into_iter().enumerate() {
+                    inner.queue_forecast.observe(i, depth);
+                }
+                inner.queue_forecast.tick(now);
                 // Keep ticking while anything is charged or decaying.
                 inner.fairshare.active_usages() > 0
                     || inner
@@ -1808,15 +1874,39 @@ impl CrossBroker {
             return;
         }
 
+        let kind = self.policy_for(&job);
+        let signals = self.site_signals();
+        let policy = kind.policy();
+
         if job.parallelism == Parallelism::MpichG2 && job.node_number > 1 {
-            match coallocate(&candidates, job.node_number) {
-                Some(plan) => self.submit_coallocated(sim, id, job, runtime, plan),
+            match coallocate_with(policy, &signals, &candidates, job.node_number) {
+                Some(plan) => {
+                    {
+                        let inner = self.inner.borrow();
+                        for &(site_index, _) in &plan {
+                            let c = candidates
+                                .iter()
+                                .find(|c| c.site_index == site_index)
+                                .expect("planned site is a candidate");
+                            inner.trace.record(
+                                now,
+                                Event::PolicyDecision {
+                                    job: id.0,
+                                    policy: kind.name().to_string(),
+                                    site: c.site.clone(),
+                                    score: policy.score(c, &signals.get(site_index)),
+                                },
+                            );
+                        }
+                    }
+                    self.submit_coallocated(sim, id, job, runtime, plan);
+                }
                 None => self.no_candidates(sim, id, job, runtime),
             }
             return;
         }
 
-        let selection = select_detailed(&candidates, sim.rng());
+        let selection = select_detailed_with(policy, &signals, &candidates, sim.rng());
         if !selection.nan_discarded.is_empty() {
             let inner = self.inner.borrow();
             for c in &selection.nan_discarded {
@@ -1833,6 +1923,18 @@ impl CrossBroker {
             self.no_candidates(sim, id, job, runtime);
             return;
         };
+        {
+            let inner = self.inner.borrow();
+            inner.trace.record(
+                now,
+                Event::PolicyDecision {
+                    job: id.0,
+                    policy: kind.name().to_string(),
+                    site: chosen.site.clone(),
+                    score: policy.score(&chosen, &signals.get(chosen.site_index)),
+                },
+            );
+        }
         {
             let mut inner = self.inner.borrow_mut();
             let lease = inner.config.lease;
@@ -1972,6 +2074,7 @@ impl CrossBroker {
                     }
                     GramEvent::Started { .. } => {
                         *started.borrow_mut() = true;
+                        this.note_lease_result(site_index, true);
                         let this2 = this.clone();
                         let user = job.user.clone();
                         let nodes = job.node_number;
@@ -2018,6 +2121,7 @@ impl CrossBroker {
                         if let Some(lid) = *local_id.borrow() {
                             lrms.kill(sim, lid, "withdrawn by broker (on-line scheduling)");
                         }
+                        this.note_lease_result(site_index, false);
                         let mut excluded2 = excluded.clone();
                         excluded2.insert(site_index);
                         if let Some(delay) = this.begin_resubmit(sim, id) {
@@ -2041,6 +2145,7 @@ impl CrossBroker {
                         }
                     }
                     GramEvent::Failed(e) => {
+                        this.note_lease_result(site_index, false);
                         this.fail(sim, id, &format!("submission failed: {e}"), false);
                     }
                     GramEvent::Queued => {}

@@ -4,6 +4,7 @@ use cg_sim::SimDuration;
 use cg_vm::AgentCosts;
 
 use crate::fairshare::FairShareConfig;
+use crate::policy::PolicyKind;
 
 /// Costs of starting the Grid Console on a worker node and delivering the
 /// first output to the user — the tail of every interactive submission path.
@@ -90,6 +91,10 @@ pub struct BrokerConfig {
     /// Jitter fraction applied to each backoff delay: the scheduled wait is
     /// drawn uniformly from `delay * (1 ± jitter)`.
     pub resubmit_backoff_jitter: f64,
+    /// Site-selection policy for matchmaking. The default reproduces the
+    /// paper's free-CPUs rank; a job's own JDL `SelectionPolicy` attribute
+    /// overrides it per job when the name is registered.
+    pub selection_policy: PolicyKind,
 }
 
 impl Default for BrokerConfig {
@@ -115,6 +120,7 @@ impl Default for BrokerConfig {
             resubmit_backoff_base: SimDuration::from_secs(2),
             resubmit_backoff_max: SimDuration::from_secs(60),
             resubmit_backoff_jitter: 0.2,
+            selection_policy: PolicyKind::default(),
         }
     }
 }
@@ -132,5 +138,6 @@ mod tests {
         assert!(c.default_sandbox_bytes > 0);
         assert!(c.resubmit_backoff_base <= c.resubmit_backoff_max);
         assert!((0.0..1.0).contains(&c.resubmit_backoff_jitter));
+        assert_eq!(c.selection_policy, PolicyKind::FreeCpusRank);
     }
 }

@@ -23,6 +23,7 @@ mod config;
 mod fairshare;
 mod job;
 mod matchmaking;
+mod policy;
 mod recovery;
 mod shard;
 
@@ -33,6 +34,11 @@ pub use job::{JobId, JobRecord, JobState};
 pub use matchmaking::{
     coallocate, filter_candidates, filter_candidates_compiled, select, select_detailed, Candidate,
     CompiledJob, Selection,
+};
+pub use policy::{
+    coallocate_with, preference_order, select_detailed_with, FreeCpusRank, LeaseBackoff,
+    NetworkProximity, PolicyKind, PolicySignals, QueueForecast, QueueForecaster, SelectionPolicy,
+    SiteSignals,
 };
 pub use recovery::RecoveryReport;
 pub use shard::{

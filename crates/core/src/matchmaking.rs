@@ -157,24 +157,12 @@ pub struct Selection {
 /// NaN ranks are excluded up front and reported in
 /// [`Selection::nan_discarded`]; an all-NaN candidate set selects nothing.
 pub fn select_detailed(candidates: &[Candidate], rng: &mut SimRng) -> Selection {
-    let (valid, nan_discarded): (Vec<&Candidate>, Vec<&Candidate>) =
-        candidates.iter().partition(|c| !c.rank.is_nan());
-    let nan_discarded: Vec<Candidate> = nan_discarded.into_iter().cloned().collect();
-    let Some(best) = valid.iter().map(|c| c.rank).reduce(f64::max) else {
-        return Selection {
-            winner: None,
-            nan_discarded,
-        };
-    };
-    let ties: Vec<&Candidate> = valid
-        .iter()
-        .filter(|c| c.rank.total_cmp(&best) == std::cmp::Ordering::Equal)
-        .copied()
-        .collect();
-    Selection {
-        winner: Some((*rng.choose(&ties)).clone()),
-        nan_discarded,
-    }
+    crate::policy::select_detailed_with(
+        &crate::policy::FreeCpusRank,
+        &crate::policy::PolicySignals::new(),
+        candidates,
+        rng,
+    )
 }
 
 /// [`select_detailed`] with the diagnostics dropped — the winner only.
@@ -198,32 +186,12 @@ pub fn select(candidates: &[Candidate], rng: &mut SimRng) -> Option<Candidate> {
 /// (descending), then rank (descending, [`f64::total_cmp`] so NaN orders
 /// last instead of poisoning the sort), then site index (ascending).
 pub fn coallocate(candidates: &[Candidate], nodes: u32) -> Option<Vec<(usize, u32)>> {
-    // Descending by rank with NaN demoted below every real rank (raw
-    // `total_cmp` would put NaN above +inf and hand it the best spot).
-    let rank_desc = |a: f64, b: f64| match (a.is_nan(), b.is_nan()) {
-        (true, true) => std::cmp::Ordering::Equal,
-        (true, false) => std::cmp::Ordering::Greater,
-        (false, true) => std::cmp::Ordering::Less,
-        (false, false) => b.total_cmp(&a),
-    };
-    let mut sorted: Vec<&Candidate> = candidates.iter().filter(|c| c.free_cpus > 0).collect();
-    sorted.sort_by(|a, b| {
-        b.free_cpus
-            .cmp(&a.free_cpus)
-            .then(rank_desc(a.rank, b.rank))
-            .then(a.site_index.cmp(&b.site_index))
-    });
-    let mut left = nodes;
-    let mut plan = Vec::new();
-    for c in sorted {
-        if left == 0 {
-            break;
-        }
-        let take = (c.free_cpus as u32).min(left);
-        plan.push((c.site_index, take));
-        left -= take;
-    }
-    (left == 0).then_some(plan)
+    crate::policy::coallocate_with(
+        &crate::policy::FreeCpusRank,
+        &crate::policy::PolicySignals::new(),
+        candidates,
+        nodes,
+    )
 }
 
 #[cfg(test)]

@@ -43,6 +43,7 @@ use cg_trace::{Event, EventLog};
 
 use crate::job::{JobId, JobRecord, JobState};
 use crate::matchmaking::{filter_candidates_compiled, Candidate, CompiledJob};
+use crate::policy::{preference_order, PolicyKind, PolicySignals};
 
 /// Default shard count for the broker's job table: enough to make lock
 /// collisions rare at realistic thread counts without bloating the struct.
@@ -254,14 +255,40 @@ struct Matched {
 pub struct ParallelMatcher {
     ads: Vec<(usize, Ad)>,
     seed: u64,
+    policy: PolicyKind,
+    signals: PolicySignals,
 }
 
 impl ParallelMatcher {
     /// Creates an engine over a discovery snapshot. `ads` pairs each site's
-    /// index with its advertisement; `seed` roots every per-job RNG.
+    /// index with its advertisement; `seed` roots every per-job RNG. The
+    /// engine scores with the default [`PolicyKind::FreeCpusRank`] and no
+    /// signals — the paper's behaviour — unless overridden with
+    /// [`ParallelMatcher::with_policy`]/[`ParallelMatcher::with_signals`].
     #[must_use]
     pub fn new(ads: Vec<(usize, Ad)>, seed: u64) -> Self {
-        ParallelMatcher { ads, seed }
+        ParallelMatcher {
+            ads,
+            seed,
+            policy: PolicyKind::default(),
+            signals: PolicySignals::new(),
+        }
+    }
+
+    /// Sets the engine-wide selection policy. A job carrying its own valid
+    /// JDL `SelectionPolicy` attribute still overrides this per job.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches per-site signals (queue forecasts, RTTs, lease failures)
+    /// for signal-driven policies to consult.
+    #[must_use]
+    pub fn with_signals(mut self, signals: PolicySignals) -> Self {
+        self.signals = signals;
+        self
     }
 
     /// Runs the batch on `threads` workers, recording lifecycle events into
@@ -289,13 +316,15 @@ impl ParallelMatcher {
                 let slots = &slots;
                 let ads = &self.ads;
                 let seed = self.seed;
+                let policy = self.policy;
+                let signals = &self.signals;
                 scope.spawn(move || {
                     let mut local: Vec<(usize, Matched)> = Vec::new();
                     for (i, req) in requests.iter().enumerate() {
                         if i % threads != w {
                             continue;
                         }
-                        let m = match_one(req, ads, seed);
+                        let m = match_one(req, ads, seed, policy, signals);
                         let mut events = vec![Event::JobSubmitted {
                             job: m.id.0,
                             user: m.user.clone(),
@@ -408,41 +437,35 @@ impl ParallelMatcher {
     }
 }
 
-/// Phase-1 matchmaking for one job: filter, rank, deterministic tie-broken
-/// preference order. Pure — depends only on the request, the ads and the
-/// engine seed.
-fn match_one(req: &MatchRequest, ads: &[(usize, Ad)], seed: u64) -> Matched {
+/// Phase-1 matchmaking for one job: filter, score under the effective
+/// policy, deterministic tie-broken preference order. Pure — depends only
+/// on the request, the ads, the engine seed and the (immutable) policy
+/// signals. A job carrying a valid JDL `SelectionPolicy` overrides the
+/// engine default; unknown spellings fall back (the analyzer has already
+/// warned).
+fn match_one(
+    req: &MatchRequest,
+    ads: &[(usize, Ad)],
+    seed: u64,
+    policy: PolicyKind,
+    signals: &PolicySignals,
+) -> Matched {
     let compiled = CompiledJob::prepare(&req.job);
     let interactive = req.job.is_interactive();
     let candidates = filter_candidates_compiled(&req.job, &compiled, ads, interactive);
-    let (mut valid, nan): (Vec<Candidate>, Vec<Candidate>) =
-        candidates.into_iter().partition(|c| !c.rank.is_nan());
-    let nan_sites = nan.into_iter().map(|c| c.site).collect();
-    // Stable order first so tie groups are well-defined, then shuffle each
-    // exact-rank group with the job's own RNG — the batch generalization of
-    // `select`'s randomized pick among equals.
-    valid.sort_by(|a, b| {
-        b.rank
-            .total_cmp(&a.rank)
-            .then(a.site_index.cmp(&b.site_index))
-    });
+    let effective = req
+        .job
+        .selection_policy
+        .as_deref()
+        .and_then(PolicyKind::parse)
+        .unwrap_or(policy);
     let mut rng = job_rng(seed, req.id);
-    let mut prefs: Vec<Candidate> = Vec::with_capacity(valid.len());
-    let mut i = 0;
-    while i < valid.len() {
-        let mut j = i + 1;
-        while j < valid.len() && valid[j].rank.total_cmp(&valid[i].rank).is_eq() {
-            j += 1;
-        }
-        let mut group: Vec<Candidate> = valid[i..j].to_vec();
-        rng.shuffle(&mut group);
-        prefs.extend(group);
-        i = j;
-    }
+    let (prefs, nan): (Vec<Candidate>, Vec<Candidate>) =
+        preference_order(effective.policy(), signals, candidates, &mut rng);
     Matched {
         id: req.id,
         prefs,
-        nan_sites,
+        nan_sites: nan.into_iter().map(|c| c.site).collect(),
         nodes: req.job.node_number,
         interactive,
         user: req.job.user.clone(),

@@ -43,6 +43,7 @@
 //! | W204 | warning  | dead branch |
 //! | W205 | warning  | reference to a declared-but-unset job attribute |
 //! | W206 | warning  | attribute not in the job vocabulary |
+//! | W207 | warning  | unknown `SelectionPolicy` name (broker falls back) |
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -332,6 +333,7 @@ impl Schema {
             .with("Requirements", Ty::Bool)
             .with("Rank", Ty::Number)
             .with("User", Ty::Str)
+            .with("SelectionPolicy", Ty::Str)
             .with("EstimatedRuntime", Ty::Number)
             .with("InputSandboxSizes", Ty::List)
     }
@@ -1445,6 +1447,17 @@ impl Analysis {
     }
 }
 
+/// Registered `SelectionPolicy` names the analyzer accepts without a W207
+/// warning. The broker's policy registry (`crossbroker::PolicyKind`) is
+/// the source of truth; a test over there asserts the two lists never
+/// drift.
+pub const SELECTION_POLICIES: &[&str] = &[
+    "free-cpus-rank",
+    "queue-forecast",
+    "network-proximity",
+    "lease-backoff",
+];
+
 /// Analyses a parsed ad against the job vocabulary and the given machine
 /// schema. `spans` (from [`parse_ad_spanned`]) makes diagnostics
 /// span-accurate; without it, positions fall back to 1:1.
@@ -1481,6 +1494,26 @@ pub fn analyze_ad(ad: &Ad, spans: Option<&AdSpans>, machine: &Schema) -> Analysi
                 }
             }
             Some(_) => {}
+        }
+    }
+
+    // Pass 1b: SelectionPolicy value check. The attribute is advisory — an
+    // unknown name makes the broker fall back to its configured default —
+    // so a bad spelling warns instead of rejecting the ad. A non-string
+    // value is already E102 from pass 1.
+    if let Some(Value::Str(name)) = ad.get("SelectionPolicy") {
+        if !SELECTION_POLICIES.contains(&name.as_str()) {
+            diags.push(
+                Diagnostic::warning(
+                    "W207",
+                    name_pos("SelectionPolicy"),
+                    format!("unknown selection policy {name:?}"),
+                )
+                .with_help(format!(
+                    "the broker falls back to its default; known policies: {}",
+                    SELECTION_POLICIES.join(", ")
+                )),
+            );
         }
     }
 
@@ -1781,6 +1814,33 @@ mod tests {
         let a = lint("Executable = \"app\";\nHoldKludge = 3;\n");
         assert_eq!(codes(&a), vec!["W206"]);
         assert_eq!(a.diagnostics[0].pos, Pos { line: 2, col: 1 });
+    }
+
+    #[test]
+    fn unknown_selection_policy_is_w207() {
+        // Known names lint clean.
+        for name in SELECTION_POLICIES {
+            let a = lint(&format!(
+                "Executable = \"app\";\nSelectionPolicy = \"{name}\";\n"
+            ));
+            assert!(codes(&a).is_empty(), "{name}: {:?}", a.diagnostics);
+        }
+        // Unknown names warn — the broker will fall back to its default —
+        // and the help lists the registry.
+        let a = lint("Executable = \"app\";\nSelectionPolicy = \"best-effort\";\n");
+        assert_eq!(codes(&a), vec!["W207"]);
+        assert_eq!(a.diagnostics[0].severity, Severity::Warning);
+        assert_eq!(a.diagnostics[0].pos, Pos { line: 2, col: 1 });
+        assert!(a.diagnostics[0]
+            .help
+            .as_deref()
+            .unwrap_or_default()
+            .contains("queue-forecast"));
+        // A non-string value is a type error (schema pass) plus a typed-view
+        // rejection, not a W207 (there is no name to look up).
+        let a = lint("Executable = \"app\";\nSelectionPolicy = 3;\n");
+        assert!(codes(&a).contains(&"E102"), "{:?}", a.diagnostics);
+        assert!(!codes(&a).contains(&"W207"), "{:?}", a.diagnostics);
     }
 
     #[test]

@@ -106,6 +106,11 @@ pub struct JobDescription {
     pub rank: Option<Expr>,
     /// Submitting user (accounting / fair share).
     pub user: String,
+    /// Requested selection-policy name (`SelectionPolicy`), kept as spelled.
+    /// The broker resolves it against its policy registry and falls back to
+    /// its configured default when the name is unknown (the analyzer emits
+    /// W207 for that case).
+    pub selection_policy: Option<String>,
     /// Estimated runtime in seconds, when declared (used by LRMS walltime).
     pub estimated_runtime_s: Option<f64>,
     /// Input-sandbox file sizes in bytes (staged before execution).
@@ -246,6 +251,16 @@ impl JobDescription {
             .unwrap_or("anonymous")
             .to_string();
 
+        let selection_policy = ad
+            .get("SelectionPolicy")
+            .map(|v| match v {
+                Value::Str(s) => Ok(s.clone()),
+                other => Err(invalid(format!(
+                    "SelectionPolicy must be a string, got {other}"
+                ))),
+            })
+            .transpose()?;
+
         let estimated_runtime_s =
             match ad.get("EstimatedRuntime") {
                 None => None,
@@ -287,6 +302,7 @@ impl JobDescription {
             requirements,
             rank,
             user,
+            selection_policy,
             estimated_runtime_s,
             input_sandbox_bytes,
             ad,
@@ -498,6 +514,28 @@ mod tests {
             .unwrap();
         assert_eq!(j.sandbox_bytes(), 3500);
         assert!(JobDescription::parse(r#"Executable = "a"; InputSandboxSizes = {-5};"#).is_err());
+    }
+
+    #[test]
+    fn selection_policy_is_kept_as_spelled() {
+        let j = JobDescription::parse(
+            r#"Executable = "a"; JobType = "interactive"; SelectionPolicy = "queue-forecast";"#,
+        )
+        .unwrap();
+        assert_eq!(j.selection_policy.as_deref(), Some("queue-forecast"));
+        // Unknown spellings survive parsing (the broker falls back; the
+        // analyzer warns), but a non-string is a hard type error.
+        let j =
+            JobDescription::parse(r#"Executable = "a"; SelectionPolicy = "best-effort";"#).unwrap();
+        assert_eq!(j.selection_policy.as_deref(), Some("best-effort"));
+        let err = JobDescription::parse(r#"Executable = "a"; SelectionPolicy = 3;"#).unwrap_err();
+        assert!(err.message.contains("SelectionPolicy"), "{}", err.message);
+        assert_eq!(
+            JobDescription::parse(r#"Executable = "a";"#)
+                .unwrap()
+                .selection_policy,
+            None
+        );
     }
 
     #[test]

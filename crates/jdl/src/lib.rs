@@ -45,6 +45,7 @@ mod parser;
 
 pub use analyze::{
     analyze_ad, analyze_source, Analysis, CompiledExpr, Diagnostic, Schema, Severity, Ty,
+    SELECTION_POLICIES,
 };
 pub use ast::{Ad, Value};
 pub use expr::{BinOp, Ctx, Cv, EvalError, Expr};

@@ -398,6 +398,18 @@ pub fn encode_event(ev: &TimedEvent, out: &mut Vec<u8>) {
             put_u64(out, *job);
             put_str(out, site);
         }
+        Event::PolicyDecision {
+            job,
+            policy,
+            site,
+            score,
+        } => {
+            put_u8(out, 42);
+            put_u64(out, *job);
+            put_str(out, policy);
+            put_str(out, site);
+            put_f64(out, *score);
+        }
     }
 }
 
@@ -555,6 +567,12 @@ pub fn decode_event(buf: &[u8]) -> Result<TimedEvent, CodecError> {
             job: c.u64()?,
             site: c.str()?,
         },
+        42 => Event::PolicyDecision {
+            job: c.u64()?,
+            policy: c.str()?,
+            site: c.str()?,
+            score: c.f64()?,
+        },
         other => return Err(CodecError::BadTag(other)),
     };
     if !c.is_empty() {
@@ -701,6 +719,12 @@ mod tests {
             Event::RankNanDiscarded {
                 job: 7,
                 site: "cesga".into(),
+            },
+            Event::PolicyDecision {
+                job: 8,
+                policy: "queue-forecast".into(),
+                site: "ifca".into(),
+                score: 5.75,
             },
         ]
     }

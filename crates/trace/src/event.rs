@@ -126,6 +126,19 @@ pub enum Event {
         /// Site whose candidate was discarded.
         site: String,
     },
+    /// The selection step chose a site for a job under a named policy.
+    /// One event per selected site (co-allocation emits one per planned
+    /// subjob site), making policy A/B runs diffable from the trace alone.
+    PolicyDecision {
+        /// Broker job id.
+        job: u64,
+        /// Registry name of the policy that scored the candidates.
+        policy: String,
+        /// The chosen site.
+        site: String,
+        /// The winning score (the rank itself under `free-cpus-rank`).
+        score: f64,
+    },
 
     // ── fair-share scheduler ────────────────────────────────────────────
     /// The fair-share engine decayed usage and recomputed priorities.
@@ -362,6 +375,7 @@ impl Event {
             Event::JdlDiagnostic { .. } => "JdlDiagnostic",
             Event::JdlRejected { .. } => "JdlRejected",
             Event::RankNanDiscarded { .. } => "RankNanDiscarded",
+            Event::PolicyDecision { .. } => "PolicyDecision",
             Event::FairShareTick { .. } => "FairShareTick",
             Event::PriorityChanged { .. } => "PriorityChanged",
             Event::AgentDeployed { .. } => "AgentDeployed",
@@ -474,6 +488,17 @@ impl Event {
             Event::RankNanDiscarded { job, site } => {
                 let _ = write!(out, ",\"job\":{job}");
                 str_field(out, "site", site);
+            }
+            Event::PolicyDecision {
+                job,
+                policy,
+                site,
+                score,
+            } => {
+                let _ = write!(out, ",\"job\":{job}");
+                str_field(out, "policy", policy);
+                str_field(out, "site", site);
+                let _ = write!(out, ",\"score\":{}", json_number(*score));
             }
             Event::FairShareTick { usages } => {
                 let _ = write!(out, ",\"usages\":{usages}");

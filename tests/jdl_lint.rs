@@ -74,6 +74,39 @@ fn non_numeric_rank_reports_e107() {
 }
 
 #[test]
+fn selection_policy_fixture_lints_clean() {
+    let out = lint(&[&fixture("policy_forecast.jdl")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("1 file(s) clean"), "{stdout}");
+}
+
+#[test]
+fn unknown_selection_policy_warns_w207_but_exits_zero() {
+    let out = lint(&[&fixture("warn/policy_unknown.jdl")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Advisory only: the broker falls back to its default policy, so the
+    // lint gate must NOT fail the file — CI treats exit 0 + warning text
+    // as "clean with notes".
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("warning[W207]"), "{stdout}");
+    assert!(stdout.contains("policy_unknown.jdl:6:1"), "{stdout}");
+    assert!(stdout.contains("falls back"), "{stdout}");
+    assert!(stdout.contains("0 error(s), 1 warning(s)"), "{stdout}");
+}
+
+#[test]
+fn wrong_typed_selection_policy_is_an_error() {
+    let out = lint(&[&fixture("bad/policy_wrong_type.jdl")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("error[E102]"), "{stdout}");
+    assert!(stdout.contains("policy_wrong_type.jdl:4"), "{stdout}");
+    // The wrong type is a hard error, never the advisory unknown-name path.
+    assert!(!stdout.contains("W207"), "{stdout}");
+}
+
+#[test]
 fn mixed_batch_still_fails_and_counts_both() {
     let out = lint(&[&fixture("figure2.jdl"), &fixture("bad/unsat.jdl")]);
     let stdout = String::from_utf8_lossy(&out.stdout);

@@ -1,0 +1,411 @@
+//! Policy conformance suite: every registered [`PolicyKind`] must satisfy
+//! the selection contracts whatever the grid or job stream —
+//!
+//! 1. a dispatched job lands only inside its matched candidate set;
+//! 2. the parallel matcher's outcome vector is bit-identical at every
+//!    worker-thread count from 1 through 8;
+//! 3. NaN scores are discarded (never preferred) and winners are drawn
+//!    from the exact `total_cmp`-equal tie group of the maximum score;
+//! 4. crash-recovery replay under a non-default policy lands every job in
+//!    the same terminal bucket as the uncrashed run.
+//!
+//! Grids, signals and job streams are generated from property-test seeds,
+//! so each case is a fresh random world that reproduces deterministically.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+use crossgrid::broker::{filter_candidates, Candidate};
+use crossgrid::broker::{
+    select_detailed_with, BrokerConfig, CrossBroker, JobId, JobRecord, JobState, MatchOutcome,
+    MatchRequest, ParallelMatcher, PolicyKind, PolicySignals, ShardedJobTable, SiteSignals,
+    DEFAULT_SHARDS,
+};
+use crossgrid::jdl::{Ad, JobDescription};
+use crossgrid::net::{FaultSchedule, Link, LinkProfile};
+use crossgrid::prelude::*;
+use crossgrid::sim::SimRng;
+use crossgrid::site::{Policy, SiteConfig};
+use crossgrid::trace::journal::{open_journal, Journal, JournalConfig};
+use crossgrid::trace::replay::Bucket;
+use crossgrid::trace::CrashPlan;
+use proptest::prelude::*;
+
+mod common;
+use common::bucket_of;
+
+/// A random grid: `n` sites with random free-CPU counts (zero included)
+/// and mixed batch-queue acceptance.
+fn random_ads(seed: u64, n: usize) -> Vec<(usize, Ad)> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|i| {
+            let mut ad = Ad::new();
+            ad.set_str("Site", format!("s{i}"))
+                .set_int("FreeCpus", rng.index(5) as i64)
+                .set_bool("AcceptsQueued", rng.chance(0.7));
+            (i, ad)
+        })
+        .collect()
+}
+
+/// Random per-site signals: queue depths, forecasts, RTTs and lease-failure
+/// streaks, all finite (NaN enters only through job ranks).
+fn random_signals(seed: u64, n: usize) -> PolicySignals {
+    let mut rng = SimRng::new(seed ^ 0x5167_4A15);
+    let mut signals = PolicySignals::new();
+    for i in 0..n {
+        signals.set(
+            i,
+            SiteSignals {
+                queue_depth: rng.index(6) as i64,
+                queue_forecast: rng.f64() * 5.0,
+                rtt_s: rng.f64() * 0.05,
+                lease_failures: rng.index(3) as u32,
+            },
+        );
+    }
+    signals
+}
+
+/// A random job stream: interactive MPI jobs of random width racing batch
+/// singletons, with a sprinkling of per-job JDL `SelectionPolicy`
+/// overrides (valid and unknown spellings both).
+fn random_requests(seed: u64, n: usize) -> Vec<MatchRequest> {
+    let mut rng = SimRng::new(seed ^ 0x4A0B);
+    (0..n)
+        .map(|i| {
+            let user = format!("u{}", rng.index(5));
+            let mut src = if rng.chance(0.5) {
+                let nodes = 1 + rng.index(3);
+                format!(
+                    r#"Executable = "iapp"; JobType = {{"interactive","mpich-p4"}};
+                       NodeNumber = {nodes}; User = "{user}";"#
+                )
+            } else {
+                format!(r#"Executable = "bapp"; JobType = "batch"; User = "{user}";"#)
+            };
+            if rng.chance(0.2) {
+                let name = *rng.choose(&[
+                    "free-cpus-rank",
+                    "queue-forecast",
+                    "network-proximity",
+                    "lease-backoff",
+                    "not-a-policy", // unknown: must fall back, never crash
+                ]);
+                src.push_str(&format!(r#" SelectionPolicy = "{name}";"#));
+            }
+            MatchRequest {
+                id: JobId(i as u64),
+                job: JobDescription::parse(&src).unwrap(),
+            }
+        })
+        .collect()
+}
+
+fn run(
+    kind: PolicyKind,
+    seed: u64,
+    requests: &[MatchRequest],
+    sites: usize,
+    threads: usize,
+) -> (Vec<(JobId, MatchOutcome)>, BTreeMap<u64, String>) {
+    let log = EventLog::new(requests.len() * 4 + sites + 16);
+    let table: ShardedJobTable<JobRecord> = ShardedJobTable::new(DEFAULT_SHARDS);
+    let engine = ParallelMatcher::new(random_ads(seed, sites), seed)
+        .with_policy(kind)
+        .with_signals(random_signals(seed, sites));
+    let outcomes = engine.run(requests, threads, &log, &table);
+    let buckets = table
+        .snapshot()
+        .iter()
+        .map(|(id, r)| (id.0, format!("{:?}", bucket_of(&r.state))))
+        .collect();
+    (outcomes, buckets)
+}
+
+proptest! {
+    /// Contract 1: whatever the policy, a dispatched job's site is a
+    /// member of its matched candidate set, queued jobs are batch, and
+    /// no-resources jobs are interactive.
+    #[test]
+    fn dispatches_stay_inside_the_matched_candidate_set(
+        seed in any::<u64>(),
+        sites in 3usize..24,
+        jobs in 1usize..80,
+    ) {
+        let requests = random_requests(seed, jobs);
+        let ads = random_ads(seed, sites);
+        let sets: Vec<BTreeSet<usize>> = requests
+            .iter()
+            .map(|req| {
+                filter_candidates(&req.job, &ads, req.job.is_interactive())
+                    .into_iter()
+                    .map(|c| c.site_index)
+                    .collect()
+            })
+            .collect();
+        for kind in PolicyKind::ALL {
+            let (outcomes, _) = run(kind, seed, &requests, sites, 1);
+            for (i, (id, outcome)) in outcomes.iter().enumerate() {
+                match outcome {
+                    MatchOutcome::Dispatched { site_index, .. } => prop_assert!(
+                        sets[i].contains(site_index),
+                        "{}: job {id:?} dispatched outside its candidate set",
+                        kind.name()
+                    ),
+                    MatchOutcome::Queued => prop_assert!(!requests[i].job.is_interactive()),
+                    MatchOutcome::NoResources => prop_assert!(requests[i].job.is_interactive()),
+                }
+            }
+        }
+    }
+
+    /// Contract 2: thread count is invisible in the outcome vector and in
+    /// the per-job terminal buckets, for every policy.
+    #[test]
+    fn thread_counts_one_through_eight_are_bit_identical(
+        seed in any::<u64>(),
+        sites in 3usize..20,
+        jobs in 1usize..60,
+    ) {
+        let requests = random_requests(seed, jobs);
+        for kind in PolicyKind::ALL {
+            let baseline = run(kind, seed, &requests, sites, 1);
+            for threads in 2usize..=8 {
+                let sharded = run(kind, seed, &requests, sites, threads);
+                prop_assert_eq!(
+                    &sharded.0, &baseline.0,
+                    "{}: outcomes diverged at {} threads", kind.name(), threads
+                );
+                prop_assert_eq!(
+                    &sharded.1, &baseline.1,
+                    "{}: buckets diverged at {} threads", kind.name(), threads
+                );
+            }
+        }
+    }
+
+    /// Contract 3: `select_detailed_with` under every policy discards
+    /// exactly the NaN-scored candidates, and the winner's score is
+    /// `total_cmp`-equal to the maximum across the comparable ones.
+    #[test]
+    fn nan_scores_are_discarded_and_winners_come_from_the_exact_tie_group(
+        seed in any::<u64>(),
+        ranks in prop::collection::vec(
+            prop::sample::select(vec![
+                f64::NAN, f64::INFINITY, f64::NEG_INFINITY,
+                -1.5, 0.0, 0.5, 1.0, 1.0, 2.0, 2.0, 7.25,
+            ]),
+            1usize..12,
+        ),
+    ) {
+        let candidates: Vec<Candidate> = ranks
+            .iter()
+            .enumerate()
+            .map(|(i, &rank)| Candidate {
+                site_index: i,
+                site: format!("s{i}"),
+                rank,
+                free_cpus: 1 + (i as i64 % 4),
+            })
+            .collect();
+        let signals = random_signals(seed, candidates.len());
+        for kind in PolicyKind::ALL {
+            let policy = kind.policy();
+            let scores: Vec<f64> = candidates
+                .iter()
+                .map(|c| policy.score(c, &signals.get(c.site_index)))
+                .collect();
+            let mut rng = SimRng::new(seed);
+            let selection =
+                select_detailed_with(policy, &signals, &candidates, &mut rng);
+            // Finite signals: a score is NaN exactly when the rank is.
+            let nan_sites: BTreeSet<usize> = scores
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_nan())
+                .map(|(i, _)| i)
+                .collect();
+            let discarded: BTreeSet<usize> = selection
+                .nan_discarded
+                .iter()
+                .map(|c| c.site_index)
+                .collect();
+            prop_assert_eq!(&discarded, &nan_sites, "{}", kind.name());
+            let best = scores.iter().copied().filter(|s| !s.is_nan()).reduce(f64::max);
+            match (best, &selection.winner) {
+                (None, None) => {}
+                (Some(best), Some(winner)) => {
+                    let ties: BTreeSet<usize> = scores
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.total_cmp(&best).is_eq())
+                        .map(|(i, _)| i)
+                        .collect();
+                    prop_assert!(
+                        ties.contains(&winner.site_index),
+                        "{}: winner outside the exact tie group", kind.name()
+                    );
+                }
+                (best, winner) => prop_assert!(
+                    false,
+                    "{}: winner {:?} but best comparable score {:?}",
+                    kind.name(), winner, best
+                ),
+            }
+            // Same seed, same inputs: the draw is reproducible.
+            let mut rng2 = SimRng::new(seed);
+            let again = select_detailed_with(policy, &signals, &candidates, &mut rng2);
+            prop_assert_eq!(
+                again.winner.as_ref().map(|c| c.site_index),
+                selection.winner.as_ref().map(|c| c.site_index)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contract 4: crash-recovery replay under a non-default policy.
+// ---------------------------------------------------------------------------
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cg-polconf-{}-{name}.journal", std::process::id()));
+    p
+}
+
+fn policy_config(kind: PolicyKind) -> BrokerConfig {
+    BrokerConfig {
+        max_resubmissions: 10,
+        selection_policy: kind,
+        ..BrokerConfig::default()
+    }
+}
+
+fn world() -> (Vec<SiteHandle>, Link) {
+    let handles = ["alpha", "beta"]
+        .iter()
+        .map(|name| {
+            let site = Site::new(SiteConfig {
+                name: (*name).into(),
+                nodes: 2,
+                policy: Policy::Fifo,
+                ..SiteConfig::default()
+            });
+            SiteHandle {
+                site,
+                broker_link: Link::with_faults(LinkProfile::campus(), FaultSchedule::none()),
+                ui_link: Link::with_faults(LinkProfile::campus(), FaultSchedule::none()),
+            }
+        })
+        .collect();
+    (
+        handles,
+        Link::with_faults(LinkProfile::wan_mds(), FaultSchedule::none()),
+    )
+}
+
+fn drive(sim: &mut Sim, broker: &CrossBroker) {
+    let exclusive = || {
+        JobDescription::parse(
+            r#"Executable = "viz"; JobType = "interactive"; MachineAccess = "exclusive";
+               User = "alice"; SelectionPolicy = "queue-forecast";"#,
+        )
+        .unwrap()
+    };
+    for _ in 0..2 {
+        broker.submit(sim, exclusive(), SimDuration::from_secs(10));
+    }
+    let b = broker.clone();
+    sim.schedule_at(SimTime::from_secs(45), move |sim| {
+        b.submit(sim, exclusive(), SimDuration::from_secs(10));
+    });
+    let b = broker.clone();
+    sim.schedule_at(SimTime::from_secs(120), move |sim| {
+        let batch =
+            JobDescription::parse(r#"Executable = "bapp"; JobType = "batch"; User = "bob";"#)
+                .unwrap();
+        b.submit(sim, batch, SimDuration::from_secs(20));
+    });
+}
+
+fn journaled_run(path: &PathBuf, kind: PolicyKind, crash_after: Option<u64>) -> (u64, bool) {
+    let _ = std::fs::remove_file(path);
+    let mut sim = Sim::new(11);
+    let (handles, mds) = world();
+    let broker = CrossBroker::new(&mut sim, handles, mds, policy_config(kind));
+    let log = broker.event_log();
+    log.set_journal(Journal::create(path, JournalConfig::default()).unwrap());
+    if let Some(k) = crash_after {
+        log.arm_crash(CrashPlan { after_event_seq: k });
+    }
+    drive(&mut sim, &broker);
+    sim.run_until(SimTime::from_secs(600));
+    if let Some(j) = log.journal() {
+        j.sync().unwrap();
+    }
+    (log.recorded(), log.crashed())
+}
+
+/// The kill-point sweep under a non-default engine policy (and a per-job
+/// JDL override on every interactive job): recovery must land every
+/// journaled job in the bucket of the uncrashed run. A stride keeps the
+/// sweep affordable; the full every-event sweep lives in `crash_recovery`.
+#[test]
+fn recovery_under_non_default_policy_reproduces_the_uncrashed_buckets() {
+    let kind = PolicyKind::QueueForecast;
+    let base = tmp("base");
+    let (total, crashed) = journaled_run(&base, kind, None);
+    assert!(!crashed);
+    assert!(total > 15, "reference scenario too small: {total} events");
+
+    let baseline = open_journal(&base).unwrap().replay_state().unwrap();
+    assert_eq!(baseline.jobs.len(), 4);
+    let mut base_buckets: BTreeMap<u64, Bucket> = BTreeMap::new();
+    for (id, rj) in &baseline.jobs {
+        assert!(
+            rj.phase.is_terminal(),
+            "job {id} not terminal: {:?}",
+            rj.phase
+        );
+        base_buckets.insert(*id, rj.phase.bucket());
+    }
+
+    let crash = tmp("crash");
+    for k in (0..total).step_by(5) {
+        let (_, crashed) = journaled_run(&crash, kind, Some(k));
+        assert!(crashed, "kill point {k} of {total} must fire");
+        let loaded = open_journal(&crash).unwrap();
+        let expected = loaded.replay_state().unwrap();
+        let mut sim = Sim::new(9_000 + k);
+        let (handles, mds) = world();
+        let (broker, report) =
+            CrossBroker::recover(&mut sim, handles, mds, policy_config(kind), &loaded).unwrap();
+        sim.run_until(report.crash_at + SimDuration::from_secs(600));
+        assert!(
+            report.violations.is_empty(),
+            "k={k}: recovery invariants violated: {:?}",
+            report.violations
+        );
+        for (id, rj) in &expected.jobs {
+            let state = broker.record(JobId(*id)).state;
+            assert!(
+                matches!(state, JobState::Done | JobState::Failed { .. }),
+                "k={k}: job {id} never reached a terminal state: {state:?}"
+            );
+            let want = if !rj.phase.is_terminal() && (rj.jdl.is_none() || rj.runtime_ns.is_none()) {
+                Bucket::Errored
+            } else {
+                base_buckets[id]
+            };
+            assert_eq!(
+                bucket_of(&state),
+                want,
+                "k={k}: job {id} diverged from the uncrashed run: {state:?}"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&crash);
+}
