@@ -33,9 +33,20 @@ pub mod sample {
     }
 }
 
+/// Option strategies (`prop::option::of`).
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy for `Option<S::Value>`, biased toward `Some` like upstream.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 /// The `prop` path alias used by `proptest::prelude::*` consumers.
 pub mod prop {
     pub use crate::collection;
+    pub use crate::option;
     pub use crate::sample;
 }
 

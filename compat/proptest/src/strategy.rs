@@ -349,6 +349,24 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
     }
 }
 
+/// See [`crate::option::of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Match upstream's default: `Some` three times out of four.
+        if rng.gen_range(0..4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
 /// See [`crate::sample::select`].
 #[derive(Clone)]
 pub struct Select<T: Clone> {

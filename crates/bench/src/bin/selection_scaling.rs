@@ -11,11 +11,15 @@
 //! cargo run -p cg-bench --release --bin selection_scaling -- --check
 //! ```
 //!
-//! `--check` runs the quick CI gates only: the compiled-matchmaking margin
-//! and the multi-thread speedup. Below 4 cores (override: `CG_CHECK_CORES`)
-//! the run prints a `SKIPPED` marker and exits 77 instead of 0, so a log
-//! reader can never mistake a skipped gate for a green one.
+//! `--check` runs the quick CI gates only: the compiled-matchmaking margin,
+//! the multi-thread speedup, and the columnar gate (the SoA `AdSnapshot`
+//! scan must be bit-identical to — and no slower than — the compiled map
+//! path, single-threaded and at every worker count). Below 4 cores
+//! (override: `CG_CHECK_CORES`) the run prints a `SKIPPED` marker and exits
+//! 77 instead of 0, so a log reader can never mistake a skipped gate for a
+//! green one.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use cg_bench::report::{print_table, TraceSink};
@@ -23,11 +27,11 @@ use cg_bench::response::sample_discovery_selection;
 use cg_bench::write_csv;
 use cg_jdl::{Ad, JobDescription};
 use cg_sim::SampleSet;
-use cg_site::{Site, SiteConfig};
+use cg_site::{AdSnapshot, Site, SiteConfig};
 use cg_trace::EventLog;
 use crossbroker::{
-    filter_candidates, filter_candidates_compiled, CompiledJob, JobId, MatchRequest,
-    ParallelMatcher, ShardedJobTable, DEFAULT_SHARDS,
+    filter_candidates, filter_candidates_columnar, filter_candidates_compiled, CompiledJob,
+    IncrementalMatch, JobId, MatchRequest, ParallelMatcher, ShardedJobTable, DEFAULT_SHARDS,
 };
 
 /// A figure-2-shaped interactive job: an own-ad reference (`NodeNumber`),
@@ -117,6 +121,162 @@ fn matchmaking_comparison(sink: &TraceSink) -> (f64, f64) {
     let path = write_csv("matchmaking_compiled.csv", &csv);
     println!("CSV: {}\n", path.display());
     last
+}
+
+/// Map-shaped compiled matchmaking vs the columnar [`AdSnapshot`] scan,
+/// plus the epoch-delta incremental path over a prebuilt refresh chain.
+/// Returns the worst columnar/map ratio over the sweep — the `--check`
+/// gate requires the flat-array scan to stay at least as fast as the
+/// map path (within a 10% noise guard) at every site count.
+fn columnar_comparison(sink: &TraceSink) -> f64 {
+    let job = bench_job();
+    let compiled = CompiledJob::prepare(&job);
+    let mut rows = Vec::new();
+    let mut csv = String::from("sites,map_us,columnar_us,incremental_us\n");
+    let mut worst = 0.0f64;
+    for n in [5usize, 10, 20, 40, 80] {
+        let ads = bench_ads(n);
+        let snap = AdSnapshot::build(ads.iter().map(|(_, ad)| ad.clone()).collect());
+        assert_eq!(
+            filter_candidates_compiled(&job, &compiled, &ads, true),
+            filter_candidates_columnar(&job, &compiled, &snap, true),
+            "columnar path must select identical candidates"
+        );
+        let iters = (200_000 / n) as u32;
+        let map_us = time_us(iters, || {
+            filter_candidates_compiled(&job, &compiled, &ads, true).len()
+        });
+        let col_us = time_us(iters, || {
+            filter_candidates_columnar(&job, &compiled, &snap, true).len()
+        });
+
+        // Epoch-delta steady state: a chain of refreshes each bumping one
+        // site's FreeCpus to a never-repeating value, advanced entirely
+        // outside the timed region so the measurement is pure re-matching.
+        let steps = 128usize;
+        let mut working: Vec<Ad> = ads.iter().map(|(_, ad)| ad.clone()).collect();
+        let mut chain = vec![snap.clone()];
+        for s in 0..steps {
+            working[s % n].set_int("FreeCpus", 1 + s as i64);
+            let next = chain
+                .last()
+                .expect("chain is non-empty")
+                .advance(working.clone());
+            chain.push(next);
+        }
+        let mut inc = IncrementalMatch::new(true);
+        for (k, step) in chain.iter().enumerate() {
+            assert_eq!(
+                inc.rematch(&job, &compiled, step),
+                filter_candidates_columnar(&job, &compiled, step, true),
+                "incremental re-match diverged from a full columnar pass"
+            );
+            assert!(
+                k == 0 || inc.last_rematched() <= 1,
+                "steady-state refresh re-matched more than the one dirty site"
+            );
+        }
+        let reps = (iters as usize / steps).max(1);
+        let mut total = 0usize;
+        let start = Instant::now();
+        for _ in 0..reps {
+            // The fresh matcher's first call is a full pass; amortised over
+            // the chain it adds ~col_us/steps — noise, kept for honesty.
+            let mut inc = IncrementalMatch::new(true);
+            for step in &chain {
+                total += inc.rematch(&job, &compiled, step).len();
+            }
+        }
+        let inc_us = start.elapsed().as_secs_f64() / (reps * chain.len()) as f64 * 1e6;
+        assert!(total > 0, "incremental matchmaking found no candidates");
+
+        sink.measure(format!("selection_scaling.{n}_sites.map_us"), map_us);
+        sink.measure(format!("selection_scaling.{n}_sites.columnar_us"), col_us);
+        sink.measure(
+            format!("selection_scaling.{n}_sites.incremental_us"),
+            inc_us,
+        );
+        worst = worst.max(col_us / map_us);
+        rows.push(vec![
+            format!("{n}"),
+            format!("{map_us:.2}"),
+            format!("{col_us:.2}"),
+            format!("{inc_us:.2}"),
+            format!("{:.2}x", map_us / col_us),
+        ]);
+        csv.push_str(&format!("{n},{map_us},{col_us},{inc_us}\n"));
+    }
+    print_table(
+        "Matchmaking: compiled map scan vs columnar snapshot vs epoch-delta re-match (µs per pass)",
+        &["sites", "map", "columnar", "incremental", "col speedup"],
+        &rows,
+    );
+    let path = write_csv("matchmaking_columnar.csv", &csv);
+    println!("CSV: {}\n", path.display());
+    worst
+}
+
+/// The two [`ParallelMatcher`] stores head-to-head over 1000 sites: the
+/// map-shaped engine vs the columnar one, same seed, asserting the outcome
+/// vectors are bit-identical at every thread count. Returns
+/// `(threads, map_us, columnar_us)` per measured count for the gate.
+fn parallel_columnar(sink: &TraceSink, quick: bool) -> Vec<(usize, f64, f64)> {
+    let sites = 1_000;
+    let batch = if quick { 256 } else { 512 };
+    let snap = Arc::new(AdSnapshot::build(
+        bench_ads(sites).into_iter().map(|(_, ad)| ad).collect(),
+    ));
+    let map_engine = ParallelMatcher::new(snap.indexed_ads(), 0xC055);
+    let col_engine = ParallelMatcher::from_snapshot(Arc::clone(&snap), 0xC055);
+    let jobs: Vec<MatchRequest> = (0..batch)
+        .map(|i| MatchRequest {
+            id: JobId(i),
+            job: bench_job(),
+        })
+        .collect();
+    let run = |engine: &ParallelMatcher, threads: usize| {
+        let mut best = f64::INFINITY;
+        let mut outcomes = Vec::new();
+        for _ in 0..2 {
+            let log = EventLog::new(jobs.len() * 4);
+            let table = ShardedJobTable::new(DEFAULT_SHARDS);
+            let start = Instant::now();
+            outcomes = engine.run(&jobs, threads, &log, &table);
+            best = best.min(start.elapsed().as_secs_f64() / jobs.len() as f64 * 1e6);
+        }
+        (best, outcomes)
+    };
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (map_us, map_outcomes) = run(&map_engine, threads);
+        let (col_us, col_outcomes) = run(&col_engine, threads);
+        assert_eq!(
+            col_outcomes, map_outcomes,
+            "columnar engine outcomes diverged from the map engine at {threads} threads"
+        );
+        sink.measure(
+            format!("selection_scaling.columnar.{threads}_threads_map_us"),
+            map_us,
+        );
+        sink.measure(
+            format!("selection_scaling.columnar.{threads}_threads_columnar_us"),
+            col_us,
+        );
+        rows.push(vec![
+            format!("{threads}"),
+            format!("{map_us:.1}"),
+            format!("{col_us:.1}"),
+            format!("{:.2}x", map_us / col_us),
+        ]);
+        out.push((threads, map_us, col_us));
+    }
+    print_table(
+        &format!("Parallel matchmaking stores over {sites} sites (µs per job, outcome-identical)"),
+        &["threads", "map", "columnar", "col speedup"],
+        &rows,
+    );
+    out
 }
 
 /// Multi-thread matchmaking over 1000 synthetic sites: µs/job at each
@@ -221,6 +381,23 @@ fn run_checks(sink: &TraceSink) -> i32 {
         speedup >= 2.0,
         "sharded core below 2x at 4 workers on {cores} cores: {speedup:.2}x"
     );
+    // Columnar gates: the flat-array scan must stay at least as fast as the
+    // compiled map path (10% noise guard) across the site sweep and at
+    // every measured thread count — both functions also assert the two
+    // paths produce bit-identical candidates/outcomes before timing.
+    let worst = columnar_comparison(sink);
+    assert!(
+        worst <= 1.10,
+        "columnar matchmaking regressed past the map path: \
+         worst columnar/map ratio {worst:.2}"
+    );
+    for (threads, map_us, col_us) in parallel_columnar(sink, true) {
+        assert!(
+            col_us <= map_us * 1.10,
+            "columnar engine slower than the map engine at {threads} threads: \
+             {col_us:.1}µs vs {map_us:.1}µs"
+        );
+    }
     println!("selection_scaling --check: all gates passed");
     0
 }
@@ -235,7 +412,9 @@ fn main() {
     }
     let samples: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(30);
     matchmaking_comparison(&sink);
+    columnar_comparison(&sink);
     parallel_matching(&sink, false);
+    parallel_columnar(&sink, false);
     let mut rows = Vec::new();
     let mut csv = String::from("sites,discovery_mean_s,selection_mean_s\n");
     for n in [1usize, 2, 5, 10, 15, 20, 30, 40] {

@@ -24,7 +24,10 @@ use cg_vm::{deploy_agent, Agent, AgentEvent, AgentId};
 use crate::config::BrokerConfig;
 use crate::fairshare::{FairShare, UsageId, UsageKind};
 use crate::job::{JobId, JobRecord, JobState};
-use crate::matchmaking::{filter_candidates, filter_candidates_compiled, CompiledJob};
+use crate::matchmaking::{
+    filter_candidates, filter_candidates_columnar, filter_candidates_compiled, Candidate,
+    CompiledJob,
+};
 use crate::policy::{
     coallocate_with, select_detailed_with, PolicyKind, PolicySignals, QueueForecaster, SiteSignals,
 };
@@ -351,10 +354,15 @@ impl CrossBroker {
         self.inner.borrow().jobs.get(id).expect("job exists")
     }
 
-    /// All job records (for experiment summaries), sorted by id.
+    /// All job records (for experiment summaries), sorted by id. Visits the
+    /// sharded table in place and clones each record once into the result —
+    /// no intermediate whole-table snapshot.
     pub fn records(&self) -> Vec<JobRecord> {
         let inner = self.inner.borrow();
-        inner.jobs.snapshot().into_iter().map(|(_, r)| r).collect()
+        let mut out = Vec::with_capacity(inner.jobs.len());
+        inner.jobs.for_each(|_, r| out.push(r.clone()));
+        out.sort_by_key(|r| r.id);
+        out
     }
 
     /// A user's fair-share priority (higher = worse).
@@ -543,7 +551,10 @@ impl CrossBroker {
     pub fn replay_state(&self) -> ReplayState {
         let inner = self.inner.borrow();
         let mut state = ReplayState::default();
-        for (id, r) in inner.jobs.snapshot() {
+        // Visit the job table in place: `state.jobs` is a BTreeMap, so the
+        // per-shard (non-global) visit order lands in sorted order anyway,
+        // and no intermediate Vec of cloned records is built.
+        inner.jobs.for_each(|id, r| {
             let ad = inner.job_ads.get(&id);
             let phase = match &r.state {
                 JobState::Submitted => Phase::Submitted,
@@ -576,7 +587,7 @@ impl CrossBroker {
                     fail_reason,
                 },
             );
-        }
+        });
         for (aid, e) in &inner.agents {
             if !e.agent.borrow().is_alive() {
                 continue;
@@ -1810,20 +1821,21 @@ impl CrossBroker {
                     r.discovered_at.get_or_insert(sim.now());
                 });
             }
-            // Stale-info filter decides which sites to live-query.
-            let stale_ads: Vec<(usize, Ad)> = stale
-                .into_iter()
-                .enumerate()
-                .filter(|(i, _)| !excluded.contains(i))
-                .map(|(i, rec)| (i, rec.ad))
-                .collect();
+            // Stale-info filter decides which sites to live-query. The
+            // compiled path scans the MDS columnar snapshot in place (no
+            // per-query ad clones); per-site matching is independent, so
+            // dropping excluded sites after the filter is equivalent to
+            // dropping them before.
             // MPICH-G2 co-allocation sums free CPUs across sites, so a
             // single site need not host the whole job.
             let require_full = job.is_interactive() && job.parallelism != Parallelism::MpichG2;
-            let shortlist = match this.compiled_for(id) {
-                Some(c) => filter_candidates_compiled(&job, &c, &stale_ads, require_full),
-                None => filter_candidates(&job, &stale_ads, require_full),
-            };
+            let shortlist: Vec<Candidate> = match this.compiled_for(id) {
+                Some(c) => filter_candidates_columnar(&job, &c, &stale, require_full),
+                None => filter_candidates(&job, &stale.indexed_ads(), require_full),
+            }
+            .into_iter()
+            .filter(|c| !excluded.contains(&c.site_index))
+            .collect();
             if shortlist.is_empty() {
                 this.no_candidates(sim, id, job, runtime);
                 return;

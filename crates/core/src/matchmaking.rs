@@ -3,6 +3,7 @@
 
 use cg_jdl::{Ad, CompiledExpr, Ctx, Expr, JobDescription};
 use cg_sim::SimRng;
+use cg_site::AdSnapshot;
 
 /// One candidate after filtering, with its rank.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,6 +133,135 @@ fn eval_rank_or_default(rank: &Expr, job: &JobDescription, ad: &Ad) -> f64 {
         other: ad,
     };
     rank.eval_rank(ctx).unwrap_or(0.0)
+}
+
+/// [`filter_candidates_compiled`] over a columnar [`AdSnapshot`] — identical
+/// semantics and bit-identical candidates, but the admission pre-filter
+/// reads flat pre-extracted columns (`FreeCpus`, `AcceptsQueued`, `Site`)
+/// instead of doing three B-tree lookups per site, and only sites that
+/// survive it touch their full ad for `Requirements`/`Rank` evaluation.
+pub fn filter_candidates_columnar(
+    job: &JobDescription,
+    compiled: &CompiledJob,
+    snap: &AdSnapshot,
+    require_free_cpus: bool,
+) -> Vec<Candidate> {
+    (0..snap.len())
+        .filter_map(|i| match_columnar_site(job, compiled, snap, i, require_free_cpus))
+        .collect()
+}
+
+/// Matches one site of the snapshot — the per-site body of
+/// [`filter_candidates_inner`], arm for arm, over the columnar store.
+fn match_columnar_site(
+    job: &JobDescription,
+    compiled: &CompiledJob,
+    snap: &AdSnapshot,
+    i: usize,
+    require_free_cpus: bool,
+) -> Option<Candidate> {
+    let free = snap.free_cpus(i);
+    if require_free_cpus && free < job.node_number as i64 {
+        return None;
+    }
+    if !require_free_cpus && free < job.node_number as i64 && !snap.accepts_queued(i) {
+        // Batch path: the site must at least accept queued jobs.
+        return None;
+    }
+    let ad = snap.ad(i);
+    // Undefined or false ⇒ no match; eval errors ⇒ no match (a malformed
+    // requirement must not crash the broker).
+    let matched = match (compiled.requirements.as_ref(), &job.requirements) {
+        (Some(creq), _) => creq.matches(&job.ad, ad),
+        (None, Some(req)) => {
+            let ctx = Ctx {
+                own: &job.ad,
+                other: ad,
+            };
+            matches!(req.eval_requirement(ctx), Ok(true))
+        }
+        (None, None) => true,
+    };
+    if !matched {
+        return None;
+    }
+    let rank = match (compiled.rank.as_ref(), &job.rank) {
+        (Some(crank), _) => crank.rank(&job.ad, ad),
+        (None, Some(r)) => eval_rank_or_default(r, job, ad),
+        // Default rank: prefer more free CPUs (the EDG broker default).
+        (None, None) => free as f64,
+    };
+    Some(Candidate {
+        site_index: i,
+        site: snap.site_name(i).unwrap_or("<unnamed>").to_string(),
+        rank,
+        free_cpus: free,
+    })
+}
+
+/// Incremental matchmaking for one `(job, compiled)` pair over a chain of
+/// epoch-tagged snapshots: per-site match results are cached, and a new
+/// snapshot re-matches only the sites whose epoch advanced since the last
+/// call ([`AdSnapshot::dirty_since`]). The assembled candidate list is
+/// bit-identical to a full [`filter_candidates_columnar`] pass.
+///
+/// Contract: one instance serves one job with a fixed `require_free_cpus`
+/// mode, and snapshots must be fed in epoch order over a stable site list
+/// (the information index's refresh chain). A length change or an unseen
+/// instance falls back to a full re-match.
+#[derive(Debug, Clone)]
+pub struct IncrementalMatch {
+    require_free_cpus: bool,
+    seen_epoch: Option<u64>,
+    cache: Vec<Option<Candidate>>,
+    rematched: usize,
+}
+
+impl IncrementalMatch {
+    /// A fresh cache; the first [`IncrementalMatch::rematch`] call does a
+    /// full pass.
+    pub fn new(require_free_cpus: bool) -> IncrementalMatch {
+        IncrementalMatch {
+            require_free_cpus,
+            seen_epoch: None,
+            cache: Vec::new(),
+            rematched: 0,
+        }
+    }
+
+    /// Re-matches against `snap`, recomputing only dirty sites, and returns
+    /// the full candidate list in site-index order.
+    pub fn rematch(
+        &mut self,
+        job: &JobDescription,
+        compiled: &CompiledJob,
+        snap: &AdSnapshot,
+    ) -> Vec<Candidate> {
+        match self.seen_epoch {
+            Some(seen) if self.cache.len() == snap.len() => {
+                self.rematched = 0;
+                for i in snap.dirty_since(seen) {
+                    self.cache[i] =
+                        match_columnar_site(job, compiled, snap, i, self.require_free_cpus);
+                    self.rematched += 1;
+                }
+            }
+            _ => {
+                self.cache = (0..snap.len())
+                    .map(|i| match_columnar_site(job, compiled, snap, i, self.require_free_cpus))
+                    .collect();
+                self.rematched = snap.len();
+            }
+        }
+        self.seen_epoch = Some(snap.epoch());
+        self.cache.iter().flatten().cloned().collect()
+    }
+
+    /// How many sites the last [`IncrementalMatch::rematch`] actually
+    /// recomputed (≤ the site count; 0 on a no-op refresh).
+    pub fn last_rematched(&self) -> usize {
+        self.rematched
+    }
 }
 
 /// Result of a selection pass: the winner (if any) plus the candidates the
@@ -327,6 +457,95 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn columnar_path_agrees_with_compiled_path() {
+        let jobs = [
+            r#"Executable = "a"; JobType = {"interactive","mpich-p4"}; NodeNumber = 2;
+               Requirements = other.FreeCpus >= NodeNumber && member("CROSSGRID", other.Tags);
+               Rank = other.FreeCpus * other.SpeedFactor;"#,
+            r#"Executable = "a"; Requirements = other.Arch == "i686";"#,
+            r#"Executable = "a"; Rank = 0 - other.FreeCpus;"#,
+            r#"Executable = "a"; Requirements = other.FreeCpus + "oops" == 3;"#,
+            r#"Executable = "a";"#,
+        ];
+        let mut tagged = site_ad("tagged", 6, "i686");
+        tagged.set(
+            "Tags",
+            cg_jdl::Value::List(vec![cg_jdl::Value::Str("CROSSGRID".into())]),
+        );
+        tagged.set_double("SpeedFactor", 1.5);
+        let mut unnamed = site_ad("x", 4, "i686");
+        unnamed.remove("Site"); // columnar path must apply the "<unnamed>" fallback
+        let ads = vec![
+            site_ad("plain", 4, "i686"),
+            tagged,
+            site_ad("sparc", 16, "sparc"),
+            unnamed,
+        ];
+        let indexed: Vec<(usize, Ad)> = ads.iter().cloned().enumerate().collect();
+        let snap = AdSnapshot::build(ads);
+        for src in jobs {
+            let j = job(src);
+            let compiled = CompiledJob::prepare(&j);
+            for require_free in [true, false] {
+                let map = filter_candidates_compiled(&j, &compiled, &indexed, require_free);
+                let col = filter_candidates_columnar(&j, &compiled, &snap, require_free);
+                assert_eq!(map, col, "{src} require_free={require_free}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_rematch_touches_only_dirty_sites() {
+        let j = job(
+            r#"Executable = "a"; JobType = {"interactive","mpich-p4"}; NodeNumber = 2;
+               Requirements = other.Arch == "i686";"#,
+        );
+        let compiled = CompiledJob::prepare(&j);
+        let mut inc = IncrementalMatch::new(true);
+
+        let s0 = AdSnapshot::build(vec![
+            site_ad("a", 4, "i686"),
+            site_ad("b", 1, "i686"),
+            site_ad("c", 8, "sparc"),
+        ]);
+        let full0 = filter_candidates_columnar(&j, &compiled, &s0, true);
+        assert_eq!(inc.rematch(&j, &compiled, &s0), full0);
+        assert_eq!(inc.last_rematched(), 3, "first call is a full pass");
+
+        // Site b frees up a node; only it should re-match — and the newly
+        // eligible site must appear in index order, not append order.
+        let s1 = s0.advance(vec![
+            site_ad("a", 4, "i686"),
+            site_ad("b", 2, "i686"),
+            site_ad("c", 8, "sparc"),
+        ]);
+        let full1 = filter_candidates_columnar(&j, &compiled, &s1, true);
+        assert_eq!(inc.rematch(&j, &compiled, &s1), full1);
+        assert_eq!(inc.last_rematched(), 1);
+        assert_eq!(full1.len(), 2);
+
+        // No-op refresh: nothing re-matches, result unchanged.
+        let s2 = s1.advance(vec![
+            site_ad("a", 4, "i686"),
+            site_ad("b", 2, "i686"),
+            site_ad("c", 8, "sparc"),
+        ]);
+        assert_eq!(inc.rematch(&j, &compiled, &s2), full1);
+        assert_eq!(inc.last_rematched(), 0);
+
+        // A site dropping out of eligibility is also just a dirty site.
+        let s3 = s2.advance(vec![
+            site_ad("a", 1, "i686"),
+            site_ad("b", 2, "i686"),
+            site_ad("c", 8, "sparc"),
+        ]);
+        let full3 = filter_candidates_columnar(&j, &compiled, &s3, true);
+        assert_eq!(inc.rematch(&j, &compiled, &s3), full3);
+        assert_eq!(inc.last_rematched(), 1);
+        assert_eq!(full3.len(), 1);
     }
 
     fn cand(site_index: usize, rank: f64, free: i64) -> Candidate {

@@ -408,14 +408,19 @@ impl QueueForecaster {
         self.latest.insert(site_index, queue_depth);
     }
 
-    /// Folds the latest observations into the forecasts. A second tick at
-    /// the same timestamp is a no-op (same-δt contract).
+    /// Folds the latest observations into the forecasts, *draining* them: an
+    /// observation influences exactly the tick that consumes it. A site that
+    /// stops reporting holds its forecast — decaying toward 0 without data
+    /// would fabricate a queue-emptying signal, and re-folding the stale
+    /// value forever (the pre-fix behaviour) kept pulling the forecast
+    /// toward a depth nobody had reported since. A second tick at the same
+    /// timestamp is a no-op (same-δt contract).
     pub fn tick(&mut self, now: SimTime) {
         if self.last_tick == Some(now) {
             return;
         }
         self.last_tick = Some(now);
-        for (&site, &depth) in &self.latest {
+        for (site, depth) in std::mem::take(&mut self.latest) {
             let f = self.forecasts.entry(site).or_insert(0.0);
             *f = self.beta * *f + (1.0 - self.beta) * depth as f64;
         }
@@ -629,9 +634,30 @@ mod tests {
         f.observe(3, 0);
         f.tick(SimTime::from_secs(120)); // 0.5·2 + 0.5·0 = 1
         assert!((f.forecast(3) - 1.0).abs() < 1e-12);
-        f.tick(SimTime::from_secs(180)); // latest still 0 ⇒ 0.5
-        assert!((f.forecast(3) - 0.5).abs() < 1e-12);
+        f.tick(SimTime::from_secs(180)); // no fresh observation ⇒ hold at 1
+        assert!((f.forecast(3) - 1.0).abs() < 1e-12);
         assert_eq!(f.forecast(99), 0.0, "never-observed sites read as empty");
+    }
+
+    #[test]
+    fn silent_sites_hold_their_forecast_instead_of_refolding() {
+        // Regression for the stale-refold bug: `latest` was never drained,
+        // so a site that stopped reporting kept being pulled toward its
+        // last observed depth on every subsequent tick.
+        let mut f = forecaster();
+        f.observe(0, 8);
+        f.tick(SimTime::from_secs(60)); // 0.5·0 + 0.5·8 = 4
+        assert!((f.forecast(0) - 4.0).abs() < 1e-12);
+        for t in 2..=6 {
+            f.tick(SimTime::from_secs(60 * t)); // silence: no decay, no pull
+        }
+        assert!(
+            (f.forecast(0) - 4.0).abs() < 1e-12,
+            "a silent site's forecast holds; pre-fix it crept toward 8"
+        );
+        f.observe(0, 8);
+        f.tick(SimTime::from_secs(60 * 7)); // 0.5·4 + 0.5·8 = 6
+        assert!((f.forecast(0) - 6.0).abs() < 1e-12);
     }
 
     #[test]

@@ -35,14 +35,17 @@
 //! pins down.
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use cg_jdl::{Ad, JobDescription};
 use cg_sim::{SimRng, SimTime};
+use cg_site::AdSnapshot;
 use cg_trace::{Event, EventLog};
 
 use crate::job::{JobId, JobRecord, JobState};
-use crate::matchmaking::{filter_candidates_compiled, Candidate, CompiledJob};
+use crate::matchmaking::{
+    filter_candidates_columnar, filter_candidates_compiled, Candidate, CompiledJob,
+};
 use crate::policy::{preference_order, PolicyKind, PolicySignals};
 
 /// Default shard count for the broker's job table: enough to make lock
@@ -139,6 +142,24 @@ impl<T> ShardedJobTable<T> {
                 .values()
                 .any(&mut f)
         })
+    }
+
+    /// Visits every record by reference, without cloning. Shards are locked
+    /// strictly one at a time (never two at once), so each shard's records
+    /// are observed atomically under one lock hold — the per-shard
+    /// sequential consistency stats readers rely on. Ids ascend *within*
+    /// a shard, not globally; callers that need global id order should
+    /// collect and sort (see [`ShardedJobTable::snapshot`]).
+    ///
+    /// `f` must not reenter the table (the lock order is shard lock →
+    /// event-log lock, and a shard lock is held while `f` runs).
+    pub fn for_each(&self, mut f: impl FnMut(JobId, &T)) {
+        for s in &self.shards {
+            let guard = s.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (id, v) in guard.iter() {
+                f(JobId(*id), v);
+            }
+        }
     }
 }
 
@@ -242,6 +263,15 @@ struct Matched {
     user: String,
 }
 
+/// The engine's view of the discovery snapshot: either the historical
+/// map-shaped ad list or the columnar epoch-tagged [`AdSnapshot`]. Both
+/// feed the same per-site matchmaking semantics, so the outcome vector is
+/// identical either way — the columnar store just scans flat arrays.
+enum AdStore {
+    Map(Vec<(usize, Ad)>),
+    Columnar(Arc<AdSnapshot>),
+}
+
 /// A deterministic parallel matchmaking engine over a discovery snapshot.
 ///
 /// Phase 1 fans the batch out over worker threads: each job is filtered and
@@ -251,9 +281,11 @@ struct Matched {
 /// in ascending id order on the calling thread, leasing live capacity down
 /// the preference list — cheap bookkeeping, so the parallel phase dominates
 /// wall-clock. The outcome vector is a pure function of (requests, ads,
-/// seed): thread count only changes how fast it is produced.
+/// seed): thread count only changes how fast it is produced, and the
+/// columnar engine ([`ParallelMatcher::from_snapshot`]) produces the same
+/// vector as the map engine over the same ads.
 pub struct ParallelMatcher {
-    ads: Vec<(usize, Ad)>,
+    ads: AdStore,
     seed: u64,
     policy: PolicyKind,
     signals: PolicySignals,
@@ -268,7 +300,22 @@ impl ParallelMatcher {
     #[must_use]
     pub fn new(ads: Vec<(usize, Ad)>, seed: u64) -> Self {
         ParallelMatcher {
-            ads,
+            ads: AdStore::Map(ads),
+            seed,
+            policy: PolicyKind::default(),
+            signals: PolicySignals::new(),
+        }
+    }
+
+    /// Creates an engine scanning a columnar [`AdSnapshot`] in place — an
+    /// `Arc` clone, no per-batch ad copies. Site index `i` is the snapshot
+    /// position, matching [`ParallelMatcher::new`] over
+    /// `snapshot.indexed_ads()`; outcomes are bit-identical to that map
+    /// engine at every thread count.
+    #[must_use]
+    pub fn from_snapshot(snapshot: Arc<AdSnapshot>, seed: u64) -> Self {
+        ParallelMatcher {
+            ads: AdStore::Columnar(snapshot),
             seed,
             policy: PolicyKind::default(),
             signals: PolicySignals::new(),
@@ -352,12 +399,16 @@ impl ParallelMatcher {
         });
 
         // Phase 2: deterministic commit against live capacity, ascending
-        // job id — identical regardless of how phase 1 was scheduled.
-        let mut free: BTreeMap<usize, i64> = self
-            .ads
-            .iter()
-            .map(|(i, ad)| (*i, ad.get("FreeCpus").and_then(|v| v.as_i64()).unwrap_or(0)))
-            .collect();
+        // job id — identical regardless of how phase 1 was scheduled. The
+        // columnar arm reads the pre-extracted column, which is derived
+        // with exactly the map arm's expression.
+        let mut free: BTreeMap<usize, i64> = match &self.ads {
+            AdStore::Map(ads) => ads
+                .iter()
+                .map(|(i, ad)| (*i, ad.get("FreeCpus").and_then(|v| v.as_i64()).unwrap_or(0)))
+                .collect(),
+            AdStore::Columnar(snap) => (0..snap.len()).map(|i| (i, snap.free_cpus(i))).collect(),
+        };
         let mut jobs: Vec<Matched> = matched.into_iter().flatten().collect();
         jobs.sort_by_key(|m| m.id);
         let mut outcomes: BTreeMap<JobId, MatchOutcome> = BTreeMap::new();
@@ -445,14 +496,19 @@ impl ParallelMatcher {
 /// warned).
 fn match_one(
     req: &MatchRequest,
-    ads: &[(usize, Ad)],
+    ads: &AdStore,
     seed: u64,
     policy: PolicyKind,
     signals: &PolicySignals,
 ) -> Matched {
     let compiled = CompiledJob::prepare(&req.job);
     let interactive = req.job.is_interactive();
-    let candidates = filter_candidates_compiled(&req.job, &compiled, ads, interactive);
+    let candidates = match ads {
+        AdStore::Map(ads) => filter_candidates_compiled(&req.job, &compiled, ads, interactive),
+        AdStore::Columnar(snap) => {
+            filter_candidates_columnar(&req.job, &compiled, snap, interactive)
+        }
+    };
     let effective = req
         .job
         .selection_policy
@@ -520,6 +576,65 @@ mod tests {
         for (id, v) in t.snapshot() {
             assert_eq!(v, id.0 + 1);
         }
+    }
+
+    #[test]
+    fn for_each_visits_without_cloning_in_per_shard_id_order() {
+        let t: ShardedJobTable<String> = ShardedJobTable::new(3);
+        for i in [9_u64, 2, 7, 0, 4] {
+            t.insert(JobId(i), format!("j{i}"));
+        }
+        let mut per_shard_last: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut seen = Vec::new();
+        t.for_each(|id, v| {
+            assert_eq!(v, &format!("j{}", id.0));
+            let shard = id.0 % 3;
+            if let Some(&last) = per_shard_last.get(&shard) {
+                assert!(id.0 > last, "ids ascend within shard {shard}");
+            }
+            per_shard_last.insert(shard, id.0);
+            seen.push(id.0);
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 2, 4, 7, 9]);
+    }
+
+    #[test]
+    fn for_each_observes_each_shard_seq_consistently() {
+        // Ids 0 and 4 land in the same shard of a 4-shard table. The writer
+        // always bumps 0 before 4, so at every instant v0 ∈ {v4, v4 + 1};
+        // a visitor that observes the whole shard under one lock hold must
+        // never see anything else (a per-entry reader could see v4 > v0
+        // after the writer laps it between the two reads).
+        let t: ShardedJobTable<u64> = ShardedJobTable::new(4);
+        t.insert(JobId(0), 0);
+        t.insert(JobId(4), 0);
+        std::thread::scope(|s| {
+            let writer = {
+                let t = &t;
+                s.spawn(move || {
+                    for _ in 0..20_000 {
+                        t.update(JobId(0), |v| *v += 1);
+                        t.update(JobId(4), |v| *v += 1);
+                    }
+                })
+            };
+            for _ in 0..2_000 {
+                let (mut v0, mut v4) = (0, 0);
+                t.for_each(|id, &v| match id.0 {
+                    0 => v0 = v,
+                    4 => v4 = v,
+                    _ => unreachable!("only ids 0 and 4 were inserted"),
+                });
+                assert!(
+                    v0 == v4 || v0 == v4 + 1,
+                    "shard observed mid-write: v0={v0} v4={v4}"
+                );
+            }
+            writer.join().unwrap();
+        });
+        assert_eq!(t.get(JobId(0)), Some(20_000));
+        assert_eq!(t.get(JobId(4)), Some(20_000));
     }
 
     #[test]

@@ -57,6 +57,7 @@ use crate::expr::{
 use crate::job::JobDescription;
 use crate::lexer::{LexError, Pos};
 use crate::parser::{parse_ad_spanned, AdSpans, ParseError, Span};
+use crate::symbols::{intern, Symbol};
 
 /// How serious a [`Diagnostic`] is. `Error`-severity diagnostics make the
 /// broker reject the ad at submit time; warnings are advisory.
@@ -825,19 +826,19 @@ fn symbol(op: BinOp) -> &'static str {
 
 /// A compiled expression node. Job-side (`own`) scalar attributes are
 /// substituted as constants at compile time; machine (`other.*`) lookups
-/// carry pre-lowercased keys so the per-site hot loop never allocates for
-/// case folding.
+/// carry interned [`Symbol`]s (canonical lowercased names) so the per-site
+/// hot loop never allocates for case folding and compares keys by pointer.
 #[derive(Debug, Clone, PartialEq)]
 enum CExpr {
     Const(Cv),
-    /// `other.X`, key pre-lowercased.
-    OtherRef(String),
+    /// `other.X`, name interned.
+    OtherRef(Symbol),
     /// `other.X` in `member()` list position: resolved without evaluating
     /// stored expressions, scalars wrapped as singleton lists.
-    OtherListRef(String),
+    OtherListRef(Symbol),
     /// An own attribute holding a stored expression, evaluated lazily in
-    /// the owner's frame (key pre-lowercased).
-    OwnExpr(String),
+    /// the owner's frame (name interned).
+    OwnExpr(Symbol),
     Not(Box<CExpr>),
     Neg(Box<CExpr>),
     Bin(BinOp, Box<CExpr>, Box<CExpr>),
@@ -936,11 +937,11 @@ fn compile_expr(e: &Expr, sp: &Span, own: &Ad, diags: &mut Vec<Diagnostic>) -> C
         Expr::Undefined => CExpr::Const(Cv::Undefined),
         Expr::Ref { scope, name } => match scope.as_deref() {
             None | Some("self") => match own.get(name) {
-                Some(Value::Expr(_)) => CExpr::OwnExpr(name.to_ascii_lowercase()),
+                Some(Value::Expr(_)) => CExpr::OwnExpr(intern(name)),
                 Some(v) => CExpr::Const(Cv::Val(v.clone())),
                 None => CExpr::Const(Cv::Undefined),
             },
-            Some("other") => CExpr::OtherRef(name.to_ascii_lowercase()),
+            Some("other") => CExpr::OtherRef(intern(name)),
             Some(_) => CExpr::Raw(e.clone()),
         },
         Expr::Not(x) => try_fold(CExpr::Not(Box::new(compile_expr(
@@ -1032,7 +1033,7 @@ fn compile_expr(e: &Expr, sp: &Span, own: &Ad, diags: &mut Vec<Diagnostic>) -> C
                             Some(v) => CExpr::Const(Cv::Val(Value::List(vec![v.clone()]))),
                             None => CExpr::Const(Cv::Undefined),
                         },
-                        Some("other") => CExpr::OtherListRef(name.to_ascii_lowercase()),
+                        Some("other") => CExpr::OtherListRef(intern(name)),
                         Some(_) => return CExpr::Raw(e.clone()), // runtime scope error
                     },
                     other => compile_expr(other, sp.child(1), own, diags),
@@ -1052,7 +1053,7 @@ fn compile_expr(e: &Expr, sp: &Span, own: &Ad, diags: &mut Vec<Diagnostic>) -> C
 fn ceval(e: &CExpr, own: &Ad, other: &Ad) -> Result<Cv, EvalError> {
     match e {
         CExpr::Const(cv) => Ok(cv.clone()),
-        CExpr::OtherRef(name) => match other.get_norm(name) {
+        CExpr::OtherRef(name) => match other.get_sym(*name) {
             // Stored expressions evaluate in the owner's frame, with the
             // two ads swapped — same as the raw walker.
             Some(Value::Expr(ex)) => ex.eval(Ctx {
@@ -1062,12 +1063,12 @@ fn ceval(e: &CExpr, own: &Ad, other: &Ad) -> Result<Cv, EvalError> {
             Some(v) => Ok(Cv::Val(v.clone())),
             None => Ok(Cv::Undefined),
         },
-        CExpr::OtherListRef(name) => Ok(match other.get_norm(name) {
+        CExpr::OtherListRef(name) => Ok(match other.get_sym(*name) {
             Some(Value::List(items)) => Cv::Val(Value::List(items.clone())),
             Some(v) => Cv::Val(Value::List(vec![v.clone()])),
             None => Cv::Undefined,
         }),
-        CExpr::OwnExpr(name) => match own.get_norm(name) {
+        CExpr::OwnExpr(name) => match own.get_sym(*name) {
             Some(Value::Expr(ex)) => ex.eval(Ctx { own, other }),
             Some(v) => Ok(Cv::Val(v.clone())),
             None => Ok(Cv::Undefined),

@@ -146,6 +146,13 @@ impl Ad {
         self.attrs.get(lower).map(|(_, v)| v)
     }
 
+    /// Looks up an attribute by interned [`Symbol`](crate::Symbol) — the
+    /// compiled-expression hot loop's lookup; symbols resolve to their
+    /// canonical lowercased spelling at zero cost.
+    pub fn get_sym(&self, sym: crate::symbols::Symbol) -> Option<&Value> {
+        self.get_norm(sym.as_str())
+    }
+
     /// Removes an attribute, returning its value.
     pub fn remove(&mut self, name: &str) -> Option<Value> {
         self.attrs

@@ -42,6 +42,7 @@ mod expr;
 mod job;
 mod lexer;
 mod parser;
+pub mod symbols;
 
 pub use analyze::{
     analyze_ad, analyze_source, Analysis, CompiledExpr, Diagnostic, Schema, Severity, Ty,
@@ -54,3 +55,4 @@ pub use lexer::{lex, lex_spanned, LexError, Pos, Tok};
 pub use parser::{
     parse_ad, parse_ad_spanned, parse_expr, parse_expr_spanned, AdSpans, ParseError, Span,
 };
+pub use symbols::{intern, Symbol};

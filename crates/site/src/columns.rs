@@ -1,0 +1,285 @@
+//! Columnar (SoA) snapshots of the information index.
+//!
+//! Matchmaking historically consumed the index as `Vec<(usize, Ad)>` — one
+//! owned B-tree map per site, cloned per query. An [`AdSnapshot`] is the
+//! columnar alternative: the hot attributes (`FreeCpus`, `AcceptsQueued`,
+//! `Site`) are pre-extracted into flat arrays once per refresh, the full ads
+//! are kept behind `Arc` for the expression evaluator, and the whole
+//! snapshot is itself shared as `Arc<AdSnapshot>` — a query is an `Arc`
+//! clone, not a table copy.
+//!
+//! Snapshots are *epoch-tagged*: each refresh produces a successor via
+//! [`AdSnapshot::advance`], which bumps the snapshot epoch and, per site,
+//! bumps that site's epoch only if its ad actually changed (unchanged sites
+//! share the predecessor's `Arc<Ad>` and keep their epoch). Consumers that
+//! cache per-site results can re-match only [`AdSnapshot::dirty_since`]
+//! their last seen epoch.
+//!
+//! The column values are derived with exactly the expressions the map-based
+//! matchmaking path uses (`get("FreeCpus").and_then(as_i64).unwrap_or(0)`,
+//! `get("AcceptsQueued").and_then(as_bool).unwrap_or(true)`,
+//! `get("Site").and_then(as_str)`), so columnar filtering is bit-identical
+//! to filtering over the raw ads.
+
+use std::sync::Arc;
+
+use cg_jdl::{intern, Ad, Symbol};
+
+fn site_sym() -> Symbol {
+    static S: std::sync::OnceLock<Symbol> = std::sync::OnceLock::new();
+    *S.get_or_init(|| intern("Site"))
+}
+
+fn free_cpus_sym() -> Symbol {
+    static S: std::sync::OnceLock<Symbol> = std::sync::OnceLock::new();
+    *S.get_or_init(|| intern("FreeCpus"))
+}
+
+fn accepts_queued_sym() -> Symbol {
+    static S: std::sync::OnceLock<Symbol> = std::sync::OnceLock::new();
+    *S.get_or_init(|| intern("AcceptsQueued"))
+}
+
+/// An immutable, epoch-tagged, column-oriented view of every site's machine
+/// ad. Shared as `Arc<AdSnapshot>`; see the module docs for the layout and
+/// the delta contract.
+#[derive(Debug, Clone)]
+pub struct AdSnapshot {
+    epoch: u64,
+    site_names: Vec<Option<Arc<str>>>,
+    free_cpus: Vec<i64>,
+    accepts_queued: Vec<bool>,
+    ads: Vec<Arc<Ad>>,
+    site_epochs: Vec<u64>,
+}
+
+impl AdSnapshot {
+    /// Builds the initial snapshot (epoch 0, every site's epoch 0) from the
+    /// ads in site-index order.
+    #[must_use]
+    pub fn build(ads: Vec<Ad>) -> AdSnapshot {
+        let mut snap = AdSnapshot {
+            epoch: 0,
+            site_names: Vec::with_capacity(ads.len()),
+            free_cpus: Vec::with_capacity(ads.len()),
+            accepts_queued: Vec::with_capacity(ads.len()),
+            ads: Vec::new(),
+            site_epochs: vec![0; ads.len()],
+        };
+        for ad in &ads {
+            snap.push_columns(ad);
+        }
+        snap.ads = ads.into_iter().map(Arc::new).collect();
+        snap
+    }
+
+    fn push_columns(&mut self, ad: &Ad) {
+        // Same derivations as the map-based matchmaking path — this is what
+        // keeps columnar filtering bit-identical.
+        self.site_names.push(
+            ad.get_sym(site_sym())
+                .and_then(cg_jdl::Value::as_str)
+                .map(Arc::from),
+        );
+        self.free_cpus.push(
+            ad.get_sym(free_cpus_sym())
+                .and_then(cg_jdl::Value::as_i64)
+                .unwrap_or(0),
+        );
+        self.accepts_queued.push(
+            ad.get_sym(accepts_queued_sym())
+                .and_then(cg_jdl::Value::as_bool)
+                .unwrap_or(true),
+        );
+    }
+
+    /// Produces the successor snapshot from freshly gathered ads. The
+    /// snapshot epoch always advances; a site whose ad is unchanged shares
+    /// the predecessor's `Arc<Ad>` (and name `Arc`) and keeps its site
+    /// epoch, while a changed site gets the new snapshot epoch. If the site
+    /// count changed, every site is treated as dirty.
+    #[must_use]
+    pub fn advance(&self, fresh: Vec<Ad>) -> AdSnapshot {
+        if fresh.len() != self.ads.len() {
+            let mut snap = AdSnapshot::build(fresh);
+            snap.epoch = self.epoch + 1;
+            snap.site_epochs = vec![snap.epoch; snap.ads.len()];
+            return snap;
+        }
+        let epoch = self.epoch + 1;
+        let mut snap = AdSnapshot {
+            epoch,
+            site_names: Vec::with_capacity(fresh.len()),
+            free_cpus: Vec::with_capacity(fresh.len()),
+            accepts_queued: Vec::with_capacity(fresh.len()),
+            ads: Vec::with_capacity(fresh.len()),
+            site_epochs: Vec::with_capacity(fresh.len()),
+        };
+        for (i, ad) in fresh.into_iter().enumerate() {
+            if ad == *self.ads[i] {
+                snap.site_names.push(self.site_names[i].clone());
+                snap.free_cpus.push(self.free_cpus[i]);
+                snap.accepts_queued.push(self.accepts_queued[i]);
+                snap.ads.push(Arc::clone(&self.ads[i]));
+                snap.site_epochs.push(self.site_epochs[i]);
+            } else {
+                snap.push_columns(&ad);
+                snap.ads.push(Arc::new(ad));
+                snap.site_epochs.push(epoch);
+            }
+        }
+        snap
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// True when the snapshot covers no sites.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ads.is_empty()
+    }
+
+    /// The snapshot epoch (0 for [`AdSnapshot::build`], +1 per
+    /// [`AdSnapshot::advance`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch at which site `i`'s ad last changed.
+    #[must_use]
+    pub fn site_epoch(&self, i: usize) -> u64 {
+        self.site_epochs[i]
+    }
+
+    /// Site `i`'s `FreeCpus` column (missing/non-int ⇒ 0, as in the map
+    /// path).
+    #[must_use]
+    pub fn free_cpus(&self, i: usize) -> i64 {
+        self.free_cpus[i]
+    }
+
+    /// Site `i`'s `AcceptsQueued` column (missing/non-bool ⇒ true, as in
+    /// the map path).
+    #[must_use]
+    pub fn accepts_queued(&self, i: usize) -> bool {
+        self.accepts_queued[i]
+    }
+
+    /// Site `i`'s advertised `Site` name, if it is a string.
+    #[must_use]
+    pub fn site_name(&self, i: usize) -> Option<&str> {
+        self.site_names[i].as_deref()
+    }
+
+    /// Site `i`'s full machine ad (for `Requirements`/`Rank` evaluation).
+    #[must_use]
+    pub fn ad(&self, i: usize) -> &Ad {
+        &self.ads[i]
+    }
+
+    /// Site `i`'s full machine ad as a shared handle.
+    #[must_use]
+    pub fn ad_arc(&self, i: usize) -> &Arc<Ad> {
+        &self.ads[i]
+    }
+
+    /// Indices of sites whose ad changed after `epoch` (ascending).
+    pub fn dirty_since(&self, epoch: u64) -> impl Iterator<Item = usize> + '_ {
+        self.site_epochs
+            .iter()
+            .enumerate()
+            .filter(move |(_, &e)| e > epoch)
+            .map(|(i, _)| i)
+    }
+
+    /// The map-shaped view matchmaking historically consumed — clones every
+    /// ad; compatibility/bench shim, not the hot path.
+    #[must_use]
+    pub fn indexed_ads(&self) -> Vec<(usize, Ad)> {
+        self.ads
+            .iter()
+            .enumerate()
+            .map(|(i, ad)| (i, (**ad).clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ad(site: &str, free: i64) -> Ad {
+        let mut a = Ad::new();
+        a.set_str("Site", site)
+            .set_int("FreeCpus", free)
+            .set_bool("AcceptsQueued", true);
+        a
+    }
+
+    #[test]
+    fn build_extracts_columns_with_map_path_defaults() {
+        let mut odd = Ad::new();
+        odd.set_str("FreeCpus", "not-a-number"); // wrong type ⇒ 0
+        let snap = AdSnapshot::build(vec![ad("uab", 4), odd]);
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.free_cpus(0), 4);
+        assert_eq!(snap.site_name(0), Some("uab"));
+        assert!(snap.accepts_queued(0));
+        assert_eq!(snap.free_cpus(1), 0, "non-int FreeCpus defaults to 0");
+        assert_eq!(snap.site_name(1), None);
+        assert!(
+            snap.accepts_queued(1),
+            "missing AcceptsQueued defaults true"
+        );
+    }
+
+    #[test]
+    fn advance_shares_clean_sites_and_bumps_dirty_epochs() {
+        let s0 = AdSnapshot::build(vec![ad("uab", 4), ad("ifca", 8)]);
+        let s1 = s0.advance(vec![ad("uab", 4), ad("ifca", 7)]);
+        assert_eq!(s1.epoch(), 1);
+        assert!(
+            Arc::ptr_eq(s0.ad_arc(0), s1.ad_arc(0)),
+            "unchanged ad is shared, not re-allocated"
+        );
+        assert!(!Arc::ptr_eq(s0.ad_arc(1), s1.ad_arc(1)));
+        assert_eq!(s1.site_epoch(0), 0, "clean site keeps its epoch");
+        assert_eq!(s1.site_epoch(1), 1, "dirty site gets the new epoch");
+        assert_eq!(s1.free_cpus(1), 7);
+        assert_eq!(s1.dirty_since(0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(s1.dirty_since(1).count(), 0);
+
+        // A further no-op refresh advances the snapshot epoch only.
+        let s2 = s1.advance(vec![ad("uab", 4), ad("ifca", 7)]);
+        assert_eq!(s2.epoch(), 2);
+        assert_eq!(s2.dirty_since(1).count(), 0);
+        assert!(Arc::ptr_eq(s1.ad_arc(1), s2.ad_arc(1)));
+    }
+
+    #[test]
+    fn advance_with_changed_site_count_marks_everything_dirty() {
+        let s0 = AdSnapshot::build(vec![ad("uab", 4)]);
+        let s1 = s0.advance(vec![ad("uab", 4), ad("ifca", 8)]);
+        assert_eq!(s1.epoch(), 1);
+        assert_eq!(s1.len(), 2);
+        assert_eq!(s1.dirty_since(0).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn indexed_ads_matches_site_order() {
+        let snap = AdSnapshot::build(vec![ad("a", 1), ad("b", 2)]);
+        let ads = snap.indexed_ads();
+        assert_eq!(ads.len(), 2);
+        assert_eq!(ads[0].0, 0);
+        assert_eq!(
+            ads[1].1.get("FreeCpus").and_then(cg_jdl::Value::as_i64),
+            Some(2)
+        );
+    }
+}

@@ -14,12 +14,14 @@
 
 #![warn(missing_docs)]
 
+mod columns;
 mod gatekeeper;
 mod lrms;
 mod mds;
 mod site;
 mod wn;
 
+pub use columns::AdSnapshot;
 pub use gatekeeper::{Gatekeeper, GramCosts, GramEvent};
 pub use lrms::{LocalJobId, LocalJobSpec, Lrms, LrmsEvent, LrmsStats, Policy};
 pub use mds::{InformationIndex, SiteRecord};

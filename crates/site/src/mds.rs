@@ -6,17 +6,26 @@
 //! individually and gets the most updated information" after the initial
 //! discovery (§6.1) — the two-step cost structure Table I's text reports
 //! (discovery ≈ 0.5 s, selection ≈ 3 s for 20 sites).
+//!
+//! The index stores its view as an epoch-tagged columnar [`AdSnapshot`]:
+//! each refresh advances the snapshot with per-site deltas (unchanged sites
+//! share the previous `Arc<Ad>` and keep their epoch) and a query response
+//! is an `Arc` clone of the snapshot as it stood *when the index serviced
+//! the request* — never data that arrived while the reply was on the wire.
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use cg_jdl::Ad;
-use cg_net::{rpc_call, Dir, Link, NetError};
+use cg_net::{Dir, Link, NetError};
 use cg_sim::{Sim, SimDuration, SimTime};
 
+use crate::columns::AdSnapshot;
 use crate::site::Site;
 
-/// One site's entry in the index.
+/// One site's entry in the index — the row-shaped compatibility view
+/// derived from the columnar snapshot by [`InformationIndex::snapshot`].
 #[derive(Debug, Clone)]
 pub struct SiteRecord {
     /// Site name.
@@ -29,7 +38,8 @@ pub struct SiteRecord {
 
 struct Inner {
     sites: Vec<Site>,
-    records: Vec<SiteRecord>,
+    snapshot: Arc<AdSnapshot>,
+    refreshed_at: SimTime,
     refresh_interval: SimDuration,
     /// Index-side processing per query, seconds (LDAP search in 2006).
     query_cpu_s: f64,
@@ -47,18 +57,12 @@ impl InformationIndex {
     /// snapshot is taken immediately; subsequent refreshes run every
     /// `refresh_interval`.
     pub fn start(sim: &mut Sim, sites: Vec<Site>, refresh_interval: SimDuration) -> Self {
-        let records = sites
-            .iter()
-            .map(|s| SiteRecord {
-                site: s.name().to_string(),
-                ad: s.machine_ad(),
-                published_at: sim.now(),
-            })
-            .collect();
+        let ads: Vec<Ad> = sites.iter().map(Site::machine_ad).collect();
         let index = InformationIndex {
             inner: Rc::new(RefCell::new(Inner {
                 sites,
-                records,
+                snapshot: Arc::new(AdSnapshot::build(ads)),
+                refreshed_at: sim.now(),
                 refresh_interval,
                 query_cpu_s: 0.42,
                 refreshes: 0,
@@ -74,17 +78,11 @@ impl InformationIndex {
         sim.schedule_in(interval, move |sim| {
             {
                 let mut inner = this.inner.borrow_mut();
-                let now = sim.now();
-                let fresh: Vec<SiteRecord> = inner
-                    .sites
-                    .iter()
-                    .map(|s| SiteRecord {
-                        site: s.name().to_string(),
-                        ad: s.machine_ad(),
-                        published_at: now,
-                    })
-                    .collect();
-                inner.records = fresh;
+                let fresh: Vec<Ad> = inner.sites.iter().map(Site::machine_ad).collect();
+                // Incremental advance: only sites whose ad changed get a new
+                // epoch; the rest share the previous snapshot's allocations.
+                inner.snapshot = Arc::new(inner.snapshot.advance(fresh));
+                inner.refreshed_at = sim.now();
                 inner.refreshes += 1;
             }
             this.schedule_refresh(sim);
@@ -93,32 +91,36 @@ impl InformationIndex {
 
     /// Queries the index over `link` (the broker→MDS path). The response
     /// carries every site record; its size scales with the number of sites.
+    ///
+    /// The delivered snapshot is the index's state at *service time* — the
+    /// instant the MDS finished processing the request and serialized its
+    /// answer. A refresh that fires while the response is in flight is
+    /// invisible to this query (the staleness model the module header
+    /// documents), and `resp_bytes` is sized from that same snapshot.
     pub fn query(
         &self,
         sim: &mut Sim,
         link: &Link,
-        on: impl FnOnce(&mut Sim, Result<Vec<SiteRecord>, NetError>) + 'static,
+        on: impl FnOnce(&mut Sim, Result<Arc<AdSnapshot>, NetError>) + 'static,
     ) {
-        let inner = self.inner.borrow();
-        let resp_bytes = 300 + 900 * inner.records.len() as u64; // LDAP entries
-        let service = SimDuration::from_secs_f64(inner.query_cpu_s);
-        drop(inner);
+        let service = SimDuration::from_secs_f64(self.inner.borrow().query_cpu_s);
         let this = self.clone();
-        rpc_call(
-            sim,
-            link,
-            Dir::AToB,
-            250,
-            resp_bytes,
-            service,
-            move |sim, r| match r {
-                Err(e) => on(sim, Err(e)),
-                Ok(()) => {
-                    let records = this.inner.borrow().records.clone();
-                    on(sim, Ok(records));
-                }
-            },
-        );
+        let link2 = link.clone();
+        link.send(sim, Dir::AToB, 250, move |sim, r| match r {
+            Err(e) => on(sim, Err(e)),
+            Ok(()) => {
+                sim.schedule_in(service, move |sim| {
+                    // Service completes here: snapshot what the MDS can
+                    // actually serve, before the reply hits the wire.
+                    let snap = Arc::clone(&this.inner.borrow().snapshot);
+                    let resp_bytes = 300 + 900 * snap.len() as u64; // LDAP entries
+                    link2.send(sim, Dir::BToA, resp_bytes, move |sim, r| match r {
+                        Err(e) => on(sim, Err(e)),
+                        Ok(()) => on(sim, Ok(snap)),
+                    });
+                });
+            }
+        });
     }
 
     /// Number of completed refresh cycles.
@@ -126,23 +128,35 @@ impl InformationIndex {
         self.inner.borrow().refreshes
     }
 
-    /// Current (possibly stale) records, without network cost — for tests.
+    /// The current columnar snapshot, without network cost — the shape
+    /// matchmaking consumes directly. An `Arc` clone, not a table copy.
+    pub fn snapshot_arc(&self) -> Arc<AdSnapshot> {
+        Arc::clone(&self.inner.borrow().snapshot)
+    }
+
+    /// Current (possibly stale) records, without network cost — for tests
+    /// and reports; clones each ad out of the columnar store.
     pub fn snapshot(&self) -> Vec<SiteRecord> {
-        self.inner.borrow().records.clone()
+        let inner = self.inner.borrow();
+        inner
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SiteRecord {
+                site: s.name().to_string(),
+                ad: inner.snapshot.ad(i).clone(),
+                published_at: inner.refreshed_at,
+            })
+            .collect()
     }
 
     /// The current records as an indexed ad list — the discovery-snapshot
-    /// shape matchmaking consumes (`filter_candidates`, and the parallel
-    /// engine's `ParallelMatcher::new`). Site index `i` is the position in
-    /// the index's site list, matching the broker's `SiteHandle` order.
+    /// shape the map-based matchmaking path consumes (`filter_candidates`,
+    /// and the parallel engine's `ParallelMatcher::new`). Site index `i` is
+    /// the position in the index's site list, matching the broker's
+    /// `SiteHandle` order.
     pub fn snapshot_ads(&self) -> Vec<(usize, Ad)> {
-        self.inner
-            .borrow()
-            .records
-            .iter()
-            .enumerate()
-            .map(|(i, rec)| (i, rec.ad.clone()))
-            .collect()
+        self.inner.borrow().snapshot.indexed_ads()
     }
 }
 
@@ -194,6 +208,40 @@ mod tests {
             "fresh value after refresh"
         );
         assert_eq!(index.refreshes(), 1);
+    }
+
+    #[test]
+    fn refresh_advances_epochs_only_for_changed_sites() {
+        let mut sim = Sim::new(7);
+        let busy = test_site(&mut sim, "busy", 2);
+        let idle = test_site(&mut sim, "idle", 2);
+        let index = InformationIndex::start(
+            &mut sim,
+            vec![busy.clone(), idle],
+            SimDuration::from_secs(300),
+        );
+        let s0 = index.snapshot_arc();
+        assert_eq!(s0.epoch(), 0);
+
+        busy.lrms().submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(10_000)),
+            |_, _, _| {},
+        );
+        sim.run_until(SimTime::from_secs(301));
+        let s1 = index.snapshot_arc();
+        assert_eq!(s1.epoch(), 1);
+        assert_eq!(
+            s1.dirty_since(s0.epoch()).collect::<Vec<_>>(),
+            vec![0],
+            "only the site whose ad changed is dirty"
+        );
+        assert_eq!(s1.free_cpus(0), 1);
+        assert_eq!(s1.site_epoch(1), 0, "idle site keeps epoch 0");
+        assert!(
+            std::sync::Arc::ptr_eq(s0.ad_arc(1), s1.ad_arc(1)),
+            "idle site's ad is shared across refreshes"
+        );
     }
 
     #[test]
@@ -250,5 +298,56 @@ mod tests {
         });
         sim.run_until(SimTime::from_secs(50));
         assert_eq!(*got.borrow(), Some(true));
+    }
+
+    #[test]
+    fn refresh_during_response_transit_does_not_leak_into_the_reply() {
+        // Regression for the mid-flight freshness leak: the old query path
+        // cloned the records when the response *arrived*, so a refresh that
+        // fired while the reply was on the wire leaked data newer than the
+        // MDS could have served.
+        //
+        // Timeline on a deliberately slow link (1 kbps, no jitter):
+        //   request (250 B)  ≈ 2.0 s transit  → service 0.42 s ends ≈ 2.4 s
+        //   response (1200 B) ≈ 9.6 s transit → delivery ≈ 12 s
+        // A 10 000 s job submitted at t=0 occupies a node at ~1.5 s
+        // (dispatch latency), and refreshes at 5 s and 10 s publish
+        // FreeCpus = 1 — both land between service and delivery.
+        let mut sim = Sim::new(9);
+        let site = test_site(&mut sim, "uab", 2);
+        let index =
+            InformationIndex::start(&mut sim, vec![site.clone()], SimDuration::from_secs(5));
+        site.lrms().submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(10_000)),
+            |_, _, _| {},
+        );
+        let link = Link::new(LinkProfile {
+            name: "drip".into(),
+            base_latency_s: 0.0,
+            jitter_s: 0.0,
+            bandwidth_bps: 1_000.0,
+            loss_prob: 0.0,
+            per_msg_overhead_s: 0.0,
+        });
+        let got = Rc::new(RefCell::new(None));
+        let g = Rc::clone(&got);
+        let idx = index.clone();
+        index.query(&mut sim, &link, move |sim, r| {
+            let snap = r.unwrap();
+            *g.borrow_mut() = Some((sim.now().as_secs_f64(), snap.free_cpus(0), idx.refreshes()));
+        });
+        sim.run_until(SimTime::from_secs(60));
+        let (t, free, refreshes) = got.borrow().expect("query must complete");
+        assert!(t > 10.0, "response delivery at {t}s should be after 10s");
+        assert!(
+            refreshes >= 2,
+            "refreshes must have fired mid-flight (got {refreshes})"
+        );
+        assert_eq!(
+            free, 2,
+            "response must show the service-time snapshot (FreeCpus=2), \
+             not the refreshed value that arrived while the reply was on the wire"
+        );
     }
 }
