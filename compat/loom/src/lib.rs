@@ -1,0 +1,681 @@
+//! Offline shim of the `loom` model checker: a deterministic-schedule
+//! explorer for concurrent code, providing exactly the API surface this
+//! workspace consumes (`model`, `thread::spawn`/`yield_now`, `sync::Mutex`).
+//!
+//! [`model`] runs a closure repeatedly, each execution following one
+//! schedule of its threads, and backtracks depth-first until every
+//! distinguishable interleaving has been explored. Threads synchronise only
+//! through the shim's own primitives, so the scheduler serialises them
+//! completely: exactly one logical thread runs at a time, and a *scheduling
+//! point* (thread spawn, mutex release, blocking, thread exit,
+//! [`thread::yield_now`]) is where the explorer chooses who runs next. For
+//! mutex-protected state those points cover every behaviour other threads
+//! can distinguish — a pre-emption in the middle of a critical section is
+//! invisible to threads that would block on the same lock — so the bounded
+//! exploration is exhaustive over critical-section orderings.
+//!
+//! Unlike real loom, the primitives degrade gracefully *outside* a model:
+//! with no explorer on the current thread they behave exactly like their
+//! `std::sync` / `std::thread` counterparts. That lets production types
+//! (`cg-trace`'s `EventLog`, `crossbroker`'s `ShardedJobTable`) swap their
+//! internals to these types under `--cfg cg_loom` and still serve every
+//! non-model caller unchanged.
+//!
+//! Limitations (documented, deliberate): no atomics or condvars (nothing in
+//! the modelled paths uses them), mutexes are identified by address (create
+//! them behind an `Arc` before sharing, as the real loom requires), and a
+//! genuine lock-order deadlock is reported for the schedule that produced
+//! it rather than minimised.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+
+/// Ceiling on executions explored by [`model`] before it gives up — a
+/// runaway-state-space backstop, far above any model in this workspace.
+pub const DEFAULT_MAX_ITERATIONS: usize = 200_000;
+
+/// Sentinel payload unwound through model threads when a run is aborted
+/// (deadlock detected or another thread panicked): unwinding releases held
+/// guards so every thread can drain without hanging.
+struct AbortToken;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    BlockedLock(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct Core {
+    threads: Vec<TState>,
+    unfinished: usize,
+    /// Mutex address → holding logical thread.
+    held: HashMap<usize, usize>,
+    /// Replay prefix: the choice to take at each decision depth.
+    prefix: Vec<usize>,
+    /// (choice taken, choices available) at each decision point this run.
+    trace: Vec<(usize, usize)>,
+    active: usize,
+    abort: bool,
+    panic_msg: Option<String>,
+}
+
+struct Sched {
+    core: StdMutex<Core>,
+    cv: Condvar,
+}
+
+#[derive(Clone)]
+struct Ctx {
+    sched: Arc<Sched>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Sched {
+    fn new(prefix: Vec<usize>) -> Sched {
+        Sched {
+            core: StdMutex::new(Core {
+                threads: vec![TState::Runnable],
+                unfinished: 1,
+                held: HashMap::new(),
+                prefix,
+                trace: Vec::new(),
+                active: 0,
+                abort: false,
+                panic_msg: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_core(&self) -> std::sync::MutexGuard<'_, Core> {
+        self.core
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Picks the next active thread among the runnable set, recording the
+    /// decision. Detects whole-model deadlock.
+    fn reschedule(core: &mut Core) {
+        if core.abort {
+            return;
+        }
+        let runnable: Vec<usize> = (0..core.threads.len())
+            .filter(|&i| core.threads[i] == TState::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            if core.unfinished > 0 {
+                core.panic_msg.get_or_insert_with(|| {
+                    format!(
+                        "deadlock: {} unfinished thread(s) all blocked (schedule {:?})",
+                        core.unfinished, core.trace
+                    )
+                });
+                core.abort = true;
+            }
+            return;
+        }
+        let depth = core.trace.len();
+        let choice = core
+            .prefix
+            .get(depth)
+            .copied()
+            .unwrap_or(0)
+            .min(runnable.len() - 1);
+        core.trace.push((choice, runnable.len()));
+        core.active = runnable[choice];
+    }
+
+    /// Parks the calling thread in `state`, hands the token to the next
+    /// scheduled thread, and returns once this thread is scheduled again.
+    /// Unwinds an [`AbortToken`] when the run is being torn down.
+    fn switch(&self, me: usize, state: TState) {
+        let mut core = self.lock_core();
+        if core.abort {
+            drop(core);
+            resume_unwind(Box::new(AbortToken));
+        }
+        core.threads[me] = state;
+        Self::reschedule(&mut core);
+        self.cv.notify_all();
+        loop {
+            let scheduled = core.active == me && core.threads[me] == TState::Runnable;
+            if core.abort || scheduled {
+                break;
+            }
+            core = self
+                .cv
+                .wait(core)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if core.abort {
+            drop(core);
+            resume_unwind(Box::new(AbortToken));
+        }
+    }
+
+    /// Blocks (logically) until the mutex at `addr` is free, then takes it.
+    fn acquire(&self, me: usize, addr: usize) {
+        loop {
+            let mut core = self.lock_core();
+            if core.abort {
+                drop(core);
+                resume_unwind(Box::new(AbortToken));
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = core.held.entry(addr) {
+                e.insert(me);
+                return;
+            }
+            drop(core);
+            self.switch(me, TState::BlockedLock(addr));
+        }
+    }
+
+    /// Releases the mutex at `addr`, wakes its waiters, and yields a
+    /// scheduling point.
+    fn release(&self, me: usize, addr: usize) {
+        let mut core = self.lock_core();
+        core.held.remove(&addr);
+        for t in core.threads.iter_mut() {
+            if *t == TState::BlockedLock(addr) {
+                *t = TState::Runnable;
+            }
+        }
+        if core.abort {
+            self.cv.notify_all();
+            return;
+        }
+        drop(core);
+        self.switch(me, TState::Runnable);
+    }
+
+    /// Marks `me` finished, wakes joiners, passes the token on.
+    fn finish(&self, me: usize, panic_msg: Option<String>) {
+        let mut core = self.lock_core();
+        core.threads[me] = TState::Finished;
+        core.unfinished -= 1;
+        for t in core.threads.iter_mut() {
+            if *t == TState::BlockedJoin(me) {
+                *t = TState::Runnable;
+            }
+        }
+        if let Some(msg) = panic_msg {
+            core.panic_msg.get_or_insert(msg);
+            core.abort = true;
+        } else {
+            Self::reschedule(&mut core);
+        }
+        self.cv.notify_all();
+    }
+}
+
+fn panic_payload_to_string(p: &(dyn std::any::Any + Send)) -> Option<String> {
+    if p.is::<AbortToken>() {
+        return None;
+    }
+    Some(if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    })
+}
+
+/// One execution under a replay prefix; returns the decision trace and the
+/// first recorded panic, if any.
+fn run_once<F: Fn()>(prefix: &[usize], f: &F) -> (Vec<(usize, usize)>, Option<String>) {
+    let sched = Arc::new(Sched::new(prefix.to_vec()));
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            sched: Arc::clone(&sched),
+            tid: 0,
+        });
+    });
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let panic_msg = result.err().and_then(|p| panic_payload_to_string(&*p));
+    sched.finish(0, panic_msg);
+    // Wait for every spawned thread to drain before the next execution.
+    {
+        let mut core = sched.lock_core();
+        while core.unfinished > 0 {
+            core = sched
+                .cv
+                .wait(core)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+    CTX.with(|c| *c.borrow_mut() = None);
+    let core = sched.lock_core();
+    (core.trace.clone(), core.panic_msg.clone())
+}
+
+/// Outcome of a bounded exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Exploration {
+    /// Executions (distinct schedules) run.
+    pub iterations: usize,
+    /// True when the depth-first search exhausted the schedule space.
+    pub complete: bool,
+}
+
+/// Explores up to `max_iterations` schedules of `f`, depth-first. Panics —
+/// with the offending schedule — as soon as any execution panics or
+/// deadlocks; otherwise reports how far it got.
+pub fn model_bounded<F: Fn()>(max_iterations: usize, f: F) -> Exploration {
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let (trace, panic_msg) = run_once(&prefix, &f);
+        if let Some(msg) = panic_msg {
+            panic!("loom model failed on execution {iterations} (schedule {trace:?}): {msg}");
+        }
+        // Deepest decision with an untried alternative → next prefix.
+        match trace.iter().rposition(|&(c, n)| c + 1 < n) {
+            Some(i) => {
+                prefix.clear();
+                prefix.extend(trace[..i].iter().map(|&(c, _)| c));
+                prefix.push(trace[i].0 + 1);
+            }
+            None => {
+                return Exploration {
+                    iterations,
+                    complete: true,
+                }
+            }
+        }
+        if iterations >= max_iterations {
+            return Exploration {
+                iterations,
+                complete: false,
+            };
+        }
+    }
+}
+
+/// Exhaustively explores every schedule of `f` (bounded by
+/// [`DEFAULT_MAX_ITERATIONS`], which it treats as a hard error to exceed).
+/// Returns the number of distinct interleavings executed.
+pub fn model<F: Fn()>(f: F) -> usize {
+    let e = model_bounded(DEFAULT_MAX_ITERATIONS, f);
+    assert!(
+        e.complete,
+        "model state space exceeded {DEFAULT_MAX_ITERATIONS} executions; shrink the model"
+    );
+    e.iterations
+}
+
+pub mod thread {
+    //! Model-aware threads: registered with the explorer inside a model,
+    //! plain `std::thread` outside one.
+
+    use super::{
+        current_ctx, panic_payload_to_string, resume_unwind, Arc, AssertUnwindSafe, Ctx, TState,
+        CTX,
+    };
+    use std::panic::catch_unwind;
+    use std::sync::Mutex as StdMutex;
+
+    /// Handle to a spawned model (or passthrough) thread.
+    pub struct JoinHandle<T> {
+        real: std::thread::JoinHandle<()>,
+        slot: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+        model: Option<(Ctx, usize)>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread and returns its closure's result, exactly
+        /// like `std::thread::JoinHandle::join`.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some((ctx, target)) = &self.model {
+                loop {
+                    let core = ctx.sched.lock_core();
+                    if core.abort {
+                        drop(core);
+                        resume_unwind(Box::new(super::AbortToken));
+                    }
+                    if core.threads[*target] == TState::Finished {
+                        break;
+                    }
+                    drop(core);
+                    ctx.sched.switch(ctx.tid, TState::BlockedJoin(*target));
+                }
+            }
+            self.real.join()?;
+            self.slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("thread result already taken")
+        }
+    }
+
+    /// Spawns a thread. Inside a model it becomes a logical thread under
+    /// the explorer, and the spawn itself is a scheduling point.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let slot: Arc<StdMutex<Option<std::thread::Result<T>>>> = Arc::new(StdMutex::new(None));
+        let out = Arc::clone(&slot);
+        match current_ctx() {
+            None => {
+                let real = std::thread::spawn(move || {
+                    let r = catch_unwind(AssertUnwindSafe(f));
+                    *out.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+                });
+                JoinHandle {
+                    real,
+                    slot,
+                    model: None,
+                }
+            }
+            Some(ctx) => {
+                let tid = {
+                    let mut core = ctx.sched.lock_core();
+                    core.threads.push(TState::Runnable);
+                    core.unfinished += 1;
+                    core.threads.len() - 1
+                };
+                let child = Ctx {
+                    sched: Arc::clone(&ctx.sched),
+                    tid,
+                };
+                let real = std::thread::spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some(child.clone()));
+                    // Gate: run only once scheduled.
+                    {
+                        let mut core = child.sched.lock_core();
+                        loop {
+                            let scheduled = core.active == child.tid
+                                && core.threads[child.tid] == TState::Runnable;
+                            if core.abort || scheduled {
+                                break;
+                            }
+                            core = child
+                                .sched
+                                .cv
+                                .wait(core)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                    }
+                    let r = catch_unwind(AssertUnwindSafe(f));
+                    let msg = match &r {
+                        Err(p) => panic_payload_to_string(&**p),
+                        Ok(_) => None,
+                    };
+                    *out.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+                    child.sched.finish(child.tid, msg);
+                });
+                // Scheduling point: the explorer decides whether the child
+                // or the parent runs first.
+                ctx.sched.switch(ctx.tid, TState::Runnable);
+                JoinHandle {
+                    real,
+                    slot,
+                    model: Some((ctx, tid)),
+                }
+            }
+        }
+    }
+
+    /// An explicit scheduling point inside a model; `std::thread::yield_now`
+    /// outside one.
+    pub fn yield_now() {
+        match current_ctx() {
+            None => std::thread::yield_now(),
+            Some(ctx) => ctx.sched.switch(ctx.tid, TState::Runnable),
+        }
+    }
+}
+
+pub mod sync {
+    //! Model-aware lock primitives, mirroring the `std::sync` API.
+
+    use super::{current_ctx, Ctx};
+    use std::sync::{LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+    pub use std::sync::Arc;
+
+    /// A mutex whose acquisition order is controlled by the explorer inside
+    /// a model, and which is a plain `std::sync::Mutex` outside one.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        data: StdMutex<T>,
+    }
+
+    /// Guard for [`Mutex`]; releasing it is a scheduling point.
+    pub struct MutexGuard<'a, T> {
+        inner: Option<StdMutexGuard<'a, T>>,
+        addr: usize,
+        ctx: Option<Ctx>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex. For model use, place it behind an `Arc` before
+        /// sharing: identity is the object address.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                data: StdMutex::new(value),
+            }
+        }
+
+        /// Acquires the lock. Never poisons; the `LockResult` wrapper only
+        /// mirrors the `std` signature.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let addr = std::ptr::from_ref(self) as usize;
+            let ctx = current_ctx();
+            if let Some(ctx) = &ctx {
+                ctx.sched.acquire(ctx.tid, addr);
+            }
+            let inner = self
+                .data
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            Ok(MutexGuard {
+                inner: Some(inner),
+                addr,
+                ctx,
+            })
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            Ok(self
+                .data
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner))
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard live")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard live")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release the data lock before the logical release so the next
+            // scheduled thread can take it immediately.
+            self.inner = None;
+            if let Some(ctx) = &self.ctx {
+                ctx.sched.release(ctx.tid, self.addr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::Mutex;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn primitives_pass_through_outside_a_model() {
+        let m = Arc::new(Mutex::new(0u64));
+        let h = {
+            let m = Arc::clone(&m);
+            super::thread::spawn(move || {
+                *m.lock().unwrap() += 1;
+                7u64
+            })
+        };
+        assert_eq!(h.join().unwrap(), 7);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+
+    #[test]
+    fn locked_increments_never_lose_updates_and_exploration_branches() {
+        let iters = super::model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    super::thread::spawn(move || {
+                        let mut g = m.lock().unwrap();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+        assert!(iters > 1, "expected multiple interleavings, got {iters}");
+    }
+
+    #[test]
+    fn explorer_finds_the_racy_interleaving() {
+        // Read-then-write split across two critical sections: the explorer
+        // must produce BOTH the correct total and the lost-update total —
+        // proof the search actually visits distinct interleavings.
+        let saw_lost = AtomicBool::new(false);
+        let saw_ok = AtomicBool::new(false);
+        super::model(|| {
+            let m = Arc::new(Mutex::new(0u64));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    super::thread::spawn(move || {
+                        let read = *m.lock().unwrap();
+                        super::thread::yield_now();
+                        *m.lock().unwrap() = read + 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            let total = *m.lock().unwrap();
+            match total {
+                1 => saw_lost.store(true, Ordering::Relaxed),
+                2 => saw_ok.store(true, Ordering::Relaxed),
+                other => panic!("impossible total {other}"),
+            }
+        });
+        assert!(saw_ok.load(Ordering::Relaxed), "serial interleaving missed");
+        assert!(
+            saw_lost.load(Ordering::Relaxed),
+            "racy interleaving missed: the explorer has no teeth"
+        );
+    }
+
+    #[test]
+    fn panics_report_the_schedule() {
+        let runs = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            super::model(|| {
+                let n = runs.fetch_add(1, Ordering::Relaxed);
+                let h = super::thread::spawn(move || n);
+                // Fails only on schedules after the first: the report must
+                // carry the failing schedule.
+                assert_eq!(h.join().unwrap(), 0, "deliberate model failure");
+            });
+        }));
+        let msg = match r {
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "?".into()),
+            Ok(()) => panic!("model should have failed"),
+        };
+        assert!(msg.contains("schedule"), "no schedule in: {msg}");
+        assert!(msg.contains("deliberate model failure"), "msg: {msg}");
+    }
+
+    #[test]
+    fn bounded_exploration_reports_incompleteness() {
+        // 4 threads × 2 critical sections is far more than 3 schedules.
+        let e = super::model_bounded(3, || {
+            let m = Arc::new(Mutex::new(0u64));
+            let hs: Vec<_> = (0..4)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    super::thread::spawn(move || {
+                        *m.lock().unwrap() += 1;
+                        *m.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+        });
+        assert_eq!(e.iterations, 3);
+        assert!(!e.complete);
+    }
+
+    #[test]
+    fn deadlock_is_detected_not_hung() {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            super::model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let h = super::thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    super::thread::yield_now();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                super::thread::yield_now();
+                let _ga = a.lock().unwrap();
+                drop((_gb, _ga));
+                let _ = h.join();
+            });
+        }));
+        let msg = match r {
+            Err(p) => p
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "?".into()),
+            Ok(()) => panic!("model should have deadlocked on some schedule"),
+        };
+        assert!(msg.contains("deadlock"), "msg: {msg}");
+    }
+}

@@ -89,10 +89,10 @@ impl OutputBuffer {
         self.trace = Some((log, stream.into()));
     }
 
-    fn trace_flush(&self, reason: FlushReason, bytes: usize) {
+    fn trace_flush(&self, reason: FlushReason, bytes: usize, now_ns: u64) {
         if let Some((log, stream)) = &self.trace {
             log.record(
-                cg_sim::SimTime::from_nanos(crate::wire::mono_ns()),
+                cg_sim::SimTime::from_nanos(now_ns),
                 cg_trace::Event::BufferFlush {
                     stream: stream.clone(),
                     reason: reason.as_str().to_string(),
@@ -133,7 +133,7 @@ impl OutputBuffer {
         }
         self.emitted_chunks += out.len() as u64;
         for (chunk, reason) in &out {
-            self.trace_flush(*reason, chunk.len());
+            self.trace_flush(*reason, chunk.len(), now_ns);
         }
         out
     }
@@ -144,7 +144,7 @@ impl OutputBuffer {
         if now_ns.saturating_sub(oldest) >= self.policy.timeout_ns && !self.buf.is_empty() {
             self.oldest_ns = None;
             self.emitted_chunks += 1;
-            self.trace_flush(FlushReason::Timeout, self.buf.len());
+            self.trace_flush(FlushReason::Timeout, self.buf.len(), now_ns);
             Some((std::mem::take(&mut self.buf), FlushReason::Timeout))
         } else {
             None
@@ -157,14 +157,16 @@ impl OutputBuffer {
         self.oldest_ns.map(|t| t + self.policy.timeout_ns)
     }
 
-    /// Empties the buffer unconditionally (EOF/shutdown).
-    pub fn flush(&mut self) -> Option<(Vec<u8>, FlushReason)> {
+    /// Empties the buffer unconditionally (EOF/shutdown) at clock reading
+    /// `now_ns`. The caller supplies the clock — this type never reads one,
+    /// so sim-driven harnesses stay deterministic.
+    pub fn flush(&mut self, now_ns: u64) -> Option<(Vec<u8>, FlushReason)> {
         if self.buf.is_empty() {
             return None;
         }
         self.oldest_ns = None;
         self.emitted_chunks += 1;
-        self.trace_flush(FlushReason::Explicit, self.buf.len());
+        self.trace_flush(FlushReason::Explicit, self.buf.len(), now_ns);
         Some((std::mem::take(&mut self.buf), FlushReason::Explicit))
     }
 
@@ -288,9 +290,9 @@ mod tests {
     #[test]
     fn explicit_flush_empties() {
         let mut b = OutputBuffer::new(policy(1024, u64::MAX, false));
-        assert!(b.flush().is_none());
+        assert!(b.flush(0).is_none());
         b.push(b"tail", 0);
-        let (data, reason) = b.flush().unwrap();
+        let (data, reason) = b.flush(0).unwrap();
         assert_eq!(data, b"tail");
         assert_eq!(reason, FlushReason::Explicit);
     }

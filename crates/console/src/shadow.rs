@@ -523,7 +523,7 @@ fn serve_connection(
                         let flushed = rs
                             .buffers
                             .get_mut(&stream)
-                            .and_then(|b| b.flush())
+                            .and_then(|b| b.flush(crate::wire::mono_ns()))
                             .map(|(data, _)| data);
                         if let Some(data) = flushed {
                             let _ = st.events.send(ShadowEvent::Output { rank, stream, data });

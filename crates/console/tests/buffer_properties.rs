@@ -64,7 +64,7 @@ proptest! {
                 "pending {} not below capacity {}", buf.pending(), policy.capacity
             );
         }
-        if let Some((chunk, _)) = buf.flush() {
+        if let Some((chunk, _)) = buf.flush(0) {
             emitted.extend_from_slice(&chunk);
         }
         prop_assert_eq!(buf.pending(), 0);

@@ -27,7 +27,7 @@ proptest! {
                 emitted.extend_from_slice(&chunk);
             }
         }
-        if let Some((tail, _)) = buffer.flush() {
+        if let Some((tail, _)) = buffer.flush(0) {
             emitted.extend_from_slice(&tail);
         }
         prop_assert_eq!(emitted, expected);

@@ -26,6 +26,7 @@ fn drain_until(
     deadline: Duration,
     mut pred: impl FnMut(&[ShadowEvent]) -> bool,
 ) -> Vec<ShadowEvent> {
+    // cg-lint: allow(wall-clock): deadline on real TCP shadow events
     let start = Instant::now();
     let mut events = Vec::new();
     while start.elapsed() < deadline {
@@ -488,6 +489,7 @@ fn agent_gives_up_and_kills_the_job_when_retries_exhaust() {
     // Shadow never exists: connect always fails.
     let secret = Secret::random();
     let dead_addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+    // cg-lint: allow(wall-clock): measures real retry backoff on a real socket
     let start = Instant::now();
     let mut cfg = AgentConfig::fast("doomed", dead_addr, secret);
     cfg.retry_interval = Duration::from_millis(100);

@@ -27,6 +27,18 @@ mod policy;
 mod recovery;
 mod shard;
 
+/// Lock primitives behind the model-check seam: `std::sync` normally, the
+/// `loom` deterministic-schedule shim under `--cfg cg_loom` so CI's
+/// model-check job can exhaustively interleave `ShardedJobTable` operations
+/// (see `tests/loom_model.rs`).
+pub mod sync {
+    #[cfg(not(cg_loom))]
+    pub use std::sync::{Mutex, MutexGuard};
+
+    #[cfg(cg_loom)]
+    pub use loom::sync::{Mutex, MutexGuard};
+}
+
 pub use broker::{BrokerStats, CrossBroker, SiteHandle};
 pub use config::{BrokerConfig, ConsoleCosts};
 pub use fairshare::{FairShare, FairShareConfig, UsageId, UsageKind};

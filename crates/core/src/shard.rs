@@ -34,8 +34,9 @@
 //! scheduling, which is what the sharded-vs-sequential equivalence sweep
 //! pins down.
 
+use crate::sync::{Mutex, MutexGuard};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 use cg_jdl::{Ad, JobDescription};
 use cg_sim::{SimRng, SimTime};

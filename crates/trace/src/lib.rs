@@ -39,6 +39,18 @@
 
 mod codec;
 mod event;
+
+/// Lock primitives behind the model-check seam: `std::sync` normally, the
+/// `loom` deterministic-schedule shim under `--cfg cg_loom` so CI's
+/// model-check job can exhaustively interleave the `EventLog` critical
+/// sections (see `tests/loom_model.rs`).
+pub mod sync {
+    #[cfg(not(cg_loom))]
+    pub use std::sync::{Mutex, MutexGuard};
+
+    #[cfg(cg_loom)]
+    pub use loom::sync::{Mutex, MutexGuard};
+}
 mod invariants;
 pub mod journal;
 mod log;

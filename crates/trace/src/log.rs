@@ -1,7 +1,8 @@
 //! The shared, bounded event log.
 
+use crate::sync::{Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 use cg_sim::SimTime;
 

@@ -57,6 +57,7 @@ pub fn run_real_share(
         let turn = Arc::clone(&turn);
         let done = Arc::clone(&done);
         std::thread::spawn(move || {
+            // cg-lint: allow(wall-clock): real-thread CPU-share demo measures actual elapsed time
             let start = Instant::now();
             let mut acc = 0u64;
             for i in 0..interactive_units {

@@ -1,0 +1,15 @@
+//! Bad fixture for L101: wall clocks and ambient RNG in sim-governed code.
+
+pub fn stamp_now() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn wall_epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn jittered(n: u64) -> u64 {
+    let mut rng = thread_rng();
+    n.wrapping_add(rng.next_u64() % 7)
+}

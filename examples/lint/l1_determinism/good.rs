@@ -1,0 +1,13 @@
+//! Good fixture for L1: time arrives as an argument (the sim clock is the
+//! only source), and the one genuine real-time read carries the escape
+//! hatch with a reason.
+
+pub fn stamp(now_ns: u64) -> u64 {
+    now_ns
+}
+
+pub fn real_epoch_for_transport() -> u64 {
+    // cg-lint: allow(wall-clock): fixture demonstrating a justified real-time read
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

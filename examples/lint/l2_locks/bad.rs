@@ -1,0 +1,17 @@
+//! Bad fixture for L2: a guard held across durable I/O (L201) and
+//! overlapping guards (L202).
+
+use std::fs::File;
+use std::sync::Mutex;
+
+pub fn flush_under_lock(file: &File, buffered: &Mutex<Vec<u8>>) {
+    let guard = buffered.lock().unwrap();
+    file.sync_all().unwrap();
+    drop(guard);
+}
+
+pub fn nested_guards(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap();
+    let gb = b.lock().unwrap();
+    *ga + *gb
+}

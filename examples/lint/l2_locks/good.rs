@@ -1,0 +1,21 @@
+//! Good fixture for L2: copy out under the lock, release, then touch the
+//! disk; a deliberate two-lock order carries the escape hatch.
+
+use std::fs::File;
+use std::io;
+use std::sync::Mutex;
+
+pub fn flush_outside_lock(file: &File, buffered: &Mutex<Vec<u8>>) -> io::Result<()> {
+    let guard = buffered.lock().unwrap();
+    let snapshot = guard.clone();
+    drop(guard);
+    let _ = snapshot;
+    file.sync_all()
+}
+
+pub fn documented_order(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap();
+    // cg-lint: allow(nested-lock): fixture documents the fixed a-then-b order
+    let gb = b.lock().unwrap();
+    *ga + *gb
+}

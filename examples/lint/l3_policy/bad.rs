@@ -1,0 +1,24 @@
+//! Bad fixture for L3: a `SelectionPolicy` impl that breaks the
+//! pure-function contract three ways — interior mutability (L301), ambient
+//! randomness (L302), and I/O (L303).
+
+pub struct Candidate {
+    pub free_cpus: u32,
+}
+
+pub trait SelectionPolicy {
+    fn score(&self, c: &Candidate) -> f64;
+}
+
+pub struct ImpurePolicy {
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl SelectionPolicy for ImpurePolicy {
+    fn score(&self, c: &Candidate) -> f64 {
+        self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let jitter = random();
+        println!("scoring candidate with {} cpus", c.free_cpus);
+        f64::from(c.free_cpus) + jitter
+    }
+}

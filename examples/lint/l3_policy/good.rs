@@ -1,0 +1,19 @@
+//! Good fixture for L3: scoring is a pure function of its arguments;
+//! anything stateful was precomputed by the caller and passed in.
+
+pub struct Candidate {
+    pub free_cpus: u32,
+    pub queue_len: u32,
+}
+
+pub trait SelectionPolicy {
+    fn score(&self, c: &Candidate) -> f64;
+}
+
+pub struct GreedyPolicy;
+
+impl SelectionPolicy for GreedyPolicy {
+    fn score(&self, c: &Candidate) -> f64 {
+        f64::from(c.free_cpus) / (1.0 + f64::from(c.queue_len))
+    }
+}

@@ -1,0 +1,29 @@
+//! Bad fixture for L4, codec half: `JobDone` reuses tag 1 on encode
+//! (L401), decodes from tag 3 instead (L403), and tag 4 constructs a
+//! variant the enum no longer has (L402).
+
+fn put_u8(out: &mut Vec<u8>, b: u8) {
+    out.push(b);
+}
+
+pub fn encode_event(out: &mut Vec<u8>, ev: &Event) {
+    match ev {
+        Event::JobQueued { job } => {
+            put_u8(out, 1);
+            out.extend_from_slice(&job.to_le_bytes());
+        }
+        Event::JobDone { job } => {
+            put_u8(out, 1);
+            out.extend_from_slice(&job.to_le_bytes());
+        }
+    }
+}
+
+pub fn decode_event(tag: u8) -> Option<Event> {
+    match tag {
+        1 => Some(Event::JobQueued { job: 0 }),
+        3 => Some(Event::JobDone { job: 0 }),
+        4 => Some(Event::Retired),
+        _ => None,
+    }
+}

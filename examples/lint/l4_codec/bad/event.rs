@@ -1,0 +1,8 @@
+//! Bad fixture for L4, enum half: `SiteDrained` never got an encode arm
+//! (L402 on this file).
+
+pub enum Event {
+    JobQueued { job: u64 },
+    JobDone { job: u64 },
+    SiteDrained { site: u32 },
+}

@@ -1,0 +1,32 @@
+//! Good fixture for L4: the codec half — tags 1/2/3, symmetric arms.
+
+fn put_u8(out: &mut Vec<u8>, b: u8) {
+    out.push(b);
+}
+
+pub fn encode_event(out: &mut Vec<u8>, ev: &Event) {
+    match ev {
+        Event::JobQueued { job } => {
+            put_u8(out, 1);
+            out.extend_from_slice(&job.to_le_bytes());
+        }
+        Event::JobDone { job, code } => {
+            put_u8(out, 2);
+            out.extend_from_slice(&job.to_le_bytes());
+            out.extend_from_slice(&code.to_le_bytes());
+        }
+        Event::SiteDrained { site } => {
+            put_u8(out, 3);
+            out.extend_from_slice(&site.to_le_bytes());
+        }
+    }
+}
+
+pub fn decode_event(tag: u8) -> Option<Event> {
+    match tag {
+        1 => Some(Event::JobQueued { job: 0 }),
+        2 => Some(Event::JobDone { job: 0, code: 0 }),
+        3 => Some(Event::SiteDrained { site: 0 }),
+        _ => None,
+    }
+}

@@ -1,0 +1,8 @@
+//! Good fixture for L4: every variant has one unique tag, encode and
+//! decode agree.
+
+pub enum Event {
+    JobQueued { job: u64 },
+    JobDone { job: u64, code: i32 },
+    SiteDrained { site: u32 },
+}

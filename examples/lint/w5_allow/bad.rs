@@ -1,0 +1,5 @@
+//! Bad fixture for W501: the `#[allow]` below carries no comment saying
+//! why the lint is waived.
+
+#[allow(dead_code)]
+fn unused_helper() {}

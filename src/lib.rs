@@ -58,6 +58,7 @@
 pub use cg_baselines as baselines;
 pub use cg_console as console;
 pub use cg_jdl as jdl;
+pub use cg_lint as lint;
 pub use cg_net as net;
 pub use cg_sim as sim;
 pub use cg_site as site;

@@ -105,7 +105,9 @@ fn shadow_and_agent_as_separate_processes() {
         .write_all(b"over-tcp\n")
         .unwrap();
     let mut reply = String::new();
+    // cg-lint: allow(wall-clock): bounded wait for a real subprocess over real TCP
     let deadline = Instant::now() + Duration::from_secs(15);
+    // cg-lint: allow(wall-clock): same real-TCP reply deadline
     while Instant::now() < deadline && !reply.contains("reply:over-tcp") {
         let mut l = String::new();
         if reader.read_line(&mut l).unwrap() == 0 {
@@ -231,4 +233,52 @@ fn journal_dump_and_recover_subcommands() {
     assert_eq!(out.status.code(), Some(2), "missing file is an I/O error");
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lint_src_exit_codes_follow_the_findings() {
+    let fixture = |name: &str| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("examples/lint")
+            .join(name)
+    };
+
+    // A clean tree exits 0 and says so.
+    let good = cgrun()
+        .args(["lint-src", fixture("l4_codec/good").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(good.status.code(), Some(0), "clean tree: {good:?}");
+    assert!(String::from_utf8_lossy(&good.stdout).contains("0 error(s), 0 warning(s)"));
+
+    // Error-severity findings exit 1 and carry their codes.
+    let bad = cgrun()
+        .args(["lint-src", fixture("l2_locks").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1), "errors must fail: {bad:?}");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("L201"), "missing L201:\n{stdout}");
+    assert!(stdout.contains("L202"), "missing L202:\n{stdout}");
+
+    // Warnings alone pass by default but fail under --check (the CI gate).
+    let warn = cgrun()
+        .args(["lint-src", fixture("w5_allow").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(warn.status.code(), Some(0), "warnings alone: {warn:?}");
+    let strict = cgrun()
+        .args(["lint-src", "--check", fixture("w5_allow").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        strict.status.code(),
+        Some(1),
+        "--check escalates: {strict:?}"
+    );
+    assert!(String::from_utf8_lossy(&strict.stdout).contains("W501"));
+
+    // Usage errors exit 2.
+    let usage = cgrun().args(["lint-src", "--bogus"]).output().unwrap();
+    assert_eq!(usage.status.code(), Some(2));
 }
