@@ -1,0 +1,441 @@
+//! Site-churn resilience suite: every [`ChurnKind`] shape run through a
+//! full broker day, with the membership failure detector driven from both
+//! signals at once — the outage schedules are applied to the
+//! broker↔gatekeeper links *and* to the sites' MDS publication paths
+//! (`BrokerConfig::publish_faults`).
+//!
+//! ```text
+//! cargo run -p cg-bench --release --bin churn_suite
+//! cargo run -p cg-bench --release --bin churn_suite -- --check
+//! ```
+//!
+//! `--check` enforces the resilience gates per scenario:
+//!
+//! * **zero lost jobs** — after the drain, every submitted job sits in a
+//!   terminal bucket (`Done` or `Failed`); nothing hangs in `Matching`,
+//!   `Scheduled` or `Running` forever because its site vanished;
+//! * **invariant-clean stream** — `cg_trace::check_invariants` over the
+//!   whole event log, which includes rule 5b: no lease or dispatch ever
+//!   lands on a `Suspect`/`Dead` site;
+//! * **run-to-run determinism** — the same seed replays to bit-identical
+//!   per-job terminal outcomes (all retry jitter comes from per-job
+//!   seeded RNG streams, never the wall clock);
+//! * **thread-count determinism** — a matcher-level replay over the
+//!   mid-churn survivor snapshot is bit-identical at 1, 4 and 8 worker
+//!   threads, for every registered selection policy;
+//! * **the detector actually fired** — across the suite the log carries
+//!   suspects, obituaries, rejoins and query retries, so none of the
+//!   gates can pass vacuously against a churn-free day.
+//!
+//! Below 4 cores (override: `CG_CHECK_CORES`) the thread gate cannot run
+//! and the whole check exits 77 — the automake "skipped" convention —
+//! so CI can never mistake an inconclusive run for a green one.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cg_bench::report::{print_table, TraceSink};
+use cg_bench::write_csv;
+use cg_jdl::{Ad, JobDescription};
+use cg_net::{Link, LinkProfile};
+use cg_sim::{Sim, SimDuration, SimRng, SimTime};
+use cg_site::{Policy, Site, SiteConfig};
+use cg_trace::{check_invariants, Event, EventLog};
+use cg_workloads::{churn_faults, poisson_arrivals, ChurnKind, JobMix};
+use crossbroker::{
+    BrokerConfig, CrossBroker, JobId, JobState, MatchRequest, ParallelMatcher, PolicyKind,
+    PolicySignals, ShardedJobTable, SiteHandle, SiteSignals, DEFAULT_SHARDS,
+};
+
+/// Sites in the churned pool (the paper's testbed size).
+const SITES: usize = 18;
+/// Submission window; churn schedules cover the same span.
+const HORIZON: SimTime = SimTime::from_secs(4 * 3_600);
+/// Extra time after the last arrival for queues to drain and the pool to
+/// settle — long enough that every churn shape has ended and rejoined.
+const DRAIN: SimDuration = SimDuration::from_secs(4 * 3_600);
+/// Roots every per-run RNG; the per-kind seed is derived from it.
+const SUITE_SEED: u64 = 0xC4A2;
+
+/// One pool member: heterogeneous node counts, everything CROSSGRID so
+/// matchmaking never filters a site for reasons other than health.
+fn churn_site(i: usize) -> Site {
+    Site::new(SiteConfig {
+        name: format!("churn{i:02}"),
+        nodes: 3 + (i * 5) % 7,
+        policy: Policy::Fifo,
+        tags: vec!["CROSSGRID".into(), "MPI".into()],
+        ..SiteConfig::default()
+    })
+}
+
+/// Campus links for a third of the pool, WAN for the rest — wide enough
+/// spread that query responses see realistic queueing behind sandboxes.
+fn churn_profile(i: usize) -> LinkProfile {
+    if i.is_multiple_of(3) {
+        LinkProfile::campus()
+    } else {
+        LinkProfile {
+            name: format!("churn-wan{i}"),
+            base_latency_s: 0.008 + 0.004 * ((i % 6) as f64),
+            jitter_s: 2e-3,
+            bandwidth_bps: 20e6,
+            loss_prob: 2e-4,
+            per_msg_overhead_s: 30e-6,
+        }
+    }
+}
+
+/// What one full-broker churn day produced.
+struct ChurnRun {
+    /// Per-job terminal bucket, submission order — the determinism unit.
+    outcomes: Vec<(u64, String)>,
+    /// Jobs still non-terminal after the drain (the "lost" gate).
+    lost: Vec<(u64, String)>,
+    done: usize,
+    failed: usize,
+    suspects: usize,
+    deads: usize,
+    rejoins: usize,
+    retries: usize,
+    timeouts: usize,
+    degraded: usize,
+    violations: Vec<String>,
+    log: EventLog,
+}
+
+/// One seeded broker day under `kind`: churn on every path, the standard
+/// interactive/batch mix arriving across the horizon, then the drain.
+fn sim_run(kind: ChurnKind, index: usize) -> ChurnRun {
+    let seed = SUITE_SEED ^ ((index as u64 + 1) << 16);
+    let mut sim = Sim::new(seed);
+    let mut frng = SimRng::new(seed ^ 0xFA17);
+    let faults = churn_faults(kind, SITES, HORIZON, &mut frng);
+    let handles: Vec<SiteHandle> = (0..SITES)
+        .map(|i| SiteHandle {
+            site: churn_site(i),
+            broker_link: Link::with_faults(churn_profile(i), faults[i].clone()),
+            ui_link: Link::with_faults(churn_profile(i), faults[i].clone()),
+        })
+        .collect();
+    let config = BrokerConfig {
+        publish_faults: faults,
+        ..BrokerConfig::default()
+    };
+    let broker = CrossBroker::new(&mut sim, handles, Link::new(LinkProfile::wan_mds()), config);
+
+    let mix = JobMix {
+        interactive_fraction: 0.5,
+        users: 6,
+        ..JobMix::default()
+    };
+    let mut wrng = SimRng::new(seed ^ 0x10AD);
+    let submitted: Rc<RefCell<Vec<JobId>>> = Rc::new(RefCell::new(Vec::new()));
+    for arrival in poisson_arrivals(&mut wrng, &mix, SimDuration::from_secs(90), HORIZON) {
+        let broker2 = broker.clone();
+        let submitted = Rc::clone(&submitted);
+        let job = arrival.job;
+        let runtime = arrival.runtime;
+        sim.schedule_at(arrival.at, move |sim| {
+            let id = broker2.submit(sim, job, runtime);
+            submitted.borrow_mut().push(id);
+        });
+    }
+    sim.run_until(HORIZON + DRAIN);
+
+    let mut run = ChurnRun {
+        outcomes: Vec::new(),
+        lost: Vec::new(),
+        done: 0,
+        failed: 0,
+        suspects: 0,
+        deads: 0,
+        rejoins: 0,
+        retries: 0,
+        timeouts: 0,
+        degraded: 0,
+        violations: Vec::new(),
+        log: broker.event_log(),
+    };
+    for id in submitted.borrow().iter() {
+        let state = broker.record(*id).state;
+        match &state {
+            JobState::Done => run.done += 1,
+            JobState::Failed { .. } => run.failed += 1,
+            other => run.lost.push((id.0, format!("{other:?}"))),
+        }
+        run.outcomes.push((id.0, format!("{state:?}")));
+    }
+    let events = run.log.snapshot();
+    for ev in &events {
+        match &ev.event {
+            Event::SiteSuspect { .. } => run.suspects += 1,
+            Event::SiteDead { .. } => run.deads += 1,
+            Event::SiteRejoin { .. } => run.rejoins += 1,
+            Event::QueryRetry { .. } => run.retries += 1,
+            Event::LiveQueryTimeout { .. } => run.timeouts += 1,
+            Event::DegradedMatch { .. } => run.degraded += 1,
+            _ => {}
+        }
+    }
+    run.violations = check_invariants(&events);
+    run
+}
+
+/// The mid-churn survivor snapshot: ads of the sites whose links are up
+/// at the probe instant, plus per-site signals whose staleness reflects
+/// how recently each survivor came back.
+fn survivor_snapshot(kind: ChurnKind, index: usize) -> (Vec<(usize, Ad)>, PolicySignals) {
+    let seed = SUITE_SEED ^ ((index as u64 + 1) << 16);
+    let mut frng = SimRng::new(seed ^ 0xFA17);
+    let faults = churn_faults(kind, SITES, HORIZON, &mut frng);
+    let probe = SimTime::ZERO + SimDuration::from_nanos(HORIZON.as_nanos() / 2);
+    let mut ads = Vec::new();
+    let mut signals = PolicySignals::new();
+    for (i, schedule) in faults.iter().enumerate() {
+        if schedule.is_down(probe) {
+            continue;
+        }
+        // Staleness: time since the last outage window ended (sites never
+        // churned read as freshly published).
+        let back_since = schedule
+            .windows()
+            .iter()
+            .filter(|(_, end)| *end <= probe)
+            .map(|(_, end)| *end)
+            .next_back()
+            .unwrap_or(SimTime::ZERO);
+        ads.push((i, churn_site(i).machine_ad()));
+        signals.set(
+            i,
+            SiteSignals {
+                queue_depth: ((i * 3) % 4) as i64,
+                queue_forecast: ((i * 7) % 5) as f64,
+                rtt_s: churn_profile(i).base_latency_s,
+                lease_failures: u32::from(!schedule.windows().is_empty()),
+                staleness_s: probe.saturating_since(back_since).as_secs_f64().min(900.0),
+            },
+        );
+    }
+    (ads, signals)
+}
+
+/// The matcher-level batch replayed over each survivor snapshot: mixed
+/// interactive/batch CROSSGRID jobs with colliding ranks.
+fn gate_requests() -> Vec<MatchRequest> {
+    (0..200u64)
+        .map(|i| {
+            let src = if i.is_multiple_of(3) {
+                format!(
+                    r#"
+                    Executable   = "churn_batch_{i}";
+                    JobType      = "batch";
+                    User         = "u{}";
+                    Requirements = member("CROSSGRID", other.Tags);
+                    Rank         = other.FreeCpus;
+                    "#,
+                    i % 5
+                )
+            } else {
+                format!(
+                    r#"
+                    Executable   = "churn_int_{i}";
+                    JobType      = {{"interactive", "mpich-g2"}};
+                    NodeNumber   = 2;
+                    User         = "u{}";
+                    Requirements = other.FreeCpus >= NodeNumber && member("CROSSGRID", other.Tags);
+                    Rank         = other.FreeCpus;
+                    "#,
+                    i % 5
+                )
+            };
+            MatchRequest {
+                id: JobId(i),
+                job: JobDescription::parse(&src).expect("generated JDL parses"),
+            }
+        })
+        .collect()
+}
+
+/// Thread-count determinism over the survivor snapshot: every policy's
+/// outcome vector must be bit-identical at 1, 4 and 8 workers.
+fn thread_gate(kind: ChurnKind, index: usize) {
+    let (ads, signals) = survivor_snapshot(kind, index);
+    assert!(
+        !ads.is_empty(),
+        "{}: no survivors at the probe instant — the gate would be vacuous",
+        kind.name()
+    );
+    let requests = gate_requests();
+    for policy in PolicyKind::ALL {
+        let engine = ParallelMatcher::new(ads.clone(), SUITE_SEED ^ index as u64)
+            .with_policy(policy)
+            .with_signals(signals.clone());
+        let run = |threads: usize| {
+            let log = EventLog::new(requests.len() * 4);
+            let table = ShardedJobTable::new(DEFAULT_SHARDS);
+            engine.run(&requests, threads, &log, &table)
+        };
+        let base = run(1);
+        for threads in [4usize, 8] {
+            assert_eq!(
+                run(threads),
+                base,
+                "{}/{}: {threads}-thread outcomes diverged from 1-thread",
+                kind.name(),
+                policy.name()
+            );
+        }
+    }
+}
+
+/// Runs the whole suite, printing the per-scenario table and feeding the
+/// sink; with `gates` set, also enforces every `--check` invariant.
+fn run_suite(sink: &TraceSink, gates: bool) {
+    let mut rows = Vec::new();
+    let mut csv = String::from(
+        "scenario,submitted,done,failed,lost,suspect,dead,rejoin,retries,timeouts,degraded\n",
+    );
+    let mut total_suspects = 0usize;
+    let mut total_deads = 0usize;
+    let mut total_rejoins = 0usize;
+    let mut total_retries = 0usize;
+    for (index, kind) in ChurnKind::ALL.into_iter().enumerate() {
+        let run = sim_run(kind, index);
+        if gates {
+            assert!(
+                run.lost.is_empty(),
+                "{}: {} jobs lost (non-terminal after the drain): {:?}",
+                kind.name(),
+                run.lost.len(),
+                &run.lost[..run.lost.len().min(5)]
+            );
+            assert!(
+                run.violations.is_empty(),
+                "{}: invariant violations: {:?}",
+                kind.name(),
+                run.violations
+            );
+            let replay = sim_run(kind, index);
+            assert_eq!(
+                replay.outcomes,
+                run.outcomes,
+                "{}: replaying the same seed changed the terminal outcomes",
+                kind.name()
+            );
+            thread_gate(kind, index);
+        }
+        total_suspects += run.suspects;
+        total_deads += run.deads;
+        total_rejoins += run.rejoins;
+        total_retries += run.retries;
+        let submitted = run.outcomes.len();
+        for (metric, value) in [
+            ("submitted", submitted),
+            ("done", run.done),
+            ("failed", run.failed),
+            ("lost", run.lost.len()),
+            ("suspect", run.suspects),
+            ("dead", run.deads),
+            ("rejoin", run.rejoins),
+            ("retries", run.retries),
+        ] {
+            sink.measure(
+                format!("churn_suite.{}.{metric}", kind.name()),
+                value as f64,
+            );
+        }
+        sink.absorb(&run.log);
+        rows.push(vec![
+            kind.name().to_string(),
+            format!("{submitted}"),
+            format!("{}", run.done),
+            format!("{}", run.failed),
+            format!("{}", run.lost.len()),
+            format!("{}", run.suspects),
+            format!("{}", run.deads),
+            format!("{}", run.rejoins),
+            format!("{}", run.retries),
+            format!("{}", run.timeouts),
+            format!("{}", run.degraded),
+        ]);
+        csv.push_str(&format!(
+            "{},{submitted},{},{},{},{},{},{},{},{},{}\n",
+            kind.name(),
+            run.done,
+            run.failed,
+            run.lost.len(),
+            run.suspects,
+            run.deads,
+            run.rejoins,
+            run.retries,
+            run.timeouts,
+            run.degraded,
+        ));
+    }
+    print_table(
+        &format!(
+            "Churn resilience: {SITES}-site pool, 4 h arrivals + 4 h drain \
+             (churn on gatekeeper links and MDS publications)"
+        ),
+        &[
+            "scenario",
+            "submitted",
+            "done",
+            "failed",
+            "lost",
+            "suspect",
+            "dead",
+            "rejoin",
+            "retries",
+            "timeouts",
+            "degraded",
+        ],
+        &rows,
+    );
+    let path = write_csv("churn_suite.csv", &csv);
+    println!("CSV: {}", path.display());
+    if gates {
+        // Anti-vacuity: a suite where the detector never fired proves
+        // nothing about resilience.
+        assert!(
+            total_suspects > 0 && total_deads > 0 && total_rejoins > 0,
+            "churn never drove the detector: {total_suspects} suspects, \
+             {total_deads} deads, {total_rejoins} rejoins"
+        );
+        assert!(
+            total_retries > 0,
+            "no live query was ever retried — the bounded-retry path never ran"
+        );
+    }
+}
+
+/// Exit status for a skipped `--check` run: distinct from both success (0)
+/// and failure (1/101) so CI logs can tell "passed" from "never ran".
+const EXIT_SKIPPED: i32 = 77;
+
+fn main() {
+    let check = std::env::args().skip(1).any(|a| a == "--check");
+    let sink = TraceSink::new();
+    if check {
+        let cores = std::env::var("CG_CHECK_CORES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+            });
+        if cores < 4 {
+            println!(
+                "churn_suite --check: SKIPPED thread gate \
+                 (only {cores} cores, need 4); exiting {EXIT_SKIPPED}"
+            );
+            std::process::exit(EXIT_SKIPPED);
+        }
+        run_suite(&sink, true);
+        sink.dump();
+        println!("churn_suite --check: all gates passed");
+        return;
+    }
+    run_suite(&sink, false);
+    sink.dump();
+}

@@ -85,6 +85,7 @@ fn ab_signals() -> PolicySignals {
                     0.012 + 0.004 * ((i % 5) as f64) // WAN, 12–28 ms one-way
                 },
                 lease_failures: if i % 4 == 0 { 2 } else { 0 },
+                staleness_s: ((i * 17) % 7) as f64 * 60.0,
             },
         );
     }

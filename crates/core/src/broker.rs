@@ -9,14 +9,14 @@
 //! the Grid Console startup that ends every interactive submission with the
 //! first output reaching the user.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use cg_jdl::{Ad, Interactivity, JobDescription, MachineAccess, Parallelism};
 use cg_net::{rpc_call, Dir, HandshakeProfile, Link, Session};
 use cg_sim::{Sim, SimDuration, SimTime};
-use cg_site::{GramEvent, InformationIndex, LocalJobSpec, Site};
+use cg_site::{GramEvent, InformationIndex, LocalJobSpec, MembershipState, Site, Transition};
 use cg_trace::replay::{Phase, ReplayAgent, ReplayJob, ReplayState, SpoolMark};
 use cg_trace::{Event, EventLog, MetricsRegistry};
 use cg_vm::{deploy_agent, Agent, AgentEvent, AgentId};
@@ -31,7 +31,7 @@ use crate::matchmaking::{
 use crate::policy::{
     coallocate_with, select_detailed_with, PolicyKind, PolicySignals, QueueForecaster, SiteSignals,
 };
-use crate::shard::{ShardedJobTable, DEFAULT_SHARDS};
+use crate::shard::{job_rng, ShardedJobTable, DEFAULT_SHARDS};
 
 /// One site as the broker sees it.
 pub struct SiteHandle {
@@ -179,10 +179,12 @@ impl CrossBroker {
             .iter()
             .map(|s| s.site.lrms().total_nodes() as u32)
             .sum();
-        let index = InformationIndex::start(
+        let index = InformationIndex::start_with_faults(
             sim,
             sites.iter().map(|s| s.site.clone()).collect(),
             config.index_refresh,
+            config.publish_faults.clone(),
+            config.membership,
         );
         let metrics = MetricsRegistry::new();
         let trace = EventLog::with_metrics(TRACE_CAPACITY, metrics.clone());
@@ -193,7 +195,7 @@ impl CrossBroker {
         for s in &sites {
             s.site.lrms().set_trace(trace.clone(), s.site.name());
         }
-        CrossBroker {
+        let broker = CrossBroker {
             inner: Rc::new(RefCell::new(Inner {
                 config,
                 sites: sites
@@ -228,7 +230,21 @@ impl CrossBroker {
                 trace,
                 metrics,
             })),
-        }
+        };
+        // The failure detector's obituaries drive the broker: trace
+        // events, dead-site re-matching, streak resets. A weak handle
+        // breaks the broker → index → observer reference cycle.
+        let weak = Rc::downgrade(&broker.inner);
+        broker
+            .inner
+            .borrow()
+            .index
+            .set_membership_observer(move |sim, site_index, tr| {
+                if let Some(inner) = weak.upgrade() {
+                    CrossBroker { inner }.on_membership_transition(sim, site_index, tr);
+                }
+            });
+        broker
     }
 
     /// Submits a job with the given natural runtime. The returned id indexes
@@ -400,6 +416,20 @@ impl CrossBroker {
     /// record from now on — snapshot it for invariant checks or JSONL dumps.
     pub fn event_log(&self) -> EventLog {
         self.inner.borrow().trace.clone()
+    }
+
+    /// The broker's information index: snapshot columns, per-site
+    /// staleness and the membership failure detector.
+    pub fn index(&self) -> InformationIndex {
+        self.inner.borrow().index.clone()
+    }
+
+    /// The site's consecutive lease-failure streak — the `lease-backoff`
+    /// policy's input signal. Reset by a successful start, a `Dead`
+    /// obituary, or a rejoin (a streak earned before an outage says
+    /// nothing about the recovered site).
+    pub fn lease_failure_streak(&self, site_index: usize) -> u32 {
+        self.inner.borrow().sites[site_index].lease_failures
     }
 
     /// The metrics registry behind the event log: per-event-kind counters
@@ -994,9 +1024,10 @@ impl CrossBroker {
     }
 
     /// Snapshots the per-site signals the policies score against: current
-    /// and forecast LRMS queue depth, nominal broker-link RTT, and the
-    /// consecutive lease-failure counter.
-    fn site_signals(&self) -> PolicySignals {
+    /// and forecast LRMS queue depth, nominal broker-link RTT, the
+    /// consecutive lease-failure counter, and the age of the site's
+    /// information-index column.
+    fn site_signals(&self, now: SimTime) -> PolicySignals {
         let inner = self.inner.borrow();
         let mut signals = PolicySignals::new();
         for (i, s) in inner.sites.iter().enumerate() {
@@ -1007,10 +1038,211 @@ impl CrossBroker {
                     queue_forecast: inner.queue_forecast.forecast(i),
                     rtt_s: s.broker_link.profile().nominal_rtt().as_secs_f64(),
                     lease_failures: s.lease_failures,
+                    staleness_s: inner.index.staleness(i, now).as_secs_f64(),
                 },
             );
         }
         signals
+    }
+
+    /// Reacts to a membership transition from the information index's
+    /// failure detector: records the obituary/rejoin in the trace and
+    /// routes work away from (or back toward) the site.
+    fn on_membership_transition(&self, sim: &mut Sim, site_index: usize, tr: &Transition) {
+        let now = sim.now();
+        match tr {
+            Transition::Suspected {
+                missed_refreshes,
+                failed_queries,
+            } => {
+                let inner = self.inner.borrow();
+                inner.trace.record(
+                    now,
+                    Event::SiteSuspect {
+                        site: inner.sites[site_index].site.name().to_string(),
+                        missed_refreshes: *missed_refreshes,
+                        failed_queries: *failed_queries,
+                    },
+                );
+            }
+            Transition::Died => self.site_died(sim, site_index),
+            Transition::Rejoined { down_since } => {
+                {
+                    let mut inner = self.inner.borrow_mut();
+                    let site = inner.sites[site_index].site.name().to_string();
+                    // A rejoin wipes the lease-failure streak: consecutive
+                    // pre-outage failures say nothing about the recovered
+                    // site, and a stale streak would keep `lease-backoff`
+                    // steering work away from a healthy member.
+                    inner.sites[site_index].lease_failures = 0;
+                    inner.trace.record(
+                        now,
+                        Event::SiteRejoin {
+                            site,
+                            down_ns: now.saturating_since(*down_since).as_nanos(),
+                        },
+                    );
+                }
+                self.reconcile_rejoined_site(sim, site_index);
+            }
+            Transition::Joined | Transition::Stabilized => {}
+        }
+    }
+
+    /// A site crossed into `Dead`: void its lease, clear its failure
+    /// streak (the obituary supersedes per-dispatch bookkeeping), record
+    /// the `SiteDead` obituary with the in-flight count, and re-match
+    /// every job still waiting in the dead site's LRMS — without burning
+    /// resubmission budget, exactly like crash recovery's re-arm: the
+    /// attempt died with the site, the job did not misbehave.
+    fn site_died(&self, sim: &mut Sim, site_index: usize) {
+        let now = sim.now();
+        let (victims, lrms) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.sites[site_index].leased_until = SimTime::ZERO;
+            inner.sites[site_index].lease_failures = 0;
+            // Jobs with any placement on this site (LRMS copies or
+            // glide-in agents hosted there) count as in flight.
+            let agents_here: HashSet<AgentId> = inner
+                .agents
+                .iter()
+                .filter(|(_, e)| e.site_index == site_index)
+                .map(|(aid, _)| *aid)
+                .collect();
+            let mut in_flight = 0u32;
+            let mut victims: Vec<(JobId, cg_site::LocalJobId)> = Vec::new();
+            for (id, placements) in &inner.placements {
+                let here = placements.iter().any(|p| match p {
+                    Placement::Site { site_index: s, .. } => *s == site_index,
+                    Placement::AgentInteractive { aid } | Placement::AgentBatch { aid, .. } => {
+                        agents_here.contains(aid)
+                    }
+                });
+                if !here {
+                    continue;
+                }
+                in_flight += 1;
+                // Only jobs still waiting in the dead LRMS (dispatched but
+                // not running) are withdrawn and re-matched; running work
+                // rides out the outage on the site itself.
+                let scheduled = inner
+                    .jobs
+                    .with(*id, |r| matches!(r.state, JobState::Scheduled { .. }))
+                    .unwrap_or(false);
+                if scheduled {
+                    if let Some(local) = placements.iter().find_map(|p| match p {
+                        Placement::Site {
+                            site_index: s,
+                            local,
+                        } if *s == site_index => Some(*local),
+                        _ => None,
+                    }) {
+                        victims.push((*id, local));
+                    }
+                }
+            }
+            inner.trace.record(
+                now,
+                Event::SiteDead {
+                    site: inner.sites[site_index].site.name().to_string(),
+                    in_flight,
+                },
+            );
+            (victims, inner.sites[site_index].site.lrms().clone())
+        };
+        for (id, local) in victims {
+            lrms.kill(sim, local, "site declared dead by the broker");
+            self.rematch_from_dead_site(sim, id, site_index);
+        }
+    }
+
+    /// Re-enters matchmaking for a job whose dispatched copy died with
+    /// its site. Unlike on-line-scheduling resubmission this books no
+    /// attempt against `max_resubmissions` and takes no backoff: the
+    /// failure is the infrastructure's, and the membership filter already
+    /// keeps the next match off the dead site.
+    fn rematch_from_dead_site(&self, sim: &mut Sim, id: JobId, site_index: usize) {
+        let retained = {
+            let mut inner = self.inner.borrow_mut();
+            inner.placements.remove(&id);
+            inner.job_ads.get(&id).cloned()
+        };
+        let Some(retained) = retained else {
+            self.fail(sim, id, "site died with no retained ad to re-match", false);
+            return;
+        };
+        match JobDescription::parse(&retained.jdl) {
+            Ok(job) => {
+                let mut excluded = HashSet::new();
+                excluded.insert(site_index);
+                self.matched_path(sim, id, job, retained.runtime, excluded);
+            }
+            Err(e) => {
+                self.fail(sim, id, &format!("re-match parse failed: {e}"), false);
+            }
+        }
+    }
+
+    /// A rejoined site may hold outcomes the broker never heard: GRAM
+    /// status messages that crossed the dead link were dropped (the
+    /// gatekeeper does not retry them), so a job that finished or was
+    /// killed during the outage stays `Running` broker-side forever.
+    /// Model the paper's "broker re-learns state by polling": one status
+    /// poll per placement still on the site, delivering the outcome the
+    /// lost message carried. Best-effort — a poll that fails (the link
+    /// flapped again) leaves the job for the site's next rejoin.
+    fn reconcile_rejoined_site(&self, sim: &mut Sim, site_index: usize) {
+        let (stranded, link, lrms) = {
+            let inner = self.inner.borrow();
+            let stranded: Vec<(JobId, cg_site::LocalJobId)> = inner
+                .placements
+                .iter()
+                .filter(|(id, _)| {
+                    inner
+                        .jobs
+                        .with(**id, |r| {
+                            matches!(
+                                r.state,
+                                JobState::Scheduled { .. } | JobState::Running { .. }
+                            )
+                        })
+                        .unwrap_or(false)
+                })
+                .filter_map(|(id, placements)| {
+                    placements.iter().find_map(|p| match p {
+                        Placement::Site {
+                            site_index: s,
+                            local,
+                        } if *s == site_index => Some((*id, *local)),
+                        _ => None,
+                    })
+                })
+                .collect();
+            (
+                stranded,
+                inner.sites[site_index].broker_link.clone(),
+                inner.sites[site_index].site.lrms().clone(),
+            )
+        };
+        for (id, local) in stranded {
+            let this = self.clone();
+            let lrms = lrms.clone();
+            let service = SimDuration::from_secs_f64(0.3);
+            rpc_call(sim, &link, Dir::AToB, 300, 400, service, move |sim, r| {
+                if r.is_err() {
+                    return;
+                }
+                match lrms.disposition(local) {
+                    Some(cg_site::LocalDisposition::Finished) => this.finish_job(sim, id),
+                    Some(cg_site::LocalDisposition::Killed) => {
+                        this.fail(sim, id, "killed at site while the link was down", false);
+                    }
+                    // Still queued/running (its push events will cross the
+                    // healed link), or never accepted — nothing to deliver.
+                    _ => {}
+                }
+            });
+        }
     }
 
     /// Records a dispatch outcome at a site for the `lease-backoff`
@@ -1128,10 +1360,12 @@ impl CrossBroker {
                 // application in a similar way as it does for a batch job."
                 let idle_site = {
                     let inner = self.inner.borrow();
-                    inner
-                        .sites
-                        .iter()
-                        .position(|s| s.leased_until <= now && s.site.lrms().free_nodes() >= 1)
+                    (0..inner.sites.len()).find(|&i| {
+                        let s = &inner.sites[i];
+                        s.leased_until <= now
+                            && s.site.lrms().free_nodes() >= 1
+                            && inner.index.is_schedulable(i)
+                    })
                 };
                 match idle_site {
                     Some(site_index) => {
@@ -1450,7 +1684,7 @@ impl CrossBroker {
                     break;
                 }
                 let e = &inner.sites[i];
-                if e.leased_until > now {
+                if e.leased_until > now || !inner.index.is_schedulable(i) {
                     continue;
                 }
                 let free = e.site.lrms().free_nodes() as u32;
@@ -1810,10 +2044,33 @@ impl CrossBroker {
             let inner = self.inner.borrow();
             (inner.index.clone(), inner.mds_link.clone())
         };
+        let index2 = index.clone();
         index.query(sim, &mds_link, move |sim, result| {
-            let Ok(stale) = result else {
-                this.fail(sim, id, "information system unreachable", false);
-                return;
+            let stale = match result {
+                Ok(stale) => stale,
+                Err(_) => {
+                    // Health-gated degradation: the information system is
+                    // unreachable, so fall back to the broker's own last
+                    // snapshot — but only while its age stays inside the
+                    // trust bound. Beyond it the job fails as before
+                    // rather than matching against ancient columns.
+                    let now = sim.now();
+                    let inner = this.inner.borrow();
+                    let staleness = now.saturating_since(inner.index.refreshed_at());
+                    if staleness > inner.config.degraded_max_staleness {
+                        drop(inner);
+                        this.fail(sim, id, "information system unreachable", false);
+                        return;
+                    }
+                    inner.trace.record(
+                        now,
+                        Event::DegradedMatch {
+                            job: id.0,
+                            staleness_ns: staleness.as_nanos(),
+                        },
+                    );
+                    inner.index.snapshot_arc()
+                }
             };
             {
                 let inner = this.inner.borrow_mut();
@@ -1834,7 +2091,15 @@ impl CrossBroker {
                 None => filter_candidates(&job, &stale.indexed_ads(), require_full),
             }
             .into_iter()
-            .filter(|c| !excluded.contains(&c.site_index))
+            // Membership gate: `Dead` sites are dropped from the sweep
+            // entirely; `Suspect` sites stay on the shortlist — the live
+            // query doubles as the probe that can rejoin them — but the
+            // selection step below still refuses to lease or dispatch
+            // onto anything unhealthy.
+            .filter(|c| {
+                !excluded.contains(&c.site_index)
+                    && index2.membership_state(c.site_index) != MembershipState::Dead
+            })
             .collect();
             if shortlist.is_empty() {
                 this.no_candidates(sim, id, job, runtime);
@@ -1845,6 +2110,7 @@ impl CrossBroker {
             live_query_chain(
                 sim,
                 this.clone(),
+                id,
                 shortlist.iter().map(|c| c.site_index).collect(),
                 Vec::new(),
                 move |sim, live_ads| {
@@ -1869,12 +2135,15 @@ impl CrossBroker {
             inner.jobs.update(id, |r| r.selected_at = Some(now));
         }
         let require_full = job.is_interactive() && job.parallelism != Parallelism::MpichG2;
-        // Exclude leased sites.
+        // Exclude leased sites, and sites the failure detector demoted
+        // while the live queries were in flight.
         let usable: Vec<(usize, Ad)> = {
             let inner = self.inner.borrow();
             live_ads
                 .into_iter()
-                .filter(|(i, _)| inner.sites[*i].leased_until <= now)
+                .filter(|(i, _)| {
+                    inner.sites[*i].leased_until <= now && inner.index.is_schedulable(*i)
+                })
                 .collect()
         };
         let candidates = match self.compiled_for(id) {
@@ -1887,7 +2156,7 @@ impl CrossBroker {
         }
 
         let kind = self.policy_for(&job);
-        let signals = self.site_signals();
+        let signals = self.site_signals(now);
         let policy = kind.policy();
 
         if job.parallelism == Parallelism::MpichG2 && job.node_number > 1 {
@@ -2157,8 +2426,22 @@ impl CrossBroker {
                         }
                     }
                     GramEvent::Failed(e) => {
+                        // The two-phase submission detected the error before
+                        // the job reached the LRMS (§6.1) — the site is the
+                        // problem, not the job, so try the next match with
+                        // this site excluded rather than failing outright.
                         this.note_lease_result(site_index, false);
-                        this.fail(sim, id, &format!("submission failed: {e}"), false);
+                        let mut excluded2 = excluded.clone();
+                        excluded2.insert(site_index);
+                        if let Some(delay) = this.begin_resubmit(sim, id) {
+                            let this2 = this.clone();
+                            let job2 = job.clone();
+                            sim.schedule_in(delay, move |sim| {
+                                this2.matched_path(sim, id, job2, runtime, excluded2);
+                            });
+                        } else {
+                            this.fail(sim, id, &format!("submission failed: {e}"), false);
+                        }
                     }
                     GramEvent::Queued => {}
                 }
@@ -2810,12 +3093,18 @@ type SweepDone = Box<dyn FnOnce(&mut Sim, Vec<(usize, Ad)>)>;
 /// In-flight state of one windowed live-query sweep over the shortlist.
 struct LiveQuerySweep {
     broker: CrossBroker,
+    /// The job this sweep selects for — seeds the retry-jitter stream.
+    job: JobId,
     /// Site indices not yet queried, in shortlist order.
     pending: Vec<usize>,
     in_flight: usize,
     collected: Vec<(usize, Ad)>,
     done: Option<SweepDone>,
 }
+
+/// Salt folded into [`job_rng`] for query-retry jitter, so the retry
+/// stream never collides with the job's selection stream.
+const QUERY_RETRY_SALT: u64 = 0x515259; // "QRY"
 
 /// Live-queries each site in `pending`, keeping up to
 /// `BrokerConfig::live_query_fanout` RPCs in flight at once. With fanout 1
@@ -2827,12 +3116,14 @@ struct LiveQuerySweep {
 fn live_query_chain(
     sim: &mut Sim,
     broker: CrossBroker,
+    job: JobId,
     pending: Vec<usize>,
     collected: Vec<(usize, Ad)>,
     done: impl FnOnce(&mut Sim, Vec<(usize, Ad)>) + 'static,
 ) {
     let sweep = Rc::new(RefCell::new(LiveQuerySweep {
         broker,
+        job,
         pending,
         in_flight: 0,
         collected,
@@ -2842,10 +3133,11 @@ fn live_query_chain(
 }
 
 /// Launches queries until the fan-out window is full, and finishes the
-/// sweep once nothing is pending or in flight.
+/// sweep once nothing is pending or in flight. A site's fan-out slot stays
+/// occupied across its retries; it frees only when the site settles.
 fn live_query_pump(sim: &mut Sim, sweep: &Rc<RefCell<LiveQuerySweep>>) {
     loop {
-        let (site_index, link, site, service) = {
+        let site_index = {
             let mut s = sweep.borrow_mut();
             if s.pending.is_empty() {
                 if s.in_flight == 0 {
@@ -2858,39 +3150,140 @@ fn live_query_pump(sim: &mut Sim, sweep: &Rc<RefCell<LiveQuerySweep>>) {
                 }
                 return;
             }
-            let (fanout, service) = {
-                let inner = s.broker.inner.borrow();
-                (
-                    inner.config.live_query_fanout.max(1),
-                    SimDuration::from_secs_f64(inner.config.live_query_service_s),
-                )
-            };
+            let fanout = s.broker.inner.borrow().config.live_query_fanout.max(1);
             if s.in_flight >= fanout {
                 return;
             }
             let site_index = s.pending.remove(0);
-            let (link, site) = {
-                let inner = s.broker.inner.borrow();
-                (
-                    inner.sites[site_index].broker_link.clone(),
-                    inner.sites[site_index].site.clone(),
-                )
-            };
             s.in_flight += 1;
-            (site_index, link, site, service)
+            site_index
         };
-        let sweep2 = Rc::clone(sweep);
-        rpc_call(sim, &link, Dir::AToB, 300, 1_200, service, move |sim, r| {
-            {
-                let mut s = sweep2.borrow_mut();
-                s.in_flight -= 1;
-                if r.is_ok() {
-                    s.collected.push((site_index, site.machine_ad()));
-                }
-            }
-            live_query_pump(sim, &sweep2);
-        });
+        live_query_attempt(sim, Rc::clone(sweep), site_index, 1);
     }
+}
+
+/// One live-query attempt against a site. The RPC races a per-attempt
+/// deadline; whichever settles first decides the outcome, and the loser —
+/// usually a late response — is dropped on the floor. Every settled
+/// attempt feeds the membership failure detector via
+/// [`InformationIndex::report_query`].
+fn live_query_attempt(
+    sim: &mut Sim,
+    sweep: Rc<RefCell<LiveQuerySweep>>,
+    site_index: usize,
+    attempt: u32,
+) {
+    let (job, link, site, service, timeout) = {
+        let s = sweep.borrow();
+        let inner = s.broker.inner.borrow();
+        (
+            s.job,
+            inner.sites[site_index].broker_link.clone(),
+            inner.sites[site_index].site.clone(),
+            SimDuration::from_secs_f64(inner.config.live_query_service_s),
+            inner.config.live_query_timeout,
+        )
+    };
+    let settled = Rc::new(Cell::new(false));
+
+    let settled_rpc = Rc::clone(&settled);
+    let sweep_rpc = Rc::clone(&sweep);
+    let ad_site = site.clone();
+    rpc_call(sim, &link, Dir::AToB, 300, 1_200, service, move |sim, r| {
+        if settled_rpc.replace(true) {
+            return; // the deadline already wrote this attempt off
+        }
+        let ad = r.is_ok().then(|| ad_site.machine_ad());
+        live_query_settle(sim, &sweep_rpc, site_index, attempt, ad);
+    });
+
+    sim.schedule_in(timeout, move |sim| {
+        if settled.replace(true) {
+            return; // the response won the race
+        }
+        {
+            let s = sweep.borrow();
+            let inner = s.broker.inner.borrow();
+            inner.trace.record(
+                sim.now(),
+                Event::LiveQueryTimeout {
+                    job: job.0,
+                    site: site.name().to_string(),
+                    attempt,
+                },
+            );
+        }
+        live_query_settle(sim, &sweep, site_index, attempt, None);
+    });
+}
+
+/// Books the outcome of one attempt: a success collects the ad and frees
+/// the slot; a failure either schedules a bounded, jittered retry (from
+/// the job's own deterministic RNG stream — never the wall clock) or
+/// gives the site up for this sweep.
+fn live_query_settle(
+    sim: &mut Sim,
+    sweep: &Rc<RefCell<LiveQuerySweep>>,
+    site_index: usize,
+    attempt: u32,
+    ad: Option<Ad>,
+) {
+    let (broker, job) = {
+        let s = sweep.borrow();
+        (s.broker.clone(), s.job)
+    };
+    let index = broker.inner.borrow().index.clone();
+    // May demote the site (Suspect/Dead) through the membership observer.
+    index.report_query(sim, site_index, ad.is_some());
+    if let Some(ad) = ad {
+        let mut s = sweep.borrow_mut();
+        s.collected.push((site_index, ad));
+        s.in_flight -= 1;
+        drop(s);
+        live_query_pump(sim, sweep);
+        return;
+    }
+    let (retries, base, cap, jitter, site_name) = {
+        let inner = broker.inner.borrow();
+        (
+            inner.config.live_query_retries,
+            inner.config.query_backoff_base,
+            inner.config.query_backoff_max,
+            inner.config.query_backoff_jitter,
+            inner.sites[site_index].site.name().to_string(),
+        )
+    };
+    // Budget spent, or the detector has since declared the site unhealthy
+    // — either way it is not worth another attempt this sweep.
+    if attempt > retries || !index.is_schedulable(site_index) {
+        let mut s = sweep.borrow_mut();
+        s.in_flight -= 1;
+        drop(s);
+        live_query_pump(sim, sweep);
+        return;
+    }
+    let next = attempt + 1;
+    let mut rng = job_rng(
+        QUERY_RETRY_SALT ^ ((site_index as u64) << 8) ^ u64::from(attempt),
+        job,
+    );
+    let delay = backoff_delay(base, cap, jitter, attempt, &mut rng);
+    {
+        let inner = broker.inner.borrow();
+        inner.trace.record(
+            sim.now(),
+            Event::QueryRetry {
+                job: job.0,
+                site: site_name,
+                attempt: next,
+                delay_ns: delay.as_nanos(),
+            },
+        );
+    }
+    let sweep2 = Rc::clone(sweep);
+    sim.schedule_in(delay, move |sim| {
+        live_query_attempt(sim, sweep2, site_index, next);
+    });
 }
 
 /// LRMS walltime derived from the job's `EstimatedRuntime` (4× safety

@@ -1,6 +1,8 @@
 //! Broker configuration: the calibrated constants of the submission paths.
 
+use cg_net::FaultSchedule;
 use cg_sim::SimDuration;
+use cg_site::MembershipConfig;
 use cg_vm::AgentCosts;
 
 use crate::fairshare::FairShareConfig;
@@ -64,6 +66,37 @@ pub struct BrokerConfig {
     /// without changing which ads are collected or their order (results
     /// are always handed to selection sorted by site index).
     pub live_query_fanout: usize,
+    /// Per-attempt deadline on a live site query: an RPC that has not
+    /// answered after this long counts as failed (the response, if it
+    /// ever arrives, is ignored) and feeds the membership failure
+    /// detector. Keep this well above worst-case link queueing — sandbox
+    /// transfers share the broker↔site path with query responses — or
+    /// ordinary congestion reads as site failure.
+    pub live_query_timeout: SimDuration,
+    /// Retries after the first live-query attempt to a site, per job.
+    /// Zero disables retrying; the paper's broker effectively had an
+    /// unbounded LDAP patience — bounding it is what lets selection
+    /// degrade instead of hanging with a quiet site on the shortlist.
+    pub live_query_retries: u32,
+    /// First live-query retry delay; each further attempt doubles it.
+    pub query_backoff_base: SimDuration,
+    /// Upper bound on the live-query retry backoff.
+    pub query_backoff_max: SimDuration,
+    /// Jitter fraction on each query retry delay, drawn from the job's
+    /// own deterministic RNG stream (never the wall clock).
+    pub query_backoff_jitter: f64,
+    /// Degraded matchmaking: when the information system itself is
+    /// unreachable, fall back to the broker's last MDS snapshot — but
+    /// only while its age is at most this. Beyond the bound the job
+    /// fails as before rather than matching against ancient data.
+    pub degraded_max_staleness: SimDuration,
+    /// Membership failure-detector thresholds (missed publications and
+    /// failed live queries per site).
+    pub membership: MembershipConfig,
+    /// Outage windows on each site's MDS publication path, in site-list
+    /// order; missing entries mean the site always publishes. This is
+    /// churn-scenario input, not tuning.
+    pub publish_faults: Vec<FaultSchedule>,
     /// MDS index refresh period.
     pub index_refresh: SimDuration,
     /// Broker-side work for a direct (shared-VM) dispatch: matching the job
@@ -109,6 +142,14 @@ impl Default for BrokerConfig {
             max_resubmissions: 3,
             live_query_service_s: 0.11,
             live_query_fanout: 1,
+            live_query_timeout: SimDuration::from_secs(60),
+            live_query_retries: 2,
+            query_backoff_base: SimDuration::from_secs_f64(0.5),
+            query_backoff_max: SimDuration::from_secs(5),
+            query_backoff_jitter: 0.2,
+            degraded_max_staleness: SimDuration::from_secs(900),
+            membership: MembershipConfig::default(),
+            publish_faults: Vec::new(),
             index_refresh: SimDuration::from_secs(300),
             shared_delegation_s: 3.9,
             default_sandbox_bytes: 10_000_000,
@@ -139,5 +180,16 @@ mod tests {
         assert!(c.resubmit_backoff_base <= c.resubmit_backoff_max);
         assert!((0.0..1.0).contains(&c.resubmit_backoff_jitter));
         assert_eq!(c.selection_policy, PolicyKind::FreeCpusRank);
+        assert!(c.live_query_timeout > SimDuration::from_secs_f64(c.live_query_service_s));
+        assert!(c.query_backoff_base <= c.query_backoff_max);
+        assert!((0.0..1.0).contains(&c.query_backoff_jitter));
+        assert!(c.degraded_max_staleness >= c.index_refresh);
+        assert!(
+            c.membership.suspect_after_missed_refreshes <= c.membership.dead_after_missed_refreshes
+        );
+        assert!(
+            c.membership.suspect_after_failed_queries <= c.membership.dead_after_failed_queries
+        );
+        assert!(c.publish_faults.is_empty(), "no churn by default");
     }
 }

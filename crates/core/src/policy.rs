@@ -48,6 +48,12 @@ pub struct SiteSignals {
     /// Consecutive lease failures (dispatches that queued or failed at the
     /// site) since the last successful start there.
     pub lease_failures: u32,
+    /// Age of the site's information-index column at selection time,
+    /// seconds. Zero right after a clean MDS publication; grows while the
+    /// site's publish path is down and during degraded (stale-snapshot)
+    /// matchmaking. Signal-aware policies subtract
+    /// [`STALE_WEIGHT_PER_S`] rank units per second of it.
+    pub staleness_s: f64,
 }
 
 impl Default for SiteSignals {
@@ -57,9 +63,18 @@ impl Default for SiteSignals {
             queue_forecast: 0.0,
             rtt_s: 0.0,
             lease_failures: 0,
+            staleness_s: 0.0,
         }
     }
 }
+
+/// Rank units subtracted per second of information staleness by every
+/// signal-aware policy (`queue-forecast`, `network-proximity`,
+/// `lease-backoff`): a site whose publications stopped five minutes ago
+/// loses 3 rank units — decisive between near-equal pools, negligible
+/// against a fresh column. `free-cpus-rank` is exempt by contract (its
+/// score is the rank bit-for-bit).
+pub const STALE_WEIGHT_PER_S: f64 = 0.01;
 
 /// Signals for every site in a discovery snapshot, keyed by site index.
 /// Missing entries read as [`SiteSignals::default`].
@@ -138,7 +153,7 @@ impl SelectionPolicy for QueueForecast {
     }
 
     fn score(&self, c: &Candidate, signals: &SiteSignals) -> f64 {
-        c.rank - self.weight * signals.queue_forecast
+        c.rank - self.weight * signals.queue_forecast - STALE_WEIGHT_PER_S * signals.staleness_s
     }
 }
 
@@ -165,7 +180,7 @@ impl SelectionPolicy for NetworkProximity {
     }
 
     fn score(&self, c: &Candidate, signals: &SiteSignals) -> f64 {
-        c.rank - self.rtt_weight * signals.rtt_s
+        c.rank - self.rtt_weight * signals.rtt_s - STALE_WEIGHT_PER_S * signals.staleness_s
     }
 }
 
@@ -191,7 +206,9 @@ impl SelectionPolicy for LeaseBackoff {
     }
 
     fn score(&self, c: &Candidate, signals: &SiteSignals) -> f64 {
-        c.rank - self.penalty * f64::from(signals.lease_failures)
+        c.rank
+            - self.penalty * f64::from(signals.lease_failures)
+            - STALE_WEIGHT_PER_S * signals.staleness_s
     }
 }
 
@@ -474,6 +491,7 @@ mod tests {
             queue_forecast: 2.5,
             rtt_s: 0.030,
             lease_failures: 2,
+            staleness_s: 120.0,
         };
         for kind in PolicyKind::ALL {
             assert!(
@@ -491,6 +509,7 @@ mod tests {
             queue_forecast: 9.0,
             rtt_s: 9.0,
             lease_failures: 9,
+            staleness_s: 9_000.0,
         };
         for rank in [0.0, -1.5, 1e300, f64::NEG_INFINITY, 5e-324] {
             let c = cand(1, rank, 2);
@@ -509,6 +528,35 @@ mod tests {
         let idle = SiteSignals::default();
         let c = cand(0, 6.0, 6);
         assert!(p.score(&c, &idle) > p.score(&c, &busy));
+    }
+
+    #[test]
+    fn staleness_penalizes_every_signal_aware_policy_but_not_the_rank() {
+        let c = cand(0, 10.0, 4);
+        let fresh = SiteSignals::default();
+        let stale = SiteSignals {
+            staleness_s: 600.0,
+            ..SiteSignals::default()
+        };
+        for kind in [
+            PolicyKind::QueueForecast,
+            PolicyKind::NetworkProximity,
+            PolicyKind::LeaseBackoff,
+        ] {
+            let p = kind.policy();
+            let drop = p.score(&c, &fresh) - p.score(&c, &stale);
+            assert!(
+                (drop - STALE_WEIGHT_PER_S * 600.0).abs() < 1e-12,
+                "{}: ten stale minutes must cost {} rank units, got {drop}",
+                kind.name(),
+                STALE_WEIGHT_PER_S * 600.0
+            );
+        }
+        assert_eq!(
+            FreeCpusRank.score(&c, &stale).to_bits(),
+            10.0f64.to_bits(),
+            "free-cpus-rank stays bit-identical to the rank"
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@
 use cg_jdl::JobDescription;
 use cg_net::Link;
 use cg_sim::{Sim, SimDuration, SimTime};
-use cg_trace::replay::Phase;
+use cg_site::MembershipState;
+use cg_trace::replay::{Phase, SiteHealth};
 use cg_trace::{check_invariants, check_recovery_invariants, Event, JournalError, LoadedJournal};
 
 use crate::broker::{BrokerStats, CrossBroker, SiteHandle};
@@ -125,6 +126,18 @@ impl CrossBroker {
         broker.reserve_agent_ids(expected.agents.keys().max().map_or(0, |m| m + 1));
         for (stream, mark) in &expected.spools {
             broker.seed_spool_watermark(stream, mark.acked);
+        }
+        // Rebuild the failure detector's verdicts: sites the stream last
+        // saw Suspect/Dead stay out of matchmaking until fresh
+        // observations clear them. Counters restart clean — an ongoing
+        // outage re-accumulates evidence, an ended one rejoins on the
+        // next clean observation.
+        for (site, health) in &expected.site_health {
+            let state = match health {
+                SiteHealth::Suspect => MembershipState::Suspect,
+                SiteHealth::Dead => MembershipState::Dead,
+            };
+            broker.index().restore_membership(site, state, crash_at);
         }
         report.agents_lost = expected.agents.values().filter(|a| a.alive).count() as u64;
 

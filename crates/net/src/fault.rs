@@ -109,6 +109,17 @@ impl FaultSchedule {
         self.windows.get(i).copied()
     }
 
+    /// The next instant strictly after `t` at which the up/down state
+    /// changes: while down, the end of the current outage; while up, the
+    /// start of the next one. `None` once the schedule is exhausted — the
+    /// link stays up forever after its last window.
+    pub fn next_transition(&self, t: SimTime) -> Option<SimTime> {
+        match self.up_at(t) {
+            Some(end) => Some(end),
+            None => self.next_outage_after(t).map(|(s, _)| s),
+        }
+    }
+
     /// True if the whole span `[start, end)` is outage-free.
     pub fn clear_between(&self, start: SimTime, end: SimTime) -> bool {
         if self.is_down(start) {
@@ -259,6 +270,22 @@ mod tests {
             assert!(s < e);
             assert!(s < t(10_000));
         }
+    }
+
+    #[test]
+    fn next_transition_walks_the_edges() {
+        let f = FaultSchedule::from_windows(vec![(t(10), t(20)), (t(40), t(50))]);
+        // Up before the first window: the next flip is its start.
+        assert_eq!(f.next_transition(t(0)), Some(t(10)));
+        // Down inside a window: the flip is its end — including at the
+        // start instant itself.
+        assert_eq!(f.next_transition(t(10)), Some(t(20)));
+        assert_eq!(f.next_transition(t(19)), Some(t(20)));
+        // Up in the gap: the next window's start.
+        assert_eq!(f.next_transition(t(20)), Some(t(40)));
+        // Past the last window: the state never changes again.
+        assert_eq!(f.next_transition(t(50)), None);
+        assert_eq!(FaultSchedule::none().next_transition(t(0)), None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests on the network substrate.
 
 use cg_net::{Dir, FaultSchedule, Link, LinkProfile};
-use cg_sim::{Sim, SimTime};
+use cg_sim::{Sim, SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -17,6 +17,18 @@ fn windows_strategy() -> impl Strategy<Value = Vec<(SimTime, SimTime)>> {
 /// Reference implementation: linear scan over the raw (unmerged) windows.
 fn naive_is_down(raw: &[(SimTime, SimTime)], t: SimTime) -> bool {
     raw.iter().any(|&(s, e)| s < e && s <= t && t < e)
+}
+
+/// The canonical-shape invariant every constructor must uphold: windows
+/// sorted, non-overlapping (no touching either — touching windows merge),
+/// and `start < end`.
+fn assert_canonical(schedule: &FaultSchedule) {
+    for w in schedule.windows().windows(2) {
+        assert!(w[0].1 <= w[1].0, "overlap or disorder: {w:?}");
+    }
+    for &(s, e) in schedule.windows() {
+        assert!(s < e, "degenerate window: [{s:?}, {e:?})");
+    }
 }
 
 proptest! {
@@ -51,11 +63,64 @@ proptest! {
     #[test]
     fn merged_windows_are_canonical(raw in windows_strategy()) {
         let schedule = FaultSchedule::from_windows(raw);
-        for w in schedule.windows().windows(2) {
-            prop_assert!(w[0].1 <= w[1].0, "overlap or disorder: {w:?}");
-        }
-        for &(s, e) in schedule.windows() {
-            prop_assert!(s < e);
+        assert_canonical(&schedule);
+    }
+
+    /// Every constructor — explicit windows, periodic, random — emits the
+    /// same canonical shape: sorted, non-overlapping, `start < end`.
+    #[test]
+    fn every_constructor_is_canonical(
+        raw in windows_strategy(),
+        first in 0u64..5_000,
+        period in 0u64..600,
+        down in 0u64..600,
+        horizon in 0u64..20_000,
+        seed in any::<u64>(),
+        mean_up in 1u64..5_000,
+        mean_down in 1u64..2_000,
+    ) {
+        assert_canonical(&FaultSchedule::from_windows(raw));
+        assert_canonical(&FaultSchedule::periodic(
+            SimTime::from_secs(first),
+            SimDuration::from_secs(period),
+            SimDuration::from_secs(down),
+            SimTime::from_secs(horizon),
+        ));
+        let mut rng = SimRng::new(seed);
+        assert_canonical(&FaultSchedule::random(
+            &mut rng,
+            SimDuration::from_secs(mean_up),
+            SimDuration::from_secs(mean_down),
+            SimTime::from_secs(horizon),
+        ));
+    }
+
+    /// `next_transition` returns the earliest instant strictly after the
+    /// probe where `is_down` flips, and `None` exactly when the state
+    /// never changes again.
+    #[test]
+    fn next_transition_is_the_first_state_flip(raw in windows_strategy(), probe in 0u64..11_000) {
+        let schedule = FaultSchedule::from_windows(raw);
+        let t = SimTime::from_secs(probe);
+        let state = schedule.is_down(t);
+        match schedule.next_transition(t) {
+            None => {
+                // No flip ever again: the last window (if any) is behind us.
+                prop_assert!(!state, "a down state must always end");
+                prop_assert!(schedule
+                    .windows()
+                    .last()
+                    .is_none_or(|&(_, e)| e <= t));
+            }
+            Some(flip) => {
+                prop_assert!(flip > t);
+                prop_assert_ne!(schedule.is_down(flip), state);
+                // Nothing flips in between: windows are second-aligned
+                // here, so probing each second is exhaustive.
+                for s in probe + 1..flip.as_secs_f64() as u64 {
+                    prop_assert_eq!(schedule.is_down(SimTime::from_secs(s)), state);
+                }
+            }
         }
     }
 

@@ -18,12 +18,14 @@ mod columns;
 mod gatekeeper;
 mod lrms;
 mod mds;
+mod membership;
 mod site;
 mod wn;
 
 pub use columns::AdSnapshot;
 pub use gatekeeper::{Gatekeeper, GramCosts, GramEvent};
-pub use lrms::{LocalJobId, LocalJobSpec, Lrms, LrmsEvent, LrmsStats, Policy};
+pub use lrms::{LocalDisposition, LocalJobId, LocalJobSpec, Lrms, LrmsEvent, LrmsStats, Policy};
 pub use mds::{InformationIndex, SiteRecord};
+pub use membership::{MembershipConfig, MembershipState, MembershipTable, Transition};
 pub use site::{machine_schema, Site, SiteConfig};
 pub use wn::NodeSpec;

@@ -77,6 +77,22 @@ pub enum LrmsEvent {
     },
 }
 
+/// Where a local job is in its lifecycle, as a GRAM status poll would
+/// report it. Terminal dispositions are retained after the job leaves the
+/// queue/running tables, so a submitter whose status messages were lost to
+/// a link outage can re-learn the outcome once the path heals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalDisposition {
+    /// Waiting in the queue.
+    Queued,
+    /// Running on worker nodes.
+    Running,
+    /// Ran to completion.
+    Finished,
+    /// Killed (walltime exceeded, explicit kill, node loss).
+    Killed,
+}
+
 type Callback = Rc<dyn Fn(&mut Sim, LocalJobId, &LrmsEvent)>;
 
 struct QueuedJob {
@@ -116,6 +132,8 @@ struct Inner {
     /// actually starting on the node (fork, image activation).
     dispatch_latency: SimDuration,
     stats: LrmsStats,
+    /// Terminal dispositions of departed jobs — the poll-back record.
+    done: std::collections::HashMap<LocalJobId, LocalDisposition>,
     /// Lifecycle event sink and this scheduler's site label.
     trace: Option<(cg_trace::EventLog, String)>,
 }
@@ -143,6 +161,7 @@ impl Lrms {
                 next_seq: 0,
                 dispatch_latency,
                 stats: LrmsStats::default(),
+                done: std::collections::HashMap::new(),
                 trace: None,
             })),
         }
@@ -210,6 +229,7 @@ impl Lrms {
             if let Some(pos) = inner.queue.iter().position(|q| q.id == id) {
                 let q = inner.queue.remove(pos).expect("position was valid");
                 inner.stats.killed += 1;
+                inner.done.insert(id, LocalDisposition::Killed);
                 drop(inner);
                 self.trace_event(sim, |site| cg_trace::Event::LrmsKilled {
                     site: site.to_string(),
@@ -267,6 +287,21 @@ impl Lrms {
         self.inner.borrow().stats.clone()
     }
 
+    /// Answers a status poll for one local job: where it is now, or how it
+    /// ended. `None` for ids this LRMS never accepted. Unlike the push
+    /// notifications (which ride the broker↔site link and are dropped on
+    /// outages), this is the authoritative site-local record.
+    pub fn disposition(&self, id: LocalJobId) -> Option<LocalDisposition> {
+        let inner = self.inner.borrow();
+        if inner.queue.iter().any(|q| q.id == id) {
+            return Some(LocalDisposition::Queued);
+        }
+        if inner.running.contains_key(&id) {
+            return Some(LocalDisposition::Running);
+        }
+        inner.done.get(&id).copied()
+    }
+
     fn end_job(&self, sim: &mut Sim, id: LocalJobId, kill_reason: Option<String>) {
         let mut inner = self.inner.borrow_mut();
         let Some(job) = inner.running.remove(&id) else {
@@ -277,8 +312,10 @@ impl Lrms {
         }
         if kill_reason.is_some() {
             inner.stats.killed += 1;
+            inner.done.insert(id, LocalDisposition::Killed);
         } else {
             inner.stats.finished += 1;
+            inner.done.insert(id, LocalDisposition::Finished);
         }
         drop(inner);
         for ev in [job.finish_event, job.kill_event].into_iter().flatten() {

@@ -18,11 +18,17 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use cg_jdl::Ad;
-use cg_net::{Dir, Link, NetError};
+use cg_net::{Dir, FaultSchedule, Link, NetError};
 use cg_sim::{Sim, SimDuration, SimTime};
 
 use crate::columns::AdSnapshot;
+use crate::membership::{MembershipConfig, MembershipState, MembershipTable, Transition};
 use crate::site::Site;
+
+/// Callback invoked (after the index's own state settles) for every
+/// membership transition, refresh-driven or reported. The broker hangs
+/// its obituary/re-match logic here.
+type MembershipObserver = Rc<dyn Fn(&mut Sim, usize, &Transition)>;
 
 /// One site's entry in the index — the row-shaped compatibility view
 /// derived from the columnar snapshot by [`InformationIndex::snapshot`].
@@ -40,10 +46,20 @@ struct Inner {
     sites: Vec<Site>,
     snapshot: Arc<AdSnapshot>,
     refreshed_at: SimTime,
+    /// Per-site instant of the last publication that actually arrived;
+    /// lags `refreshed_at` for sites whose publish path was down.
+    published_at: Vec<SimTime>,
     refresh_interval: SimDuration,
     /// Index-side processing per query, seconds (LDAP search in 2006).
     query_cpu_s: f64,
     refreshes: u64,
+    /// Outage windows on each site's GRIS→GIIS publication path; a site
+    /// whose path is down at refresh time keeps its stale column and
+    /// accrues a missed refresh. Shorter than `sites` means the rest
+    /// publish cleanly.
+    publish_faults: Vec<FaultSchedule>,
+    membership: MembershipTable,
+    observer: Option<MembershipObserver>,
 }
 
 /// The aggregated index (GIIS). Clones share state.
@@ -57,15 +73,41 @@ impl InformationIndex {
     /// snapshot is taken immediately; subsequent refreshes run every
     /// `refresh_interval`.
     pub fn start(sim: &mut Sim, sites: Vec<Site>, refresh_interval: SimDuration) -> Self {
+        InformationIndex::start_with_faults(
+            sim,
+            sites,
+            refresh_interval,
+            Vec::new(),
+            MembershipConfig::default(),
+        )
+    }
+
+    /// Like [`InformationIndex::start`], but with per-site outage windows
+    /// on the publication paths and explicit failure-detector thresholds.
+    /// A site whose path is down when a refresh tick fires keeps its
+    /// previous (stale) column, keeps its old per-site `published_at`,
+    /// and accrues a missed refresh toward `Suspect`/`Dead`.
+    pub fn start_with_faults(
+        sim: &mut Sim,
+        sites: Vec<Site>,
+        refresh_interval: SimDuration,
+        publish_faults: Vec<FaultSchedule>,
+        membership: MembershipConfig,
+    ) -> Self {
         let ads: Vec<Ad> = sites.iter().map(Site::machine_ad).collect();
+        let n = sites.len();
         let index = InformationIndex {
             inner: Rc::new(RefCell::new(Inner {
                 sites,
                 snapshot: Arc::new(AdSnapshot::build(ads)),
                 refreshed_at: sim.now(),
+                published_at: vec![sim.now(); n],
                 refresh_interval,
                 query_cpu_s: 0.42,
                 refreshes: 0,
+                publish_faults,
+                membership: MembershipTable::new(n, membership),
+                observer: None,
             })),
         };
         index.schedule_refresh(sim);
@@ -76,17 +118,124 @@ impl InformationIndex {
         let this = self.clone();
         let interval = self.inner.borrow().refresh_interval;
         sim.schedule_in(interval, move |sim| {
-            {
+            let transitions = {
                 let mut inner = this.inner.borrow_mut();
-                let fresh: Vec<Ad> = inner.sites.iter().map(Site::machine_ad).collect();
+                let now = sim.now();
+                let mut transitions = Vec::new();
+                // Each site publishes independently: a down path keeps the
+                // stale column (same Arc, same epoch) and counts a miss.
+                let fresh: Vec<Ad> = inner
+                    .sites
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        if inner.publish_faults.get(i).is_some_and(|f| f.is_down(now)) {
+                            inner.snapshot.ad(i).clone()
+                        } else {
+                            s.machine_ad()
+                        }
+                    })
+                    .collect();
+                for i in 0..inner.sites.len() {
+                    let down = inner.publish_faults.get(i).is_some_and(|f| f.is_down(now));
+                    let tr = if down {
+                        inner.membership.note_refresh_missed(i, now)
+                    } else {
+                        inner.published_at[i] = now;
+                        inner.membership.note_refresh_ok(i, now)
+                    };
+                    if let Some(tr) = tr {
+                        transitions.push((i, tr));
+                    }
+                }
                 // Incremental advance: only sites whose ad changed get a new
                 // epoch; the rest share the previous snapshot's allocations.
                 inner.snapshot = Arc::new(inner.snapshot.advance(fresh));
-                inner.refreshed_at = sim.now();
+                inner.refreshed_at = now;
                 inner.refreshes += 1;
-            }
+                transitions
+            };
+            this.notify(sim, transitions);
             this.schedule_refresh(sim);
         });
+    }
+
+    /// Registers the single membership observer, replacing any previous
+    /// one. Invoked once per transition, after the index's own state has
+    /// settled, for both refresh-driven and reported observations.
+    pub fn set_membership_observer(
+        &self,
+        observer: impl Fn(&mut Sim, usize, &Transition) + 'static,
+    ) {
+        self.inner.borrow_mut().observer = Some(Rc::new(observer));
+    }
+
+    /// Feeds a live-query outcome at `site_index` into the failure
+    /// detector (`ok = false` covers both errored and timed-out RPCs) and
+    /// notifies the observer of any resulting transition.
+    pub fn report_query(&self, sim: &mut Sim, site_index: usize, ok: bool) {
+        let transition = {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            if ok {
+                inner.membership.note_query_ok(site_index, now)
+            } else {
+                inner.membership.note_query_failure(site_index, now)
+            }
+        };
+        if let Some(tr) = transition {
+            self.notify(sim, vec![(site_index, tr)]);
+        }
+    }
+
+    fn notify(&self, sim: &mut Sim, transitions: Vec<(usize, Transition)>) {
+        if transitions.is_empty() {
+            return;
+        }
+        let observer = self.inner.borrow().observer.clone();
+        if let Some(observer) = observer {
+            for (i, tr) in transitions {
+                observer(sim, i, &tr);
+            }
+        }
+    }
+
+    /// The site's current membership state.
+    pub fn membership_state(&self, site_index: usize) -> MembershipState {
+        self.inner.borrow().membership.state(site_index)
+    }
+
+    /// Crash recovery: seeds a site's membership state (by name) from a
+    /// journal fold. Unknown names are ignored; no transition is
+    /// notified — restoration is bookkeeping, not an observation.
+    pub fn restore_membership(&self, site: &str, state: MembershipState, now: SimTime) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(i) = inner.sites.iter().position(|s| s.name() == site) {
+            inner.membership.restore(i, state, now);
+        }
+    }
+
+    /// May the broker lease or dispatch onto this site right now?
+    pub fn is_schedulable(&self, site_index: usize) -> bool {
+        self.inner.borrow().membership.is_schedulable(site_index)
+    }
+
+    /// Instant of the site's last publication that actually arrived.
+    pub fn published_at(&self, site_index: usize) -> SimTime {
+        self.inner.borrow().published_at[site_index]
+    }
+
+    /// Age of the site's column at `now` — how stale matchmaking data for
+    /// this site is. Zero right after a clean refresh; grows across
+    /// missed publications.
+    pub fn staleness(&self, site_index: usize, now: SimTime) -> SimDuration {
+        now.saturating_since(self.inner.borrow().published_at[site_index])
+    }
+
+    /// When the last refresh cycle ran (whether or not every site's
+    /// publication arrived).
+    pub fn refreshed_at(&self) -> SimTime {
+        self.inner.borrow().refreshed_at
     }
 
     /// Queries the index over `link` (the broker→MDS path). The response
@@ -145,7 +294,7 @@ impl InformationIndex {
             .map(|(i, s)| SiteRecord {
                 site: s.name().to_string(),
                 ad: inner.snapshot.ad(i).clone(),
-                published_at: inner.refreshed_at,
+                published_at: inner.published_at[i],
             })
             .collect()
     }
@@ -257,6 +406,102 @@ mod tests {
             assert_eq!(*idx, i);
             assert_eq!(ad.get("FreeCpus").unwrap(), &Value::Int(1 + i as i64));
         }
+    }
+
+    #[test]
+    fn a_down_publish_path_keeps_the_stale_column_and_drives_membership() {
+        let mut sim = Sim::new(5);
+        let flaky = test_site(&mut sim, "flaky", 2);
+        let steady = test_site(&mut sim, "steady", 2);
+        // flaky's publication path is down for the first three refreshes
+        // (t=300, 600, 900), back for t=1200 onward.
+        let faults =
+            FaultSchedule::from_windows(vec![(SimTime::from_secs(200), SimTime::from_secs(1000))]);
+        let index = InformationIndex::start_with_faults(
+            &mut sim,
+            vec![flaky.clone(), steady],
+            SimDuration::from_secs(300),
+            vec![faults],
+            MembershipConfig::default(),
+        );
+        let seen: Rc<RefCell<Vec<(usize, Transition)>>> = Rc::new(RefCell::new(Vec::new()));
+        let s = Rc::clone(&seen);
+        index.set_membership_observer(move |_, i, tr| s.borrow_mut().push((i, *tr)));
+
+        // Occupy a node so flaky's ad actually changes under the outage.
+        flaky.lrms().submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(10_000)),
+            |_, _, _| {},
+        );
+        sim.run_until(SimTime::from_secs(901));
+        // Three missed refreshes: Suspect, column still showing the
+        // initial 2 free CPUs.
+        assert_eq!(index.membership_state(0), MembershipState::Suspect);
+        assert!(!index.is_schedulable(0));
+        assert_eq!(index.snapshot_arc().free_cpus(0), 2, "column is stale");
+        assert_eq!(index.published_at(0), SimTime::ZERO);
+        assert_eq!(
+            index.staleness(0, SimTime::from_secs(900)),
+            SimDuration::from_secs(900)
+        );
+        assert_eq!(index.membership_state(1), MembershipState::Alive);
+        assert_eq!(index.staleness(1, index.refreshed_at()), SimDuration::ZERO);
+
+        // Path restored: the next refresh publishes, rejoins, and the
+        // column catches up.
+        sim.run_until(SimTime::from_secs(1201));
+        assert_eq!(index.membership_state(0), MembershipState::Rejoined);
+        assert!(index.is_schedulable(0));
+        assert_eq!(index.snapshot_arc().free_cpus(0), 1);
+        // Probation: two clean refreshes promote back to Alive.
+        sim.run_until(SimTime::from_secs(1801));
+        assert_eq!(index.membership_state(0), MembershipState::Alive);
+
+        let seen = seen.borrow();
+        assert!(
+            matches!(
+                seen.as_slice(),
+                [
+                    (1, Transition::Joined),
+                    (0, Transition::Suspected { .. }),
+                    (0, Transition::Rejoined { .. }),
+                    (0, Transition::Stabilized),
+                ]
+            ),
+            "{seen:?}"
+        );
+    }
+
+    #[test]
+    fn reported_query_failures_reach_the_observer() {
+        let mut sim = Sim::new(6);
+        let site = test_site(&mut sim, "x", 1);
+        let index = InformationIndex::start_with_faults(
+            &mut sim,
+            vec![site],
+            SimDuration::from_secs(300),
+            Vec::new(),
+            MembershipConfig {
+                suspect_after_failed_queries: 2,
+                ..MembershipConfig::default()
+            },
+        );
+        let seen: Rc<RefCell<Vec<(usize, Transition)>>> = Rc::new(RefCell::new(Vec::new()));
+        let s = Rc::clone(&seen);
+        index.set_membership_observer(move |_, i, tr| s.borrow_mut().push((i, *tr)));
+        index.report_query(&mut sim, 0, false);
+        index.report_query(&mut sim, 0, false);
+        assert_eq!(index.membership_state(0), MembershipState::Suspect);
+        index.report_query(&mut sim, 0, true);
+        assert_eq!(index.membership_state(0), MembershipState::Rejoined);
+        assert!(matches!(
+            seen.borrow().as_slice(),
+            [
+                (0, Transition::Suspected { .. }),
+                (0, Transition::Rejoined { .. })
+            ]
+        ));
     }
 
     #[test]

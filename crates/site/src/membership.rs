@@ -1,0 +1,470 @@
+//! Site membership lifecycle — the grid's failure detector.
+//!
+//! Grid sites churn: MDS publications stop arriving when a site's GRIS
+//! falls over, live status queries time out when its gatekeeper link
+//! drops, and sites come back after rolling upgrades. The broker must
+//! keep matchmaking through all of it without dispatching onto hosts it
+//! has itself declared unreachable.
+//!
+//! Each site in the information index carries a five-state machine:
+//!
+//! ```text
+//! Joining ──ok──▶ Alive ──misses/failures──▶ Suspect ──more──▶ Dead
+//!                   ▲                           │                │
+//!                   │ probation refreshes       └────ok──▶ Rejoined
+//!                   └───────────────────────────────────────────┘
+//! ```
+//!
+//! Transitions are driven by two deterministic signals, both on sim
+//! time: *missed MDS refreshes* (the index's refresh tick found the
+//! site's publication path down) and *failed live queries* (the broker
+//! reported an errored or timed-out per-site status RPC). Recovery runs
+//! through `Rejoined`, a probation state that is schedulable but only
+//! promotes back to `Alive` after a configurable number of clean
+//! refreshes — a flapping site keeps cycling Suspect ⇄ Rejoined instead
+//! of oscillating in and out of full membership.
+//!
+//! The machine is pure bookkeeping: it holds no clock and emits no
+//! events itself. Callers feed observations in and receive
+//! [`Transition`] values out; the broker turns those into trace
+//! obituaries (`SiteSuspect` / `SiteDead` / `SiteRejoin`) and reacts —
+//! re-matching in-flight work away from the dead site and resetting its
+//! failure streaks on rejoin.
+
+use cg_sim::SimTime;
+
+/// Where a site stands in the membership lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipState {
+    /// Registered but not yet confirmed by a clean refresh. Schedulable
+    /// (optimistic bootstrap: the initial index snapshot is taken
+    /// synchronously, before any refresh has had a chance to run).
+    Joining,
+    /// Healthy, full member.
+    Alive,
+    /// Missing refreshes or failing queries; withheld from matchmaking
+    /// until it proves itself again.
+    Suspect,
+    /// Declared gone. In-flight work is re-matched elsewhere; nothing
+    /// new lands here.
+    Dead,
+    /// Back from Suspect/Dead, on probation: schedulable again, but a
+    /// relapse sends it straight back without passing through Alive.
+    Rejoined,
+}
+
+impl MembershipState {
+    /// May the broker lease or dispatch onto a site in this state?
+    /// Exactly the invariant the trace checker enforces: never onto
+    /// `Suspect` or `Dead`.
+    #[must_use]
+    pub fn is_schedulable(self) -> bool {
+        !matches!(self, MembershipState::Suspect | MembershipState::Dead)
+    }
+
+    /// Stable display name (matches the trace event kinds).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MembershipState::Joining => "Joining",
+            MembershipState::Alive => "Alive",
+            MembershipState::Suspect => "Suspect",
+            MembershipState::Dead => "Dead",
+            MembershipState::Rejoined => "Rejoined",
+        }
+    }
+}
+
+/// Thresholds of the failure detector. All counts of consecutive
+/// observations; everything is deterministic on the observation order.
+#[derive(Debug, Clone, Copy)]
+pub struct MembershipConfig {
+    /// Consecutive missed MDS refreshes before a site turns `Suspect`.
+    pub suspect_after_missed_refreshes: u32,
+    /// Consecutive failed/timed-out live queries before `Suspect`.
+    pub suspect_after_failed_queries: u32,
+    /// Consecutive missed refreshes before `Suspect` hardens to `Dead`.
+    pub dead_after_missed_refreshes: u32,
+    /// Consecutive failed live queries before `Dead`.
+    pub dead_after_failed_queries: u32,
+    /// Clean refreshes a `Rejoined` site must survive before it counts
+    /// as fully `Alive` again.
+    pub rejoin_probation_refreshes: u32,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            suspect_after_missed_refreshes: 2,
+            suspect_after_failed_queries: 3,
+            dead_after_missed_refreshes: 4,
+            dead_after_failed_queries: 6,
+            rejoin_probation_refreshes: 2,
+        }
+    }
+}
+
+/// A state change worth reacting to, returned by the `note_*` methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// `Joining → Alive`: first clean observation.
+    Joined,
+    /// `{Joining, Alive, Rejoined} → Suspect`. Carries the counter
+    /// values that crossed the threshold (for the trace obituary).
+    Suspected {
+        /// Consecutive missed refreshes at the moment of suspicion.
+        missed_refreshes: u32,
+        /// Consecutive failed live queries at the moment of suspicion.
+        failed_queries: u32,
+    },
+    /// `Suspect → Dead` (or a straight plunge past both thresholds).
+    Died,
+    /// `{Suspect, Dead} → Rejoined`. Carries when the outage began.
+    Rejoined {
+        /// Instant the site first turned unhealthy.
+        down_since: SimTime,
+    },
+    /// `Rejoined → Alive`: probation served.
+    Stabilized,
+}
+
+/// One site's detector state.
+#[derive(Debug, Clone)]
+struct SiteMembership {
+    state: MembershipState,
+    missed_refreshes: u32,
+    failed_queries: u32,
+    /// Set on the healthy → unhealthy edge, cleared on rejoin.
+    down_since: Option<SimTime>,
+    /// Clean refreshes seen while `Rejoined`.
+    probation: u32,
+}
+
+impl SiteMembership {
+    fn new() -> Self {
+        SiteMembership {
+            state: MembershipState::Joining,
+            missed_refreshes: 0,
+            failed_queries: 0,
+            down_since: None,
+            probation: 0,
+        }
+    }
+}
+
+/// The failure detector for every site in an information index, keyed by
+/// site index (the same index order the broker and `AdSnapshot` use).
+#[derive(Debug, Clone)]
+pub struct MembershipTable {
+    config: MembershipConfig,
+    sites: Vec<SiteMembership>,
+}
+
+impl MembershipTable {
+    /// A table of `n` sites, all `Joining`.
+    #[must_use]
+    pub fn new(n: usize, config: MembershipConfig) -> Self {
+        MembershipTable {
+            config,
+            sites: (0..n).map(|_| SiteMembership::new()).collect(),
+        }
+    }
+
+    /// Number of tracked sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True when no sites are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The site's current state.
+    #[must_use]
+    pub fn state(&self, site_index: usize) -> MembershipState {
+        self.sites[site_index].state
+    }
+
+    /// May the broker lease or dispatch onto this site right now?
+    #[must_use]
+    pub fn is_schedulable(&self, site_index: usize) -> bool {
+        self.sites[site_index].state.is_schedulable()
+    }
+
+    /// The site's publication arrived on this refresh tick. The
+    /// publication is the site's own heartbeat, so it amnesties *both*
+    /// streaks: a site declared unhealthy purely by failed queries would
+    /// otherwise never rehabilitate once the broker stops probing it.
+    /// (The converse does not hold — a query success proves only the
+    /// broker→gatekeeper path and clears only the query streak.)
+    pub fn note_refresh_ok(&mut self, site_index: usize, now: SimTime) -> Option<Transition> {
+        self.sites[site_index].missed_refreshes = 0;
+        self.sites[site_index].failed_queries = 0;
+        self.recover(site_index, now, true)
+    }
+
+    /// The site's publication path was down on this refresh tick.
+    pub fn note_refresh_missed(&mut self, site_index: usize, now: SimTime) -> Option<Transition> {
+        let m = &mut self.sites[site_index];
+        m.missed_refreshes = m.missed_refreshes.saturating_add(1);
+        self.degrade(site_index, now)
+    }
+
+    /// A live status query to the site completed cleanly.
+    pub fn note_query_ok(&mut self, site_index: usize, now: SimTime) -> Option<Transition> {
+        self.sites[site_index].failed_queries = 0;
+        self.recover(site_index, now, false)
+    }
+
+    /// A live status query to the site errored or timed out.
+    pub fn note_query_failure(&mut self, site_index: usize, now: SimTime) -> Option<Transition> {
+        let m = &mut self.sites[site_index];
+        m.failed_queries = m.failed_queries.saturating_add(1);
+        self.degrade(site_index, now)
+    }
+
+    /// Crash recovery: seeds a site's detector state directly, bypassing
+    /// the observation counters (which died with the broker). An
+    /// unhealthy state gets `down_since = now`; counters start clean, so
+    /// an ongoing outage re-accumulates evidence while an ended one
+    /// rejoins on the next clean observation.
+    pub fn restore(&mut self, site_index: usize, state: MembershipState, now: SimTime) {
+        let m = &mut self.sites[site_index];
+        m.state = state;
+        m.missed_refreshes = 0;
+        m.failed_queries = 0;
+        m.probation = 0;
+        m.down_since = if state.is_schedulable() {
+            None
+        } else {
+            Some(now)
+        };
+    }
+
+    /// Applies the degradation thresholds after a bad observation.
+    fn degrade(&mut self, site_index: usize, now: SimTime) -> Option<Transition> {
+        let cfg = self.config;
+        let m = &mut self.sites[site_index];
+        let dead = m.missed_refreshes >= cfg.dead_after_missed_refreshes
+            || m.failed_queries >= cfg.dead_after_failed_queries;
+        let suspect = m.missed_refreshes >= cfg.suspect_after_missed_refreshes
+            || m.failed_queries >= cfg.suspect_after_failed_queries;
+        if dead && m.state != MembershipState::Dead {
+            m.down_since.get_or_insert(now);
+            m.state = MembershipState::Dead;
+            return Some(Transition::Died);
+        }
+        if suspect && m.state.is_schedulable() {
+            m.down_since.get_or_insert(now);
+            m.state = MembershipState::Suspect;
+            return Some(Transition::Suspected {
+                missed_refreshes: m.missed_refreshes,
+                failed_queries: m.failed_queries,
+            });
+        }
+        None
+    }
+
+    /// Applies the recovery edges after a clean observation.
+    /// `refresh` marks refresh-driven observations, the only ones that
+    /// advance rejoin probation (query successes prove the gatekeeper
+    /// path, but membership is confirmed by the publication cycle).
+    fn recover(&mut self, site_index: usize, now: SimTime, refresh: bool) -> Option<Transition> {
+        let cfg = self.config;
+        let m = &mut self.sites[site_index];
+        match m.state {
+            MembershipState::Joining => {
+                m.state = MembershipState::Alive;
+                Some(Transition::Joined)
+            }
+            MembershipState::Suspect | MembershipState::Dead
+                if m.missed_refreshes < cfg.suspect_after_missed_refreshes
+                    && m.failed_queries < cfg.suspect_after_failed_queries =>
+            {
+                m.state = MembershipState::Rejoined;
+                m.probation = 0;
+                Some(Transition::Rejoined {
+                    down_since: m.down_since.take().unwrap_or(now),
+                })
+            }
+            MembershipState::Rejoined if refresh => {
+                m.probation = m.probation.saturating_add(1);
+                if m.probation >= cfg.rejoin_probation_refreshes {
+                    m.state = MembershipState::Alive;
+                    Some(Transition::Stabilized)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn table() -> MembershipTable {
+        MembershipTable::new(2, MembershipConfig::default())
+    }
+
+    #[test]
+    fn joining_promotes_on_first_clean_observation() {
+        let mut m = table();
+        assert_eq!(m.state(0), MembershipState::Joining);
+        assert!(m.is_schedulable(0), "bootstrap is optimistic");
+        assert_eq!(m.note_refresh_ok(0, t(300)), Some(Transition::Joined));
+        assert_eq!(m.state(0), MembershipState::Alive);
+        // A query success promotes too (it is a clean observation).
+        assert_eq!(m.note_query_ok(1, t(10)), Some(Transition::Joined));
+    }
+
+    #[test]
+    fn missed_refreshes_walk_alive_to_suspect_to_dead() {
+        let mut m = table();
+        m.note_refresh_ok(0, t(0));
+        assert_eq!(m.note_refresh_missed(0, t(300)), None);
+        assert_eq!(
+            m.note_refresh_missed(0, t(600)),
+            Some(Transition::Suspected {
+                missed_refreshes: 2,
+                failed_queries: 0
+            })
+        );
+        assert!(!m.is_schedulable(0));
+        assert_eq!(m.note_refresh_missed(0, t(900)), None, "still suspect");
+        assert_eq!(m.note_refresh_missed(0, t(1200)), Some(Transition::Died));
+        assert_eq!(m.state(0), MembershipState::Dead);
+        assert_eq!(m.note_refresh_missed(0, t(1500)), None, "dead is sticky");
+    }
+
+    #[test]
+    fn failed_queries_suspect_and_kill_on_their_own_thresholds() {
+        let mut m = table();
+        m.note_refresh_ok(0, t(0));
+        assert_eq!(m.note_query_failure(0, t(1)), None);
+        assert_eq!(m.note_query_failure(0, t(2)), None);
+        assert!(matches!(
+            m.note_query_failure(0, t(3)),
+            Some(Transition::Suspected {
+                failed_queries: 3,
+                ..
+            })
+        ));
+        for i in 4..6 {
+            assert_eq!(m.note_query_failure(0, t(i)), None);
+        }
+        assert_eq!(m.note_query_failure(0, t(6)), Some(Transition::Died));
+    }
+
+    #[test]
+    fn rejoin_runs_probation_before_alive() {
+        let mut m = table();
+        m.note_refresh_ok(0, t(0));
+        m.note_refresh_missed(0, t(300));
+        m.note_refresh_missed(0, t(600)); // -> Suspect at 600
+        assert_eq!(
+            m.note_refresh_ok(0, t(900)),
+            Some(Transition::Rejoined { down_since: t(600) })
+        );
+        assert_eq!(m.state(0), MembershipState::Rejoined);
+        assert!(m.is_schedulable(0), "probation is schedulable");
+        assert_eq!(m.note_refresh_ok(0, t(1200)), None, "one clean refresh");
+        assert_eq!(m.note_refresh_ok(0, t(1500)), Some(Transition::Stabilized));
+        assert_eq!(m.state(0), MembershipState::Alive);
+    }
+
+    #[test]
+    fn query_success_rejoins_but_does_not_advance_probation() {
+        let mut m = table();
+        m.note_refresh_ok(0, t(0));
+        for i in 0..6 {
+            m.note_query_failure(0, t(i));
+        }
+        assert_eq!(m.state(0), MembershipState::Dead);
+        assert!(matches!(
+            m.note_query_ok(0, t(10)),
+            Some(Transition::Rejoined { .. })
+        ));
+        // Query successes alone never finish probation.
+        for i in 11..20 {
+            assert_eq!(m.note_query_ok(0, t(i)), None);
+        }
+        assert_eq!(m.state(0), MembershipState::Rejoined);
+    }
+
+    #[test]
+    fn a_flapping_site_relapses_from_rejoined_without_reaching_alive() {
+        let mut m = table();
+        m.note_refresh_ok(0, t(0));
+        m.note_refresh_missed(0, t(300));
+        m.note_refresh_missed(0, t(600)); // Suspect
+        m.note_refresh_ok(0, t(900)); // Rejoined
+        m.note_refresh_missed(0, t(1200));
+        assert!(matches!(
+            m.note_refresh_missed(0, t(1500)),
+            Some(Transition::Suspected { .. })
+        ));
+        assert_eq!(m.state(0), MembershipState::Suspect);
+    }
+
+    #[test]
+    fn rejoin_requires_the_other_counter_to_be_healthy_too() {
+        let mut m = table();
+        m.note_refresh_ok(0, t(0));
+        // Suspect via queries, while refreshes also start missing.
+        for i in 0..3 {
+            m.note_query_failure(0, t(i));
+        }
+        m.note_refresh_missed(0, t(300));
+        m.note_refresh_missed(0, t(600));
+        // A query success resets the query streak, but the refresh streak
+        // is still past threshold: no rejoin yet.
+        assert_eq!(m.note_query_ok(0, t(700)), None);
+        assert_eq!(m.state(0), MembershipState::Suspect);
+        // A clean refresh clears the remaining streak and rejoins.
+        assert!(matches!(
+            m.note_refresh_ok(0, t(900)),
+            Some(Transition::Rejoined { .. })
+        ));
+    }
+
+    #[test]
+    fn a_clean_refresh_amnesties_a_query_killed_site() {
+        let mut m = table();
+        m.note_refresh_ok(0, t(0));
+        for i in 0..6 {
+            m.note_query_failure(0, t(i));
+        }
+        assert_eq!(m.state(0), MembershipState::Dead);
+        // No more queries reach a dead site, but its publications resume:
+        // the heartbeat clears the query streak and rejoins it.
+        assert!(matches!(
+            m.note_refresh_ok(0, t(300)),
+            Some(Transition::Rejoined { .. })
+        ));
+    }
+
+    #[test]
+    fn down_since_survives_the_suspect_to_dead_walk() {
+        let mut m = table();
+        m.note_refresh_ok(0, t(0));
+        m.note_refresh_missed(0, t(300));
+        m.note_refresh_missed(0, t(600)); // Suspect at 600
+        m.note_refresh_missed(0, t(900));
+        m.note_refresh_missed(0, t(1200)); // Dead
+        assert_eq!(
+            m.note_refresh_ok(0, t(1500)),
+            Some(Transition::Rejoined { down_since: t(600) }),
+            "the outage began at first suspicion, not at death"
+        );
+    }
+}

@@ -410,6 +410,49 @@ pub fn encode_event(ev: &TimedEvent, out: &mut Vec<u8>) {
             put_str(out, site);
             put_f64(out, *score);
         }
+        Event::SiteSuspect {
+            site,
+            missed_refreshes,
+            failed_queries,
+        } => {
+            put_u8(out, 43);
+            put_str(out, site);
+            put_u32(out, *missed_refreshes);
+            put_u32(out, *failed_queries);
+        }
+        Event::SiteDead { site, in_flight } => {
+            put_u8(out, 44);
+            put_str(out, site);
+            put_u32(out, *in_flight);
+        }
+        Event::SiteRejoin { site, down_ns } => {
+            put_u8(out, 45);
+            put_str(out, site);
+            put_u64(out, *down_ns);
+        }
+        Event::LiveQueryTimeout { job, site, attempt } => {
+            put_u8(out, 46);
+            put_u64(out, *job);
+            put_str(out, site);
+            put_u32(out, *attempt);
+        }
+        Event::QueryRetry {
+            job,
+            site,
+            attempt,
+            delay_ns,
+        } => {
+            put_u8(out, 47);
+            put_u64(out, *job);
+            put_str(out, site);
+            put_u32(out, *attempt);
+            put_u64(out, *delay_ns);
+        }
+        Event::DegradedMatch { job, staleness_ns } => {
+            put_u8(out, 48);
+            put_u64(out, *job);
+            put_u64(out, *staleness_ns);
+        }
     }
 }
 
@@ -573,6 +616,34 @@ pub fn decode_event(buf: &[u8]) -> Result<TimedEvent, CodecError> {
             site: c.str()?,
             score: c.f64()?,
         },
+        43 => Event::SiteSuspect {
+            site: c.str()?,
+            missed_refreshes: c.u32()?,
+            failed_queries: c.u32()?,
+        },
+        44 => Event::SiteDead {
+            site: c.str()?,
+            in_flight: c.u32()?,
+        },
+        45 => Event::SiteRejoin {
+            site: c.str()?,
+            down_ns: c.u64()?,
+        },
+        46 => Event::LiveQueryTimeout {
+            job: c.u64()?,
+            site: c.str()?,
+            attempt: c.u32()?,
+        },
+        47 => Event::QueryRetry {
+            job: c.u64()?,
+            site: c.str()?,
+            attempt: c.u32()?,
+            delay_ns: c.u64()?,
+        },
+        48 => Event::DegradedMatch {
+            job: c.u64()?,
+            staleness_ns: c.u64()?,
+        },
         other => return Err(CodecError::BadTag(other)),
     };
     if !c.is_empty() {
@@ -725,6 +796,34 @@ mod tests {
                 policy: "queue-forecast".into(),
                 site: "ifca".into(),
                 score: 5.75,
+            },
+            Event::SiteSuspect {
+                site: "cesga".into(),
+                missed_refreshes: 2,
+                failed_queries: 1,
+            },
+            Event::SiteDead {
+                site: "cesga".into(),
+                in_flight: 3,
+            },
+            Event::SiteRejoin {
+                site: "cesga".into(),
+                down_ns: 600_000_000_000,
+            },
+            Event::LiveQueryTimeout {
+                job: 7,
+                site: "cesga".into(),
+                attempt: 1,
+            },
+            Event::QueryRetry {
+                job: 7,
+                site: "cesga".into(),
+                attempt: 2,
+                delay_ns: 2_000_000_000,
+            },
+            Event::DegradedMatch {
+                job: 7,
+                staleness_ns: 180_000_000_000,
             },
         ]
     }

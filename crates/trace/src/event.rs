@@ -319,6 +319,65 @@ pub enum Event {
         reason: String,
     },
 
+    // ── site membership & degradation ───────────────────────────────────
+    /// Missed MDS refreshes or failed/timed-out live queries put a site on
+    /// probation: running work keeps going, but no new lease or dispatch
+    /// may land on it until it answers again.
+    SiteSuspect {
+        /// Site name.
+        site: String,
+        /// Consecutive missed MDS refreshes at the transition.
+        missed_refreshes: u32,
+        /// Consecutive failed or timed-out live queries at the transition.
+        failed_queries: u32,
+    },
+    /// Obituary: the suspect site stayed quiet past the dead threshold.
+    /// Its capacity lease is revoked and in-flight jobs are re-matched
+    /// without burning resubmission budget.
+    SiteDead {
+        /// Site name.
+        site: String,
+        /// Broker jobs in flight on the site when it was declared dead.
+        in_flight: u32,
+    },
+    /// A `Suspect`/`Dead` site answered again: it is `Alive` and eligible
+    /// for leases, and its failure streaks are forgiven.
+    SiteRejoin {
+        /// Site name.
+        site: String,
+        /// Time spent outside `Alive`, nanoseconds.
+        down_ns: u64,
+    },
+    /// A live per-site query exceeded its per-attempt timeout budget.
+    LiveQueryTimeout {
+        /// Broker job id whose matchmaking issued the query.
+        job: u64,
+        /// Queried site.
+        site: String,
+        /// 1-based attempt that timed out.
+        attempt: u32,
+    },
+    /// A failed or timed-out live query will be re-run after a bounded,
+    /// jittered, per-job-seeded backoff delay.
+    QueryRetry {
+        /// Broker job id.
+        job: u64,
+        /// Queried site.
+        site: String,
+        /// 1-based attempt about to be re-run.
+        attempt: u32,
+        /// Jittered delay before the retry, nanoseconds.
+        delay_ns: u64,
+    },
+    /// The information system was unreachable; matchmaking fell back to
+    /// the last staleness-bounded `AdSnapshot` instead of failing the job.
+    DegradedMatch {
+        /// Broker job id matched from stale data.
+        job: u64,
+        /// Age of the snapshot that served the match, nanoseconds.
+        staleness_ns: u64,
+    },
+
     // ── crash recovery ──────────────────────────────────────────────────
     /// A fresh broker finished replaying a journal and re-armed in-flight
     /// work. First event of a post-crash epoch.
@@ -401,6 +460,12 @@ impl Event {
             Event::LrmsStarted { .. } => "LrmsStarted",
             Event::LrmsFinished { .. } => "LrmsFinished",
             Event::LrmsKilled { .. } => "LrmsKilled",
+            Event::SiteSuspect { .. } => "SiteSuspect",
+            Event::SiteDead { .. } => "SiteDead",
+            Event::SiteRejoin { .. } => "SiteRejoin",
+            Event::LiveQueryTimeout { .. } => "LiveQueryTimeout",
+            Event::QueryRetry { .. } => "QueryRetry",
+            Event::DegradedMatch { .. } => "DegradedMatch",
             Event::BrokerRecovered { .. } => "BrokerRecovered",
             Event::Measurement { .. } => "Measurement",
         }
@@ -596,6 +661,43 @@ impl Event {
                 str_field(out, "site", site);
                 let _ = write!(out, ",\"job\":{job}");
                 str_field(out, "reason", reason);
+            }
+            Event::SiteSuspect {
+                site,
+                missed_refreshes,
+                failed_queries,
+            } => {
+                str_field(out, "site", site);
+                let _ = write!(
+                    out,
+                    ",\"missed_refreshes\":{missed_refreshes},\"failed_queries\":{failed_queries}"
+                );
+            }
+            Event::SiteDead { site, in_flight } => {
+                str_field(out, "site", site);
+                let _ = write!(out, ",\"in_flight\":{in_flight}");
+            }
+            Event::SiteRejoin { site, down_ns } => {
+                str_field(out, "site", site);
+                let _ = write!(out, ",\"down_ns\":{down_ns}");
+            }
+            Event::LiveQueryTimeout { job, site, attempt } => {
+                let _ = write!(out, ",\"job\":{job}");
+                str_field(out, "site", site);
+                let _ = write!(out, ",\"attempt\":{attempt}");
+            }
+            Event::QueryRetry {
+                job,
+                site,
+                attempt,
+                delay_ns,
+            } => {
+                let _ = write!(out, ",\"job\":{job}");
+                str_field(out, "site", site);
+                let _ = write!(out, ",\"attempt\":{attempt},\"delay_ns\":{delay_ns}");
+            }
+            Event::DegradedMatch { job, staleness_ns } => {
+                let _ = write!(out, ",\"job\":{job},\"staleness_ns\":{staleness_ns}");
             }
             Event::BrokerRecovered {
                 jobs,

@@ -32,25 +32,43 @@ use crate::replay::ReplayState;
 ///    never acquires a lease or dispatches anywhere in the stream; the
 ///    broker must not run matchmaking on an ad it refused.
 ///
+/// 5b (companion to rule 5): **no traffic to the sick** — once a site is
+/// declared `SiteSuspect` or `SiteDead`, no `LeaseGranted` /
+/// `JobDispatched` whose target is `site:<name>` may land on it until a
+/// `SiteRejoin` clears the obituary; the broker must route around
+/// membership it has itself declared unhealthy.
+///
 /// The caller should pass a snapshot whose ring has not dropped events
 /// ([`crate::EventLog::dropped`] == 0); on a truncated stream the checker
 /// can report spurious lease/yield violations.
 pub fn check_invariants(events: &[TimedEvent]) -> Vec<String> {
     let mut violations = Vec::new();
 
-    // 1 + 2 + 5: single forward pass.
+    // 1 + 2 + 5 + 5b: single forward pass.
     let mut leased: HashSet<u64> = HashSet::new();
     let mut terminal: HashMap<u64, &'static str> = HashMap::new();
     let mut rejected: HashSet<u64> = HashSet::new();
+    // 5b: sites currently under an obituary (Suspect or Dead, not yet
+    // rejoined), mapped to the state that put them there.
+    let mut unhealthy: HashMap<&str, &'static str> = HashMap::new();
     // 3: per-stream high-water marks.
     let mut appended: HashMap<&str, u64> = HashMap::new();
     for ev in events {
         match &ev.event {
-            Event::LeaseGranted { job, .. } => {
+            Event::LeaseGranted { job, target, .. } => {
                 leased.insert(*job);
                 if rejected.contains(job) {
                     violations.push(format!(
                         "job {job} granted a lease at {}s after JdlRejected",
+                        ev.at.as_secs_f64()
+                    ));
+                }
+                if let Some(state) = target
+                    .strip_prefix("site:")
+                    .and_then(|site| unhealthy.get(site))
+                {
+                    violations.push(format!(
+                        "job {job} granted a lease on {target} at {}s while the site is {state}",
                         ev.at.as_secs_f64()
                     ));
                 }
@@ -68,6 +86,24 @@ pub fn check_invariants(events: &[TimedEvent]) -> Vec<String> {
                         ev.at.as_secs_f64()
                     ));
                 }
+                if let Some(state) = target
+                    .strip_prefix("site:")
+                    .and_then(|site| unhealthy.get(site))
+                {
+                    violations.push(format!(
+                        "job {job} dispatched to {target} at {}s while the site is {state}",
+                        ev.at.as_secs_f64()
+                    ));
+                }
+            }
+            Event::SiteSuspect { site, .. } => {
+                unhealthy.insert(site.as_str(), "SiteSuspect");
+            }
+            Event::SiteDead { site, .. } => {
+                unhealthy.insert(site.as_str(), "SiteDead");
+            }
+            Event::SiteRejoin { site, .. } => {
+                unhealthy.remove(site.as_str());
             }
             Event::JdlRejected { job, .. } => {
                 if leased.contains(job) {
@@ -189,6 +225,9 @@ pub fn check_recovery_invariants(
     }
     if refolded.spools != expected.spools {
         violations.push("replay fold is not idempotent over the spool watermarks".into());
+    }
+    if refolded.site_health != expected.site_health {
+        violations.push("replay fold is not idempotent over the site-health registry".into());
     }
 
     // 6b: the broker's reconstruction matches the stream.
@@ -396,6 +435,57 @@ mod tests {
         let v = check_invariants(&s);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("second terminal state"), "{v:?}");
+    }
+
+    #[test]
+    fn traffic_to_a_suspect_or_dead_site_is_flagged_until_rejoin() {
+        let site_lease = |job| Event::LeaseGranted {
+            job,
+            target: "site:cesga".into(),
+            until_ns: 0,
+        };
+        let site_dispatch = |job| Event::JobDispatched {
+            job,
+            target: "site:cesga".into(),
+        };
+        let suspect = Event::SiteSuspect {
+            site: "cesga".into(),
+            missed_refreshes: 2,
+            failed_queries: 1,
+        };
+        let dead = Event::SiteDead {
+            site: "cesga".into(),
+            in_flight: 0,
+        };
+        let rejoin = Event::SiteRejoin {
+            site: "cesga".into(),
+            down_ns: 90_000_000_000,
+        };
+        // Lease before the obituary: clean.
+        let s = stream(vec![site_lease(1), site_dispatch(1), suspect.clone()]);
+        assert!(check_invariants(&s).is_empty());
+        // Lease + dispatch while suspect: both flagged.
+        let s = stream(vec![suspect.clone(), site_lease(1), site_dispatch(1)]);
+        let v = check_invariants(&s);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("SiteSuspect"), "{v:?}");
+        // Dead supersedes suspect in the message.
+        let s = stream(vec![suspect.clone(), dead, site_lease(2)]);
+        let v = check_invariants(&s);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("SiteDead"), "{v:?}");
+        // Rejoin clears the obituary.
+        let s = stream(vec![suspect, rejoin, site_lease(3), site_dispatch(3)]);
+        assert!(check_invariants(&s).is_empty());
+        // Other sites are unaffected.
+        let s = stream(vec![
+            Event::SiteDead {
+                site: "ifca".into(),
+                in_flight: 3,
+            },
+            site_lease(4),
+        ]);
+        assert!(check_invariants(&s).is_empty());
     }
 
     #[test]

@@ -184,6 +184,18 @@ pub struct SpoolMark {
     pub acked: u64,
 }
 
+/// Membership verdict on an unhealthy site, as reconstructable from the
+/// obituary events. Healthy sites never appear in the registry — a
+/// `SiteRejoin` removes the entry — so the fold is last-writer-wins and
+/// idempotent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteHealth {
+    /// `SiteSuspect` seen, no rejoin since.
+    Suspect,
+    /// `SiteDead` seen, no rejoin since.
+    Dead,
+}
+
 /// Broker-visible state reconstructed from an event stream.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ReplayState {
@@ -196,6 +208,8 @@ pub struct ReplayState {
     pub slots: BTreeMap<String, SlotUse>,
     /// Spool watermarks, by stream label.
     pub spools: BTreeMap<String, SpoolMark>,
+    /// Sites currently held `Suspect`/`Dead` by the failure detector.
+    pub site_health: BTreeMap<String, SiteHealth>,
     /// Highest event sequence number applied.
     pub last_seq: Option<u64>,
     /// Timestamp of the last applied event, nanoseconds.
@@ -393,6 +407,15 @@ impl ReplayState {
                 let m = self.spools.entry(stream.clone()).or_default();
                 m.acked = m.acked.max(*seq);
             }
+            Event::SiteSuspect { site, .. } => {
+                self.site_health.insert(site.clone(), SiteHealth::Suspect);
+            }
+            Event::SiteDead { site, .. } => {
+                self.site_health.insert(site.clone(), SiteHealth::Dead);
+            }
+            Event::SiteRejoin { site, .. } => {
+                self.site_health.remove(site);
+            }
             // Fair-share ticks, console lifecycle, buffer flushes, LRMS
             // bookkeeping and measurements don't shape recoverable state.
             _ => {}
@@ -432,7 +455,7 @@ impl LoadedJournal {
 
 // ── snapshot blob codec ─────────────────────────────────────────────────
 
-const STATE_VERSION: u8 = 1;
+const STATE_VERSION: u8 = 2;
 
 fn phase_tag(p: Phase) -> u8 {
     match p {
@@ -547,6 +570,18 @@ pub fn encode_state(state: &ReplayState) -> Vec<u8> {
         put_u64(&mut out, m.appended);
         put_u64(&mut out, m.acked);
     }
+
+    put_u32(&mut out, state.site_health.len() as u32);
+    for (site, h) in &state.site_health {
+        put_str(&mut out, site);
+        put_u8(
+            &mut out,
+            match h {
+                SiteHealth::Suspect => 0,
+                SiteHealth::Dead => 1,
+            },
+        );
+    }
     out
 }
 
@@ -617,6 +652,17 @@ pub fn decode_state(bytes: &[u8]) -> Result<ReplayState, CodecError> {
         let appended = c.u64()?;
         let acked = c.u64()?;
         state.spools.insert(stream, SpoolMark { appended, acked });
+    }
+
+    let n_health = c.u32()?;
+    for _ in 0..n_health {
+        let site = c.str()?;
+        let health = match c.u8()? {
+            0 => SiteHealth::Suspect,
+            1 => SiteHealth::Dead,
+            other => return Err(CodecError::BadTag(other)),
+        };
+        state.site_health.insert(site, health);
     }
 
     if !c.is_empty() {
@@ -748,8 +794,59 @@ mod tests {
     }
 
     #[test]
+    fn site_obituaries_fold_into_the_health_registry() {
+        let mut s = ReplayState::default();
+        s.apply(&te(
+            0,
+            Event::SiteSuspect {
+                site: "a".into(),
+                missed_refreshes: 2,
+                failed_queries: 0,
+            },
+        ));
+        s.apply(&te(
+            1,
+            Event::SiteDead {
+                site: "b".into(),
+                in_flight: 3,
+            },
+        ));
+        assert_eq!(s.site_health["a"], SiteHealth::Suspect);
+        assert_eq!(s.site_health["b"], SiteHealth::Dead);
+        // Dead supersedes suspect; rejoin clears.
+        s.apply(&te(
+            2,
+            Event::SiteDead {
+                site: "a".into(),
+                in_flight: 0,
+            },
+        ));
+        assert_eq!(s.site_health["a"], SiteHealth::Dead);
+        s.apply(&te(
+            3,
+            Event::SiteRejoin {
+                site: "a".into(),
+                down_ns: 7,
+            },
+        ));
+        assert!(!s.site_health.contains_key("a"));
+        // Idempotent: refolding the surviving entry changes nothing.
+        let before = s.clone();
+        s.apply(&te(
+            1,
+            Event::SiteDead {
+                site: "b".into(),
+                in_flight: 3,
+            },
+        ));
+        assert_eq!(s.site_health, before.site_health);
+    }
+
+    #[test]
     fn state_codec_round_trips() {
-        let s = ReplayState::from_events(&little_stream());
+        let mut s = ReplayState::from_events(&little_stream());
+        s.site_health.insert("a".into(), SiteHealth::Suspect);
+        s.site_health.insert("b".into(), SiteHealth::Dead);
         let blob = encode_state(&s);
         let back = decode_state(&blob).unwrap();
         assert_eq!(back, s);

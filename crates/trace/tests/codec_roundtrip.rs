@@ -160,6 +160,34 @@ fn all_variants(a: u64, b: u64, small: u32, flag: bool, x: f64, s: &str, t: &str
             resubmitted: a,
             agents_lost: b,
         },
+        Event::SiteSuspect {
+            site: s.to_string(),
+            missed_refreshes: small,
+            failed_queries: small,
+        },
+        Event::SiteDead {
+            site: t.to_string(),
+            in_flight: small,
+        },
+        Event::SiteRejoin {
+            site: s.to_string(),
+            down_ns: b,
+        },
+        Event::LiveQueryTimeout {
+            job: a,
+            site: t.to_string(),
+            attempt: small,
+        },
+        Event::QueryRetry {
+            job: a,
+            site: s.to_string(),
+            attempt: small,
+            delay_ns: b,
+        },
+        Event::DegradedMatch {
+            job: a,
+            staleness_ns: b,
+        },
         Event::Measurement {
             name: s.to_string(),
             value: x,
@@ -191,7 +219,7 @@ fn the_catalog_covers_every_variant_once() {
     );
     // The enum has exactly this many variants today; `Event::kind`'s
     // exhaustive match keeps the enum and this count honest together.
-    assert_eq!(events.len(), 43);
+    assert_eq!(events.len(), 49);
 }
 
 #[test]
@@ -269,7 +297,7 @@ proptest! {
     fn unknown_tags_are_badtag(at in any::<u64>(), seq in any::<u64>(), raw in any::<u8>()) {
         // Real tags are dense from 0; anything at or above the variant
         // count must be rejected by value.
-        let tag = 43 + (raw % (u8::MAX - 42));
+        let tag = 49 + (raw % (u8::MAX - 48));
         let mut buf = Vec::new();
         buf.extend_from_slice(&at.to_le_bytes());
         buf.extend_from_slice(&seq.to_le_bytes());

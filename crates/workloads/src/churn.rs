@@ -1,0 +1,187 @@
+//! Site-churn scenarios: per-site outage plans for membership testing.
+//!
+//! Real grids lose and regain sites constantly — a GRIS falls over and
+//! its publications stop, a router cut takes out a whole country, an
+//! operator walks a rolling upgrade across the pool, or the broker cold
+//! starts into a testbed where every site registers at once. Each
+//! [`ChurnKind`] renders one of those shapes as a per-site
+//! [`FaultSchedule`] vector (site-list order, same index space the
+//! broker and information index use), built so the whole plan is a
+//! deterministic function of the seed.
+//!
+//! The schedules are meant to be applied to *both* paths a site can go
+//! quiet on: the broker↔gatekeeper link (live queries, dispatch) and the
+//! site→MDS publication path (`BrokerConfig::publish_faults`), which is
+//! what drives the membership failure detector from two independent
+//! signals at once.
+
+use cg_net::FaultSchedule;
+use cg_sim::{SimDuration, SimRng, SimTime};
+
+/// The churn shapes the resilience suite drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// A third of the pool flaps: short periodic outages, phase-shifted
+    /// per site so the detector sees staggered suspect/rejoin cycles.
+    FlappingSites,
+    /// A maintenance wave: every site in turn goes down for one fixed
+    /// window, back-to-back across the pool.
+    RollingUpgrade,
+    /// Cold start: every site is dark from t=0 and joins during a short
+    /// staggered window — the index boots against an absent grid.
+    MassJoin,
+    /// A correlated cut: one contiguous half of the pool shares a single
+    /// long outage window (a country-level network failure).
+    CorrelatedFailure,
+}
+
+impl ChurnKind {
+    /// All shapes, in suite order.
+    pub const ALL: [ChurnKind; 4] = [
+        ChurnKind::FlappingSites,
+        ChurnKind::RollingUpgrade,
+        ChurnKind::MassJoin,
+        ChurnKind::CorrelatedFailure,
+    ];
+
+    /// Stable scenario name (used in reports and bench output).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ChurnKind::FlappingSites => "flapping-sites",
+            ChurnKind::RollingUpgrade => "rolling-upgrade",
+            ChurnKind::MassJoin => "mass-join",
+            ChurnKind::CorrelatedFailure => "correlated-failure",
+        }
+    }
+}
+
+/// Renders `kind` into one outage schedule per site (site-list order),
+/// covering `[0, horizon)`. Deterministic in `rng`; sites not touched by
+/// the shape get an empty schedule.
+#[must_use]
+pub fn churn_faults(
+    kind: ChurnKind,
+    sites: usize,
+    horizon: SimTime,
+    rng: &mut SimRng,
+) -> Vec<FaultSchedule> {
+    let horizon_s = horizon.as_nanos() as f64 / 1e9;
+    match kind {
+        ChurnKind::FlappingSites => (0..sites)
+            .map(|i| {
+                if i % 3 != 0 {
+                    return FaultSchedule::none();
+                }
+                // Down ~25% of the time, out of phase with the others.
+                let period = SimDuration::from_secs_f64(rng.uniform(1_200.0, 2_400.0));
+                let down = period.mul_f64(rng.uniform(0.2, 0.3));
+                let first =
+                    SimTime::ZERO + SimDuration::from_secs_f64(rng.uniform(0.0, 0.5 * horizon_s));
+                FaultSchedule::periodic(first, period, down, horizon)
+            })
+            .collect(),
+        ChurnKind::RollingUpgrade => {
+            // One maintenance window per site, marching across the pool.
+            let slot = horizon_s / (sites as f64 + 1.0);
+            let down = SimDuration::from_secs_f64((slot * 0.8).max(1.0));
+            (0..sites)
+                .map(|i| {
+                    let start = SimTime::ZERO + SimDuration::from_secs_f64(slot * (i as f64 + 0.5));
+                    FaultSchedule::from_windows(vec![(start, start + down)])
+                })
+                .collect()
+        }
+        ChurnKind::MassJoin => (0..sites)
+            .map(|_| {
+                // Dark from the start; joins inside the first 20% of the
+                // horizon, each site at its own instant.
+                let join =
+                    SimTime::ZERO + SimDuration::from_secs_f64(rng.uniform(0.05, 0.2) * horizon_s);
+                FaultSchedule::from_windows(vec![(SimTime::ZERO, join)])
+            })
+            .collect(),
+        ChurnKind::CorrelatedFailure => {
+            let cut_start =
+                SimTime::ZERO + SimDuration::from_secs_f64(rng.uniform(0.2, 0.4) * horizon_s);
+            let cut = SimDuration::from_secs_f64(rng.uniform(0.15, 0.25) * horizon_s);
+            (0..sites)
+                .map(|i| {
+                    if i < sites / 2 {
+                        FaultSchedule::from_windows(vec![(cut_start, cut_start + cut)])
+                    } else {
+                        FaultSchedule::none()
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 18;
+    const HORIZON: SimTime = SimTime::from_secs(8 * 3_600);
+
+    #[test]
+    fn every_kind_is_deterministic_per_seed() {
+        for kind in ChurnKind::ALL {
+            let a = churn_faults(kind, N, HORIZON, &mut SimRng::new(7));
+            let b = churn_faults(kind, N, HORIZON, &mut SimRng::new(7));
+            assert_eq!(a.len(), N);
+            for (fa, fb) in a.iter().zip(&b) {
+                assert_eq!(fa.windows(), fb.windows(), "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn flapping_touches_a_third_and_leaves_the_rest_clean() {
+        let faults = churn_faults(ChurnKind::FlappingSites, N, HORIZON, &mut SimRng::new(1));
+        let touched = faults.iter().filter(|f| !f.windows().is_empty()).count();
+        assert_eq!(touched, N.div_ceil(3));
+        // Flappers really flap: several distinct windows each.
+        for f in faults.iter().filter(|f| !f.windows().is_empty()) {
+            assert!(f.windows().len() >= 3, "got {}", f.windows().len());
+        }
+    }
+
+    #[test]
+    fn rolling_upgrade_visits_every_site_without_overlap() {
+        let faults = churn_faults(ChurnKind::RollingUpgrade, N, HORIZON, &mut SimRng::new(2));
+        let mut prev_end = SimTime::ZERO;
+        for f in &faults {
+            let &[(start, end)] = f.windows() else {
+                panic!("exactly one maintenance window per site");
+            };
+            assert!(start >= prev_end, "waves must not overlap");
+            prev_end = end;
+        }
+    }
+
+    #[test]
+    fn mass_join_starts_dark_and_ends_up() {
+        let faults = churn_faults(ChurnKind::MassJoin, N, HORIZON, &mut SimRng::new(3));
+        for f in &faults {
+            assert!(f.is_down(SimTime::ZERO));
+            assert!(!f.is_down(
+                SimTime::ZERO + SimDuration::from_secs_f64(0.25 * HORIZON.as_nanos() as f64 / 1e9)
+            ));
+        }
+    }
+
+    #[test]
+    fn correlated_failure_cuts_one_half_in_the_same_window() {
+        let faults = churn_faults(
+            ChurnKind::CorrelatedFailure,
+            N,
+            HORIZON,
+            &mut SimRng::new(4),
+        );
+        let cut: Vec<_> = faults[..N / 2].iter().map(FaultSchedule::windows).collect();
+        assert!(cut.iter().all(|w| *w == cut[0] && w.len() == 1));
+        assert!(faults[N / 2..].iter().all(|f| f.windows().is_empty()));
+    }
+}

@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 mod arrivals;
+mod churn;
 mod pingpong;
 mod scenario;
 
 pub use arrivals::{poisson_arrivals, Arrival, JobMix};
+pub use churn::{churn_faults, ChurnKind};
 pub use pingpong::{run_pingpong, run_suite, PingPongRun, PingPongSpec};
 pub use scenario::{campus_pair, crossgrid_testbed, wan_pair, GridScenario};

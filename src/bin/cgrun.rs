@@ -31,6 +31,11 @@
 //!     Decode a broker journal: snapshot/torn-tail summary on stderr, one
 //!     JSON object per event on stdout. Exits 1 on corruption.
 //!
+//! cgrun churn-report FILE.jsonl
+//!     Summarize site churn from a `CG_TRACE_JSONL` event dump: per-site
+//!     membership transitions (suspect/dead/rejoin, time spent down) and
+//!     live-query retry/timeout counts, plus degraded-matchmaking totals.
+//!
 //! cgrun recover FILE [--spool-dir DIR]
 //!     Fold a broker journal into its recovered state, print a per-job
 //!     summary, and run the recovery invariants offline. With --spool-dir,
@@ -60,6 +65,7 @@ fn main() {
         Some("lint") => cmd_lint(&args[1..]),
         Some("lint-src") => cmd_lint_src(&args[1..]),
         Some("journal-dump") => cmd_journal_dump(&args[1..]),
+        Some("churn-report") => cmd_churn_report(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         Some("--help" | "-h") | None => {
             eprint!("{}", USAGE);
@@ -84,6 +90,7 @@ USAGE:
   cgrun lint   FILE.jdl…
   cgrun lint-src [--check] [ROOT]
   cgrun journal-dump FILE
+  cgrun churn-report FILE.jsonl
   cgrun recover FILE [--spool-dir DIR]
 ";
 
@@ -279,6 +286,157 @@ fn cmd_journal_dump(args: &[String]) -> i32 {
         out.push('\n');
     }
     print!("{out}");
+    0
+}
+
+/// Extracts the value of a flat string field (`"key":"value"`) from one
+/// JSONL line. Handles backslash escapes inside the value; returns `None`
+/// when the key is absent. The event stream writes every key exactly once
+/// per line, so the first match is the field.
+fn jsonl_str(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts a flat unsigned numeric field (`"key":123`) from a JSONL line.
+fn jsonl_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// `cgrun churn-report FILE.jsonl`: summarize membership churn from an
+/// event dump (`CG_TRACE_JSONL=out.jsonl` on any bench bin, or
+/// `journal-dump` output). Per site: suspect/dead/rejoin transitions, total
+/// time outside `Alive`, live-query retries and timeouts; plus stream-wide
+/// degraded-matchmaking totals. Exit 0 = report printed (even when the
+/// stream carries no churn), 2 = usage or I/O failure.
+fn cmd_churn_report(args: &[String]) -> i32 {
+    let [path] = args else {
+        eprintln!("usage: cgrun churn-report FILE.jsonl");
+        return 2;
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cgrun churn-report: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+
+    #[derive(Default)]
+    struct SiteChurn {
+        suspects: u64,
+        deads: u64,
+        rejoins: u64,
+        down_ns: u64,
+        retries: u64,
+        timeouts: u64,
+    }
+    let mut sites: std::collections::BTreeMap<String, SiteChurn> =
+        std::collections::BTreeMap::new();
+    let mut degraded = 0u64;
+    let mut max_staleness_ns = 0u64;
+    let mut events = 0u64;
+    for line in src.lines() {
+        let Some(kind) = jsonl_str(line, "event") else {
+            continue;
+        };
+        events += 1;
+        match kind.as_str() {
+            "SiteSuspect" => {
+                if let Some(site) = jsonl_str(line, "site") {
+                    sites.entry(site).or_default().suspects += 1;
+                }
+            }
+            "SiteDead" => {
+                if let Some(site) = jsonl_str(line, "site") {
+                    sites.entry(site).or_default().deads += 1;
+                }
+            }
+            "SiteRejoin" => {
+                if let Some(site) = jsonl_str(line, "site") {
+                    let e = sites.entry(site).or_default();
+                    e.rejoins += 1;
+                    e.down_ns += jsonl_u64(line, "down_ns").unwrap_or(0);
+                }
+            }
+            "QueryRetry" => {
+                if let Some(site) = jsonl_str(line, "site") {
+                    sites.entry(site).or_default().retries += 1;
+                }
+            }
+            "LiveQueryTimeout" => {
+                if let Some(site) = jsonl_str(line, "site") {
+                    sites.entry(site).or_default().timeouts += 1;
+                }
+            }
+            "DegradedMatch" => {
+                degraded += 1;
+                max_staleness_ns =
+                    max_staleness_ns.max(jsonl_u64(line, "staleness_ns").unwrap_or(0));
+            }
+            _ => {}
+        }
+    }
+
+    if sites.is_empty() && degraded == 0 {
+        println!("churn-report: {events} event(s), no membership churn in the stream");
+        return 0;
+    }
+    println!(
+        "{:<18} {:>7} {:>5} {:>6} {:>9} {:>7} {:>8}",
+        "site", "suspect", "dead", "rejoin", "down_s", "retries", "timeouts"
+    );
+    let mut totals = SiteChurn::default();
+    for (name, c) in &sites {
+        println!(
+            "{:<18} {:>7} {:>5} {:>6} {:>9.1} {:>7} {:>8}",
+            name,
+            c.suspects,
+            c.deads,
+            c.rejoins,
+            c.down_ns as f64 / 1e9,
+            c.retries,
+            c.timeouts
+        );
+        totals.suspects += c.suspects;
+        totals.deads += c.deads;
+        totals.rejoins += c.rejoins;
+        totals.down_ns += c.down_ns;
+        totals.retries += c.retries;
+        totals.timeouts += c.timeouts;
+    }
+    println!(
+        "{:<18} {:>7} {:>5} {:>6} {:>9.1} {:>7} {:>8}",
+        "total",
+        totals.suspects,
+        totals.deads,
+        totals.rejoins,
+        totals.down_ns as f64 / 1e9,
+        totals.retries,
+        totals.timeouts
+    );
+    if degraded > 0 {
+        println!(
+            "degraded matches: {degraded} (max snapshot staleness {:.1} s)",
+            max_staleness_ns as f64 / 1e9
+        );
+    }
     0
 }
 

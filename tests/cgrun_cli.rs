@@ -236,6 +236,85 @@ fn journal_dump_and_recover_subcommands() {
 }
 
 #[test]
+fn churn_report_summarizes_membership_transitions() {
+    let dir = std::env::temp_dir().join(format!("cgrun-test-churn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("day.jsonl");
+
+    // A hand-written slice of a CG_TRACE_JSONL dump: one site suspected,
+    // killed and rejoined (with retries along the way), a second site only
+    // suspected, plus a degraded match and unrelated lifecycle noise.
+    std::fs::write(
+        &path,
+        concat!(
+            "{\"at_ns\":1000000000,\"seq\":0,\"event\":\"JobSubmitted\",\"job\":1,\"user\":\"u0\",\"interactive\":true}\n",
+            "{\"at_ns\":2000000000,\"seq\":1,\"event\":\"QueryRetry\",\"job\":1,\"site\":\"ifca\",\"attempt\":2,\"delay_ns\":500000000}\n",
+            "{\"at_ns\":3000000000,\"seq\":2,\"event\":\"LiveQueryTimeout\",\"job\":1,\"site\":\"ifca\",\"attempt\":2}\n",
+            "{\"at_ns\":4000000000,\"seq\":3,\"event\":\"SiteSuspect\",\"site\":\"ifca\",\"missed_refreshes\":2,\"failed_queries\":0}\n",
+            "{\"at_ns\":5000000000,\"seq\":4,\"event\":\"SiteDead\",\"site\":\"ifca\",\"in_flight\":1}\n",
+            "{\"at_ns\":6000000000,\"seq\":5,\"event\":\"SiteSuspect\",\"site\":\"uab\",\"missed_refreshes\":2,\"failed_queries\":1}\n",
+            "{\"at_ns\":7000000000,\"seq\":6,\"event\":\"SiteRejoin\",\"site\":\"ifca\",\"down_ns\":3000000000}\n",
+            "{\"at_ns\":8000000000,\"seq\":7,\"event\":\"DegradedMatch\",\"job\":2,\"staleness_ns\":120000000000}\n",
+        ),
+    )
+    .unwrap();
+
+    let out = cgrun()
+        .args(["churn-report", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "report run: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let ifca = stdout.lines().find(|l| l.starts_with("ifca")).unwrap();
+    let cols: Vec<&str> = ifca.split_whitespace().collect();
+    assert_eq!(
+        cols,
+        ["ifca", "1", "1", "1", "3.0", "1", "1"],
+        "per-site churn row:\n{stdout}"
+    );
+    let uab = stdout.lines().find(|l| l.starts_with("uab")).unwrap();
+    assert!(uab.split_whitespace().nth(1) == Some("1"), "{stdout}");
+    let total = stdout.lines().find(|l| l.starts_with("total")).unwrap();
+    assert_eq!(
+        total.split_whitespace().collect::<Vec<_>>(),
+        ["total", "2", "1", "1", "3.0", "1", "1"],
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("degraded matches: 1 (max snapshot staleness 120.0 s)"),
+        "{stdout}"
+    );
+
+    // A dump with no churn still reports, loudly but cleanly.
+    let quiet = dir.join("quiet.jsonl");
+    std::fs::write(
+        &quiet,
+        "{\"at_ns\":1,\"seq\":0,\"event\":\"JobStarted\",\"job\":1}\n",
+    )
+    .unwrap();
+    let out = cgrun()
+        .args(["churn-report", quiet.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("no membership churn"),
+        "{out:?}"
+    );
+
+    // Usage and I/O failures exit 2.
+    let out = cgrun().arg("churn-report").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = cgrun()
+        .args(["churn-report", dir.join("absent.jsonl").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn lint_src_exit_codes_follow_the_findings() {
     let fixture = |name: &str| {
         std::path::Path::new(env!("CARGO_MANIFEST_DIR"))

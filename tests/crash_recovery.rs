@@ -222,6 +222,201 @@ fn kill_point_sweep_recovers_identical_terminal_stats() {
     let _ = std::fs::remove_file(&crash);
 }
 
+/// The churn world: alpha's gatekeeper link and MDS publication path share
+/// one long outage window (so the failure detector sees both signals die
+/// together), beta stays clean. Live queries suspect alpha fast (three
+/// failed probes at ~47 s), but Suspect sites get exactly one probe per
+/// sweep, so the query streak alone never reaches the dead threshold —
+/// it is the missed refreshes (t = 300/600/900/1200) that harden alpha
+/// to `Dead` at 1_200 s. The window ends at 1_300 s so the t = 1_500 s
+/// refresh publishes cleanly and the uncrashed run journals the rejoin.
+fn churn_outage() -> FaultSchedule {
+    FaultSchedule::from_windows(vec![(SimTime::from_secs(20), SimTime::from_secs(1_300))])
+}
+
+fn churn_world() -> (Vec<SiteHandle>, Link) {
+    let handles = ["alpha", "beta"]
+        .iter()
+        .map(|name| {
+            let site = Site::new(SiteConfig {
+                name: (*name).into(),
+                nodes: 2,
+                policy: Policy::Fifo,
+                ..SiteConfig::default()
+            });
+            let faults = if *name == "alpha" {
+                churn_outage()
+            } else {
+                FaultSchedule::none()
+            };
+            SiteHandle {
+                site,
+                broker_link: Link::with_faults(LinkProfile::campus(), faults.clone()),
+                ui_link: Link::with_faults(LinkProfile::campus(), faults),
+            }
+        })
+        .collect();
+    let mds = Link::with_faults(LinkProfile::wan_mds(), FaultSchedule::none());
+    (handles, mds)
+}
+
+fn churn_config() -> BrokerConfig {
+    BrokerConfig {
+        max_resubmissions: 10,
+        publish_faults: vec![churn_outage(), FaultSchedule::none()],
+        ..BrokerConfig::default()
+    }
+}
+
+/// Exclusive interactive jobs thrown across the outage timeline: before it
+/// (0 s), into the suspect window (45 s drives the three failed probes;
+/// 300 s and 700 s keep probing without retries), while alpha is dead
+/// (1_250 s — the site must vanish from the sweep), and after its rejoin
+/// (1_600 s). Submissions are spaced past the 30 s exclusive lease so at
+/// most one job is ever in flight: a kill point therefore resubmits at
+/// most one job into the recovered epoch, and every job lands `Done` on
+/// beta alone regardless of alpha's health.
+fn churn_drive(sim: &mut Sim, broker: &CrossBroker) {
+    broker.submit(sim, exclusive(), SimDuration::from_secs(10));
+    for at in [45u64, 300, 700, 1_250, 1_600] {
+        let b = broker.clone();
+        sim.schedule_at(SimTime::from_secs(at), move |sim| {
+            b.submit(sim, exclusive(), SimDuration::from_secs(10));
+        });
+    }
+}
+
+fn churn_journaled_run(path: &PathBuf, crash_after: Option<u64>) -> (u64, bool) {
+    let _ = std::fs::remove_file(path);
+    let mut sim = Sim::new(SEED);
+    let (handles, mds) = churn_world();
+    let broker = CrossBroker::new(&mut sim, handles, mds, churn_config());
+    let log = broker.event_log();
+    log.set_journal(Journal::create(path, JournalConfig::default()).unwrap());
+    if let Some(k) = crash_after {
+        log.arm_crash(CrashPlan { after_event_seq: k });
+    }
+    churn_drive(&mut sim, &broker);
+    sim.run_until(SimTime::from_secs(2_400));
+    if let Some(j) = log.journal() {
+        j.sync().unwrap();
+    }
+    (log.recorded(), log.crashed())
+}
+
+#[test]
+fn churn_kill_point_sweep_rebuilds_membership_from_the_journal() {
+    use crossgrid::site::MembershipState;
+    use crossgrid::trace::replay::SiteHealth;
+
+    let base = tmp("churn-base");
+    let (total, crashed) = churn_journaled_run(&base, None);
+    assert!(!crashed);
+
+    // The reference run must actually exercise the whole lifecycle, or the
+    // sweep proves nothing about membership recovery.
+    let loaded = open_journal(&base).unwrap();
+    let kinds: Vec<&str> = loaded.events.iter().map(|e| e.event.kind()).collect();
+    for needed in ["SiteSuspect", "SiteDead", "SiteRejoin", "QueryRetry"] {
+        assert!(kinds.contains(&needed), "reference run never saw {needed}");
+    }
+    let baseline = loaded.replay_state().unwrap();
+    assert_eq!(baseline.jobs.len(), 6);
+    let mut base_buckets: BTreeMap<u64, Bucket> = BTreeMap::new();
+    for (id, rj) in &baseline.jobs {
+        assert!(
+            rj.phase.is_terminal(),
+            "baseline job {id} not terminal: {:?}",
+            rj.phase
+        );
+        base_buckets.insert(*id, rj.phase.bucket());
+    }
+    assert!(
+        baseline.site_health.is_empty(),
+        "the outage ends inside the run: alpha must have rejoined"
+    );
+
+    let crash = tmp("churn-crash");
+    let mut mid_outage_kill_points = 0usize;
+    for k in 0..total {
+        let (_, crashed) = churn_journaled_run(&crash, Some(k));
+        assert!(crashed, "kill point {k} of {total} must fire");
+
+        let loaded = open_journal(&crash).unwrap();
+        let expected = loaded.replay_state().unwrap();
+        let mut sim = Sim::new(3_000 + k);
+        let (handles, mds) = churn_world();
+        let (broker, report) =
+            CrossBroker::recover(&mut sim, handles, mds, churn_config(), &loaded).unwrap();
+        assert!(
+            report.violations.is_empty(),
+            "k={k}: recovery invariants violated: {:?}",
+            report.violations
+        );
+
+        // Before the recovered epoch runs: the failure detector's verdicts
+        // must be rebuilt exactly as the journal last saw them.
+        let index = broker.index();
+        for (site, health) in &expected.site_health {
+            let i = ["alpha", "beta"]
+                .iter()
+                .position(|n| n == site)
+                .unwrap_or_else(|| panic!("k={k}: unknown site {site} in the health registry"));
+            let want = match health {
+                SiteHealth::Suspect => MembershipState::Suspect,
+                SiteHealth::Dead => MembershipState::Dead,
+            };
+            assert_eq!(
+                index.membership_state(i),
+                want,
+                "k={k}: {site} membership not rebuilt from the journal"
+            );
+            assert!(
+                !index.is_schedulable(i),
+                "k={k}: {site} schedulable while {want:?}"
+            );
+            mid_outage_kill_points += 1;
+        }
+        if expected.site_health.is_empty() {
+            assert!(
+                index.is_schedulable(0) && index.is_schedulable(1),
+                "k={k}: healthy sites must come back schedulable"
+            );
+        }
+
+        // The recovered epoch must converge to the uncrashed run's buckets.
+        sim.run_until(report.crash_at + SimDuration::from_secs(2_400));
+        for (id, rj) in &expected.jobs {
+            let state = broker.record(JobId(*id)).state;
+            assert!(
+                matches!(state, JobState::Done | JobState::Failed { .. }),
+                "k={k}: job {id} never reached a terminal state: {state:?}"
+            );
+            let want = if !rj.phase.is_terminal() && (rj.jdl.is_none() || rj.runtime_ns.is_none()) {
+                Bucket::Errored
+            } else {
+                base_buckets[id]
+            };
+            assert_eq!(
+                bucket_of(&state),
+                want,
+                "k={k}: job {id} diverged from the uncrashed run: {state:?}"
+            );
+        }
+        let new_epoch = crossgrid::trace::check_invariants(&broker.event_log().snapshot());
+        assert!(
+            new_epoch.is_empty(),
+            "k={k}: new-epoch stream broken: {new_epoch:?}"
+        );
+    }
+    assert!(
+        mid_outage_kill_points > 0,
+        "no kill point landed while alpha was Suspect/Dead — the sweep is vacuous"
+    );
+    let _ = std::fs::remove_file(&base);
+    let _ = std::fs::remove_file(&crash);
+}
+
 #[test]
 fn snapshot_bounds_the_replayed_tail() {
     let base = tmp("snap-base");

@@ -39,12 +39,66 @@ fn exclusive_job() -> JobDescription {
 }
 
 #[test]
-fn mds_blackout_fails_the_matched_path_cleanly() {
+fn mds_blackout_degrades_to_the_last_snapshot_while_fresh() {
+    use crossgrid::trace::Event;
+
     let mut sim = Sim::new(1);
     let blackout = FaultSchedule::from_windows(vec![(SimTime::ZERO, SimTime::from_secs(3_600))]);
     let (broker, _) = one_site_broker(&mut sim, FaultSchedule::none(), blackout);
     let id = broker.submit(&mut sim, exclusive_job(), SimDuration::from_secs(60));
     sim.run_until(SimTime::from_secs(600));
+    // The broker's own snapshot is fresh, so matchmaking degrades to it
+    // instead of failing the job: the site link is healthy and the job
+    // completes on stale-but-bounded information.
+    assert!(
+        matches!(broker.record(id).state, JobState::Done),
+        "degraded match must carry the job: {:?}",
+        broker.record(id).state
+    );
+    let events = broker.event_log().snapshot();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, Event::DegradedMatch { job, .. } if job == id.0)),
+        "the fallback must be announced in the trace"
+    );
+}
+
+#[test]
+fn mds_blackout_beyond_the_staleness_bound_fails_cleanly() {
+    let mut sim = Sim::new(1);
+    let blackout = FaultSchedule::from_windows(vec![(SimTime::ZERO, SimTime::from_secs(3_600))]);
+    let site = Site::new(SiteConfig {
+        name: "only".into(),
+        nodes: 2,
+        policy: Policy::Fifo,
+        ..SiteConfig::default()
+    });
+    let handles = vec![SiteHandle {
+        site: site.clone(),
+        broker_link: Link::new(LinkProfile::campus()),
+        ui_link: Link::new(LinkProfile::campus()),
+    }];
+    // A snapshot older than the trust bound is no basis for matchmaking.
+    let broker = CrossBroker::new(
+        &mut sim,
+        handles,
+        Link::with_faults(LinkProfile::wan_mds(), blackout),
+        BrokerConfig {
+            degraded_max_staleness: SimDuration::from_secs(50),
+            ..BrokerConfig::default()
+        },
+    );
+    let broker2 = broker.clone();
+    let id = std::rc::Rc::new(std::cell::RefCell::new(None));
+    let id2 = std::rc::Rc::clone(&id);
+    // Submit at t=100: the initial snapshot (t=0) is 100 s old, past the
+    // 50 s bound, and the next index refresh has not happened yet.
+    sim.schedule_at(SimTime::from_secs(100), move |sim| {
+        *id2.borrow_mut() = Some(broker2.submit(sim, exclusive_job(), SimDuration::from_secs(60)));
+    });
+    sim.run_until(SimTime::from_secs(250));
+    let id = id.borrow().unwrap();
     match broker.record(id).state {
         JobState::Failed { reason } => assert!(
             reason.contains("information system"),

@@ -25,7 +25,7 @@ use crossgrid::jdl::{Ad, JobDescription};
 use crossgrid::net::{FaultSchedule, Link, LinkProfile};
 use crossgrid::prelude::*;
 use crossgrid::sim::SimRng;
-use crossgrid::site::{Policy, SiteConfig};
+use crossgrid::site::{MembershipState, Policy, SiteConfig};
 use crossgrid::trace::journal::{open_journal, Journal, JournalConfig};
 use crossgrid::trace::replay::Bucket;
 use crossgrid::trace::CrashPlan;
@@ -62,6 +62,7 @@ fn random_signals(seed: u64, n: usize) -> PolicySignals {
                 queue_forecast: rng.f64() * 5.0,
                 rtt_s: rng.f64() * 0.05,
                 lease_failures: rng.index(3) as u32,
+                staleness_s: rng.f64() * 600.0,
             },
         );
     }
@@ -408,4 +409,105 @@ fn recovery_under_non_default_policy_reproduces_the_uncrashed_buckets() {
     }
     let _ = std::fs::remove_file(&base);
     let _ = std::fs::remove_file(&crash);
+}
+
+/// Builds a world where alpha earns a lease-failure streak the honest way:
+/// a job pinned to alpha selects it while the link is still up, then the
+/// GRAM submission pipeline dies when alpha's outage opens at t = 4 s —
+/// `GramEvent::Failed` books one failure against the `lease-backoff`
+/// signal. Beta exists so the grid is not degenerate; the pin keeps the
+/// resubmission from landing anywhere.
+fn streak_world() -> (Sim, CrossBroker) {
+    let mut sim = Sim::new(11);
+    let outage =
+        FaultSchedule::from_windows(vec![(SimTime::from_secs(4), SimTime::from_secs(1_000))]);
+    let handles = ["alpha", "beta"]
+        .iter()
+        .map(|name| {
+            let site = Site::new(SiteConfig {
+                name: (*name).into(),
+                nodes: 2,
+                policy: Policy::Fifo,
+                ..SiteConfig::default()
+            });
+            let faults = if *name == "alpha" {
+                outage.clone()
+            } else {
+                FaultSchedule::none()
+            };
+            SiteHandle {
+                site,
+                broker_link: Link::with_faults(LinkProfile::campus(), faults.clone()),
+                ui_link: Link::with_faults(LinkProfile::campus(), faults),
+            }
+        })
+        .collect();
+    let mds = Link::with_faults(LinkProfile::wan_mds(), FaultSchedule::none());
+    let broker = CrossBroker::new(
+        &mut sim,
+        handles,
+        mds,
+        policy_config(PolicyKind::LeaseBackoff),
+    );
+    let pinned = JobDescription::parse(
+        r#"Executable = "viz"; JobType = "interactive"; MachineAccess = "exclusive";
+           User = "carol"; Requirements = other.Site == "alpha";"#,
+    )
+    .unwrap();
+    broker.submit(&mut sim, pinned, SimDuration::from_secs(5));
+    sim.run_until(SimTime::from_secs(60));
+    (sim, broker)
+}
+
+/// Contract for the `lease-backoff` input signal: a `Dead` obituary wipes
+/// the site's failure streak (the obituary supersedes per-dispatch
+/// bookkeeping), while `Suspect` alone leaves it untouched.
+#[test]
+fn dead_obituary_resets_the_lease_backoff_streak() {
+    let (mut sim, broker) = streak_world();
+    assert_eq!(
+        broker.lease_failure_streak(0),
+        1,
+        "the failed submission must have extended alpha's streak"
+    );
+    let index = broker.index();
+    for _ in 0..3 {
+        index.report_query(&mut sim, 0, false);
+    }
+    assert_eq!(index.membership_state(0), MembershipState::Suspect);
+    assert_eq!(
+        broker.lease_failure_streak(0),
+        1,
+        "Suspect alone must not wipe the streak"
+    );
+    for _ in 0..3 {
+        index.report_query(&mut sim, 0, false);
+    }
+    assert_eq!(index.membership_state(0), MembershipState::Dead);
+    assert_eq!(
+        broker.lease_failure_streak(0),
+        0,
+        "the Dead obituary must reset the streak"
+    );
+}
+
+/// The rejoin side of the same contract: a streak earned before the
+/// outage says nothing about the recovered site, so `Rejoined` resets it
+/// and `lease-backoff` stops steering work away from a healthy member.
+#[test]
+fn rejoin_resets_the_lease_backoff_streak() {
+    let (mut sim, broker) = streak_world();
+    let index = broker.index();
+    for _ in 0..3 {
+        index.report_query(&mut sim, 0, false);
+    }
+    assert_eq!(index.membership_state(0), MembershipState::Suspect);
+    assert_eq!(broker.lease_failure_streak(0), 1);
+    index.report_query(&mut sim, 0, true);
+    assert_eq!(index.membership_state(0), MembershipState::Rejoined);
+    assert_eq!(
+        broker.lease_failure_streak(0),
+        0,
+        "the rejoin must reset the streak"
+    );
 }
