@@ -33,15 +33,16 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use cg_bench::report::{print_table, TraceSink};
 use cg_bench::write_csv;
 use cg_jdl::{Ad, JobDescription};
-use cg_net::{Link, LinkProfile};
+use cg_net::{FaultSchedule, Link, LinkProfile};
 use cg_sim::{Sim, SimDuration, SimRng, SimTime};
-use cg_site::{Policy, Site, SiteConfig};
+use cg_site::{GiisRoot, Policy, Site, SiteConfig};
 use cg_trace::{check_invariants, Event, EventLog};
-use cg_workloads::{churn_faults, poisson_arrivals, ChurnKind, JobMix};
+use cg_workloads::{churn_faults, poisson_arrivals, synthetic_grid, ChurnKind, JobMix};
 use crossbroker::{
     BrokerConfig, CrossBroker, JobId, JobState, MatchRequest, ParallelMatcher, PolicyKind,
     PolicySignals, ShardedJobTable, SiteHandle, SiteSignals, DEFAULT_SHARDS,
@@ -289,6 +290,64 @@ fn thread_gate(kind: ChurnKind, index: usize) {
     }
 }
 
+/// Mass join at synthetic-grid scale: 100 of 300 sites are dark at boot
+/// and join at seeded instants inside the first 20% of a one-hour
+/// horizon, all behind the two-tier GIIS hierarchy. The aggregator's
+/// epoch deltas must mark *exactly* the joining sites dirty — each one
+/// once — and every never-churned site must keep sharing its boot column
+/// allocation (no full-snapshot invalidation anywhere in the join storm).
+fn mass_join_scale_gate() {
+    const N: usize = 300;
+    let horizon = SimTime::from_secs(3_600);
+    let seed = SUITE_SEED ^ 0x300;
+    let mut rng = SimRng::new(seed);
+    let grid = synthetic_grid(&mut rng, N, 32);
+    let mut frng = SimRng::new(seed ^ 0xFA17);
+    let mut faults = churn_faults(ChurnKind::MassJoin, N, horizon, &mut frng);
+    let joiners: Vec<usize> = (0..N).filter(|i| i % 3 == 0).collect();
+    for (i, f) in faults.iter_mut().enumerate() {
+        if i % 3 != 0 {
+            *f = FaultSchedule::none();
+        }
+    }
+    let mut sim = Sim::new(seed);
+    let cfg = grid.giis_config(SimDuration::from_secs(300), 8);
+    let root = GiisRoot::start(&mut sim, grid.sites.clone(), &cfg, faults);
+    let boot = root.snapshot_arc();
+    for &g in &joiners {
+        assert_eq!(boot.free_cpus(g), 0, "dark site {g} boots as placeholder");
+    }
+    // The join window closes at 0.2 × horizon = 720 s; the sweep at 900 s
+    // is the last that can surface a joiner, settled well before 1200 s.
+    sim.run_until(SimTime::from_secs(1_200));
+
+    let snap = root.snapshot_arc();
+    let mut dirty: Vec<usize> = snap.dirty_since(boot.epoch()).collect();
+    dirty.sort_unstable();
+    assert_eq!(
+        dirty, joiners,
+        "epoch deltas must mark exactly the joining sites dirty"
+    );
+    assert_eq!(
+        root.delta_sites(),
+        joiners.len() as u64,
+        "each joiner ships up the tree exactly once"
+    );
+    assert!(
+        root.deltas_merged() > 1,
+        "staggered joins must arrive as incremental deltas, not one batch"
+    );
+    for &g in &joiners {
+        assert!(snap.free_cpus(g) > 0, "joiner {g} published its real ad");
+    }
+    for g in (0..N).filter(|g| g % 3 != 0) {
+        assert!(
+            Arc::ptr_eq(boot.ad_arc(g), snap.ad_arc(g)),
+            "never-churned site {g} must keep sharing its boot column"
+        );
+    }
+}
+
 /// Runs the whole suite, printing the per-scenario table and feeding the
 /// sink; with `gates` set, also enforces every `--check` invariant.
 fn run_suite(sink: &TraceSink, gates: bool) {
@@ -407,6 +466,8 @@ fn run_suite(sink: &TraceSink, gates: bool) {
             total_retries > 0,
             "no live query was ever retried — the bounded-retry path never ran"
         );
+        mass_join_scale_gate();
+        println!("mass-join at 300 synthetic sites: delta-exact through the GIIS root");
     }
 }
 

@@ -226,7 +226,7 @@ fn parallel_columnar(sink: &TraceSink, quick: bool) -> Vec<(usize, f64, f64)> {
     let snap = Arc::new(AdSnapshot::build(
         bench_ads(sites).into_iter().map(|(_, ad)| ad).collect(),
     ));
-    let map_engine = ParallelMatcher::new(snap.indexed_ads(), 0xC055);
+    let map_engine = ParallelMatcher::from_indexed(snap.indexed_ads(), 0xC055);
     let col_engine = ParallelMatcher::from_snapshot(Arc::clone(&snap), 0xC055);
     let jobs: Vec<MatchRequest> = (0..batch)
         .map(|i| MatchRequest {

@@ -16,7 +16,9 @@ use std::rc::Rc;
 use cg_jdl::{Ad, Interactivity, JobDescription, MachineAccess, Parallelism};
 use cg_net::{rpc_call, Dir, HandshakeProfile, Link, Session};
 use cg_sim::{Sim, SimDuration, SimTime};
-use cg_site::{GramEvent, InformationIndex, LocalJobSpec, MembershipState, Site, Transition};
+use cg_site::{
+    GramEvent, InformationIndex, LocalJobSpec, MembershipState, RefreshWindow, Site, Transition,
+};
 use cg_trace::replay::{Phase, ReplayAgent, ReplayJob, ReplayState, SpoolMark};
 use cg_trace::{Event, EventLog, MetricsRegistry};
 use cg_vm::{deploy_agent, Agent, AgentEvent, AgentId};
@@ -179,13 +181,27 @@ impl CrossBroker {
             .iter()
             .map(|s| s.site.lrms().total_nodes() as u32)
             .sum();
-        let index = InformationIndex::start_with_faults(
-            sim,
-            sites.iter().map(|s| s.site.clone()).collect(),
-            config.index_refresh,
-            config.publish_faults.clone(),
-            config.membership,
-        );
+        let index = if config.refresh_fanout > 0 {
+            InformationIndex::start_windowed(
+                sim,
+                sites.iter().map(|s| s.site.clone()).collect(),
+                config.index_refresh,
+                RefreshWindow {
+                    fanout: config.refresh_fanout,
+                    latency: config.publish_latency.clone(),
+                },
+                config.publish_faults.clone(),
+                config.membership,
+            )
+        } else {
+            InformationIndex::start_with_faults(
+                sim,
+                sites.iter().map(|s| s.site.clone()).collect(),
+                config.index_refresh,
+                config.publish_faults.clone(),
+                config.membership,
+            )
+        };
         let metrics = MetricsRegistry::new();
         let trace = EventLog::with_metrics(TRACE_CAPACITY, metrics.clone());
         let mut fairshare = FairShare::new(config.fairshare.clone(), total_cpus.max(1));
@@ -2046,18 +2062,34 @@ impl CrossBroker {
         };
         let index2 = index.clone();
         index.query(sim, &mds_link, move |sim, result| {
-            let stale = match result {
-                Ok(stale) => stale,
+            let (stale, distrusted) = match result {
+                Ok(stale) => (stale, HashSet::new()),
                 Err(_) => {
                     // Health-gated degradation: the information system is
                     // unreachable, so fall back to the broker's own last
-                    // snapshot — but only while its age stays inside the
-                    // trust bound. Beyond it the job fails as before
-                    // rather than matching against ancient columns.
+                    // snapshot — but the trust bound is *per site*. A
+                    // site's `published_at` lags the index-global
+                    // `refreshed_at` whenever its publish path was down,
+                    // so bounding on the global stamp (the old code)
+                    // would match onto arbitrarily stale columns while
+                    // believing them fresh. Sites beyond the bound are
+                    // dropped from the shortlist; the job fails only
+                    // when no column is trustworthy.
                     let now = sim.now();
                     let inner = this.inner.borrow();
-                    let staleness = now.saturating_since(inner.index.refreshed_at());
-                    if staleness > inner.config.degraded_max_staleness {
+                    let bound = inner.config.degraded_max_staleness;
+                    let snap = inner.index.snapshot_arc();
+                    let mut worst = SimDuration::ZERO;
+                    let mut distrusted = HashSet::new();
+                    for i in 0..snap.len() {
+                        let age = inner.index.staleness(i, now);
+                        if age > bound {
+                            distrusted.insert(i);
+                        } else if age > worst {
+                            worst = age;
+                        }
+                    }
+                    if distrusted.len() == snap.len() {
                         drop(inner);
                         this.fail(sim, id, "information system unreachable", false);
                         return;
@@ -2066,10 +2098,10 @@ impl CrossBroker {
                         now,
                         Event::DegradedMatch {
                             job: id.0,
-                            staleness_ns: staleness.as_nanos(),
+                            staleness_ns: worst.as_nanos(),
                         },
                     );
-                    inner.index.snapshot_arc()
+                    (snap, distrusted)
                 }
             };
             {
@@ -2088,16 +2120,24 @@ impl CrossBroker {
             let require_full = job.is_interactive() && job.parallelism != Parallelism::MpichG2;
             let shortlist: Vec<Candidate> = match this.compiled_for(id) {
                 Some(c) => filter_candidates_columnar(&job, &c, &stale, require_full),
-                None => filter_candidates(&job, &stale.indexed_ads(), require_full),
+                // Uncompiled jobs scan the same columns with raw
+                // expression eval (`CompiledJob::default()` carries no
+                // compiled forms) — identical semantics, no per-job ad
+                // clones.
+                None => {
+                    filter_candidates_columnar(&job, &CompiledJob::default(), &stale, require_full)
+                }
             }
             .into_iter()
             // Membership gate: `Dead` sites are dropped from the sweep
             // entirely; `Suspect` sites stay on the shortlist — the live
             // query doubles as the probe that can rejoin them — but the
             // selection step below still refuses to lease or dispatch
-            // onto anything unhealthy.
+            // onto anything unhealthy. Degraded mode additionally drops
+            // sites whose column aged past the trust bound.
             .filter(|c| {
                 !excluded.contains(&c.site_index)
+                    && !distrusted.contains(&c.site_index)
                     && index2.membership_state(c.site_index) != MembershipState::Dead
             })
             .collect();

@@ -99,6 +99,17 @@ pub struct BrokerConfig {
     pub publish_faults: Vec<FaultSchedule>,
     /// MDS index refresh period.
     pub index_refresh: SimDuration,
+    /// How many site publications an MDS refresh keeps in flight at
+    /// once — the refresh-side counterpart of `live_query_fanout`. `0`
+    /// keeps the legacy instantaneous walk (every site sampled at the
+    /// tick); any positive value runs each refresh as a windowed sweep
+    /// whose duration scales as `ceil(sites / fanout) × publish RTT`,
+    /// with late replies amnestied rather than counted as misses.
+    pub refresh_fanout: usize,
+    /// Per-site GRIS→GIIS publication latency for windowed sweeps, in
+    /// site-list order; missing entries publish instantaneously. Ignored
+    /// when `refresh_fanout` is `0`.
+    pub publish_latency: Vec<SimDuration>,
     /// Broker-side work for a direct (shared-VM) dispatch: matching the job
     /// to the agent ad, proxy delegation to the agent, seconds.
     pub shared_delegation_s: f64,
@@ -151,6 +162,8 @@ impl Default for BrokerConfig {
             membership: MembershipConfig::default(),
             publish_faults: Vec::new(),
             index_refresh: SimDuration::from_secs(300),
+            refresh_fanout: 0,
+            publish_latency: Vec::new(),
             shared_delegation_s: 3.9,
             default_sandbox_bytes: 10_000_000,
             broker_queue_retry: SimDuration::from_secs(30),
@@ -191,5 +204,7 @@ mod tests {
             c.membership.suspect_after_failed_queries <= c.membership.dead_after_failed_queries
         );
         assert!(c.publish_faults.is_empty(), "no churn by default");
+        assert_eq!(c.refresh_fanout, 0, "legacy instantaneous walk by default");
+        assert!(c.publish_latency.is_empty());
     }
 }

@@ -20,10 +20,11 @@ pub struct Candidate {
 
 /// Filters machine ads against the job's `Requirements` plus the broker's
 /// built-in constraints (enough free CPUs for the node count — or queueable
-/// for batch jobs).
-pub fn filter_candidates(
+/// for batch jobs). Accepts owned ads or `Arc`-shared ones (the shape
+/// [`AdSnapshot::indexed_ads`] hands out) — the filter only ever borrows.
+pub fn filter_candidates<A: std::borrow::Borrow<Ad>>(
     job: &JobDescription,
-    ads: &[(usize, Ad)],
+    ads: &[(usize, A)],
     require_free_cpus: bool,
 ) -> Vec<Candidate> {
     filter_candidates_inner(job, None, ads, require_free_cpus)
@@ -57,23 +58,24 @@ impl CompiledJob {
 
 /// [`filter_candidates`] over pre-compiled expressions — identical
 /// semantics, without per-site AST walks over the job's own attributes.
-pub fn filter_candidates_compiled(
+pub fn filter_candidates_compiled<A: std::borrow::Borrow<Ad>>(
     job: &JobDescription,
     compiled: &CompiledJob,
-    ads: &[(usize, Ad)],
+    ads: &[(usize, A)],
     require_free_cpus: bool,
 ) -> Vec<Candidate> {
     filter_candidates_inner(job, Some(compiled), ads, require_free_cpus)
 }
 
-fn filter_candidates_inner(
+fn filter_candidates_inner<A: std::borrow::Borrow<Ad>>(
     job: &JobDescription,
     compiled: Option<&CompiledJob>,
-    ads: &[(usize, Ad)],
+    ads: &[(usize, A)],
     require_free_cpus: bool,
 ) -> Vec<Candidate> {
     let mut out = Vec::new();
     for (site_index, ad) in ads {
+        let ad = ad.borrow();
         let free = ad.get("FreeCpus").and_then(|v| v.as_i64()).unwrap_or(0);
         if require_free_cpus && free < job.node_number as i64 {
             continue;

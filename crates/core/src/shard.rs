@@ -269,7 +269,7 @@ struct Matched {
 /// feed the same per-site matchmaking semantics, so the outcome vector is
 /// identical either way — the columnar store just scans flat arrays.
 enum AdStore {
-    Map(Vec<(usize, Ad)>),
+    Map(Vec<(usize, Arc<Ad>)>),
     Columnar(Arc<AdSnapshot>),
 }
 
@@ -300,6 +300,17 @@ impl ParallelMatcher {
     /// [`ParallelMatcher::with_policy`]/[`ParallelMatcher::with_signals`].
     #[must_use]
     pub fn new(ads: Vec<(usize, Ad)>, seed: u64) -> Self {
+        ParallelMatcher::from_indexed(
+            ads.into_iter().map(|(i, ad)| (i, Arc::new(ad))).collect(),
+            seed,
+        )
+    }
+
+    /// Like [`ParallelMatcher::new`], but over ads already behind `Arc` —
+    /// the shape [`AdSnapshot::indexed_ads`] hands out, so building a map
+    /// engine from a snapshot costs refcount bumps, not deep ad clones.
+    #[must_use]
+    pub fn from_indexed(ads: Vec<(usize, Arc<Ad>)>, seed: u64) -> Self {
         ParallelMatcher {
             ads: AdStore::Map(ads),
             seed,

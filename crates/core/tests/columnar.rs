@@ -215,7 +215,7 @@ fn parallel_matcher_columnar_engine_is_bit_identical_to_map_engine() {
         .collect();
 
     let snap = Arc::new(AdSnapshot::build(ads));
-    let map_engine = ParallelMatcher::new(snap.indexed_ads(), 0xC055);
+    let map_engine = ParallelMatcher::from_indexed(snap.indexed_ads(), 0xC055);
     let col_engine = ParallelMatcher::from_snapshot(Arc::clone(&snap), 0xC055);
     let run = |engine: &ParallelMatcher, threads: usize| {
         let log = EventLog::new(requests.len() * 4);

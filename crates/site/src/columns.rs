@@ -40,6 +40,23 @@ fn accepts_queued_sym() -> Symbol {
     *S.get_or_init(|| intern("AcceptsQueued"))
 }
 
+/// Derives the hot-column values from one ad, with exactly the map-based
+/// matchmaking path's expressions — this is what keeps columnar filtering
+/// bit-identical.
+fn column_values(ad: &Ad) -> (Option<Arc<str>>, i64, bool) {
+    (
+        ad.get_sym(site_sym())
+            .and_then(cg_jdl::Value::as_str)
+            .map(Arc::from),
+        ad.get_sym(free_cpus_sym())
+            .and_then(cg_jdl::Value::as_i64)
+            .unwrap_or(0),
+        ad.get_sym(accepts_queued_sym())
+            .and_then(cg_jdl::Value::as_bool)
+            .unwrap_or(true),
+    )
+}
+
 /// An immutable, epoch-tagged, column-oriented view of every site's machine
 /// ad. Shared as `Arc<AdSnapshot>`; see the module docs for the layout and
 /// the delta contract.
@@ -74,23 +91,10 @@ impl AdSnapshot {
     }
 
     fn push_columns(&mut self, ad: &Ad) {
-        // Same derivations as the map-based matchmaking path — this is what
-        // keeps columnar filtering bit-identical.
-        self.site_names.push(
-            ad.get_sym(site_sym())
-                .and_then(cg_jdl::Value::as_str)
-                .map(Arc::from),
-        );
-        self.free_cpus.push(
-            ad.get_sym(free_cpus_sym())
-                .and_then(cg_jdl::Value::as_i64)
-                .unwrap_or(0),
-        );
-        self.accepts_queued.push(
-            ad.get_sym(accepts_queued_sym())
-                .and_then(cg_jdl::Value::as_bool)
-                .unwrap_or(true),
-        );
+        let (name, free, accepts) = column_values(ad);
+        self.site_names.push(name);
+        self.free_cpus.push(free);
+        self.accepts_queued.push(accepts);
     }
 
     /// Produces the successor snapshot from freshly gathered ads. The
@@ -127,6 +131,35 @@ impl AdSnapshot {
                 snap.ads.push(Arc::new(ad));
                 snap.site_epochs.push(epoch);
             }
+        }
+        snap
+    }
+
+    /// Produces the successor snapshot by applying a sparse delta —
+    /// `(site index, fresh ad)` pairs from sites whose publication actually
+    /// arrived, everyone else untouched. This is the GIIS aggregation path:
+    /// a leaf reports only its [`AdSnapshot::dirty_since`] sites, so the
+    /// merge does per-site ad work proportional to the *changed* sites (the
+    /// flat column vectors are copied, which is a memcpy, but no ad is
+    /// compared, cloned or re-derived unless it appears in `changes`). The
+    /// snapshot epoch always advances; a delta entry equal to the current
+    /// column keeps its `Arc` and site epoch, exactly like
+    /// [`AdSnapshot::advance`]. Out-of-range indices are ignored.
+    #[must_use]
+    pub fn apply_delta(&self, changes: &[(usize, Arc<Ad>)]) -> AdSnapshot {
+        let epoch = self.epoch + 1;
+        let mut snap = self.clone();
+        snap.epoch = epoch;
+        for (i, ad) in changes {
+            if *i >= snap.ads.len() || **ad == *snap.ads[*i] {
+                continue;
+            }
+            let (name, free, accepts) = column_values(ad);
+            snap.site_names[*i] = name;
+            snap.free_cpus[*i] = free;
+            snap.accepts_queued[*i] = accepts;
+            snap.ads[*i] = Arc::clone(ad);
+            snap.site_epochs[*i] = epoch;
         }
         snap
     }
@@ -197,14 +230,16 @@ impl AdSnapshot {
             .map(|(i, _)| i)
     }
 
-    /// The map-shaped view matchmaking historically consumed — clones every
-    /// ad; compatibility/bench shim, not the hot path.
+    /// The map-shaped view matchmaking historically consumed. Every ad is
+    /// `Arc`-shared with the snapshot (and, transitively, with every
+    /// predecessor snapshot the site was unchanged across) — a call costs
+    /// one refcount bump per site, never a deep `Ad` clone.
     #[must_use]
-    pub fn indexed_ads(&self) -> Vec<(usize, Ad)> {
+    pub fn indexed_ads(&self) -> Vec<(usize, Arc<Ad>)> {
         self.ads
             .iter()
             .enumerate()
-            .map(|(i, ad)| (i, (**ad).clone()))
+            .map(|(i, ad)| (i, Arc::clone(ad)))
             .collect()
     }
 }
@@ -281,5 +316,60 @@ mod tests {
             ads[1].1.get("FreeCpus").and_then(cg_jdl::Value::as_i64),
             Some(2)
         );
+    }
+
+    #[test]
+    fn indexed_ads_shares_allocations_instead_of_deep_cloning() {
+        // Regression for the hot-path clone: `indexed_ads` used to rebuild
+        // every site's B-tree map per call. It must hand out the snapshot's
+        // own `Arc`s — and, across a refresh, an unchanged site's ad must
+        // be the same allocation in both snapshots' views.
+        let s0 = AdSnapshot::build(vec![ad("uab", 4), ad("ifca", 8)]);
+        let v0 = s0.indexed_ads();
+        assert!(Arc::ptr_eq(&v0[0].1, s0.ad_arc(0)), "no per-call clone");
+        let s1 = s0.advance(vec![ad("uab", 4), ad("ifca", 7)]);
+        let v1 = s1.indexed_ads();
+        assert!(
+            Arc::ptr_eq(&v0[0].1, &v1[0].1),
+            "unchanged site shares one allocation across refreshes"
+        );
+        assert!(!Arc::ptr_eq(&v0[1].1, &v1[1].1), "changed site does not");
+    }
+
+    #[test]
+    fn apply_delta_touches_only_the_delta_sites() {
+        let s0 = AdSnapshot::build(vec![ad("a", 1), ad("b", 2), ad("c", 3)]);
+        let s1 = s0.apply_delta(&[(1, Arc::new(ad("b", 9)))]);
+        assert_eq!(s1.epoch(), 1);
+        assert_eq!(s1.free_cpus(1), 9);
+        assert_eq!(s1.site_epoch(1), 1);
+        assert_eq!(s1.dirty_since(0).collect::<Vec<_>>(), vec![1]);
+        assert!(Arc::ptr_eq(s0.ad_arc(0), s1.ad_arc(0)));
+        assert!(Arc::ptr_eq(s0.ad_arc(2), s1.ad_arc(2)));
+
+        // A delta equal to the current column is a no-op for that site:
+        // same Arc, same site epoch — mirroring `advance`.
+        let s2 = s1.apply_delta(&[(1, Arc::new(ad("b", 9))), (99, Arc::new(ad("x", 1)))]);
+        assert_eq!(s2.epoch(), 2);
+        assert!(Arc::ptr_eq(s1.ad_arc(1), s2.ad_arc(1)));
+        assert_eq!(s2.site_epoch(1), 1, "unchanged delta keeps the epoch");
+        assert_eq!(s2.dirty_since(1).count(), 0);
+    }
+
+    #[test]
+    fn apply_delta_matches_advance_for_the_same_change() {
+        // The aggregation path (sparse delta) and the flat refresh path
+        // (full advance) must produce the same columns for the same change.
+        let s0 = AdSnapshot::build(vec![ad("a", 1), ad("b", 2)]);
+        let via_advance = s0.advance(vec![ad("a", 1), ad("b", 5)]);
+        let via_delta = s0.apply_delta(&[(1, Arc::new(ad("b", 5)))]);
+        assert_eq!(via_advance.epoch(), via_delta.epoch());
+        for i in 0..2 {
+            assert_eq!(via_advance.free_cpus(i), via_delta.free_cpus(i));
+            assert_eq!(via_advance.site_name(i), via_delta.site_name(i));
+            assert_eq!(via_advance.accepts_queued(i), via_delta.accepts_queued(i));
+            assert_eq!(via_advance.site_epoch(i), via_delta.site_epoch(i));
+            assert_eq!(*via_advance.ad(i), *via_delta.ad(i));
+        }
     }
 }

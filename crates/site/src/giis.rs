@@ -1,0 +1,490 @@
+//! Two-tier GIIS aggregation — the hierarchy that takes the information
+//! system from tens of sites to a thousand.
+//!
+//! The flat model ([`InformationIndex`]) rebuilds one snapshot over *all*
+//! sites every refresh, so both refresh fan-out and downstream matchmaking
+//! invalidation scale with the total grid. Globus MDS solved this with a
+//! GRIS→GIIS tree: site-level reporters register into regional indexes,
+//! which register into a root index. This module models that shape with
+//! two tiers:
+//!
+//! * **Leaves** — one windowed [`InformationIndex`] per region (at most
+//!   `branching` sites each), sweeping its own sites concurrently.
+//! * **Root** — a single merged columnar [`AdSnapshot`] over the whole
+//!   grid, advanced only by *deltas*: after each leaf sweep the leaf's
+//!   `dirty_since(last-seen-epoch)` set is remapped into global site
+//!   indexes and shipped up the tree with `uplink_latency`; a sweep that
+//!   changed nothing ships nothing.
+//!
+//! A refresh or membership change at one site therefore costs the root
+//! O(changed sites), not O(all sites) — and the broker's incremental
+//! matchmaking (`dirty_since` on the root snapshot) inherits the same
+//! bound.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use cg_jdl::Ad;
+use cg_net::FaultSchedule;
+use cg_sim::{Sim, SimDuration};
+
+use crate::columns::AdSnapshot;
+use crate::mds::{InformationIndex, RefreshWindow, SweepReport};
+use crate::membership::{MembershipConfig, MembershipState, Transition};
+use crate::site::Site;
+
+/// Shape of the two-tier hierarchy.
+#[derive(Debug, Clone)]
+pub struct GiisConfig {
+    /// Maximum sites per leaf index (min 1). Sites are partitioned into
+    /// contiguous leaves in registration order, so global site index `g`
+    /// lives in leaf `g / branching` at local index `g % branching`.
+    pub branching: usize,
+    /// Leaf refresh interval (each leaf sweeps on this period).
+    pub refresh_interval: SimDuration,
+    /// Per-leaf windowed-refresh parameters; `window.latency` is indexed
+    /// by *global* site index and sliced per leaf.
+    pub window: RefreshWindow,
+    /// Leaf→root propagation latency for delta and membership uplinks.
+    pub uplink_latency: SimDuration,
+    /// Failure-detector thresholds, applied per leaf.
+    pub membership: MembershipConfig,
+}
+
+impl Default for GiisConfig {
+    fn default() -> Self {
+        GiisConfig {
+            branching: 32,
+            refresh_interval: SimDuration::from_secs(300),
+            window: RefreshWindow::default(),
+            uplink_latency: SimDuration::from_secs_f64(0.05),
+            membership: MembershipConfig::default(),
+        }
+    }
+}
+
+/// One delta merged into the root snapshot, reported to the observer
+/// after the merge settles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GiisDeltaReport {
+    /// Which leaf shipped the delta.
+    pub leaf: usize,
+    /// Root snapshot epoch after the merge.
+    pub root_epoch: u64,
+    /// Number of sites the delta touched (always > 0 — empty sweeps ship
+    /// nothing).
+    pub changed: usize,
+    /// True when the delta came from a late-reply merge rather than a
+    /// sweep close.
+    pub late: bool,
+}
+
+/// Per-leaf health counters, for reports and gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafStats {
+    /// Sites in this leaf.
+    pub sites: usize,
+    /// Completed sweeps.
+    pub refreshes: u64,
+    /// Late replies merged after their sweep closed.
+    pub late_merges: u64,
+    /// Site-sweeps amnestied at forced closes.
+    pub amnestied: u64,
+}
+
+type DeltaObserver = Rc<dyn Fn(&mut Sim, &GiisDeltaReport)>;
+type MembershipObserver = Rc<dyn Fn(&mut Sim, usize, &Transition)>;
+
+struct RootInner {
+    snapshot: Arc<AdSnapshot>,
+    /// Last leaf epoch already folded into the root, per leaf.
+    leaf_seen: Vec<u64>,
+    /// Root's (uplink-delayed) view of per-site schedulability.
+    schedulable: Vec<bool>,
+    deltas_merged: u64,
+    delta_sites: u64,
+    observer: Option<DeltaObserver>,
+    membership_observer: Option<MembershipObserver>,
+}
+
+/// The root aggregator. Clones share state.
+#[derive(Clone)]
+pub struct GiisRoot {
+    leaves: Rc<Vec<InformationIndex>>,
+    /// Global site index of each leaf's first site.
+    leaf_base: Rc<Vec<usize>>,
+    branching: usize,
+    uplink_latency: SimDuration,
+    inner: Rc<RefCell<RootInner>>,
+}
+
+impl GiisRoot {
+    /// Partitions `sites` into contiguous leaves of at most
+    /// `config.branching` sites, starts a windowed [`InformationIndex`]
+    /// per leaf, and wires each leaf's sweep and membership observers to
+    /// propagate deltas and transitions up to the root with
+    /// `config.uplink_latency`. `publish_faults` is indexed by global
+    /// site index, like `config.window.latency`.
+    pub fn start(
+        sim: &mut Sim,
+        sites: Vec<Site>,
+        config: &GiisConfig,
+        publish_faults: Vec<FaultSchedule>,
+    ) -> Self {
+        let branching = config.branching.max(1);
+        let n = sites.len();
+        let mut leaves = Vec::new();
+        let mut leaf_base = Vec::new();
+        let mut site_iter = sites.into_iter();
+        let mut base = 0;
+        while base < n {
+            let chunk: Vec<Site> = site_iter.by_ref().take(branching).collect();
+            let take = chunk.len();
+            let window = RefreshWindow {
+                fanout: config.window.fanout,
+                latency: slice_or_empty(&config.window.latency, base, take),
+            };
+            let faults = slice_or_empty(&publish_faults, base, take);
+            leaves.push(InformationIndex::start_windowed(
+                sim,
+                chunk,
+                config.refresh_interval,
+                window,
+                faults,
+                config.membership,
+            ));
+            leaf_base.push(base);
+            base += take;
+        }
+
+        // Boot snapshot: the concatenation of the leaves' boot snapshots,
+        // in global order — including placeholder columns for sites whose
+        // publish path is dark at t=0.
+        let ads: Vec<Ad> = leaves
+            .iter()
+            .flat_map(|leaf| {
+                let snap = leaf.snapshot_arc();
+                (0..snap.len())
+                    .map(move |i| snap.ad(i).clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let root = GiisRoot {
+            leaf_base: Rc::new(leaf_base),
+            branching,
+            uplink_latency: config.uplink_latency,
+            inner: Rc::new(RefCell::new(RootInner {
+                snapshot: Arc::new(AdSnapshot::build(ads)),
+                leaf_seen: vec![0; leaves.len()],
+                schedulable: vec![true; n],
+                deltas_merged: 0,
+                delta_sites: 0,
+                observer: None,
+                membership_observer: None,
+            })),
+            leaves: Rc::new(leaves),
+        };
+        for (l, leaf) in root.leaves.iter().enumerate() {
+            root.wire_leaf(l, leaf);
+        }
+        root
+    }
+
+    /// Hooks one leaf's sweep and membership observers to the root. The
+    /// observers capture the root's inner state only (never a leaf
+    /// handle), so no `Rc` cycle forms.
+    fn wire_leaf(&self, l: usize, leaf: &InformationIndex) {
+        let base = self.leaf_base[l];
+        let inner = Rc::clone(&self.inner);
+        let uplink = self.uplink_latency;
+        leaf.set_sweep_observer(move |sim, report: &SweepReport, snap| {
+            let changes: Vec<(usize, Arc<Ad>)> = {
+                let mut r = inner.borrow_mut();
+                let seen = r.leaf_seen[l];
+                r.leaf_seen[l] = snap.epoch();
+                snap.dirty_since(seen)
+                    .map(|i| (base + i, Arc::clone(snap.ad_arc(i))))
+                    .collect()
+            };
+            if changes.is_empty() {
+                return; // nothing changed → nothing ships up the tree
+            }
+            let inner = Rc::clone(&inner);
+            let late = report.late;
+            sim.schedule_in(uplink, move |sim| {
+                let (report, observer) = {
+                    let mut r = inner.borrow_mut();
+                    r.snapshot = Arc::new(r.snapshot.apply_delta(&changes));
+                    r.deltas_merged += 1;
+                    r.delta_sites += changes.len() as u64;
+                    (
+                        GiisDeltaReport {
+                            leaf: l,
+                            root_epoch: r.snapshot.epoch(),
+                            changed: changes.len(),
+                            late,
+                        },
+                        r.observer.clone(),
+                    )
+                };
+                if let Some(observer) = observer {
+                    observer(sim, &report);
+                }
+            });
+        });
+
+        let inner = Rc::clone(&self.inner);
+        let uplink = self.uplink_latency;
+        leaf.set_membership_observer(move |sim, i, tr| {
+            let global = base + i;
+            let schedulable = !matches!(tr, Transition::Suspected { .. } | Transition::Died);
+            let inner = Rc::clone(&inner);
+            let tr = *tr;
+            sim.schedule_in(uplink, move |sim| {
+                let observer = {
+                    let mut r = inner.borrow_mut();
+                    r.schedulable[global] = schedulable;
+                    r.membership_observer.clone()
+                };
+                if let Some(observer) = observer {
+                    observer(sim, global, &tr);
+                }
+            });
+        });
+    }
+
+    /// The merged grid-wide columnar snapshot — an `Arc` clone, not a
+    /// table copy. Its `dirty_since` carries the same O(changed-sites)
+    /// bound the leaves publish.
+    pub fn snapshot_arc(&self) -> Arc<AdSnapshot> {
+        Arc::clone(&self.inner.borrow().snapshot)
+    }
+
+    /// Total sites across all leaves.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().schedulable.len()
+    }
+
+    /// True when the hierarchy aggregates no sites.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The leaf indexes, in partition order — for tests and reports.
+    pub fn leaves(&self) -> &[InformationIndex] {
+        &self.leaves
+    }
+
+    /// Maps a global site index to `(leaf, local-index-within-leaf)`.
+    pub fn leaf_of(&self, global: usize) -> (usize, usize) {
+        (global / self.branching, global % self.branching)
+    }
+
+    /// The root's uplink-delayed view of whether the site may be leased
+    /// or dispatched onto.
+    pub fn is_schedulable(&self, global: usize) -> bool {
+        self.inner.borrow().schedulable[global]
+    }
+
+    /// The site's membership state, read directly from its leaf (the
+    /// leaf's instant view, not the uplink-delayed one).
+    pub fn membership_state(&self, global: usize) -> MembershipState {
+        let (l, i) = self.leaf_of(global);
+        self.leaves[l].membership_state(i)
+    }
+
+    /// Number of deltas merged into the root.
+    pub fn deltas_merged(&self) -> u64 {
+        self.inner.borrow().deltas_merged
+    }
+
+    /// Cumulative sites touched across all merged deltas — the hierarchy's
+    /// total propagation work. Under localized churn this grows with the
+    /// churned set, not the grid.
+    pub fn delta_sites(&self) -> u64 {
+        self.inner.borrow().delta_sites
+    }
+
+    /// Per-leaf health counters, in partition order.
+    pub fn leaf_stats(&self) -> Vec<LeafStats> {
+        self.leaves
+            .iter()
+            .zip(self.leaf_base.iter().enumerate())
+            .map(|(leaf, (l, &base))| {
+                let next = self
+                    .leaf_base
+                    .get(l + 1)
+                    .copied()
+                    .unwrap_or_else(|| self.len());
+                LeafStats {
+                    sites: next - base,
+                    refreshes: leaf.refreshes(),
+                    late_merges: leaf.late_merges(),
+                    amnestied: leaf.amnestied(),
+                }
+            })
+            .collect()
+    }
+
+    /// Registers the single delta observer, replacing any previous one —
+    /// invoked after each delta merges into the root snapshot.
+    pub fn set_delta_observer(&self, observer: impl Fn(&mut Sim, &GiisDeltaReport) + 'static) {
+        self.inner.borrow_mut().observer = Some(Rc::new(observer));
+    }
+
+    /// Registers the single membership observer, replacing any previous
+    /// one — invoked with *global* site indexes, after the transition has
+    /// propagated up the tree (i.e. `uplink_latency` after the leaf saw
+    /// it).
+    pub fn set_membership_observer(
+        &self,
+        observer: impl Fn(&mut Sim, usize, &Transition) + 'static,
+    ) {
+        self.inner.borrow_mut().membership_observer = Some(Rc::new(observer));
+    }
+}
+
+fn slice_or_empty<T: Clone>(v: &[T], base: usize, len: usize) -> Vec<T> {
+    if base >= v.len() {
+        return Vec::new();
+    }
+    v[base..(base + len).min(v.len())].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lrms::{LocalJobSpec, Policy};
+    use crate::site::{Site, SiteConfig};
+    use cg_sim::SimTime;
+
+    fn grid(n: usize) -> Vec<Site> {
+        (0..n)
+            .map(|i| {
+                Site::new(SiteConfig {
+                    name: format!("site{i:03}"),
+                    nodes: 2 + i % 3,
+                    policy: Policy::Fifo,
+                    ..SiteConfig::default()
+                })
+            })
+            .collect()
+    }
+
+    fn test_config() -> GiisConfig {
+        GiisConfig {
+            branching: 3,
+            refresh_interval: SimDuration::from_secs(60),
+            uplink_latency: SimDuration::from_secs(1),
+            ..GiisConfig::default()
+        }
+    }
+
+    #[test]
+    fn sites_partition_into_leaves_in_global_order() {
+        let mut sim = Sim::new(21);
+        let root = GiisRoot::start(&mut sim, grid(8), &test_config(), Vec::new());
+        assert_eq!(root.leaves().len(), 3, "ceil(8/3) leaves");
+        assert_eq!(root.len(), 8);
+        let snap = root.snapshot_arc();
+        for g in 0..8 {
+            assert_eq!(snap.site_name(g), Some(format!("site{g:03}").as_str()));
+            let (l, i) = root.leaf_of(g);
+            assert_eq!((l, i), (g / 3, g % 3));
+        }
+    }
+
+    #[test]
+    fn one_changed_site_ships_a_one_site_delta() {
+        let mut sim = Sim::new(22);
+        let sites = grid(9);
+        let busy = sites[4].clone(); // leaf 1, local index 1
+        let root = GiisRoot::start(&mut sim, sites, &test_config(), Vec::new());
+        let boot = root.snapshot_arc();
+        let seen: Rc<RefCell<Vec<GiisDeltaReport>>> = Rc::new(RefCell::new(Vec::new()));
+        let s = Rc::clone(&seen);
+        root.set_delta_observer(move |_, r| s.borrow_mut().push(*r));
+
+        busy.lrms().submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(10_000)),
+            |_, _, _| {},
+        );
+        // Leaf sweeps at t=60 close instantly (zero publish latency); the
+        // one leaf with a change ships its delta, landing at t=61.
+        sim.run_until(SimTime::from_secs(62));
+        assert_eq!(root.deltas_merged(), 1, "quiet leaves ship nothing");
+        assert_eq!(root.delta_sites(), 1);
+        let reports = seen.borrow();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].leaf, 1);
+        assert_eq!(reports[0].changed, 1);
+        assert!(!reports[0].late);
+
+        let snap = root.snapshot_arc();
+        assert_eq!(
+            snap.dirty_since(boot.epoch()).collect::<Vec<_>>(),
+            vec![4],
+            "root invalidation is exactly the changed site"
+        );
+        assert_eq!(snap.free_cpus(4), boot.free_cpus(4) - 1);
+        // Every unchanged site still shares its boot allocation.
+        for g in (0..9).filter(|&g| g != 4) {
+            assert!(Arc::ptr_eq(boot.ad_arc(g), snap.ad_arc(g)));
+        }
+    }
+
+    #[test]
+    fn membership_transitions_surface_globally_after_the_uplink() {
+        let mut sim = Sim::new(23);
+        // Site 7 (leaf 2, local 1) never publishes: two missed sweeps at
+        // t=60 and t=120 suspect it at the leaf; the root hears one
+        // uplink later.
+        let mut faults = vec![FaultSchedule::default(); 8];
+        faults[7] = FaultSchedule::from_windows(vec![(SimTime::ZERO, SimTime::from_secs(100_000))]);
+        let root = GiisRoot::start(&mut sim, grid(8), &test_config(), faults);
+        let seen: Rc<RefCell<Vec<(usize, Transition)>>> = Rc::new(RefCell::new(Vec::new()));
+        let s = Rc::clone(&seen);
+        root.set_membership_observer(move |_, g, tr| s.borrow_mut().push((g, *tr)));
+
+        sim.run_until(SimTime::from_secs(130));
+        assert_eq!(root.membership_state(7), MembershipState::Suspect);
+        assert!(!root.is_schedulable(7), "uplink-delayed view caught up");
+        assert!(root.is_schedulable(6));
+        assert!(
+            seen.borrow()
+                .iter()
+                .any(|(g, tr)| *g == 7 && matches!(tr, Transition::Suspected { .. })),
+            "{:?}",
+            seen.borrow()
+        );
+    }
+
+    #[test]
+    fn mass_join_marks_exactly_the_joining_sites_dirty() {
+        let mut sim = Sim::new(24);
+        // Sites 6..9 are dark at boot (placeholder columns) and join when
+        // their publish paths come up at t=70 — between the first sweep
+        // (t=60, still dark) and the second (t=120).
+        let n = 9;
+        let mut faults = vec![FaultSchedule::default(); n];
+        for f in faults.iter_mut().skip(6) {
+            *f = FaultSchedule::from_windows(vec![(SimTime::ZERO, SimTime::from_secs(70))]);
+        }
+        let root = GiisRoot::start(&mut sim, grid(n), &test_config(), faults);
+        let boot = root.snapshot_arc();
+        for g in 6..n {
+            assert_eq!(boot.free_cpus(g), 0, "dark site boots as placeholder");
+        }
+        sim.run_until(SimTime::from_secs(122));
+        let snap = root.snapshot_arc();
+        let mut dirty: Vec<usize> = snap.dirty_since(boot.epoch()).collect();
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![6, 7, 8], "joiners and only joiners are dirty");
+        assert_eq!(root.delta_sites(), 3, "no full-snapshot invalidation");
+        for g in 6..n {
+            assert!(snap.free_cpus(g) > 0, "joined site published its real ad");
+        }
+    }
+}

@@ -16,6 +16,7 @@
 
 mod columns;
 mod gatekeeper;
+mod giis;
 mod lrms;
 mod mds;
 mod membership;
@@ -24,8 +25,9 @@ mod wn;
 
 pub use columns::AdSnapshot;
 pub use gatekeeper::{Gatekeeper, GramCosts, GramEvent};
+pub use giis::{GiisConfig, GiisDeltaReport, GiisRoot, LeafStats};
 pub use lrms::{LocalDisposition, LocalJobId, LocalJobSpec, Lrms, LrmsEvent, LrmsStats, Policy};
-pub use mds::{InformationIndex, SiteRecord};
+pub use mds::{InformationIndex, RefreshWindow, SiteRecord, SweepReport};
 pub use membership::{MembershipConfig, MembershipState, MembershipTable, Transition};
 pub use site::{machine_schema, Site, SiteConfig};
 pub use wn::NodeSpec;

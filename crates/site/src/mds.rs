@@ -30,6 +30,67 @@ use crate::site::Site;
 /// its obituary/re-match logic here.
 type MembershipObserver = Rc<dyn Fn(&mut Sim, usize, &Transition)>;
 
+/// Callback invoked after every snapshot advance — a sweep close (legacy
+/// or windowed) or a late-reply merge — with the advance's accounting and
+/// the snapshot as it stands afterwards. The GIIS aggregation layer hangs
+/// its delta propagation here.
+type SweepObserver = Rc<dyn Fn(&mut Sim, &SweepReport, &Arc<AdSnapshot>)>;
+
+/// Windowed-refresh parameters: instead of the legacy instantaneous walk,
+/// each refresh tick opens a *sweep* that pulls at most `fanout` sites
+/// concurrently (the same windowing shape as the broker's
+/// `live_query_fanout`), so sweep duration scales as
+/// `ceil(sites / fanout) × RTT` instead of `sites × RTT`.
+#[derive(Debug, Clone)]
+pub struct RefreshWindow {
+    /// Maximum concurrent in-flight site pulls per sweep (min 1).
+    pub fanout: usize,
+    /// Per-site GRIS→GIIS publication latency; shorter than the site list
+    /// means the remainder publish instantaneously.
+    pub latency: Vec<SimDuration>,
+}
+
+impl Default for RefreshWindow {
+    fn default() -> Self {
+        RefreshWindow {
+            fanout: 4,
+            latency: Vec::new(),
+        }
+    }
+}
+
+/// Accounting for one snapshot advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Sites whose publication arrived and was applied in this advance.
+    pub refreshed: usize,
+    /// Sites whose publish path was down at attempt time — these accrue
+    /// a missed refresh toward `Suspect`.
+    pub missed: usize,
+    /// Sites whose reply was merely in flight (or not yet attempted) when
+    /// the tick closed the sweep — amnestied: neither refreshed nor
+    /// missed, so a slow-but-healthy link never drifts toward `Suspect`.
+    pub amnestied: usize,
+    /// True when this advance merged a late reply from an already-closed
+    /// sweep rather than closing a sweep itself.
+    pub late: bool,
+}
+
+/// In-progress windowed sweep.
+struct SweepState {
+    /// Sweep generation — replies carry it so a late arrival (after the
+    /// tick force-closed this sweep) is recognized and merged separately.
+    gen: u64,
+    /// Sites not yet attempted, in index order.
+    pending: std::collections::VecDeque<usize>,
+    /// Attempted sites whose reply has not yet arrived.
+    in_flight: usize,
+    /// Arrived publications, buffered until the sweep closes.
+    arrived: Vec<(usize, Ad)>,
+    /// Sites whose path was down at attempt time.
+    missed: usize,
+}
+
 /// One site's entry in the index — the row-shaped compatibility view
 /// derived from the columnar snapshot by [`InformationIndex::snapshot`].
 #[derive(Debug, Clone)]
@@ -60,6 +121,15 @@ struct Inner {
     publish_faults: Vec<FaultSchedule>,
     membership: MembershipTable,
     observer: Option<MembershipObserver>,
+    /// `Some` puts the refresh cycle in windowed mode.
+    window: Option<RefreshWindow>,
+    sweep: Option<SweepState>,
+    next_sweep_gen: u64,
+    /// Total late replies merged after their sweep closed.
+    late_merges: u64,
+    /// Total in-flight/unattempted sites amnestied at forced sweep closes.
+    amnestied: u64,
+    sweep_observer: Option<SweepObserver>,
 }
 
 /// The aggregated index (GIIS). Clones share state.
@@ -108,9 +178,67 @@ impl InformationIndex {
                 publish_faults,
                 membership: MembershipTable::new(n, membership),
                 observer: None,
+                window: None,
+                sweep: None,
+                next_sweep_gen: 0,
+                late_merges: 0,
+                amnestied: 0,
+                sweep_observer: None,
             })),
         };
         index.schedule_refresh(sim);
+        index
+    }
+
+    /// Like [`InformationIndex::start_with_faults`], but the refresh cycle
+    /// runs as windowed sweeps (at most `window.fanout` concurrent site
+    /// pulls, per-site publication latency) instead of the legacy
+    /// instantaneous walk. Sites whose publish path is down *at boot* get
+    /// a placeholder column (`FreeCpus = 0`, `AcceptsQueued = false`)
+    /// until their first publication arrives — so a mass join surfaces as
+    /// a genuine per-site delta, not a pre-populated row.
+    pub fn start_windowed(
+        sim: &mut Sim,
+        sites: Vec<Site>,
+        refresh_interval: SimDuration,
+        window: RefreshWindow,
+        publish_faults: Vec<FaultSchedule>,
+        membership: MembershipConfig,
+    ) -> Self {
+        let now = sim.now();
+        let ads: Vec<Ad> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if publish_faults.get(i).is_some_and(|f| f.is_down(now)) {
+                    unregistered_ad(s.name())
+                } else {
+                    s.machine_ad()
+                }
+            })
+            .collect();
+        let n = sites.len();
+        let index = InformationIndex {
+            inner: Rc::new(RefCell::new(Inner {
+                sites,
+                snapshot: Arc::new(AdSnapshot::build(ads)),
+                refreshed_at: now,
+                published_at: vec![now; n],
+                refresh_interval,
+                query_cpu_s: 0.42,
+                refreshes: 0,
+                publish_faults,
+                membership: MembershipTable::new(n, membership),
+                observer: None,
+                window: Some(window),
+                sweep: None,
+                next_sweep_gen: 0,
+                late_merges: 0,
+                amnestied: 0,
+                sweep_observer: None,
+            })),
+        };
+        index.schedule_windowed_tick(sim);
         index
     }
 
@@ -118,10 +246,11 @@ impl InformationIndex {
         let this = self.clone();
         let interval = self.inner.borrow().refresh_interval;
         sim.schedule_in(interval, move |sim| {
-            let transitions = {
+            let (transitions, report, snap) = {
                 let mut inner = this.inner.borrow_mut();
                 let now = sim.now();
                 let mut transitions = Vec::new();
+                let mut missed = 0;
                 // Each site publishes independently: a down path keeps the
                 // stale column (same Arc, same epoch) and counts a miss.
                 let fresh: Vec<Ad> = inner
@@ -139,6 +268,7 @@ impl InformationIndex {
                 for i in 0..inner.sites.len() {
                     let down = inner.publish_faults.get(i).is_some_and(|f| f.is_down(now));
                     let tr = if down {
+                        missed += 1;
                         inner.membership.note_refresh_missed(i, now)
                     } else {
                         inner.published_at[i] = now;
@@ -153,11 +283,216 @@ impl InformationIndex {
                 inner.snapshot = Arc::new(inner.snapshot.advance(fresh));
                 inner.refreshed_at = now;
                 inner.refreshes += 1;
-                transitions
+                let report = SweepReport {
+                    refreshed: inner.sites.len() - missed,
+                    missed,
+                    amnestied: 0,
+                    late: false,
+                };
+                (transitions, report, Arc::clone(&inner.snapshot))
             };
             this.notify(sim, transitions);
+            this.notify_sweep(sim, &report, &snap);
             this.schedule_refresh(sim);
         });
+    }
+
+    fn schedule_windowed_tick(&self, sim: &mut Sim) {
+        let this = self.clone();
+        let interval = self.inner.borrow().refresh_interval;
+        sim.schedule_in(interval, move |sim| {
+            // Force-close whatever the previous sweep left open (amnesty
+            // for in-flight and unattempted sites), then open a new sweep.
+            this.close_sweep(sim);
+            this.begin_sweep(sim);
+            this.schedule_windowed_tick(sim);
+        });
+    }
+
+    fn begin_sweep(&self, sim: &mut Sim) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let gen = inner.next_sweep_gen;
+            inner.next_sweep_gen += 1;
+            inner.sweep = Some(SweepState {
+                gen,
+                pending: (0..inner.sites.len()).collect(),
+                in_flight: 0,
+                arrived: Vec::new(),
+                missed: 0,
+            });
+        }
+        self.pump_sweep(sim);
+    }
+
+    /// Launches site pulls until the fanout window is full; closes the
+    /// sweep early once every site has been attempted and settled.
+    fn pump_sweep(&self, sim: &mut Sim) {
+        enum Pump {
+            Close,
+            Wait,
+            Missed(usize, Option<Transition>),
+            Pull(usize, u64, SimDuration, Ad),
+        }
+        loop {
+            let step = {
+                let mut inner = self.inner.borrow_mut();
+                let now = sim.now();
+                let fanout = inner
+                    .window
+                    .as_ref()
+                    .map_or(usize::MAX, |w| w.fanout.max(1));
+                let Some(sweep) = inner.sweep.as_mut() else {
+                    return;
+                };
+                if sweep.in_flight >= fanout {
+                    return;
+                }
+                let gen = sweep.gen;
+                let popped = sweep.pending.pop_front();
+                let settled = sweep.in_flight == 0;
+                match popped {
+                    // Pending drained: close once the last reply settles.
+                    None if settled => Pump::Close,
+                    None => Pump::Wait,
+                    Some(i) => {
+                        if inner.publish_faults.get(i).is_some_and(|f| f.is_down(now)) {
+                            // Down at attempt time: a genuine miss, counted
+                            // immediately — no reply will ever arrive.
+                            inner.sweep.as_mut().expect("sweep open").missed += 1;
+                            Pump::Missed(i, inner.membership.note_refresh_missed(i, now))
+                        } else {
+                            inner.sweep.as_mut().expect("sweep open").in_flight += 1;
+                            let latency = inner
+                                .window
+                                .as_ref()
+                                .and_then(|w| w.latency.get(i).copied())
+                                .unwrap_or(SimDuration::ZERO);
+                            Pump::Pull(i, gen, latency, inner.sites[i].machine_ad())
+                        }
+                    }
+                }
+            };
+            match step {
+                Pump::Close => {
+                    self.close_sweep(sim);
+                    return;
+                }
+                Pump::Wait => return,
+                Pump::Missed(i, tr) => {
+                    if let Some(tr) = tr {
+                        self.notify(sim, vec![(i, tr)]);
+                    }
+                }
+                Pump::Pull(i, gen, latency, ad) => {
+                    let this = self.clone();
+                    sim.schedule_in(latency, move |sim| {
+                        this.publish_arrived(sim, gen, i, ad);
+                    });
+                }
+            }
+        }
+    }
+
+    /// A site's publication reply lands. If its sweep is still open the
+    /// ad is buffered for the sweep's single `apply_delta`; if the tick
+    /// already force-closed that sweep the reply is *late* — merged
+    /// immediately as its own one-site delta. Either way the reply proves
+    /// the path is healthy, so the failure detector records a clean
+    /// refresh (the late-reply amnesty satellite).
+    fn publish_arrived(&self, sim: &mut Sim, gen: u64, i: usize, ad: Ad) {
+        let (transition, late) = {
+            let mut inner = self.inner.borrow_mut();
+            let now = sim.now();
+            inner.published_at[i] = now;
+            let tr = inner.membership.note_refresh_ok(i, now);
+            let current = inner.sweep.as_mut().filter(|s| s.gen == gen);
+            match current {
+                Some(sweep) => {
+                    sweep.arrived.push((i, ad));
+                    sweep.in_flight -= 1;
+                    (tr, None)
+                }
+                None => {
+                    inner.snapshot = Arc::new(inner.snapshot.apply_delta(&[(i, Arc::new(ad))]));
+                    inner.late_merges += 1;
+                    let report = SweepReport {
+                        refreshed: 1,
+                        missed: 0,
+                        amnestied: 0,
+                        late: true,
+                    };
+                    (tr, Some((report, Arc::clone(&inner.snapshot))))
+                }
+            }
+        };
+        if let Some(tr) = transition {
+            self.notify(sim, vec![(i, tr)]);
+        }
+        match late {
+            Some((report, snap)) => self.notify_sweep(sim, &report, &snap),
+            None => self.pump_sweep(sim),
+        }
+    }
+
+    /// Closes the open sweep (if any): applies the buffered arrivals as
+    /// one delta, stamps the refresh cycle, and amnesties whatever was
+    /// still in flight or unattempted — those sites are neither refreshed
+    /// nor missed this cycle.
+    fn close_sweep(&self, sim: &mut Sim) {
+        let closed = {
+            let mut inner = self.inner.borrow_mut();
+            let Some(sweep) = inner.sweep.take() else {
+                return;
+            };
+            let amnestied = sweep.in_flight + sweep.pending.len();
+            inner.amnestied += amnestied as u64;
+            let changes: Vec<(usize, Arc<Ad>)> = sweep
+                .arrived
+                .into_iter()
+                .map(|(i, ad)| (i, Arc::new(ad)))
+                .collect();
+            inner.snapshot = Arc::new(inner.snapshot.apply_delta(&changes));
+            inner.refreshed_at = sim.now();
+            inner.refreshes += 1;
+            let report = SweepReport {
+                refreshed: changes.len(),
+                missed: sweep.missed,
+                amnestied,
+                late: false,
+            };
+            (report, Arc::clone(&inner.snapshot))
+        };
+        self.notify_sweep(sim, &closed.0, &closed.1);
+    }
+
+    /// Registers the single sweep observer, replacing any previous one.
+    /// Fires after every snapshot advance — legacy refresh, windowed
+    /// sweep close, or late-reply merge.
+    pub fn set_sweep_observer(
+        &self,
+        observer: impl Fn(&mut Sim, &SweepReport, &Arc<AdSnapshot>) + 'static,
+    ) {
+        self.inner.borrow_mut().sweep_observer = Some(Rc::new(observer));
+    }
+
+    fn notify_sweep(&self, sim: &mut Sim, report: &SweepReport, snap: &Arc<AdSnapshot>) {
+        let observer = self.inner.borrow().sweep_observer.clone();
+        if let Some(observer) = observer {
+            observer(sim, report, snap);
+        }
+    }
+
+    /// Total late replies merged after their sweep force-closed.
+    pub fn late_merges(&self) -> u64 {
+        self.inner.borrow().late_merges
+    }
+
+    /// Total site-sweeps amnestied (reply in flight or unattempted at a
+    /// forced close) — each of these would have been a missed refresh
+    /// under the old accounting.
+    pub fn amnestied(&self) -> u64 {
+        self.inner.borrow().amnestied
     }
 
     /// Registers the single membership observer, replacing any previous
@@ -301,12 +636,23 @@ impl InformationIndex {
 
     /// The current records as an indexed ad list — the discovery-snapshot
     /// shape the map-based matchmaking path consumes (`filter_candidates`,
-    /// and the parallel engine's `ParallelMatcher::new`). Site index `i` is
+    /// and the parallel engine's `ParallelMatcher`). Site index `i` is
     /// the position in the index's site list, matching the broker's
-    /// `SiteHandle` order.
-    pub fn snapshot_ads(&self) -> Vec<(usize, Ad)> {
+    /// `SiteHandle` order. Every ad is `Arc`-shared with the snapshot —
+    /// no deep clone per call.
+    pub fn snapshot_ads(&self) -> Vec<(usize, Arc<Ad>)> {
         self.inner.borrow().snapshot.indexed_ads()
     }
+}
+
+/// Placeholder column for a site that has never published: named but
+/// unschedulable, so its first real publication is a genuine delta.
+fn unregistered_ad(name: &str) -> Ad {
+    let mut ad = Ad::new();
+    ad.set_str("Site", name)
+        .set_int("FreeCpus", 0)
+        .set_bool("AcceptsQueued", false);
+    ad
 }
 
 #[cfg(test)]
@@ -543,6 +889,165 @@ mod tests {
         });
         sim.run_until(SimTime::from_secs(50));
         assert_eq!(*got.borrow(), Some(true));
+    }
+
+    #[test]
+    fn windowed_refresh_converges_with_bounded_fanout() {
+        let mut sim = Sim::new(11);
+        let sites: Vec<Site> = (0..6)
+            .map(|i| test_site(&mut sim, &format!("s{i}"), 2))
+            .collect();
+        let busy = sites[0].clone();
+        let index = InformationIndex::start_windowed(
+            &mut sim,
+            sites,
+            SimDuration::from_secs(60),
+            RefreshWindow {
+                fanout: 2,
+                latency: vec![SimDuration::from_secs(1); 6],
+            },
+            Vec::new(),
+            MembershipConfig::default(),
+        );
+        busy.lrms().submit(
+            &mut sim,
+            LocalJobSpec::simple(SimDuration::from_secs(10_000)),
+            |_, _, _| {},
+        );
+        // Sweep opens at t=60 and pulls two sites per 1 s wave: waves at
+        // 60, 61, 62, last replies land at 63 — not 6 × RTT serial.
+        sim.run_until(SimTime::from_secs(64));
+        assert_eq!(index.refreshes(), 1);
+        assert_eq!(index.refreshed_at(), SimTime::from_secs(63));
+        let snap = index.snapshot_arc();
+        assert_eq!(snap.free_cpus(0), 1, "sweep captured the occupied node");
+        for i in 0..6 {
+            assert_eq!(index.membership_state(i), MembershipState::Alive);
+        }
+    }
+
+    #[test]
+    fn in_flight_replies_are_amnestied_not_counted_as_missed() {
+        // Satellite regression: a site whose reply is merely in flight when
+        // the tick force-closes the sweep must NOT accrue a missed refresh.
+        // Site 0's publication takes 90 s against a 60 s interval, so every
+        // sweep closes with its reply still in the air; under the old
+        // accounting (amnestied == missed) it would cross
+        // `suspect_after_missed_refreshes = 2` by the third tick and sit in
+        // `Suspect` forever despite a perfectly healthy path.
+        let mut sim = Sim::new(12);
+        let slow = test_site(&mut sim, "slow", 2);
+        let fast = test_site(&mut sim, "fast", 2);
+        let index = InformationIndex::start_windowed(
+            &mut sim,
+            vec![slow, fast],
+            SimDuration::from_secs(60),
+            RefreshWindow {
+                fanout: 4,
+                latency: vec![SimDuration::from_secs(90), SimDuration::from_secs(1)],
+            },
+            Vec::new(),
+            MembershipConfig::default(),
+        );
+        let seen: Rc<RefCell<Vec<(usize, Transition)>>> = Rc::new(RefCell::new(Vec::new()));
+        let s = Rc::clone(&seen);
+        index.set_membership_observer(move |_, i, tr| s.borrow_mut().push((i, *tr)));
+        sim.run_until(SimTime::from_secs(400));
+
+        let threshold = u64::from(MembershipConfig::default().suspect_after_missed_refreshes);
+        assert!(
+            index.amnestied() >= threshold,
+            "enough amnestied sweeps ({}) that the old missed-refresh \
+             accounting would have suspected the site",
+            index.amnestied()
+        );
+        assert_eq!(index.membership_state(0), MembershipState::Alive);
+        assert!(
+            seen.borrow()
+                .iter()
+                .all(|(_, tr)| !matches!(tr, Transition::Suspected { .. })),
+            "no site may be suspected under slow-but-healthy links: {:?}",
+            seen.borrow()
+        );
+        // The late replies still land: each merges as its own delta and
+        // refreshes the failure detector and the column's publish stamp.
+        assert!(
+            index.late_merges() >= 2,
+            "late merges: {}",
+            index.late_merges()
+        );
+        assert_eq!(index.published_at(0), SimTime::from_secs(390));
+        assert_eq!(index.snapshot_arc().free_cpus(0), 2);
+    }
+
+    #[test]
+    fn windowed_mode_still_suspects_a_down_publish_path() {
+        // Amnesty is only for in-flight replies; a path that is down at
+        // attempt time counts a miss immediately, exactly like the legacy
+        // walk.
+        let mut sim = Sim::new(13);
+        let dark = test_site(&mut sim, "dark", 2);
+        let lit = test_site(&mut sim, "lit", 2);
+        let faults =
+            FaultSchedule::from_windows(vec![(SimTime::from_secs(30), SimTime::from_secs(10_000))]);
+        let index = InformationIndex::start_windowed(
+            &mut sim,
+            vec![dark, lit],
+            SimDuration::from_secs(60),
+            RefreshWindow {
+                fanout: 4,
+                latency: vec![SimDuration::from_secs(1); 2],
+            },
+            vec![faults],
+            MembershipConfig::default(),
+        );
+        sim.run_until(SimTime::from_secs(200));
+        assert_eq!(index.membership_state(0), MembershipState::Suspect);
+        assert!(!index.is_schedulable(0));
+        assert_eq!(index.membership_state(1), MembershipState::Alive);
+        assert_eq!(index.amnestied(), 0);
+    }
+
+    #[test]
+    fn dark_at_boot_sites_hold_a_placeholder_until_their_first_publication() {
+        // The mass-join foundation: a site whose path is down at t=0 boots
+        // as an unschedulable placeholder column, and its first real
+        // publication surfaces as a genuine one-site delta.
+        let mut sim = Sim::new(14);
+        let joiner = test_site(&mut sim, "joiner", 4);
+        let steady = test_site(&mut sim, "steady", 2);
+        let faults = FaultSchedule::from_windows(vec![(SimTime::ZERO, SimTime::from_secs(100))]);
+        let index = InformationIndex::start_windowed(
+            &mut sim,
+            vec![joiner, steady],
+            SimDuration::from_secs(60),
+            RefreshWindow {
+                fanout: 4,
+                latency: vec![SimDuration::from_secs(1); 2],
+            },
+            vec![faults],
+            MembershipConfig::default(),
+        );
+        let boot = index.snapshot_arc();
+        assert_eq!(boot.free_cpus(0), 0, "placeholder until first publish");
+        assert!(!boot.accepts_queued(0));
+        assert_eq!(boot.free_cpus(1), 2, "up-at-boot site has its real ad");
+
+        // t=60 sweep: joiner's path still down — placeholder held.
+        sim.run_until(SimTime::from_secs(65));
+        let held = index.snapshot_arc();
+        assert_eq!(held.free_cpus(0), 0);
+
+        // t=120 sweep: path restored, first publication lands.
+        sim.run_until(SimTime::from_secs(125));
+        let joined = index.snapshot_arc();
+        assert_eq!(joined.free_cpus(0), 4);
+        assert!(joined.accepts_queued(0));
+        assert_eq!(
+            joined.dirty_since(held.epoch()).collect::<Vec<_>>(),
+            vec![0],
+            "the join is a one-site delta, not a full-snapshot invalidation"
+        );
     }
 
     #[test]

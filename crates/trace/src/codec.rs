@@ -453,6 +453,28 @@ pub fn encode_event(ev: &TimedEvent, out: &mut Vec<u8>) {
             put_u64(out, *job);
             put_u64(out, *staleness_ns);
         }
+        Event::GiisDelta {
+            leaf,
+            epoch,
+            changed,
+        } => {
+            put_u8(out, 49);
+            put_u32(out, *leaf);
+            put_u64(out, *epoch);
+            put_u32(out, *changed);
+        }
+        Event::RefreshSweep {
+            refreshed,
+            missed,
+            amnestied,
+            late_merges,
+        } => {
+            put_u8(out, 50);
+            put_u32(out, *refreshed);
+            put_u32(out, *missed);
+            put_u32(out, *amnestied);
+            put_u32(out, *late_merges);
+        }
     }
 }
 
@@ -644,6 +666,17 @@ pub fn decode_event(buf: &[u8]) -> Result<TimedEvent, CodecError> {
             job: c.u64()?,
             staleness_ns: c.u64()?,
         },
+        49 => Event::GiisDelta {
+            leaf: c.u32()?,
+            epoch: c.u64()?,
+            changed: c.u32()?,
+        },
+        50 => Event::RefreshSweep {
+            refreshed: c.u32()?,
+            missed: c.u32()?,
+            amnestied: c.u32()?,
+            late_merges: c.u32()?,
+        },
         other => return Err(CodecError::BadTag(other)),
     };
     if !c.is_empty() {
@@ -824,6 +857,17 @@ mod tests {
             Event::DegradedMatch {
                 job: 7,
                 staleness_ns: 180_000_000_000,
+            },
+            Event::GiisDelta {
+                leaf: 3,
+                epoch: 17,
+                changed: 4,
+            },
+            Event::RefreshSweep {
+                refreshed: 28,
+                missed: 2,
+                amnestied: 1,
+                late_merges: 1,
             },
         ]
     }

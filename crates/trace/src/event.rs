@@ -378,6 +378,33 @@ pub enum Event {
         staleness_ns: u64,
     },
 
+    // ── hierarchical aggregation (GIIS) ─────────────────────────────────
+    /// A leaf index's epoch delta merged into the root aggregator's
+    /// snapshot — the O(changed-sites) propagation step of the two-tier
+    /// hierarchy.
+    GiisDelta {
+        /// Leaf index within the hierarchy, in partition order.
+        leaf: u32,
+        /// Root snapshot epoch after the merge.
+        epoch: u64,
+        /// Sites the delta touched (always > 0; quiet sweeps ship
+        /// nothing).
+        changed: u32,
+    },
+    /// A windowed MDS refresh sweep closed (or the legacy walk
+    /// completed): per-cycle accounting of the refresh fan-out.
+    RefreshSweep {
+        /// Sites whose publication arrived and was applied.
+        refreshed: u32,
+        /// Sites whose publish path was down at attempt time.
+        missed: u32,
+        /// Sites amnestied — reply in flight or unattempted at the
+        /// forced close; not counted toward `Suspect`.
+        amnestied: u32,
+        /// Late replies merged after their sweep had closed.
+        late_merges: u32,
+    },
+
     // ── crash recovery ──────────────────────────────────────────────────
     /// A fresh broker finished replaying a journal and re-armed in-flight
     /// work. First event of a post-crash epoch.
@@ -466,6 +493,8 @@ impl Event {
             Event::LiveQueryTimeout { .. } => "LiveQueryTimeout",
             Event::QueryRetry { .. } => "QueryRetry",
             Event::DegradedMatch { .. } => "DegradedMatch",
+            Event::GiisDelta { .. } => "GiisDelta",
+            Event::RefreshSweep { .. } => "RefreshSweep",
             Event::BrokerRecovered { .. } => "BrokerRecovered",
             Event::Measurement { .. } => "Measurement",
         }
@@ -698,6 +727,27 @@ impl Event {
             }
             Event::DegradedMatch { job, staleness_ns } => {
                 let _ = write!(out, ",\"job\":{job},\"staleness_ns\":{staleness_ns}");
+            }
+            Event::GiisDelta {
+                leaf,
+                epoch,
+                changed,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"leaf\":{leaf},\"epoch\":{epoch},\"changed\":{changed}"
+                );
+            }
+            Event::RefreshSweep {
+                refreshed,
+                missed,
+                amnestied,
+                late_merges,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"refreshed\":{refreshed},\"missed\":{missed},\"amnestied\":{amnestied},\"late_merges\":{late_merges}"
+                );
             }
             Event::BrokerRecovered {
                 jobs,
