@@ -730,7 +730,9 @@ fn run_with_fanout(seed: u64, n_sites: usize, fanout: usize) -> (crossbroker::Jo
     let target = events
         .iter()
         .find_map(|e| match &e.event {
-            cg_trace::Event::JobDispatched { job, target } if *job == id.0 => Some(target.clone()),
+            cg_trace::Event::JobDispatched { job, target, .. } if *job == id.0 => {
+                Some(target.clone())
+            }
             _ => None,
         })
         .expect("job dispatched");

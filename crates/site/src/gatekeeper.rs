@@ -13,7 +13,8 @@ use cg_net::{Dir, HandshakeProfile, Link, NetError, Session};
 use cg_sim::{Sim, SimDuration};
 use serde::{Deserialize, Serialize};
 
-use crate::lrms::{LocalJobId, LocalJobSpec, Lrms, LrmsEvent};
+use crate::backend::BackendHandle;
+use crate::lrms::{LocalJobId, LocalJobSpec, LrmsEvent};
 
 /// Shared submitter-side event callback.
 type GramCallback = Rc<dyn Fn(&mut Sim, &GramEvent)>;
@@ -81,24 +82,26 @@ pub enum GramEvent {
     Failed(NetError),
 }
 
-/// A site's gatekeeper: front door from the broker network to the LRMS.
+/// A site's gatekeeper: front door from the broker network to the local
+/// execution backend.
 #[derive(Clone)]
 pub struct Gatekeeper {
-    lrms: Lrms,
+    lrms: BackendHandle,
     costs: Rc<GramCosts>,
 }
 
 impl Gatekeeper {
-    /// Wraps an LRMS behind GRAM semantics.
-    pub fn new(lrms: Lrms, costs: GramCosts) -> Self {
+    /// Wraps an execution backend behind GRAM semantics. Accepts anything
+    /// convertible to a [`BackendHandle`] — a bare [`crate::Lrms`] included.
+    pub fn new(lrms: impl Into<BackendHandle>, costs: GramCosts) -> Self {
         Gatekeeper {
-            lrms,
+            lrms: lrms.into(),
             costs: Rc::new(costs),
         }
     }
 
-    /// The LRMS behind this gatekeeper.
-    pub fn lrms(&self) -> &Lrms {
+    /// The execution backend behind this gatekeeper.
+    pub fn lrms(&self) -> &BackendHandle {
         &self.lrms
     }
 
@@ -204,7 +207,7 @@ fn stage_and_submit(
     sim: &mut Sim,
     session: Session,
     link: Link,
-    lrms: Lrms,
+    lrms: BackendHandle,
     spec: LocalJobSpec,
     sandbox_bytes: u64,
     costs: Rc<GramCosts>,
@@ -270,14 +273,14 @@ fn stage_and_submit(
     do_stage(sim);
 }
 
-fn lrms_is_backed_up(lrms: &Lrms) -> bool {
+fn lrms_is_backed_up(lrms: &BackendHandle) -> bool {
     lrms.free_nodes() == 0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lrms::Policy;
+    use crate::lrms::{Lrms, Policy};
     use cg_net::LinkProfile;
     use std::cell::RefCell;
 

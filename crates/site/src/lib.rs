@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod columns;
 mod gatekeeper;
 mod giis;
@@ -23,10 +24,17 @@ mod membership;
 mod site;
 mod wn;
 
+pub use backend::{
+    Backend, BackendCallback, BackendError, BackendHandle, BackendKind, BackendSpec,
+    ProcessBackend, RealExecStats, ThreadPoolBackend,
+};
 pub use columns::AdSnapshot;
 pub use gatekeeper::{Gatekeeper, GramCosts, GramEvent};
 pub use giis::{GiisConfig, GiisDeltaReport, GiisRoot, LeafStats};
-pub use lrms::{LocalDisposition, LocalJobId, LocalJobSpec, Lrms, LrmsEvent, LrmsStats, Policy};
+pub use lrms::{
+    LocalDisposition, LocalJobId, LocalJobSpec, Lrms, LrmsEvent, LrmsStats, Policy,
+    DEFAULT_DISPOSITION_RETENTION,
+};
 pub use mds::{InformationIndex, RefreshWindow, SiteRecord, SweepReport};
 pub use membership::{MembershipConfig, MembershipState, MembershipTable, Transition};
 pub use site::{machine_schema, Site, SiteConfig};

@@ -8,11 +8,19 @@
 //! knows or cares that a job is interactive.
 
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use cg_sim::{EventId, OnlineStats, Sim, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+
+use crate::backend::{BackendCallback, BackendError};
+
+/// Default cap on retained terminal dispositions (see
+/// [`Lrms::set_disposition_retention`]). High enough that every existing
+/// scenario retains all its jobs; bounded so a long-lived site cannot grow
+/// its poll-back record forever.
+pub const DEFAULT_DISPOSITION_RETENTION: usize = 4096;
 
 /// Scheduling policy of the local queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -93,7 +101,7 @@ pub enum LocalDisposition {
     Killed,
 }
 
-type Callback = Rc<dyn Fn(&mut Sim, LocalJobId, &LrmsEvent)>;
+type Callback = BackendCallback;
 
 struct QueuedJob {
     id: LocalJobId,
@@ -115,6 +123,8 @@ struct RunningJob {
 pub struct LrmsStats {
     /// Queue-wait times of started jobs, seconds.
     pub wait: OnlineStats,
+    /// Jobs accepted by `submit`.
+    pub submitted: u64,
     /// Jobs finished normally.
     pub finished: u64,
     /// Jobs killed.
@@ -126,6 +136,11 @@ struct Inner {
     node_busy: Vec<bool>,
     queue: VecDeque<QueuedJob>,
     running: std::collections::HashMap<LocalJobId, RunningJob>,
+    /// Jobs popped from the queue whose nodes are reserved but that have not
+    /// started yet — the dispatch-latency window (fork, image activation).
+    /// Without it, `submitted = queued + running + dispatching + finished +
+    /// killed` would not balance at arbitrary probe instants.
+    dispatching: usize,
     next_id: u64,
     next_seq: u64,
     /// Scheduler cycle latency: time between a dispatch decision and the job
@@ -133,7 +148,11 @@ struct Inner {
     dispatch_latency: SimDuration,
     stats: LrmsStats,
     /// Terminal dispositions of departed jobs — the poll-back record.
-    done: std::collections::HashMap<LocalJobId, LocalDisposition>,
+    /// Ordered by id (ids are monotonic, so id order == completion-record
+    /// order) so eviction drops the oldest record first.
+    done: BTreeMap<LocalJobId, LocalDisposition>,
+    /// Cap on `done`: oldest records are evicted (and traced) past this.
+    retention: usize,
     /// Lifecycle event sink and this scheduler's site label.
     trace: Option<(cg_trace::EventLog, String)>,
 }
@@ -148,23 +167,56 @@ impl Lrms {
     /// Creates an LRMS over `nodes` worker nodes.
     ///
     /// # Panics
-    /// Panics when `nodes == 0`.
+    /// Panics when `nodes == 0`; use [`Lrms::try_new`] for a typed error.
     pub fn new(policy: Policy, nodes: usize, dispatch_latency: SimDuration) -> Self {
-        assert!(nodes > 0, "LRMS with no worker nodes");
-        Lrms {
+        Lrms::try_new(policy, nodes, dispatch_latency).expect("LRMS with no worker nodes")
+    }
+
+    /// Creates an LRMS over `nodes` worker nodes, rejecting configurations
+    /// that could never dispatch a job.
+    ///
+    /// # Errors
+    /// [`BackendError::ZeroNodes`] when `nodes == 0` — such a scheduler
+    /// accepts submissions but can never start them (every job wedges in
+    /// the queue), so construction is the right place to fail.
+    pub fn try_new(
+        policy: Policy,
+        nodes: usize,
+        dispatch_latency: SimDuration,
+    ) -> Result<Self, BackendError> {
+        if nodes == 0 {
+            return Err(BackendError::ZeroNodes);
+        }
+        Ok(Lrms {
             inner: Rc::new(RefCell::new(Inner {
                 policy,
                 node_busy: vec![false; nodes],
                 queue: VecDeque::new(),
                 running: std::collections::HashMap::new(),
+                dispatching: 0,
                 next_id: 0,
                 next_seq: 0,
                 dispatch_latency,
                 stats: LrmsStats::default(),
-                done: std::collections::HashMap::new(),
+                done: BTreeMap::new(),
+                retention: DEFAULT_DISPOSITION_RETENTION,
                 trace: None,
             })),
-        }
+        })
+    }
+
+    /// Caps how many terminal dispositions [`Lrms::disposition`] retains.
+    /// When a newly recorded outcome pushes the table past `cap`, the
+    /// oldest records are evicted and traced as `DispositionEvicted` — a
+    /// rejoining broker polling for a job older than the cap gets `None`
+    /// and must treat the outcome as unknown.
+    ///
+    /// # Panics
+    /// Panics when `cap == 0`: a site that retains nothing breaks rejoin
+    /// reconciliation outright.
+    pub fn set_disposition_retention(&self, cap: usize) {
+        assert!(cap > 0, "disposition retention cap must be >= 1");
+        self.inner.borrow_mut().retention = cap;
     }
 
     /// Routes this scheduler's queue/start/finish/kill transitions into
@@ -179,6 +231,15 @@ impl Lrms {
         }
     }
 
+    fn trace_evictions(&self, sim: &Sim, evicted: &[LocalJobId]) {
+        for &old in evicted {
+            self.trace_event(sim, |site| cg_trace::Event::DispositionEvicted {
+                site: site.to_string(),
+                job: old.0,
+            });
+        }
+    }
+
     /// Submits a job; `callback` observes every lifecycle event. Returns the
     /// job id (also passed to the callback, so one callback can serve many
     /// jobs).
@@ -188,9 +249,20 @@ impl Lrms {
         spec: LocalJobSpec,
         callback: impl Fn(&mut Sim, LocalJobId, &LrmsEvent) + 'static,
     ) -> LocalJobId {
+        self.submit_rc(sim, spec, Rc::new(callback))
+    }
+
+    /// [`Lrms::submit`] with an already-shared callback — the form the
+    /// [`crate::Backend`] trait's object-safe seam uses.
+    pub(crate) fn submit_rc(
+        &self,
+        sim: &mut Sim,
+        spec: LocalJobSpec,
+        callback: Callback,
+    ) -> LocalJobId {
         assert!(spec.nodes >= 1, "job requesting zero nodes");
-        let callback: Callback = Rc::new(callback);
         let mut inner = self.inner.borrow_mut();
+        inner.stats.submitted += 1;
         let id = LocalJobId(inner.next_id);
         inner.next_id += 1;
         let seq = inner.next_seq;
@@ -229,13 +301,14 @@ impl Lrms {
             if let Some(pos) = inner.queue.iter().position(|q| q.id == id) {
                 let q = inner.queue.remove(pos).expect("position was valid");
                 inner.stats.killed += 1;
-                inner.done.insert(id, LocalDisposition::Killed);
+                let evicted = record_done(&mut inner, id, LocalDisposition::Killed);
                 drop(inner);
                 self.trace_event(sim, |site| cg_trace::Event::LrmsKilled {
                     site: site.to_string(),
                     job: id.0,
                     reason: reason.clone(),
                 });
+                self.trace_evictions(sim, &evicted);
                 let cb = q.callback;
                 sim.schedule_now(move |sim| cb(sim, id, &LrmsEvent::Killed { reason }));
                 return true;
@@ -274,6 +347,14 @@ impl Lrms {
         self.inner.borrow().running.len()
     }
 
+    /// Jobs inside the dispatch-latency window: off the queue, nodes
+    /// reserved, not started yet. These are invisible to both
+    /// [`Lrms::queue_depth`] and [`Lrms::running_count`], so conservation
+    /// checks must count them separately.
+    pub fn dispatching_count(&self) -> usize {
+        self.inner.borrow().dispatching
+    }
+
     /// Whether the queue has room by this site's admission policy — CrossGrid
     /// sites bounded their queues; the broker checks before submitting.
     /// (Modelled as a fixed multiple of the node count.)
@@ -310,13 +391,13 @@ impl Lrms {
         for &n in &job.nodes {
             inner.node_busy[n] = false;
         }
-        if kill_reason.is_some() {
+        let evicted = if kill_reason.is_some() {
             inner.stats.killed += 1;
-            inner.done.insert(id, LocalDisposition::Killed);
+            record_done(&mut inner, id, LocalDisposition::Killed)
         } else {
             inner.stats.finished += 1;
-            inner.done.insert(id, LocalDisposition::Finished);
-        }
+            record_done(&mut inner, id, LocalDisposition::Finished)
+        };
         drop(inner);
         for ev in [job.finish_event, job.kill_event].into_iter().flatten() {
             sim.cancel(ev);
@@ -332,6 +413,7 @@ impl Lrms {
                 job: id.0,
             },
         });
+        self.trace_evictions(sim, &evicted);
         let cb = job.callback;
         let event = match kill_reason {
             Some(reason) => LrmsEvent::Killed { reason },
@@ -391,6 +473,7 @@ impl Lrms {
             }
             let wait = sim.now().saturating_since(job.queued_at);
             inner.stats.wait.record_duration(wait);
+            inner.dispatching += 1;
             let dispatch = inner.dispatch_latency;
             drop(inner);
 
@@ -422,15 +505,19 @@ impl Lrms {
                         }));
                     }
                 }
-                this.inner.borrow_mut().running.insert(
-                    id,
-                    RunningJob {
-                        callback: Rc::clone(&callback),
-                        nodes: node_list.clone(),
-                        finish_event,
-                        kill_event,
-                    },
-                );
+                {
+                    let mut inner = this.inner.borrow_mut();
+                    inner.dispatching -= 1;
+                    inner.running.insert(
+                        id,
+                        RunningJob {
+                            callback: Rc::clone(&callback),
+                            nodes: node_list.clone(),
+                            finish_event,
+                            kill_event,
+                        },
+                    );
+                }
                 this.trace_event(sim, |site| cg_trace::Event::LrmsStarted {
                     site: site.to_string(),
                     job: id.0,
@@ -440,6 +527,20 @@ impl Lrms {
             });
         }
     }
+}
+
+/// Records a terminal disposition and evicts the oldest records past the
+/// retention cap. Returns the evicted ids so the caller can trace them
+/// after releasing the borrow (ids are monotonic, so the just-inserted id
+/// is always the newest and never self-evicts).
+fn record_done(inner: &mut Inner, id: LocalJobId, disp: LocalDisposition) -> Vec<LocalJobId> {
+    inner.done.insert(id, disp);
+    let mut evicted = Vec::new();
+    while inner.done.len() > inner.retention {
+        let (old, _) = inner.done.pop_first().expect("len > cap >= 1");
+        evicted.push(old);
+    }
+    evicted
 }
 
 impl std::fmt::Debug for Lrms {
@@ -675,6 +776,96 @@ mod tests {
         sim.run_until(cg_sim::SimTime::from_secs(1));
         // 1 running, 5 queued > 4×1 nodes.
         assert!(!lrms.accepts_queued_jobs());
+    }
+
+    #[test]
+    fn zero_node_construction_is_a_typed_error() {
+        assert_eq!(
+            Lrms::try_new(Policy::Fifo, 0, SimDuration::ZERO).err(),
+            Some(crate::backend::BackendError::ZeroNodes)
+        );
+        assert!(Lrms::try_new(Policy::Fifo, 1, SimDuration::ZERO).is_ok());
+    }
+
+    #[test]
+    fn disposition_retention_evicts_oldest_and_keeps_recent() {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 4, SimDuration::ZERO);
+        lrms.set_disposition_retention(4);
+        let ids: Vec<LocalJobId> = (0..10)
+            .map(|_| {
+                lrms.submit(
+                    &mut sim,
+                    LocalJobSpec::simple(SimDuration::from_secs(1)),
+                    |_, _, _| {},
+                )
+            })
+            .collect();
+        sim.run();
+        // The 6 oldest outcomes were evicted; the 4 newest still answer
+        // status polls — a rejoining broker finds its *recent* dispatches.
+        for id in &ids[..6] {
+            assert_eq!(lrms.disposition(*id), None, "evicted {id:?}");
+        }
+        for id in &ids[6..] {
+            assert_eq!(
+                lrms.disposition(*id),
+                Some(LocalDisposition::Finished),
+                "retained {id:?}"
+            );
+        }
+        assert_eq!(lrms.stats().finished, 10, "stats are not evicted");
+    }
+
+    #[test]
+    fn disposition_eviction_is_traced() {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 1, SimDuration::ZERO);
+        lrms.set_disposition_retention(1);
+        let log = cg_trace::EventLog::new(1024);
+        lrms.set_trace(log.clone(), "uab");
+        for _ in 0..3 {
+            lrms.submit(
+                &mut sim,
+                LocalJobSpec::simple(SimDuration::from_secs(1)),
+                |_, _, _| {},
+            );
+        }
+        sim.run();
+        let evicted: Vec<u64> = log
+            .snapshot()
+            .iter()
+            .filter_map(|r| match &r.event {
+                cg_trace::Event::DispositionEvicted { site, job } => {
+                    assert_eq!(site, "uab");
+                    Some(*job)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evicted, [0, 1], "oldest two records evicted in order");
+    }
+
+    #[test]
+    fn stats_submitted_balances_terminal_counters() {
+        let mut sim = Sim::new(1);
+        let lrms = Lrms::new(Policy::Fifo, 2, SimDuration::ZERO);
+        for i in 0..5u64 {
+            lrms.submit(
+                &mut sim,
+                LocalJobSpec::simple(SimDuration::from_secs(5 + i)),
+                |_, _, _| {},
+            );
+        }
+        sim.run_until(cg_sim::SimTime::from_secs(1));
+        lrms.kill(&mut sim, LocalJobId(4), "balance test");
+        sim.run();
+        let stats = lrms.stats();
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(
+            stats.submitted,
+            lrms.queue_depth() as u64 + lrms.running_count() as u64 + stats.finished + stats.killed
+        );
     }
 
     #[test]

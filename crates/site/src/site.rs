@@ -4,8 +4,9 @@ use cg_jdl::{Ad, Value};
 use cg_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
+use crate::backend::{BackendError, BackendHandle, BackendKind, BackendSpec};
 use crate::gatekeeper::{Gatekeeper, GramCosts};
-use crate::lrms::{Lrms, Policy};
+use crate::lrms::{Policy, DEFAULT_DISPOSITION_RETENTION};
 use crate::wn::NodeSpec;
 
 /// Configuration for building a [`Site`].
@@ -28,6 +29,10 @@ pub struct SiteConfig {
     /// Storage capacity advertised, GB ("most sites offer storage capacities
     /// above 600GB", §6).
     pub storage_gb: u32,
+    /// Which execution backend runs this site's jobs.
+    pub backend: BackendSpec,
+    /// Cap on retained terminal dispositions (status-poll record).
+    pub disposition_retention: usize,
 }
 
 impl Default for SiteConfig {
@@ -41,28 +46,62 @@ impl Default for SiteConfig {
             gram: GramCosts::globus24(),
             tags: vec!["CROSSGRID".into()],
             storage_gb: 600,
+            backend: BackendSpec::Sim,
+            disposition_retention: DEFAULT_DISPOSITION_RETENTION,
         }
     }
 }
 
-/// A grid site handle. Clones share the underlying LRMS/gatekeeper.
+/// A grid site handle. Clones share the underlying backend/gatekeeper.
 #[derive(Clone)]
 pub struct Site {
     config: std::rc::Rc<SiteConfig>,
-    lrms: Lrms,
+    backend: BackendHandle,
     gatekeeper: Gatekeeper,
 }
 
 impl Site {
     /// Builds the site's components from configuration.
+    ///
+    /// # Panics
+    /// Panics when the configured backend is structurally invalid (zero
+    /// nodes, zero threads, empty program); use [`Site::try_new`] for a
+    /// typed error.
     pub fn new(config: SiteConfig) -> Self {
-        let lrms = Lrms::new(config.policy, config.nodes, config.dispatch_latency);
-        let gatekeeper = Gatekeeper::new(lrms.clone(), config.gram.clone());
-        Site {
+        Site::try_new(config).expect("invalid site backend configuration")
+    }
+
+    /// Builds the site's components from configuration.
+    ///
+    /// # Errors
+    /// Returns the backend's construction error when `config.backend` (or
+    /// `config.nodes`) is structurally invalid.
+    pub fn try_new(config: SiteConfig) -> Result<Self, BackendError> {
+        let backend = config.backend.build(
+            config.policy,
+            config.nodes,
+            config.dispatch_latency,
+            config.disposition_retention,
+        )?;
+        let gatekeeper = Gatekeeper::new(backend.clone(), config.gram.clone());
+        Ok(Site {
             config: std::rc::Rc::new(config),
-            lrms,
+            backend,
             gatekeeper,
-        }
+        })
+    }
+
+    /// Rebuilds this site over a different execution backend (same
+    /// configuration otherwise). The existing backend's state is NOT
+    /// carried over — this is a construction-time choice, applied by
+    /// `CrossBroker::new` before any job flows.
+    ///
+    /// # Errors
+    /// Returns the backend's construction error for invalid specs.
+    pub fn with_backend(&self, backend: BackendSpec) -> Result<Self, BackendError> {
+        let mut config = (*self.config).clone();
+        config.backend = backend;
+        Site::try_new(config)
     }
 
     /// Site name.
@@ -75,9 +114,20 @@ impl Site {
         &self.config
     }
 
-    /// The local scheduler.
-    pub fn lrms(&self) -> &Lrms {
-        &self.lrms
+    /// The local scheduler (kept under its historical name; any
+    /// [`crate::Backend`] implementation may sit behind the handle).
+    pub fn lrms(&self) -> &BackendHandle {
+        &self.backend
+    }
+
+    /// The execution backend — alias of [`Site::lrms`].
+    pub fn backend(&self) -> &BackendHandle {
+        &self.backend
+    }
+
+    /// Which kind of executor runs this site's jobs.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// The GRAM front door.
@@ -93,12 +143,12 @@ impl Site {
             .set_str("Arch", self.config.node_spec.arch.clone())
             .set_str("OpSys", self.config.node_spec.op_sys.clone())
             .set_int("TotalCpus", self.config.nodes as i64)
-            .set_int("FreeCpus", self.lrms.free_nodes() as i64)
-            .set_int("QueueDepth", self.lrms.queue_depth() as i64)
+            .set_int("FreeCpus", self.backend.free_nodes() as i64)
+            .set_int("QueueDepth", self.backend.queue_depth() as i64)
             .set_int("MemoryMb", self.config.node_spec.memory_mb as i64)
             .set_int("StorageGb", self.config.storage_gb as i64)
             .set_double("SpeedFactor", self.config.node_spec.speed_factor)
-            .set_bool("AcceptsQueued", self.lrms.accepts_queued_jobs())
+            .set_bool("AcceptsQueued", self.backend.accepts_queued_jobs())
             .set(
                 "Tags",
                 Value::List(
@@ -126,7 +176,7 @@ impl std::fmt::Debug for Site {
         f.debug_struct("Site")
             .field("name", &self.config.name)
             .field("nodes", &self.config.nodes)
-            .field("free", &self.lrms.free_nodes())
+            .field("free", &self.backend.free_nodes())
             .finish_non_exhaustive()
     }
 }

@@ -174,10 +174,15 @@ pub fn encode_event(ev: &TimedEvent, out: &mut Vec<u8>) {
             put_str(out, target);
             put_u64(out, *until_ns);
         }
-        Event::JobDispatched { job, target } => {
+        Event::JobDispatched {
+            job,
+            target,
+            backend,
+        } => {
             put_u8(out, 5);
             put_u64(out, *job);
             put_str(out, target);
+            put_str(out, backend);
         }
         Event::JobStarted { job } => {
             put_u8(out, 6);
@@ -376,6 +381,11 @@ pub fn encode_event(ev: &TimedEvent, out: &mut Vec<u8>) {
             put_u64(out, *job);
             put_str(out, reason);
         }
+        Event::DispositionEvicted { site, job } => {
+            put_u8(out, 51);
+            put_str(out, site);
+            put_u64(out, *job);
+        }
         Event::BrokerRecovered {
             jobs,
             requeued,
@@ -509,6 +519,7 @@ pub fn decode_event(buf: &[u8]) -> Result<TimedEvent, CodecError> {
         5 => Event::JobDispatched {
             job: c.u64()?,
             target: c.str()?,
+            backend: c.str()?,
         },
         6 => Event::JobStarted { job: c.u64()? },
         7 => Event::JobResubmitted {
@@ -618,6 +629,10 @@ pub fn decode_event(buf: &[u8]) -> Result<TimedEvent, CodecError> {
             job: c.u64()?,
             reason: c.str()?,
         },
+        51 => Event::DispositionEvicted {
+            site: c.str()?,
+            job: c.u64()?,
+        },
         39 => Event::BrokerRecovered {
             jobs: c.u64()?,
             requeued: c.u64()?,
@@ -711,6 +726,7 @@ mod tests {
             Event::JobDispatched {
                 job: 7,
                 target: "agent:3".into(),
+                backend: "thread-pool".into(),
             },
             Event::JobStarted { job: 7 },
             Event::JobResubmitted { job: 7, attempt: 2 },
@@ -809,6 +825,10 @@ mod tests {
                 site: "cesga".into(),
                 job: 0,
                 reason: "walltime".into(),
+            },
+            Event::DispositionEvicted {
+                site: "cesga".into(),
+                job: 0,
             },
             Event::BrokerRecovered {
                 jobs: 5,

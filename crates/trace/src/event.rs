@@ -59,6 +59,9 @@ pub enum Event {
         job: u64,
         /// Dispatch target, e.g. `agent:3` or `site:cesga`.
         target: String,
+        /// Execution backend at the target (`sim-lrms`, `thread-pool`,
+        /// `process`), so replays know what ran the job.
+        backend: String,
     },
     /// The job began computing.
     JobStarted {
@@ -318,6 +321,15 @@ pub enum Event {
         /// Kill reason.
         reason: String,
     },
+    /// A terminal disposition fell off the site's bounded poll-back record:
+    /// status polls for this job now return nothing, so a rejoining broker
+    /// must treat its outcome as unknown.
+    DispositionEvicted {
+        /// Site name.
+        site: String,
+        /// LRMS-local job id whose record was evicted.
+        job: u64,
+    },
 
     // ── site membership & degradation ───────────────────────────────────
     /// Missed MDS refreshes or failed/timed-out live queries put a site on
@@ -487,6 +499,7 @@ impl Event {
             Event::LrmsStarted { .. } => "LrmsStarted",
             Event::LrmsFinished { .. } => "LrmsFinished",
             Event::LrmsKilled { .. } => "LrmsKilled",
+            Event::DispositionEvicted { .. } => "DispositionEvicted",
             Event::SiteSuspect { .. } => "SiteSuspect",
             Event::SiteDead { .. } => "SiteDead",
             Event::SiteRejoin { .. } => "SiteRejoin",
@@ -535,9 +548,14 @@ impl Event {
                 str_field(out, "target", target);
                 let _ = write!(out, ",\"until_ns\":{until_ns}");
             }
-            Event::JobDispatched { job, target } => {
+            Event::JobDispatched {
+                job,
+                target,
+                backend,
+            } => {
                 let _ = write!(out, ",\"job\":{job}");
                 str_field(out, "target", target);
+                str_field(out, "backend", backend);
             }
             Event::JobAd {
                 job,
@@ -678,7 +696,9 @@ impl Event {
             Event::ShadowConnected { rank } | Event::ShadowDisconnected { rank } => {
                 let _ = write!(out, ",\"rank\":{rank}");
             }
-            Event::LrmsQueued { site, job } | Event::LrmsFinished { site, job } => {
+            Event::LrmsQueued { site, job }
+            | Event::LrmsFinished { site, job }
+            | Event::DispositionEvicted { site, job } => {
                 str_field(out, "site", site);
                 let _ = write!(out, ",\"job\":{job}");
             }

@@ -73,7 +73,7 @@ pub fn check_invariants(events: &[TimedEvent]) -> Vec<String> {
                     ));
                 }
             }
-            Event::JobDispatched { job, target } => {
+            Event::JobDispatched { job, target, .. } => {
                 if !leased.contains(job) {
                     violations.push(format!(
                         "job {job} dispatched to {target} at {}s without a prior lease",
@@ -333,6 +333,7 @@ mod tests {
         Event::JobDispatched {
             job,
             target: "agent:0".into(),
+            backend: "sim-lrms".into(),
         }
     }
 
@@ -447,6 +448,7 @@ mod tests {
         let site_dispatch = |job| Event::JobDispatched {
             job,
             target: "site:cesga".into(),
+            backend: "sim-lrms".into(),
         };
         let suspect = Event::SiteSuspect {
             site: "cesga".into(),

@@ -715,6 +715,7 @@ mod tests {
                 Event::JobDispatched {
                     job: 0,
                     target: "site:a".into(),
+                    backend: "sim-lrms".into(),
                 },
             ),
             te(4, Event::JobStarted { job: 0 }),

@@ -36,6 +36,7 @@ fn all_variants(a: u64, b: u64, small: u32, flag: bool, x: f64, s: &str, t: &str
         Event::JobDispatched {
             job: a,
             target: t.to_string(),
+            backend: s.to_string(),
         },
         Event::JobStarted { job: a },
         Event::JobResubmitted {
@@ -154,6 +155,10 @@ fn all_variants(a: u64, b: u64, small: u32, flag: bool, x: f64, s: &str, t: &str
             job: a,
             reason: t.to_string(),
         },
+        Event::DispositionEvicted {
+            site: s.to_string(),
+            job: a,
+        },
         Event::BrokerRecovered {
             jobs: a,
             requeued: b,
@@ -188,6 +193,17 @@ fn all_variants(a: u64, b: u64, small: u32, flag: bool, x: f64, s: &str, t: &str
             job: a,
             staleness_ns: b,
         },
+        Event::GiisDelta {
+            leaf: small,
+            epoch: b,
+            changed: small,
+        },
+        Event::RefreshSweep {
+            refreshed: small,
+            missed: small,
+            amnestied: small,
+            late_merges: small,
+        },
         Event::Measurement {
             name: s.to_string(),
             value: x,
@@ -219,7 +235,7 @@ fn the_catalog_covers_every_variant_once() {
     );
     // The enum has exactly this many variants today; `Event::kind`'s
     // exhaustive match keeps the enum and this count honest together.
-    assert_eq!(events.len(), 49);
+    assert_eq!(events.len(), 52);
 }
 
 #[test]
@@ -295,9 +311,9 @@ proptest! {
     /// An unknown tag byte is `BadTag(tag)`, whatever the surrounding bytes.
     #[test]
     fn unknown_tags_are_badtag(at in any::<u64>(), seq in any::<u64>(), raw in any::<u8>()) {
-        // Real tags are dense from 0; anything at or above the variant
-        // count must be rejected by value.
-        let tag = 49 + (raw % (u8::MAX - 48));
+        // Real tags are dense through 51 (see `encode_event`); anything
+        // above must be rejected by value.
+        let tag = 52 + (raw % (u8::MAX - 51));
         let mut buf = Vec::new();
         buf.extend_from_slice(&at.to_le_bytes());
         buf.extend_from_slice(&seq.to_le_bytes());

@@ -1,0 +1,21 @@
+//! Bad fixture for the backend-bridging pass: a `Backend` impl reading
+//! the wall clock directly. `Instant::now` inside the impl is L102 (the
+//! sim-time bridging rule has no escape hatch) and the same token is L101
+//! in sim-governed code, so this file flags both.
+
+pub struct LocalJobId(pub u64);
+
+pub trait Backend {
+    fn queue_depth(&self) -> usize;
+}
+
+pub struct ImpatientBackend {
+    started: std::time::Instant,
+}
+
+impl Backend for ImpatientBackend {
+    fn queue_depth(&self) -> usize {
+        let elapsed = std::time::Instant::now() - self.started;
+        usize::from(elapsed.as_secs() > 1)
+    }
+}

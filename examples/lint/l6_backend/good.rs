@@ -1,0 +1,27 @@
+//! Good fixture for the backend-bridging pass: real elapsed time is read
+//! through the `mono_ns()` chokepoint and lands only in backend-local
+//! counters — the sim never sees it.
+
+pub struct LocalJobId(pub u64);
+
+fn mono_ns() -> u64 {
+    0
+}
+
+pub trait Backend {
+    fn queue_depth(&self) -> usize;
+}
+
+pub struct BridgedBackend {
+    real_ns: std::cell::Cell<u64>,
+    queued: usize,
+}
+
+impl Backend for BridgedBackend {
+    fn queue_depth(&self) -> usize {
+        let t0 = mono_ns();
+        let depth = self.queued;
+        self.real_ns.set(self.real_ns.get() + (mono_ns() - t0));
+        depth
+    }
+}
